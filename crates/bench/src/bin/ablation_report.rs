@@ -1,0 +1,81 @@
+//! Ablation study of the generator's design knobs (an extension of the paper's
+//! evaluation): redundancy removal, the exhaustive repair pool and the set of data
+//! backgrounds used during generation.
+//!
+//! Run with `cargo run --release -p march-bench --bin ablation_report`.
+
+use std::time::Instant;
+
+use march_gen::{GeneratorConfig, MarchGenerator};
+use march_test::AddressOrder;
+use sram_fault_model::FaultList;
+use sram_sim::{measure_coverage, CoverageConfig, InitialState};
+
+struct Variant {
+    name: &'static str,
+    config: GeneratorConfig,
+}
+
+fn main() {
+    let variants = vec![
+        Variant {
+            name: "default (removal + repair)",
+            config: GeneratorConfig::default(),
+        },
+        Variant {
+            name: "no redundancy removal",
+            config: GeneratorConfig::without_redundancy_removal(),
+        },
+        Variant {
+            name: "no repair pool",
+            config: GeneratorConfig {
+                repair: false,
+                ..GeneratorConfig::default()
+            },
+        },
+        Variant {
+            name: "single background (all-1)",
+            config: GeneratorConfig {
+                backgrounds: vec![InitialState::AllOne],
+                ..GeneratorConfig::default()
+            },
+        },
+        Variant {
+            name: "small memory (6 cells)",
+            config: GeneratorConfig {
+                memory_cells: 6,
+                ..GeneratorConfig::default()
+            },
+        },
+        Variant {
+            name: "ascending-only elements",
+            config: GeneratorConfig::single_order(AddressOrder::Ascending),
+        },
+    ];
+
+    for (label, list) in [("Fault List #2", FaultList::list_2()), ("Fault List #1", FaultList::list_1())] {
+        println!("=== {label} ({} linked faults) ===", list.linked().len());
+        println!(
+            "{:<28} {:>8} {:>7} {:>10} {:>10}",
+            "variant", "O(n)", "CPU", "complete", "verified"
+        );
+        for variant in &variants {
+            let generator =
+                MarchGenerator::with_config(list.clone(), variant.config.clone()).named("ablation");
+            let start = Instant::now();
+            let generated = generator.generate();
+            let elapsed = start.elapsed();
+            let verification =
+                measure_coverage(generated.test(), &list, &CoverageConfig::thorough());
+            println!(
+                "{:<28} {:>7}n {:>6.2}s {:>10} {:>9.1}%",
+                variant.name,
+                generated.test().complexity(),
+                elapsed.as_secs_f64(),
+                generated.report().is_complete(),
+                verification.percent()
+            );
+        }
+        println!();
+    }
+}

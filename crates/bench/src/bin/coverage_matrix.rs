@@ -1,0 +1,68 @@
+//! The §6 validation claim, extended: fault-simulate every catalogue march test
+//! *and* the freshly generated tests against the unlinked static faults and the two
+//! linked fault lists, printing a coverage matrix.
+//!
+//! Run with `cargo run --release -p march-bench --bin coverage_matrix`.
+//! Pass `--exhaustive` for exhaustive cell placements (slower).
+
+use std::env;
+
+use march_gen::MarchGenerator;
+use march_test::{catalog, MarchTest};
+use sram_fault_model::FaultList;
+use sram_sim::{measure_coverage, CoverageConfig};
+
+fn main() {
+    let exhaustive = env::args().any(|arg| arg == "--exhaustive");
+    let config = if exhaustive {
+        CoverageConfig::exhaustive()
+    } else {
+        CoverageConfig::thorough()
+    };
+
+    let lists = [
+        ("unlinked", FaultList::unlinked_static()),
+        ("list #2", FaultList::list_2()),
+        ("list #1", FaultList::list_1()),
+    ];
+
+    // The catalogue plus the two generated tests.
+    let mut tests: Vec<MarchTest> = catalog::all();
+    let generated_l2 = MarchGenerator::new(FaultList::list_2())
+        .named("March GABL1")
+        .generate()
+        .into_test();
+    let generated_l1 = MarchGenerator::new(FaultList::list_1())
+        .named("March GRABL")
+        .generate()
+        .into_test();
+    tests.push(generated_l2);
+    tests.push(generated_l1);
+
+    println!(
+        "{:<16} {:>6} | {:>10} {:>10} {:>10}",
+        "march test", "length", lists[0].0, lists[1].0, lists[2].0
+    );
+    println!("{}", "-".repeat(62));
+    for test in &tests {
+        let mut cells = Vec::new();
+        for (_, list) in &lists {
+            let report = measure_coverage(test, list, &config);
+            cells.push(format!("{:>9.1}%", report.percent()));
+        }
+        println!(
+            "{:<16} {:>6} | {} {} {}",
+            test.name(),
+            test.complexity_label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+    println!(
+        "placements: {}, backgrounds: all-zero and all-one, memory: {} cells",
+        if exhaustive { "exhaustive" } else { "representative" },
+        config.memory_cells
+    );
+}

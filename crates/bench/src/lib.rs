@@ -1,0 +1,125 @@
+//! # `march-bench`
+//!
+//! Shared helpers for the benchmark harness that reproduces the evaluation of the
+//! DATE 2006 paper (Table 1) and the additional coverage/ablation studies of this
+//! workspace. The runnable artefacts are:
+//!
+//! * `cargo run --release -p march-bench --bin table1` — regenerates Table 1:
+//!   generated tests for Fault Lists #1 and #2, their complexity, generation CPU
+//!   time and the improvement over the published baselines;
+//! * `cargo run --release -p march-bench --bin coverage_matrix` — the §6 validation
+//!   claim: simulated coverage of every catalogue and generated test against every
+//!   fault list;
+//! * `cargo run --release -p march-bench --bin ablation_report` — the effect of the
+//!   generator's design knobs (redundancy removal, repair pool, backgrounds);
+//! * `cargo bench -p march-bench` — criterion micro-benchmarks of generation and
+//!   simulation throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use march_test::MarchTest;
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Name of the (generated) march test.
+    pub name: String,
+    /// The notation of the test.
+    pub notation: String,
+    /// Which fault list the row targets (1 or 2).
+    pub fault_list: usize,
+    /// Generation CPU time.
+    pub cpu_time: Duration,
+    /// Complexity coefficient (the `k` of `k·n`).
+    pub complexity: usize,
+    /// Simulated coverage of the target list, in percent.
+    pub coverage_percent: f64,
+    /// Improvement in test length over the published baselines, keyed by baseline
+    /// name (positive = shorter than the baseline).
+    pub improvements: Vec<(String, f64)>,
+}
+
+impl TableRow {
+    /// Formats the row in a compact, column-aligned form.
+    #[must_use]
+    pub fn formatted(&self) -> String {
+        let improvements = self
+            .improvements
+            .iter()
+            .map(|(name, percent)| format!("{name}: {percent:+.1}%"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{:<14} | list #{} | {:>6.2}s | {:>4}n | {:>6.1}% | {}",
+            self.name,
+            self.fault_list,
+            self.cpu_time.as_secs_f64(),
+            self.complexity,
+            self.coverage_percent,
+            improvements
+        )
+    }
+}
+
+/// Test-length improvement of `ours` over `baseline`, as a percentage of the
+/// baseline complexity (positive = ours is shorter, matching the convention of the
+/// paper's "Improve (%)" columns).
+#[must_use]
+pub fn improvement_percent(ours: &MarchTest, baseline: &MarchTest) -> f64 {
+    improvement_from_complexities(ours.complexity(), baseline.complexity())
+}
+
+/// Same as [`improvement_percent`], from raw complexities.
+#[must_use]
+pub fn improvement_from_complexities(ours: usize, baseline: usize) -> f64 {
+    if baseline == 0 {
+        0.0
+    } else {
+        100.0 * (baseline as f64 - ours as f64) / baseline as f64
+    }
+}
+
+/// Renders a header matching [`TableRow::formatted`].
+#[must_use]
+pub fn table_header() -> String {
+    format!(
+        "{:<14} | {:<7} | {:>7} | {:>5} | {:>7} | improvement vs baselines",
+        "march test", "target", "CPU", "O(n)", "coverage"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+
+    #[test]
+    fn improvement_matches_table_1() {
+        // ABL (37n) improves 13.9% over the 43n test and 9.7% over March SL (41n).
+        let abl = catalog::march_abl();
+        assert!((improvement_percent(&abl, &catalog::test_43n()) - 13.9).abs() < 0.1);
+        assert!((improvement_percent(&abl, &catalog::march_sl()) - 9.7).abs() < 0.1);
+        assert!((improvement_from_complexities(9, 11) - 18.1).abs() < 0.2);
+        assert_eq!(improvement_from_complexities(10, 0), 0.0);
+    }
+
+    #[test]
+    fn row_formatting_is_stable() {
+        let row = TableRow {
+            name: "March X".to_string(),
+            notation: "⇕(w0)".to_string(),
+            fault_list: 1,
+            cpu_time: Duration::from_millis(1500),
+            complexity: 35,
+            coverage_percent: 100.0,
+            improvements: vec![("March SL".to_string(), 14.6)],
+        };
+        let text = row.formatted();
+        assert!(text.contains("35n"));
+        assert!(text.contains("March SL: +14.6%"));
+        assert!(!table_header().is_empty());
+    }
+}

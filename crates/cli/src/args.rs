@@ -1,0 +1,331 @@
+//! Hand-rolled argument parsing for the `march-codex` binary.
+
+use std::error::Error;
+use std::fmt;
+
+use march_test::AddressOrder;
+
+/// Errors produced while parsing command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub(crate) String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Which fault list a coverage or generation command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageTarget {
+    /// The paper's Fault List #1 (single-, two- and three-cell static linked
+    /// faults).
+    List1,
+    /// The paper's Fault List #2 (single-cell static linked faults).
+    List2,
+    /// The 48 unlinked realistic static fault primitives.
+    Unlinked,
+}
+
+impl CoverageTarget {
+    fn parse(text: &str) -> Result<CoverageTarget, ParseArgsError> {
+        match text {
+            "1" | "list1" | "#1" => Ok(CoverageTarget::List1),
+            "2" | "list2" | "#2" => Ok(CoverageTarget::List2),
+            "unlinked" | "simple" | "static" => Ok(CoverageTarget::Unlinked),
+            other => Err(ParseArgsError(format!(
+                "unknown fault list `{other}` (expected 1, 2 or unlinked)"
+            ))),
+        }
+    }
+
+    /// A human-readable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CoverageTarget::List1 => "Fault List #1",
+            CoverageTarget::List2 => "Fault List #2",
+            CoverageTarget::Unlinked => "unlinked static faults",
+        }
+    }
+}
+
+/// One parsed `march-codex` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `catalog` — list the catalogue of published march tests.
+    Catalog,
+    /// `show <name>` — print one march test.
+    Show {
+        /// The (case-insensitive) catalogue name.
+        name: String,
+    },
+    /// `generate --list <1|2> [--no-removal] [--order up|down] [--name NAME]
+    /// [--exhaustive]`.
+    Generate {
+        /// The target fault list.
+        list: CoverageTarget,
+        /// Disable the redundancy-removal pass.
+        no_removal: bool,
+        /// Restrict every element to a single address order.
+        order: Option<AddressOrder>,
+        /// Name of the generated test.
+        name: Option<String>,
+        /// Verify with exhaustive placements after generation.
+        exhaustive: bool,
+    },
+    /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]`.
+    Coverage {
+        /// Catalogue name of the march test to evaluate.
+        test: String,
+        /// The target fault list.
+        list: CoverageTarget,
+        /// Use exhaustive cell placements.
+        exhaustive: bool,
+    },
+    /// `simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>]
+    /// [--cells <n>]`.
+    Simulate {
+        /// Catalogue name of the march test to run.
+        test: String,
+        /// The `<S/F/R>` notation of the fault primitive to inject.
+        fault: String,
+        /// The victim cell address.
+        victim: usize,
+        /// The aggressor cell address, for coupling primitives.
+        aggressor: Option<usize>,
+        /// Memory size in cells.
+        cells: usize,
+    },
+    /// `help` — print the usage text.
+    Help,
+}
+
+impl Command {
+    /// Parses the arguments following the program name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] describing the first offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Command, ParseArgsError> {
+        let mut args = args.peekable();
+        let Some(subcommand) = args.next() else {
+            return Ok(Command::Help);
+        };
+        match subcommand.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "catalog" => Ok(Command::Catalog),
+            "show" => {
+                let name: Vec<String> = args.collect();
+                if name.is_empty() {
+                    return Err(ParseArgsError("show requires a march test name".into()));
+                }
+                Ok(Command::Show {
+                    name: name.join(" "),
+                })
+            }
+            "generate" => {
+                let mut list = None;
+                let mut no_removal = false;
+                let mut order = None;
+                let mut name = None;
+                let mut exhaustive = false;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--list" => list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?),
+                        "--no-removal" => no_removal = true,
+                        "--exhaustive" => exhaustive = true,
+                        "--order" => {
+                            let value = required(&mut args, "--order")?;
+                            order = Some(value.parse::<AddressOrder>().map_err(|_| {
+                                ParseArgsError(format!("unknown address order `{value}`"))
+                            })?);
+                        }
+                        "--name" => name = Some(required(&mut args, "--name")?),
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Generate {
+                    list: list.ok_or_else(|| ParseArgsError("generate requires --list".into()))?,
+                    no_removal,
+                    order,
+                    name,
+                    exhaustive,
+                })
+            }
+            "coverage" => {
+                let mut test = None;
+                let mut list = None;
+                let mut exhaustive = false;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--test" => test = Some(required(&mut args, "--test")?),
+                        "--list" => list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?),
+                        "--exhaustive" => exhaustive = true,
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Coverage {
+                    test: test.ok_or_else(|| ParseArgsError("coverage requires --test".into()))?,
+                    list: list.ok_or_else(|| ParseArgsError("coverage requires --list".into()))?,
+                    exhaustive,
+                })
+            }
+            "simulate" => {
+                let mut test = None;
+                let mut fault = None;
+                let mut victim = None;
+                let mut aggressor = None;
+                let mut cells = 8usize;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--test" => test = Some(required(&mut args, "--test")?),
+                        "--fault" => fault = Some(required(&mut args, "--fault")?),
+                        "--victim" => victim = Some(parse_number(&required(&mut args, "--victim")?)?),
+                        "--aggressor" => {
+                            aggressor = Some(parse_number(&required(&mut args, "--aggressor")?)?);
+                        }
+                        "--cells" => cells = parse_number(&required(&mut args, "--cells")?)?,
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Simulate {
+                    test: test.ok_or_else(|| ParseArgsError("simulate requires --test".into()))?,
+                    fault: fault.ok_or_else(|| ParseArgsError("simulate requires --fault".into()))?,
+                    victim: victim
+                        .ok_or_else(|| ParseArgsError("simulate requires --victim".into()))?,
+                    aggressor,
+                    cells,
+                })
+            }
+            other => Err(ParseArgsError(format!(
+                "unknown sub-command `{other}` (try `march-codex help`)"
+            ))),
+        }
+    }
+}
+
+fn required(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<String, ParseArgsError> {
+    args.next()
+        .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))
+}
+
+fn parse_number(text: &str) -> Result<usize, ParseArgsError> {
+    text.parse::<usize>()
+        .map_err(|_| ParseArgsError(format!("`{text}` is not a valid cell count/address")))
+}
+
+fn unknown_flag(flag: &str) -> ParseArgsError {
+    ParseArgsError(format!("unknown flag `{flag}`"))
+}
+
+/// The usage text printed by `march-codex help`.
+#[must_use]
+pub fn usage() -> String {
+    "march-codex — automatic march test generation for static linked faults in SRAMs\n\
+     \n\
+     USAGE:\n\
+     \x20 march-codex catalog\n\
+     \x20 march-codex show <name>\n\
+     \x20 march-codex generate --list <1|2> [--no-removal] [--order up|down] [--name NAME] [--exhaustive]\n\
+     \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
+     \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
+     \x20 march-codex help\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseArgsError> {
+        Command::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_catalog_show_and_help() {
+        assert_eq!(parse(&["catalog"]).unwrap(), Command::Catalog);
+        assert_eq!(
+            parse(&["show", "March", "SL"]).unwrap(),
+            Command::Show {
+                name: "March SL".into()
+            }
+        );
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(parse(&["show"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let command = parse(&[
+            "generate",
+            "--list",
+            "1",
+            "--no-removal",
+            "--order",
+            "up",
+            "--name",
+            "March X",
+        ])
+        .unwrap();
+        assert_eq!(
+            command,
+            Command::Generate {
+                list: CoverageTarget::List1,
+                no_removal: true,
+                order: Some(AddressOrder::Ascending),
+                name: Some("March X".into()),
+                exhaustive: false,
+            }
+        );
+        assert!(parse(&["generate"]).is_err());
+        assert!(parse(&["generate", "--list", "7"]).is_err());
+        assert!(parse(&["generate", "--list", "1", "--order", "sideways"]).is_err());
+    }
+
+    #[test]
+    fn parses_coverage_and_simulate() {
+        let coverage = parse(&["coverage", "--test", "March SL", "--list", "unlinked", "--exhaustive"]).unwrap();
+        assert_eq!(
+            coverage,
+            Command::Coverage {
+                test: "March SL".into(),
+                list: CoverageTarget::Unlinked,
+                exhaustive: true,
+            }
+        );
+        let simulate = parse(&[
+            "simulate", "--test", "March SS", "--fault", "<0w1;0/1/->", "--victim", "5",
+            "--aggressor", "2", "--cells", "16",
+        ])
+        .unwrap();
+        assert_eq!(
+            simulate,
+            Command::Simulate {
+                test: "March SS".into(),
+                fault: "<0w1;0/1/->".into(),
+                victim: 5,
+                aggressor: Some(2),
+                cells: 16,
+            }
+        );
+        assert!(parse(&["simulate", "--test", "March SS"]).is_err());
+        assert!(parse(&["coverage", "--test", "March SS"]).is_err());
+        assert!(parse(&["simulate", "--test", "x", "--fault", "y", "--victim", "abc"]).is_err());
+    }
+
+    #[test]
+    fn target_labels() {
+        assert_eq!(CoverageTarget::List1.label(), "Fault List #1");
+        assert_eq!(CoverageTarget::parse("unlinked").unwrap(), CoverageTarget::Unlinked);
+        assert!(CoverageTarget::parse("3").is_err());
+        assert!(!usage().is_empty());
+    }
+}

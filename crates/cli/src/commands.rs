@@ -1,0 +1,305 @@
+//! Command implementations of the `march-codex` binary.
+
+use std::error::Error;
+use std::fmt;
+
+use march_gen::{GeneratorConfig, MarchGenerator};
+use march_test::{catalog, AddressOrder, MarchTest};
+use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
+use sram_sim::{
+    measure_coverage, CoverageConfig, FaultSimulator, InitialState, InjectedFault, Syndrome,
+};
+
+use crate::args::{usage, Command, CoverageTarget, ParseArgsError};
+
+/// Errors produced by the command-line front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The arguments could not be parsed.
+    Arguments(String),
+    /// A referenced march test does not exist in the catalogue.
+    UnknownTest(String),
+    /// A fault primitive notation does not match any realistic primitive.
+    UnknownFault(String),
+    /// A simulation could not be configured (bad addresses, memory size, …).
+    Simulation(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Arguments(message) => write!(f, "{message}"),
+            CliError::UnknownTest(name) => {
+                write!(f, "unknown march test `{name}` (see `march-codex catalog`)")
+            }
+            CliError::UnknownFault(notation) => write!(
+                f,
+                "`{notation}` does not match any realistic static fault primitive"
+            ),
+            CliError::Simulation(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(error: ParseArgsError) -> Self {
+        CliError::Arguments(error.to_string())
+    }
+}
+
+/// Executes a parsed command and returns the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the failure; the caller is expected to print
+/// it to stderr and exit non-zero.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(usage()),
+        Command::Catalog => Ok(render_catalog()),
+        Command::Show { name } => {
+            let test = lookup(name)?;
+            Ok(format!("{test}\ncomplexity: {}\n", test.complexity_label()))
+        }
+        Command::Generate {
+            list,
+            no_removal,
+            order,
+            name,
+            exhaustive,
+        } => generate(*list, *no_removal, *order, name.as_deref(), *exhaustive),
+        Command::Coverage {
+            test,
+            list,
+            exhaustive,
+        } => coverage(test, *list, *exhaustive),
+        Command::Simulate {
+            test,
+            fault,
+            victim,
+            aggressor,
+            cells,
+        } => simulate(test, fault, *victim, *aggressor, *cells),
+    }
+}
+
+fn render_catalog() -> String {
+    let mut output = format!("{:<16} {:>6}  notation\n", "name", "length");
+    for test in catalog::all() {
+        output.push_str(&format!(
+            "{:<16} {:>6}  {}\n",
+            test.name(),
+            test.complexity_label(),
+            test.notation()
+        ));
+    }
+    output
+}
+
+fn lookup(name: &str) -> Result<MarchTest, CliError> {
+    catalog::by_name(name).ok_or_else(|| CliError::UnknownTest(name.to_string()))
+}
+
+fn fault_list(target: CoverageTarget) -> FaultList {
+    match target {
+        CoverageTarget::List1 => FaultList::list_1(),
+        CoverageTarget::List2 => FaultList::list_2(),
+        CoverageTarget::Unlinked => FaultList::unlinked_static(),
+    }
+}
+
+fn coverage_config(exhaustive: bool) -> CoverageConfig {
+    if exhaustive {
+        CoverageConfig::exhaustive()
+    } else {
+        CoverageConfig::thorough()
+    }
+}
+
+fn generate(
+    target: CoverageTarget,
+    no_removal: bool,
+    order: Option<AddressOrder>,
+    name: Option<&str>,
+    exhaustive: bool,
+) -> Result<String, CliError> {
+    let list = fault_list(target);
+    let mut config = if no_removal {
+        GeneratorConfig::without_redundancy_removal()
+    } else {
+        GeneratorConfig::default()
+    };
+    if let Some(order) = order {
+        config.allowed_orders = vec![order, AddressOrder::Any];
+    }
+    let generator = MarchGenerator::with_config(list.clone(), config)
+        .named(name.unwrap_or("March GEN").to_string());
+    let generated = generator.generate();
+    let report = measure_coverage(generated.test(), &list, &coverage_config(exhaustive));
+
+    let mut output = String::new();
+    output.push_str(&format!("target        : {list}\n"));
+    output.push_str(&format!("generated     : {}\n", generated.test()));
+    output.push_str(&format!("complexity    : {}\n", generated.test().complexity_label()));
+    output.push_str(&format!("generation    : {}\n", generated.report()));
+    output.push_str(&format!("verification  : {report}\n"));
+    if !report.is_complete() {
+        for escape in report.escapes().iter().take(5) {
+            output.push_str(&format!("  escape: {escape}\n"));
+        }
+    }
+    Ok(output)
+}
+
+fn coverage(test: &str, target: CoverageTarget, exhaustive: bool) -> Result<String, CliError> {
+    let test = lookup(test)?;
+    let list = fault_list(target);
+    let report = measure_coverage(&test, &list, &coverage_config(exhaustive));
+    let mut output = format!("{report}\n");
+    for (topology, (covered, total)) in report.by_topology() {
+        output.push_str(&format!("  {topology}: {covered}/{total}\n"));
+    }
+    if !report.is_complete() {
+        output.push_str(&format!("escapes ({} shown of {}):\n", report.escapes().len().min(10), report.escapes().len()));
+        for escape in report.escapes().iter().take(10) {
+            output.push_str(&format!("  {escape}\n"));
+        }
+    }
+    Ok(output)
+}
+
+fn find_primitive(notation: &str) -> Result<FaultPrimitive, CliError> {
+    Ffm::all_fault_primitives()
+        .into_iter()
+        .find(|fp| fp.notation() == notation.trim())
+        .ok_or_else(|| CliError::UnknownFault(notation.to_string()))
+}
+
+fn simulate(
+    test: &str,
+    fault: &str,
+    victim: usize,
+    aggressor: Option<usize>,
+    cells: usize,
+) -> Result<String, CliError> {
+    let test = lookup(test)?;
+    let primitive = find_primitive(fault)?;
+
+    let injected = if primitive.is_coupling() {
+        let aggressor = aggressor.ok_or_else(|| {
+            CliError::Simulation("coupling primitives require --aggressor".to_string())
+        })?;
+        InjectedFault::coupling(primitive.clone(), aggressor, victim, cells)
+    } else {
+        InjectedFault::single_cell(primitive.clone(), victim, cells)
+    }
+    .map_err(|error| CliError::Simulation(error.to_string()))?;
+
+    let mut output = String::new();
+    for background in [InitialState::AllZero, InitialState::AllOne] {
+        let mut simulator = FaultSimulator::new(cells, &background)
+            .map_err(|error| CliError::Simulation(error.to_string()))?;
+        simulator.inject(injected.clone());
+        let syndrome = Syndrome::observe(&test, &mut simulator);
+        output.push_str(&format!("background {background:?}: {syndrome}\n"));
+        for entry in syndrome.entries().take(10) {
+            output.push_str(&format!("  {entry}\n"));
+        }
+    }
+    output.push_str(&format!("injected fault: {primitive} (victim {victim}"));
+    if let Some(aggressor) = aggressor {
+        output.push_str(&format!(", aggressor {aggressor}"));
+    }
+    output.push_str(&format!(") on a {cells}-cell memory under {}\n", test.name()));
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_from_args;
+
+    #[test]
+    fn catalog_and_show() {
+        let catalog_output = run(&Command::Catalog).unwrap();
+        assert!(catalog_output.contains("March SL"));
+        assert!(catalog_output.contains("41n"));
+
+        let show = run(&Command::Show {
+            name: "march abl1".into(),
+        })
+        .unwrap();
+        assert!(show.contains("9n"));
+        assert!(run(&Command::Show {
+            name: "no such test".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn coverage_command_reports_percentages() {
+        let output = run(&Command::Coverage {
+            test: "March ABL1".into(),
+            list: CoverageTarget::List2,
+            exhaustive: false,
+        })
+        .unwrap();
+        assert!(output.contains("100.0%"));
+        assert!(output.contains("LF1"));
+    }
+
+    #[test]
+    fn generate_command_produces_a_complete_test() {
+        let output = run(&Command::Generate {
+            list: CoverageTarget::List2,
+            no_removal: false,
+            order: None,
+            name: Some("March CLI".into()),
+            exhaustive: false,
+        })
+        .unwrap();
+        assert!(output.contains("March CLI"));
+        assert!(output.contains("100.0%"));
+    }
+
+    #[test]
+    fn simulate_command_prints_a_syndrome() {
+        let output = run(&Command::Simulate {
+            test: "March SS".into(),
+            fault: "<0w1;0/1/->".into(),
+            victim: 5,
+            aggressor: Some(2),
+            cells: 8,
+        })
+        .unwrap();
+        assert!(output.contains("failing reads"));
+        assert!(run(&Command::Simulate {
+            test: "March SS".into(),
+            fault: "<0w1;0/1/->".into(),
+            victim: 5,
+            aggressor: None,
+            cells: 8,
+        })
+        .is_err());
+        assert!(run(&Command::Simulate {
+            test: "March SS".into(),
+            fault: "<bogus>".into(),
+            victim: 5,
+            aggressor: None,
+            cells: 8,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_argument_handling() {
+        let output = run_from_args(["show", "MATS+"]).unwrap();
+        assert!(output.contains("5n"));
+        let err = run_from_args(["bogus"]).unwrap_err();
+        assert!(matches!(err, CliError::Arguments(_)));
+        let help = run_from_args(Vec::<String>::new()).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # `march-codex-cli`
+//!
+//! Library backing the `march-codex` command-line tool: a thin, dependency-free
+//! argument parser plus the command implementations that tie together the fault
+//! model, the march-test catalogue, the fault simulator and the generator.
+//!
+//! The binary exposes five sub-commands:
+//!
+//! * `catalog` — list the catalogue of published march tests;
+//! * `show <name>` — print one march test in the standard notation;
+//! * `generate --list <1|2>` — run the automatic generator of the DATE 2006 paper;
+//! * `coverage --test <name> --list <1|2|unlinked>` — fault-simulate a march test
+//!   against a fault list;
+//! * `simulate --test <name> --fault <notation> --victim <cell>` — inject a single
+//!   fault primitive and show the failure syndrome.
+//!
+//! Everything is also usable programmatically; see [`run`] and [`Command`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Command, CoverageTarget, ParseArgsError};
+pub use commands::{run, CliError};
+
+/// Parses command-line arguments (without the program name) and executes the
+/// resulting command, returning the rendered output.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when parsing or execution fails; the error message is
+/// intended to be printed to stderr verbatim.
+pub fn run_from_args<I, S>(args: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let command = Command::parse(args.into_iter().map(Into::into))?;
+    run(&command)
+}

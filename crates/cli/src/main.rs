@@ -1,0 +1,16 @@
+//! The `march-codex` command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match march_codex_cli::run_from_args(std::env::args().skip(1)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Candidate march elements considered by the greedy generator.
+//!
+//! The candidate pool plays the role of the *valid sequences of operations* of the
+//! paper's Fig. 5: every candidate is a sequence of operations applied to a single
+//! address (per visit), paired with an address order. The library contains the SO
+//! shapes that the linked-fault literature shows to be useful (the element shapes of
+//! March SS, March SL and the paper's own ABL/RABL tests, plus short
+//! read/write ladders); the exhaustive generator enumerates every short sequence
+//! and is used as a *repair* pool when the library stalls.
+
+use march_test::{AddressOrder, MarchElement};
+use sram_fault_model::{Bit, Operation};
+
+/// The library of candidate march elements considered at every iteration of the
+/// greedy generator.
+///
+/// Each shape is instantiated for both data polarities and both address orders, so
+/// the pool is closed under the usual march-test symmetries.
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::library_candidates;
+///
+/// let pool = library_candidates();
+/// assert!(pool.len() > 30);
+/// // The pool contains the March SS element shape in ascending order…
+/// assert!(pool.iter().any(|e| e.to_string() == "⇑(r0,r0,w0,r0,w1)"));
+/// // …and the March SL element shape in descending order.
+/// assert!(pool.iter().any(|e| e.to_string() == "⇓(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0)"));
+/// ```
+#[must_use]
+pub fn library_candidates() -> Vec<MarchElement> {
+    let shapes: Vec<Vec<Operation>> = vec![
+        // Short ladders.
+        ops("r0,w1"),
+        ops("r0,w1,r1"),
+        ops("r0,w1,w1,r1"),
+        ops("r0,w0,r0,w1"),
+        ops("r0,r0,w1"),
+        // March SS element.
+        ops("r0,r0,w0,r0,w1"),
+        // March LA element.
+        ops("r0,w1,w0,w1,r1"),
+        // March ABL element (Table 1 of the paper).
+        ops("r0,r0,w0,r0,w1,w1,r1"),
+        // March RABL long element.
+        ops("r0,w1,r1,r1,w1,r1,w0,r0"),
+        // March SL element.
+        ops("r0,r0,w1,w1,r1,r1,w0,w0,r0,w1"),
+        // Observation-only and initialisation elements.
+        ops("r0"),
+        ops("w0"),
+        ops("w0,r0"),
+        ops("r0,w0,r0"),
+    ];
+
+    let mut pool = Vec::new();
+    for shape in shapes {
+        for order in [AddressOrder::Ascending, AddressOrder::Descending] {
+            let base = MarchElement::new(order, shape.clone()).expect("library shapes are non-empty");
+            let complemented = base.complemented();
+            pool.push(base);
+            pool.push(complemented);
+        }
+    }
+    dedup(pool)
+}
+
+/// Enumerates every march element whose operation sequence has length at most
+/// `max_length`, drawn from `{w0, w1, r0, r1}`, contains at least one read, and is
+/// paired with both address orders.
+///
+/// This pool is exponential in `max_length` (≈ `2 · Σ 4^k` elements) and is only
+/// scored against the (small) set of still-uncovered targets when the main library
+/// stalls, mirroring the "report that the fault cannot be covered" branch of the
+/// paper's Fig. 5 — before giving up, the generator searches the full SO space of
+/// bounded length.
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::exhaustive_candidates;
+///
+/// let short = exhaustive_candidates(2);
+/// assert!(short.iter().any(|e| e.to_string() == "⇓(w1,r1)"));
+/// assert!(short.iter().all(|e| e.len() <= 2));
+/// ```
+#[must_use]
+pub fn exhaustive_candidates(max_length: usize) -> Vec<MarchElement> {
+    let alphabet = [
+        Operation::Write(Bit::Zero),
+        Operation::Write(Bit::One),
+        Operation::Read(Some(Bit::Zero)),
+        Operation::Read(Some(Bit::One)),
+    ];
+    let mut sequences: Vec<Vec<Operation>> = vec![Vec::new()];
+    let mut pool = Vec::new();
+    for _ in 0..max_length {
+        let mut next = Vec::with_capacity(sequences.len() * alphabet.len());
+        for sequence in &sequences {
+            for op in alphabet {
+                let mut extended = sequence.clone();
+                extended.push(op);
+                next.push(extended);
+            }
+        }
+        for sequence in &next {
+            if sequence.iter().any(|op| op.is_read()) {
+                for order in [AddressOrder::Ascending, AddressOrder::Descending] {
+                    pool.push(
+                        MarchElement::new(order, sequence.clone())
+                            .expect("sequences are non-empty"),
+                    );
+                }
+            }
+        }
+        sequences = next;
+    }
+    dedup(pool)
+}
+
+fn ops(text: &str) -> Vec<Operation> {
+    text.split(',')
+        .map(|token| token.trim().parse::<Operation>().expect("library operation"))
+        .collect()
+}
+
+fn dedup(pool: Vec<MarchElement>) -> Vec<MarchElement> {
+    let mut seen = std::collections::HashSet::new();
+    pool.into_iter()
+        .filter(|element| seen.insert(element.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_symmetric_and_deduplicated() {
+        let pool = library_candidates();
+        assert!(pool.len() > 30);
+        let texts: Vec<String> = pool.iter().map(MarchElement::to_string).collect();
+        let mut unique = texts.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), texts.len(), "duplicates in the library");
+        // Closed under complement and order reversal.
+        for element in &pool {
+            assert!(texts.contains(&element.complemented().to_string()));
+            assert!(texts.contains(&element.reversed().to_string()));
+        }
+    }
+
+    #[test]
+    fn library_contains_the_key_shapes() {
+        let texts: Vec<String> = library_candidates().iter().map(MarchElement::to_string).collect();
+        for expected in [
+            "⇑(r0,r0,w0,r0,w1)",
+            "⇑(r1,r1,w1,r1,w0)",
+            "⇑(r0,r0,w0,r0,w1,w1,r1)",
+            "⇓(r1,r1,w1,r1,w0,w0,r0)",
+            "⇑(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1)",
+            "⇑(r0,w1)",
+            "⇓(r1,w0)",
+        ] {
+            assert!(texts.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_counts_and_contents() {
+        // Length 1: 2 reads × 2 orders = 4 elements.
+        assert_eq!(exhaustive_candidates(1).len(), 4);
+        let pool = exhaustive_candidates(2);
+        // Length ≤ 2 with ≥ 1 read: 4 + (16 - 4 write-only) × 2 orders = 28.
+        assert_eq!(pool.len(), 28);
+        assert!(pool.iter().all(|element| element.observes()));
+        assert!(exhaustive_candidates(3).len() > pool.len());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type of the generator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running march-test generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenerationError {
+    /// The target fault list contains no fault at all.
+    EmptyFaultList,
+    /// The generator configuration is invalid (e.g. a memory too small to host the
+    /// fault list's cell count).
+    InvalidConfiguration(String),
+    /// Some targets could not be covered within the configured element budget.
+    IncompleteCoverage {
+        /// Number of targets left uncovered.
+        uncovered: usize,
+    },
+    /// The memory-graph machinery was asked for more cells than it supports.
+    TooManyCells {
+        /// The requested number of cells.
+        requested: usize,
+        /// The maximum supported number of cells.
+        maximum: usize,
+    },
+}
+
+impl fmt::Display for GenerationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerationError::EmptyFaultList => write!(f, "target fault list is empty"),
+            GenerationError::InvalidConfiguration(reason) => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+            GenerationError::IncompleteCoverage { uncovered } => {
+                write!(f, "generation left {uncovered} targets uncovered")
+            }
+            GenerationError::TooManyCells { requested, maximum } => write!(
+                f,
+                "memory graph supports at most {maximum} cells, {requested} requested"
+            ),
+        }
+    }
+}
+
+impl Error for GenerationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        for err in [
+            GenerationError::EmptyFaultList,
+            GenerationError::InvalidConfiguration("memory too small".into()),
+            GenerationError::IncompleteCoverage { uncovered: 3 },
+            GenerationError::TooManyCells {
+                requested: 20,
+                maximum: 16,
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GenerationError>();
+    }
+}

@@ -1,0 +1,491 @@
+//! The automatic march-test generator (Section 5 of the paper).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use march_test::{AddressOrder, MarchElement, MarchTest, MarchTestBuilder};
+use sram_fault_model::{Bit, FaultList};
+use sram_sim::{CoverageConfig, CoverageReport, InitialState, PlacementStrategy};
+
+use crate::targets::PendingInstance;
+use crate::{exhaustive_candidates, library_candidates, minimise, verify, TargetInstance};
+
+/// Configuration of the march-test generator.
+///
+/// The defaults reproduce the paper's setup: an 8-cell verification memory,
+/// representative cell placements, detection required under both uniform data
+/// backgrounds, the redundancy-removal pass enabled and the exhaustive repair pool
+/// available as a fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of cells of the memory used to evaluate candidate elements (≥ 4).
+    pub memory_cells: usize,
+    /// How exhaustively cell placements are enumerated during generation.
+    pub strategy: PlacementStrategy,
+    /// Initial memory contents the generated test must detect each fault under.
+    pub backgrounds: Vec<InitialState>,
+    /// The data value written by the initialisation element `⇕(w·)`.
+    pub initial_write: Bit,
+    /// Whether to run the operation-level redundancy-removal pass after generation
+    /// (this is the pass that turns an "ABL"-style result into the shorter
+    /// "RABL"-style one of Table 1).
+    pub redundancy_removal: bool,
+    /// Whether to search the exhaustive short-sequence pool when the library of
+    /// candidate elements stops making progress.
+    pub repair: bool,
+    /// Maximum length (in operations) of the sequences explored by the repair pool.
+    pub repair_max_length: usize,
+    /// Safety bound on the number of march elements of the generated test.
+    pub max_elements: usize,
+    /// The address orders the generated march elements may use (the paper's
+    /// future-work constraint: tests restricted to a single address order can be
+    /// implemented more efficiently in BIST hardware). The initialisation element
+    /// `⇕(w·)` is always allowed.
+    pub allowed_orders: Vec<AddressOrder>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            memory_cells: 8,
+            strategy: PlacementStrategy::Representative,
+            backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+            initial_write: Bit::Zero,
+            redundancy_removal: true,
+            repair: true,
+            repair_max_length: 4,
+            max_elements: 24,
+            allowed_orders: vec![
+                AddressOrder::Ascending,
+                AddressOrder::Descending,
+                AddressOrder::Any,
+            ],
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A faster configuration without the redundancy-removal pass — the analogue of
+    /// the paper's "March ABL" row (the raw greedy output), as opposed to the
+    /// reduced "March RABL" row produced by the default configuration.
+    #[must_use]
+    pub fn without_redundancy_removal() -> GeneratorConfig {
+        GeneratorConfig {
+            redundancy_removal: false,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// A configuration restricted to a single address order (plus the
+    /// order-agnostic `⇕` initialisation), implementing the address-order
+    /// constraint the paper's conclusions list as future work: tests whose elements
+    /// all march in the same direction map more efficiently onto BIST address
+    /// generators.
+    #[must_use]
+    pub fn single_order(order: AddressOrder) -> GeneratorConfig {
+        GeneratorConfig {
+            allowed_orders: vec![order, AddressOrder::Any],
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// The coverage configuration used for the final verification of a generated
+    /// test (thorough: both uniform backgrounds).
+    #[must_use]
+    pub fn verification_config(&self) -> CoverageConfig {
+        CoverageConfig {
+            memory_cells: self.memory_cells,
+            strategy: self.strategy,
+            backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+        }
+    }
+}
+
+/// Statistics and diagnostics of one generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationReport {
+    elapsed: Duration,
+    iterations: usize,
+    initial_targets: usize,
+    uncovered: Vec<String>,
+    element_history: Vec<(String, usize)>,
+    removed_operations: usize,
+}
+
+impl GenerationReport {
+    /// Wall-clock time spent generating (and, when enabled, minimising) the test.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of greedy iterations (elements appended).
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of target instances the generator started from.
+    #[must_use]
+    pub fn initial_targets(&self) -> usize {
+        self.initial_targets
+    }
+
+    /// Human-readable descriptions of the target instances that could not be
+    /// covered (empty when generation succeeded).
+    #[must_use]
+    pub fn uncovered(&self) -> &[String] {
+        &self.uncovered
+    }
+
+    /// Returns `true` if every target instance is covered by the generated test.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// The appended elements together with the number of target instances each one
+    /// newly covered.
+    #[must_use]
+    pub fn element_history(&self) -> &[(String, usize)] {
+        &self.element_history
+    }
+
+    /// Number of operations removed by the redundancy-removal pass.
+    #[must_use]
+    pub fn removed_operations(&self) -> usize {
+        self.removed_operations
+    }
+}
+
+impl fmt::Display for GenerationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} targets, {} iterations, {} uncovered, {} ops removed, {:.3}s",
+            self.initial_targets,
+            self.iterations,
+            self.uncovered.len(),
+            self.removed_operations,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// The result of a generation run: the march test plus its generation report.
+#[derive(Debug, Clone)]
+pub struct GeneratedTest {
+    test: MarchTest,
+    report: GenerationReport,
+}
+
+impl GeneratedTest {
+    /// The generated march test.
+    #[must_use]
+    pub fn test(&self) -> &MarchTest {
+        &self.test
+    }
+
+    /// Generation statistics and diagnostics.
+    #[must_use]
+    pub fn report(&self) -> &GenerationReport {
+        &self.report
+    }
+
+    /// Consumes the result and returns the march test.
+    #[must_use]
+    pub fn into_test(self) -> MarchTest {
+        self.test
+    }
+}
+
+impl fmt::Display for GeneratedTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ({})", self.test, self.test.complexity_label(), self.report)
+    }
+}
+
+/// The automatic march-test generator.
+///
+/// The generator follows the structure of the paper's Fig. 5: it repeatedly selects
+/// a valid sequence of operations (a candidate march element from
+/// [`library_candidates`]), applies it to every memory cell, deletes the target
+/// faults it covers and appends the corresponding march element, until the target
+/// list is empty. Selection is greedy — the candidate covering the most still
+/// uncovered `(fault, placement, background)` instances per operation wins — and
+/// every decision is validated with the fault simulator of [`sram_sim`], exactly as
+/// the paper validates its tests with its in-house simulator. When the library
+/// stalls, an exhaustive pool of short sequences is searched
+/// ([`exhaustive_candidates`]); when that stalls too, the remaining targets are
+/// reported as uncoverable (the "cannot be covered" branch of Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::{GeneratorConfig, MarchGenerator};
+/// use sram_fault_model::FaultList;
+///
+/// let generated = MarchGenerator::new(FaultList::list_2()).generate();
+/// assert!(generated.report().is_complete());
+/// assert!(generated.test().complexity() <= 11);
+/// # let _ = GeneratorConfig::default();
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarchGenerator {
+    list: FaultList,
+    config: GeneratorConfig,
+    name: String,
+}
+
+impl MarchGenerator {
+    /// Creates a generator targeting `list` with the default configuration.
+    #[must_use]
+    pub fn new(list: FaultList) -> MarchGenerator {
+        MarchGenerator::with_config(list, GeneratorConfig::default())
+    }
+
+    /// Creates a generator targeting `list` with an explicit configuration.
+    #[must_use]
+    pub fn with_config(list: FaultList, config: GeneratorConfig) -> MarchGenerator {
+        let name = format!("March GEN[{}]", list.name());
+        MarchGenerator { list, config, name }
+    }
+
+    /// Overrides the name given to the generated march test.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> MarchGenerator {
+        self.name = name.into();
+        self
+    }
+
+    /// The target fault list.
+    #[must_use]
+    pub fn fault_list(&self) -> &FaultList {
+        &self.list
+    }
+
+    /// The generator configuration.
+    #[must_use]
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Runs the generation algorithm and returns the generated march test together
+    /// with its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured memory has fewer than 4 cells (too small to host the
+    /// placements of three-cell linked faults).
+    #[must_use]
+    pub fn generate(&self) -> GeneratedTest {
+        let start = Instant::now();
+        let instances = TargetInstance::enumerate(
+            &self.list,
+            self.config.memory_cells,
+            self.config.strategy,
+            &self.config.backgrounds,
+        );
+        let initial_targets = instances.len();
+
+        // The march test always starts with the initialisation element ⇕(w·).
+        let init = MarchElement::initialise(self.config.initial_write);
+        let mut elements = vec![init.clone()];
+
+        // Pending instances carry the simulator state reached after the current
+        // march prefix, so scoring a candidate only needs to simulate that element.
+        let mut pending: Vec<PendingInstance> = instances
+            .into_iter()
+            .map(PendingInstance::new)
+            .collect();
+        pending.retain_mut(|instance| !instance.advance(&init));
+
+        let library = self.filter_orders(library_candidates());
+        let mut element_history = Vec::new();
+        let mut iterations = 0usize;
+
+        while !pending.is_empty() && elements.len() < self.config.max_elements {
+            let choice = Self::best_candidate(&library, &pending)
+                .filter(|(_, covered)| *covered > 0)
+                .or_else(|| {
+                    if self.config.repair {
+                        Self::best_candidate(
+                            &self.filter_orders(exhaustive_candidates(
+                                self.config.repair_max_length,
+                            )),
+                            &pending,
+                        )
+                        .filter(|(_, covered)| *covered > 0)
+                    } else {
+                        None
+                    }
+                });
+
+            let Some((element, covered)) = choice else {
+                break;
+            };
+
+            pending.retain_mut(|instance| !instance.advance(&element));
+            element_history.push((element.to_string(), covered));
+            elements.push(element);
+            iterations += 1;
+        }
+
+        let uncovered: Vec<String> = pending
+            .iter()
+            .map(|instance| instance.instance.to_string())
+            .collect();
+
+        let mut test = MarchTestBuilder::new(&self.name);
+        for element in elements {
+            test = test.push(element);
+        }
+        let mut test = test.build().expect("the initialisation element is always present");
+
+        let mut removed_operations = 0usize;
+        if self.config.redundancy_removal && uncovered.is_empty() {
+            let (minimised, removed) = minimise(&test, &self.list, &self.config);
+            test = minimised.with_name(&self.name);
+            removed_operations = removed;
+        }
+
+        GeneratedTest {
+            test,
+            report: GenerationReport {
+                elapsed: start.elapsed(),
+                iterations,
+                initial_targets,
+                uncovered,
+                element_history,
+                removed_operations,
+            },
+        }
+    }
+
+    /// Runs [`MarchGenerator::generate`] and then verifies the generated test with
+    /// the fault simulator under the thorough verification configuration, returning
+    /// both the generated test and the coverage report.
+    #[must_use]
+    pub fn generate_verified(&self) -> (GeneratedTest, CoverageReport) {
+        let generated = self.generate();
+        let report = verify(generated.test(), &self.list, &self.config.verification_config());
+        (generated, report)
+    }
+
+    /// Restricts a candidate pool to the configured address orders.
+    fn filter_orders(&self, pool: Vec<MarchElement>) -> Vec<MarchElement> {
+        pool.into_iter()
+            .filter(|element| self.config.allowed_orders.contains(&element.order()))
+            .collect()
+    }
+
+    /// Scores every candidate against the pending instances and returns the best
+    /// `(element, newly covered)` pair: most newly covered instances first, fewest
+    /// operations as the tie-breaker.
+    fn best_candidate(
+        candidates: &[MarchElement],
+        pending: &[PendingInstance],
+    ) -> Option<(MarchElement, usize)> {
+        let mut best: Option<(MarchElement, usize)> = None;
+        for candidate in candidates {
+            let covered = pending
+                .iter()
+                .filter(|instance| instance.detected_by_element(candidate))
+                .count();
+            let better = match &best {
+                None => true,
+                Some((current, current_covered)) => {
+                    covered > *current_covered
+                        || (covered == *current_covered && candidate.len() < current.len())
+                }
+            };
+            if better {
+                best = Some((candidate.clone(), covered));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sensible() {
+        let config = GeneratorConfig::default();
+        assert_eq!(config.memory_cells, 8);
+        assert!(config.redundancy_removal);
+        assert!(config.repair);
+        let fast = GeneratorConfig::without_redundancy_removal();
+        assert!(!fast.redundancy_removal);
+        let verification = config.verification_config();
+        assert_eq!(verification.backgrounds.len(), 2);
+    }
+
+    #[test]
+    fn generates_a_complete_test_for_fault_list_2() {
+        let generator = MarchGenerator::new(FaultList::list_2()).named("March GEN-LF1");
+        let generated = generator.generate();
+        assert!(
+            generated.report().is_complete(),
+            "uncovered: {:?}",
+            generated.report().uncovered()
+        );
+        assert!(generated.test().complexity() <= 11, "{}", generated.test());
+        assert_eq!(generated.test().name(), "March GEN-LF1");
+        assert!(generated.report().iterations() > 0);
+        assert!(!generated.to_string().is_empty());
+    }
+
+    #[test]
+    fn generated_test_for_list_2_verifies_under_the_thorough_config() {
+        let (generated, coverage) = MarchGenerator::new(FaultList::list_2()).generate_verified();
+        assert!(coverage.is_complete(), "escapes: {:?}", coverage.escapes());
+        assert!(generated.report().is_complete());
+    }
+
+    #[test]
+    fn redundancy_removal_never_increases_complexity() {
+        let list = FaultList::list_2();
+        let raw = MarchGenerator::with_config(
+            list.clone(),
+            GeneratorConfig::without_redundancy_removal(),
+        )
+        .generate();
+        let reduced = MarchGenerator::new(list).generate();
+        assert!(reduced.test().complexity() <= raw.test().complexity());
+    }
+
+    #[test]
+    fn single_order_generation_covers_list_2() {
+        // The address-order constraint of the paper's future work: restrict every
+        // element to the ascending order and still cover the single-cell LFs.
+        let config = GeneratorConfig::single_order(AddressOrder::Ascending);
+        let generator = MarchGenerator::with_config(FaultList::list_2(), config);
+        let generated = generator.generate();
+        assert!(
+            generated.report().is_complete(),
+            "uncovered: {:?}",
+            generated.report().uncovered()
+        );
+        assert!(generated
+            .test()
+            .elements()
+            .iter()
+            .all(|element| element.order() != AddressOrder::Descending));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let generated = MarchGenerator::new(FaultList::list_2()).generate();
+        let report = generated.report();
+        assert!(report.initial_targets() >= 32);
+        assert!(report.elapsed() > Duration::ZERO);
+        assert_eq!(report.uncovered().len(), 0);
+        assert!(!report.element_history().is_empty());
+        assert!(!report.to_string().is_empty());
+        let test = generated.clone().into_test();
+        assert_eq!(test.name(), generated.test().name());
+    }
+}

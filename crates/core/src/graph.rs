@@ -1,0 +1,292 @@
+//! The fault-free memory model `G0`: a Mealy automaton over the states of a small
+//! memory (Section 4 of the paper, Figure 2).
+
+use std::fmt;
+
+use sram_fault_model::{Bit, MemoryState, Operation};
+
+use crate::GenerationError;
+
+/// The maximum number of cells supported by the explicit state graph (2¹⁰ states).
+pub const MAX_GRAPH_CELLS: usize = 10;
+
+/// One edge of the fault-free memory graph: applying `operation` to `cell` in state
+/// `from` moves the memory to state `to` and produces `output` (for reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphEdge {
+    /// Source state index.
+    pub from: usize,
+    /// Destination state index.
+    pub to: usize,
+    /// The cell the operation is applied to.
+    pub cell: usize,
+    /// The operation labelling the edge.
+    pub operation: Operation,
+    /// The read output (`d` in the paper's `x/d` label), `None` for writes/waits.
+    pub output: Option<Bit>,
+}
+
+impl fmt::Display for GraphEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}[{}]/", self.from, self.operation, self.cell)?;
+        match self.output {
+            Some(bit) => write!(f, "{bit}")?,
+            None => write!(f, "-")?,
+        }
+        write!(f, "]-> {}", self.to)
+    }
+}
+
+/// The fault-free memory model `G0 = (Q, X, Y, δ, λ)` represented as an explicit
+/// labelled digraph over the `2^cells` memory states.
+///
+/// States are indexed by the integer whose bit `k` is the content of cell `k`
+/// (cell 0 is the least-significant bit, i.e. the lowest address).
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::MemoryGraph;
+/// use sram_fault_model::{Bit, Operation};
+///
+/// // The 2-cell model of the paper's Figure 2.
+/// let g0 = MemoryGraph::new(2)?;
+/// assert_eq!(g0.state_count(), 4);
+///
+/// // From state 00, writing 1 into cell i (cell 0) moves to state 01 (bit 0 set).
+/// let (next, output) = g0.successor(0b00, 0, Operation::W1);
+/// assert_eq!(next, 0b01);
+/// assert_eq!(output, None);
+///
+/// // Reading cell j (cell 1) in state 10 returns 1 and stays.
+/// let (next, output) = g0.successor(0b10, 1, Operation::Read(None));
+/// assert_eq!(next, 0b10);
+/// assert_eq!(output, Some(Bit::One));
+/// # Ok::<(), march_gen::GenerationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryGraph {
+    cells: usize,
+}
+
+impl MemoryGraph {
+    /// Creates the fault-free model of a memory with `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerationError::TooManyCells`] if `cells` exceeds
+    /// [`MAX_GRAPH_CELLS`] and [`GenerationError::InvalidConfiguration`] for a
+    /// zero-cell memory.
+    pub fn new(cells: usize) -> Result<MemoryGraph, GenerationError> {
+        if cells == 0 {
+            return Err(GenerationError::InvalidConfiguration(
+                "memory graph needs at least one cell".to_string(),
+            ));
+        }
+        if cells > MAX_GRAPH_CELLS {
+            return Err(GenerationError::TooManyCells {
+                requested: cells,
+                maximum: MAX_GRAPH_CELLS,
+            });
+        }
+        Ok(MemoryGraph { cells })
+    }
+
+    /// The number of cells of the modelled memory.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The number of states, `2^cells` (`|V|` of the graph representation).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        1 << self.cells
+    }
+
+    /// The content of cell `cell` in state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_value(&self, state: usize, cell: usize) -> Bit {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        if (state >> cell) & 1 == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// The bits of a state, cell 0 first.
+    #[must_use]
+    pub fn state_bits(&self, state: usize) -> Vec<Bit> {
+        (0..self.cells).map(|cell| self.cell_value(state, cell)).collect()
+    }
+
+    /// The state index corresponding to the given cell contents (cell 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of cells.
+    #[must_use]
+    pub fn state_of(&self, bits: &[Bit]) -> usize {
+        assert_eq!(bits.len(), self.cells, "state width mismatch");
+        bits.iter()
+            .enumerate()
+            .fold(0usize, |state, (cell, bit)| state | ((bit.as_u8() as usize) << cell))
+    }
+
+    /// Every state index whose content satisfies the (possibly partially
+    /// constrained) `state` description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description width differs from the number of cells.
+    #[must_use]
+    pub fn states_matching(&self, state: &MemoryState) -> Vec<usize> {
+        assert_eq!(state.len(), self.cells, "state width mismatch");
+        (0..self.state_count())
+            .filter(|&index| state.matches_bits(&self.state_bits(index)))
+            .collect()
+    }
+
+    /// The transition function `δ` and output function `λ`: applying `operation` to
+    /// `cell` in `state` yields the next state and, for reads, the value read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn successor(&self, state: usize, cell: usize, operation: Operation) -> (usize, Option<Bit>) {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        match operation {
+            Operation::Write(bit) => {
+                let cleared = state & !(1 << cell);
+                let next = cleared | ((bit.as_u8() as usize) << cell);
+                (next, None)
+            }
+            Operation::Read(_) => (state, Some(self.cell_value(state, cell))),
+            Operation::Wait => (state, None),
+        }
+    }
+
+    /// Enumerates every edge of the graph: for each state, each cell and each
+    /// operation in `{w0, w1, r, t}` (reads are labelled with their output).
+    #[must_use]
+    pub fn edges(&self) -> Vec<GraphEdge> {
+        let operations = [
+            Operation::W0,
+            Operation::W1,
+            Operation::Read(None),
+            Operation::Wait,
+        ];
+        let mut edges = Vec::with_capacity(self.state_count() * self.cells * operations.len());
+        for state in 0..self.state_count() {
+            for cell in 0..self.cells {
+                for operation in operations {
+                    let (to, output) = self.successor(state, cell, operation);
+                    edges.push(GraphEdge {
+                        from: state,
+                        to,
+                        cell,
+                        operation,
+                        output,
+                    });
+                }
+            }
+        }
+        edges
+    }
+
+    /// The shortest sequence of operations **on a single cell** that takes the
+    /// memory from `from` to a state in which `cell` holds `target`; the empty
+    /// sequence if it already does.
+    ///
+    /// Because operations on one cell can only toggle that cell, the result is at
+    /// most one write.
+    #[must_use]
+    pub fn drive_cell(&self, from: usize, cell: usize, target: Bit) -> Vec<Operation> {
+        if self.cell_value(from, cell) == target {
+            Vec::new()
+        } else {
+            vec![Operation::Write(target)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_shape() {
+        // The 2-cell G0 has 4 vertices and 4 (states) × 2 (cells) × 4 (ops) edges.
+        let g0 = MemoryGraph::new(2).unwrap();
+        assert_eq!(g0.state_count(), 4);
+        assert_eq!(g0.edges().len(), 32);
+        // Self loops: reads and waits never change the state.
+        assert!(g0
+            .edges()
+            .iter()
+            .filter(|edge| edge.operation.is_read() || edge.operation.is_wait())
+            .all(|edge| edge.from == edge.to));
+    }
+
+    #[test]
+    fn construction_limits() {
+        assert!(MemoryGraph::new(0).is_err());
+        assert!(MemoryGraph::new(MAX_GRAPH_CELLS + 1).is_err());
+        assert!(MemoryGraph::new(3).is_ok());
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let g0 = MemoryGraph::new(3).unwrap();
+        for state in 0..g0.state_count() {
+            assert_eq!(g0.state_of(&g0.state_bits(state)), state);
+        }
+        assert_eq!(g0.state_of(&[Bit::One, Bit::Zero, Bit::One]), 0b101);
+        assert_eq!(g0.cell_value(0b101, 0), Bit::One);
+        assert_eq!(g0.cell_value(0b101, 1), Bit::Zero);
+    }
+
+    #[test]
+    fn successor_semantics() {
+        let g0 = MemoryGraph::new(2).unwrap();
+        assert_eq!(g0.successor(0b00, 1, Operation::W1), (0b10, None));
+        assert_eq!(g0.successor(0b11, 0, Operation::W0), (0b10, None));
+        assert_eq!(g0.successor(0b10, 1, Operation::R1), (0b10, Some(Bit::One)));
+        assert_eq!(g0.successor(0b10, 0, Operation::Read(None)), (0b10, Some(Bit::Zero)));
+        assert_eq!(g0.successor(0b01, 0, Operation::Wait), (0b01, None));
+    }
+
+    #[test]
+    fn states_matching_partial_descriptions() {
+        let g0 = MemoryGraph::new(3).unwrap();
+        let description: MemoryState = "1-0".parse().unwrap();
+        let matching = g0.states_matching(&description);
+        assert_eq!(matching, vec![0b001, 0b011]);
+    }
+
+    #[test]
+    fn drive_cell_is_at_most_one_write() {
+        let g0 = MemoryGraph::new(2).unwrap();
+        assert!(g0.drive_cell(0b01, 0, Bit::One).is_empty());
+        assert_eq!(g0.drive_cell(0b01, 1, Bit::One), vec![Operation::W1]);
+        assert_eq!(g0.drive_cell(0b11, 0, Bit::Zero), vec![Operation::W0]);
+    }
+
+    #[test]
+    fn edge_display() {
+        let g0 = MemoryGraph::new(2).unwrap();
+        let edge = g0
+            .edges()
+            .into_iter()
+            .find(|edge| edge.from == 0 && edge.cell == 0 && edge.operation == Operation::W1)
+            .unwrap();
+        assert_eq!(edge.to, 1);
+        assert!(!edge.to_string().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Redundancy removal: shortening a march test while preserving its coverage.
+
+use march_test::{MarchElement, MarchTest, MarchTestBuilder};
+use sram_fault_model::FaultList;
+use sram_sim::PlacementStrategy;
+
+use crate::{GeneratorConfig, TargetInstance};
+
+/// Removes redundant operations from `test` while preserving complete coverage of
+/// `list` under the generation configuration `config`.
+///
+/// The pass works at operation granularity, scanning from the last operation of the
+/// last element towards the front: each operation is tentatively removed (dropping
+/// the whole element when it becomes empty) and the shortened test is re-verified
+/// with the fault simulator over every `(fault, placement, background)` instance; the
+/// removal is kept only if coverage stays complete. This is the step that turns an
+/// "ABL"-style greedy result into the shorter "RABL"-style test of the paper's
+/// Table 1.
+///
+/// Returns the minimised test and the number of operations removed.
+///
+/// # Panics
+///
+/// Panics if `config.memory_cells < 4`.
+#[must_use]
+pub fn minimise(test: &MarchTest, list: &FaultList, config: &GeneratorConfig) -> (MarchTest, usize) {
+    let instances = TargetInstance::enumerate(
+        list,
+        config.memory_cells,
+        config.strategy,
+        &config.backgrounds,
+    );
+
+    // Nothing to preserve: return the test untouched.
+    if instances.is_empty() {
+        return (test.clone(), 0);
+    }
+
+    // Only minimise tests that are complete to begin with, otherwise "preserving
+    // coverage" is ill-defined.
+    if !covers_all(test, &instances) {
+        return (test.clone(), 0);
+    }
+
+    let mut elements: Vec<MarchElement> = test.elements().to_vec();
+    let mut removed = 0usize;
+
+    // Iterate until a full sweep removes nothing more.
+    loop {
+        let mut changed = false;
+        let mut element_index = elements.len();
+        while element_index > 0 {
+            element_index -= 1;
+            let mut op_index = elements[element_index].len();
+            while op_index > 0 {
+                op_index -= 1;
+                let candidate = remove_operation(&elements, element_index, op_index);
+                if candidate.is_empty() {
+                    continue;
+                }
+                let trial = rebuild(test.name(), &candidate);
+                if covers_all(&trial, &instances) {
+                    elements = candidate;
+                    removed += 1;
+                    changed = true;
+                    if element_index >= elements.len() {
+                        break;
+                    }
+                    op_index = op_index.min(elements[element_index].len());
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    (rebuild(test.name(), &elements), removed)
+}
+
+/// Returns `true` if `test` detects every instance.
+fn covers_all(test: &MarchTest, instances: &[TargetInstance]) -> bool {
+    instances.iter().all(|instance| instance.is_detected_by(test))
+}
+
+/// Returns a copy of `elements` with operation `op_index` of element
+/// `element_index` removed; the element itself is dropped when it becomes empty.
+fn remove_operation(
+    elements: &[MarchElement],
+    element_index: usize,
+    op_index: usize,
+) -> Vec<MarchElement> {
+    let mut result = Vec::with_capacity(elements.len());
+    for (index, element) in elements.iter().enumerate() {
+        if index != element_index {
+            result.push(element.clone());
+            continue;
+        }
+        let mut operations = element.operations().to_vec();
+        operations.remove(op_index);
+        if !operations.is_empty() {
+            result.push(
+                MarchElement::new(element.order(), operations)
+                    .expect("non-empty operations after removal"),
+            );
+        }
+    }
+    result
+}
+
+fn rebuild(name: &str, elements: &[MarchElement]) -> MarchTest {
+    let mut builder = MarchTestBuilder::new(name);
+    for element in elements {
+        builder = builder.push(element.clone());
+    }
+    builder.build().expect("minimised tests keep at least one element")
+}
+
+/// Convenience wrapper: minimises `test` against `list` with the default generator
+/// configuration but a caller-supplied placement strategy.
+#[must_use]
+pub fn minimise_with_strategy(
+    test: &MarchTest,
+    list: &FaultList,
+    strategy: PlacementStrategy,
+) -> (MarchTest, usize) {
+    let config = GeneratorConfig {
+        strategy,
+        ..GeneratorConfig::default()
+    };
+    minimise(test, list, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+
+    #[test]
+    fn removes_padding_operations() {
+        // March ABL1 with two useless extra reads appended: the pass removes them.
+        let padded = MarchTest::parse(
+            "padded ABL1",
+            "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+        )
+        .unwrap();
+        let list = FaultList::list_2();
+        let config = GeneratorConfig::default();
+        let (minimised, removed) = minimise(&padded, &list, &config);
+        assert!(removed >= 2, "removed {removed}");
+        assert!(minimised.complexity() <= catalog::march_abl1().complexity());
+        // The minimised test still covers the list.
+        let instances = TargetInstance::enumerate(
+            &list,
+            config.memory_cells,
+            config.strategy,
+            &config.backgrounds,
+        );
+        assert!(covers_all(&minimised, &instances));
+    }
+
+    #[test]
+    fn incomplete_tests_are_left_untouched() {
+        let mats = catalog::mats_plus();
+        let list = FaultList::list_2();
+        let (unchanged, removed) = minimise(&mats, &list, &GeneratorConfig::default());
+        assert_eq!(removed, 0);
+        assert_eq!(unchanged, mats);
+    }
+
+    #[test]
+    fn empty_lists_are_a_no_op() {
+        let test = catalog::march_abl1();
+        let empty = FaultList::new("empty");
+        let (unchanged, removed) = minimise(&test, &empty, &GeneratorConfig::default());
+        assert_eq!(removed, 0);
+        assert_eq!(unchanged.notation(), test.notation());
+    }
+
+    #[test]
+    fn strategy_wrapper_runs() {
+        let test = catalog::march_abl1();
+        let list = FaultList::list_2();
+        let (minimised, _) =
+            minimise_with_strategy(&test, &list, PlacementStrategy::Representative);
+        assert!(minimised.complexity() <= test.complexity());
+    }
+}

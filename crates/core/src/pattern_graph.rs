@@ -1,0 +1,349 @@
+//! The pattern graph: the fault-free memory model plus one faulty edge per test
+//! pattern (Section 4 of the paper, Figures 3 and 4).
+
+use std::fmt;
+
+use sram_fault_model::{
+    AddressedFaultPrimitive, Bit, FaultList, FaultPrimitive, LinkTopology, LinkedFault, Operation,
+    Placement, TestPattern,
+};
+
+use crate::{GenerationError, MemoryGraph};
+
+/// A faulty edge of the pattern graph.
+///
+/// A faulty edge models one [`TestPattern`]: when the memory is in state
+/// [`from`](FaultyEdge::from) and the sensitizing operation is applied, the *faulty*
+/// memory moves to state [`to`](FaultyEdge::to) (instead of the fault-free
+/// successor); the fault is observed by reading
+/// [`observe_cell`](FaultyEdge::observe_cell) and comparing against
+/// [`observe_expected`](FaultyEdge::observe_expected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyEdge {
+    /// Unique identifier of the edge within its pattern graph.
+    pub id: usize,
+    /// Index of the originating fault in the fault list (into
+    /// [`FaultList::linked`] or [`FaultList::simple`], see
+    /// [`is_linked`](FaultyEdge::is_linked)).
+    pub fault_index: usize,
+    /// `true` if the edge originates from a linked fault, `false` for a simple
+    /// primitive.
+    pub is_linked: bool,
+    /// Which component of the linked fault the edge models (0 = masked FP1,
+    /// 1 = masking FP2); always 0 for simple primitives.
+    pub component: usize,
+    /// Source state index (a concrete expansion of the AFP's initial state `I`).
+    pub from: usize,
+    /// Destination state index (the corresponding faulty state `Fv`).
+    pub to: usize,
+    /// The cell the sensitizing operation targets, if the primitive has one.
+    pub cell: Option<usize>,
+    /// The sensitizing operation, if any (state faults have none).
+    pub operation: Option<Operation>,
+    /// The victim cell read by the observing operation of the test pattern.
+    pub observe_cell: usize,
+    /// The value the observing read expects on a fault-free memory.
+    pub observe_expected: Option<Bit>,
+    /// The edge modelling the other component of the same linked fault, if any.
+    pub partner: Option<usize>,
+}
+
+impl fmt::Display for FaultyEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}: {} -> {}", self.id, self.from, self.to)?;
+        if let (Some(cell), Some(op)) = (self.cell, self.operation) {
+            write!(f, " via {op}[{cell}]")?;
+        }
+        write!(f, ", observe r[{}]", self.observe_cell)
+    }
+}
+
+/// The pattern graph `PG = {Vp, Ep ∪ Fp}` of a fault list: the fault-free memory
+/// graph (`Ep`, provided by [`MemoryGraph`]) plus the faulty edges (`Fp`) of every
+/// test pattern obtained by instantiating the list on a canonical cell assignment.
+///
+/// # Examples
+///
+/// The paper's Figure 4 (`PG_CF`): the disturb-coupling fault linked to a
+/// disturb-coupling fault adds two faulty edges to the 2-cell graph `G0`:
+///
+/// ```
+/// use march_gen::PatternGraph;
+/// use sram_fault_model::{FaultListBuilder, Ffm, LinkTopology, LinkedFault};
+///
+/// let find = |notation: &str| {
+///     Ffm::DisturbCoupling
+///         .fault_primitives()
+///         .into_iter()
+///         .find(|fp| fp.notation() == notation)
+///         .expect("realistic CFds primitive")
+/// };
+/// let lf = LinkedFault::link(
+///     find("<0w1;0/1/->"),
+///     find("<1w0;1/0/->"),
+///     LinkTopology::Lf2SharedAggressor,
+/// )?;
+/// let list = FaultListBuilder::new("PGcf").linked(lf).build()?;
+/// let pg = PatternGraph::from_fault_list(&list)?;
+/// assert_eq!(pg.graph().state_count(), 4);
+/// assert_eq!(pg.faulty_edges().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternGraph {
+    graph: MemoryGraph,
+    faulty_edges: Vec<FaultyEdge>,
+}
+
+impl PatternGraph {
+    /// Builds the pattern graph of a fault list.
+    ///
+    /// The number of cells is the largest cell count required by any fault of the
+    /// list (at least 2, matching the paper's `G0`); every fault is instantiated on
+    /// the canonical assignment `a1 = 0, a2 = 1, v = last` used throughout the
+    /// paper's examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerationError::EmptyFaultList`] for an empty list and propagates
+    /// [`MemoryGraph::new`] errors.
+    pub fn from_fault_list(list: &FaultList) -> Result<PatternGraph, GenerationError> {
+        if list.is_empty() {
+            return Err(GenerationError::EmptyFaultList);
+        }
+        let cells = list.max_cells().max(2);
+        let graph = MemoryGraph::new(cells)?;
+        let mut builder = EdgeBuilder::new(graph.clone());
+
+        for (index, primitive) in list.simple().iter().enumerate() {
+            let placement = canonical_simple_placement(primitive, cells);
+            let afp = AddressedFaultPrimitive::instantiate(primitive, placement)
+                .expect("canonical placements match the primitive shape");
+            builder.add_pattern(&TestPattern::new(afp), index, false, 0, None);
+        }
+
+        for (index, fault) in list.linked().iter().enumerate() {
+            let (first_placement, second_placement) = canonical_linked_placements(fault, cells);
+            let first = AddressedFaultPrimitive::instantiate(fault.first(), first_placement)
+                .expect("canonical placements match the primitive shape");
+            let second = AddressedFaultPrimitive::instantiate(fault.second(), second_placement)
+                .expect("canonical placements match the primitive shape");
+            let first_ids =
+                builder.add_pattern(&TestPattern::new(first), index, true, 0, None);
+            let second_ids =
+                builder.add_pattern(&TestPattern::new(second), index, true, 1, first_ids.first().copied());
+            // Cross-link the first edges of each component so callers can navigate
+            // from FP1's edge to FP2's edge and back.
+            if let (Some(&first_id), Some(&second_id)) = (first_ids.first(), second_ids.first()) {
+                builder.edges[first_id].partner = Some(second_id);
+            }
+        }
+
+        Ok(PatternGraph {
+            graph,
+            faulty_edges: builder.edges,
+        })
+    }
+
+    /// The underlying fault-free memory graph (`Ep`).
+    #[must_use]
+    pub fn graph(&self) -> &MemoryGraph {
+        &self.graph
+    }
+
+    /// The faulty edges (`Fp`).
+    #[must_use]
+    pub fn faulty_edges(&self) -> &[FaultyEdge] {
+        &self.faulty_edges
+    }
+
+    /// Number of vertices of the pattern graph (`|Vp| = 2^cells`).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.graph.state_count()
+    }
+
+    /// The faulty edges whose sensitizing operation targets `cell` (the
+    /// SO-compatibility pre-filter of Definition 13).
+    #[must_use]
+    pub fn edges_on_cell(&self, cell: usize) -> Vec<&FaultyEdge> {
+        self.faulty_edges
+            .iter()
+            .filter(|edge| edge.cell == Some(cell))
+            .collect()
+    }
+}
+
+struct EdgeBuilder {
+    graph: MemoryGraph,
+    edges: Vec<FaultyEdge>,
+}
+
+impl EdgeBuilder {
+    fn new(graph: MemoryGraph) -> EdgeBuilder {
+        EdgeBuilder {
+            graph,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the faulty edges of one test pattern (one per concrete expansion of the
+    /// pattern's initial state) and returns their identifiers.
+    fn add_pattern(
+        &mut self,
+        pattern: &TestPattern,
+        fault_index: usize,
+        is_linked: bool,
+        component: usize,
+        partner: Option<usize>,
+    ) -> Vec<usize> {
+        let afp = pattern.afp();
+        let victim = afp.victim();
+        let fault_value = afp.primitive().fault_value().to_bit();
+        let mut ids = Vec::new();
+
+        for from in self.graph.states_matching(afp.initial()) {
+            let mut to_bits = self.graph.state_bits(from);
+            if let Some(op) = afp.operations().first() {
+                let before = to_bits[op.cell()];
+                to_bits[op.cell()] = op.operation().fault_free_result(before);
+            }
+            if let Some(value) = fault_value {
+                to_bits[victim] = value;
+            }
+            let to = self.graph.state_of(&to_bits);
+            let id = self.edges.len();
+            self.edges.push(FaultyEdge {
+                id,
+                fault_index,
+                is_linked,
+                component,
+                from,
+                to,
+                cell: afp.operations().first().map(|op| op.cell()),
+                operation: afp.operations().first().map(|op| op.operation()),
+                observe_cell: victim,
+                observe_expected: afp.observe_expected(),
+                partner,
+            });
+            ids.push(id);
+        }
+        ids
+    }
+}
+
+fn canonical_simple_placement(primitive: &FaultPrimitive, cells: usize) -> Placement {
+    if primitive.is_coupling() {
+        Placement::coupling(0, cells - 1, cells).expect("canonical coupling placement is valid")
+    } else {
+        Placement::single_cell(cells - 1, cells).expect("canonical single placement is valid")
+    }
+}
+
+fn canonical_linked_placements(fault: &LinkedFault, cells: usize) -> (Placement, Placement) {
+    let victim = cells - 1;
+    let single = Placement::single_cell(victim, cells).expect("canonical placement is valid");
+    let coupling_first =
+        Placement::coupling(0, victim, cells).expect("canonical placement is valid");
+    match fault.topology() {
+        LinkTopology::Lf1 => (single, single),
+        LinkTopology::Lf2CouplingThenSingle => (coupling_first, single),
+        LinkTopology::Lf2SingleThenCoupling => (single, coupling_first),
+        LinkTopology::Lf2SharedAggressor => (coupling_first, coupling_first),
+        LinkTopology::Lf3 => (
+            coupling_first,
+            Placement::coupling(1, victim, cells).expect("canonical placement is valid"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_fault_model::{FaultListBuilder, Ffm};
+
+    fn cfds(notation: &str) -> FaultPrimitive {
+        Ffm::DisturbCoupling
+            .fault_primitives()
+            .into_iter()
+            .find(|fp| fp.notation() == notation)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_list_is_rejected() {
+        let list = FaultList::new("empty");
+        assert_eq!(
+            PatternGraph::from_fault_list(&list).unwrap_err(),
+            GenerationError::EmptyFaultList
+        );
+    }
+
+    #[test]
+    fn figure_4_pattern_graph() {
+        // <0w1;0/1/-> → <1w0;1/0/-> on two cells (shared aggressor i, victim j).
+        let lf = LinkedFault::link(
+            cfds("<0w1;0/1/->"),
+            cfds("<1w0;1/0/->"),
+            LinkTopology::Lf2SharedAggressor,
+        )
+        .unwrap();
+        let list = FaultListBuilder::new("PGcf").linked(lf).build().unwrap();
+        let pg = PatternGraph::from_fault_list(&list).unwrap();
+
+        assert_eq!(pg.vertex_count(), 4);
+        assert_eq!(pg.faulty_edges().len(), 2);
+
+        // FP1: from 00, w1 on the aggressor (cell 0) → faulty state 11.
+        let first = &pg.faulty_edges()[0];
+        assert_eq!(first.from, 0b00);
+        assert_eq!(first.to, 0b11);
+        assert_eq!(first.cell, Some(0));
+        assert_eq!(first.operation, Some(Operation::W1));
+        assert_eq!(first.observe_cell, 1);
+        assert_eq!(first.observe_expected, Some(Bit::Zero));
+        assert_eq!(first.partner, Some(1));
+
+        // FP2: from 11, w0 on the aggressor → faulty state 00.
+        let second = &pg.faulty_edges()[1];
+        assert_eq!(second.from, 0b11);
+        assert_eq!(second.to, 0b00);
+        assert_eq!(second.operation, Some(Operation::W0));
+        assert_eq!(second.partner, Some(0));
+        assert!(second.is_linked);
+    }
+
+    #[test]
+    fn dont_care_initial_states_expand() {
+        // A single-cell transition fault in a 2-cell graph: the untouched cell is a
+        // don't care, so the pattern expands into two faulty edges.
+        let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+        let list = FaultListBuilder::new("tf").simple(tf).build().unwrap();
+        let pg = PatternGraph::from_fault_list(&list).unwrap();
+        assert_eq!(pg.faulty_edges().len(), 2);
+        assert!(pg.faulty_edges().iter().all(|edge| !edge.is_linked));
+    }
+
+    #[test]
+    fn three_cell_lists_use_eight_vertices() {
+        let list = FaultList::list_1();
+        let pg = PatternGraph::from_fault_list(&list).unwrap();
+        assert_eq!(pg.vertex_count(), 8);
+        assert!(pg.faulty_edges().len() >= 2 * list.linked().len());
+        // Every linked fault contributes edges for both of its components.
+        assert!(pg.faulty_edges().iter().any(|edge| edge.component == 1));
+    }
+
+    #[test]
+    fn edges_on_cell_filters_by_sensitizing_cell() {
+        let list = FaultList::list_2();
+        let pg = PatternGraph::from_fault_list(&list).unwrap();
+        // Fault list #2 is single-cell; the canonical victim is the last cell.
+        let victim = pg.graph().cells() - 1;
+        assert!(!pg.edges_on_cell(victim).is_empty());
+        assert!(pg.edges_on_cell(0).is_empty());
+        for edge in pg.faulty_edges() {
+            assert!(!edge.to_string().is_empty());
+        }
+    }
+}

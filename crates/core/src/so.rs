@@ -1,0 +1,172 @@
+//! Sequences of operations (Definitions 9–13 of the paper).
+
+use std::fmt;
+
+use march_test::{AddressOrder, MarchElement, ParseMarchError};
+use sram_fault_model::Operation;
+
+/// A *valid* Sequence of Operations (SO): a sequence of memory operations all bound
+/// to the same cell address (its *address specification*, Definition 12).
+///
+/// A valid SO translates directly into a march element (Definition 10): the
+/// operations are applied to every cell, and the address order is fixed by the
+/// address specification — operations bound to the lowest-address cell (`i` in the
+/// paper's 2-cell model) become an ascending element `⇑`, operations bound to the
+/// highest-address cell (`j`) become a descending element `⇓`.
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::SequenceOfOperations;
+/// use march_test::AddressOrder;
+/// use sram_fault_model::Operation;
+///
+/// let mut so = SequenceOfOperations::new(0);
+/// so.push(Operation::R0);
+/// so.push(Operation::W1);
+/// let element = so.to_march_element(2)?;
+/// assert_eq!(element.order(), AddressOrder::Ascending);
+/// assert_eq!(element.to_string(), "⇑(r0,w1)");
+/// # Ok::<(), march_test::ParseMarchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SequenceOfOperations {
+    address_spec: usize,
+    operations: Vec<Operation>,
+}
+
+impl SequenceOfOperations {
+    /// Creates an empty sequence with the given address specification.
+    #[must_use]
+    pub fn new(address_spec: usize) -> SequenceOfOperations {
+        SequenceOfOperations {
+            address_spec,
+            operations: Vec::new(),
+        }
+    }
+
+    /// Creates a sequence from an address specification and operations.
+    #[must_use]
+    pub fn with_operations(address_spec: usize, operations: Vec<Operation>) -> SequenceOfOperations {
+        SequenceOfOperations {
+            address_spec,
+            operations,
+        }
+    }
+
+    /// The cell address every operation of the sequence is bound to
+    /// (Definition 12).
+    #[must_use]
+    pub fn address_spec(&self) -> usize {
+        self.address_spec
+    }
+
+    /// The operations of the sequence.
+    #[must_use]
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Returns `true` if the sequence contains no operation yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Appends an operation (the operation is bound to the address specification,
+    /// so the sequence remains valid by construction — Definition 11).
+    pub fn push(&mut self, operation: Operation) {
+        self.operations.push(operation);
+    }
+
+    /// Returns `true` if another operation bound to cell `cell` could join this
+    /// sequence without violating the single-address constraint of Definition 11.
+    #[must_use]
+    pub fn accepts_cell(&self, cell: usize) -> bool {
+        self.address_spec == cell
+    }
+
+    /// The address order the derived march element must use, following the paper's
+    /// rule for a memory of `cells` cells: the lowest address maps to `⇑`, the
+    /// highest to `⇓`; intermediate addresses (possible only for 3-cell pattern
+    /// graphs) default to `⇑`.
+    #[must_use]
+    pub fn address_order(&self, cells: usize) -> AddressOrder {
+        if cells > 0 && self.address_spec == cells - 1 {
+            AddressOrder::Descending
+        } else {
+            AddressOrder::Ascending
+        }
+    }
+
+    /// Translates the sequence into a march element by removing the address
+    /// specification and attaching the address order (Section 5 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMarchError::EmptyElement`] if the sequence is empty.
+    pub fn to_march_element(&self, cells: usize) -> Result<MarchElement, ParseMarchError> {
+        MarchElement::new(self.address_order(cells), self.operations.clone())
+    }
+}
+
+impl fmt::Display for SequenceOfOperations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SO[{}](", self.address_spec)?;
+        for (index, op) in self.operations.iter().enumerate() {
+            if index > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let mut so = SequenceOfOperations::new(1);
+        assert!(so.is_empty());
+        so.push(Operation::R1);
+        so.push(Operation::W0);
+        assert_eq!(so.len(), 2);
+        assert_eq!(so.address_spec(), 1);
+        assert_eq!(so.operations(), &[Operation::R1, Operation::W0]);
+        assert!(so.accepts_cell(1));
+        assert!(!so.accepts_cell(0));
+        assert_eq!(so.to_string(), "SO[1](r1,w0)");
+    }
+
+    #[test]
+    fn address_order_rule() {
+        // 2-cell model: cell i (0) → ⇑, cell j (1) → ⇓, per the paper.
+        let on_i = SequenceOfOperations::with_operations(0, vec![Operation::R0]);
+        let on_j = SequenceOfOperations::with_operations(1, vec![Operation::R0]);
+        assert_eq!(on_i.address_order(2), AddressOrder::Ascending);
+        assert_eq!(on_j.address_order(2), AddressOrder::Descending);
+        // 3-cell model: the middle cell defaults to ⇑, the last to ⇓.
+        let on_mid = SequenceOfOperations::with_operations(1, vec![Operation::R0]);
+        assert_eq!(on_mid.address_order(3), AddressOrder::Ascending);
+        let on_last = SequenceOfOperations::with_operations(2, vec![Operation::R0]);
+        assert_eq!(on_last.address_order(3), AddressOrder::Descending);
+    }
+
+    #[test]
+    fn march_element_translation() {
+        let so = SequenceOfOperations::with_operations(1, vec![Operation::R1, Operation::W0]);
+        let element = so.to_march_element(2).unwrap();
+        assert_eq!(element.to_string(), "⇓(r1,w0)");
+        let empty = SequenceOfOperations::new(0);
+        assert!(empty.to_march_element(2).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulator-backed verification of march tests (the paper's Section 6 validation
+//! step).
+
+use march_test::MarchTest;
+use sram_fault_model::FaultList;
+use sram_sim::{measure_coverage, CoverageConfig, CoverageReport};
+
+/// Verifies `test` against `list` by fault simulation and returns the coverage
+/// report.
+///
+/// This is a thin, re-exported wrapper over [`sram_sim::measure_coverage`] so that
+/// users of the generator crate can validate any march test — generated or taken
+/// from the [`march_test::catalog`] — without depending on the simulator crate
+/// directly, mirroring how the paper validates every generated test with its
+/// in-house fault simulator.
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::verify;
+/// use march_test::catalog;
+/// use sram_fault_model::FaultList;
+/// use sram_sim::CoverageConfig;
+///
+/// let report = verify(
+///     &catalog::march_abl1(),
+///     &FaultList::list_2(),
+///     &CoverageConfig::thorough(),
+/// );
+/// assert!(report.is_complete());
+/// ```
+#[must_use]
+pub fn verify(test: &MarchTest, list: &FaultList, config: &CoverageConfig) -> CoverageReport {
+    measure_coverage(test, list, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+
+    #[test]
+    fn verification_matches_direct_measurement() {
+        let list = FaultList::list_2();
+        let config = CoverageConfig::default();
+        let ours = verify(&catalog::march_c_minus(), &list, &config);
+        let direct = measure_coverage(&catalog::march_c_minus(), &list, &config);
+        assert_eq!(ours.covered(), direct.covered());
+        assert_eq!(ours.total(), direct.total());
+    }
+
+    #[test]
+    fn march_sl_covers_the_single_cell_linked_faults() {
+        let report = verify(
+            &catalog::march_sl(),
+            &FaultList::list_2(),
+            &CoverageConfig::thorough(),
+        );
+        assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    }
+}

@@ -1,0 +1,455 @@
+//! Addressed Fault Primitives (Definition 4 of the paper).
+
+use std::fmt;
+
+use crate::{
+    Bit, CellValue, FaultModelError, FaultPrimitive, MemoryState, Operation, SensitizingSite,
+};
+
+/// A memory operation bound to a concrete cell address.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{AddressedOperation, Operation};
+///
+/// let op = AddressedOperation::new(2, Operation::W1);
+/// assert_eq!(op.to_string(), "w1[2]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressedOperation {
+    cell: usize,
+    operation: Operation,
+}
+
+impl AddressedOperation {
+    /// Binds `operation` to the cell at address `cell`.
+    #[must_use]
+    pub const fn new(cell: usize, operation: Operation) -> AddressedOperation {
+        AddressedOperation { cell, operation }
+    }
+
+    /// The target cell address.
+    #[must_use]
+    pub const fn cell(&self) -> usize {
+        self.cell
+    }
+
+    /// The operation applied to the cell.
+    #[must_use]
+    pub const fn operation(&self) -> Operation {
+        self.operation
+    }
+}
+
+impl fmt::Display for AddressedOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.operation, self.cell)
+    }
+}
+
+/// The assignment of a fault primitive's cells to concrete addresses of an
+/// `n`-cell memory.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::Placement;
+///
+/// let single = Placement::single_cell(1, 4)?;
+/// assert_eq!(single.victim(), 1);
+/// assert_eq!(single.aggressor(), None);
+///
+/// let pair = Placement::coupling(0, 3, 4)?;
+/// assert_eq!(pair.aggressor(), Some(0));
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    cells: usize,
+    aggressor: Option<usize>,
+    victim: usize,
+}
+
+impl Placement {
+    /// A placement for a single-cell fault primitive on the cell `victim` of a
+    /// memory with `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::AddressOutOfRange`] if `victim >= cells`.
+    pub fn single_cell(victim: usize, cells: usize) -> Result<Placement, FaultModelError> {
+        if victim >= cells {
+            return Err(FaultModelError::AddressOutOfRange {
+                address: victim,
+                cells,
+            });
+        }
+        Ok(Placement {
+            cells,
+            aggressor: None,
+            victim,
+        })
+    }
+
+    /// A placement for a coupling fault primitive with the given `aggressor` and
+    /// `victim` addresses on a memory with `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultModelError::AddressOutOfRange`] if either address is out of range;
+    /// * [`FaultModelError::AggressorEqualsVictim`] if the two addresses coincide.
+    pub fn coupling(
+        aggressor: usize,
+        victim: usize,
+        cells: usize,
+    ) -> Result<Placement, FaultModelError> {
+        for address in [aggressor, victim] {
+            if address >= cells {
+                return Err(FaultModelError::AddressOutOfRange { address, cells });
+            }
+        }
+        if aggressor == victim {
+            return Err(FaultModelError::AggressorEqualsVictim { address: victim });
+        }
+        Ok(Placement {
+            cells,
+            aggressor: Some(aggressor),
+            victim,
+        })
+    }
+
+    /// The number of cells of the memory the placement refers to.
+    #[must_use]
+    pub const fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The aggressor address, if the placement is for a coupling primitive.
+    #[must_use]
+    pub const fn aggressor(&self) -> Option<usize> {
+        self.aggressor
+    }
+
+    /// The victim address.
+    #[must_use]
+    pub const fn victim(&self) -> usize {
+        self.victim
+    }
+
+    /// Returns `true` if the aggressor sits at a lower address than the victim
+    /// (`a < v`); `false` for `a > v`; `None` for single-cell placements.
+    #[must_use]
+    pub fn aggressor_below_victim(&self) -> Option<bool> {
+        self.aggressor.map(|aggressor| aggressor < self.victim)
+    }
+}
+
+/// An Addressed Fault Primitive `AFP = (I, Es, Fv, Gv)` (Definition 4).
+///
+/// An AFP is a [`FaultPrimitive`] instantiated on concrete cell addresses of an
+/// `n`-cell memory: `I` is the initial memory state, `Es` the sensitizing
+/// operations (with their addresses), `Fv` the state reached by the *faulty*
+/// memory and `Gv` the state reached by the *fault-free* memory.
+///
+/// # Examples
+///
+/// The paper's running example: `<0w1; 0 / 1 / ->` instantiated on a 2-cell memory
+/// with aggressor 0 and victim 1 yields `AFP = (00, w1[0], 11, 10)`
+/// (cell 0 listed first):
+///
+/// ```
+/// use sram_fault_model::{AddressedFaultPrimitive, Ffm, Placement};
+///
+/// let cfds = Ffm::DisturbCoupling
+///     .fault_primitives()
+///     .into_iter()
+///     .find(|fp| fp.notation() == "<0w1;0/1/->")
+///     .expect("present in the realistic list");
+/// let afp = AddressedFaultPrimitive::instantiate(&cfds, Placement::coupling(0, 1, 2)?)?;
+/// assert_eq!(afp.initial().to_string(), "00");
+/// assert_eq!(afp.faulty().to_string(), "11");
+/// assert_eq!(afp.expected().to_string(), "10");
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressedFaultPrimitive {
+    primitive: FaultPrimitive,
+    placement: Placement,
+    initial: MemoryState,
+    operations: Vec<AddressedOperation>,
+    faulty: MemoryState,
+    expected: MemoryState,
+}
+
+impl AddressedFaultPrimitive {
+    /// Instantiates `primitive` on the addresses given by `placement`.
+    ///
+    /// Cells not involved in the primitive are left unconstrained (`-`) in `I`,
+    /// `Fv` and `Gv`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultModelError::MissingAggressor`] if a coupling primitive is
+    ///   instantiated with a single-cell placement;
+    /// * [`FaultModelError::UnexpectedAggressor`] if a single-cell primitive is
+    ///   instantiated with a coupling placement.
+    pub fn instantiate(
+        primitive: &FaultPrimitive,
+        placement: Placement,
+    ) -> Result<AddressedFaultPrimitive, FaultModelError> {
+        match (primitive.is_coupling(), placement.aggressor()) {
+            (true, None) => return Err(FaultModelError::MissingAggressor),
+            (false, Some(_)) => return Err(FaultModelError::UnexpectedAggressor),
+            _ => {}
+        }
+
+        let cells = placement.cells();
+        let mut initial = MemoryState::unconstrained(cells);
+        initial.set(placement.victim(), primitive.victim().initial());
+        if let (Some(aggressor_address), Some(aggressor)) =
+            (placement.aggressor(), primitive.aggressor())
+        {
+            initial.set(aggressor_address, aggressor.initial());
+        }
+
+        let operations = match primitive.sensitizing_site() {
+            SensitizingSite::Victim => vec![AddressedOperation::new(
+                placement.victim(),
+                primitive
+                    .sensitizing_operation()
+                    .expect("victim site implies an operation"),
+            )],
+            SensitizingSite::Aggressor => vec![AddressedOperation::new(
+                placement
+                    .aggressor()
+                    .expect("aggressor site implies a coupling placement"),
+                primitive
+                    .sensitizing_operation()
+                    .expect("aggressor site implies an operation"),
+            )],
+            SensitizingSite::None => Vec::new(),
+        };
+
+        // Gv: the state reached by a fault-free memory.
+        let mut expected = initial.clone();
+        for op in &operations {
+            let before = expected
+                .get(op.cell())
+                .expect("operation addresses are in range");
+            let after = match op.operation() {
+                Operation::Write(bit) => CellValue::from(bit),
+                Operation::Read(_) | Operation::Wait => before,
+            };
+            expected.set(op.cell(), after);
+        }
+
+        // Fv: like Gv, but the victim cell holds the fault value F (when concrete).
+        let mut faulty = expected.clone();
+        if let Some(fault_value) = primitive.fault_value().to_bit() {
+            faulty.set(placement.victim(), CellValue::from(fault_value));
+        }
+
+        Ok(AddressedFaultPrimitive {
+            primitive: primitive.clone(),
+            placement,
+            initial,
+            operations,
+            faulty,
+            expected,
+        })
+    }
+
+    /// The fault primitive this AFP instantiates.
+    #[must_use]
+    pub fn primitive(&self) -> &FaultPrimitive {
+        &self.primitive
+    }
+
+    /// The address assignment.
+    #[must_use]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The initial memory state `I`.
+    #[must_use]
+    pub fn initial(&self) -> &MemoryState {
+        &self.initial
+    }
+
+    /// The sensitizing operations `Es` with their addresses.
+    #[must_use]
+    pub fn operations(&self) -> &[AddressedOperation] {
+        &self.operations
+    }
+
+    /// The state reached by the faulty memory, `Fv`.
+    #[must_use]
+    pub fn faulty(&self) -> &MemoryState {
+        &self.faulty
+    }
+
+    /// The state reached by the fault-free memory, `Gv`.
+    #[must_use]
+    pub fn expected(&self) -> &MemoryState {
+        &self.expected
+    }
+
+    /// The victim cell address.
+    #[must_use]
+    pub fn victim(&self) -> usize {
+        self.placement.victim()
+    }
+
+    /// The aggressor cell address, if any.
+    #[must_use]
+    pub fn aggressor(&self) -> Option<usize> {
+        self.placement.aggressor()
+    }
+
+    /// The value held by the victim cell in the faulty state `Fv`
+    /// (the `V(Fv)` function of Definition 7).
+    #[must_use]
+    pub fn victim_faulty_value(&self) -> CellValue {
+        self.faulty[self.victim()]
+    }
+
+    /// The value held by the victim cell in the fault-free state `Gv`.
+    #[must_use]
+    pub fn victim_expected_value(&self) -> CellValue {
+        self.expected[self.victim()]
+    }
+
+    /// The value the observing read of the derived test pattern expects, i.e. the
+    /// fault-free victim value after sensitization, if known.
+    #[must_use]
+    pub fn observe_expected(&self) -> Option<Bit> {
+        self.victim_expected_value().to_bit()
+    }
+}
+
+impl fmt::Display for AddressedFaultPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, ", self.initial)?;
+        if self.operations.is_empty() {
+            write!(f, "-")?;
+        } else {
+            for (index, op) in self.operations.iter().enumerate() {
+                if index > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{op}")?;
+            }
+        }
+        write!(f, ", {}, {})", self.faulty, self.expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ffm;
+
+    fn find_primitive(ffm: Ffm, notation: &str) -> FaultPrimitive {
+        ffm.fault_primitives()
+            .into_iter()
+            .find(|fp| fp.notation() == notation)
+            .unwrap_or_else(|| panic!("primitive {notation} not found in {ffm}"))
+    }
+
+    #[test]
+    fn placement_validation() {
+        assert!(Placement::single_cell(3, 4).is_ok());
+        assert!(matches!(
+            Placement::single_cell(4, 4),
+            Err(FaultModelError::AddressOutOfRange { .. })
+        ));
+        assert!(Placement::coupling(0, 3, 4).is_ok());
+        assert!(matches!(
+            Placement::coupling(2, 2, 4),
+            Err(FaultModelError::AggressorEqualsVictim { .. })
+        ));
+        assert!(matches!(
+            Placement::coupling(5, 1, 4),
+            Err(FaultModelError::AddressOutOfRange { .. })
+        ));
+        assert_eq!(Placement::coupling(0, 3, 4).unwrap().aggressor_below_victim(), Some(true));
+        assert_eq!(Placement::coupling(3, 0, 4).unwrap().aggressor_below_victim(), Some(false));
+        assert_eq!(Placement::single_cell(0, 4).unwrap().aggressor_below_victim(), None);
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // <0w1; 0/1/-> on 2 cells, aggressor 0 → AFP1 = (00, w1[0], 11, 10).
+        let cfds = find_primitive(Ffm::DisturbCoupling, "<0w1;0/1/->");
+        let afp1 =
+            AddressedFaultPrimitive::instantiate(&cfds, Placement::coupling(0, 1, 2).unwrap())
+                .unwrap();
+        assert_eq!(afp1.initial().to_string(), "00");
+        assert_eq!(afp1.faulty().to_string(), "11");
+        assert_eq!(afp1.expected().to_string(), "10");
+        assert_eq!(afp1.operations().len(), 1);
+        assert_eq!(afp1.operations()[0].cell(), 0);
+
+        // Aggressor 1 instead → AFP2 = (00, w1[1], 11, 01).
+        let afp2 =
+            AddressedFaultPrimitive::instantiate(&cfds, Placement::coupling(1, 0, 2).unwrap())
+                .unwrap();
+        assert_eq!(afp2.initial().to_string(), "00");
+        assert_eq!(afp2.faulty().to_string(), "11");
+        assert_eq!(afp2.expected().to_string(), "10".chars().rev().collect::<String>());
+    }
+
+    #[test]
+    fn single_cell_instantiation() {
+        // TF <0w1/0/-> on cell 2 of a 3-cell memory.
+        let tf = find_primitive(Ffm::TransitionFault, "<0w1/0/->");
+        let afp =
+            AddressedFaultPrimitive::instantiate(&tf, Placement::single_cell(2, 3).unwrap())
+                .unwrap();
+        assert_eq!(afp.initial().to_string(), "--0");
+        assert_eq!(afp.expected().to_string(), "--1");
+        assert_eq!(afp.faulty().to_string(), "--0");
+        assert_eq!(afp.victim_faulty_value(), CellValue::Zero);
+        assert_eq!(afp.victim_expected_value(), CellValue::One);
+        assert_eq!(afp.observe_expected(), Some(Bit::One));
+    }
+
+    #[test]
+    fn state_fault_has_no_operations() {
+        let sf = find_primitive(Ffm::StateFault, "<0/1/->");
+        let afp =
+            AddressedFaultPrimitive::instantiate(&sf, Placement::single_cell(0, 2).unwrap())
+                .unwrap();
+        assert!(afp.operations().is_empty());
+        assert_eq!(afp.initial().to_string(), "0-");
+        assert_eq!(afp.faulty().to_string(), "1-");
+        assert_eq!(afp.expected().to_string(), "0-");
+    }
+
+    #[test]
+    fn mismatched_placements_are_rejected() {
+        let tf = find_primitive(Ffm::TransitionFault, "<0w1/0/->");
+        let cfds = find_primitive(Ffm::DisturbCoupling, "<0w1;0/1/->");
+        assert_eq!(
+            AddressedFaultPrimitive::instantiate(&tf, Placement::coupling(0, 1, 2).unwrap())
+                .unwrap_err(),
+            FaultModelError::UnexpectedAggressor
+        );
+        assert_eq!(
+            AddressedFaultPrimitive::instantiate(&cfds, Placement::single_cell(0, 2).unwrap())
+                .unwrap_err(),
+            FaultModelError::MissingAggressor
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_tuple_shape() {
+        let cfds = find_primitive(Ffm::DisturbCoupling, "<0w1;0/1/->");
+        let afp =
+            AddressedFaultPrimitive::instantiate(&cfds, Placement::coupling(0, 1, 2).unwrap())
+                .unwrap();
+        assert_eq!(afp.to_string(), "(00, w1[0], 11, 10)");
+    }
+}

@@ -1,0 +1,185 @@
+//! The binary value stored in a memory cell.
+
+use std::fmt;
+use std::ops::Not;
+use std::str::FromStr;
+
+use crate::FaultModelError;
+
+/// A concrete binary value stored in (or written to / read from) an SRAM cell.
+///
+/// `Bit` is the "data" half of the alphabet of Definition 2 of the paper: write
+/// operations carry a `Bit`, reads optionally carry the `Bit` they are expected to
+/// return on a fault-free memory.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::Bit;
+///
+/// assert_eq!(!Bit::Zero, Bit::One);
+/// assert_eq!(Bit::from(true), Bit::One);
+/// assert_eq!(Bit::One.to_char(), '1');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Bit {
+    /// Logic `0`.
+    #[default]
+    Zero,
+    /// Logic `1`.
+    One,
+}
+
+impl Bit {
+    /// Both bit values, in ascending order.
+    pub const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// Returns the complemented value.
+    ///
+    /// ```
+    /// use sram_fault_model::Bit;
+    /// assert_eq!(Bit::Zero.flipped(), Bit::One);
+    /// ```
+    #[must_use]
+    pub const fn flipped(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// Returns the value as `0` or `1`.
+    #[must_use]
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+
+    /// Returns `true` for [`Bit::One`].
+    #[must_use]
+    pub const fn is_one(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// Returns `true` for [`Bit::Zero`].
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Bit::Zero)
+    }
+
+    /// Returns the character representation, `'0'` or `'1'`.
+    #[must_use]
+    pub const fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+        }
+    }
+
+    /// Parses a single character into a bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::ParseBit`] if the character is not `'0'` or `'1'`.
+    pub fn from_char(c: char) -> Result<Bit, FaultModelError> {
+        match c {
+            '0' => Ok(Bit::Zero),
+            '1' => Ok(Bit::One),
+            other => Err(FaultModelError::ParseBit(other.to_string())),
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    fn not(self) -> Bit {
+        self.flipped()
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(value: bool) -> Self {
+        if value {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(value: Bit) -> Self {
+        value.is_one()
+    }
+}
+
+impl From<Bit> for u8 {
+    fn from(value: Bit) -> Self {
+        value.as_u8()
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl FromStr for Bit {
+    type Err = FaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "0" => Ok(Bit::Zero),
+            "1" => Ok(Bit::One),
+            other => Err(FaultModelError::ParseBit(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipping_is_involutive() {
+        for bit in Bit::ALL {
+            assert_eq!(bit.flipped().flipped(), bit);
+            assert_eq!(!!bit, bit);
+        }
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert!(bool::from(Bit::One));
+        assert!(!bool::from(Bit::Zero));
+        assert_eq!(u8::from(Bit::One), 1);
+        assert_eq!(u8::from(Bit::Zero), 0);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+        assert_eq!("0".parse::<Bit>().unwrap(), Bit::Zero);
+        assert_eq!(" 1 ".parse::<Bit>().unwrap(), Bit::One);
+        assert!("x".parse::<Bit>().is_err());
+        assert_eq!(Bit::from_char('1').unwrap(), Bit::One);
+        assert!(Bit::from_char('-').is_err());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn ordering_places_zero_first() {
+        assert!(Bit::Zero < Bit::One);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cell states including the "don't care" condition of the fault-primitive notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Bit, FaultModelError};
+
+/// The state of a memory cell as used in fault-primitive conditions.
+///
+/// This is the set `C` of Definition 1 of the paper: a cell is either in a known
+/// state (`0` or `1`) or the condition does not constrain it (`-`, *don't care*).
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, CellValue};
+///
+/// assert!(CellValue::DontCare.matches(Bit::One));
+/// assert!(CellValue::Zero.matches(Bit::Zero));
+/// assert!(!CellValue::Zero.matches(Bit::One));
+/// assert_eq!(CellValue::from(Bit::One).to_bit(), Some(Bit::One));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum CellValue {
+    /// The cell holds logic `0`.
+    Zero,
+    /// The cell holds logic `1`.
+    One,
+    /// The cell state is unconstrained (`-` in the fault-primitive notation).
+    #[default]
+    DontCare,
+}
+
+impl CellValue {
+    /// All three cell values.
+    pub const ALL: [CellValue; 3] = [CellValue::Zero, CellValue::One, CellValue::DontCare];
+
+    /// The two constrained values, `0` and `1`.
+    pub const KNOWN: [CellValue; 2] = [CellValue::Zero, CellValue::One];
+
+    /// Returns `true` if a cell holding `bit` satisfies this condition.
+    #[must_use]
+    pub const fn matches(self, bit: Bit) -> bool {
+        match self {
+            CellValue::Zero => matches!(bit, Bit::Zero),
+            CellValue::One => matches!(bit, Bit::One),
+            CellValue::DontCare => true,
+        }
+    }
+
+    /// Returns the concrete bit, or `None` for [`CellValue::DontCare`].
+    #[must_use]
+    pub const fn to_bit(self) -> Option<Bit> {
+        match self {
+            CellValue::Zero => Some(Bit::Zero),
+            CellValue::One => Some(Bit::One),
+            CellValue::DontCare => None,
+        }
+    }
+
+    /// Returns the concrete bit, substituting `default` for [`CellValue::DontCare`].
+    #[must_use]
+    pub const fn to_bit_or(self, default: Bit) -> Bit {
+        match self.to_bit() {
+            Some(bit) => bit,
+            None => default,
+        }
+    }
+
+    /// Returns `true` if the value is constrained (not [`CellValue::DontCare`]).
+    #[must_use]
+    pub const fn is_known(self) -> bool {
+        !matches!(self, CellValue::DontCare)
+    }
+
+    /// Complements a known value; [`CellValue::DontCare`] stays unconstrained.
+    #[must_use]
+    pub const fn flipped(self) -> CellValue {
+        match self {
+            CellValue::Zero => CellValue::One,
+            CellValue::One => CellValue::Zero,
+            CellValue::DontCare => CellValue::DontCare,
+        }
+    }
+
+    /// Returns `true` if the two conditions can be satisfied by the same bit.
+    ///
+    /// `DontCare` is compatible with everything; known values are compatible only
+    /// with themselves.
+    #[must_use]
+    pub const fn compatible(self, other: CellValue) -> bool {
+        match (self, other) {
+            (CellValue::DontCare, _) | (_, CellValue::DontCare) => true,
+            (CellValue::Zero, CellValue::Zero) | (CellValue::One, CellValue::One) => true,
+            _ => false,
+        }
+    }
+
+    /// Character representation: `'0'`, `'1'` or `'-'`.
+    #[must_use]
+    pub const fn to_char(self) -> char {
+        match self {
+            CellValue::Zero => '0',
+            CellValue::One => '1',
+            CellValue::DontCare => '-',
+        }
+    }
+
+    /// Parses a single character (`'0'`, `'1'`, `'-'` or `'x'`/`'X'`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::ParseCellValue`] for any other character.
+    pub fn from_char(c: char) -> Result<CellValue, FaultModelError> {
+        match c {
+            '0' => Ok(CellValue::Zero),
+            '1' => Ok(CellValue::One),
+            '-' | 'x' | 'X' => Ok(CellValue::DontCare),
+            other => Err(FaultModelError::ParseCellValue(other.to_string())),
+        }
+    }
+}
+
+impl From<Bit> for CellValue {
+    fn from(bit: Bit) -> Self {
+        match bit {
+            Bit::Zero => CellValue::Zero,
+            Bit::One => CellValue::One,
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl FromStr for CellValue {
+    type Err = FaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let mut chars = trimmed.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => CellValue::from_char(c),
+            _ => Err(FaultModelError::ParseCellValue(trimmed.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_semantics() {
+        assert!(CellValue::Zero.matches(Bit::Zero));
+        assert!(!CellValue::Zero.matches(Bit::One));
+        assert!(CellValue::One.matches(Bit::One));
+        assert!(!CellValue::One.matches(Bit::Zero));
+        assert!(CellValue::DontCare.matches(Bit::Zero));
+        assert!(CellValue::DontCare.matches(Bit::One));
+    }
+
+    #[test]
+    fn bit_conversion() {
+        assert_eq!(CellValue::Zero.to_bit(), Some(Bit::Zero));
+        assert_eq!(CellValue::One.to_bit(), Some(Bit::One));
+        assert_eq!(CellValue::DontCare.to_bit(), None);
+        assert_eq!(CellValue::DontCare.to_bit_or(Bit::One), Bit::One);
+        assert_eq!(CellValue::Zero.to_bit_or(Bit::One), Bit::Zero);
+        assert_eq!(CellValue::from(Bit::One), CellValue::One);
+    }
+
+    #[test]
+    fn flipping() {
+        assert_eq!(CellValue::Zero.flipped(), CellValue::One);
+        assert_eq!(CellValue::One.flipped(), CellValue::Zero);
+        assert_eq!(CellValue::DontCare.flipped(), CellValue::DontCare);
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in CellValue::ALL {
+            for b in CellValue::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+        assert!(CellValue::Zero.compatible(CellValue::DontCare));
+        assert!(!CellValue::Zero.compatible(CellValue::One));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(CellValue::DontCare.to_string(), "-");
+        assert_eq!("-".parse::<CellValue>().unwrap(), CellValue::DontCare);
+        assert_eq!("x".parse::<CellValue>().unwrap(), CellValue::DontCare);
+        assert_eq!("0".parse::<CellValue>().unwrap(), CellValue::Zero);
+        assert!("01".parse::<CellValue>().is_err());
+        assert!("q".parse::<CellValue>().is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Sensitizing conditions applied to a single cell.
+
+use std::fmt;
+
+use crate::{Bit, CellValue, FaultModelError, Operation};
+
+/// The sensitizing condition a fault primitive places on one of its cells.
+///
+/// In the `<S / F / R>` notation a condition is an initial state optionally followed
+/// by (for *static* faults, at most) one operation: `0`, `1`, `-`, `0w1`, `1r1`, …
+/// This type captures exactly that: an [`initial`](Condition::initial) cell value and
+/// an optional [`operation`](Condition::operation) applied to the same cell.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, CellValue, Condition, Operation};
+///
+/// // "0w1": the cell holds 0 and a w1 is applied to it.
+/// let c = Condition::with_operation(CellValue::Zero, Operation::W1);
+/// assert_eq!(c.to_string(), "0w1");
+/// assert!(c.operation().is_some());
+///
+/// // "1": the cell merely holds 1 (a pure state condition).
+/// let s = Condition::state(CellValue::One);
+/// assert!(s.operation().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Condition {
+    initial: CellValue,
+    operation: Option<Operation>,
+}
+
+impl Condition {
+    /// A pure state condition: the cell holds `initial`, no operation is applied.
+    #[must_use]
+    pub const fn state(initial: CellValue) -> Condition {
+        Condition {
+            initial,
+            operation: None,
+        }
+    }
+
+    /// A condition consisting of an initial state and one operation on the cell.
+    #[must_use]
+    pub const fn with_operation(initial: CellValue, operation: Operation) -> Condition {
+        Condition {
+            initial,
+            operation: Some(operation),
+        }
+    }
+
+    /// An unconstrained condition (`-`, no operation).
+    #[must_use]
+    pub const fn dont_care() -> Condition {
+        Condition::state(CellValue::DontCare)
+    }
+
+    /// The required initial value of the cell.
+    #[must_use]
+    pub const fn initial(&self) -> CellValue {
+        self.initial
+    }
+
+    /// The operation applied to the cell, if the condition contains one.
+    #[must_use]
+    pub const fn operation(&self) -> Option<Operation> {
+        self.operation
+    }
+
+    /// Number of operations in the condition (`0` or `1` for static faults).
+    #[must_use]
+    pub const fn operation_count(&self) -> usize {
+        if self.operation.is_some() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The value stored in the cell after the condition has been applied on a
+    /// fault-free memory, if it can be determined.
+    ///
+    /// For a pure state condition this is the initial value itself; for a condition
+    /// with a write it is the written value; for a read or wait it is the initial
+    /// value.
+    #[must_use]
+    pub fn fault_free_final(&self) -> CellValue {
+        match self.operation {
+            Some(Operation::Write(bit)) => CellValue::from(bit),
+            Some(Operation::Read(_)) | Some(Operation::Wait) | None => self.initial,
+        }
+    }
+
+    /// Returns `true` if a cell currently holding `bit` satisfies the initial-state
+    /// part of the condition.
+    #[must_use]
+    pub fn accepts_state(&self, bit: Bit) -> bool {
+        self.initial.matches(bit)
+    }
+
+    /// Returns `true` if `applied` (an operation performed on this cell) matches the
+    /// operation required by the condition. Pure state conditions match no operation.
+    #[must_use]
+    pub fn accepts_operation(&self, applied: Operation) -> bool {
+        self.operation.is_some_and(|required| required.matches(applied))
+    }
+
+    /// Parses the textual `<S>` form: `-`, `0`, `1`, `0w1`, `1r1`, `0r0`, `1t`…
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::ParseCondition`] when the string is not a valid
+    /// single-cell static condition.
+    pub fn parse(text: &str) -> Result<Condition, FaultModelError> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Err(FaultModelError::ParseCondition(text.to_string()));
+        }
+        let mut chars = trimmed.chars();
+        let first = chars.next().expect("non-empty after trim");
+        let initial = CellValue::from_char(first)
+            .map_err(|_| FaultModelError::ParseCondition(text.to_string()))?;
+        let rest: String = chars.collect();
+        if rest.is_empty() {
+            return Ok(Condition::state(initial));
+        }
+        let operation = rest
+            .parse::<Operation>()
+            .map_err(|_| FaultModelError::ParseCondition(text.to_string()))?;
+        Ok(Condition::with_operation(initial, operation))
+    }
+}
+
+impl Default for Condition {
+    fn default() -> Self {
+        Condition::dont_care()
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.initial)?;
+        if let Some(op) = self.operation {
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_final_state() {
+        let write = Condition::with_operation(CellValue::Zero, Operation::W1);
+        assert_eq!(write.fault_free_final(), CellValue::One);
+        let read = Condition::with_operation(CellValue::One, Operation::R1);
+        assert_eq!(read.fault_free_final(), CellValue::One);
+        let state = Condition::state(CellValue::Zero);
+        assert_eq!(state.fault_free_final(), CellValue::Zero);
+        let wait = Condition::with_operation(CellValue::One, Operation::Wait);
+        assert_eq!(wait.fault_free_final(), CellValue::One);
+    }
+
+    #[test]
+    fn acceptance() {
+        let c = Condition::with_operation(CellValue::Zero, Operation::W1);
+        assert!(c.accepts_state(Bit::Zero));
+        assert!(!c.accepts_state(Bit::One));
+        assert!(c.accepts_operation(Operation::W1));
+        assert!(!c.accepts_operation(Operation::W0));
+        let s = Condition::state(CellValue::One);
+        assert!(!s.accepts_operation(Operation::R1));
+        assert_eq!(s.operation_count(), 0);
+        assert_eq!(c.operation_count(), 1);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["0w1", "1w0", "0r0", "1r1", "0", "1", "-", "1t", "0r"] {
+            let parsed = Condition::parse(text).unwrap();
+            assert_eq!(parsed.to_string(), text, "round trip of {text}");
+        }
+        assert!(Condition::parse("").is_err());
+        assert!(Condition::parse("w1").is_err());
+        assert!(Condition::parse("0w2").is_err());
+    }
+
+    #[test]
+    fn default_is_dont_care() {
+        assert_eq!(Condition::default(), Condition::dont_care());
+        assert_eq!(Condition::default().to_string(), "-");
+    }
+}

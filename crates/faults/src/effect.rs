@@ -1,0 +1,122 @@
+//! The faulty behaviour part (`F / R`) of a fault primitive.
+
+use std::fmt;
+
+use crate::{Bit, CellValue};
+
+/// The observable effect of a sensitized fault primitive.
+///
+/// In the `<S / F / R>` notation:
+///
+/// * `F` is the value stored in the **victim** cell after sensitization
+///   ([`victim_value`](FaultEffect::victim_value); [`CellValue::DontCare`] means the
+///   stored value is not affected);
+/// * `R` is the value returned by the sensitizing **read** operation, if any
+///   ([`read_output`](FaultEffect::read_output)); `None` corresponds to `-` (the
+///   sensitizing operation is not a read, or the read returns the stored value).
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, CellValue, FaultEffect};
+///
+/// // A read-destructive fault: the cell flips to 1 and the read returns 1.
+/// let rdf = FaultEffect::with_read(CellValue::One, Bit::One);
+/// assert_eq!(rdf.to_string(), "1/1");
+///
+/// // A transition fault: the cell stays at 0, nothing is read.
+/// let tf = FaultEffect::store(CellValue::Zero);
+/// assert_eq!(tf.to_string(), "0/-");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEffect {
+    victim_value: CellValue,
+    read_output: Option<Bit>,
+}
+
+impl FaultEffect {
+    /// An effect that forces the victim cell to `victim_value` and has no read output.
+    #[must_use]
+    pub const fn store(victim_value: CellValue) -> FaultEffect {
+        FaultEffect {
+            victim_value,
+            read_output: None,
+        }
+    }
+
+    /// An effect that forces the victim cell to `victim_value` and makes the
+    /// sensitizing read return `read_output`.
+    #[must_use]
+    pub const fn with_read(victim_value: CellValue, read_output: Bit) -> FaultEffect {
+        FaultEffect {
+            victim_value,
+            read_output: Some(read_output),
+        }
+    }
+
+    /// The value forced into the victim cell (`F`).
+    #[must_use]
+    pub const fn victim_value(&self) -> CellValue {
+        self.victim_value
+    }
+
+    /// The value returned by the sensitizing read (`R`), if the fault corrupts it.
+    #[must_use]
+    pub const fn read_output(&self) -> Option<Bit> {
+        self.read_output
+    }
+
+    /// Returns `true` if the effect changes the stored value of a victim currently
+    /// holding `before`.
+    #[must_use]
+    pub fn changes_victim(&self, before: Bit) -> bool {
+        match self.victim_value.to_bit() {
+            Some(forced) => forced != before,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/", self.victim_value)?;
+        match self.read_output {
+            Some(bit) => write!(f, "{bit}"),
+            None => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = FaultEffect::with_read(CellValue::Zero, Bit::One);
+        assert_eq!(e.victim_value(), CellValue::Zero);
+        assert_eq!(e.read_output(), Some(Bit::One));
+        let s = FaultEffect::store(CellValue::One);
+        assert_eq!(s.read_output(), None);
+    }
+
+    #[test]
+    fn changes_victim() {
+        let flip_to_one = FaultEffect::store(CellValue::One);
+        assert!(flip_to_one.changes_victim(Bit::Zero));
+        assert!(!flip_to_one.changes_victim(Bit::One));
+        let unchanged = FaultEffect::store(CellValue::DontCare);
+        assert!(!unchanged.changes_victim(Bit::Zero));
+        assert!(!unchanged.changes_victim(Bit::One));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FaultEffect::store(CellValue::One).to_string(), "1/-");
+        assert_eq!(
+            FaultEffect::with_read(CellValue::Zero, Bit::Zero).to_string(),
+            "0/0"
+        );
+        assert_eq!(FaultEffect::store(CellValue::DontCare).to_string(), "-/-");
+    }
+}

@@ -1,0 +1,148 @@
+//! Error type shared by the fault-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing fault-model entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultModelError {
+    /// A string could not be parsed as a [`crate::Bit`].
+    ParseBit(String),
+    /// A string could not be parsed as a [`crate::CellValue`].
+    ParseCellValue(String),
+    /// A string could not be parsed as a [`crate::Operation`].
+    ParseOperation(String),
+    /// A string could not be parsed as a [`crate::Condition`].
+    ParseCondition(String),
+    /// A string could not be parsed as a [`crate::MemoryState`].
+    ParseMemoryState(String),
+    /// A fault primitive was declared static but carries more than one operation.
+    NotStatic {
+        /// Total number of sensitizing operations found.
+        operations: usize,
+    },
+    /// A coupling fault primitive is missing its aggressor condition.
+    MissingAggressor,
+    /// A single-cell fault primitive unexpectedly carries an aggressor condition.
+    UnexpectedAggressor,
+    /// The fault value `F` of a primitive is unconstrained where a concrete value is
+    /// required.
+    UnknownFaultValue,
+    /// A fault primitive declares a read output (`R`) but its sensitizing operation
+    /// is not a read.
+    ReadOutputWithoutRead,
+    /// Two fault primitives do not satisfy the linked-fault masking condition
+    /// `F2 = not(F1)`.
+    MaskMismatch,
+    /// The second fault primitive of a linked fault cannot be sensitized in the state
+    /// left behind by the first one.
+    StateIncompatible,
+    /// The topology requested for a linked fault does not match the cell counts of
+    /// its component fault primitives.
+    InvalidTopology(String),
+    /// A cell address is outside the memory used to instantiate an addressed fault
+    /// primitive.
+    AddressOutOfRange {
+        /// The offending address.
+        address: usize,
+        /// The number of cells of the memory.
+        cells: usize,
+    },
+    /// The aggressor and victim addresses of a coupling fault coincide.
+    AggressorEqualsVictim {
+        /// The shared address.
+        address: usize,
+    },
+    /// Two addressed fault primitives cannot be linked (Definition 7 violated).
+    AfpLinkViolation(String),
+    /// A fault list builder was asked for an empty list.
+    EmptyFaultList,
+}
+
+impl fmt::Display for FaultModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModelError::ParseBit(text) => write!(f, "invalid bit value `{text}`"),
+            FaultModelError::ParseCellValue(text) => {
+                write!(f, "invalid cell value `{text}`")
+            }
+            FaultModelError::ParseOperation(text) => {
+                write!(f, "invalid memory operation `{text}`")
+            }
+            FaultModelError::ParseCondition(text) => {
+                write!(f, "invalid sensitizing condition `{text}`")
+            }
+            FaultModelError::ParseMemoryState(text) => {
+                write!(f, "invalid memory state `{text}`")
+            }
+            FaultModelError::NotStatic { operations } => write!(
+                f,
+                "static fault primitives allow at most one sensitizing operation, found {operations}"
+            ),
+            FaultModelError::MissingAggressor => {
+                write!(f, "coupling fault primitive requires an aggressor condition")
+            }
+            FaultModelError::UnexpectedAggressor => {
+                write!(f, "single-cell fault primitive cannot carry an aggressor condition")
+            }
+            FaultModelError::UnknownFaultValue => {
+                write!(f, "fault value F must be a concrete bit")
+            }
+            FaultModelError::ReadOutputWithoutRead => {
+                write!(f, "read output R requires a sensitizing read operation")
+            }
+            FaultModelError::MaskMismatch => {
+                write!(f, "linked fault requires F2 = not(F1)")
+            }
+            FaultModelError::StateIncompatible => write!(
+                f,
+                "second fault primitive cannot be sensitized in the state left by the first"
+            ),
+            FaultModelError::InvalidTopology(reason) => {
+                write!(f, "invalid linked-fault topology: {reason}")
+            }
+            FaultModelError::AddressOutOfRange { address, cells } => {
+                write!(f, "cell address {address} out of range for a {cells}-cell memory")
+            }
+            FaultModelError::AggressorEqualsVictim { address } => {
+                write!(f, "aggressor and victim share the same address {address}")
+            }
+            FaultModelError::AfpLinkViolation(reason) => {
+                write!(f, "addressed fault primitives cannot be linked: {reason}")
+            }
+            FaultModelError::EmptyFaultList => write!(f, "fault list is empty"),
+        }
+    }
+}
+
+impl Error for FaultModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_non_empty() {
+        let samples = [
+            FaultModelError::ParseBit("x".into()),
+            FaultModelError::NotStatic { operations: 3 },
+            FaultModelError::MaskMismatch,
+            FaultModelError::AddressOutOfRange {
+                address: 9,
+                cells: 4,
+            },
+        ];
+        for err in samples {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<FaultModelError>();
+    }
+}

@@ -1,0 +1,419 @@
+//! Target fault lists, including the two lists evaluated by the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{FaultModelError, FaultPrimitive, Ffm, LinkTopology, LinkedFault};
+
+/// A named collection of simple fault primitives and linked faults used as the
+/// target of march-test generation or fault simulation.
+///
+/// The two lists evaluated in the paper's Table 1 are available as
+/// [`FaultList::list_1`] (single-, two- and three-cell static linked faults) and
+/// [`FaultList::list_2`] (single-cell static linked faults). The complete unlinked
+/// realistic static fault space is available as [`FaultList::unlinked_static`].
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{FaultList, LinkTopology};
+///
+/// let list1 = FaultList::list_1();
+/// let list2 = FaultList::list_2();
+/// assert!(list1.linked().len() > list2.linked().len());
+/// assert!(list2
+///     .linked()
+///     .iter()
+///     .all(|lf| lf.topology() == LinkTopology::Lf1));
+/// println!("{list1}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    name: String,
+    simple: Vec<FaultPrimitive>,
+    linked: Vec<LinkedFault>,
+}
+
+impl FaultList {
+    /// Creates an empty fault list with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> FaultList {
+        FaultList {
+            name: name.into(),
+            simple: Vec::new(),
+            linked: Vec::new(),
+        }
+    }
+
+    /// **Fault List #1** of the paper: the realistic single-cell, two-cell and
+    /// three-cell static linked faults (LF1 ∪ LF2 ∪ LF3).
+    #[must_use]
+    pub fn list_1() -> FaultList {
+        let mut linked = enumerate_lf1();
+        linked.extend(enumerate_lf2());
+        linked.extend(enumerate_lf3());
+        FaultList {
+            name: "Fault List #1 (static LF1+LF2+LF3)".to_string(),
+            simple: Vec::new(),
+            linked,
+        }
+    }
+
+    /// **Fault List #2** of the paper: the realistic single-cell static linked
+    /// faults (LF1 only).
+    #[must_use]
+    pub fn list_2() -> FaultList {
+        FaultList {
+            name: "Fault List #2 (static LF1)".to_string(),
+            simple: Vec::new(),
+            linked: enumerate_lf1(),
+        }
+    }
+
+    /// The complete realistic *unlinked* static fault space: the 48 simple fault
+    /// primitives of the 13 FFM families.
+    #[must_use]
+    pub fn unlinked_static() -> FaultList {
+        FaultList {
+            name: "Unlinked realistic static faults".to_string(),
+            simple: Ffm::all_fault_primitives(),
+            linked: Vec::new(),
+        }
+    }
+
+    /// The list's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simple (unlinked) fault primitives of the list.
+    #[must_use]
+    pub fn simple(&self) -> &[FaultPrimitive] {
+        &self.simple
+    }
+
+    /// The linked faults of the list.
+    #[must_use]
+    pub fn linked(&self) -> &[LinkedFault] {
+        &self.linked
+    }
+
+    /// Total number of targets (simple primitives plus linked faults).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.simple.len() + self.linked.len()
+    }
+
+    /// Returns `true` if the list contains no target at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.simple.is_empty() && self.linked.is_empty()
+    }
+
+    /// The maximum number of distinct cells involved by any target of the list
+    /// (1, 2 or 3); this fixes the size of the pattern graph used by the generator.
+    #[must_use]
+    pub fn max_cells(&self) -> usize {
+        let simple_max = self.simple.iter().map(FaultPrimitive::cell_count).max();
+        let linked_max = self.linked.iter().map(LinkedFault::cell_count).max();
+        simple_max.into_iter().chain(linked_max).max().unwrap_or(1)
+    }
+
+    /// Number of linked faults per topology class.
+    #[must_use]
+    pub fn topology_histogram(&self) -> BTreeMap<LinkTopology, usize> {
+        let mut histogram = BTreeMap::new();
+        for fault in &self.linked {
+            *histogram.entry(fault.topology()).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Returns a new list restricted to linked faults of the given topology.
+    #[must_use]
+    pub fn filter_topology(&self, topology: LinkTopology) -> FaultList {
+        FaultList {
+            name: format!("{} [{topology}]", self.name),
+            simple: Vec::new(),
+            linked: self
+                .linked
+                .iter()
+                .filter(|lf| lf.topology() == topology)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for FaultList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} simple primitives, {} linked faults",
+            self.name,
+            self.simple.len(),
+            self.linked.len()
+        )?;
+        if !self.linked.is_empty() {
+            write!(f, " (")?;
+            let histogram = self.topology_histogram();
+            for (index, (topology, count)) in histogram.iter().enumerate() {
+                if index > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{topology}: {count}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for custom fault lists.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{FaultListBuilder, Ffm, LinkTopology, LinkedFault};
+///
+/// let tf = Ffm::TransitionFault.fault_primitives();
+/// let wdf = Ffm::WriteDestructiveFault.fault_primitives();
+/// let list = FaultListBuilder::new("custom")
+///     .simple(tf[0].clone())
+///     .linked(LinkedFault::link(tf[0].clone(), wdf[0].clone(), LinkTopology::Lf1)?)
+///     .build()?;
+/// assert_eq!(list.len(), 2);
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultListBuilder {
+    list: FaultList,
+}
+
+impl FaultListBuilder {
+    /// Starts a new builder for a list with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> FaultListBuilder {
+        FaultListBuilder {
+            list: FaultList::new(name),
+        }
+    }
+
+    /// Adds a simple (unlinked) fault primitive.
+    #[must_use]
+    pub fn simple(mut self, primitive: FaultPrimitive) -> FaultListBuilder {
+        self.list.simple.push(primitive);
+        self
+    }
+
+    /// Adds every primitive of a functional fault model family.
+    #[must_use]
+    pub fn family(mut self, ffm: Ffm) -> FaultListBuilder {
+        self.list.simple.extend(ffm.fault_primitives());
+        self
+    }
+
+    /// Adds a linked fault.
+    #[must_use]
+    pub fn linked(mut self, fault: LinkedFault) -> FaultListBuilder {
+        self.list.linked.push(fault);
+        self
+    }
+
+    /// Adds several linked faults.
+    #[must_use]
+    pub fn linked_all(mut self, faults: impl IntoIterator<Item = LinkedFault>) -> FaultListBuilder {
+        self.list.linked.extend(faults);
+        self
+    }
+
+    /// Finalizes the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::EmptyFaultList`] if nothing was added.
+    pub fn build(self) -> Result<FaultList, FaultModelError> {
+        if self.list.is_empty() {
+            return Err(FaultModelError::EmptyFaultList);
+        }
+        Ok(self.list)
+    }
+}
+
+/// Single-cell fault primitives that can appear as the *masked* (first) component of
+/// a realistic linked fault: they corrupt the victim cell and are not already
+/// detected by their own sensitizing operation.
+fn single_cell_maskable() -> Vec<FaultPrimitive> {
+    Ffm::single_cell()
+        .iter()
+        .flat_map(|ffm| ffm.fault_primitives())
+        .filter(|fp| fp.corrupts_victim() && !fp.is_detected_by_sensitization())
+        .collect()
+}
+
+/// Coupling fault primitives that can appear as the *masked* (first) component.
+fn coupling_maskable() -> Vec<FaultPrimitive> {
+    Ffm::coupling()
+        .iter()
+        .flat_map(|ffm| ffm.fault_primitives())
+        .filter(|fp| fp.corrupts_victim() && !fp.is_detected_by_sensitization())
+        .collect()
+}
+
+/// Single-cell fault primitives that can appear as the *masking* (second) component.
+fn single_cell_maskers() -> Vec<FaultPrimitive> {
+    Ffm::single_cell()
+        .iter()
+        .flat_map(|ffm| ffm.fault_primitives())
+        .collect()
+}
+
+/// Coupling fault primitives that can appear as the *masking* (second) component.
+fn coupling_maskers() -> Vec<FaultPrimitive> {
+    Ffm::coupling()
+        .iter()
+        .flat_map(|ffm| ffm.fault_primitives())
+        .collect()
+}
+
+fn link_all(
+    firsts: &[FaultPrimitive],
+    seconds: &[FaultPrimitive],
+    topology: LinkTopology,
+) -> Vec<LinkedFault> {
+    let mut linked = Vec::new();
+    for first in firsts {
+        for second in seconds {
+            if let Ok(fault) = LinkedFault::link(first.clone(), second.clone(), topology) {
+                linked.push(fault);
+            }
+        }
+    }
+    linked
+}
+
+/// Enumerates the realistic single-cell static linked faults (LF1).
+fn enumerate_lf1() -> Vec<LinkedFault> {
+    link_all(
+        &single_cell_maskable(),
+        &single_cell_maskers(),
+        LinkTopology::Lf1,
+    )
+}
+
+/// Enumerates the realistic two-cell static linked faults (LF2: aggressor–victim,
+/// victim–aggressor and shared-aggressor combinations).
+fn enumerate_lf2() -> Vec<LinkedFault> {
+    let mut linked = link_all(
+        &coupling_maskable(),
+        &single_cell_maskers(),
+        LinkTopology::Lf2CouplingThenSingle,
+    );
+    linked.extend(link_all(
+        &single_cell_maskable(),
+        &coupling_maskers(),
+        LinkTopology::Lf2SingleThenCoupling,
+    ));
+    linked.extend(link_all(
+        &coupling_maskable(),
+        &coupling_maskers(),
+        LinkTopology::Lf2SharedAggressor,
+    ));
+    linked
+}
+
+/// Enumerates the realistic three-cell static linked faults (LF3).
+fn enumerate_lf3() -> Vec<LinkedFault> {
+    link_all(&coupling_maskable(), &coupling_maskers(), LinkTopology::Lf3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_2_is_single_cell_only() {
+        let list = FaultList::list_2();
+        assert!(!list.is_empty());
+        assert!(list
+            .linked()
+            .iter()
+            .all(|lf| lf.topology() == LinkTopology::Lf1));
+        assert_eq!(list.max_cells(), 1);
+        // 4 maskable primitives per polarity × 4 maskers per polarity × 2 polarities.
+        assert_eq!(list.linked().len(), 32);
+    }
+
+    #[test]
+    fn list_1_contains_all_topologies() {
+        let list = FaultList::list_1();
+        let histogram = list.topology_histogram();
+        for topology in LinkTopology::ALL {
+            assert!(
+                histogram.get(&topology).copied().unwrap_or(0) > 0,
+                "missing topology {topology}"
+            );
+        }
+        assert_eq!(list.max_cells(), 3);
+        assert!(list.linked().len() > 500, "got {}", list.linked().len());
+    }
+
+    #[test]
+    fn every_linked_fault_masks() {
+        for fault in FaultList::list_1().linked() {
+            let f1 = fault.first().fault_value().to_bit().unwrap();
+            let f2 = fault.second().fault_value().to_bit().unwrap();
+            assert_eq!(f2, f1.flipped(), "{fault}");
+            assert!(fault.first().corrupts_victim(), "{fault}");
+            assert!(!fault.first().is_detected_by_sensitization(), "{fault}");
+        }
+    }
+
+    #[test]
+    fn list_1_is_a_superset_of_list_2() {
+        let list1 = FaultList::list_1();
+        let list2 = FaultList::list_2();
+        for fault in list2.linked() {
+            assert!(list1.linked().contains(fault));
+        }
+    }
+
+    #[test]
+    fn unlinked_list_contains_the_48_primitives() {
+        let list = FaultList::unlinked_static();
+        assert_eq!(list.simple().len(), 48);
+        assert!(list.linked().is_empty());
+        assert_eq!(list.max_cells(), 2);
+        assert_eq!(list.len(), 48);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let tf = Ffm::TransitionFault.fault_primitives();
+        let list = FaultListBuilder::new("custom")
+            .family(Ffm::StateFault)
+            .simple(tf[0].clone())
+            .build()
+            .unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.name(), "custom");
+        assert!(FaultListBuilder::new("empty").build().is_err());
+    }
+
+    #[test]
+    fn filter_topology_restricts_the_list() {
+        let list = FaultList::list_1();
+        let lf3 = list.filter_topology(LinkTopology::Lf3);
+        assert!(!lf3.is_empty());
+        assert!(lf3.linked().iter().all(|lf| lf.topology() == LinkTopology::Lf3));
+        assert!(lf3.linked().len() < list.linked().len());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let text = FaultList::list_2().to_string();
+        assert!(text.contains("32 linked faults"));
+        assert!(text.contains("LF1"));
+    }
+}

@@ -1,0 +1,488 @@
+//! The realistic static functional fault model (FFM) taxonomy.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Bit, CellValue, Condition, FaultEffect, FaultModelError, FaultPrimitive, Operation};
+
+/// The realistic *static* functional fault models of the SRAM testing literature
+/// (van de Goor / Al-Ars taxonomy, as used by Hamdioui et al. and by the DATE 2006
+/// paper this crate reproduces).
+///
+/// Single-cell families: [`StateFault`](Ffm::StateFault) (SF),
+/// [`TransitionFault`](Ffm::TransitionFault) (TF),
+/// [`WriteDestructiveFault`](Ffm::WriteDestructiveFault) (WDF),
+/// [`ReadDestructiveFault`](Ffm::ReadDestructiveFault) (RDF),
+/// [`DeceptiveReadDestructiveFault`](Ffm::DeceptiveReadDestructiveFault) (DRDF),
+/// [`IncorrectReadFault`](Ffm::IncorrectReadFault) (IRF).
+///
+/// Two-cell (coupling) families: CFst, CFds, CFtr, CFwd, CFrd, CFdr, CFir.
+///
+/// [`Ffm::fault_primitives`] enumerates every fault primitive of a family, so the
+/// complete realistic static fault space is `Ffm::all().flat_map(|ffm|
+/// ffm.fault_primitives())`.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::Ffm;
+///
+/// assert_eq!(Ffm::StateFault.abbreviation(), "SF");
+/// assert_eq!(Ffm::StateFault.fault_primitives().len(), 2);
+/// assert_eq!(Ffm::DisturbCoupling.fault_primitives().len(), 12);
+/// assert!(Ffm::DisturbCoupling.is_coupling());
+/// let total: usize = Ffm::all().iter().map(|f| f.fault_primitives().len()).sum();
+/// assert_eq!(total, 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ffm {
+    /// SF — the cell flips without any operation being applied.
+    StateFault,
+    /// TF — a transition write (`0w1` / `1w0`) fails to change the cell.
+    TransitionFault,
+    /// WDF — a non-transition write (`0w0` / `1w1`) flips the cell.
+    WriteDestructiveFault,
+    /// RDF — a read flips the cell and returns the flipped (wrong) value.
+    ReadDestructiveFault,
+    /// DRDF — a read flips the cell but returns the correct value.
+    DeceptiveReadDestructiveFault,
+    /// IRF — a read returns the wrong value but leaves the cell unchanged.
+    IncorrectReadFault,
+    /// CFst — the victim flips because the aggressor sits in a given state.
+    StateCoupling,
+    /// CFds — an operation on the aggressor flips the victim.
+    DisturbCoupling,
+    /// CFtr — a transition write on the victim fails because of the aggressor state.
+    TransitionCoupling,
+    /// CFwd — a non-transition write on the victim flips it because of the aggressor
+    /// state.
+    WriteDestructiveCoupling,
+    /// CFrd — a read of the victim flips it and returns the wrong value because of
+    /// the aggressor state.
+    ReadDestructiveCoupling,
+    /// CFdr — a read of the victim flips it but returns the correct value because of
+    /// the aggressor state.
+    DeceptiveReadDestructiveCoupling,
+    /// CFir — a read of the victim returns the wrong value (cell unchanged) because
+    /// of the aggressor state.
+    IncorrectReadCoupling,
+}
+
+impl Ffm {
+    /// Every family of the realistic static taxonomy, single-cell families first.
+    #[must_use]
+    pub const fn all() -> &'static [Ffm] {
+        &[
+            Ffm::StateFault,
+            Ffm::TransitionFault,
+            Ffm::WriteDestructiveFault,
+            Ffm::ReadDestructiveFault,
+            Ffm::DeceptiveReadDestructiveFault,
+            Ffm::IncorrectReadFault,
+            Ffm::StateCoupling,
+            Ffm::DisturbCoupling,
+            Ffm::TransitionCoupling,
+            Ffm::WriteDestructiveCoupling,
+            Ffm::ReadDestructiveCoupling,
+            Ffm::DeceptiveReadDestructiveCoupling,
+            Ffm::IncorrectReadCoupling,
+        ]
+    }
+
+    /// The single-cell families.
+    #[must_use]
+    pub const fn single_cell() -> &'static [Ffm] {
+        &[
+            Ffm::StateFault,
+            Ffm::TransitionFault,
+            Ffm::WriteDestructiveFault,
+            Ffm::ReadDestructiveFault,
+            Ffm::DeceptiveReadDestructiveFault,
+            Ffm::IncorrectReadFault,
+        ]
+    }
+
+    /// The two-cell (coupling) families.
+    #[must_use]
+    pub const fn coupling() -> &'static [Ffm] {
+        &[
+            Ffm::StateCoupling,
+            Ffm::DisturbCoupling,
+            Ffm::TransitionCoupling,
+            Ffm::WriteDestructiveCoupling,
+            Ffm::ReadDestructiveCoupling,
+            Ffm::DeceptiveReadDestructiveCoupling,
+            Ffm::IncorrectReadCoupling,
+        ]
+    }
+
+    /// The conventional abbreviation used in the literature (SF, TF, …, CFir).
+    #[must_use]
+    pub const fn abbreviation(self) -> &'static str {
+        match self {
+            Ffm::StateFault => "SF",
+            Ffm::TransitionFault => "TF",
+            Ffm::WriteDestructiveFault => "WDF",
+            Ffm::ReadDestructiveFault => "RDF",
+            Ffm::DeceptiveReadDestructiveFault => "DRDF",
+            Ffm::IncorrectReadFault => "IRF",
+            Ffm::StateCoupling => "CFst",
+            Ffm::DisturbCoupling => "CFds",
+            Ffm::TransitionCoupling => "CFtr",
+            Ffm::WriteDestructiveCoupling => "CFwd",
+            Ffm::ReadDestructiveCoupling => "CFrd",
+            Ffm::DeceptiveReadDestructiveCoupling => "CFdr",
+            Ffm::IncorrectReadCoupling => "CFir",
+        }
+    }
+
+    /// A human-readable name of the family.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Ffm::StateFault => "state fault",
+            Ffm::TransitionFault => "transition fault",
+            Ffm::WriteDestructiveFault => "write destructive fault",
+            Ffm::ReadDestructiveFault => "read destructive fault",
+            Ffm::DeceptiveReadDestructiveFault => "deceptive read destructive fault",
+            Ffm::IncorrectReadFault => "incorrect read fault",
+            Ffm::StateCoupling => "state coupling fault",
+            Ffm::DisturbCoupling => "disturb coupling fault",
+            Ffm::TransitionCoupling => "transition coupling fault",
+            Ffm::WriteDestructiveCoupling => "write destructive coupling fault",
+            Ffm::ReadDestructiveCoupling => "read destructive coupling fault",
+            Ffm::DeceptiveReadDestructiveCoupling => "deceptive read destructive coupling fault",
+            Ffm::IncorrectReadCoupling => "incorrect read coupling fault",
+        }
+    }
+
+    /// Returns `true` for the two-cell (coupling) families.
+    #[must_use]
+    pub const fn is_coupling(self) -> bool {
+        matches!(
+            self,
+            Ffm::StateCoupling
+                | Ffm::DisturbCoupling
+                | Ffm::TransitionCoupling
+                | Ffm::WriteDestructiveCoupling
+                | Ffm::ReadDestructiveCoupling
+                | Ffm::DeceptiveReadDestructiveCoupling
+                | Ffm::IncorrectReadCoupling
+        )
+    }
+
+    /// Enumerates every fault primitive of the family.
+    ///
+    /// The enumeration follows the realistic static fault space used in the linked
+    /// fault literature: 12 single-cell primitives and 36 coupling primitives in
+    /// total (2 × SF, 2 × TF, 2 × WDF, 2 × RDF, 2 × DRDF, 2 × IRF, 4 × CFst,
+    /// 12 × CFds, 4 × CFtr, 4 × CFwd, 4 × CFrd, 4 × CFdr, 4 × CFir).
+    #[must_use]
+    pub fn fault_primitives(self) -> Vec<FaultPrimitive> {
+        match self {
+            Ffm::StateFault => Bit::ALL
+                .into_iter()
+                .map(|value| {
+                    single(
+                        self,
+                        Condition::state(value.into()),
+                        FaultEffect::store(CellValue::from(value.flipped())),
+                    )
+                })
+                .collect(),
+            Ffm::TransitionFault => Bit::ALL
+                .into_iter()
+                .map(|from| {
+                    // <from w !from / from / -> : the transition write fails.
+                    single(
+                        self,
+                        Condition::with_operation(from.into(), Operation::Write(from.flipped())),
+                        FaultEffect::store(CellValue::from(from)),
+                    )
+                })
+                .collect(),
+            Ffm::WriteDestructiveFault => Bit::ALL
+                .into_iter()
+                .map(|value| {
+                    // <v w v / !v / -> : the non-transition write flips the cell.
+                    single(
+                        self,
+                        Condition::with_operation(value.into(), Operation::Write(value)),
+                        FaultEffect::store(CellValue::from(value.flipped())),
+                    )
+                })
+                .collect(),
+            Ffm::ReadDestructiveFault => Bit::ALL
+                .into_iter()
+                .map(|value| {
+                    // <v r v / !v / !v>
+                    single(
+                        self,
+                        Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                        FaultEffect::with_read(CellValue::from(value.flipped()), value.flipped()),
+                    )
+                })
+                .collect(),
+            Ffm::DeceptiveReadDestructiveFault => Bit::ALL
+                .into_iter()
+                .map(|value| {
+                    // <v r v / !v / v>
+                    single(
+                        self,
+                        Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                        FaultEffect::with_read(CellValue::from(value.flipped()), value),
+                    )
+                })
+                .collect(),
+            Ffm::IncorrectReadFault => Bit::ALL
+                .into_iter()
+                .map(|value| {
+                    // <v r v / v / !v>
+                    single(
+                        self,
+                        Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                        FaultEffect::with_read(CellValue::from(value), value.flipped()),
+                    )
+                })
+                .collect(),
+            Ffm::StateCoupling => two_by_two(|aggressor, victim| {
+                // <a ; v / !v / ->
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::state(victim.into()),
+                    FaultEffect::store(CellValue::from(victim.flipped())),
+                )
+            }),
+            Ffm::DisturbCoupling => {
+                // Aggressor operations: 0w0, 0w1, 1w0, 1w1, 0r0, 1r1.
+                let aggressor_conditions = [
+                    Condition::with_operation(CellValue::Zero, Operation::W0),
+                    Condition::with_operation(CellValue::Zero, Operation::W1),
+                    Condition::with_operation(CellValue::One, Operation::W0),
+                    Condition::with_operation(CellValue::One, Operation::W1),
+                    Condition::with_operation(CellValue::Zero, Operation::R0),
+                    Condition::with_operation(CellValue::One, Operation::R1),
+                ];
+                let mut primitives = Vec::with_capacity(aggressor_conditions.len() * 2);
+                for aggressor in aggressor_conditions {
+                    for victim in Bit::ALL {
+                        primitives.push(coupling(
+                            self,
+                            aggressor,
+                            Condition::state(victim.into()),
+                            FaultEffect::store(CellValue::from(victim.flipped())),
+                        ));
+                    }
+                }
+                primitives
+            }
+            Ffm::TransitionCoupling => two_by_two(|aggressor, from| {
+                // <a ; from w !from / from / ->
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::with_operation(from.into(), Operation::Write(from.flipped())),
+                    FaultEffect::store(CellValue::from(from)),
+                )
+            }),
+            Ffm::WriteDestructiveCoupling => two_by_two(|aggressor, value| {
+                // <a ; v w v / !v / ->
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::with_operation(value.into(), Operation::Write(value)),
+                    FaultEffect::store(CellValue::from(value.flipped())),
+                )
+            }),
+            Ffm::ReadDestructiveCoupling => two_by_two(|aggressor, value| {
+                // <a ; v r v / !v / !v>
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                    FaultEffect::with_read(CellValue::from(value.flipped()), value.flipped()),
+                )
+            }),
+            Ffm::DeceptiveReadDestructiveCoupling => two_by_two(|aggressor, value| {
+                // <a ; v r v / !v / v>
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                    FaultEffect::with_read(CellValue::from(value.flipped()), value),
+                )
+            }),
+            Ffm::IncorrectReadCoupling => two_by_two(|aggressor, value| {
+                // <a ; v r v / v / !v>
+                coupling(
+                    self,
+                    Condition::state(aggressor.into()),
+                    Condition::with_operation(value.into(), Operation::Read(Some(value))),
+                    FaultEffect::with_read(CellValue::from(value), value.flipped()),
+                )
+            }),
+        }
+    }
+
+    /// Enumerates every fault primitive of every family of the realistic static
+    /// taxonomy (48 primitives).
+    #[must_use]
+    pub fn all_fault_primitives() -> Vec<FaultPrimitive> {
+        Ffm::all()
+            .iter()
+            .flat_map(|ffm| ffm.fault_primitives())
+            .collect()
+    }
+}
+
+fn single(ffm: Ffm, victim: Condition, effect: FaultEffect) -> FaultPrimitive {
+    FaultPrimitive::single_cell(ffm, victim, effect)
+        .expect("built-in single-cell fault primitive is valid")
+}
+
+fn coupling(ffm: Ffm, aggressor: Condition, victim: Condition, effect: FaultEffect) -> FaultPrimitive {
+    FaultPrimitive::coupling(ffm, aggressor, victim, effect)
+        .expect("built-in coupling fault primitive is valid")
+}
+
+fn two_by_two(build: impl Fn(Bit, Bit) -> FaultPrimitive) -> Vec<FaultPrimitive> {
+    let mut primitives = Vec::with_capacity(4);
+    for aggressor in Bit::ALL {
+        for victim in Bit::ALL {
+            primitives.push(build(aggressor, victim));
+        }
+    }
+    primitives
+}
+
+impl fmt::Display for Ffm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbreviation())
+    }
+}
+
+impl FromStr for Ffm {
+    type Err = FaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim();
+        Ffm::all()
+            .iter()
+            .copied()
+            .find(|ffm| ffm.abbreviation().eq_ignore_ascii_case(needle))
+            .ok_or_else(|| FaultModelError::ParseCondition(needle.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensitizingSite;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(Ffm::StateFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::TransitionFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::WriteDestructiveFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::ReadDestructiveFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::DeceptiveReadDestructiveFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::IncorrectReadFault.fault_primitives().len(), 2);
+        assert_eq!(Ffm::StateCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::DisturbCoupling.fault_primitives().len(), 12);
+        assert_eq!(Ffm::TransitionCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::WriteDestructiveCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::ReadDestructiveCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::DeceptiveReadDestructiveCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::IncorrectReadCoupling.fault_primitives().len(), 4);
+        assert_eq!(Ffm::all_fault_primitives().len(), 48);
+    }
+
+    #[test]
+    fn single_cell_and_coupling_partition() {
+        for ffm in Ffm::single_cell() {
+            assert!(!ffm.is_coupling());
+            for fp in ffm.fault_primitives() {
+                assert_eq!(fp.cell_count(), 1);
+                assert_eq!(fp.ffm(), *ffm);
+            }
+        }
+        for ffm in Ffm::coupling() {
+            assert!(ffm.is_coupling());
+            for fp in ffm.fault_primitives() {
+                assert_eq!(fp.cell_count(), 2);
+            }
+        }
+        assert_eq!(
+            Ffm::single_cell().len() + Ffm::coupling().len(),
+            Ffm::all().len()
+        );
+    }
+
+    #[test]
+    fn every_primitive_is_static() {
+        for fp in Ffm::all_fault_primitives() {
+            assert!(fp.is_static(), "{fp} must be static");
+            assert!(fp.operation_count() <= 1);
+        }
+    }
+
+    #[test]
+    fn read_families_are_detected_by_sensitization() {
+        for ffm in [Ffm::ReadDestructiveFault, Ffm::IncorrectReadFault] {
+            for fp in ffm.fault_primitives() {
+                assert!(fp.is_detected_by_sensitization(), "{fp}");
+            }
+        }
+        for ffm in [Ffm::DeceptiveReadDestructiveFault, Ffm::TransitionFault] {
+            for fp in ffm.fault_primitives() {
+                assert!(!fp.is_detected_by_sensitization(), "{fp}");
+            }
+        }
+    }
+
+    #[test]
+    fn disturb_coupling_sensitized_on_aggressor() {
+        for fp in Ffm::DisturbCoupling.fault_primitives() {
+            assert_eq!(fp.sensitizing_site(), SensitizingSite::Aggressor);
+            assert!(fp.corrupts_victim());
+        }
+        for fp in Ffm::TransitionCoupling.fault_primitives() {
+            assert_eq!(fp.sensitizing_site(), SensitizingSite::Victim);
+        }
+        for fp in Ffm::StateCoupling.fault_primitives() {
+            assert_eq!(fp.sensitizing_site(), SensitizingSite::None);
+        }
+    }
+
+    #[test]
+    fn notation_examples_from_the_paper() {
+        // FP1 of the paper's running example: <0w1; 0 / 1 / ->.
+        let cfds = Ffm::DisturbCoupling.fault_primitives();
+        assert!(cfds.iter().any(|fp| fp.notation() == "<0w1;0/1/->"));
+        // The transition fault pair.
+        let tf = Ffm::TransitionFault.fault_primitives();
+        assert!(tf.iter().any(|fp| fp.notation() == "<0w1/0/->"));
+        assert!(tf.iter().any(|fp| fp.notation() == "<1w0/1/->"));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        for ffm in Ffm::all() {
+            let text = ffm.to_string();
+            assert_eq!(text.parse::<Ffm>().unwrap(), *ffm);
+        }
+        assert!("XYZ".parse::<Ffm>().is_err());
+        assert_eq!("cfds".parse::<Ffm>().unwrap(), Ffm::DisturbCoupling);
+    }
+
+    #[test]
+    fn all_primitives_are_distinct() {
+        let all = Ffm::all_fault_primitives();
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate primitive {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # `sram-fault-model`
+//!
+//! Functional fault models for SRAM testing: fault primitives, addressed fault
+//! primitives, test patterns and *static linked faults*, following the notation of
+//! van de Goor / Al-Ars ("Functional Memory Faults: A Formal Notation and a
+//! Taxonomy", VTS 2000) as extended by Benso, Bosio, Di Carlo, Di Natale and
+//! Prinetto in *"Automatic March Tests Generations for Static Linked Faults in
+//! SRAMs"* (DATE 2006).
+//!
+//! The crate provides:
+//!
+//! * the basic alphabet of memory testing — [`Bit`], [`CellValue`], [`Operation`];
+//! * [`FaultPrimitive`]s `<S / F / R>` and the realistic static functional fault
+//!   model taxonomy ([`Ffm`]): SF, TF, WDF, RDF, DRDF, IRF and the seven coupling
+//!   families CFst, CFds, CFtr, CFwd, CFrd, CFdr, CFir;
+//! * [`AddressedFaultPrimitive`]s (Definition 4 of the paper) and
+//!   [`TestPattern`]s (Definition 5);
+//! * [`LinkedFault`]s `FP1 → FP2` (Definitions 6–7) with the LF1/LF2/LF3 topology
+//!   taxonomy of Hamdioui et al. (TCAD 2004);
+//! * ready-made [`FaultList`]s reproducing the two target lists of the paper's
+//!   evaluation: [`FaultList::list_1`] (single-, two- and three-cell static LFs)
+//!   and [`FaultList::list_2`] (single-cell static LFs).
+//!
+//! # Quick example
+//!
+//! ```
+//! use sram_fault_model::{Bit, FaultList, Ffm, LinkTopology};
+//!
+//! // The realistic single-cell linked faults targeted by March LF1 / March ABL1.
+//! let list = FaultList::list_2();
+//! assert!(list.linked().len() > 0);
+//! assert!(list.linked().iter().all(|lf| lf.topology() == LinkTopology::Lf1));
+//!
+//! // Every disturb-coupling fault primitive flips the victim cell.
+//! for fp in Ffm::DisturbCoupling.fault_primitives() {
+//!     assert!(fp.effect().victim_value().to_bit().is_some());
+//! }
+//! # let _ = Bit::Zero;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod afp;
+mod bit;
+mod cell_value;
+mod condition;
+mod effect;
+mod error;
+mod fault_list;
+mod ffm;
+mod linked;
+mod memory_state;
+mod operation;
+mod pattern;
+mod primitive;
+
+pub use afp::{AddressedFaultPrimitive, AddressedOperation, Placement};
+pub use bit::Bit;
+pub use cell_value::CellValue;
+pub use condition::Condition;
+pub use effect::FaultEffect;
+pub use error::FaultModelError;
+pub use fault_list::{FaultList, FaultListBuilder};
+pub use ffm::Ffm;
+pub use linked::{LinkTopology, LinkedAfp, LinkedFault};
+pub use memory_state::MemoryState;
+pub use operation::Operation;
+pub use pattern::TestPattern;
+pub use primitive::{FaultPrimitive, SensitizingSite};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FaultModelError>;

@@ -1,0 +1,309 @@
+//! Vectors of cell values describing the state of a (small) memory.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use crate::{Bit, CellValue, FaultModelError};
+
+/// The (possibly partially constrained) state of an `n`-cell memory.
+///
+/// Cell `0` is the cell with the lowest address ("less significant bit" in the
+/// paper's convention); the textual representation lists cells from address `0`
+/// upwards, e.g. `"101"` means cell 0 = 1, cell 1 = 0, cell 2 = 1.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, CellValue, MemoryState};
+///
+/// let state: MemoryState = "10-".parse()?;
+/// assert_eq!(state.len(), 3);
+/// assert_eq!(state[0], CellValue::One);
+/// assert_eq!(state[2], CellValue::DontCare);
+/// assert!(state.matches_bits(&[Bit::One, Bit::Zero, Bit::One]));
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MemoryState {
+    cells: Vec<CellValue>,
+}
+
+impl MemoryState {
+    /// Creates a state with all `cells` unconstrained.
+    #[must_use]
+    pub fn unconstrained(cells: usize) -> MemoryState {
+        MemoryState {
+            cells: vec![CellValue::DontCare; cells],
+        }
+    }
+
+    /// Creates a state with all `cells` holding the same concrete `value`.
+    #[must_use]
+    pub fn filled(cells: usize, value: Bit) -> MemoryState {
+        MemoryState {
+            cells: vec![CellValue::from(value); cells],
+        }
+    }
+
+    /// Creates a state from explicit cell values.
+    #[must_use]
+    pub fn new(cells: Vec<CellValue>) -> MemoryState {
+        MemoryState { cells }
+    }
+
+    /// Creates a fully constrained state from concrete bits.
+    #[must_use]
+    pub fn from_bits(bits: &[Bit]) -> MemoryState {
+        MemoryState {
+            cells: bits.iter().copied().map(CellValue::from).collect(),
+        }
+    }
+
+    /// The number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` for a zero-cell state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The value of cell `address`, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, address: usize) -> Option<CellValue> {
+        self.cells.get(address).copied()
+    }
+
+    /// Sets the value of cell `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    pub fn set(&mut self, address: usize, value: CellValue) {
+        self.cells[address] = value;
+    }
+
+    /// Returns a copy of the state with cell `address` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    #[must_use]
+    pub fn with(&self, address: usize, value: CellValue) -> MemoryState {
+        let mut next = self.clone();
+        next.set(address, value);
+        next
+    }
+
+    /// Iterates over the cell values from address `0` upwards.
+    pub fn iter(&self) -> impl Iterator<Item = CellValue> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// The underlying cell values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[CellValue] {
+        &self.cells
+    }
+
+    /// Returns the concrete bits if every cell is constrained.
+    #[must_use]
+    pub fn to_bits(&self) -> Option<Vec<Bit>> {
+        self.cells.iter().map(|value| value.to_bit()).collect()
+    }
+
+    /// Returns the concrete bits, substituting `default` for unconstrained cells.
+    #[must_use]
+    pub fn to_bits_or(&self, default: Bit) -> Vec<Bit> {
+        self.cells.iter().map(|value| value.to_bit_or(default)).collect()
+    }
+
+    /// Returns `true` if every cell is constrained to a concrete bit.
+    #[must_use]
+    pub fn is_fully_known(&self) -> bool {
+        self.cells.iter().all(|value| value.is_known())
+    }
+
+    /// Returns `true` if a memory holding `bits` satisfies every constrained cell.
+    ///
+    /// The slice must have the same length as the state.
+    #[must_use]
+    pub fn matches_bits(&self, bits: &[Bit]) -> bool {
+        self.cells.len() == bits.len()
+            && self
+                .cells
+                .iter()
+                .zip(bits.iter())
+                .all(|(value, bit)| value.matches(*bit))
+    }
+
+    /// Returns `true` if the two states can be satisfied by the same concrete memory
+    /// content (cell-wise [`CellValue::compatible`]).
+    #[must_use]
+    pub fn compatible(&self, other: &MemoryState) -> bool {
+        self.cells.len() == other.cells.len()
+            && self
+                .cells
+                .iter()
+                .zip(other.cells.iter())
+                .all(|(a, b)| a.compatible(*b))
+    }
+
+    /// Enumerates every fully constrained state that satisfies this one, in
+    /// lexicographic order (cell 0 is the least-significant position).
+    ///
+    /// A state with `k` unconstrained cells expands into `2^k` concrete states.
+    #[must_use]
+    pub fn expand(&self) -> Vec<Vec<Bit>> {
+        let mut result = vec![Vec::with_capacity(self.cells.len())];
+        for value in &self.cells {
+            match value.to_bit() {
+                Some(bit) => {
+                    for bits in &mut result {
+                        bits.push(bit);
+                    }
+                }
+                None => {
+                    let mut doubled = Vec::with_capacity(result.len() * 2);
+                    for bits in result {
+                        let mut with_zero = bits.clone();
+                        with_zero.push(Bit::Zero);
+                        let mut with_one = bits;
+                        with_one.push(Bit::One);
+                        doubled.push(with_zero);
+                        doubled.push(with_one);
+                    }
+                    result = doubled;
+                }
+            }
+        }
+        result
+    }
+}
+
+impl Index<usize> for MemoryState {
+    type Output = CellValue;
+
+    fn index(&self, index: usize) -> &CellValue {
+        &self.cells[index]
+    }
+}
+
+impl FromIterator<CellValue> for MemoryState {
+    fn from_iter<T: IntoIterator<Item = CellValue>>(iter: T) -> Self {
+        MemoryState {
+            cells: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for MemoryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for value in &self.cells {
+            write!(f, "{value}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for MemoryState {
+    type Err = FaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Err(FaultModelError::ParseMemoryState(s.to_string()));
+        }
+        trimmed
+            .chars()
+            .map(|c| {
+                CellValue::from_char(c)
+                    .map_err(|_| FaultModelError::ParseMemoryState(s.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(MemoryState::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let state = MemoryState::filled(3, Bit::Zero);
+        assert_eq!(state.len(), 3);
+        assert!(!state.is_empty());
+        assert_eq!(state.get(0), Some(CellValue::Zero));
+        assert_eq!(state.get(3), None);
+        assert!(state.is_fully_known());
+
+        let unconstrained = MemoryState::unconstrained(2);
+        assert!(!unconstrained.is_fully_known());
+        assert_eq!(unconstrained.to_bits(), None);
+        assert_eq!(
+            unconstrained.to_bits_or(Bit::One),
+            vec![Bit::One, Bit::One]
+        );
+    }
+
+    #[test]
+    fn with_and_set() {
+        let state = MemoryState::filled(2, Bit::Zero).with(1, CellValue::One);
+        assert_eq!(state.to_string(), "01");
+        let mut mutated = state.clone();
+        mutated.set(0, CellValue::DontCare);
+        assert_eq!(mutated.to_string(), "-1");
+    }
+
+    #[test]
+    fn matching_and_compatibility() {
+        let state: MemoryState = "1-0".parse().unwrap();
+        assert!(state.matches_bits(&[Bit::One, Bit::Zero, Bit::Zero]));
+        assert!(state.matches_bits(&[Bit::One, Bit::One, Bit::Zero]));
+        assert!(!state.matches_bits(&[Bit::Zero, Bit::One, Bit::Zero]));
+        assert!(!state.matches_bits(&[Bit::One, Bit::Zero]));
+
+        let other: MemoryState = "110".parse().unwrap();
+        assert!(state.compatible(&other));
+        let conflict: MemoryState = "0-0".parse().unwrap();
+        assert!(!state.compatible(&conflict));
+        let short: MemoryState = "10".parse().unwrap();
+        assert!(!state.compatible(&short));
+    }
+
+    #[test]
+    fn expansion_counts() {
+        let state: MemoryState = "1-".parse().unwrap();
+        let expanded = state.expand();
+        assert_eq!(expanded.len(), 2);
+        assert!(expanded.contains(&vec![Bit::One, Bit::Zero]));
+        assert!(expanded.contains(&vec![Bit::One, Bit::One]));
+
+        let all_dc = MemoryState::unconstrained(3);
+        assert_eq!(all_dc.expand().len(), 8);
+
+        let fixed = MemoryState::from_bits(&[Bit::Zero, Bit::One]);
+        assert_eq!(fixed.expand(), vec![vec![Bit::Zero, Bit::One]]);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for text in ["0", "1", "-", "01-", "1111", "0-0-"] {
+            let state: MemoryState = text.parse().unwrap();
+            assert_eq!(state.to_string(), text);
+        }
+        assert!("".parse::<MemoryState>().is_err());
+        assert!("012".parse::<MemoryState>().is_err());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let state: MemoryState = [CellValue::One, CellValue::DontCare].into_iter().collect();
+        assert_eq!(state.to_string(), "1-");
+    }
+}

@@ -1,0 +1,191 @@
+//! Memory operations: the input alphabet of the memory model.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Bit, FaultModelError};
+
+/// A single memory operation applied to one cell.
+///
+/// This is the set `X` of Definition 2 of the paper:
+///
+/// * `w0` / `w1` — write the given value;
+/// * `r`, `r0`, `r1` — read the cell, optionally annotated with the value expected
+///   on a fault-free memory;
+/// * `t` — wait for a defined period of time (used for data-retention faults).
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, Operation};
+///
+/// let w1: Operation = "w1".parse()?;
+/// assert_eq!(w1, Operation::Write(Bit::One));
+/// assert_eq!(Operation::Read(Some(Bit::Zero)).to_string(), "r0");
+/// assert!(Operation::Wait.is_wait());
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operation {
+    /// Write the carried value into the cell.
+    Write(Bit),
+    /// Read the cell; `Some(bit)` records the value expected on a fault-free memory.
+    Read(Option<Bit>),
+    /// Wait for a defined period of time (`t` in the paper's notation).
+    Wait,
+}
+
+impl Operation {
+    /// Shorthand for `Operation::Write(Bit::Zero)`.
+    pub const W0: Operation = Operation::Write(Bit::Zero);
+    /// Shorthand for `Operation::Write(Bit::One)`.
+    pub const W1: Operation = Operation::Write(Bit::One);
+    /// Shorthand for `Operation::Read(Some(Bit::Zero))`.
+    pub const R0: Operation = Operation::Read(Some(Bit::Zero));
+    /// Shorthand for `Operation::Read(Some(Bit::One))`.
+    pub const R1: Operation = Operation::Read(Some(Bit::One));
+
+    /// Returns `true` for read operations.
+    #[must_use]
+    pub const fn is_read(self) -> bool {
+        matches!(self, Operation::Read(_))
+    }
+
+    /// Returns `true` for write operations.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, Operation::Write(_))
+    }
+
+    /// Returns `true` for the wait operation.
+    #[must_use]
+    pub const fn is_wait(self) -> bool {
+        matches!(self, Operation::Wait)
+    }
+
+    /// The value written by a write operation, if any.
+    #[must_use]
+    pub const fn written_value(self) -> Option<Bit> {
+        match self {
+            Operation::Write(bit) => Some(bit),
+            _ => None,
+        }
+    }
+
+    /// The value a read operation expects on a fault-free memory, if annotated.
+    #[must_use]
+    pub const fn expected_value(self) -> Option<Bit> {
+        match self {
+            Operation::Read(expected) => expected,
+            _ => None,
+        }
+    }
+
+    /// The value stored in the cell *after* the operation, given the value `before`.
+    ///
+    /// Writes store their payload, reads and waits leave the cell unchanged.
+    #[must_use]
+    pub const fn fault_free_result(self, before: Bit) -> Bit {
+        match self {
+            Operation::Write(bit) => bit,
+            Operation::Read(_) | Operation::Wait => before,
+        }
+    }
+
+    /// Returns `true` if `self` (an operation required by a fault-primitive
+    /// condition) is matched by an `applied` operation.
+    ///
+    /// A required read matches any applied read regardless of the expectation
+    /// annotation; writes must carry the same value; waits match waits.
+    #[must_use]
+    pub const fn matches(self, applied: Operation) -> bool {
+        match (self, applied) {
+            (Operation::Write(a), Operation::Write(b)) => a.as_u8() == b.as_u8(),
+            (Operation::Read(_), Operation::Read(_)) => true,
+            (Operation::Wait, Operation::Wait) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Write(bit) => write!(f, "w{bit}"),
+            Operation::Read(Some(bit)) => write!(f, "r{bit}"),
+            Operation::Read(None) => write!(f, "r"),
+            Operation::Wait => write!(f, "t"),
+        }
+    }
+}
+
+impl FromStr for Operation {
+    type Err = FaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        match trimmed {
+            "w0" | "W0" => Ok(Operation::W0),
+            "w1" | "W1" => Ok(Operation::W1),
+            "r0" | "R0" => Ok(Operation::R0),
+            "r1" | "R1" => Ok(Operation::R1),
+            "r" | "R" => Ok(Operation::Read(None)),
+            "t" | "T" | "del" | "Del" => Ok(Operation::Wait),
+            other => Err(FaultModelError::ParseOperation(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Operation::R0.is_read());
+        assert!(!Operation::R0.is_write());
+        assert!(Operation::W1.is_write());
+        assert!(Operation::Wait.is_wait());
+        assert_eq!(Operation::W1.written_value(), Some(Bit::One));
+        assert_eq!(Operation::R1.expected_value(), Some(Bit::One));
+        assert_eq!(Operation::Read(None).expected_value(), None);
+        assert_eq!(Operation::W0.expected_value(), None);
+    }
+
+    #[test]
+    fn fault_free_semantics() {
+        assert_eq!(Operation::W1.fault_free_result(Bit::Zero), Bit::One);
+        assert_eq!(Operation::W0.fault_free_result(Bit::One), Bit::Zero);
+        assert_eq!(Operation::R0.fault_free_result(Bit::One), Bit::One);
+        assert_eq!(Operation::Wait.fault_free_result(Bit::Zero), Bit::Zero);
+    }
+
+    #[test]
+    fn condition_matching() {
+        assert!(Operation::Read(None).matches(Operation::R0));
+        assert!(Operation::R0.matches(Operation::Read(None)));
+        assert!(Operation::R0.matches(Operation::R1));
+        assert!(Operation::W0.matches(Operation::W0));
+        assert!(!Operation::W0.matches(Operation::W1));
+        assert!(!Operation::W0.matches(Operation::R0));
+        assert!(Operation::Wait.matches(Operation::Wait));
+        assert!(!Operation::Wait.matches(Operation::R0));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for op in [
+            Operation::W0,
+            Operation::W1,
+            Operation::R0,
+            Operation::R1,
+            Operation::Read(None),
+            Operation::Wait,
+        ] {
+            let text = op.to_string();
+            assert_eq!(text.parse::<Operation>().unwrap(), op, "round trip of {text}");
+        }
+        assert!("w2".parse::<Operation>().is_err());
+        assert!("".parse::<Operation>().is_err());
+    }
+}

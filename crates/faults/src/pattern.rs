@@ -1,0 +1,188 @@
+//! Test patterns (Definition 5 of the paper).
+
+use std::fmt;
+
+use crate::{AddressedFaultPrimitive, AddressedOperation, Operation};
+
+/// A test pattern `TP = (I, E, O)` for an addressed fault primitive.
+///
+/// `I` and `E` are inherited from the [`AddressedFaultPrimitive`]; `O` is the read
+/// operation needed to observe the fault effect: a read of the victim cell expecting
+/// the value the *fault-free* memory would hold after `E`.
+///
+/// # Examples
+///
+/// Continuing the paper's running example, `AFP1 = (00, w1[0], 11, 10)` yields
+/// `TP1 = (00, w1[0], r0[1])`:
+///
+/// ```
+/// use sram_fault_model::{AddressedFaultPrimitive, Ffm, Placement, TestPattern};
+///
+/// let cfds = Ffm::DisturbCoupling
+///     .fault_primitives()
+///     .into_iter()
+///     .find(|fp| fp.notation() == "<0w1;0/1/->")
+///     .expect("present in the realistic list");
+/// let afp = AddressedFaultPrimitive::instantiate(&cfds, Placement::coupling(0, 1, 2)?)?;
+/// let tp = TestPattern::new(afp);
+/// assert_eq!(tp.to_string(), "(00, w1[0], r0[1])");
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPattern {
+    afp: AddressedFaultPrimitive,
+    observe: AddressedOperation,
+}
+
+impl TestPattern {
+    /// Derives the test pattern of an addressed fault primitive.
+    ///
+    /// The observing operation reads the victim cell and expects the fault-free
+    /// value; when the fault-free value cannot be determined (unconstrained victim)
+    /// the read carries no expectation and detection must rely on a reference
+    /// simulation.
+    #[must_use]
+    pub fn new(afp: AddressedFaultPrimitive) -> TestPattern {
+        let observe = AddressedOperation::new(
+            afp.victim(),
+            Operation::Read(afp.observe_expected()),
+        );
+        TestPattern { afp, observe }
+    }
+
+    /// The addressed fault primitive this pattern covers.
+    #[must_use]
+    pub fn afp(&self) -> &AddressedFaultPrimitive {
+        &self.afp
+    }
+
+    /// The initial memory state `I`.
+    #[must_use]
+    pub fn initial(&self) -> &crate::MemoryState {
+        self.afp.initial()
+    }
+
+    /// The sensitizing operations `E`.
+    #[must_use]
+    pub fn sensitizing(&self) -> &[AddressedOperation] {
+        self.afp.operations()
+    }
+
+    /// The observing read `O`.
+    #[must_use]
+    pub fn observe(&self) -> AddressedOperation {
+        self.observe
+    }
+
+    /// All operations of the pattern: sensitizing operations followed by the
+    /// observing read.
+    #[must_use]
+    pub fn all_operations(&self) -> Vec<AddressedOperation> {
+        let mut ops = self.afp.operations().to_vec();
+        ops.push(self.observe);
+        ops
+    }
+
+    /// The cell addresses touched by the pattern (sensitizing and observing).
+    #[must_use]
+    pub fn touched_cells(&self) -> Vec<usize> {
+        let mut cells: Vec<usize> = self.all_operations().iter().map(|op| op.cell()).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+}
+
+impl From<AddressedFaultPrimitive> for TestPattern {
+    fn from(afp: AddressedFaultPrimitive) -> Self {
+        TestPattern::new(afp)
+    }
+}
+
+impl fmt::Display for TestPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, ", self.afp.initial())?;
+        if self.sensitizing().is_empty() {
+            write!(f, "-")?;
+        } else {
+            for (index, op) in self.sensitizing().iter().enumerate() {
+                if index > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{op}")?;
+            }
+        }
+        write!(f, ", {})", self.observe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bit, Ffm, Placement};
+
+    fn afp(ffm: Ffm, notation: &str, placement: Placement) -> AddressedFaultPrimitive {
+        let fp = ffm
+            .fault_primitives()
+            .into_iter()
+            .find(|fp| fp.notation() == notation)
+            .unwrap_or_else(|| panic!("primitive {notation} not found"));
+        AddressedFaultPrimitive::instantiate(&fp, placement).unwrap()
+    }
+
+    #[test]
+    fn paper_test_patterns() {
+        // TP1 = (00, w1[0], r0[1]) and TP2 = (00, w1[1], r0[0]).
+        let tp1 = TestPattern::new(afp(
+            Ffm::DisturbCoupling,
+            "<0w1;0/1/->",
+            Placement::coupling(0, 1, 2).unwrap(),
+        ));
+        assert_eq!(tp1.to_string(), "(00, w1[0], r0[1])");
+        assert_eq!(tp1.observe().operation().expected_value(), Some(Bit::Zero));
+
+        let tp2 = TestPattern::new(afp(
+            Ffm::DisturbCoupling,
+            "<0w1;0/1/->",
+            Placement::coupling(1, 0, 2).unwrap(),
+        ));
+        assert_eq!(tp2.to_string(), "(00, w1[1], r0[0])");
+    }
+
+    #[test]
+    fn observe_targets_victim() {
+        let tp = TestPattern::new(afp(
+            Ffm::TransitionFault,
+            "<1w0/1/->",
+            Placement::single_cell(2, 3).unwrap(),
+        ));
+        assert_eq!(tp.observe().cell(), 2);
+        assert_eq!(tp.observe().operation().expected_value(), Some(Bit::Zero));
+        assert_eq!(tp.all_operations().len(), 2);
+        assert_eq!(tp.touched_cells(), vec![2]);
+    }
+
+    #[test]
+    fn state_fault_pattern_is_observe_only() {
+        let tp = TestPattern::new(afp(
+            Ffm::StateFault,
+            "<1/0/->",
+            Placement::single_cell(0, 2).unwrap(),
+        ));
+        assert!(tp.sensitizing().is_empty());
+        assert_eq!(tp.all_operations().len(), 1);
+        assert_eq!(tp.observe().operation().expected_value(), Some(Bit::One));
+        assert_eq!(tp.to_string(), "(1-, -, r1[0])");
+    }
+
+    #[test]
+    fn conversion_from_afp() {
+        let afp = afp(
+            Ffm::WriteDestructiveFault,
+            "<0w0/1/->",
+            Placement::single_cell(1, 2).unwrap(),
+        );
+        let tp: TestPattern = afp.clone().into();
+        assert_eq!(tp.afp(), &afp);
+    }
+}

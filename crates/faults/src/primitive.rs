@@ -1,0 +1,420 @@
+//! Fault primitives `<S / F / R>`.
+
+use std::fmt;
+
+use crate::{CellValue, Condition, FaultEffect, FaultModelError, Ffm, Operation};
+
+/// The cell on which the sensitizing operation of a fault primitive is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensitizingSite {
+    /// The primitive is sensitized purely by a state condition (no operation).
+    None,
+    /// The sensitizing operation is applied to the aggressor cell.
+    Aggressor,
+    /// The sensitizing operation is applied to the victim cell.
+    Victim,
+}
+
+/// A *static* fault primitive `<S / F / R>` (Definition 3 of the paper).
+///
+/// `S` is split into the condition applied to the aggressor cell (absent for
+/// single-cell primitives) and the condition applied to the victim cell; `F` and `R`
+/// are captured by a [`FaultEffect`].
+///
+/// Construction is checked: the primitive must be static (at most one sensitizing
+/// operation in total), the fault value `F` must be concrete, and a read output `R`
+/// is only allowed when the sensitizing operation is a read.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, CellValue, Condition, FaultEffect, FaultPrimitive, Ffm, Operation};
+///
+/// // <0w1; 0 / 1 / -> : a disturb coupling fault.
+/// let fp = FaultPrimitive::coupling(
+///     Ffm::DisturbCoupling,
+///     Condition::with_operation(CellValue::Zero, Operation::W1),
+///     Condition::state(CellValue::Zero),
+///     FaultEffect::store(CellValue::One),
+/// )?;
+/// assert_eq!(fp.to_string(), "<0w1;0/1/->");
+/// assert_eq!(fp.cell_count(), 2);
+/// assert!(fp.is_static());
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultPrimitive {
+    ffm: Ffm,
+    aggressor: Option<Condition>,
+    victim: Condition,
+    effect: FaultEffect,
+}
+
+impl FaultPrimitive {
+    /// Builds a single-cell fault primitive `<S / F / R>`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultModelError::NotStatic`] if the victim condition carries more than one
+    ///   operation (impossible with [`Condition`], kept for future dynamic support);
+    /// * [`FaultModelError::UnknownFaultValue`] if `F` is unconstrained while no read
+    ///   output is given (the primitive would have no observable effect);
+    /// * [`FaultModelError::ReadOutputWithoutRead`] if `R` is given but the
+    ///   sensitizing operation is not a read on the victim.
+    pub fn single_cell(
+        ffm: Ffm,
+        victim: Condition,
+        effect: FaultEffect,
+    ) -> Result<FaultPrimitive, FaultModelError> {
+        let fp = FaultPrimitive {
+            ffm,
+            aggressor: None,
+            victim,
+            effect,
+        };
+        fp.validate()?;
+        Ok(fp)
+    }
+
+    /// Builds a two-cell (coupling) fault primitive `<Sa ; Sv / F / R>`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultPrimitive::single_cell`], plus
+    /// [`FaultModelError::NotStatic`] if both the aggressor and the victim condition
+    /// carry an operation.
+    pub fn coupling(
+        ffm: Ffm,
+        aggressor: Condition,
+        victim: Condition,
+        effect: FaultEffect,
+    ) -> Result<FaultPrimitive, FaultModelError> {
+        let fp = FaultPrimitive {
+            ffm,
+            aggressor: Some(aggressor),
+            victim,
+            effect,
+        };
+        fp.validate()?;
+        Ok(fp)
+    }
+
+    fn validate(&self) -> Result<(), FaultModelError> {
+        let operations = self.victim.operation_count()
+            + self.aggressor.map_or(0, |aggressor| aggressor.operation_count());
+        if operations > 1 {
+            return Err(FaultModelError::NotStatic { operations });
+        }
+        if !self.effect.victim_value().is_known() && self.effect.read_output().is_none() {
+            return Err(FaultModelError::UnknownFaultValue);
+        }
+        if self.effect.read_output().is_some() {
+            let victim_reads = matches!(self.victim.operation(), Some(Operation::Read(_)));
+            if !victim_reads {
+                return Err(FaultModelError::ReadOutputWithoutRead);
+            }
+        }
+        Ok(())
+    }
+
+    /// The functional fault model family this primitive belongs to.
+    #[must_use]
+    pub fn ffm(&self) -> Ffm {
+        self.ffm
+    }
+
+    /// The aggressor condition, present only for coupling primitives.
+    #[must_use]
+    pub fn aggressor(&self) -> Option<&Condition> {
+        self.aggressor.as_ref()
+    }
+
+    /// The victim condition.
+    #[must_use]
+    pub fn victim(&self) -> &Condition {
+        &self.victim
+    }
+
+    /// The faulty behaviour (`F / R`).
+    #[must_use]
+    pub fn effect(&self) -> &FaultEffect {
+        &self.effect
+    }
+
+    /// The number of distinct cells involved: 1 for single-cell, 2 for coupling
+    /// primitives.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        if self.aggressor.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Returns `true` for coupling (two-cell) primitives.
+    #[must_use]
+    pub fn is_coupling(&self) -> bool {
+        self.aggressor.is_some()
+    }
+
+    /// Total number of sensitizing operations; a primitive is *static* when this is
+    /// at most 1 (always true for values of this type).
+    #[must_use]
+    pub fn operation_count(&self) -> usize {
+        self.victim.operation_count()
+            + self.aggressor.map_or(0, |aggressor| aggressor.operation_count())
+    }
+
+    /// Returns `true` for static fault primitives (at most one sensitizing
+    /// operation).
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.operation_count() <= 1
+    }
+
+    /// Which cell the sensitizing operation is applied to.
+    #[must_use]
+    pub fn sensitizing_site(&self) -> SensitizingSite {
+        if self.victim.operation().is_some() {
+            SensitizingSite::Victim
+        } else if self.aggressor.is_some_and(|aggressor| aggressor.operation().is_some()) {
+            SensitizingSite::Aggressor
+        } else {
+            SensitizingSite::None
+        }
+    }
+
+    /// The sensitizing operation, if the primitive has one.
+    #[must_use]
+    pub fn sensitizing_operation(&self) -> Option<Operation> {
+        match self.sensitizing_site() {
+            SensitizingSite::Victim => self.victim.operation(),
+            SensitizingSite::Aggressor => self.aggressor.and_then(|aggressor| aggressor.operation()),
+            SensitizingSite::None => None,
+        }
+    }
+
+    /// The fault value `F` forced into the victim cell.
+    #[must_use]
+    pub fn fault_value(&self) -> CellValue {
+        self.effect.victim_value()
+    }
+
+    /// The initial value required of the victim cell.
+    #[must_use]
+    pub fn victim_initial(&self) -> CellValue {
+        self.victim.initial()
+    }
+
+    /// The value held by the victim cell after sensitization.
+    ///
+    /// For most primitives this equals `F`; if `F` is unconstrained the victim keeps
+    /// its fault-free value.
+    #[must_use]
+    pub fn victim_after(&self) -> CellValue {
+        if self.effect.victim_value().is_known() {
+            self.effect.victim_value()
+        } else {
+            self.victim.fault_free_final()
+        }
+    }
+
+    /// The value the victim cell would hold after the sensitizing condition on a
+    /// *fault-free* memory.
+    #[must_use]
+    pub fn victim_fault_free_after(&self) -> CellValue {
+        self.victim.fault_free_final()
+    }
+
+    /// Returns `true` if the primitive is already detected by its own sensitizing
+    /// operation, i.e. the sensitizing read returns a value different from the
+    /// fault-free one (RDF, IRF, CFrd, CFir).
+    ///
+    /// Such primitives cannot be masked when they appear as the first component of a
+    /// linked fault, because the error is observed before any masking operation can
+    /// take place.
+    #[must_use]
+    pub fn is_detected_by_sensitization(&self) -> bool {
+        match (self.effect.read_output(), self.victim.initial().to_bit()) {
+            (Some(read), Some(fault_free)) => read != fault_free,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if sensitizing the primitive changes the stored value of the
+    /// victim cell with respect to the fault-free behaviour.
+    #[must_use]
+    pub fn corrupts_victim(&self) -> bool {
+        match (
+            self.effect.victim_value().to_bit(),
+            self.victim.fault_free_final().to_bit(),
+        ) {
+            (Some(faulty), Some(fault_free)) => faulty != fault_free,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Renders the primitive in the compact `<S/F/R>` notation, e.g. `<0w1;0/1/->`.
+    #[must_use]
+    pub fn notation(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for FaultPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        if let Some(aggressor) = &self.aggressor {
+            write!(f, "{aggressor};")?;
+        }
+        write!(f, "{}/{}>", self.victim, self.effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bit;
+
+    fn transition_fault_up() -> FaultPrimitive {
+        // <0w1 / 0 / -> : up-transition fault.
+        FaultPrimitive::single_cell(
+            Ffm::TransitionFault,
+            Condition::with_operation(CellValue::Zero, Operation::W1),
+            FaultEffect::store(CellValue::Zero),
+        )
+        .unwrap()
+    }
+
+    fn disturb_coupling() -> FaultPrimitive {
+        // <0w1; 0 / 1 / ->
+        FaultPrimitive::coupling(
+            Ffm::DisturbCoupling,
+            Condition::with_operation(CellValue::Zero, Operation::W1),
+            Condition::state(CellValue::Zero),
+            FaultEffect::store(CellValue::One),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        let tf = transition_fault_up();
+        assert_eq!(tf.cell_count(), 1);
+        assert!(!tf.is_coupling());
+        assert!(tf.is_static());
+        assert_eq!(tf.sensitizing_site(), SensitizingSite::Victim);
+        assert_eq!(tf.sensitizing_operation(), Some(Operation::W1));
+        assert!(tf.corrupts_victim());
+        assert!(!tf.is_detected_by_sensitization());
+
+        let cfds = disturb_coupling();
+        assert_eq!(cfds.cell_count(), 2);
+        assert!(cfds.is_coupling());
+        assert_eq!(cfds.sensitizing_site(), SensitizingSite::Aggressor);
+        assert!(cfds.corrupts_victim());
+    }
+
+    #[test]
+    fn state_fault_has_no_operation() {
+        let sf = FaultPrimitive::single_cell(
+            Ffm::StateFault,
+            Condition::state(CellValue::Zero),
+            FaultEffect::store(CellValue::One),
+        )
+        .unwrap();
+        assert_eq!(sf.sensitizing_site(), SensitizingSite::None);
+        assert_eq!(sf.sensitizing_operation(), None);
+        assert_eq!(sf.victim_after(), CellValue::One);
+        assert!(sf.corrupts_victim());
+    }
+
+    #[test]
+    fn read_fault_detection() {
+        // RDF <0r0 / 1 / 1> is detected by its own read.
+        let rdf = FaultPrimitive::single_cell(
+            Ffm::ReadDestructiveFault,
+            Condition::with_operation(CellValue::Zero, Operation::R0),
+            FaultEffect::with_read(CellValue::One, Bit::One),
+        )
+        .unwrap();
+        assert!(rdf.is_detected_by_sensitization());
+
+        // DRDF <0r0 / 1 / 0> returns the correct value, so it is not.
+        let drdf = FaultPrimitive::single_cell(
+            Ffm::DeceptiveReadDestructiveFault,
+            Condition::with_operation(CellValue::Zero, Operation::R0),
+            FaultEffect::with_read(CellValue::One, Bit::Zero),
+        )
+        .unwrap();
+        assert!(!drdf.is_detected_by_sensitization());
+        assert!(drdf.corrupts_victim());
+
+        // IRF <0r0 / 0 / 1> is detected but does not corrupt the cell.
+        let irf = FaultPrimitive::single_cell(
+            Ffm::IncorrectReadFault,
+            Condition::with_operation(CellValue::Zero, Operation::R0),
+            FaultEffect::with_read(CellValue::Zero, Bit::One),
+        )
+        .unwrap();
+        assert!(irf.is_detected_by_sensitization());
+        assert!(!irf.corrupts_victim());
+    }
+
+    #[test]
+    fn construction_is_validated() {
+        // R given but sensitizing operation is a write.
+        let bad_read = FaultPrimitive::single_cell(
+            Ffm::TransitionFault,
+            Condition::with_operation(CellValue::Zero, Operation::W1),
+            FaultEffect::with_read(CellValue::Zero, Bit::Zero),
+        );
+        assert_eq!(bad_read.unwrap_err(), FaultModelError::ReadOutputWithoutRead);
+
+        // Completely unconstrained effect.
+        let no_effect = FaultPrimitive::single_cell(
+            Ffm::StateFault,
+            Condition::state(CellValue::Zero),
+            FaultEffect::store(CellValue::DontCare),
+        );
+        assert_eq!(no_effect.unwrap_err(), FaultModelError::UnknownFaultValue);
+
+        // Two sensitizing operations would make the primitive dynamic.
+        let dynamic = FaultPrimitive::coupling(
+            Ffm::DisturbCoupling,
+            Condition::with_operation(CellValue::Zero, Operation::W1),
+            Condition::with_operation(CellValue::Zero, Operation::R0),
+            FaultEffect::store(CellValue::One),
+        );
+        assert_eq!(dynamic.unwrap_err(), FaultModelError::NotStatic { operations: 2 });
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(transition_fault_up().to_string(), "<0w1/0/->");
+        assert_eq!(disturb_coupling().to_string(), "<0w1;0/1/->");
+        let rdf = FaultPrimitive::single_cell(
+            Ffm::ReadDestructiveFault,
+            Condition::with_operation(CellValue::One, Operation::R1),
+            FaultEffect::with_read(CellValue::Zero, Bit::Zero),
+        )
+        .unwrap();
+        assert_eq!(rdf.notation(), "<1r1/0/0>");
+    }
+
+    #[test]
+    fn victim_after_tracks_fault_value() {
+        let cfds = disturb_coupling();
+        assert_eq!(cfds.victim_after(), CellValue::One);
+        assert_eq!(cfds.victim_fault_free_after(), CellValue::Zero);
+        let irf = FaultPrimitive::single_cell(
+            Ffm::IncorrectReadFault,
+            Condition::with_operation(CellValue::Zero, Operation::R0),
+            FaultEffect::with_read(CellValue::Zero, Bit::One),
+        )
+        .unwrap();
+        assert_eq!(irf.victim_after(), CellValue::Zero);
+    }
+}

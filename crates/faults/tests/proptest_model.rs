@@ -1,0 +1,155 @@
+//! Property-based tests of the fault-model crate: invariants of the fault-primitive
+//! taxonomy, AFP instantiation and linked-fault construction.
+
+use proptest::prelude::*;
+use sram_fault_model::{
+    AddressedFaultPrimitive, Bit, CellValue, FaultList, Ffm, LinkTopology, LinkedAfp, LinkedFault,
+    MemoryState, Placement, TestPattern,
+};
+
+fn arbitrary_ffm() -> impl Strategy<Value = Ffm> {
+    prop::sample::select(Ffm::all().to_vec())
+}
+
+fn arbitrary_bits(len: usize) -> impl Strategy<Value = Vec<Bit>> {
+    prop::collection::vec(any::<bool>().prop_map(Bit::from), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every realistic fault primitive is static, involves 1 or 2 cells and prints a
+    /// well-formed `<S/F/R>` notation.
+    #[test]
+    fn realistic_primitives_are_well_formed(ffm in arbitrary_ffm()) {
+        for fp in ffm.fault_primitives() {
+            prop_assert!(fp.is_static());
+            prop_assert!(fp.cell_count() == 1 || fp.cell_count() == 2);
+            prop_assert_eq!(fp.cell_count() == 2, fp.is_coupling());
+            prop_assert_eq!(fp.ffm(), ffm);
+            let notation = fp.notation();
+            prop_assert!(notation.starts_with('<') && notation.ends_with('>'));
+            // The effect is observable: either the cell is corrupted or the read
+            // output is wrong.
+            prop_assert!(fp.corrupts_victim() || fp.is_detected_by_sensitization());
+        }
+    }
+
+    /// AFP instantiation respects the paper's (I, Es, Fv, Gv) semantics: Gv follows
+    /// the fault-free operation, Fv differs from Gv exactly on the victim cell
+    /// (when the primitive corrupts it), and uninvolved cells stay unconstrained.
+    #[test]
+    fn afp_instantiation_invariants(
+        ffm in arbitrary_ffm(),
+        index in 0usize..12,
+        cells in 2usize..5,
+        victim in 0usize..4,
+        aggressor in 0usize..4,
+    ) {
+        let primitives = ffm.fault_primitives();
+        let fp = &primitives[index % primitives.len()];
+        let victim = victim % cells;
+        let aggressor = aggressor % cells;
+        let placement = if fp.is_coupling() {
+            if aggressor == victim {
+                return Ok(());
+            }
+            Placement::coupling(aggressor, victim, cells).expect("valid placement")
+        } else {
+            Placement::single_cell(victim, cells).expect("valid placement")
+        };
+
+        let afp = AddressedFaultPrimitive::instantiate(fp, placement).expect("instantiation");
+        prop_assert_eq!(afp.initial().len(), cells);
+        prop_assert_eq!(afp.faulty().len(), cells);
+        prop_assert_eq!(afp.expected().len(), cells);
+
+        for cell in 0..cells {
+            let involved = cell == victim || Some(cell) == placement.aggressor();
+            if !involved {
+                prop_assert_eq!(afp.initial()[cell], CellValue::DontCare);
+                prop_assert_eq!(afp.faulty()[cell], CellValue::DontCare);
+                prop_assert_eq!(afp.expected()[cell], CellValue::DontCare);
+            }
+            if cell != victim {
+                // Only the victim may differ between the faulty and fault-free state.
+                prop_assert_eq!(afp.faulty()[cell], afp.expected()[cell]);
+            }
+        }
+        if fp.corrupts_victim() {
+            prop_assert_ne!(afp.victim_faulty_value(), afp.victim_expected_value());
+        }
+
+        // The derived test pattern observes the victim.
+        let tp = TestPattern::new(afp);
+        prop_assert_eq!(tp.observe().cell(), victim);
+    }
+
+    /// Linked faults accepted by the constructor always satisfy Definition 6: the
+    /// second primitive's fault value is the complement of the first's, and the
+    /// second can be sensitized in the state the first leaves behind.
+    #[test]
+    fn linked_faults_satisfy_definition_6(index in 0usize..2048) {
+        let list = FaultList::list_1();
+        let fault = &list.linked()[index % list.linked().len()];
+        let f1 = fault.first().fault_value().to_bit().expect("concrete F1");
+        let f2 = fault.second().fault_value().to_bit().expect("concrete F2");
+        prop_assert_eq!(f2, f1.flipped());
+        prop_assert!(fault
+            .second()
+            .victim()
+            .initial()
+            .compatible(fault.first().fault_value()));
+        prop_assert_eq!(fault.cell_count(), fault.topology().cell_count());
+    }
+
+    /// Linking AFPs (Definition 7) accepts exactly the pairs that share a victim and
+    /// whose states chain: a canonical LF3 instantiation always links.
+    #[test]
+    fn lf3_instantiations_link_as_afps(index in 0usize..1024) {
+        let list = FaultList::list_1();
+        let lf3: Vec<&LinkedFault> = list
+            .linked()
+            .iter()
+            .filter(|lf| lf.topology() == LinkTopology::Lf3)
+            .collect();
+        let fault = lf3[index % lf3.len()];
+        let first = AddressedFaultPrimitive::instantiate(
+            fault.first(),
+            Placement::coupling(0, 2, 3).expect("valid"),
+        )
+        .expect("instantiation");
+        let second = AddressedFaultPrimitive::instantiate(
+            fault.second(),
+            Placement::coupling(1, 2, 3).expect("valid"),
+        )
+        .expect("instantiation");
+        let linked = LinkedAfp::try_link(first, second);
+        prop_assert!(linked.is_ok(), "{:?}", linked.err());
+    }
+
+    /// Memory-state matching is consistent with expansion.
+    #[test]
+    fn memory_state_matching(bits in arbitrary_bits(5)) {
+        let state = MemoryState::from_bits(&bits);
+        prop_assert!(state.matches_bits(&bits));
+        prop_assert!(state.is_fully_known());
+        prop_assert_eq!(state.expand(), vec![bits.clone()]);
+        let relaxed = state.with(2, CellValue::DontCare);
+        prop_assert!(relaxed.matches_bits(&bits));
+        prop_assert_eq!(relaxed.expand().len(), 2);
+    }
+
+    /// The two target fault lists are stable under re-enumeration (deterministic
+    /// construction) and list #2 is always a subset of list #1.
+    #[test]
+    fn fault_lists_are_deterministic(_dummy in 0usize..4) {
+        let a = FaultList::list_2();
+        let b = FaultList::list_2();
+        prop_assert_eq!(a.linked(), b.linked());
+        let list1 = FaultList::list_1();
+        for fault in a.linked() {
+            prop_assert!(list1.linked().contains(fault));
+        }
+    }
+}

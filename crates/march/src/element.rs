@@ -1,0 +1,220 @@
+//! March elements: a sequence of operations applied to every cell in one address
+//! order.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sram_fault_model::{Bit, Operation};
+
+use crate::{AddressOrder, ParseMarchError};
+
+/// A march element: a non-empty sequence of memory operations applied to every
+/// memory cell, visiting the cells in a given [`AddressOrder`].
+///
+/// # Examples
+///
+/// ```
+/// use march_test::{AddressOrder, MarchElement};
+/// use sram_fault_model::Operation;
+///
+/// let element: MarchElement = "⇑(r0,w1)".parse()?;
+/// assert_eq!(element.order(), AddressOrder::Ascending);
+/// assert_eq!(element.operations(), &[Operation::R0, Operation::W1]);
+/// assert_eq!(element.len(), 2);
+/// assert_eq!(element.to_string(), "⇑(r0,w1)");
+/// # Ok::<(), march_test::ParseMarchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchElement {
+    order: AddressOrder,
+    operations: Vec<Operation>,
+}
+
+impl MarchElement {
+    /// Creates a march element from an address order and its operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMarchError::EmptyElement`] if `operations` is empty.
+    pub fn new(
+        order: AddressOrder,
+        operations: Vec<Operation>,
+    ) -> Result<MarchElement, ParseMarchError> {
+        if operations.is_empty() {
+            return Err(ParseMarchError::EmptyElement);
+        }
+        Ok(MarchElement { order, operations })
+    }
+
+    /// Convenience constructor for the ubiquitous initialisation element `⇕(w0)`.
+    #[must_use]
+    pub fn initialise(value: Bit) -> MarchElement {
+        MarchElement {
+            order: AddressOrder::Any,
+            operations: vec![Operation::Write(value)],
+        }
+    }
+
+    /// The address order of the element.
+    #[must_use]
+    pub fn order(&self) -> AddressOrder {
+        self.order
+    }
+
+    /// The operations applied to each cell, in application order.
+    #[must_use]
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// The number of operations per cell (the element's contribution to the `Xn`
+    /// complexity of the march test).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Always `false`: elements are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Returns a copy of the element with the opposite address order.
+    #[must_use]
+    pub fn reversed(&self) -> MarchElement {
+        MarchElement {
+            order: self.order.reversed(),
+            operations: self.operations.clone(),
+        }
+    }
+
+    /// Returns a copy of the element with every data value complemented
+    /// (`w0 ↔ w1`, `r0 ↔ r1`); useful when exploiting the data-background symmetry
+    /// of march tests.
+    #[must_use]
+    pub fn complemented(&self) -> MarchElement {
+        MarchElement {
+            order: self.order,
+            operations: self
+                .operations
+                .iter()
+                .map(|op| match op {
+                    Operation::Write(bit) => Operation::Write(bit.flipped()),
+                    Operation::Read(Some(bit)) => Operation::Read(Some(bit.flipped())),
+                    other => *other,
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if the element contains at least one read operation (and can
+    /// therefore observe faults).
+    #[must_use]
+    pub fn observes(&self) -> bool {
+        self.operations.iter().any(|op| op.is_read())
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.order)?;
+        for (index, op) in self.operations.iter().enumerate() {
+            if index > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromStr for MarchElement {
+    type Err = ParseMarchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let text = s.trim();
+        let open = text
+            .find('(')
+            .ok_or_else(|| ParseMarchError::MalformedElement(text.to_string()))?;
+        if !text.ends_with(')') {
+            return Err(ParseMarchError::MalformedElement(text.to_string()));
+        }
+        let order: AddressOrder = text[..open].trim().parse()?;
+        let body = &text[open + 1..text.len() - 1];
+        let operations = body
+            .split([',', ';'])
+            .map(str::trim)
+            .filter(|token| !token.is_empty())
+            .map(|token| {
+                token
+                    .parse::<Operation>()
+                    .map_err(|_| ParseMarchError::InvalidOperation(token.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        MarchElement::new(order, operations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_requires_operations() {
+        assert_eq!(
+            MarchElement::new(AddressOrder::Ascending, vec![]).unwrap_err(),
+            ParseMarchError::EmptyElement
+        );
+        let element =
+            MarchElement::new(AddressOrder::Descending, vec![Operation::R1, Operation::W0])
+                .unwrap();
+        assert_eq!(element.len(), 2);
+        assert!(!element.is_empty());
+        assert!(element.observes());
+    }
+
+    #[test]
+    fn initialise_element() {
+        let init = MarchElement::initialise(Bit::Zero);
+        assert_eq!(init.to_string(), "⇕(w0)");
+        assert!(!init.observes());
+    }
+
+    #[test]
+    fn parse_variants() {
+        let unicode: MarchElement = "⇓(r1,w0,r0)".parse().unwrap();
+        assert_eq!(unicode.order(), AddressOrder::Descending);
+        assert_eq!(unicode.len(), 3);
+
+        let ascii: MarchElement = "up(r0, w1)".parse().unwrap();
+        assert_eq!(ascii.order(), AddressOrder::Ascending);
+        assert_eq!(ascii.operations(), &[Operation::R0, Operation::W1]);
+
+        let any: MarchElement = "c(w0)".parse().unwrap();
+        assert_eq!(any.order(), AddressOrder::Any);
+
+        assert!("".parse::<MarchElement>().is_err());
+        assert!("⇑r0".parse::<MarchElement>().is_err());
+        assert!("⇑()".parse::<MarchElement>().is_err());
+        assert!("⇑(q9)".parse::<MarchElement>().is_err());
+        assert!("sideways(r0)".parse::<MarchElement>().is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in ["⇑(r0,w1)", "⇓(r1,r1,w1,r1,w0,w0,r0)", "⇕(w0)"] {
+            let element: MarchElement = text.parse().unwrap();
+            assert_eq!(element.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn reversed_and_complemented() {
+        let element: MarchElement = "⇑(r0,w1)".parse().unwrap();
+        assert_eq!(element.reversed().to_string(), "⇓(r0,w1)");
+        assert_eq!(element.complemented().to_string(), "⇑(r1,w0)");
+        let wait: MarchElement = "⇕(t,r0)".parse().unwrap();
+        assert_eq!(wait.complemented().to_string(), "⇕(t,r1)");
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors produced while parsing or building march tests.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a march test, element or address order cannot be parsed or
+/// assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseMarchError {
+    /// The address-order marker is unknown (expected `⇑`, `⇓`, `⇕` or an ASCII
+    /// equivalent).
+    UnknownAddressOrder(String),
+    /// A memory operation inside an element could not be parsed.
+    InvalidOperation(String),
+    /// A march element is syntactically malformed (missing parentheses, …).
+    MalformedElement(String),
+    /// A march element contains no operations.
+    EmptyElement,
+    /// A march test contains no elements.
+    EmptyTest,
+}
+
+impl fmt::Display for ParseMarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMarchError::UnknownAddressOrder(text) => {
+                write!(f, "unknown address order `{text}`")
+            }
+            ParseMarchError::InvalidOperation(text) => {
+                write!(f, "invalid memory operation `{text}`")
+            }
+            ParseMarchError::MalformedElement(text) => {
+                write!(f, "malformed march element `{text}`")
+            }
+            ParseMarchError::EmptyElement => write!(f, "march element contains no operations"),
+            ParseMarchError::EmptyTest => write!(f, "march test contains no elements"),
+        }
+    }
+}
+
+impl Error for ParseMarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_non_empty_and_lowercase() {
+        for err in [
+            ParseMarchError::UnknownAddressOrder("x".into()),
+            ParseMarchError::InvalidOperation("w2".into()),
+            ParseMarchError::MalformedElement("(w0".into()),
+            ParseMarchError::EmptyElement,
+            ParseMarchError::EmptyTest,
+        ] {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseMarchError>();
+    }
+}

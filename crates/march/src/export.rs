@@ -1,0 +1,167 @@
+//! Exporting march tests to external formats: ASCII notation, C test routines and
+//! Markdown comparison tables.
+//!
+//! Generated march tests are ultimately consumed by memory BIST controllers or by
+//! production test programs; this module renders a [`MarchTest`] into the formats
+//! such flows typically start from.
+
+use std::fmt::Write as _;
+
+use sram_fault_model::Operation;
+
+use crate::{AddressOrder, MarchTest};
+
+/// Renders the test in a plain-ASCII notation (`any(w0); up(r0,w1); down(r1,w0)`),
+/// convenient for tool flows that cannot ingest the `⇑⇓⇕` arrows.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::{catalog, export};
+///
+/// assert_eq!(
+///     export::to_ascii(&catalog::mats_plus()),
+///     "any(w0); up(r0,w1); down(r1,w0)"
+/// );
+/// ```
+#[must_use]
+pub fn to_ascii(test: &MarchTest) -> String {
+    test.elements()
+        .iter()
+        .map(|element| {
+            let ops = element
+                .operations()
+                .iter()
+                .map(|op| op.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{}({})", element.order().ascii(), ops)
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Renders the test as a self-contained C function operating on a
+/// `volatile unsigned char *memory` of `size` cells, returning the number of
+/// failing reads — the shape of a software-based memory test routine.
+///
+/// The generated code uses one loop per march element, ascending or descending
+/// according to the element's address order (`⇕` elements use the ascending loop).
+#[must_use]
+pub fn to_c_function(test: &MarchTest, function_name: &str) -> String {
+    let mut code = String::new();
+    let _ = writeln!(
+        code,
+        "/* {} — generated from the march test: {} */",
+        function_name,
+        to_ascii(test)
+    );
+    let _ = writeln!(
+        code,
+        "unsigned long {function_name}(volatile unsigned char *memory, unsigned long size) {{"
+    );
+    let _ = writeln!(code, "    unsigned long errors = 0;");
+    let _ = writeln!(code, "    unsigned long i;");
+    for (index, element) in test.iter() {
+        let _ = writeln!(code, "    /* element {index}: {element} */");
+        let (init, condition, step) = match element.order() {
+            AddressOrder::Ascending | AddressOrder::Any => ("0", "i < size", "i++"),
+            AddressOrder::Descending => ("size", "i-- > 0", ""),
+        };
+        if element.order() == AddressOrder::Descending {
+            let _ = writeln!(code, "    for (i = {init}; {condition};) {{");
+        } else {
+            let _ = writeln!(code, "    for (i = {init}; {condition}; {step}) {{");
+        }
+        for op in element.operations() {
+            match op {
+                Operation::Write(bit) => {
+                    let _ = writeln!(code, "        memory[i] = {};", bit.as_u8());
+                }
+                Operation::Read(Some(bit)) => {
+                    let _ = writeln!(
+                        code,
+                        "        if (memory[i] != {}) {{ errors++; }}",
+                        bit.as_u8()
+                    );
+                }
+                Operation::Read(None) => {
+                    let _ = writeln!(code, "        (void)memory[i];");
+                }
+                Operation::Wait => {
+                    let _ = writeln!(code, "        /* retention wait */");
+                }
+            }
+        }
+        let _ = writeln!(code, "    }}");
+    }
+    let _ = writeln!(code, "    return errors;");
+    let _ = writeln!(code, "}}");
+    code
+}
+
+/// Renders a set of march tests as a Markdown comparison table (name, complexity,
+/// number of elements, reads per cell, notation) — the shape of the comparison
+/// tables used in the memory-testing literature.
+#[must_use]
+pub fn to_markdown_table(tests: &[MarchTest]) -> String {
+    let mut table = String::new();
+    table.push_str("| march test | O(n) | elements | reads/cell | notation |\n");
+    table.push_str("|---|---|---|---|---|\n");
+    for test in tests {
+        let _ = writeln!(
+            table,
+            "| {} | {} | {} | {} | `{}` |",
+            test.name(),
+            test.complexity_label(),
+            test.elements().len(),
+            test.read_count(),
+            to_ascii(test)
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn ascii_round_trips_through_the_parser() {
+        for test in catalog::all() {
+            let ascii = to_ascii(&test);
+            let reparsed = MarchTest::parse(test.name(), &ascii).expect("ascii notation parses");
+            assert_eq!(reparsed.notation(), test.notation(), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn c_export_contains_one_loop_per_element() {
+        let code = to_c_function(&catalog::march_c_minus(), "march_c_minus");
+        assert_eq!(code.matches("for (").count(), 6);
+        assert!(code.contains("unsigned long march_c_minus"));
+        assert!(code.contains("memory[i] = 0;"));
+        assert!(code.contains("if (memory[i] != 1) { errors++; }"));
+        assert!(code.contains("return errors;"));
+    }
+
+    #[test]
+    fn c_export_handles_descending_and_wait_elements() {
+        let test = MarchTest::parse("t", "⇓(r1,w0); ⇕(t,r0); ⇑(r)").unwrap();
+        let code = to_c_function(&test, "t");
+        assert!(code.contains("for (i = size; i-- > 0;)"));
+        assert!(code.contains("retention wait"));
+        assert!(code.contains("(void)memory[i];"));
+    }
+
+    #[test]
+    fn markdown_table_lists_every_test() {
+        let tests = catalog::all();
+        let table = to_markdown_table(&tests);
+        for test in &tests {
+            assert!(table.contains(test.name()), "missing {}", test.name());
+        }
+        assert!(table.lines().count() >= tests.len() + 2);
+    }
+}

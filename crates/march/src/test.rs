@@ -1,0 +1,329 @@
+//! March tests: named sequences of march elements.
+
+use std::fmt;
+
+use sram_fault_model::{Bit, Operation};
+
+use crate::{AddressOrder, MarchElement, ParseMarchError};
+
+/// A march test (Definition 10 of the paper): a named, ordered sequence of
+/// [`MarchElement`]s.
+///
+/// The *complexity* of a march test is the total number of operations applied to
+/// each cell; a test of complexity `k` is conventionally referred to as a "`k`·n"
+/// test because it performs `k · n` operations on an `n`-cell memory.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::MarchTest;
+///
+/// let march_c = MarchTest::parse(
+///     "March C-",
+///     "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)",
+/// )?;
+/// assert_eq!(march_c.complexity(), 10);
+/// assert_eq!(march_c.operation_count(1024), 10 * 1024);
+/// # Ok::<(), march_test::ParseMarchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchTest {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// Creates a march test from its elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMarchError::EmptyTest`] if `elements` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        elements: Vec<MarchElement>,
+    ) -> Result<MarchTest, ParseMarchError> {
+        if elements.is_empty() {
+            return Err(ParseMarchError::EmptyTest);
+        }
+        Ok(MarchTest {
+            name: name.into(),
+            elements,
+        })
+    }
+
+    /// Parses a march test from the standard notation, e.g.
+    /// `"⇕(w0); ⇑(r0,w1); ⇓(r1,w0)"`. Elements are separated by `;` (outside
+    /// parentheses) or whitespace between closing and opening parentheses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element parse errors and returns [`ParseMarchError::EmptyTest`]
+    /// when no element is found.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<MarchTest, ParseMarchError> {
+        let mut elements = Vec::new();
+        let mut current = String::new();
+        let mut depth = 0usize;
+        for c in text.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    current.push(c);
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    current.push(c);
+                    if depth == 0 {
+                        let token = current.trim();
+                        if !token.is_empty() {
+                            elements.push(token.parse::<MarchElement>()?);
+                        }
+                        current.clear();
+                    }
+                }
+                ';' if depth == 0 => {
+                    // Separator between elements; the element was already flushed at
+                    // its closing parenthesis.
+                    current.clear();
+                }
+                _ => current.push(c),
+            }
+        }
+        if !current.trim().is_empty() {
+            return Err(ParseMarchError::MalformedElement(current.trim().to_string()));
+        }
+        MarchTest::new(name, elements)
+    }
+
+    /// The test's name (e.g. `"March SL"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy of the test under a different name.
+    #[must_use]
+    pub fn with_name(&self, name: impl Into<String>) -> MarchTest {
+        MarchTest {
+            name: name.into(),
+            elements: self.elements.clone(),
+        }
+    }
+
+    /// The march elements in application order.
+    #[must_use]
+    pub fn elements(&self) -> &[MarchElement] {
+        &self.elements
+    }
+
+    /// The complexity coefficient: total operations applied to each cell
+    /// (the `k` of a "`k`·n" test).
+    #[must_use]
+    pub fn complexity(&self) -> usize {
+        self.elements.iter().map(MarchElement::len).sum()
+    }
+
+    /// Total number of memory operations performed on an `cells`-cell memory.
+    #[must_use]
+    pub fn operation_count(&self, cells: usize) -> usize {
+        self.complexity() * cells
+    }
+
+    /// Number of read operations per cell (observability budget of the test).
+    #[must_use]
+    pub fn read_count(&self) -> usize {
+        self.elements
+            .iter()
+            .flat_map(|element| element.operations())
+            .filter(|op| op.is_read())
+            .count()
+    }
+
+    /// The complexity expressed in the conventional `"<k>n"` form, e.g. `"41n"`.
+    #[must_use]
+    pub fn complexity_label(&self) -> String {
+        format!("{}n", self.complexity())
+    }
+
+    /// Iterates over `(element index, element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &MarchElement)> {
+        self.elements.iter().enumerate()
+    }
+
+    /// Returns a copy of the test with every data value complemented
+    /// (`w0 ↔ w1`, `r0 ↔ r1`).
+    #[must_use]
+    pub fn complemented(&self) -> MarchTest {
+        MarchTest {
+            name: format!("{} (complemented)", self.name),
+            elements: self.elements.iter().map(MarchElement::complemented).collect(),
+        }
+    }
+
+    /// The notation of the test without its name, e.g. `"⇕(w0); ⇑(r0,w1)"`.
+    #[must_use]
+    pub fn notation(&self) -> String {
+        self.elements
+            .iter()
+            .map(MarchElement::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.notation())
+    }
+}
+
+/// Incremental builder for march tests, convenient for generators.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::{AddressOrder, MarchTestBuilder};
+/// use sram_fault_model::{Bit, Operation};
+///
+/// let test = MarchTestBuilder::new("example")
+///     .initialise(Bit::Zero)
+///     .element(AddressOrder::Ascending, [Operation::R0, Operation::W1])?
+///     .element(AddressOrder::Descending, [Operation::R1, Operation::W0])?
+///     .build()?;
+/// assert_eq!(test.complexity(), 5);
+/// # Ok::<(), march_test::ParseMarchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarchTestBuilder {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+impl MarchTestBuilder {
+    /// Starts building a march test with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> MarchTestBuilder {
+        MarchTestBuilder {
+            name: name.into(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Appends the initialisation element `⇕(w<value>)`.
+    #[must_use]
+    pub fn initialise(mut self, value: Bit) -> MarchTestBuilder {
+        self.elements.push(MarchElement::initialise(value));
+        self
+    }
+
+    /// Appends an element from an address order and operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMarchError::EmptyElement`] if no operation is supplied.
+    pub fn element(
+        mut self,
+        order: AddressOrder,
+        operations: impl IntoIterator<Item = Operation>,
+    ) -> Result<MarchTestBuilder, ParseMarchError> {
+        let element = MarchElement::new(order, operations.into_iter().collect())?;
+        self.elements.push(element);
+        Ok(self)
+    }
+
+    /// Appends an already built element.
+    #[must_use]
+    pub fn push(mut self, element: MarchElement) -> MarchTestBuilder {
+        self.elements.push(element);
+        self
+    }
+
+    /// Number of elements added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if no element has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Finalises the march test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMarchError::EmptyTest`] if no element was added.
+    pub fn build(self) -> Result<MarchTest, ParseMarchError> {
+        MarchTest::new(self.name, self.elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_of_known_tests() {
+        let mats = MarchTest::parse("MATS+", "⇕(w0); ⇑(r0,w1); ⇓(r1,w0)").unwrap();
+        assert_eq!(mats.complexity(), 5);
+        assert_eq!(mats.complexity_label(), "5n");
+        assert_eq!(mats.operation_count(16), 80);
+        assert_eq!(mats.read_count(), 2);
+        assert_eq!(mats.elements().len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            MarchTest::parse("empty", "").unwrap_err(),
+            ParseMarchError::EmptyTest
+        );
+        assert!(MarchTest::parse("bad", "⇑(r0,w1); trailing").is_err());
+        assert!(MarchTest::parse("bad", "⇑(zz)").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_separated_elements() {
+        let test = MarchTest::parse("t", "c(w0) ⇑(r0,w1) ⇓(r1,w0)").unwrap();
+        assert_eq!(test.elements().len(), 3);
+        assert_eq!(test.complexity(), 5);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let text = "⇕(w0); ⇑(r0,r0,w0,r0,w1,w1,r1); ⇓(r1,w0)";
+        let test = MarchTest::parse("X", text).unwrap();
+        assert_eq!(test.notation(), text);
+        assert_eq!(test.to_string(), format!("X: {text}"));
+        let reparsed = MarchTest::parse("X", &test.notation()).unwrap();
+        assert_eq!(reparsed, test);
+    }
+
+    #[test]
+    fn builder() {
+        let test = MarchTestBuilder::new("b")
+            .initialise(Bit::Zero)
+            .element(AddressOrder::Ascending, [Operation::R0, Operation::W1])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(test.complexity(), 3);
+        assert!(MarchTestBuilder::new("e").build().is_err());
+        assert!(MarchTestBuilder::new("e").is_empty());
+    }
+
+    #[test]
+    fn complemented_swaps_polarities() {
+        let test = MarchTest::parse("t", "⇕(w0); ⇑(r0,w1)").unwrap();
+        assert_eq!(test.complemented().notation(), "⇕(w1); ⇑(r1,w0)");
+    }
+
+    #[test]
+    fn with_name_preserves_elements() {
+        let test = MarchTest::parse("a", "⇕(w0)").unwrap();
+        let renamed = test.with_name("b");
+        assert_eq!(renamed.name(), "b");
+        assert_eq!(renamed.elements(), test.elements());
+    }
+}

@@ -1,0 +1,367 @@
+//! Coverage measurement of march tests over fault lists.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use march_test::MarchTest;
+use sram_fault_model::{FaultList, FaultPrimitive, LinkTopology, LinkedFault};
+
+use crate::{
+    enumerate_placements, run_march, FaultSimulator, InitialState, InjectedFault, InstanceCells,
+    LinkedFaultInstance, PlacementStrategy,
+};
+
+/// Which kind of target escaped a march test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetKind {
+    /// A simple (unlinked) fault primitive.
+    Simple(FaultPrimitive),
+    /// A linked fault.
+    Linked(LinkedFault),
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetKind::Simple(fp) => write!(f, "{fp}"),
+            TargetKind::Linked(lf) => write!(f, "{lf}"),
+        }
+    }
+}
+
+/// One undetected (target, placement, background) combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escape {
+    /// The fault that escaped.
+    pub target: TargetKind,
+    /// The cell assignment under which it escaped.
+    pub cells: InstanceCells,
+    /// The initial memory content under which it escaped.
+    pub background: InitialState,
+}
+
+impl fmt::Display for Escape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} ({:?})", self.target, self.cells, self.background)
+    }
+}
+
+/// Configuration of a coverage measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageConfig {
+    /// Number of cells of the simulated memory (≥ 4).
+    pub memory_cells: usize,
+    /// How exhaustively cell placements are enumerated.
+    pub strategy: PlacementStrategy,
+    /// The initial memory contents under which the test must detect each fault.
+    pub backgrounds: Vec<InitialState>,
+}
+
+impl Default for CoverageConfig {
+    fn default() -> Self {
+        CoverageConfig {
+            memory_cells: 8,
+            strategy: PlacementStrategy::Representative,
+            backgrounds: vec![InitialState::AllOne],
+        }
+    }
+}
+
+impl CoverageConfig {
+    /// A thorough configuration: representative placements on an 8-cell memory, but
+    /// every fault must be detected under both the all-zero and the all-one
+    /// background.
+    #[must_use]
+    pub fn thorough() -> CoverageConfig {
+        CoverageConfig {
+            memory_cells: 8,
+            strategy: PlacementStrategy::Representative,
+            backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+        }
+    }
+
+    /// An exhaustive configuration: every placement on a small memory, both uniform
+    /// backgrounds. Slow; intended for final verification runs.
+    #[must_use]
+    pub fn exhaustive() -> CoverageConfig {
+        CoverageConfig {
+            memory_cells: 6,
+            strategy: PlacementStrategy::Exhaustive,
+            backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+        }
+    }
+}
+
+/// The result of measuring a march test's coverage over a fault list.
+///
+/// A fault counts as *covered* only if the test detects it under **every**
+/// enumerated cell placement and initial background.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    test_name: String,
+    list_name: String,
+    total: usize,
+    covered: usize,
+    escapes: Vec<Escape>,
+    by_topology: BTreeMap<LinkTopology, (usize, usize)>,
+}
+
+impl CoverageReport {
+    /// The march test that was evaluated.
+    #[must_use]
+    pub fn test_name(&self) -> &str {
+        &self.test_name
+    }
+
+    /// The fault list that was targeted.
+    #[must_use]
+    pub fn list_name(&self) -> &str {
+        &self.list_name
+    }
+
+    /// Total number of targets in the list.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of covered targets.
+    #[must_use]
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Coverage percentage (100.0 for an empty list).
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.covered as f64 / self.total as f64
+        }
+    }
+
+    /// Returns `true` if every target is covered.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.covered == self.total
+    }
+
+    /// The undetected (target, placement, background) combinations.
+    #[must_use]
+    pub fn escapes(&self) -> &[Escape] {
+        &self.escapes
+    }
+
+    /// Per-topology `(covered, total)` counts for the linked-fault targets.
+    #[must_use]
+    pub fn by_topology(&self) -> &BTreeMap<LinkTopology, (usize, usize)> {
+        &self.by_topology
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {}/{} covered ({:.1}%)",
+            self.test_name,
+            self.list_name,
+            self.covered,
+            self.total,
+            self.percent()
+        )
+    }
+}
+
+/// Measures the coverage of `test` over `list` under the given configuration.
+///
+/// Every simple primitive and every linked fault of the list is instantiated on the
+/// placements returned by [`enumerate_placements`] and simulated under every
+/// configured background; the target is covered only if every combination is
+/// detected.
+#[must_use]
+pub fn measure_coverage(
+    test: &MarchTest,
+    list: &FaultList,
+    config: &CoverageConfig,
+) -> CoverageReport {
+    let mut total = 0usize;
+    let mut covered = 0usize;
+    let mut escapes = Vec::new();
+    let mut by_topology: BTreeMap<LinkTopology, (usize, usize)> = BTreeMap::new();
+
+    for primitive in list.simple() {
+        total += 1;
+        match simple_escape(test, primitive, config) {
+            None => covered += 1,
+            Some(escape) => escapes.push(escape),
+        }
+    }
+
+    for fault in list.linked() {
+        total += 1;
+        let entry = by_topology.entry(fault.topology()).or_insert((0, 0));
+        entry.1 += 1;
+        match linked_escape(test, fault, config) {
+            None => {
+                covered += 1;
+                entry.0 += 1;
+            }
+            Some(escape) => escapes.push(escape),
+        }
+    }
+
+    CoverageReport {
+        test_name: test.name().to_string(),
+        list_name: list.name().to_string(),
+        total,
+        covered,
+        escapes,
+        by_topology,
+    }
+}
+
+/// Returns `true` if `test` detects the given linked fault under every placement and
+/// background of `config`.
+#[must_use]
+pub fn detects_linked(test: &MarchTest, fault: &LinkedFault, config: &CoverageConfig) -> bool {
+    linked_escape(test, fault, config).is_none()
+}
+
+/// Returns `true` if `test` detects the given simple fault primitive under every
+/// placement and background of `config`.
+#[must_use]
+pub fn detects_simple(test: &MarchTest, primitive: &FaultPrimitive, config: &CoverageConfig) -> bool {
+    simple_escape(test, primitive, config).is_none()
+}
+
+fn simple_placements(primitive: &FaultPrimitive, config: &CoverageConfig) -> Vec<InstanceCells> {
+    let topology = if primitive.is_coupling() {
+        LinkTopology::Lf2CouplingThenSingle
+    } else {
+        LinkTopology::Lf1
+    };
+    enumerate_placements(topology, config.memory_cells, config.strategy)
+}
+
+fn simple_escape(
+    test: &MarchTest,
+    primitive: &FaultPrimitive,
+    config: &CoverageConfig,
+) -> Option<Escape> {
+    for cells in simple_placements(primitive, config) {
+        for background in &config.backgrounds {
+            let mut simulator = FaultSimulator::new(config.memory_cells, background)
+                .expect("coverage memory configuration is valid");
+            let injected = if primitive.is_coupling() {
+                InjectedFault::coupling(
+                    primitive.clone(),
+                    cells.aggressor_first.expect("pair placement"),
+                    cells.victim,
+                    config.memory_cells,
+                )
+            } else {
+                InjectedFault::single_cell(primitive.clone(), cells.victim, config.memory_cells)
+            }
+            .expect("enumerated placements are valid");
+            simulator.inject(injected);
+            if !run_march(test, &mut simulator).detected() {
+                return Some(Escape {
+                    target: TargetKind::Simple(primitive.clone()),
+                    cells,
+                    background: background.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn linked_escape(
+    test: &MarchTest,
+    fault: &LinkedFault,
+    config: &CoverageConfig,
+) -> Option<Escape> {
+    for cells in enumerate_placements(fault.topology(), config.memory_cells, config.strategy) {
+        for background in &config.backgrounds {
+            let mut simulator = FaultSimulator::new(config.memory_cells, background)
+                .expect("coverage memory configuration is valid");
+            let instance = LinkedFaultInstance::new(fault.clone(), cells, config.memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_linked(&instance);
+            if !run_march(test, &mut simulator).detected() {
+                return Some(Escape {
+                    target: TargetKind::Linked(fault.clone()),
+                    cells,
+                    background: background.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+
+    #[test]
+    fn march_ss_covers_the_unlinked_static_faults() {
+        let report = measure_coverage(
+            &catalog::march_ss(),
+            &FaultList::unlinked_static(),
+            &CoverageConfig::thorough(),
+        );
+        assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+        assert_eq!(report.total(), 48);
+        assert!((report.percent() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn mats_plus_does_not_cover_the_unlinked_static_faults() {
+        let report = measure_coverage(
+            &catalog::mats_plus(),
+            &FaultList::unlinked_static(),
+            &CoverageConfig::default(),
+        );
+        assert!(!report.is_complete());
+        assert!(!report.escapes().is_empty());
+        assert!(report.covered() > 0);
+    }
+
+    #[test]
+    fn march_abl1_covers_fault_list_2() {
+        let report = measure_coverage(
+            &catalog::march_abl1(),
+            &FaultList::list_2(),
+            &CoverageConfig::thorough(),
+        );
+        assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    }
+
+    #[test]
+    fn mats_plus_misses_single_cell_linked_faults() {
+        let report = measure_coverage(
+            &catalog::mats_plus(),
+            &FaultList::list_2(),
+            &CoverageConfig::default(),
+        );
+        assert!(!report.is_complete());
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = measure_coverage(
+            &catalog::march_c_minus(),
+            &FaultList::list_2(),
+            &CoverageConfig::default(),
+        );
+        assert_eq!(report.test_name(), "March C-");
+        assert!(report.list_name().contains("Fault List #2"));
+        assert_eq!(report.total(), 32);
+        assert!(report.by_topology().contains_key(&LinkTopology::Lf1));
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Fault dictionaries: pre-computed syndrome databases for march-test based
+//! diagnosis.
+//!
+//! A fault dictionary maps every fault instance of a fault list (fault × cell
+//! assignment) to the failure [`Syndrome`] it produces under a given march test.
+//! Dictionaries make repeated diagnosis queries cheap (one set lookup instead of a
+//! full simulation sweep) and expose the *diagnostic resolution* of a march test —
+//! how many fault instances share the same syndrome and are therefore
+//! indistinguishable by that test.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use march_test::MarchTest;
+use sram_fault_model::FaultList;
+
+use crate::{
+    enumerate_placements, CoverageConfig, FaultSimulator, InitialState, InjectedFault,
+    InstanceCells, LinkTopologyExt, LinkedFaultInstance, PlacementStrategy, Syndrome, TargetKind,
+};
+
+/// One entry of a fault dictionary: a fault instance and the syndrome it produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictionaryEntry {
+    /// The fault (simple primitive or linked fault).
+    pub target: TargetKind,
+    /// The cell assignment of the instance.
+    pub cells: InstanceCells,
+    /// The syndrome observed when simulating the instance under the dictionary's
+    /// march test; empty for undetected instances.
+    pub syndrome: Syndrome,
+}
+
+impl fmt::Display for DictionaryEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} -> {}", self.target, self.cells, self.syndrome)
+    }
+}
+
+/// A pre-computed fault dictionary for one march test, one fault list and one data
+/// background.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::catalog;
+/// use sram_fault_model::{FaultListBuilder, Ffm};
+/// use sram_sim::{CoverageConfig, FaultDictionary};
+///
+/// let list = FaultListBuilder::new("transition faults")
+///     .family(Ffm::TransitionFault)
+///     .build()?;
+/// let dictionary = FaultDictionary::build(
+///     &catalog::march_ss(),
+///     &list,
+///     &CoverageConfig { memory_cells: 6, ..CoverageConfig::default() },
+/// );
+/// assert_eq!(dictionary.len(), 2 * 6);          // 2 primitives × 6 cells
+/// assert_eq!(dictionary.undetected().count(), 0);
+/// # Ok::<(), sram_fault_model::FaultModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    test_name: String,
+    entries: Vec<DictionaryEntry>,
+    index: BTreeMap<Vec<(usize, usize, usize, u8)>, Vec<usize>>,
+}
+
+impl FaultDictionary {
+    /// Builds the dictionary by simulating every fault instance of `list` under
+    /// `test`.
+    ///
+    /// Placements are enumerated exhaustively (diagnosis needs localisation); the
+    /// background is the first one of `config` (default: all ones).
+    #[must_use]
+    pub fn build(test: &MarchTest, list: &FaultList, config: &CoverageConfig) -> FaultDictionary {
+        let background = config
+            .backgrounds
+            .first()
+            .cloned()
+            .unwrap_or(InitialState::AllOne);
+        let mut entries = Vec::new();
+
+        for primitive in list.simple() {
+            let topology = primitive.diagnosis_topology();
+            for cells in
+                enumerate_placements(topology, config.memory_cells, PlacementStrategy::Exhaustive)
+            {
+                let mut simulator = FaultSimulator::new(config.memory_cells, &background)
+                    .expect("dictionary memory configuration is valid");
+                let injected = if primitive.is_coupling() {
+                    InjectedFault::coupling(
+                        primitive.clone(),
+                        cells.aggressor_first.expect("pair placement"),
+                        cells.victim,
+                        config.memory_cells,
+                    )
+                } else {
+                    InjectedFault::single_cell(primitive.clone(), cells.victim, config.memory_cells)
+                }
+                .expect("enumerated placements are valid");
+                simulator.inject(injected);
+                entries.push(DictionaryEntry {
+                    target: TargetKind::Simple(primitive.clone()),
+                    cells,
+                    syndrome: Syndrome::observe(test, &mut simulator),
+                });
+            }
+        }
+
+        for fault in list.linked() {
+            for cells in enumerate_placements(
+                fault.topology(),
+                config.memory_cells,
+                PlacementStrategy::Exhaustive,
+            ) {
+                let mut simulator = FaultSimulator::new(config.memory_cells, &background)
+                    .expect("dictionary memory configuration is valid");
+                let instance = LinkedFaultInstance::new(fault.clone(), cells, config.memory_cells)
+                    .expect("enumerated placements are valid");
+                simulator.inject_linked(&instance);
+                entries.push(DictionaryEntry {
+                    target: TargetKind::Linked(fault.clone()),
+                    cells,
+                    syndrome: Syndrome::observe(test, &mut simulator),
+                });
+            }
+        }
+
+        let mut index: BTreeMap<Vec<(usize, usize, usize, u8)>, Vec<usize>> = BTreeMap::new();
+        for (position, entry) in entries.iter().enumerate() {
+            index.entry(Self::key(&entry.syndrome)).or_default().push(position);
+        }
+
+        FaultDictionary {
+            test_name: test.name().to_string(),
+            entries,
+            index,
+        }
+    }
+
+    fn key(syndrome: &Syndrome) -> Vec<(usize, usize, usize, u8)> {
+        syndrome
+            .entries()
+            .map(|entry| (entry.element, entry.cell, entry.operation, entry.observed.as_u8()))
+            .collect()
+    }
+
+    /// The march test the dictionary was built for.
+    #[must_use]
+    pub fn test_name(&self) -> &str {
+        &self.test_name
+    }
+
+    /// Every entry of the dictionary.
+    #[must_use]
+    pub fn entries(&self) -> &[DictionaryEntry] {
+        &self.entries
+    }
+
+    /// Number of fault instances in the dictionary.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` for an empty dictionary (empty fault list).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up every fault instance whose syndrome equals `syndrome`.
+    #[must_use]
+    pub fn lookup(&self, syndrome: &Syndrome) -> Vec<&DictionaryEntry> {
+        self.index
+            .get(&Self::key(syndrome))
+            .map(|positions| positions.iter().map(|&position| &self.entries[position]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The fault instances the march test does not detect at all (empty syndrome).
+    pub fn undetected(&self) -> impl Iterator<Item = &DictionaryEntry> {
+        self.entries.iter().filter(|entry| entry.syndrome.is_empty())
+    }
+
+    /// Number of distinct non-empty syndromes.
+    #[must_use]
+    pub fn distinct_syndromes(&self) -> usize {
+        self.index.keys().filter(|key| !key.is_empty()).count()
+    }
+
+    /// Diagnostic resolution: the fraction of *detected* fault instances whose
+    /// syndrome is unique (i.e. the test pinpoints them exactly). `1.0` for an
+    /// ideal diagnostic test, `0.0` when every syndrome is ambiguous.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        let detected: Vec<&Vec<usize>> = self
+            .index
+            .iter()
+            .filter(|(key, _)| !key.is_empty())
+            .map(|(_, positions)| positions)
+            .collect();
+        let total: usize = detected.iter().map(|positions| positions.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let unique = detected.iter().filter(|positions| positions.len() == 1).count();
+        unique as f64 / total as f64
+    }
+}
+
+impl fmt::Display for FaultDictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault dictionary for {}: {} instances, {} distinct syndromes, resolution {:.2}",
+            self.test_name,
+            self.len(),
+            self.distinct_syndromes(),
+            self.resolution()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+    use sram_fault_model::{FaultListBuilder, Ffm};
+
+    fn small_config() -> CoverageConfig {
+        CoverageConfig {
+            memory_cells: 6,
+            ..CoverageConfig::default()
+        }
+    }
+
+    #[test]
+    fn dictionary_over_single_cell_faults() {
+        let list = FaultListBuilder::new("single-cell")
+            .family(Ffm::TransitionFault)
+            .family(Ffm::WriteDestructiveFault)
+            .build()
+            .unwrap();
+        let dictionary = FaultDictionary::build(&catalog::march_ss(), &list, &small_config());
+        assert_eq!(dictionary.len(), 4 * 6);
+        assert_eq!(dictionary.undetected().count(), 0);
+        assert!(dictionary.distinct_syndromes() > 0);
+        assert!(dictionary.resolution() > 0.0);
+        assert!(!dictionary.to_string().is_empty());
+        assert!(!dictionary.is_empty());
+    }
+
+    #[test]
+    fn lookup_recovers_the_injected_instance() {
+        let list = FaultListBuilder::new("tf")
+            .family(Ffm::TransitionFault)
+            .build()
+            .unwrap();
+        let dictionary = FaultDictionary::build(&catalog::march_ss(), &list, &small_config());
+
+        // Simulate an "unknown" device with TF↑ on cell 4 and look its syndrome up.
+        let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+        let mut device = FaultSimulator::new(6, &InitialState::AllOne).unwrap();
+        device.inject(InjectedFault::single_cell(tf.clone(), 4, 6).unwrap());
+        let syndrome = Syndrome::observe(&catalog::march_ss(), &mut device);
+
+        let matches = dictionary.lookup(&syndrome);
+        assert!(!matches.is_empty());
+        assert!(matches.iter().all(|entry| entry.cells.victim == 4));
+        assert!(matches.iter().any(|entry| match &entry.target {
+            TargetKind::Simple(fp) => fp == &tf,
+            TargetKind::Linked(_) => false,
+        }));
+
+        // A passing syndrome matches only undetected entries (of which there are
+        // none for March SS over transition faults).
+        assert!(dictionary.lookup(&Syndrome::new()).is_empty());
+    }
+
+    #[test]
+    fn weak_tests_have_undetected_entries_and_lower_resolution() {
+        let list = FaultListBuilder::new("wdf")
+            .family(Ffm::WriteDestructiveFault)
+            .build()
+            .unwrap();
+        let weak = FaultDictionary::build(&catalog::mats_plus(), &list, &small_config());
+        let strong = FaultDictionary::build(&catalog::march_ss(), &list, &small_config());
+        assert!(weak.undetected().count() > 0);
+        assert_eq!(strong.undetected().count(), 0);
+        assert!(weak.distinct_syndromes() <= strong.distinct_syndromes());
+    }
+
+    #[test]
+    fn linked_fault_dictionary_counts_placements() {
+        let list = FaultList::list_2();
+        let dictionary = FaultDictionary::build(&catalog::march_abl1(), &list, &small_config());
+        // 32 LF1 faults × 6 victim cells.
+        assert_eq!(dictionary.len(), 32 * 6);
+        assert_eq!(dictionary.undetected().count(), 0);
+    }
+}

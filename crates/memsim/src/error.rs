@@ -1,0 +1,80 @@
+//! Error type of the simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a fault simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimulationError {
+    /// A cell address is outside the simulated memory.
+    AddressOutOfRange {
+        /// The offending address.
+        address: usize,
+        /// The number of cells of the memory.
+        cells: usize,
+    },
+    /// Two cells of a fault instance that must be distinct coincide.
+    OverlappingCells {
+        /// The shared address.
+        address: usize,
+    },
+    /// A fault instance does not provide the aggressor cells its topology requires.
+    MissingCells(String),
+    /// A memory with zero cells was requested.
+    EmptyMemory,
+    /// A custom initial state does not match the memory size.
+    InitialStateSizeMismatch {
+        /// Number of values supplied.
+        provided: usize,
+        /// Number of cells of the memory.
+        cells: usize,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::AddressOutOfRange { address, cells } => {
+                write!(f, "cell address {address} out of range for a {cells}-cell memory")
+            }
+            SimulationError::OverlappingCells { address } => {
+                write!(f, "fault instance cells overlap at address {address}")
+            }
+            SimulationError::MissingCells(reason) => {
+                write!(f, "fault instance is missing cell assignments: {reason}")
+            }
+            SimulationError::EmptyMemory => write!(f, "memory must contain at least one cell"),
+            SimulationError::InitialStateSizeMismatch { provided, cells } => write!(
+                f,
+                "initial state has {provided} values but the memory has {cells} cells"
+            ),
+        }
+    }
+}
+
+impl Error for SimulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        for err in [
+            SimulationError::AddressOutOfRange { address: 9, cells: 4 },
+            SimulationError::OverlappingCells { address: 2 },
+            SimulationError::MissingCells("no aggressor".into()),
+            SimulationError::EmptyMemory,
+            SimulationError::InitialStateSizeMismatch { provided: 3, cells: 8 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimulationError>();
+    }
+}

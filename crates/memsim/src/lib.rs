@@ -1,0 +1,69 @@
+//! # `sram-sim`
+//!
+//! A bit-accurate SRAM **functional fault simulator**: the Rust counterpart of the
+//! in-house memory fault simulator the DATE 2006 paper uses to validate its
+//! generated march tests ("all generated Tests have been fault simulated by an
+//! in-house developed memory fault simulator").
+//!
+//! The simulator:
+//!
+//! * models an `n`-cell one-bit-per-cell SRAM ([`Memory`]);
+//! * injects *simple* fault primitives and *linked* faults on arbitrary cell
+//!   assignments ([`InjectedFault`], [`LinkedFaultInstance`]);
+//! * executes [`march_test::MarchTest`]s against the faulty memory in lock-step
+//!   with a fault-free reference memory ([`FaultSimulator`], [`MarchRun`]);
+//! * measures the **coverage** of a march test over a
+//!   [`sram_fault_model::FaultList`], enumerating cell placements and data
+//!   backgrounds ([`CoverageReport`]).
+//!
+//! Masking between the two components of a linked fault is *emergent*: both fault
+//! primitives are injected as independent behavioural rules and masking happens
+//! exactly when the second primitive restores the victim cell before any read
+//! observes it — mirroring Definition 6 of the paper.
+//!
+//! # Quick example
+//!
+//! ```
+//! use march_test::catalog;
+//! use sram_fault_model::FaultList;
+//! use sram_sim::{CoverageConfig, measure_coverage};
+//!
+//! // March SS covers the unlinked realistic static faults...
+//! let unlinked = FaultList::unlinked_static();
+//! let report = measure_coverage(&catalog::march_ss(), &unlinked, &CoverageConfig::default());
+//! assert_eq!(report.covered(), report.total());
+//!
+//! // ...but MATS+ does not.
+//! let weak = measure_coverage(&catalog::mats_plus(), &unlinked, &CoverageConfig::default());
+//! assert!(weak.covered() < weak.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coverage;
+mod diagnose;
+mod dictionary;
+mod engine;
+mod error;
+mod inject;
+mod memory;
+mod placement;
+mod run;
+
+pub use coverage::{
+    detects_linked, detects_simple, measure_coverage, CoverageConfig, CoverageReport, Escape,
+    TargetKind,
+};
+pub use diagnose::{diagnose, DiagnosisCandidate, LinkTopologyExt, Syndrome, SyndromeEntry};
+pub use dictionary::{DictionaryEntry, FaultDictionary};
+pub use engine::{FaultSimulator, OperationOutcome};
+pub use error::SimulationError;
+pub use inject::{InjectedFault, InstanceCells, LinkedFaultInstance};
+pub use memory::{InitialState, Memory};
+pub use placement::{enumerate_placements, PlacementStrategy};
+pub use run::{run_march, Failure, MarchRun};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimulationError>;

@@ -1,0 +1,169 @@
+//! Enumeration of cell placements for coverage measurement.
+
+use sram_fault_model::LinkTopology;
+
+use crate::InstanceCells;
+
+/// How exhaustively a coverage measurement enumerates the possible cell assignments
+/// of each fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum PlacementStrategy {
+    /// A small set of representative placements covering every relative address
+    /// ordering of the involved cells (aggressors below/above the victim, both
+    /// orderings of the two aggressors of an LF3). Fast; used inside generation
+    /// loops.
+    #[default]
+    Representative,
+    /// Every assignment of distinct cell addresses (all pairs / triples). Slow but
+    /// complete; used for final verification.
+    Exhaustive,
+}
+
+/// Enumerates the cell assignments used to instantiate a linked fault of the given
+/// topology on a memory with `cells` cells.
+///
+/// Representative placements always include every *relative ordering* of the
+/// involved cells, because march-test detection depends only on the relative address
+/// order (which cells are visited first in ⇑ / ⇓ elements), not on the absolute
+/// addresses.
+///
+/// # Panics
+///
+/// Panics if `cells` is smaller than 4 (too small to host three distinct cells with
+/// distinct relative positions).
+#[must_use]
+pub fn enumerate_placements(
+    topology: LinkTopology,
+    cells: usize,
+    strategy: PlacementStrategy,
+) -> Vec<InstanceCells> {
+    assert!(cells >= 4, "coverage memories must have at least 4 cells");
+    let low = 1;
+    let mid = cells / 2;
+    let high = cells - 2;
+
+    match strategy {
+        PlacementStrategy::Representative => match topology {
+            LinkTopology::Lf1 => vec![InstanceCells::single(mid)],
+            LinkTopology::Lf2CouplingThenSingle
+            | LinkTopology::Lf2SingleThenCoupling
+            | LinkTopology::Lf2SharedAggressor => vec![
+                InstanceCells::pair(low, high),
+                InstanceCells::pair(high, low),
+            ],
+            LinkTopology::Lf3 => {
+                // Every relative ordering of (a1, a2, v) over three fixed cells.
+                let cells3 = [low, mid, high];
+                let mut placements = Vec::with_capacity(6);
+                for &a1 in &cells3 {
+                    for &a2 in &cells3 {
+                        for &v in &cells3 {
+                            if a1 != a2 && a1 != v && a2 != v {
+                                placements.push(InstanceCells::triple(a1, a2, v));
+                            }
+                        }
+                    }
+                }
+                placements
+            }
+        },
+        PlacementStrategy::Exhaustive => match topology {
+            LinkTopology::Lf1 => (0..cells).map(InstanceCells::single).collect(),
+            LinkTopology::Lf2CouplingThenSingle
+            | LinkTopology::Lf2SingleThenCoupling
+            | LinkTopology::Lf2SharedAggressor => {
+                let mut placements = Vec::new();
+                for aggressor in 0..cells {
+                    for victim in 0..cells {
+                        if aggressor != victim {
+                            placements.push(InstanceCells::pair(aggressor, victim));
+                        }
+                    }
+                }
+                placements
+            }
+            LinkTopology::Lf3 => {
+                let mut placements = Vec::new();
+                for a1 in 0..cells {
+                    for a2 in 0..cells {
+                        for v in 0..cells {
+                            if a1 != a2 && a1 != v && a2 != v {
+                                placements.push(InstanceCells::triple(a1, a2, v));
+                            }
+                        }
+                    }
+                }
+                placements
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_counts() {
+        assert_eq!(
+            enumerate_placements(LinkTopology::Lf1, 8, PlacementStrategy::Representative).len(),
+            1
+        );
+        assert_eq!(
+            enumerate_placements(
+                LinkTopology::Lf2SharedAggressor,
+                8,
+                PlacementStrategy::Representative
+            )
+            .len(),
+            2
+        );
+        assert_eq!(
+            enumerate_placements(LinkTopology::Lf3, 8, PlacementStrategy::Representative).len(),
+            6
+        );
+    }
+
+    #[test]
+    fn exhaustive_counts() {
+        assert_eq!(
+            enumerate_placements(LinkTopology::Lf1, 6, PlacementStrategy::Exhaustive).len(),
+            6
+        );
+        assert_eq!(
+            enumerate_placements(
+                LinkTopology::Lf2CouplingThenSingle,
+                6,
+                PlacementStrategy::Exhaustive
+            )
+            .len(),
+            30
+        );
+        assert_eq!(
+            enumerate_placements(LinkTopology::Lf3, 6, PlacementStrategy::Exhaustive).len(),
+            120
+        );
+    }
+
+    #[test]
+    fn representative_lf2_covers_both_orderings() {
+        let placements = enumerate_placements(
+            LinkTopology::Lf2CouplingThenSingle,
+            8,
+            PlacementStrategy::Representative,
+        );
+        assert!(placements
+            .iter()
+            .any(|p| p.aggressor_first.unwrap() < p.victim));
+        assert!(placements
+            .iter()
+            .any(|p| p.aggressor_first.unwrap() > p.victim));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 cells")]
+    fn tiny_memories_are_rejected() {
+        let _ = enumerate_placements(LinkTopology::Lf1, 2, PlacementStrategy::Representative);
+    }
+}

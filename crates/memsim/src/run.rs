@@ -1,0 +1,184 @@
+//! March-test execution against a fault simulator.
+
+use std::fmt;
+
+use march_test::MarchTest;
+use sram_fault_model::Bit;
+
+use crate::FaultSimulator;
+
+/// The location and values of the first detecting read of a march run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// Index of the march element in which the mismatch occurred.
+    pub element: usize,
+    /// The cell address being read.
+    pub cell: usize,
+    /// Index of the operation within the element.
+    pub operation: usize,
+    /// The value returned by the faulty memory.
+    pub observed: Bit,
+    /// The value returned by the fault-free reference.
+    pub expected: Bit,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "element {} op {} on cell {}: read {} expected {}",
+            self.element, self.operation, self.cell, self.observed, self.expected
+        )
+    }
+}
+
+/// The result of executing one march test against a configured fault simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchRun {
+    detected: bool,
+    failures: Vec<Failure>,
+    operations: usize,
+}
+
+impl MarchRun {
+    /// Returns `true` if at least one read detected a mismatch.
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        self.detected
+    }
+
+    /// The first detecting read, if any.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<Failure> {
+        self.failures.first().copied()
+    }
+
+    /// Every detecting read, in execution order — the *syndrome* of the run, used
+    /// for fault diagnosis.
+    #[must_use]
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// Total number of memory operations executed.
+    #[must_use]
+    pub fn operations(&self) -> usize {
+        self.operations
+    }
+
+    /// Total number of mismatching reads.
+    #[must_use]
+    pub fn mismatches(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+impl fmt::Display for MarchRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detected {
+            write!(
+                f,
+                "detected ({} mismatching reads over {} operations)",
+                self.failures.len(),
+                self.operations
+            )
+        } else {
+            write!(f, "not detected ({} operations)", self.operations)
+        }
+    }
+}
+
+/// Executes `test` on the given simulator (which should already contain the
+/// injected faults and the desired initial memory content) and reports whether the
+/// faults were detected.
+///
+/// Elements with [`march_test::AddressOrder::Any`] are executed in ascending
+/// order, matching the usual implementation convention.
+///
+/// The simulator is left in its post-run state; callers that want to reuse it must
+/// call [`FaultSimulator::reset`].
+#[must_use]
+pub fn run_march(test: &MarchTest, simulator: &mut FaultSimulator) -> MarchRun {
+    let cells = simulator.cells();
+    let mut operations = 0usize;
+    let mut failures = Vec::new();
+
+    for (element_index, element) in test.iter() {
+        for cell in element.order().addresses(cells) {
+            for (operation_index, operation) in element.operations().iter().enumerate() {
+                let outcome = simulator.apply(cell, *operation);
+                operations += 1;
+                if outcome.mismatch() {
+                    failures.push(Failure {
+                        element: element_index,
+                        cell,
+                        operation: operation_index,
+                        observed: outcome.observed.expect("mismatch implies a read"),
+                        expected: outcome.expected.expect("mismatch implies a read"),
+                    });
+                }
+            }
+        }
+    }
+
+    MarchRun {
+        detected: !failures.is_empty(),
+        failures,
+        operations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InitialState, InjectedFault};
+    use march_test::catalog;
+    use sram_fault_model::Ffm;
+
+    #[test]
+    fn fault_free_run_detects_nothing() {
+        let mut sim = FaultSimulator::new(8, &InitialState::AllOne).unwrap();
+        let run = run_march(&catalog::march_ss(), &mut sim);
+        assert!(!run.detected());
+        assert_eq!(run.mismatches(), 0);
+        assert_eq!(run.operations(), 22 * 8);
+        assert!(run.first_failure().is_none());
+        assert_eq!(run.to_string(), "not detected (176 operations)");
+    }
+
+    #[test]
+    fn march_ss_detects_every_unlinked_transition_fault() {
+        for fp in Ffm::TransitionFault.fault_primitives() {
+            let mut sim = FaultSimulator::new(8, &InitialState::AllOne).unwrap();
+            sim.inject(InjectedFault::single_cell(fp.clone(), 3, 8).unwrap());
+            let run = run_march(&catalog::march_ss(), &mut sim);
+            assert!(run.detected(), "March SS must detect {fp}");
+            assert!(run.first_failure().is_some());
+        }
+    }
+
+    #[test]
+    fn mats_plus_misses_write_destructive_faults() {
+        // MATS+ has no non-transition write, so WDF escapes it; March SS catches it.
+        let wdf = Ffm::WriteDestructiveFault.fault_primitives()[0].clone();
+        let mut sim = FaultSimulator::new(8, &InitialState::AllOne).unwrap();
+        sim.inject(InjectedFault::single_cell(wdf.clone(), 2, 8).unwrap());
+        assert!(!run_march(&catalog::mats_plus(), &mut sim).detected());
+
+        let mut sim = FaultSimulator::new(8, &InitialState::AllOne).unwrap();
+        sim.inject(InjectedFault::single_cell(wdf, 2, 8).unwrap());
+        assert!(run_march(&catalog::march_ss(), &mut sim).detected());
+    }
+
+    #[test]
+    fn failure_reports_the_detecting_read() {
+        let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+        let mut sim = FaultSimulator::new(4, &InitialState::AllZero).unwrap();
+        sim.inject(InjectedFault::single_cell(tf, 1, 4).unwrap());
+        let run = run_march(&catalog::march_c_minus(), &mut sim);
+        assert!(run.detected());
+        let failure = run.first_failure().unwrap();
+        assert_eq!(failure.cell, 1);
+        assert!(!failure.to_string().is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Linked-fault atlas: enumerate the realistic static linked faults targeted by the
+//! paper, show how they are built from fault primitives (Definitions 6–7) and how
+//! they map onto the pattern graph of Section 4.
+//!
+//! Run with `cargo run --example linked_fault_atlas`.
+
+use march_gen::PatternGraph;
+use sram_fault_model::{
+    AddressedFaultPrimitive, FaultList, LinkTopology, LinkedAfp, Placement, TestPattern,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The two fault lists evaluated by the paper.
+    let list1 = FaultList::list_1();
+    let list2 = FaultList::list_2();
+    println!("{list1}");
+    println!("{list2}");
+    println!();
+
+    // 2. Break the lists down by topology (the LF1/LF2/LF3 taxonomy of Hamdioui).
+    println!("topology histogram of Fault List #1:");
+    for (topology, count) in list1.topology_histogram() {
+        println!(
+            "  {topology:<6} {count:>4} linked faults ({} cells each)",
+            topology.cell_count()
+        );
+    }
+    println!();
+
+    // 3. Show a handful of linked faults in the paper's notation.
+    println!("sample linked faults (FP1 -> FP2):");
+    for topology in LinkTopology::ALL {
+        if let Some(fault) = list1.linked().iter().find(|lf| lf.topology() == topology) {
+            println!("  {fault}");
+        }
+    }
+    println!();
+
+    // 4. Reproduce the paper's running example: instantiate the disturb-coupling
+    //    pair of equation (7) as addressed fault primitives and link them.
+    let cfds_up = sram_fault_model::Ffm::DisturbCoupling
+        .fault_primitives()
+        .into_iter()
+        .find(|fp| fp.notation() == "<0w1;0/1/->")
+        .expect("realistic CFds primitive");
+    let cfds_down = sram_fault_model::Ffm::DisturbCoupling
+        .fault_primitives()
+        .into_iter()
+        .find(|fp| fp.notation() == "<0w1;1/0/->")
+        .expect("realistic CFds primitive");
+    let afp1 = AddressedFaultPrimitive::instantiate(&cfds_up, Placement::coupling(0, 2, 3)?)?;
+    let afp2 = AddressedFaultPrimitive::instantiate(&cfds_down, Placement::coupling(1, 2, 3)?)?;
+    println!("AFP1 = {afp1}");
+    println!("AFP2 = {afp2}");
+    let linked = LinkedAfp::try_link(afp1.clone(), afp2)?;
+    println!("linked AFPs: {linked}");
+    println!("TP1 = {}", TestPattern::new(afp1));
+    println!();
+
+    // 5. Build the pattern graph of Fault List #1 and report its size
+    //    (|Vp| = 2^max-cells vertices plus one faulty edge per test pattern).
+    let pattern_graph = PatternGraph::from_fault_list(&list1)?;
+    println!(
+        "pattern graph of Fault List #1: {} vertices, {} fault-free edges, {} faulty edges",
+        pattern_graph.vertex_count(),
+        pattern_graph.graph().edges().len(),
+        pattern_graph.faulty_edges().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: generate a march test for the single-cell static linked faults
+//! (the paper's Fault List #2), verify it with the fault simulator and compare it
+//! against the published 11n March LF1 baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use march_gen::MarchGenerator;
+use march_test::catalog;
+use sram_fault_model::FaultList;
+use sram_sim::CoverageConfig;
+
+fn main() {
+    // 1. Pick the target fault list: the realistic single-cell static linked faults.
+    let list = FaultList::list_2();
+    println!("target fault list : {list}");
+
+    // 2. Generate a march test for it (simulation-backed greedy + redundancy
+    //    removal, as in the paper's Section 5).
+    let generator = MarchGenerator::new(list.clone()).named("March GEN-LF1");
+    let (generated, coverage) = generator.generate_verified();
+
+    println!("generated test    : {}", generated.test());
+    println!("complexity        : {}", generated.test().complexity_label());
+    println!("generation report : {}", generated.report());
+    println!("verified coverage : {coverage}");
+
+    // 3. Compare against the published baseline for the same fault list.
+    let baseline = catalog::march_lf1();
+    let baseline_coverage =
+        march_gen::verify(&baseline, &list, &CoverageConfig::thorough());
+    println!(
+        "baseline          : {} [{}] -> {}",
+        baseline.name(),
+        baseline.complexity_label(),
+        baseline_coverage
+    );
+
+    let ours = generated.test().complexity() as f64;
+    let theirs = baseline.complexity() as f64;
+    println!(
+        "test length vs {} : {:+.1}%",
+        baseline.name(),
+        100.0 * (ours - theirs) / theirs
+    );
+}

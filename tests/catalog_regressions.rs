@@ -1,0 +1,93 @@
+//! Regression tests pinning the simulated coverage of the published march tests of
+//! the catalogue — the cross-checks behind the comparison columns of Table 1.
+
+use march_test::catalog;
+use sram_fault_model::FaultList;
+use sram_sim::{measure_coverage, CoverageConfig};
+
+fn thorough() -> CoverageConfig {
+    CoverageConfig::thorough()
+}
+
+#[test]
+fn march_ss_covers_unlinked_but_not_linked_faults() {
+    let march_ss = catalog::march_ss();
+    let unlinked = measure_coverage(&march_ss, &FaultList::unlinked_static(), &thorough());
+    assert!(unlinked.is_complete(), "escapes: {:?}", unlinked.escapes());
+
+    // March SS was designed for unlinked faults; linked faults mask each other and
+    // some escape it — this is precisely the motivation of the paper.
+    let linked = measure_coverage(&march_ss, &FaultList::list_1(), &thorough());
+    assert!(
+        !linked.is_complete(),
+        "March SS unexpectedly covers all static linked faults"
+    );
+}
+
+#[test]
+fn march_abl1_covers_fault_list_2_with_9n() {
+    let report = measure_coverage(&catalog::march_abl1(), &FaultList::list_2(), &thorough());
+    assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    assert_eq!(catalog::march_abl1().complexity(), 9);
+}
+
+#[test]
+fn march_lf1_covers_fault_list_2_with_11n() {
+    let report = measure_coverage(&catalog::march_lf1(), &FaultList::list_2(), &thorough());
+    assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    assert_eq!(catalog::march_lf1().complexity(), 11);
+}
+
+#[test]
+fn linked_fault_tests_cover_the_single_cell_linked_faults() {
+    for test in [catalog::march_sl(), catalog::march_abl(), catalog::march_rabl()] {
+        let report = measure_coverage(&test, &FaultList::list_2(), &thorough());
+        assert!(
+            report.is_complete(),
+            "{} escapes on list #2: {:?}",
+            test.name(),
+            report.escapes()
+        );
+    }
+}
+
+#[test]
+fn simple_tests_do_not_cover_the_linked_lists() {
+    for test in [catalog::mats_plus(), catalog::march_c_minus()] {
+        let report = measure_coverage(&test, &FaultList::list_2(), &thorough());
+        assert!(
+            !report.is_complete(),
+            "{} unexpectedly covers the single-cell linked faults",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn table_1_complexities_are_pinned() {
+    // The comparison columns of Table 1 are derived from these complexities.
+    assert_eq!(catalog::test_43n().complexity(), 43);
+    assert_eq!(catalog::march_sl().complexity(), 41);
+    assert_eq!(catalog::march_abl().complexity(), 37);
+    assert_eq!(catalog::march_rabl().complexity(), 35);
+    assert_eq!(catalog::march_lf1().complexity(), 11);
+    assert_eq!(catalog::march_abl1().complexity(), 9);
+}
+
+#[test]
+fn coverage_is_monotone_in_placement_strategy() {
+    // A test that is complete under exhaustive placements is complete under the
+    // representative ones (the representative set is a subset).
+    let representative = CoverageConfig {
+        memory_cells: 6,
+        strategy: sram_sim::PlacementStrategy::Representative,
+        backgrounds: thorough().backgrounds,
+    };
+    let exhaustive = CoverageConfig::exhaustive();
+    let list = FaultList::list_2();
+    let test = catalog::march_abl1();
+    let representative_report = measure_coverage(&test, &list, &representative);
+    let exhaustive_report = measure_coverage(&test, &list, &exhaustive);
+    assert!(representative_report.covered() >= exhaustive_report.covered());
+    assert!(exhaustive_report.is_complete());
+}

@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use march_gen::SequenceOfOperations;
+use march_test::{AddressOrder, MarchElement, MarchTest};
+use proptest::prelude::*;
+use sram_fault_model::{Bit, FaultList, MemoryState, Operation};
+use sram_sim::{run_march, FaultSimulator, InitialState, InjectedFault, LinkedFaultInstance};
+
+fn arbitrary_operation() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        Just(Operation::W0),
+        Just(Operation::W1),
+        Just(Operation::R0),
+        Just(Operation::R1),
+        Just(Operation::Read(None)),
+        Just(Operation::Wait),
+    ]
+}
+
+fn arbitrary_order() -> impl Strategy<Value = AddressOrder> {
+    prop_oneof![
+        Just(AddressOrder::Ascending),
+        Just(AddressOrder::Descending),
+        Just(AddressOrder::Any),
+    ]
+}
+
+fn arbitrary_element() -> impl Strategy<Value = MarchElement> {
+    (arbitrary_order(), prop::collection::vec(arbitrary_operation(), 1..8)).prop_map(
+        |(order, ops)| MarchElement::new(order, ops).expect("non-empty by construction"),
+    )
+}
+
+fn arbitrary_test() -> impl Strategy<Value = MarchTest> {
+    prop::collection::vec(arbitrary_element(), 1..6)
+        .prop_map(|elements| MarchTest::new("prop", elements).expect("non-empty by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// March notation printing and parsing round-trip.
+    #[test]
+    fn march_notation_round_trips(test in arbitrary_test()) {
+        let notation = test.notation();
+        let reparsed = MarchTest::parse("prop", &notation).expect("printed notation parses");
+        prop_assert_eq!(reparsed.notation(), notation);
+        prop_assert_eq!(reparsed.complexity(), test.complexity());
+    }
+
+    /// Complexity is the sum of the element lengths and scales linearly with the
+    /// memory size.
+    #[test]
+    fn complexity_is_additive(test in arbitrary_test(), cells in 1usize..64) {
+        let total: usize = test.elements().iter().map(MarchElement::len).sum();
+        prop_assert_eq!(test.complexity(), total);
+        prop_assert_eq!(test.operation_count(cells), total * cells);
+    }
+
+    /// Complementing a march element twice gives the original element back.
+    #[test]
+    fn complement_is_involutive(element in arbitrary_element()) {
+        prop_assert_eq!(element.complemented().complemented(), element);
+    }
+
+    /// A fault-free memory never produces a mismatch, for any march test.
+    #[test]
+    fn fault_free_memory_never_fails(test in arbitrary_test(), cells in 4usize..10) {
+        let mut simulator = FaultSimulator::new(cells, &InitialState::Checkerboard)
+            .expect("valid memory");
+        let run = run_march(&test, &mut simulator);
+        prop_assert!(!run.detected());
+        prop_assert_eq!(run.operations(), test.complexity() * cells);
+    }
+
+    /// The simulator is deterministic: running the same march twice from reset
+    /// produces the same outcome.
+    #[test]
+    fn simulation_is_deterministic(
+        test in arbitrary_test(),
+        fault_index in 0usize..32,
+        victim in 0usize..6,
+    ) {
+        let list = FaultList::list_2();
+        let fault = &list.linked()[fault_index % list.linked().len()];
+        let instance = LinkedFaultInstance::new(
+            fault.clone(),
+            sram_sim::InstanceCells::single(victim),
+            6,
+        ).expect("valid instance");
+
+        let mut first = FaultSimulator::new(6, &InitialState::AllOne).expect("valid memory");
+        first.inject_linked(&instance);
+        let mut second = first.clone();
+
+        let run_a = run_march(&test, &mut first);
+        let run_b = run_march(&test, &mut second);
+        prop_assert_eq!(run_a.detected(), run_b.detected());
+        prop_assert_eq!(run_a.mismatches(), run_b.mismatches());
+    }
+
+    /// Detection is monotone under appending march elements: adding an element at
+    /// the end can only add detections, never remove them.
+    #[test]
+    fn detection_is_monotone_under_appending(
+        test in arbitrary_test(),
+        extra in arbitrary_element(),
+        fault_index in 0usize..844,
+    ) {
+        let list = FaultList::list_1();
+        let fault = &list.linked()[fault_index % list.linked().len()];
+        let cells = match fault.cell_count() {
+            1 => sram_sim::InstanceCells::single(2),
+            2 => sram_sim::InstanceCells::pair(1, 4),
+            _ => sram_sim::InstanceCells::triple(0, 3, 5),
+        };
+        let instance = LinkedFaultInstance::new(fault.clone(), cells, 6).expect("valid instance");
+
+        let mut simulator = FaultSimulator::new(6, &InitialState::AllZero).expect("valid memory");
+        simulator.inject_linked(&instance);
+        let mut extended_simulator = simulator.clone();
+
+        let detected_before = run_march(&test, &mut simulator).detected();
+
+        let mut elements = test.elements().to_vec();
+        elements.push(extra);
+        let extended = MarchTest::new("extended", elements).expect("non-empty");
+        let detected_after = run_march(&extended, &mut extended_simulator).detected();
+
+        prop_assert!(!detected_before || detected_after);
+    }
+
+    /// Memory-state expansion always produces exactly 2^(don't cares) concrete
+    /// states, each of which satisfies the original description.
+    #[test]
+    fn memory_state_expansion_is_consistent(description in "[01-]{1,6}") {
+        let state: MemoryState = description.parse().expect("valid description");
+        let dont_cares = description.chars().filter(|c| *c == '-').count();
+        let expanded = state.expand();
+        prop_assert_eq!(expanded.len(), 1 << dont_cares);
+        for bits in expanded {
+            prop_assert!(state.matches_bits(&bits));
+        }
+    }
+
+    /// A valid SO translates into a march element with the same operations and the
+    /// address order dictated by its address specification.
+    #[test]
+    fn so_translation_preserves_operations(
+        ops in prop::collection::vec(arbitrary_operation(), 1..6),
+        cell in 0usize..3,
+    ) {
+        let so = SequenceOfOperations::with_operations(cell, ops.clone());
+        let element = so.to_march_element(3).expect("non-empty");
+        prop_assert_eq!(element.operations(), &ops[..]);
+        if cell == 2 {
+            prop_assert_eq!(element.order(), AddressOrder::Descending);
+        } else {
+            prop_assert_eq!(element.order(), AddressOrder::Ascending);
+        }
+    }
+
+    /// Injecting an unlinked realistic fault primitive never causes March SS to
+    /// report a failure on a *different* cell... and more importantly, a march test
+    /// on a fault-free memory agrees with the golden model cell by cell at the end.
+    #[test]
+    fn golden_and_faulty_agree_without_faults(
+        test in arbitrary_test(),
+        cells in 4usize..9,
+    ) {
+        let mut simulator = FaultSimulator::new(cells, &InitialState::AllOne).expect("valid");
+        let _ = run_march(&test, &mut simulator);
+        prop_assert_eq!(
+            simulator.faulty_memory().as_slice(),
+            simulator.golden_memory().as_slice()
+        );
+    }
+
+    /// Every single-cell fault primitive of the realistic taxonomy is detected by
+    /// March SS regardless of which cell it is injected on.
+    #[test]
+    fn march_ss_detects_single_cell_faults_anywhere(
+        family_index in 0usize..6,
+        primitive_index in 0usize..2,
+        victim in 0usize..8,
+        one_background in any::<bool>(),
+    ) {
+        let family = sram_fault_model::Ffm::single_cell()[family_index];
+        let primitive = family.fault_primitives()[primitive_index].clone();
+        let background = if one_background { InitialState::AllOne } else { InitialState::AllZero };
+        let mut simulator = FaultSimulator::new(8, &background).expect("valid");
+        simulator.inject(InjectedFault::single_cell(primitive, victim, 8).expect("valid"));
+        let run = run_march(&march_test::catalog::march_ss(), &mut simulator);
+        prop_assert!(run.detected());
+    }
+
+    /// Bit and cell-value algebra: double complement is the identity and matching
+    /// is consistent with conversion.
+    #[test]
+    fn bit_algebra(value in any::<bool>()) {
+        let bit = Bit::from(value);
+        prop_assert_eq!(!!bit, bit);
+        prop_assert_eq!(bit.flipped().flipped(), bit);
+        let cell = sram_fault_model::CellValue::from(bit);
+        prop_assert!(cell.matches(bit));
+        prop_assert!(!cell.matches(bit.flipped()));
+    }
+}
