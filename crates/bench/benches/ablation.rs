@@ -13,7 +13,12 @@ fn ablation_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("generator_knobs_list_2");
     group.sample_size(10);
     group.bench_function("with_redundancy_removal", |b| {
-        b.iter(|| MarchGenerator::new(list2.clone()).generate().test().complexity())
+        b.iter(|| {
+            MarchGenerator::new(list2.clone())
+                .generate()
+                .test()
+                .complexity()
+        })
     });
     group.bench_function("without_redundancy_removal", |b| {
         b.iter(|| {
@@ -43,11 +48,17 @@ fn ablation_benchmarks(c: &mut Criterion) {
     group.finish();
 
     let mut pieces = c.benchmark_group("generator_pieces");
-    pieces.bench_function("library_candidates", |b| b.iter(|| library_candidates().len()));
+    pieces.bench_function("library_candidates", |b| {
+        b.iter(|| library_candidates().len())
+    });
     pieces.sample_size(10);
     pieces.bench_function("minimise_march_sl_against_list_2", |b| {
         let config = GeneratorConfig::default();
-        b.iter(|| minimise(&catalog::march_sl(), &list2, &config).0.complexity())
+        b.iter(|| {
+            minimise(&catalog::march_sl(), &list2, &config)
+                .0
+                .complexity()
+        })
     });
     pieces.finish();
 }

@@ -32,7 +32,11 @@ fn simulation_benchmarks(c: &mut Criterion) {
         .find(|fault| fault.cell_count() == 3)
         .expect("list #1 contains three-cell linked faults")
         .clone();
-    for test in [catalog::march_sl(), catalog::march_abl(), catalog::march_rabl()] {
+    for test in [
+        catalog::march_sl(),
+        catalog::march_abl(),
+        catalog::march_rabl(),
+    ] {
         injected.bench_function(test.name().to_string(), |b| {
             b.iter(|| {
                 let mut simulator = FaultSimulator::new(16, &InitialState::AllOne).unwrap();

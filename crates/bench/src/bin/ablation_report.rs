@@ -53,7 +53,10 @@ fn main() {
         },
     ];
 
-    for (label, list) in [("Fault List #2", FaultList::list_2()), ("Fault List #1", FaultList::list_1())] {
+    for (label, list) in [
+        ("Fault List #2", FaultList::list_2()),
+        ("Fault List #1", FaultList::list_1()),
+    ] {
         println!("=== {label} ({} linked faults) ===", list.linked().len());
         println!(
             "{:<28} {:>8} {:>7} {:>10} {:>10}",

@@ -1,0 +1,143 @@
+//! Scalar vs packed backend benchmark with a machine-readable trail: runs the
+//! coverage-matrix workload on both simulation backends and writes the timings
+//! to `BENCH_simulation.json`, so the perf trajectory of the simulation stack
+//! is tracked across PRs.
+//!
+//! Run with `cargo run --release -p march-bench --bin backend_bench`.
+//! Pass `--out PATH` to change the JSON location and `--threads N` for the
+//! thread fan-out (0 = auto).
+
+use std::env;
+use std::time::{Duration, Instant};
+
+use march_bench::{json_escape, BenchRecord};
+use march_test::catalog;
+use sram_fault_model::FaultList;
+use sram_sim::{measure_coverage, BackendKind, CoverageConfig, PlacementStrategy};
+
+/// One benchmark workload: a named test × list × configuration.
+struct Workload {
+    name: &'static str,
+    test: march_test::MarchTest,
+    list: FaultList,
+    config: CoverageConfig,
+}
+
+fn workloads() -> Vec<Workload> {
+    let exhaustive8 = CoverageConfig {
+        memory_cells: 8,
+        strategy: PlacementStrategy::Exhaustive,
+        ..CoverageConfig::thorough()
+    };
+    vec![
+        Workload {
+            name: "march_sl_vs_list_2_exhaustive",
+            test: catalog::march_sl(),
+            list: FaultList::list_2(),
+            config: exhaustive8.clone(),
+        },
+        Workload {
+            name: "march_ss_vs_unlinked_exhaustive",
+            test: catalog::march_ss(),
+            list: FaultList::unlinked_static(),
+            config: exhaustive8,
+        },
+        Workload {
+            name: "march_sl_vs_list_1_thorough",
+            test: catalog::march_sl(),
+            list: FaultList::list_1(),
+            config: CoverageConfig::thorough(),
+        },
+        Workload {
+            name: "march_c_minus_vs_list_1_exhaustive6",
+            test: catalog::march_c_minus(),
+            list: FaultList::list_1(),
+            config: CoverageConfig::exhaustive(),
+        },
+    ]
+}
+
+fn time_coverage(workload: &Workload, backend: BackendKind, threads: usize, reps: u32) -> Duration {
+    let config = workload
+        .config
+        .clone()
+        .with_backend(backend)
+        .with_threads(threads);
+    // Warm-up (also validates the run).
+    let baseline = measure_coverage(&workload.test, &workload.list, &config);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let report = measure_coverage(&workload.test, &workload.list, &config);
+        assert_eq!(report.covered(), baseline.covered());
+    }
+    start.elapsed() / reps
+}
+
+fn main() {
+    let mut out_path = "BENCH_simulation.json".to_string();
+    let threads = march_bench::threads_from_args();
+    let mut args = env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out_path = args.next().expect("--out requires a path");
+        }
+    }
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    println!(
+        "{:<38} {:>12} {:>12} {:>9}",
+        "workload", "scalar", "packed", "speedup"
+    );
+    println!("{}", "-".repeat(76));
+    for workload in workloads() {
+        let scalar = time_coverage(&workload, BackendKind::Scalar, threads, 3);
+        let packed = time_coverage(&workload, BackendKind::Packed, threads, 3);
+        let speedup = scalar.as_secs_f64() / packed.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            scalar.as_secs_f64() * 1e3,
+            packed.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            scalar_ns: scalar.as_nanos() as u64,
+            packed_ns: packed.as_nanos() as u64,
+            speedup,
+            threads,
+        });
+    }
+
+    let geomean = (records
+        .iter()
+        .map(|record| record.speedup.ln())
+        .sum::<f64>()
+        / records.len() as f64)
+        .exp();
+    println!("{}", "-".repeat(76));
+    println!("geometric-mean speedup: {geomean:.2}x (threads: {threads})");
+
+    let json = render_json(&records, geomean, threads);
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}
+
+fn render_json(records: &[BenchRecord], geomean: f64, threads: usize) -> String {
+    let mut json = String::from("{\n  \"benchmark\": \"simulation_backends\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"geomean_speedup\": {geomean:.3},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (index, record) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"packed_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&record.name),
+            record.scalar_ns,
+            record.packed_ns,
+            record.speedup,
+            if index + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

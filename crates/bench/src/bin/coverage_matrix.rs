@@ -1,20 +1,26 @@
 //! The §6 validation claim, extended: fault-simulate every catalogue march test
 //! *and* the freshly generated tests against the unlinked static faults and the two
-//! linked fault lists, printing a coverage matrix.
+//! linked fault lists, printing a coverage matrix — measured on **both**
+//! simulation backends, with per-backend wall-clock columns so the scalar vs
+//! packed trajectory is visible run over run.
 //!
 //! Run with `cargo run --release -p march-bench --bin coverage_matrix`.
-//! Pass `--exhaustive` for exhaustive cell placements (slower).
+//! Pass `--exhaustive` for exhaustive cell placements (slower, more lanes per
+//! `u64` word — the packed backend's best case).
+//! Pass `--threads N` to fan the fault targets out over N workers (0 = auto).
 
 use std::env;
+use std::time::{Duration, Instant};
 
 use march_gen::MarchGenerator;
 use march_test::{catalog, MarchTest};
 use sram_fault_model::FaultList;
-use sram_sim::{measure_coverage, CoverageConfig};
+use sram_sim::{measure_coverage, BackendKind, CoverageConfig};
 
 fn main() {
     let exhaustive = env::args().any(|arg| arg == "--exhaustive");
-    let config = if exhaustive {
+    let threads = march_bench::threads_from_args();
+    let base = if exhaustive {
         CoverageConfig::exhaustive()
     } else {
         CoverageConfig::thorough()
@@ -40,29 +46,76 @@ fn main() {
     tests.push(generated_l1);
 
     println!(
-        "{:<16} {:>6} | {:>10} {:>10} {:>10}",
-        "march test", "length", lists[0].0, lists[1].0, lists[2].0
+        "{:<16} {:>6} | {:>10} {:>10} {:>10} | {:>9} {:>9} {:>8}",
+        "march test", "length", lists[0].0, lists[1].0, lists[2].0, "scalar", "packed", "speedup"
     );
-    println!("{}", "-".repeat(62));
+    println!("{}", "-".repeat(92));
+
+    let mut total_scalar = Duration::ZERO;
+    let mut total_packed = Duration::ZERO;
     for test in &tests {
         let mut cells = Vec::new();
+        let mut scalar_time = Duration::ZERO;
+        let mut packed_time = Duration::ZERO;
         for (_, list) in &lists {
-            let report = measure_coverage(test, list, &config);
-            cells.push(format!("{:>9.1}%", report.percent()));
+            let scalar_config = base
+                .clone()
+                .with_backend(BackendKind::Scalar)
+                .with_threads(threads);
+            let start = Instant::now();
+            let scalar_report = measure_coverage(test, list, &scalar_config);
+            scalar_time += start.elapsed();
+
+            let packed_config = base
+                .clone()
+                .with_backend(BackendKind::Packed)
+                .with_threads(threads);
+            let start = Instant::now();
+            let packed_report = measure_coverage(test, list, &packed_config);
+            packed_time += start.elapsed();
+
+            assert_eq!(
+                scalar_report,
+                packed_report,
+                "backend divergence on {} vs {}",
+                test.name(),
+                list.name()
+            );
+            cells.push(format!("{:>9.1}%", scalar_report.percent()));
         }
+        total_scalar += scalar_time;
+        total_packed += packed_time;
         println!(
-            "{:<16} {:>6} | {} {} {}",
+            "{:<16} {:>6} | {} {} {} | {:>8.2}ms {:>8.2}ms {:>7.2}x",
             test.name(),
             test.complexity_label(),
             cells[0],
             cells[1],
-            cells[2]
+            cells[2],
+            scalar_time.as_secs_f64() * 1e3,
+            packed_time.as_secs_f64() * 1e3,
+            scalar_time.as_secs_f64() / packed_time.as_secs_f64().max(1e-9),
         );
     }
     println!();
     println!(
-        "placements: {}, backgrounds: all-zero and all-one, memory: {} cells",
-        if exhaustive { "exhaustive" } else { "representative" },
-        config.memory_cells
+        "placements: {}, backgrounds: all-zero and all-one, memory: {} cells, threads: {}",
+        if exhaustive {
+            "exhaustive"
+        } else {
+            "representative"
+        },
+        base.memory_cells,
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        },
+    );
+    println!(
+        "matrix totals: scalar {:.2}ms, packed {:.2}ms, speedup {:.2}x",
+        total_scalar.as_secs_f64() * 1e3,
+        total_packed.as_secs_f64() * 1e3,
+        total_scalar.as_secs_f64() / total_packed.as_secs_f64().max(1e-9),
     );
 }

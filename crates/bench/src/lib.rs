@@ -82,6 +82,67 @@ pub fn improvement_from_complexities(ours: usize, baseline: usize) -> f64 {
     }
 }
 
+/// One scalar-vs-packed timing record of the `backend_bench` binary, serialised
+/// to `BENCH_simulation.json` so the simulation stack's perf trajectory is
+/// tracked across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload name (test × list × configuration).
+    pub name: String,
+    /// Mean scalar-backend wall time, nanoseconds.
+    pub scalar_ns: u64,
+    /// Mean packed-backend wall time, nanoseconds.
+    pub packed_ns: u64,
+    /// `scalar_ns / packed_ns`.
+    pub speedup: f64,
+    /// Worker threads the coverage fan-out used.
+    pub threads: usize,
+}
+
+/// Parses the `--threads N` flag from the process arguments, as used by the
+/// benchmark binaries: returns `1` when the flag is absent; `0` means "use the
+/// available parallelism".
+///
+/// # Panics
+///
+/// Panics with a clear message when the flag is present without a value or
+/// with a non-numeric one — benchmark runs must never silently fall back to a
+/// different thread count than the one requested.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args
+                .next()
+                .expect("--threads requires a value")
+                .parse()
+                .expect("--threads requires a number (0 = auto)");
+        }
+    }
+    1
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\t' => escaped.push_str("\\t"),
+            '\r' => escaped.push_str("\\r"),
+            control if (control as u32) < 0x20 => {
+                escaped.push_str(&format!("\\u{:04x}", control as u32));
+            }
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
 /// Renders a header matching [`TableRow::formatted`].
 #[must_use]
 pub fn table_header() -> String {

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use march_test::AddressOrder;
+use sram_sim::BackendKind;
 
 /// Errors produced while parsing command-line arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +64,7 @@ pub enum Command {
         name: String,
     },
     /// `generate --list <1|2> [--no-removal] [--order up|down] [--name NAME]
-    /// [--exhaustive]`.
+    /// [--exhaustive] [--backend scalar|packed] [--threads N]`.
     Generate {
         /// The target fault list.
         list: CoverageTarget,
@@ -75,8 +76,13 @@ pub enum Command {
         name: Option<String>,
         /// Verify with exhaustive placements after generation.
         exhaustive: bool,
+        /// Which simulation backend evaluates candidates and verification.
+        backend: BackendKind,
+        /// Worker threads for scoring/verification (0 = auto).
+        threads: usize,
     },
-    /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]`.
+    /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]
+    /// [--backend scalar|packed] [--threads N]`.
     Coverage {
         /// Catalogue name of the march test to evaluate.
         test: String,
@@ -84,6 +90,10 @@ pub enum Command {
         list: CoverageTarget,
         /// Use exhaustive cell placements.
         exhaustive: bool,
+        /// Which simulation backend evaluates the coverage lanes.
+        backend: BackendKind,
+        /// Worker threads the fault targets fan out over (0 = auto).
+        threads: usize,
     },
     /// `simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>]
     /// [--cells <n>]`.
@@ -132,9 +142,13 @@ impl Command {
                 let mut order = None;
                 let mut name = None;
                 let mut exhaustive = false;
+                let mut backend = BackendKind::Scalar;
+                let mut threads = 1usize;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
-                        "--list" => list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?),
+                        "--list" => {
+                            list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
+                        }
                         "--no-removal" => no_removal = true,
                         "--exhaustive" => exhaustive = true,
                         "--order" => {
@@ -144,6 +158,8 @@ impl Command {
                             })?);
                         }
                         "--name" => name = Some(required(&mut args, "--name")?),
+                        "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
+                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
                         other => return Err(unknown_flag(other)),
                     }
                 }
@@ -153,17 +169,25 @@ impl Command {
                     order,
                     name,
                     exhaustive,
+                    backend,
+                    threads,
                 })
             }
             "coverage" => {
                 let mut test = None;
                 let mut list = None;
                 let mut exhaustive = false;
+                let mut backend = BackendKind::Scalar;
+                let mut threads = 1usize;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--test" => test = Some(required(&mut args, "--test")?),
-                        "--list" => list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?),
+                        "--list" => {
+                            list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
+                        }
                         "--exhaustive" => exhaustive = true,
+                        "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
+                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
                         other => return Err(unknown_flag(other)),
                     }
                 }
@@ -171,6 +195,8 @@ impl Command {
                     test: test.ok_or_else(|| ParseArgsError("coverage requires --test".into()))?,
                     list: list.ok_or_else(|| ParseArgsError("coverage requires --list".into()))?,
                     exhaustive,
+                    backend,
+                    threads,
                 })
             }
             "simulate" => {
@@ -183,7 +209,9 @@ impl Command {
                     match arg.as_str() {
                         "--test" => test = Some(required(&mut args, "--test")?),
                         "--fault" => fault = Some(required(&mut args, "--fault")?),
-                        "--victim" => victim = Some(parse_number(&required(&mut args, "--victim")?)?),
+                        "--victim" => {
+                            victim = Some(parse_number(&required(&mut args, "--victim")?)?)
+                        }
                         "--aggressor" => {
                             aggressor = Some(parse_number(&required(&mut args, "--aggressor")?)?);
                         }
@@ -193,7 +221,8 @@ impl Command {
                 }
                 Ok(Command::Simulate {
                     test: test.ok_or_else(|| ParseArgsError("simulate requires --test".into()))?,
-                    fault: fault.ok_or_else(|| ParseArgsError("simulate requires --fault".into()))?,
+                    fault: fault
+                        .ok_or_else(|| ParseArgsError("simulate requires --fault".into()))?,
                     victim: victim
                         .ok_or_else(|| ParseArgsError("simulate requires --victim".into()))?,
                     aggressor,
@@ -220,6 +249,19 @@ fn parse_number(text: &str) -> Result<usize, ParseArgsError> {
         .map_err(|_| ParseArgsError(format!("`{text}` is not a valid cell count/address")))
 }
 
+fn parse_backend(text: &str) -> Result<BackendKind, ParseArgsError> {
+    text.parse::<BackendKind>()
+        .map_err(|error| ParseArgsError(error.to_string()))
+}
+
+fn parse_threads(text: &str) -> Result<usize, ParseArgsError> {
+    text.parse::<usize>().map_err(|_| {
+        ParseArgsError(format!(
+            "`{text}` is not a valid thread count (use 0 for auto)"
+        ))
+    })
+}
+
 fn unknown_flag(flag: &str) -> ParseArgsError {
     ParseArgsError(format!("unknown flag `{flag}`"))
 }
@@ -233,7 +275,9 @@ pub fn usage() -> String {
      \x20 march-codex catalog\n\
      \x20 march-codex show <name>\n\
      \x20 march-codex generate --list <1|2> [--no-removal] [--order up|down] [--name NAME] [--exhaustive]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
      \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
      \x20 march-codex help\n"
         .to_string()
@@ -283,6 +327,8 @@ mod tests {
                 order: Some(AddressOrder::Ascending),
                 name: Some("March X".into()),
                 exhaustive: false,
+                backend: BackendKind::Scalar,
+                threads: 1,
             }
         );
         assert!(parse(&["generate"]).is_err());
@@ -291,19 +337,91 @@ mod tests {
     }
 
     #[test]
+    fn parses_backend_and_threads() {
+        let command = parse(&[
+            "generate",
+            "--list",
+            "2",
+            "--backend",
+            "packed",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert!(matches!(
+            command,
+            Command::Generate {
+                backend: BackendKind::Packed,
+                threads: 4,
+                ..
+            }
+        ));
+        let coverage = parse(&[
+            "coverage",
+            "--test",
+            "March SL",
+            "--list",
+            "1",
+            "--backend",
+            "packed",
+            "--threads",
+            "0",
+        ])
+        .unwrap();
+        assert!(matches!(
+            coverage,
+            Command::Coverage {
+                backend: BackendKind::Packed,
+                threads: 0,
+                ..
+            }
+        ));
+        assert!(parse(&[
+            "coverage",
+            "--test",
+            "x",
+            "--list",
+            "1",
+            "--backend",
+            "simd"
+        ])
+        .is_err());
+        assert!(parse(&["generate", "--list", "2", "--threads", "many"]).is_err());
+    }
+
+    #[test]
     fn parses_coverage_and_simulate() {
-        let coverage = parse(&["coverage", "--test", "March SL", "--list", "unlinked", "--exhaustive"]).unwrap();
+        let coverage = parse(&[
+            "coverage",
+            "--test",
+            "March SL",
+            "--list",
+            "unlinked",
+            "--exhaustive",
+        ])
+        .unwrap();
         assert_eq!(
             coverage,
             Command::Coverage {
                 test: "March SL".into(),
                 list: CoverageTarget::Unlinked,
                 exhaustive: true,
+                backend: BackendKind::Scalar,
+                threads: 1,
             }
         );
         let simulate = parse(&[
-            "simulate", "--test", "March SS", "--fault", "<0w1;0/1/->", "--victim", "5",
-            "--aggressor", "2", "--cells", "16",
+            "simulate",
+            "--test",
+            "March SS",
+            "--fault",
+            "<0w1;0/1/->",
+            "--victim",
+            "5",
+            "--aggressor",
+            "2",
+            "--cells",
+            "16",
         ])
         .unwrap();
         assert_eq!(
@@ -324,7 +442,10 @@ mod tests {
     #[test]
     fn target_labels() {
         assert_eq!(CoverageTarget::List1.label(), "Fault List #1");
-        assert_eq!(CoverageTarget::parse("unlinked").unwrap(), CoverageTarget::Unlinked);
+        assert_eq!(
+            CoverageTarget::parse("unlinked").unwrap(),
+            CoverageTarget::Unlinked
+        );
         assert!(CoverageTarget::parse("3").is_err());
         assert!(!usage().is_empty());
     }

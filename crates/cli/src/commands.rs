@@ -7,7 +7,8 @@ use march_gen::{GeneratorConfig, MarchGenerator};
 use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
-    measure_coverage, CoverageConfig, FaultSimulator, InitialState, InjectedFault, Syndrome,
+    measure_coverage, BackendKind, CoverageConfig, FaultSimulator, InitialState, InjectedFault,
+    Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, ParseArgsError};
@@ -69,12 +70,24 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             order,
             name,
             exhaustive,
-        } => generate(*list, *no_removal, *order, name.as_deref(), *exhaustive),
+            backend,
+            threads,
+        } => generate(
+            *list,
+            *no_removal,
+            *order,
+            name.as_deref(),
+            *exhaustive,
+            *backend,
+            *threads,
+        ),
         Command::Coverage {
             test,
             list,
             exhaustive,
-        } => coverage(test, *list, *exhaustive),
+            backend,
+            threads,
+        } => coverage(test, *list, *exhaustive, *backend, *threads),
         Command::Simulate {
             test,
             fault,
@@ -110,20 +123,24 @@ fn fault_list(target: CoverageTarget) -> FaultList {
     }
 }
 
-fn coverage_config(exhaustive: bool) -> CoverageConfig {
-    if exhaustive {
+fn coverage_config(exhaustive: bool, backend: BackendKind, threads: usize) -> CoverageConfig {
+    let config = if exhaustive {
         CoverageConfig::exhaustive()
     } else {
         CoverageConfig::thorough()
-    }
+    };
+    config.with_backend(backend).with_threads(threads)
 }
 
+#[allow(clippy::fn_params_excessive_bools)]
 fn generate(
     target: CoverageTarget,
     no_removal: bool,
     order: Option<AddressOrder>,
     name: Option<&str>,
     exhaustive: bool,
+    backend: BackendKind,
+    threads: usize,
 ) -> Result<String, CliError> {
     let list = fault_list(target);
     let mut config = if no_removal {
@@ -134,15 +151,29 @@ fn generate(
     if let Some(order) = order {
         config.allowed_orders = vec![order, AddressOrder::Any];
     }
+    config = config.with_backend(backend).with_threads(threads);
     let generator = MarchGenerator::with_config(list.clone(), config)
         .named(name.unwrap_or("March GEN").to_string());
     let generated = generator.generate();
-    let report = measure_coverage(generated.test(), &list, &coverage_config(exhaustive));
+    let report = measure_coverage(
+        generated.test(),
+        &list,
+        &coverage_config(exhaustive, backend, threads),
+    );
 
     let mut output = String::new();
     output.push_str(&format!("target        : {list}\n"));
+    let threads_label = if threads == 0 {
+        "auto threads".to_string()
+    } else {
+        format!("{threads} threads")
+    };
+    output.push_str(&format!("backend       : {backend} ({threads_label})\n"));
     output.push_str(&format!("generated     : {}\n", generated.test()));
-    output.push_str(&format!("complexity    : {}\n", generated.test().complexity_label()));
+    output.push_str(&format!(
+        "complexity    : {}\n",
+        generated.test().complexity_label()
+    ));
     output.push_str(&format!("generation    : {}\n", generated.report()));
     output.push_str(&format!("verification  : {report}\n"));
     if !report.is_complete() {
@@ -153,16 +184,26 @@ fn generate(
     Ok(output)
 }
 
-fn coverage(test: &str, target: CoverageTarget, exhaustive: bool) -> Result<String, CliError> {
+fn coverage(
+    test: &str,
+    target: CoverageTarget,
+    exhaustive: bool,
+    backend: BackendKind,
+    threads: usize,
+) -> Result<String, CliError> {
     let test = lookup(test)?;
     let list = fault_list(target);
-    let report = measure_coverage(&test, &list, &coverage_config(exhaustive));
-    let mut output = format!("{report}\n");
+    let report = measure_coverage(&test, &list, &coverage_config(exhaustive, backend, threads));
+    let mut output = format!("{report} [{backend} backend]\n");
     for (topology, (covered, total)) in report.by_topology() {
         output.push_str(&format!("  {topology}: {covered}/{total}\n"));
     }
     if !report.is_complete() {
-        output.push_str(&format!("escapes ({} shown of {}):\n", report.escapes().len().min(10), report.escapes().len()));
+        output.push_str(&format!(
+            "escapes ({} shown of {}):\n",
+            report.escapes().len().min(10),
+            report.escapes().len()
+        ));
         for escape in report.escapes().iter().take(10) {
             output.push_str(&format!("  {escape}\n"));
         }
@@ -212,7 +253,10 @@ fn simulate(
     if let Some(aggressor) = aggressor {
         output.push_str(&format!(", aggressor {aggressor}"));
     }
-    output.push_str(&format!(") on a {cells}-cell memory under {}\n", test.name()));
+    output.push_str(&format!(
+        ") on a {cells}-cell memory under {}\n",
+        test.name()
+    ));
     Ok(output)
 }
 
@@ -244,10 +288,38 @@ mod tests {
             test: "March ABL1".into(),
             list: CoverageTarget::List2,
             exhaustive: false,
+            backend: BackendKind::Scalar,
+            threads: 1,
         })
         .unwrap();
         assert!(output.contains("100.0%"));
         assert!(output.contains("LF1"));
+    }
+
+    #[test]
+    fn coverage_command_agrees_across_backends() {
+        let scalar = run(&Command::Coverage {
+            test: "March C-".into(),
+            list: CoverageTarget::List1,
+            exhaustive: false,
+            backend: BackendKind::Scalar,
+            threads: 1,
+        })
+        .unwrap();
+        let packed = run(&Command::Coverage {
+            test: "March C-".into(),
+            list: CoverageTarget::List1,
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 0,
+        })
+        .unwrap();
+        // Identical up to the backend tag on the first line.
+        let strip = |text: &str| {
+            text.replacen(" [scalar backend]", "", 1)
+                .replacen(" [packed backend]", "", 1)
+        };
+        assert_eq!(strip(&scalar), strip(&packed));
     }
 
     #[test]
@@ -258,10 +330,13 @@ mod tests {
             order: None,
             name: Some("March CLI".into()),
             exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 0,
         })
         .unwrap();
         assert!(output.contains("March CLI"));
         assert!(output.contains("100.0%"));
+        assert!(output.contains("packed"));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Workspace-internal stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness, implementing the subset of its API this workspace's
+//! benches use with **zero external dependencies** so `cargo bench` works in
+//! fully offline environments.
+//!
+//! Each benchmark is timed with a calibrated wall-clock loop: a warm-up pass
+//! estimates the per-iteration cost, then the measurement pass runs enough
+//! iterations to fill a short window (bounded by the group's `sample_size`).
+//! Results are printed in a `group/benchmark  time: [..]` format loosely
+//! matching criterion's, and — when the `CRITERION_JSON` environment variable
+//! names a file — also appended to that file as JSON lines, which is how the
+//! workspace tracks its performance trajectory across PRs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(200);
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/benchmark` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of measured iterations.
+    pub iterations: u64,
+}
+
+/// The top-level benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: MEASUREMENT_WINDOW,
+        }
+    }
+
+    /// All measurements recorded so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints the summary line and, when `CRITERION_JSON` is set, appends the
+    /// measurements to that file as JSON lines.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut lines = String::new();
+            for m in &self.measurements {
+                lines.push_str(&format!(
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iterations\":{}}}\n",
+                    m.id, m.mean_ns, m.iterations
+                ));
+            }
+            if let Err(error) = std::fs::write(&path, lines) {
+                eprintln!("criterion shim: could not write {path}: {error}");
+            }
+        }
+        println!("\n{} benchmarks measured", self.measurements.len());
+    }
+}
+
+/// A named benchmark group created by [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured iterations (compatibility knob; the shim
+    /// uses it as an upper bound on the measurement loop).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the measurement window for each benchmark of the group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measurement_time = window;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs one benchmark closure parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            max_batches: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        let mean_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        };
+        let full_id = format!("{}/{id}", self.name);
+        println!(
+            "{full_id:<56} time: [{:>12} /iter] ({} iterations)",
+            format_ns(mean_ns),
+            bencher.iterations
+        );
+        self.criterion.measurements.push(Measurement {
+            id: full_id,
+            mean_ns,
+            iterations: bencher.iterations,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The per-benchmark timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    max_batches: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the measurement window (or
+    /// the batch cap) is exhausted.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and calibration: run once to estimate the iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(50));
+
+        let budget = self.measurement_time;
+        let batches = self.max_batches as u64;
+        let per_batch = (budget.as_nanos() / (first.as_nanos().max(1) * u128::from(batches)))
+            .clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += per_batch;
+            if total >= budget {
+                break;
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+/// Identifier for a parameterised benchmark, e.g. `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(criterion: &mut Criterion) {
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("sum", |bencher| bencher.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |bencher, &n| {
+            bencher.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measurements_are_recorded() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        assert_eq!(criterion.measurements().len(), 2);
+        assert_eq!(criterion.measurements()[0].id, "shim/sum");
+        assert_eq!(criterion.measurements()[1].id, "shim/sum_to/50");
+        assert!(criterion.measurements().iter().all(|m| m.iterations > 0));
+        assert!(criterion.measurements().iter().all(|m| m.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("march_ss", 64).to_string(), "march_ss/64");
+        assert!(!format_ns(1.5e9).is_empty());
+        assert!(format_ns(2.0e6).contains("ms"));
+        assert!(format_ns(3.0e3).contains("µs"));
+        assert!(format_ns(10.0).contains("ns"));
+    }
+}

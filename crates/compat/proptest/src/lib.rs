@@ -1,0 +1,670 @@
+//! Workspace-internal stand-in for the [`proptest`](https://docs.rs/proptest)
+//! crate, implementing the (small) subset of its API this workspace's
+//! property-based tests use — with **zero external dependencies**, so the
+//! workspace builds in fully offline environments.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], [`prop_assume!`];
+//! * [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`], integer-range
+//!   strategies, tuple strategies, [`collection::vec`] and [`sample::select`];
+//! * [`strategy::Strategy::prop_map`] and [`strategy::Strategy::boxed`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the case index and the failure message. Generation is deterministic — the
+//! RNG is seeded from the test name — so failures are reproducible across runs.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic pseudo-random number generation (splitmix64).
+pub mod rng {
+    /// A small deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a 64-bit seed.
+        #[must_use]
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`0` when `bound == 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+
+        /// Uniform boolean.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::rng::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.new_value(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A uniform choice between boxed strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options` (must be non-empty).
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.options.len() as u64) as usize;
+            self.options[index].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    /// String-pattern strategies: a `&str` is interpreted as a (tiny) regex
+    /// subset — sequences of literal characters and character classes `[...]`,
+    /// each optionally followed by a `{m}` or `{m,n}` repetition — mirroring
+    /// proptest's regex string strategies for the patterns used in this
+    /// workspace.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut output = String::new();
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let class: Vec<char> = if c == '[' {
+                    let mut class = Vec::new();
+                    for inner in chars.by_ref() {
+                        if inner == ']' {
+                            break;
+                        }
+                        class.push(inner);
+                    }
+                    assert!(!class.is_empty(), "empty character class in pattern {self}");
+                    class
+                } else {
+                    vec![c]
+                };
+                let (min, max) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut spec = String::new();
+                    for inner in chars.by_ref() {
+                        if inner == '}' {
+                            break;
+                        }
+                        spec.push(inner);
+                    }
+                    match spec.split_once(',') {
+                        Some((low, high)) => (
+                            low.parse::<usize>().expect("numeric repetition bound"),
+                            high.parse::<usize>().expect("numeric repetition bound"),
+                        ),
+                        None => {
+                            let exact = spec.parse::<usize>().expect("numeric repetition");
+                            (exact, exact)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                let count = min + rng.below((max - min + 1) as u64) as usize;
+                for _ in 0..count {
+                    let index = rng.below(class.len() as u64) as usize;
+                    output.push(class[index]);
+                }
+            }
+            output
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// `any::<T>()` support for primitive types.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T> {
+        marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing arbitrary values of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// A size specification for generated collections: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> SizeRange {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.options.len() as u64) as usize;
+            self.options[index].clone()
+        }
+    }
+
+    /// A strategy choosing uniformly among `options` (must be non-empty).
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// Configuration and the case-execution loop.
+pub mod test_runner {
+    use crate::rng::TestRng;
+
+    /// Run-time configuration of a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single test case did not succeed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped, not failed.
+        Reject,
+        /// The case failed with the given message.
+        Fail(String),
+    }
+
+    /// Outcome of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate per-test streams.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Drives one `proptest!`-generated test: runs cases until `config.cases`
+    /// of them succeed, panicking on the first failure.
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut rng = TestRng::new(seed_from_name(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_limit = config.cases.saturating_mul(16).saturating_add(1024);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_limit,
+                        "proptest `{name}`: too many rejected cases ({rejected}) — \
+                         assumptions are unsatisfiable"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest `{name}` failed after {passed} passing cases: {message}")
+                }
+            }
+        }
+    }
+}
+
+/// The customary glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors the `prop` module alias of the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property-based tests: each `fn name(pattern in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), rng);)*
+                (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        $crate::prop_assert!($condition, "assertion failed: {}", stringify!($condition))
+    };
+    ($condition:expr, $($format:tt)*) => {
+        if !$condition {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($format)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($format:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($format)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current test case (without failing) unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !$condition {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(value in 3usize..17) {
+            prop_assert!((3..17).contains(&value));
+        }
+
+        #[test]
+        fn vec_lengths_respect_the_size_range(
+            values in prop::collection::vec(0u8..10, 2..6),
+        ) {
+            prop_assert!(values.len() >= 2 && values.len() < 6);
+            prop_assert!(values.iter().all(|v| *v < 10));
+        }
+
+        #[test]
+        fn oneof_select_map_and_assume(
+            choice in prop_oneof![Just(1usize), Just(2usize)],
+            picked in prop::sample::select(vec!["a", "b", "c"]),
+            doubled in (0usize..8).prop_map(|v| v * 2),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(choice != 0);
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(["a", "b", "c"].contains(&picked));
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(u8::from(flag), 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let strategy = (0usize..100, 0usize..100);
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(strategy.new_value(&mut a), strategy.new_value(&mut b));
+        }
+    }
+}

@@ -58,7 +58,8 @@ pub fn library_candidates() -> Vec<MarchElement> {
     let mut pool = Vec::new();
     for shape in shapes {
         for order in [AddressOrder::Ascending, AddressOrder::Descending] {
-            let base = MarchElement::new(order, shape.clone()).expect("library shapes are non-empty");
+            let base =
+                MarchElement::new(order, shape.clone()).expect("library shapes are non-empty");
             let complemented = base.complemented();
             pool.push(base);
             pool.push(complemented);
@@ -122,7 +123,12 @@ pub fn exhaustive_candidates(max_length: usize) -> Vec<MarchElement> {
 
 fn ops(text: &str) -> Vec<Operation> {
     text.split(',')
-        .map(|token| token.trim().parse::<Operation>().expect("library operation"))
+        .map(|token| {
+            token
+                .trim()
+                .parse::<Operation>()
+                .expect("library operation")
+        })
         .collect()
 }
 
@@ -155,7 +161,10 @@ mod tests {
 
     #[test]
     fn library_contains_the_key_shapes() {
-        let texts: Vec<String> = library_candidates().iter().map(MarchElement::to_string).collect();
+        let texts: Vec<String> = library_candidates()
+            .iter()
+            .map(MarchElement::to_string)
+            .collect();
         for expected in [
             "⇑(r0,r0,w0,r0,w1)",
             "⇑(r1,r1,w1,r1,w0)",

@@ -5,10 +5,13 @@ use std::time::{Duration, Instant};
 
 use march_test::{AddressOrder, MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::{Bit, FaultList};
-use sram_sim::{CoverageConfig, CoverageReport, InitialState, PlacementStrategy};
+use sram_sim::{
+    parallel_map, BackendKind, CoverageConfig, CoverageReport, InitialState, PlacementStrategy,
+    TargetBatch,
+};
 
-use crate::targets::PendingInstance;
-use crate::{exhaustive_candidates, library_candidates, minimise, verify, TargetInstance};
+use crate::targets::enumerate_target_lanes;
+use crate::{exhaustive_candidates, library_candidates, minimise, verify};
 
 /// Configuration of the march-test generator.
 ///
@@ -42,6 +45,13 @@ pub struct GeneratorConfig {
     /// implemented more efficiently in BIST hardware). The initialisation element
     /// `⇕(w·)` is always allowed.
     pub allowed_orders: Vec<AddressOrder>,
+    /// Which simulation backend evaluates candidate elements and verifies the
+    /// generated test.
+    pub backend: BackendKind,
+    /// Number of worker threads candidate scoring and verification fan out
+    /// over (`1` = serial, `0` = available parallelism). The generated test is
+    /// identical for every value.
+    pub threads: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -60,6 +70,8 @@ impl Default for GeneratorConfig {
                 AddressOrder::Descending,
                 AddressOrder::Any,
             ],
+            backend: BackendKind::Scalar,
+            threads: 1,
         }
     }
 }
@@ -89,14 +101,43 @@ impl GeneratorConfig {
         }
     }
 
+    /// A configuration running the whole pipeline on the bit-parallel packed
+    /// backend with automatic thread fan-out — the fast path for large fault
+    /// lists. The generated test is identical to the scalar one.
+    #[must_use]
+    pub fn fast() -> GeneratorConfig {
+        GeneratorConfig {
+            backend: BackendKind::Packed,
+            threads: 0,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Replaces the simulation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> GeneratorConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> GeneratorConfig {
+        self.threads = threads;
+        self
+    }
+
     /// The coverage configuration used for the final verification of a generated
-    /// test (thorough: both uniform backgrounds).
+    /// test (thorough: both uniform backgrounds), inheriting the generator's
+    /// backend and thread knobs.
     #[must_use]
     pub fn verification_config(&self) -> CoverageConfig {
         CoverageConfig {
             memory_cells: self.memory_cells,
             strategy: self.strategy,
             backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+            backend: self.backend,
+            threads: self.threads,
         }
     }
 }
@@ -201,7 +242,13 @@ impl GeneratedTest {
 
 impl fmt::Display for GeneratedTest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] ({})", self.test, self.test.complexity_label(), self.report)
+        write!(
+            f,
+            "{} [{}] ({})",
+            self.test,
+            self.test.complexity_label(),
+            self.report
+        )
     }
 }
 
@@ -280,40 +327,48 @@ impl MarchGenerator {
     #[must_use]
     pub fn generate(&self) -> GeneratedTest {
         let start = Instant::now();
-        let instances = TargetInstance::enumerate(
+
+        // One batch per fault target: every (placement, background) lane of the
+        // target packed behind the configured simulation backend, carrying the
+        // simulator state reached after the current march prefix so that
+        // scoring a candidate only needs to simulate that element.
+        let mut batches: Vec<TargetBatch> = enumerate_target_lanes(
             &self.list,
             self.config.memory_cells,
             self.config.strategy,
             &self.config.backgrounds,
-        );
-        let initial_targets = instances.len();
+        )
+        .into_iter()
+        .map(|(target, lanes)| {
+            TargetBatch::new(target, lanes, self.config.memory_cells, self.config.backend)
+        })
+        .collect();
+        let initial_targets: usize = batches.iter().map(TargetBatch::pending).sum();
 
         // The march test always starts with the initialisation element ⇕(w·).
         let init = MarchElement::initialise(self.config.initial_write);
         let mut elements = vec![init.clone()];
 
-        // Pending instances carry the simulator state reached after the current
-        // march prefix, so scoring a candidate only needs to simulate that element.
-        let mut pending: Vec<PendingInstance> = instances
-            .into_iter()
-            .map(PendingInstance::new)
-            .collect();
-        pending.retain_mut(|instance| !instance.advance(&init));
+        for batch in &mut batches {
+            batch.advance(&init);
+        }
+        batches.retain(|batch| batch.pending() > 0);
 
         let library = self.filter_orders(library_candidates());
         let mut element_history = Vec::new();
         let mut iterations = 0usize;
 
-        while !pending.is_empty() && elements.len() < self.config.max_elements {
-            let choice = Self::best_candidate(&library, &pending)
+        while !batches.is_empty() && elements.len() < self.config.max_elements {
+            let choice = self
+                .best_candidate(&library, &batches)
                 .filter(|(_, covered)| *covered > 0)
                 .or_else(|| {
                     if self.config.repair {
-                        Self::best_candidate(
+                        self.best_candidate(
                             &self.filter_orders(exhaustive_candidates(
                                 self.config.repair_max_length,
                             )),
-                            &pending,
+                            &batches,
                         )
                         .filter(|(_, covered)| *covered > 0)
                     } else {
@@ -325,22 +380,36 @@ impl MarchGenerator {
                 break;
             };
 
-            pending.retain_mut(|instance| !instance.advance(&element));
+            for batch in &mut batches {
+                batch.advance(&element);
+            }
+            batches.retain(|batch| batch.pending() > 0);
             element_history.push((element.to_string(), covered));
             elements.push(element);
             iterations += 1;
         }
 
-        let uncovered: Vec<String> = pending
+        let uncovered: Vec<String> = batches
             .iter()
-            .map(|instance| instance.instance.to_string())
+            .flat_map(|batch| {
+                batch.pending_lanes().into_iter().map(|lane| {
+                    format!(
+                        "{} @ {} ({:?})",
+                        batch.target(),
+                        lane.cells,
+                        lane.background
+                    )
+                })
+            })
             .collect();
 
         let mut test = MarchTestBuilder::new(&self.name);
         for element in elements {
             test = test.push(element);
         }
-        let mut test = test.build().expect("the initialisation element is always present");
+        let mut test = test
+            .build()
+            .expect("the initialisation element is always present");
 
         let mut removed_operations = 0usize;
         if self.config.redundancy_removal && uncovered.is_empty() {
@@ -368,7 +437,11 @@ impl MarchGenerator {
     #[must_use]
     pub fn generate_verified(&self) -> (GeneratedTest, CoverageReport) {
         let generated = self.generate();
-        let report = verify(generated.test(), &self.list, &self.config.verification_config());
+        let report = verify(
+            generated.test(),
+            &self.list,
+            &self.config.verification_config(),
+        );
         (generated, report)
     }
 
@@ -379,19 +452,21 @@ impl MarchGenerator {
             .collect()
     }
 
-    /// Scores every candidate against the pending instances and returns the best
-    /// `(element, newly covered)` pair: most newly covered instances first, fewest
-    /// operations as the tie-breaker.
+    /// Scores every candidate against the pending target batches and returns the
+    /// best `(element, newly covered lanes)` pair: most newly covered lanes
+    /// first, fewest operations as the tie-breaker. Scoring fans out over the
+    /// configured worker threads; the selection scan is sequential and in
+    /// candidate order, so the result is independent of the thread count.
     fn best_candidate(
+        &self,
         candidates: &[MarchElement],
-        pending: &[PendingInstance],
+        batches: &[TargetBatch],
     ) -> Option<(MarchElement, usize)> {
+        let scores: Vec<usize> = parallel_map(candidates, self.config.threads, |candidate| {
+            batches.iter().map(|batch| batch.score(candidate)).sum()
+        });
         let mut best: Option<(MarchElement, usize)> = None;
-        for candidate in candidates {
-            let covered = pending
-                .iter()
-                .filter(|instance| instance.detected_by_element(candidate))
-                .count();
+        for (candidate, covered) in candidates.iter().zip(scores) {
             let better = match &best {
                 None => true,
                 Some((current, current_covered)) => {
@@ -474,6 +549,33 @@ mod tests {
             .elements()
             .iter()
             .all(|element| element.order() != AddressOrder::Descending));
+    }
+
+    #[test]
+    fn packed_backend_generates_the_identical_test() {
+        let scalar = MarchGenerator::new(FaultList::list_2()).generate();
+        let packed =
+            MarchGenerator::with_config(FaultList::list_2(), GeneratorConfig::fast()).generate();
+        assert_eq!(scalar.test().notation(), packed.test().notation());
+        assert_eq!(
+            scalar.report().iterations(),
+            packed.report().iterations(),
+            "greedy choices must not depend on the backend"
+        );
+        assert!(packed.report().is_complete());
+    }
+
+    #[test]
+    fn config_builders_set_the_knobs() {
+        let config = GeneratorConfig::default()
+            .with_backend(BackendKind::Packed)
+            .with_threads(4);
+        assert_eq!(config.backend, BackendKind::Packed);
+        assert_eq!(config.threads, 4);
+        let fast = GeneratorConfig::fast();
+        assert_eq!(fast.backend, BackendKind::Packed);
+        assert_eq!(fast.threads, 0);
+        assert_eq!(fast.verification_config().backend, BackendKind::Packed);
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl MemoryGraph {
     /// The bits of a state, cell 0 first.
     #[must_use]
     pub fn state_bits(&self, state: usize) -> Vec<Bit> {
-        (0..self.cells).map(|cell| self.cell_value(state, cell)).collect()
+        (0..self.cells)
+            .map(|cell| self.cell_value(state, cell))
+            .collect()
     }
 
     /// The state index corresponding to the given cell contents (cell 0 first).
@@ -133,9 +135,9 @@ impl MemoryGraph {
     #[must_use]
     pub fn state_of(&self, bits: &[Bit]) -> usize {
         assert_eq!(bits.len(), self.cells, "state width mismatch");
-        bits.iter()
-            .enumerate()
-            .fold(0usize, |state, (cell, bit)| state | ((bit.as_u8() as usize) << cell))
+        bits.iter().enumerate().fold(0usize, |state, (cell, bit)| {
+            state | ((bit.as_u8() as usize) << cell)
+        })
     }
 
     /// Every state index whose content satisfies the (possibly partially
@@ -159,7 +161,12 @@ impl MemoryGraph {
     ///
     /// Panics if `cell` is out of range.
     #[must_use]
-    pub fn successor(&self, state: usize, cell: usize, operation: Operation) -> (usize, Option<Bit>) {
+    pub fn successor(
+        &self,
+        state: usize,
+        cell: usize,
+        operation: Operation,
+    ) -> (usize, Option<Bit>) {
         assert!(cell < self.cells, "cell {cell} out of range");
         match operation {
             Operation::Write(bit) => {
@@ -258,7 +265,10 @@ mod tests {
         assert_eq!(g0.successor(0b00, 1, Operation::W1), (0b10, None));
         assert_eq!(g0.successor(0b11, 0, Operation::W0), (0b10, None));
         assert_eq!(g0.successor(0b10, 1, Operation::R1), (0b10, Some(Bit::One)));
-        assert_eq!(g0.successor(0b10, 0, Operation::Read(None)), (0b10, Some(Bit::Zero)));
+        assert_eq!(
+            g0.successor(0b10, 0, Operation::Read(None)),
+            (0b10, Some(Bit::Zero))
+        );
         assert_eq!(g0.successor(0b01, 0, Operation::Wait), (0b01, None));
     }
 

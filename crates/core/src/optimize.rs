@@ -2,9 +2,10 @@
 
 use march_test::{MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::FaultList;
-use sram_sim::PlacementStrategy;
+use sram_sim::{CoverageLane, PlacementStrategy, SimulationBackend, TargetKind};
 
-use crate::{GeneratorConfig, TargetInstance};
+use crate::targets::enumerate_target_lanes;
+use crate::GeneratorConfig;
 
 /// Removes redundant operations from `test` while preserving complete coverage of
 /// `list` under the generation configuration `config`.
@@ -23,8 +24,12 @@ use crate::{GeneratorConfig, TargetInstance};
 ///
 /// Panics if `config.memory_cells < 4`.
 #[must_use]
-pub fn minimise(test: &MarchTest, list: &FaultList, config: &GeneratorConfig) -> (MarchTest, usize) {
-    let instances = TargetInstance::enumerate(
+pub fn minimise(
+    test: &MarchTest,
+    list: &FaultList,
+    config: &GeneratorConfig,
+) -> (MarchTest, usize) {
+    let targets = enumerate_target_lanes(
         list,
         config.memory_cells,
         config.strategy,
@@ -32,13 +37,15 @@ pub fn minimise(test: &MarchTest, list: &FaultList, config: &GeneratorConfig) ->
     );
 
     // Nothing to preserve: return the test untouched.
-    if instances.is_empty() {
+    if targets.is_empty() {
         return (test.clone(), 0);
     }
 
+    let backend = config.backend.instance();
+
     // Only minimise tests that are complete to begin with, otherwise "preserving
     // coverage" is ill-defined.
-    if !covers_all(test, &instances) {
+    if !covers_all(test, &targets, config.memory_cells, backend.as_ref()) {
         return (test.clone(), 0);
     }
 
@@ -59,7 +66,7 @@ pub fn minimise(test: &MarchTest, list: &FaultList, config: &GeneratorConfig) ->
                     continue;
                 }
                 let trial = rebuild(test.name(), &candidate);
-                if covers_all(&trial, &instances) {
+                if covers_all(&trial, &targets, config.memory_cells, backend.as_ref()) {
                     elements = candidate;
                     removed += 1;
                     changed = true;
@@ -78,9 +85,18 @@ pub fn minimise(test: &MarchTest, list: &FaultList, config: &GeneratorConfig) ->
     (rebuild(test.name(), &elements), removed)
 }
 
-/// Returns `true` if `test` detects every instance.
-fn covers_all(test: &MarchTest, instances: &[TargetInstance]) -> bool {
-    instances.iter().all(|instance| instance.is_detected_by(test))
+/// Returns `true` if `test` detects every lane of every target.
+fn covers_all(
+    test: &MarchTest,
+    targets: &[(TargetKind, Vec<CoverageLane>)],
+    memory_cells: usize,
+    backend: &dyn SimulationBackend,
+) -> bool {
+    targets.iter().all(|(target, lanes)| {
+        backend
+            .first_undetected(test, target, lanes, memory_cells)
+            .is_none()
+    })
 }
 
 /// Returns a copy of `elements` with operation `op_index` of element
@@ -113,7 +129,9 @@ fn rebuild(name: &str, elements: &[MarchElement]) -> MarchTest {
     for element in elements {
         builder = builder.push(element.clone());
     }
-    builder.build().expect("minimised tests keep at least one element")
+    builder
+        .build()
+        .expect("minimised tests keep at least one element")
 }
 
 /// Convenience wrapper: minimises `test` against `list` with the default generator
@@ -150,13 +168,37 @@ mod tests {
         assert!(removed >= 2, "removed {removed}");
         assert!(minimised.complexity() <= catalog::march_abl1().complexity());
         // The minimised test still covers the list.
-        let instances = TargetInstance::enumerate(
+        let targets = enumerate_target_lanes(
             &list,
             config.memory_cells,
             config.strategy,
             &config.backgrounds,
         );
-        assert!(covers_all(&minimised, &instances));
+        let backend = config.backend.instance();
+        assert!(covers_all(
+            &minimised,
+            &targets,
+            config.memory_cells,
+            backend.as_ref()
+        ));
+    }
+
+    #[test]
+    fn backends_minimise_identically() {
+        let padded = MarchTest::parse(
+            "padded ABL1",
+            "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+        )
+        .unwrap();
+        let list = FaultList::list_2();
+        let scalar = minimise(&padded, &list, &GeneratorConfig::default());
+        let packed = minimise(
+            &padded,
+            &list,
+            &GeneratorConfig::default().with_backend(sram_sim::BackendKind::Packed),
+        );
+        assert_eq!(scalar.0.notation(), packed.0.notation());
+        assert_eq!(scalar.1, packed.1);
     }
 
     #[test]

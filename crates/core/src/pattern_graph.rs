@@ -128,10 +128,14 @@ impl PatternGraph {
                 .expect("canonical placements match the primitive shape");
             let second = AddressedFaultPrimitive::instantiate(fault.second(), second_placement)
                 .expect("canonical placements match the primitive shape");
-            let first_ids =
-                builder.add_pattern(&TestPattern::new(first), index, true, 0, None);
-            let second_ids =
-                builder.add_pattern(&TestPattern::new(second), index, true, 1, first_ids.first().copied());
+            let first_ids = builder.add_pattern(&TestPattern::new(first), index, true, 0, None);
+            let second_ids = builder.add_pattern(
+                &TestPattern::new(second),
+                index,
+                true,
+                1,
+                first_ids.first().copied(),
+            );
             // Cross-link the first edges of each component so callers can navigate
             // from FP1's edge to FP2's edge and back.
             if let (Some(&first_id), Some(&second_id)) = (first_ids.first(), second_ids.first()) {

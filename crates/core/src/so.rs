@@ -47,7 +47,10 @@ impl SequenceOfOperations {
 
     /// Creates a sequence from an address specification and operations.
     #[must_use]
-    pub fn with_operations(address_spec: usize, operations: Vec<Operation>) -> SequenceOfOperations {
+    pub fn with_operations(
+        address_spec: usize,
+        operations: Vec<Operation>,
+    ) -> SequenceOfOperations {
         SequenceOfOperations {
             address_spec,
             operations,

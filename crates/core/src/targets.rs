@@ -3,12 +3,31 @@
 
 use std::fmt;
 
-use march_test::{MarchElement, MarchTest};
+use march_test::MarchTest;
 use sram_fault_model::FaultList;
 use sram_sim::{
-    enumerate_placements, FaultSimulator, InitialState, InjectedFault, InstanceCells,
-    LinkedFaultInstance, PlacementStrategy, TargetKind,
+    enumerate_lanes, enumerate_placements, CoverageLane, FaultSimulator, InitialState,
+    InjectedFault, InstanceCells, LinkedFaultInstance, PlacementStrategy, TargetKind,
 };
+
+/// Enumerates every fault target of `list` together with its coverage lanes —
+/// the unit of work handed to [`sram_sim::TargetBatch`] by the generator and
+/// the redundancy-removal pass.
+#[must_use]
+pub(crate) fn enumerate_target_lanes(
+    list: &FaultList,
+    memory_cells: usize,
+    strategy: PlacementStrategy,
+    backgrounds: &[InitialState],
+) -> Vec<(TargetKind, Vec<CoverageLane>)> {
+    sram_sim::enumerate_targets(list)
+        .into_iter()
+        .map(|target| {
+            let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds);
+            (target, lanes)
+        })
+        .collect()
+}
 
 /// One concrete detection obligation of the generator: a fault of the target list,
 /// instantiated on a specific cell assignment, simulated from a specific initial
@@ -135,52 +154,12 @@ impl TargetInstance {
 
 impl fmt::Display for TargetInstance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} @ {} ({:?})", self.target, self.cells, self.background)
+        write!(
+            f,
+            "{} @ {} ({:?})",
+            self.target, self.cells, self.background
+        )
     }
-}
-
-/// A target instance paired with the simulator state reached after executing the
-/// march test built so far — the incremental representation used by the greedy
-/// generator so that scoring a candidate element only has to simulate that element.
-#[derive(Debug, Clone)]
-pub(crate) struct PendingInstance {
-    pub instance: TargetInstance,
-    pub simulator: FaultSimulator,
-}
-
-impl PendingInstance {
-    pub(crate) fn new(instance: TargetInstance) -> PendingInstance {
-        let simulator = instance.simulator();
-        PendingInstance { instance, simulator }
-    }
-
-    /// Returns `true` if executing `element` on a copy of the saved simulator
-    /// produces a detection.
-    pub(crate) fn detected_by_element(&self, element: &MarchElement) -> bool {
-        let mut simulator = self.simulator.clone();
-        run_element(element, &mut simulator)
-    }
-
-    /// Advances the saved simulator by executing `element`; returns `true` if the
-    /// element detected the instance (in which case the caller drops it).
-    pub(crate) fn advance(&mut self, element: &MarchElement) -> bool {
-        run_element(element, &mut self.simulator)
-    }
-}
-
-/// Executes one march element against a simulator and reports whether any read
-/// mismatched.
-pub(crate) fn run_element(element: &MarchElement, simulator: &mut FaultSimulator) -> bool {
-    let cells = simulator.cells();
-    let mut detected = false;
-    for cell in element.order().addresses(cells) {
-        for operation in element.operations() {
-            if simulator.apply(cell, *operation).mismatch() {
-                detected = true;
-            }
-        }
-    }
-    detected
 }
 
 #[cfg(test)]
@@ -238,31 +217,35 @@ mod tests {
             &[InitialState::AllOne],
         );
         let abl1 = catalog::march_abl1();
-        assert!(instances.iter().all(|instance| instance.is_detected_by(&abl1)));
+        assert!(instances
+            .iter()
+            .all(|instance| instance.is_detected_by(&abl1)));
         let mats = catalog::mats_plus();
-        assert!(instances.iter().any(|instance| !instance.is_detected_by(&mats)));
+        assert!(instances
+            .iter()
+            .any(|instance| !instance.is_detected_by(&mats)));
     }
 
     #[test]
-    fn pending_instance_incremental_execution_matches_full_run() {
+    fn batch_incremental_execution_matches_full_runs() {
         let list = FaultList::list_2();
-        let instances = TargetInstance::enumerate(
-            &list,
-            8,
-            PlacementStrategy::Representative,
-            &[InitialState::AllOne],
-        );
         let abl1 = catalog::march_abl1();
-        for instance in instances {
-            let full = instance.is_detected_by(&abl1);
-            let mut pending = PendingInstance::new(instance);
-            let mut incremental = false;
-            for (_, element) in abl1.iter() {
-                if pending.advance(element) {
-                    incremental = true;
+        for backend in [sram_sim::BackendKind::Scalar, sram_sim::BackendKind::Packed] {
+            for (target, lanes) in enumerate_target_lanes(
+                &list,
+                8,
+                PlacementStrategy::Representative,
+                &[InitialState::AllOne],
+            ) {
+                let lane_count = lanes.len();
+                let mut batch = sram_sim::TargetBatch::new(target, lanes, 8, backend);
+                let mut newly = 0usize;
+                for (_, element) in abl1.iter() {
+                    newly += batch.advance(element);
                 }
+                assert_eq!(newly, lane_count, "ABL1 covers list #2 incrementally");
+                assert_eq!(batch.pending(), 0);
             }
-            assert_eq!(full, incremental);
         }
     }
 

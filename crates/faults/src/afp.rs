@@ -374,9 +374,24 @@ mod tests {
             Placement::coupling(5, 1, 4),
             Err(FaultModelError::AddressOutOfRange { .. })
         ));
-        assert_eq!(Placement::coupling(0, 3, 4).unwrap().aggressor_below_victim(), Some(true));
-        assert_eq!(Placement::coupling(3, 0, 4).unwrap().aggressor_below_victim(), Some(false));
-        assert_eq!(Placement::single_cell(0, 4).unwrap().aggressor_below_victim(), None);
+        assert_eq!(
+            Placement::coupling(0, 3, 4)
+                .unwrap()
+                .aggressor_below_victim(),
+            Some(true)
+        );
+        assert_eq!(
+            Placement::coupling(3, 0, 4)
+                .unwrap()
+                .aggressor_below_victim(),
+            Some(false)
+        );
+        assert_eq!(
+            Placement::single_cell(0, 4)
+                .unwrap()
+                .aggressor_below_victim(),
+            None
+        );
     }
 
     #[test]
@@ -398,16 +413,18 @@ mod tests {
                 .unwrap();
         assert_eq!(afp2.initial().to_string(), "00");
         assert_eq!(afp2.faulty().to_string(), "11");
-        assert_eq!(afp2.expected().to_string(), "10".chars().rev().collect::<String>());
+        assert_eq!(
+            afp2.expected().to_string(),
+            "10".chars().rev().collect::<String>()
+        );
     }
 
     #[test]
     fn single_cell_instantiation() {
         // TF <0w1/0/-> on cell 2 of a 3-cell memory.
         let tf = find_primitive(Ffm::TransitionFault, "<0w1/0/->");
-        let afp =
-            AddressedFaultPrimitive::instantiate(&tf, Placement::single_cell(2, 3).unwrap())
-                .unwrap();
+        let afp = AddressedFaultPrimitive::instantiate(&tf, Placement::single_cell(2, 3).unwrap())
+            .unwrap();
         assert_eq!(afp.initial().to_string(), "--0");
         assert_eq!(afp.expected().to_string(), "--1");
         assert_eq!(afp.faulty().to_string(), "--0");
@@ -419,9 +436,8 @@ mod tests {
     #[test]
     fn state_fault_has_no_operations() {
         let sf = find_primitive(Ffm::StateFault, "<0/1/->");
-        let afp =
-            AddressedFaultPrimitive::instantiate(&sf, Placement::single_cell(0, 2).unwrap())
-                .unwrap();
+        let afp = AddressedFaultPrimitive::instantiate(&sf, Placement::single_cell(0, 2).unwrap())
+            .unwrap();
         assert!(afp.operations().is_empty());
         assert_eq!(afp.initial().to_string(), "0-");
         assert_eq!(afp.faulty().to_string(), "1-");

@@ -89,11 +89,13 @@ impl CellValue {
     /// with themselves.
     #[must_use]
     pub const fn compatible(self, other: CellValue) -> bool {
-        match (self, other) {
-            (CellValue::DontCare, _) | (_, CellValue::DontCare) => true,
-            (CellValue::Zero, CellValue::Zero) | (CellValue::One, CellValue::One) => true,
-            _ => false,
-        }
+        matches!(
+            (self, other),
+            (CellValue::DontCare, _)
+                | (_, CellValue::DontCare)
+                | (CellValue::Zero, CellValue::Zero)
+                | (CellValue::One, CellValue::One)
+        )
     }
 
     /// Character representation: `'0'`, `'1'` or `'-'`.

@@ -103,7 +103,8 @@ impl Condition {
     /// operation required by the condition. Pure state conditions match no operation.
     #[must_use]
     pub fn accepts_operation(&self, applied: Operation) -> bool {
-        self.operation.is_some_and(|required| required.matches(applied))
+        self.operation
+            .is_some_and(|required| required.matches(applied))
     }
 
     /// Parses the textual `<S>` form: `-`, `0`, `1`, `0w1`, `1r1`, `0r0`, `1t`…

@@ -406,7 +406,10 @@ mod tests {
         let list = FaultList::list_1();
         let lf3 = list.filter_topology(LinkTopology::Lf3);
         assert!(!lf3.is_empty());
-        assert!(lf3.linked().iter().all(|lf| lf.topology() == LinkTopology::Lf3));
+        assert!(lf3
+            .linked()
+            .iter()
+            .all(|lf| lf.topology() == LinkTopology::Lf3));
         assert!(lf3.linked().len() < list.linked().len());
     }
 

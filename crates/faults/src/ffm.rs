@@ -341,7 +341,12 @@ fn single(ffm: Ffm, victim: Condition, effect: FaultEffect) -> FaultPrimitive {
         .expect("built-in single-cell fault primitive is valid")
 }
 
-fn coupling(ffm: Ffm, aggressor: Condition, victim: Condition, effect: FaultEffect) -> FaultPrimitive {
+fn coupling(
+    ffm: Ffm,
+    aggressor: Condition,
+    victim: Condition,
+    effect: FaultEffect,
+) -> FaultPrimitive {
     FaultPrimitive::coupling(ffm, aggressor, victim, effect)
         .expect("built-in coupling fault primitive is valid")
 }
@@ -386,14 +391,22 @@ mod tests {
         assert_eq!(Ffm::TransitionFault.fault_primitives().len(), 2);
         assert_eq!(Ffm::WriteDestructiveFault.fault_primitives().len(), 2);
         assert_eq!(Ffm::ReadDestructiveFault.fault_primitives().len(), 2);
-        assert_eq!(Ffm::DeceptiveReadDestructiveFault.fault_primitives().len(), 2);
+        assert_eq!(
+            Ffm::DeceptiveReadDestructiveFault.fault_primitives().len(),
+            2
+        );
         assert_eq!(Ffm::IncorrectReadFault.fault_primitives().len(), 2);
         assert_eq!(Ffm::StateCoupling.fault_primitives().len(), 4);
         assert_eq!(Ffm::DisturbCoupling.fault_primitives().len(), 12);
         assert_eq!(Ffm::TransitionCoupling.fault_primitives().len(), 4);
         assert_eq!(Ffm::WriteDestructiveCoupling.fault_primitives().len(), 4);
         assert_eq!(Ffm::ReadDestructiveCoupling.fault_primitives().len(), 4);
-        assert_eq!(Ffm::DeceptiveReadDestructiveCoupling.fault_primitives().len(), 4);
+        assert_eq!(
+            Ffm::DeceptiveReadDestructiveCoupling
+                .fault_primitives()
+                .len(),
+            4
+        );
         assert_eq!(Ffm::IncorrectReadCoupling.fault_primitives().len(), 4);
         assert_eq!(Ffm::all_fault_primitives().len(), 48);
     }

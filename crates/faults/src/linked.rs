@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::{
-    AddressedFaultPrimitive, CellValue, FaultModelError, FaultPrimitive, SensitizingSite,
-};
+use crate::{AddressedFaultPrimitive, CellValue, FaultModelError, FaultPrimitive, SensitizingSite};
 
 /// The structural class of a linked fault, following the taxonomy of Hamdioui et al.
 /// ("Linked Faults in Random Access Memories", TCAD 2004) used by the paper's two

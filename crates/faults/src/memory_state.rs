@@ -119,7 +119,10 @@ impl MemoryState {
     /// Returns the concrete bits, substituting `default` for unconstrained cells.
     #[must_use]
     pub fn to_bits_or(&self, default: Bit) -> Vec<Bit> {
-        self.cells.iter().map(|value| value.to_bit_or(default)).collect()
+        self.cells
+            .iter()
+            .map(|value| value.to_bit_or(default))
+            .collect()
     }
 
     /// Returns `true` if every cell is constrained to a concrete bit.
@@ -245,10 +248,7 @@ mod tests {
         let unconstrained = MemoryState::unconstrained(2);
         assert!(!unconstrained.is_fully_known());
         assert_eq!(unconstrained.to_bits(), None);
-        assert_eq!(
-            unconstrained.to_bits_or(Bit::One),
-            vec![Bit::One, Bit::One]
-        );
+        assert_eq!(unconstrained.to_bits_or(Bit::One), vec![Bit::One, Bit::One]);
     }
 
     #[test]

@@ -183,7 +183,11 @@ mod tests {
             Operation::Wait,
         ] {
             let text = op.to_string();
-            assert_eq!(text.parse::<Operation>().unwrap(), op, "round trip of {text}");
+            assert_eq!(
+                text.parse::<Operation>().unwrap(),
+                op,
+                "round trip of {text}"
+            );
         }
         assert!("w2".parse::<Operation>().is_err());
         assert!("".parse::<Operation>().is_err());

@@ -43,10 +43,8 @@ impl TestPattern {
     /// simulation.
     #[must_use]
     pub fn new(afp: AddressedFaultPrimitive) -> TestPattern {
-        let observe = AddressedOperation::new(
-            afp.victim(),
-            Operation::Read(afp.observe_expected()),
-        );
+        let observe =
+            AddressedOperation::new(afp.victim(), Operation::Read(afp.observe_expected()));
         TestPattern { afp, observe }
     }
 

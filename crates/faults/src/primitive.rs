@@ -101,7 +101,9 @@ impl FaultPrimitive {
 
     fn validate(&self) -> Result<(), FaultModelError> {
         let operations = self.victim.operation_count()
-            + self.aggressor.map_or(0, |aggressor| aggressor.operation_count());
+            + self
+                .aggressor
+                .map_or(0, |aggressor| aggressor.operation_count());
         if operations > 1 {
             return Err(FaultModelError::NotStatic { operations });
         }
@@ -163,7 +165,9 @@ impl FaultPrimitive {
     #[must_use]
     pub fn operation_count(&self) -> usize {
         self.victim.operation_count()
-            + self.aggressor.map_or(0, |aggressor| aggressor.operation_count())
+            + self
+                .aggressor
+                .map_or(0, |aggressor| aggressor.operation_count())
     }
 
     /// Returns `true` for static fault primitives (at most one sensitizing
@@ -178,7 +182,10 @@ impl FaultPrimitive {
     pub fn sensitizing_site(&self) -> SensitizingSite {
         if self.victim.operation().is_some() {
             SensitizingSite::Victim
-        } else if self.aggressor.is_some_and(|aggressor| aggressor.operation().is_some()) {
+        } else if self
+            .aggressor
+            .is_some_and(|aggressor| aggressor.operation().is_some())
+        {
             SensitizingSite::Aggressor
         } else {
             SensitizingSite::None
@@ -190,7 +197,9 @@ impl FaultPrimitive {
     pub fn sensitizing_operation(&self) -> Option<Operation> {
         match self.sensitizing_site() {
             SensitizingSite::Victim => self.victim.operation(),
-            SensitizingSite::Aggressor => self.aggressor.and_then(|aggressor| aggressor.operation()),
+            SensitizingSite::Aggressor => {
+                self.aggressor.and_then(|aggressor| aggressor.operation())
+            }
             SensitizingSite::None => None,
         }
     }
@@ -371,7 +380,10 @@ mod tests {
             Condition::with_operation(CellValue::Zero, Operation::W1),
             FaultEffect::with_read(CellValue::Zero, Bit::Zero),
         );
-        assert_eq!(bad_read.unwrap_err(), FaultModelError::ReadOutputWithoutRead);
+        assert_eq!(
+            bad_read.unwrap_err(),
+            FaultModelError::ReadOutputWithoutRead
+        );
 
         // Completely unconstrained effect.
         let no_effect = FaultPrimitive::single_cell(
@@ -388,7 +400,10 @@ mod tests {
             Condition::with_operation(CellValue::Zero, Operation::R0),
             FaultEffect::store(CellValue::One),
         );
-        assert_eq!(dynamic.unwrap_err(), FaultModelError::NotStatic { operations: 2 });
+        assert_eq!(
+            dynamic.unwrap_err(),
+            FaultModelError::NotStatic { operations: 2 }
+        );
     }
 
     #[test]

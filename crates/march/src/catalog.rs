@@ -159,10 +159,7 @@ pub fn march_sl() -> MarchTest {
 /// same fault class with the published 11n complexity.
 #[must_use]
 pub fn march_lf1() -> MarchTest {
-    parse(
-        "March LF1",
-        "⇕(w0); ⇕(r0,w0,r0,r0,w1); ⇕(r1,w1,r1,r1,w0)",
-    )
+    parse("March LF1", "⇕(w0); ⇕(r0,w0,r0,r0,w1); ⇕(r1,w1,r1,r1,w0)")
 }
 
 /// The 43n march test of Al-Harbi and Gupta (VTS 2003): the only previously
@@ -287,10 +284,16 @@ mod tests {
         // complexities: ABL improves 13.9% over the 43n test and 9.7% over March SL.
         let improvement =
             |ours: usize, theirs: usize| 100.0 * (theirs as f64 - ours as f64) / theirs as f64;
-        assert!((improvement(march_abl().complexity(), test_43n().complexity()) - 13.9).abs() < 0.1);
+        assert!(
+            (improvement(march_abl().complexity(), test_43n().complexity()) - 13.9).abs() < 0.1
+        );
         assert!((improvement(march_abl().complexity(), march_sl().complexity()) - 9.7).abs() < 0.1);
-        assert!((improvement(march_rabl().complexity(), test_43n().complexity()) - 18.6).abs() < 0.1);
-        assert!((improvement(march_rabl().complexity(), march_sl().complexity()) - 14.6).abs() < 0.1);
+        assert!(
+            (improvement(march_rabl().complexity(), test_43n().complexity()) - 18.6).abs() < 0.1
+        );
+        assert!(
+            (improvement(march_rabl().complexity(), march_sl().complexity()) - 14.6).abs() < 0.1
+        );
         assert!(
             (improvement(march_abl1().complexity(), march_lf1().complexity()) - 18.1).abs() < 0.2
         );
@@ -308,7 +311,9 @@ mod tests {
     #[test]
     fn catalogue_is_sorted_and_searchable() {
         let tests = all();
-        assert!(tests.windows(2).all(|w| w[0].complexity() <= w[1].complexity()));
+        assert!(tests
+            .windows(2)
+            .all(|w| w[0].complexity() <= w[1].complexity()));
         assert_eq!(by_name("march sl").unwrap().complexity(), 41);
         assert_eq!(by_name(" MATS+ ").unwrap().complexity(), 5);
         assert!(by_name("nonexistent").is_none());

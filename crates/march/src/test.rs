@@ -89,7 +89,9 @@ impl MarchTest {
             }
         }
         if !current.trim().is_empty() {
-            return Err(ParseMarchError::MalformedElement(current.trim().to_string()));
+            return Err(ParseMarchError::MalformedElement(
+                current.trim().to_string(),
+            ));
         }
         MarchTest::new(name, elements)
     }
@@ -155,7 +157,11 @@ impl MarchTest {
     pub fn complemented(&self) -> MarchTest {
         MarchTest {
             name: format!("{} (complemented)", self.name),
-            elements: self.elements.iter().map(MarchElement::complemented).collect(),
+            elements: self
+                .elements
+                .iter()
+                .map(MarchElement::complemented)
+                .collect(),
         }
     }
 

@@ -1,0 +1,791 @@
+//! Simulation backends: the scalar dual-memory engine and the bit-parallel
+//! packed engine behind one common [`SimulationBackend`] trait.
+//!
+//! A *coverage lane* is one `(cell placement, initial background)` pair a march
+//! test must detect a fault target under. The scalar backend simulates lanes
+//! one at a time with [`FaultSimulator`]; the packed backend pins each lane to
+//! one bit of a `u64` and evaluates up to 64 lanes per memory operation with
+//! branch-free bitwise sensitization/effect arithmetic — the hot-path
+//! optimisation that makes the generator's simulation-backed greedy search and
+//! the coverage matrix fast.
+
+use std::fmt;
+use std::str::FromStr;
+
+use march_test::{MarchElement, MarchTest};
+use sram_fault_model::{Bit, CellValue, FaultPrimitive, LinkTopology, Operation, SensitizingSite};
+
+use crate::coverage::TargetKind;
+use crate::{
+    enumerate_placements, run_march, FaultSimulator, InitialState, InjectedFault, InstanceCells,
+    LinkedFaultInstance, PlacementStrategy, SimulationError,
+};
+
+/// One `(placement, background)` combination a target is simulated under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageLane {
+    /// The cell assignment of the fault instance.
+    pub cells: InstanceCells,
+    /// The initial memory content of the run.
+    pub background: InitialState,
+}
+
+/// Enumerates the coverage lanes of `target`: every placement returned by
+/// [`enumerate_placements`] for the target's topology, crossed with every
+/// background — placements outermost, matching the scalar engine's historical
+/// escape-reporting order.
+#[must_use]
+pub fn enumerate_lanes(
+    target: &TargetKind,
+    memory_cells: usize,
+    strategy: PlacementStrategy,
+    backgrounds: &[InitialState],
+) -> Vec<CoverageLane> {
+    let topology = match target {
+        TargetKind::Simple(primitive) => {
+            if primitive.is_coupling() {
+                LinkTopology::Lf2CouplingThenSingle
+            } else {
+                LinkTopology::Lf1
+            }
+        }
+        TargetKind::Linked(fault) => fault.topology(),
+    };
+    let mut lanes = Vec::new();
+    for cells in enumerate_placements(topology, memory_cells, strategy) {
+        for background in backgrounds {
+            lanes.push(CoverageLane {
+                cells,
+                background: background.clone(),
+            });
+        }
+    }
+    lanes
+}
+
+/// Which simulation backend a coverage or generation run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// The dual-memory scalar engine: one fault instance at a time.
+    #[default]
+    Scalar,
+    /// The bit-parallel packed engine: up to 64 fault instances per `u64`.
+    Packed,
+}
+
+impl BackendKind {
+    /// Instantiates the backend.
+    #[must_use]
+    pub fn instance(self) -> Box<dyn SimulationBackend> {
+        match self {
+            BackendKind::Scalar => Box::new(ScalarBackend),
+            BackendKind::Packed => Box::new(PackedBackend),
+        }
+    }
+
+    /// The backend's short name (`scalar` / `packed`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Packed => "packed",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = SimulationError;
+
+    fn from_str(text: &str) -> Result<BackendKind, SimulationError> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(BackendKind::Scalar),
+            "packed" => Ok(BackendKind::Packed),
+            other => Err(SimulationError::UnknownBackend(other.to_string())),
+        }
+    }
+}
+
+/// A strategy for fault-simulating a march test against every coverage lane of
+/// one fault target.
+///
+/// Both backends implement the *same* detection semantics (see
+/// [`FaultSimulator`] for the reference definition); they differ only in how
+/// lanes are evaluated. The packed backend is validated against the scalar one
+/// by the `backend_equivalence` property tests.
+pub trait SimulationBackend: fmt::Debug + Send + Sync {
+    /// The backend's short name, for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// The detection verdict of `test` for every lane, in lane order.
+    fn lane_verdicts(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Vec<bool>;
+
+    /// The index of the first lane `test` fails to detect, or `None` when the
+    /// target is fully covered. Backends may early-exit here.
+    fn first_undetected(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Option<usize> {
+        self.lane_verdicts(test, target, lanes, memory_cells)
+            .iter()
+            .position(|detected| !detected)
+    }
+}
+
+/// Builds the scalar simulator for one lane of `target`.
+pub(crate) fn scalar_lane_simulator(
+    target: &TargetKind,
+    lane: &CoverageLane,
+    memory_cells: usize,
+) -> FaultSimulator {
+    let mut simulator = FaultSimulator::new(memory_cells, &lane.background)
+        .expect("coverage memory configuration is valid");
+    match target {
+        TargetKind::Simple(primitive) => {
+            let injected = if primitive.is_coupling() {
+                InjectedFault::coupling(
+                    primitive.clone(),
+                    lane.cells.aggressor_first.expect("pair placement"),
+                    lane.cells.victim,
+                    memory_cells,
+                )
+            } else {
+                InjectedFault::single_cell(primitive.clone(), lane.cells.victim, memory_cells)
+            }
+            .expect("enumerated placements are valid");
+            simulator.inject(injected);
+        }
+        TargetKind::Linked(fault) => {
+            let instance = LinkedFaultInstance::new(fault.clone(), lane.cells, memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_linked(&instance);
+        }
+    }
+    simulator
+}
+
+/// The original dual-memory engine exposed through the backend trait: each lane
+/// is simulated independently with [`FaultSimulator`] + [`run_march`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl SimulationBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn lane_verdicts(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Vec<bool> {
+        lanes
+            .iter()
+            .map(|lane| {
+                let mut simulator = scalar_lane_simulator(target, lane, memory_cells);
+                run_march(test, &mut simulator).detected()
+            })
+            .collect()
+    }
+
+    fn first_undetected(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Option<usize> {
+        lanes.iter().position(|lane| {
+            let mut simulator = scalar_lane_simulator(target, lane, memory_cells);
+            !run_march(test, &mut simulator).detected()
+        })
+    }
+}
+
+/// The bit-parallel engine exposed through the backend trait: lanes are packed
+/// 64 per [`PackedSimulator`] word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackedBackend;
+
+impl SimulationBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn lane_verdicts(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Vec<bool> {
+        let mut verdicts = Vec::with_capacity(lanes.len());
+        for chunk in lanes.chunks(PackedSimulator::MAX_LANES) {
+            let mut simulator = PackedSimulator::new(target, chunk, memory_cells)
+                .expect("enumerated placements are valid");
+            let detected = simulator.run_test(test);
+            for lane in 0..chunk.len() {
+                verdicts.push(detected & (1 << lane) != 0);
+            }
+        }
+        verdicts
+    }
+
+    fn first_undetected(
+        &self,
+        test: &MarchTest,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Option<usize> {
+        for (chunk_index, chunk) in lanes.chunks(PackedSimulator::MAX_LANES).enumerate() {
+            let mut simulator = PackedSimulator::new(target, chunk, memory_cells)
+                .expect("enumerated placements are valid");
+            let detected = simulator.run_test(test);
+            if detected != simulator.lane_mask() {
+                let lane = (!detected & simulator.lane_mask()).trailing_zeros() as usize;
+                return Some(chunk_index * PackedSimulator::MAX_LANES + lane);
+            }
+        }
+        None
+    }
+}
+
+/// One fault-primitive component of the packed target, with its per-lane cell
+/// bindings encoded as bit-plane masks.
+#[derive(Debug, Clone)]
+struct PackedComponent {
+    /// The primitive — identical across lanes (lanes vary only placement and
+    /// background).
+    primitive: FaultPrimitive,
+    /// `victim_at[cell]`: lanes whose victim is bound to `cell`.
+    victim_at: Vec<u64>,
+    /// `aggressor_at[cell]`: lanes whose aggressor is bound to `cell` (all-zero
+    /// planes for single-cell primitives).
+    aggressor_at: Vec<u64>,
+}
+
+impl PackedComponent {
+    fn new(primitive: FaultPrimitive, cells: usize) -> PackedComponent {
+        PackedComponent {
+            primitive,
+            victim_at: vec![0; cells],
+            aggressor_at: vec![0; cells],
+        }
+    }
+
+    fn bind(&mut self, lane: usize, victim: usize, aggressor: Option<usize>) {
+        self.victim_at[victim] |= 1 << lane;
+        if let Some(aggressor) = aggressor {
+            self.aggressor_at[aggressor] |= 1 << lane;
+        }
+    }
+}
+
+/// A bit-parallel fault simulator: up to 64 independent fault instances of the
+/// *same* target (one lane per `(placement, background)` pair) simulated
+/// simultaneously, one bit per lane.
+///
+/// The memory is stored as bit-planes: `faulty[cell]` holds the faulty value of
+/// `cell` in every lane, `golden[cell]` the fault-free reference. Each march
+/// operation is evaluated with pure bitwise arithmetic — sensitization
+/// conditions become AND/NOT masks over gathered victim/aggressor planes, fault
+/// effects become masked scatter writes — so the per-operation cost is
+/// independent of the number of lanes.
+///
+/// The semantics mirror [`FaultSimulator`] exactly, step for step (fire
+/// detection on the pre-operation state, read override, fault-free effect,
+/// fault effects in injection order, then one settle pass of the
+/// state-sensitized primitives).
+///
+/// # Examples
+///
+/// ```
+/// use march_test::catalog;
+/// use sram_fault_model::FaultList;
+/// use sram_sim::{
+///     enumerate_lanes, PackedSimulator, PlacementStrategy, InitialState, TargetKind,
+/// };
+///
+/// let fault = FaultList::list_2().linked()[0].clone();
+/// let target = TargetKind::Linked(fault);
+/// let lanes = enumerate_lanes(
+///     &target,
+///     8,
+///     PlacementStrategy::Exhaustive,
+///     &[InitialState::AllZero, InitialState::AllOne],
+/// );
+/// let mut simulator = PackedSimulator::new(&target, &lanes, 8)?;
+/// let detected = simulator.run_test(&catalog::march_sl());
+/// assert_eq!(detected, simulator.lane_mask(), "March SL covers every lane");
+/// # Ok::<(), sram_sim::SimulationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedSimulator {
+    cells: usize,
+    lanes: usize,
+    lane_mask: u64,
+    faulty: Vec<u64>,
+    golden: Vec<u64>,
+    components: Vec<PackedComponent>,
+    detected: u64,
+}
+
+impl PackedSimulator {
+    /// The maximum number of lanes one packed simulator holds.
+    pub const MAX_LANES: usize = 64;
+
+    /// Packs every lane of `target` into one simulator.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::LaneCountOutOfRange`] if `lanes` is empty or holds
+    ///   more than [`PackedSimulator::MAX_LANES`] entries (split larger lane
+    ///   sets into chunks, as [`PackedBackend`] does);
+    /// * otherwise propagates the placement-validation errors of
+    ///   [`InjectedFault`] / [`LinkedFaultInstance`] and the
+    ///   background-materialisation errors of [`InitialState`].
+    pub fn new(
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+        memory_cells: usize,
+    ) -> Result<PackedSimulator, SimulationError> {
+        if lanes.is_empty() || lanes.len() > PackedSimulator::MAX_LANES {
+            return Err(SimulationError::LaneCountOutOfRange {
+                requested: lanes.len(),
+            });
+        }
+
+        // One component per fault primitive, bound lane by lane through the
+        // scalar constructors so that validation and aggressor resolution are
+        // byte-for-byte the scalar engine's.
+        let mut components: Vec<PackedComponent> = match target {
+            TargetKind::Simple(primitive) => {
+                vec![PackedComponent::new(primitive.clone(), memory_cells)]
+            }
+            TargetKind::Linked(fault) => vec![
+                PackedComponent::new(fault.first().clone(), memory_cells),
+                PackedComponent::new(fault.second().clone(), memory_cells),
+            ],
+        };
+
+        let mut faulty = vec![0u64; memory_cells];
+        for (lane, coverage_lane) in lanes.iter().enumerate() {
+            match target {
+                TargetKind::Simple(primitive) => {
+                    let injected = if primitive.is_coupling() {
+                        InjectedFault::coupling(
+                            primitive.clone(),
+                            coverage_lane.cells.aggressor_first.ok_or_else(|| {
+                                SimulationError::MissingCells(
+                                    "coupling primitive requires an aggressor cell".to_string(),
+                                )
+                            })?,
+                            coverage_lane.cells.victim,
+                            memory_cells,
+                        )?
+                    } else {
+                        InjectedFault::single_cell(
+                            primitive.clone(),
+                            coverage_lane.cells.victim,
+                            memory_cells,
+                        )?
+                    };
+                    components[0].bind(lane, injected.victim(), injected.aggressor());
+                }
+                TargetKind::Linked(fault) => {
+                    let instance =
+                        LinkedFaultInstance::new(fault.clone(), coverage_lane.cells, memory_cells)?;
+                    for (component, injected) in components.iter_mut().zip(instance.components()) {
+                        component.bind(lane, injected.victim(), injected.aggressor());
+                    }
+                }
+            }
+
+            let content = coverage_lane.background.materialise(memory_cells)?;
+            for (cell, bit) in content.iter().enumerate() {
+                if *bit == Bit::One {
+                    faulty[cell] |= 1 << lane;
+                }
+            }
+        }
+
+        let lane_mask = if lanes.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes.len()) - 1
+        };
+        let mut simulator = PackedSimulator {
+            cells: memory_cells,
+            lanes: lanes.len(),
+            lane_mask,
+            golden: faulty.clone(),
+            faulty,
+            components,
+            detected: 0,
+        };
+        // State-sensitized primitives settle once right after initialisation,
+        // exactly like the scalar engine's post-inject pass.
+        simulator.settle_state_faults();
+        Ok(simulator)
+    }
+
+    /// The number of packed lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The number of memory cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The mask with one bit set per packed lane.
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        self.lane_mask
+    }
+
+    /// Lanes on which at least one read has mismatched so far.
+    #[must_use]
+    pub fn detected_mask(&self) -> u64 {
+        self.detected
+    }
+
+    /// Returns `true` once every lane has detected its fault instance.
+    #[must_use]
+    pub fn all_detected(&self) -> bool {
+        self.detected == self.lane_mask
+    }
+
+    /// `mask` of lanes in which `condition` accepts the gathered `values`.
+    #[inline]
+    fn condition_mask(condition: CellValue, values: u64) -> u64 {
+        match condition {
+            CellValue::Zero => !values,
+            CellValue::One => values,
+            CellValue::DontCare => u64::MAX,
+        }
+    }
+
+    /// Per-lane value of the component's bound cell: OR of the memory planes
+    /// masked by the binding planes (each lane has exactly one bound cell).
+    #[inline]
+    fn gather(planes: &[u64], bound_at: &[u64]) -> u64 {
+        let mut values = 0u64;
+        for (plane, bound) in planes.iter().zip(bound_at) {
+            values |= plane & bound;
+        }
+        values
+    }
+
+    /// All-ones / all-zeros broadcast of a concrete bit.
+    #[inline]
+    fn broadcast(bit: Bit) -> u64 {
+        match bit {
+            Bit::Zero => 0,
+            Bit::One => u64::MAX,
+        }
+    }
+
+    /// Lanes in which `component` is sensitized by applying `operation` to
+    /// `address`, evaluated on the pre-operation faulty state.
+    fn sensitized_mask(
+        &self,
+        component: &PackedComponent,
+        address: usize,
+        operation: Operation,
+    ) -> u64 {
+        let primitive = &component.primitive;
+        let site_mask = match primitive.sensitizing_site() {
+            SensitizingSite::None => return 0,
+            SensitizingSite::Victim => component.victim_at[address],
+            SensitizingSite::Aggressor => component.aggressor_at[address],
+        };
+        if site_mask == 0 {
+            return 0;
+        }
+        let required = primitive
+            .sensitizing_operation()
+            .expect("operation-sensitized primitive has an operation");
+        if !required.matches(operation) {
+            return 0;
+        }
+        let victim_values = Self::gather(&self.faulty, &component.victim_at);
+        let mut mask =
+            site_mask & Self::condition_mask(primitive.victim().initial(), victim_values);
+        if let Some(aggressor) = primitive.aggressor() {
+            let aggressor_values = Self::gather(&self.faulty, &component.aggressor_at);
+            mask &= Self::condition_mask(aggressor.initial(), aggressor_values);
+        }
+        mask
+    }
+
+    /// Masked scatter: forces `bit` into the component's victim cells on the
+    /// lanes of `mask`.
+    fn scatter_victim(faulty: &mut [u64], component: &PackedComponent, bit: Bit, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        let bits = Self::broadcast(bit);
+        for (plane, victim) in faulty.iter_mut().zip(&component.victim_at) {
+            let write = mask & victim;
+            *plane = (*plane & !write) | (bits & write);
+        }
+    }
+
+    /// One pass over the state-sensitized primitives in injection order,
+    /// flipping the victims of every lane whose state condition holds.
+    fn settle_state_faults(&mut self) {
+        for index in 0..self.components.len() {
+            let component = &self.components[index];
+            let primitive = &component.primitive;
+            if primitive.sensitizing_site() != SensitizingSite::None {
+                continue;
+            }
+            let victim_values = Self::gather(&self.faulty, &component.victim_at);
+            let mut mask =
+                self.lane_mask & Self::condition_mask(primitive.victim().initial(), victim_values);
+            if let Some(aggressor) = primitive.aggressor() {
+                let aggressor_values = Self::gather(&self.faulty, &component.aggressor_at);
+                mask &= Self::condition_mask(aggressor.initial(), aggressor_values);
+            }
+            if let Some(forced) = primitive.effect().victim_value().to_bit() {
+                let component = &self.components[index];
+                Self::scatter_victim(&mut self.faulty, component, forced, mask);
+            }
+        }
+    }
+
+    /// Applies one memory operation to cell `address` of every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    pub fn apply(&mut self, address: usize, operation: Operation) {
+        assert!(
+            address < self.cells,
+            "cell address {address} out of range for a {}-cell memory",
+            self.cells
+        );
+
+        // 1. Which operation-sensitized primitives fire, per lane?
+        let mut fired = [0u64; 2];
+        for (index, component) in self.components.iter().enumerate() {
+            fired[index] = self.sensitized_mask(component, address, operation);
+        }
+
+        // 2. Read return values and detection.
+        if operation.is_read() {
+            let golden_read = self.golden[address];
+            let mut observed = self.faulty[address];
+            for (index, component) in self.components.iter().enumerate() {
+                if let Some(read_output) = component.primitive.effect().read_output() {
+                    let lanes = fired[index] & component.victim_at[address];
+                    let bits = Self::broadcast(read_output);
+                    observed = (observed & !lanes) | (bits & lanes);
+                }
+            }
+            self.detected |= (observed ^ golden_read) & self.lane_mask;
+        }
+
+        // 3. Fault-free effect of the operation.
+        if let Operation::Write(value) = operation {
+            let bits = Self::broadcast(value);
+            self.faulty[address] = bits;
+            self.golden[address] = bits;
+        }
+
+        // 4. Fault effects of the fired primitives, in injection order.
+        for (index, component) in self.components.iter().enumerate() {
+            if let Some(forced) = component.primitive.effect().victim_value().to_bit() {
+                Self::scatter_victim(&mut self.faulty, component, forced, fired[index]);
+            }
+        }
+
+        // 5. One pass of the state-sensitized primitives.
+        self.settle_state_faults();
+    }
+
+    /// Executes one march element on every lane (elements with
+    /// [`march_test::AddressOrder::Any`] run in ascending order, as in
+    /// [`run_march`]).
+    pub fn apply_element(&mut self, element: &MarchElement) {
+        for cell in element.order().addresses(self.cells) {
+            if self.all_detected() {
+                return;
+            }
+            for operation in element.operations() {
+                self.apply(cell, *operation);
+            }
+        }
+    }
+
+    /// Executes a full march test and returns the per-lane detection mask.
+    /// Early-exits once every lane has detected its instance.
+    pub fn run_test(&mut self, test: &MarchTest) -> u64 {
+        for (_, element) in test.iter() {
+            self.apply_element(element);
+            if self.all_detected() {
+                break;
+            }
+        }
+        self.detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+    use sram_fault_model::FaultList;
+
+    fn both_verdicts(
+        test: &MarchTest,
+        target: &TargetKind,
+        strategy: PlacementStrategy,
+        backgrounds: &[InitialState],
+    ) -> (Vec<bool>, Vec<bool>) {
+        let lanes = enumerate_lanes(target, 8, strategy, backgrounds);
+        let scalar = ScalarBackend.lane_verdicts(test, target, &lanes, 8);
+        let packed = PackedBackend.lane_verdicts(test, target, &lanes, 8);
+        (scalar, packed)
+    }
+
+    #[test]
+    fn backends_agree_on_every_linked_fault_of_list_2() {
+        let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+        for fault in FaultList::list_2().linked() {
+            let target = TargetKind::Linked(fault.clone());
+            for test in [
+                catalog::march_ss(),
+                catalog::march_sl(),
+                catalog::mats_plus(),
+            ] {
+                let (scalar, packed) =
+                    both_verdicts(&test, &target, PlacementStrategy::Exhaustive, &backgrounds);
+                assert_eq!(scalar, packed, "{fault} under {}", test.name());
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_every_unlinked_primitive() {
+        let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+        for primitive in FaultList::unlinked_static().simple() {
+            let target = TargetKind::Simple(primitive.clone());
+            for test in [catalog::march_ss(), catalog::march_c_minus()] {
+                let (scalar, packed) = both_verdicts(
+                    &test,
+                    &target,
+                    PlacementStrategy::Representative,
+                    &backgrounds,
+                );
+                assert_eq!(scalar, packed, "{primitive} under {}", test.name());
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_three_cell_topologies() {
+        let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+        let list = FaultList::list_1();
+        for fault in list
+            .linked()
+            .iter()
+            .filter(|fault| fault.cell_count() >= 2)
+            .take(40)
+        {
+            let target = TargetKind::Linked(fault.clone());
+            let (scalar, packed) = both_verdicts(
+                &catalog::march_rabl(),
+                &target,
+                PlacementStrategy::Representative,
+                &backgrounds,
+            );
+            assert_eq!(scalar, packed, "{fault}");
+        }
+    }
+
+    #[test]
+    fn packed_chunks_split_beyond_64_lanes() {
+        // Exhaustive LF2 placements on 8 cells: 56 placements × 2 backgrounds =
+        // 112 lanes — forces chunking.
+        let fault = FaultList::list_1()
+            .linked()
+            .iter()
+            .find(|fault| fault.cell_count() == 2)
+            .expect("list #1 has two-cell faults")
+            .clone();
+        let target = TargetKind::Linked(fault);
+        let lanes = enumerate_lanes(
+            &target,
+            8,
+            PlacementStrategy::Exhaustive,
+            &[InitialState::AllZero, InitialState::AllOne],
+        );
+        assert!(lanes.len() > PackedSimulator::MAX_LANES);
+        assert!(matches!(
+            PackedSimulator::new(&target, &lanes, 8),
+            Err(SimulationError::LaneCountOutOfRange { requested }) if requested == lanes.len()
+        ));
+        assert!(matches!(
+            PackedSimulator::new(&target, &[], 8),
+            Err(SimulationError::LaneCountOutOfRange { requested: 0 })
+        ));
+        let scalar = ScalarBackend.lane_verdicts(&catalog::march_sl(), &target, &lanes, 8);
+        let packed = PackedBackend.lane_verdicts(&catalog::march_sl(), &target, &lanes, 8);
+        assert_eq!(scalar, packed);
+        assert_eq!(
+            ScalarBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
+            PackedBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
+        );
+    }
+
+    #[test]
+    fn backend_kind_parsing_and_names() {
+        assert_eq!(
+            "scalar".parse::<BackendKind>().unwrap(),
+            BackendKind::Scalar
+        );
+        assert_eq!(
+            "Packed".parse::<BackendKind>().unwrap(),
+            BackendKind::Packed
+        );
+        assert!("simd".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Scalar.to_string(), "scalar");
+        assert_eq!(BackendKind::Packed.instance().name(), "packed");
+    }
+
+    #[test]
+    fn first_undetected_matches_verdicts_on_incomplete_tests() {
+        let backgrounds = [InitialState::AllOne];
+        for fault in FaultList::list_2().linked().iter().take(8) {
+            let target = TargetKind::Linked(fault.clone());
+            let lanes = enumerate_lanes(&target, 8, PlacementStrategy::Exhaustive, &backgrounds);
+            let test = catalog::mats_plus();
+            let verdicts = PackedBackend.lane_verdicts(&test, &target, &lanes, 8);
+            let first = PackedBackend.first_undetected(&test, &target, &lanes, 8);
+            assert_eq!(first, verdicts.iter().position(|detected| !detected));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Incremental, backend-agnostic batches of coverage lanes — the simulation
+//! state the greedy generator advances element by element.
+//!
+//! A [`TargetBatch`] holds every still-undetected `(placement, background)`
+//! lane of one fault target together with the simulator state reached after
+//! the march prefix built so far. Scoring a candidate march element only has
+//! to simulate that element: on the scalar backend by cloning each lane's
+//! [`FaultSimulator`], on the packed backend by cloning a handful of `u64`
+//! bit-planes and running all lanes of a chunk at once.
+
+use std::fmt;
+
+use march_test::MarchElement;
+
+use crate::backend::{scalar_lane_simulator, BackendKind, CoverageLane, PackedSimulator};
+use crate::coverage::TargetKind;
+use crate::FaultSimulator;
+
+/// One scalar lane: its descriptor plus the advanced simulator state.
+#[derive(Debug, Clone)]
+struct ScalarLane {
+    lane: CoverageLane,
+    simulator: FaultSimulator,
+}
+
+/// The backend-specific simulation state of a batch.
+#[derive(Debug, Clone)]
+enum BatchState {
+    /// One dual-memory simulator per undetected lane.
+    Scalar(Vec<ScalarLane>),
+    /// Packed chunks of up to 64 lanes; detected lanes are masked out of the
+    /// scoring by each chunk's detection mask.
+    Packed(Vec<PackedChunk>),
+}
+
+#[derive(Debug, Clone)]
+struct PackedChunk {
+    lanes: Vec<CoverageLane>,
+    simulator: PackedSimulator,
+}
+
+impl PackedChunk {
+    fn pending(&self) -> usize {
+        let undetected = !self.simulator.detected_mask() & self.simulator.lane_mask();
+        undetected.count_ones() as usize
+    }
+}
+
+/// Every coverage lane of one fault target, advanced in lock-step as march
+/// elements are appended.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::catalog;
+/// use sram_fault_model::FaultList;
+/// use sram_sim::{
+///     enumerate_lanes, BackendKind, InitialState, PlacementStrategy, TargetBatch, TargetKind,
+/// };
+///
+/// let fault = FaultList::list_2().linked()[0].clone();
+/// let target = TargetKind::Linked(fault);
+/// let lanes = enumerate_lanes(
+///     &target,
+///     8,
+///     PlacementStrategy::Representative,
+///     &[InitialState::AllOne],
+/// );
+/// let mut batch = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
+/// for (_, element) in catalog::march_sl().iter() {
+///     batch.advance(element);
+/// }
+/// assert_eq!(batch.pending(), 0, "March SL covers every lane");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetBatch {
+    target: TargetKind,
+    state: BatchState,
+}
+
+impl TargetBatch {
+    /// Builds the batch for `target` over `lanes` on a `memory_cells`-cell
+    /// memory, simulated with `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane's placement is invalid for the target (the enumerated
+    /// placements of [`enumerate_lanes`](crate::enumerate_lanes) always are).
+    #[must_use]
+    pub fn new(
+        target: TargetKind,
+        lanes: Vec<CoverageLane>,
+        memory_cells: usize,
+        backend: BackendKind,
+    ) -> TargetBatch {
+        let state = match backend {
+            BackendKind::Scalar => BatchState::Scalar(
+                lanes
+                    .into_iter()
+                    .map(|lane| ScalarLane {
+                        simulator: scalar_lane_simulator(&target, &lane, memory_cells),
+                        lane,
+                    })
+                    .collect(),
+            ),
+            BackendKind::Packed => BatchState::Packed(
+                lanes
+                    .chunks(PackedSimulator::MAX_LANES)
+                    .map(|chunk| PackedChunk {
+                        simulator: PackedSimulator::new(&target, chunk, memory_cells)
+                            .expect("enumerated placements are valid"),
+                        lanes: chunk.to_vec(),
+                    })
+                    .collect(),
+            ),
+        };
+        TargetBatch { target, state }
+    }
+
+    /// The fault target the batch instantiates.
+    #[must_use]
+    pub fn target(&self) -> &TargetKind {
+        &self.target
+    }
+
+    /// Number of lanes not yet detected by the march prefix.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        match &self.state {
+            BatchState::Scalar(lanes) => lanes.len(),
+            BatchState::Packed(chunks) => chunks.iter().map(PackedChunk::pending).sum(),
+        }
+    }
+
+    /// The descriptors of the still-undetected lanes.
+    #[must_use]
+    pub fn pending_lanes(&self) -> Vec<CoverageLane> {
+        match &self.state {
+            BatchState::Scalar(lanes) => lanes.iter().map(|lane| lane.lane.clone()).collect(),
+            BatchState::Packed(chunks) => chunks
+                .iter()
+                .flat_map(|chunk| {
+                    let detected = chunk.simulator.detected_mask();
+                    chunk
+                        .lanes
+                        .iter()
+                        .enumerate()
+                        .filter(move |(index, _)| detected & (1 << index) == 0)
+                        .map(|(_, lane)| lane.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// How many still-undetected lanes executing `element` next would detect,
+    /// without advancing the batch.
+    #[must_use]
+    pub fn score(&self, element: &MarchElement) -> usize {
+        match &self.state {
+            BatchState::Scalar(lanes) => lanes
+                .iter()
+                .filter(|lane| {
+                    let mut simulator = lane.simulator.clone();
+                    run_element(element, &mut simulator)
+                })
+                .count(),
+            BatchState::Packed(chunks) => chunks
+                .iter()
+                .map(|chunk| {
+                    let before = chunk.simulator.detected_mask();
+                    if before == chunk.simulator.lane_mask() {
+                        return 0;
+                    }
+                    let mut simulator = chunk.simulator.clone();
+                    simulator.apply_element(element);
+                    (simulator.detected_mask() & !before).count_ones() as usize
+                })
+                .sum(),
+        }
+    }
+
+    /// Advances the batch by executing `element`; returns the number of lanes
+    /// it newly detected (those lanes stop being simulated).
+    pub fn advance(&mut self, element: &MarchElement) -> usize {
+        match &mut self.state {
+            BatchState::Scalar(lanes) => {
+                let before = lanes.len();
+                lanes.retain_mut(|lane| !run_element(element, &mut lane.simulator));
+                before - lanes.len()
+            }
+            BatchState::Packed(chunks) => {
+                let mut newly = 0usize;
+                for chunk in chunks.iter_mut() {
+                    let before = chunk.simulator.detected_mask();
+                    if before == chunk.simulator.lane_mask() {
+                        continue;
+                    }
+                    chunk.simulator.apply_element(element);
+                    newly += (chunk.simulator.detected_mask() & !before).count_ones() as usize;
+                }
+                newly
+            }
+        }
+    }
+}
+
+impl fmt::Display for TargetBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} pending lanes)", self.target, self.pending())
+    }
+}
+
+/// Executes one march element against a scalar simulator and reports whether
+/// any read mismatched.
+fn run_element(element: &MarchElement, simulator: &mut FaultSimulator) -> bool {
+    let cells = simulator.cells();
+    let mut detected = false;
+    for cell in element.order().addresses(cells) {
+        for operation in element.operations() {
+            if simulator.apply(cell, *operation).mismatch() {
+                detected = true;
+            }
+        }
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::enumerate_lanes;
+    use crate::{InitialState, PlacementStrategy};
+    use march_test::catalog;
+    use sram_fault_model::FaultList;
+
+    fn batches_for(backend: BackendKind) -> Vec<TargetBatch> {
+        let list = FaultList::list_2();
+        list.linked()
+            .iter()
+            .map(|fault| {
+                let target = TargetKind::Linked(fault.clone());
+                let lanes = enumerate_lanes(
+                    &target,
+                    8,
+                    PlacementStrategy::Representative,
+                    &[InitialState::AllZero, InitialState::AllOne],
+                );
+                TargetBatch::new(target, lanes, 8, backend)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_and_packed_batches_advance_identically() {
+        let mut scalar = batches_for(BackendKind::Scalar);
+        let mut packed = batches_for(BackendKind::Packed);
+        for (_, element) in catalog::march_sl().iter() {
+            for (s, p) in scalar.iter_mut().zip(packed.iter_mut()) {
+                let score_s = s.score(element);
+                let score_p = p.score(element);
+                assert_eq!(score_s, score_p, "score diverged on {}", s.target());
+                assert_eq!(s.advance(element), score_s);
+                assert_eq!(p.advance(element), score_p);
+                assert_eq!(s.pending(), p.pending());
+            }
+        }
+        assert!(scalar.iter().all(|batch| batch.pending() == 0));
+    }
+
+    #[test]
+    fn pending_lanes_match_across_backends() {
+        let mut scalar = batches_for(BackendKind::Scalar);
+        let mut packed = batches_for(BackendKind::Packed);
+        // Advance by an incomplete prefix and compare the surviving lanes.
+        let element = catalog::mats_plus().elements()[0].clone();
+        for (s, p) in scalar.iter_mut().zip(packed.iter_mut()) {
+            s.advance(&element);
+            p.advance(&element);
+            assert_eq!(s.pending_lanes(), p.pending_lanes());
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,15 +1,22 @@
 //! Coverage measurement of march tests over fault lists.
+//!
+//! Every fault target (simple primitive or linked fault) is simulated under
+//! every coverage lane — the cross product of its enumerated cell placements
+//! and the configured data backgrounds — by the selected
+//! [`SimulationBackend`]; the targets themselves are fanned out over threads
+//! with [`parallel_map`](crate::parallel_map). The report (counts, per-topology
+//! break-down and the stable-sorted escape list) is byte-identical across
+//! backends and thread counts.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use march_test::MarchTest;
-use sram_fault_model::{FaultList, FaultPrimitive, LinkTopology, LinkedFault};
+use sram_fault_model::{Bit, FaultList, FaultPrimitive, LinkTopology, LinkedFault};
 
-use crate::{
-    enumerate_placements, run_march, FaultSimulator, InitialState, InjectedFault, InstanceCells,
-    LinkedFaultInstance, PlacementStrategy,
-};
+use crate::backend::{enumerate_lanes, BackendKind, SimulationBackend};
+use crate::parallel::parallel_map;
+use crate::{InitialState, InstanceCells, PlacementStrategy};
 
 /// Which kind of target escaped a march test.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,9 +47,39 @@ pub struct Escape {
     pub background: InitialState,
 }
 
+/// The total ordering key of an [`Escape`]: target notation, cell assignment
+/// (victim, first aggressor, second aggressor — absent cells sort last) and a
+/// background ordinal with the custom content.
+pub type EscapeSortKey = (String, (usize, usize, usize), (u8, Vec<Bit>));
+
+impl Escape {
+    /// A total ordering key (target notation, cell assignment, background) used
+    /// to keep escape reporting deterministic across backends and thread
+    /// counts.
+    #[must_use]
+    pub fn sort_key(&self) -> EscapeSortKey {
+        let cells = (
+            self.cells.victim,
+            self.cells.aggressor_first.map_or(usize::MAX, |cell| cell),
+            self.cells.aggressor_second.map_or(usize::MAX, |cell| cell),
+        );
+        let background = match &self.background {
+            InitialState::AllZero => (0, Vec::new()),
+            InitialState::AllOne => (1, Vec::new()),
+            InitialState::Checkerboard => (2, Vec::new()),
+            InitialState::Custom(bits) => (3, bits.clone()),
+        };
+        (self.target.to_string(), cells, background)
+    }
+}
+
 impl fmt::Display for Escape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} @ {} ({:?})", self.target, self.cells, self.background)
+        write!(
+            f,
+            "{} @ {} ({:?})",
+            self.target, self.cells, self.background
+        )
     }
 }
 
@@ -55,6 +92,12 @@ pub struct CoverageConfig {
     pub strategy: PlacementStrategy,
     /// The initial memory contents under which the test must detect each fault.
     pub backgrounds: Vec<InitialState>,
+    /// Which simulation backend evaluates the lanes of each target.
+    pub backend: BackendKind,
+    /// Number of worker threads the targets are fanned out over (`1` = serial,
+    /// `0` = use the available parallelism). The report is identical for every
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for CoverageConfig {
@@ -63,6 +106,8 @@ impl Default for CoverageConfig {
             memory_cells: 8,
             strategy: PlacementStrategy::Representative,
             backgrounds: vec![InitialState::AllOne],
+            backend: BackendKind::Scalar,
+            threads: 1,
         }
     }
 }
@@ -74,9 +119,8 @@ impl CoverageConfig {
     #[must_use]
     pub fn thorough() -> CoverageConfig {
         CoverageConfig {
-            memory_cells: 8,
-            strategy: PlacementStrategy::Representative,
             backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+            ..CoverageConfig::default()
         }
     }
 
@@ -88,7 +132,22 @@ impl CoverageConfig {
             memory_cells: 6,
             strategy: PlacementStrategy::Exhaustive,
             backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
+            ..CoverageConfig::default()
         }
+    }
+
+    /// Replaces the simulation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> CoverageConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> CoverageConfig {
+        self.threads = threads;
+        self
     }
 }
 
@@ -147,7 +206,9 @@ impl CoverageReport {
         self.covered == self.total
     }
 
-    /// The undetected (target, placement, background) combinations.
+    /// The undetected (target, placement, background) combinations, stable-sorted
+    /// by target notation, cell assignment and background so that reports are
+    /// byte-identical across backends and thread counts.
     #[must_use]
     pub fn escapes(&self) -> &[Escape] {
         &self.escapes
@@ -177,129 +238,120 @@ impl fmt::Display for CoverageReport {
 /// Measures the coverage of `test` over `list` under the given configuration.
 ///
 /// Every simple primitive and every linked fault of the list is instantiated on the
-/// placements returned by [`enumerate_placements`] and simulated under every
-/// configured background; the target is covered only if every combination is
-/// detected.
+/// placements returned by [`enumerate_placements`](crate::enumerate_placements)
+/// and simulated under every configured background by the configured backend;
+/// the target is covered only if every combination is detected. Targets are
+/// evaluated in parallel over `config.threads` workers.
 #[must_use]
 pub fn measure_coverage(
     test: &MarchTest,
     list: &FaultList,
     config: &CoverageConfig,
 ) -> CoverageReport {
-    let mut total = 0usize;
+    let targets = enumerate_targets(list);
+
+    let backend = config.backend.instance();
+    let first_escapes: Vec<Option<Escape>> = parallel_map(&targets, config.threads, |target| {
+        target_escape(backend.as_ref(), test, target, config)
+    });
+
     let mut covered = 0usize;
     let mut escapes = Vec::new();
     let mut by_topology: BTreeMap<LinkTopology, (usize, usize)> = BTreeMap::new();
-
-    for primitive in list.simple() {
-        total += 1;
-        match simple_escape(test, primitive, config) {
+    for (target, escape) in targets.iter().zip(first_escapes) {
+        let detected = escape.is_none();
+        if let TargetKind::Linked(fault) = target {
+            let entry = by_topology.entry(fault.topology()).or_insert((0, 0));
+            entry.1 += 1;
+            if detected {
+                entry.0 += 1;
+            }
+        }
+        match escape {
             None => covered += 1,
             Some(escape) => escapes.push(escape),
         }
     }
-
-    for fault in list.linked() {
-        total += 1;
-        let entry = by_topology.entry(fault.topology()).or_insert((0, 0));
-        entry.1 += 1;
-        match linked_escape(test, fault, config) {
-            None => {
-                covered += 1;
-                entry.0 += 1;
-            }
-            Some(escape) => escapes.push(escape),
-        }
-    }
+    escapes.sort_by_cached_key(Escape::sort_key);
 
     CoverageReport {
         test_name: test.name().to_string(),
         list_name: list.name().to_string(),
-        total,
+        total: targets.len(),
         covered,
         escapes,
         by_topology,
     }
 }
 
+/// Enumerates the fault targets of `list` in report order: every simple
+/// primitive first, then every linked fault. Both coverage measurement and the
+/// generator's target batches rely on this single ordering.
+#[must_use]
+pub fn enumerate_targets(list: &FaultList) -> Vec<TargetKind> {
+    list.simple()
+        .iter()
+        .map(|primitive| TargetKind::Simple(primitive.clone()))
+        .chain(
+            list.linked()
+                .iter()
+                .map(|fault| TargetKind::Linked(fault.clone())),
+        )
+        .collect()
+}
+
+/// The first lane of `target` the test fails on, as an [`Escape`].
+fn target_escape(
+    backend: &dyn SimulationBackend,
+    test: &MarchTest,
+    target: &TargetKind,
+    config: &CoverageConfig,
+) -> Option<Escape> {
+    let lanes = enumerate_lanes(
+        target,
+        config.memory_cells,
+        config.strategy,
+        &config.backgrounds,
+    );
+    backend
+        .first_undetected(test, target, &lanes, config.memory_cells)
+        .map(|index| Escape {
+            target: target.clone(),
+            cells: lanes[index].cells,
+            background: lanes[index].background.clone(),
+        })
+}
+
 /// Returns `true` if `test` detects the given linked fault under every placement and
 /// background of `config`.
 #[must_use]
 pub fn detects_linked(test: &MarchTest, fault: &LinkedFault, config: &CoverageConfig) -> bool {
-    linked_escape(test, fault, config).is_none()
+    let backend = config.backend.instance();
+    target_escape(
+        backend.as_ref(),
+        test,
+        &TargetKind::Linked(fault.clone()),
+        config,
+    )
+    .is_none()
 }
 
 /// Returns `true` if `test` detects the given simple fault primitive under every
 /// placement and background of `config`.
 #[must_use]
-pub fn detects_simple(test: &MarchTest, primitive: &FaultPrimitive, config: &CoverageConfig) -> bool {
-    simple_escape(test, primitive, config).is_none()
-}
-
-fn simple_placements(primitive: &FaultPrimitive, config: &CoverageConfig) -> Vec<InstanceCells> {
-    let topology = if primitive.is_coupling() {
-        LinkTopology::Lf2CouplingThenSingle
-    } else {
-        LinkTopology::Lf1
-    };
-    enumerate_placements(topology, config.memory_cells, config.strategy)
-}
-
-fn simple_escape(
+pub fn detects_simple(
     test: &MarchTest,
     primitive: &FaultPrimitive,
     config: &CoverageConfig,
-) -> Option<Escape> {
-    for cells in simple_placements(primitive, config) {
-        for background in &config.backgrounds {
-            let mut simulator = FaultSimulator::new(config.memory_cells, background)
-                .expect("coverage memory configuration is valid");
-            let injected = if primitive.is_coupling() {
-                InjectedFault::coupling(
-                    primitive.clone(),
-                    cells.aggressor_first.expect("pair placement"),
-                    cells.victim,
-                    config.memory_cells,
-                )
-            } else {
-                InjectedFault::single_cell(primitive.clone(), cells.victim, config.memory_cells)
-            }
-            .expect("enumerated placements are valid");
-            simulator.inject(injected);
-            if !run_march(test, &mut simulator).detected() {
-                return Some(Escape {
-                    target: TargetKind::Simple(primitive.clone()),
-                    cells,
-                    background: background.clone(),
-                });
-            }
-        }
-    }
-    None
-}
-
-fn linked_escape(
-    test: &MarchTest,
-    fault: &LinkedFault,
-    config: &CoverageConfig,
-) -> Option<Escape> {
-    for cells in enumerate_placements(fault.topology(), config.memory_cells, config.strategy) {
-        for background in &config.backgrounds {
-            let mut simulator = FaultSimulator::new(config.memory_cells, background)
-                .expect("coverage memory configuration is valid");
-            let instance = LinkedFaultInstance::new(fault.clone(), cells, config.memory_cells)
-                .expect("enumerated placements are valid");
-            simulator.inject_linked(&instance);
-            if !run_march(test, &mut simulator).detected() {
-                return Some(Escape {
-                    target: TargetKind::Linked(fault.clone()),
-                    cells,
-                    background: background.clone(),
-                });
-            }
-        }
-    }
-    None
+) -> bool {
+    let backend = config.backend.instance();
+    target_escape(
+        backend.as_ref(),
+        test,
+        &TargetKind::Simple(primitive.clone()),
+        config,
+    )
+    .is_none()
 }
 
 #[cfg(test)]
@@ -363,5 +415,53 @@ mod tests {
         assert_eq!(report.total(), 32);
         assert!(report.by_topology().contains_key(&LinkTopology::Lf1));
         assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn reports_are_identical_across_backends_and_thread_counts() {
+        let list = FaultList::list_1();
+        let test = catalog::march_c_minus();
+        let baseline = measure_coverage(&test, &list, &CoverageConfig::thorough());
+        for backend in [BackendKind::Scalar, BackendKind::Packed] {
+            for threads in [1usize, 2, 4, 0] {
+                let config = CoverageConfig::thorough()
+                    .with_backend(backend)
+                    .with_threads(threads);
+                let report = measure_coverage(&test, &list, &config);
+                assert_eq!(
+                    report, baseline,
+                    "report diverged for backend {backend} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escape_ordering_is_sorted() {
+        let report = measure_coverage(
+            &catalog::mats_plus(),
+            &FaultList::list_1(),
+            &CoverageConfig::default(),
+        );
+        assert!(!report.escapes().is_empty());
+        let keys: Vec<_> = report.escapes().iter().map(Escape::sort_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn detects_helpers_respect_the_backend_knob() {
+        let list = FaultList::list_2();
+        let fault = &list.linked()[0];
+        for backend in [BackendKind::Scalar, BackendKind::Packed] {
+            let config = CoverageConfig::thorough().with_backend(backend);
+            assert!(detects_linked(&catalog::march_sl(), fault, &config));
+        }
+        let primitive = &FaultList::unlinked_static().simple()[0].clone();
+        for backend in [BackendKind::Scalar, BackendKind::Packed] {
+            let config = CoverageConfig::thorough().with_backend(backend);
+            assert!(detects_simple(&catalog::march_ss(), primitive, &config));
+        }
     }
 }

@@ -121,7 +121,12 @@ impl fmt::Display for Syndrome {
         if self.entries.is_empty() {
             return write!(f, "pass");
         }
-        write!(f, "{} failing reads on cells {:?}", self.entries.len(), self.failing_cells())
+        write!(
+            f,
+            "{} failing reads on cells {:?}",
+            self.entries.len(),
+            self.failing_cells()
+        )
     }
 }
 
@@ -239,7 +244,11 @@ fn enumerate_exhaustive_like(
     topology: sram_fault_model::LinkTopology,
     config: &CoverageConfig,
 ) -> Vec<InstanceCells> {
-    enumerate_placements(topology, config.memory_cells, crate::PlacementStrategy::Exhaustive)
+    enumerate_placements(
+        topology,
+        config.memory_cells,
+        crate::PlacementStrategy::Exhaustive,
+    )
 }
 
 /// Extension mapping a simple fault primitive onto the placement topology used to
@@ -306,7 +315,9 @@ mod tests {
         let candidates = diagnose(&catalog::march_ss(), &syndrome, &list, &config());
         assert!(!candidates.is_empty());
         // Every candidate that explains the syndrome must involve the failing cell.
-        assert!(candidates.iter().all(|candidate| candidate.cells.victim == 2));
+        assert!(candidates
+            .iter()
+            .all(|candidate| candidate.cells.victim == 2));
         // The true fault is among the candidates.
         assert!(candidates.iter().any(|candidate| match &candidate.target {
             TargetKind::Simple(fp) => fp == &tf,

@@ -37,6 +37,10 @@ impl fmt::Display for DictionaryEntry {
     }
 }
 
+/// The canonical syndrome key of the dictionary index: one
+/// `(element, operation, cell, observed)` tuple per failing read.
+type SyndromeKey = Vec<(usize, usize, usize, u8)>;
+
 /// A pre-computed fault dictionary for one march test, one fault list and one data
 /// background.
 ///
@@ -63,7 +67,7 @@ impl fmt::Display for DictionaryEntry {
 pub struct FaultDictionary {
     test_name: String,
     entries: Vec<DictionaryEntry>,
-    index: BTreeMap<Vec<(usize, usize, usize, u8)>, Vec<usize>>,
+    index: BTreeMap<SyndromeKey, Vec<usize>>,
 }
 
 impl FaultDictionary {
@@ -127,9 +131,12 @@ impl FaultDictionary {
             }
         }
 
-        let mut index: BTreeMap<Vec<(usize, usize, usize, u8)>, Vec<usize>> = BTreeMap::new();
+        let mut index: BTreeMap<SyndromeKey, Vec<usize>> = BTreeMap::new();
         for (position, entry) in entries.iter().enumerate() {
-            index.entry(Self::key(&entry.syndrome)).or_default().push(position);
+            index
+                .entry(Self::key(&entry.syndrome))
+                .or_default()
+                .push(position);
         }
 
         FaultDictionary {
@@ -142,7 +149,14 @@ impl FaultDictionary {
     fn key(syndrome: &Syndrome) -> Vec<(usize, usize, usize, u8)> {
         syndrome
             .entries()
-            .map(|entry| (entry.element, entry.cell, entry.operation, entry.observed.as_u8()))
+            .map(|entry| {
+                (
+                    entry.element,
+                    entry.cell,
+                    entry.operation,
+                    entry.observed.as_u8(),
+                )
+            })
             .collect()
     }
 
@@ -175,13 +189,20 @@ impl FaultDictionary {
     pub fn lookup(&self, syndrome: &Syndrome) -> Vec<&DictionaryEntry> {
         self.index
             .get(&Self::key(syndrome))
-            .map(|positions| positions.iter().map(|&position| &self.entries[position]).collect())
+            .map(|positions| {
+                positions
+                    .iter()
+                    .map(|&position| &self.entries[position])
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
     /// The fault instances the march test does not detect at all (empty syndrome).
     pub fn undetected(&self) -> impl Iterator<Item = &DictionaryEntry> {
-        self.entries.iter().filter(|entry| entry.syndrome.is_empty())
+        self.entries
+            .iter()
+            .filter(|entry| entry.syndrome.is_empty())
     }
 
     /// Number of distinct non-empty syndromes.
@@ -205,7 +226,10 @@ impl FaultDictionary {
         if total == 0 {
             return 0.0;
         }
-        let unique = detected.iter().filter(|positions| positions.len() == 1).count();
+        let unique = detected
+            .iter()
+            .filter(|positions| positions.len() == 1)
+            .count();
         unique as f64 / total as f64
     }
 }

@@ -228,7 +228,10 @@ impl FaultSimulator {
         for index in fired {
             let (victim, forced) = {
                 let fault = &self.faults[index];
-                (fault.victim(), fault.primitive().effect().victim_value().to_bit())
+                (
+                    fault.victim(),
+                    fault.primitive().effect().victim_value().to_bit(),
+                )
             };
             if let Some(value) = forced {
                 self.faulty.write(victim, value);
@@ -246,7 +249,12 @@ impl FaultSimulator {
 
     /// Returns `true` if `fault` is sensitized by applying `operation` to `address`
     /// given the current (pre-operation) faulty memory content.
-    fn is_sensitized_by(&self, fault: &InjectedFault, address: usize, operation: Operation) -> bool {
+    fn is_sensitized_by(
+        &self,
+        fault: &InjectedFault,
+        address: usize,
+        operation: Operation,
+    ) -> bool {
         let primitive = fault.primitive();
         let site_cell = match primitive.sensitizing_site() {
             SensitizingSite::None => return false,
@@ -275,7 +283,10 @@ impl FaultSimulator {
         }
         if let (Some(aggressor_cell), Some(aggressor)) = (fault.aggressor(), primitive.aggressor())
         {
-            if !aggressor.initial().matches(self.faulty.read(aggressor_cell)) {
+            if !aggressor
+                .initial()
+                .matches(self.faulty.read(aggressor_cell))
+            {
                 return false;
             }
         }

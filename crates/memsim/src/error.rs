@@ -30,13 +30,23 @@ pub enum SimulationError {
         /// Number of cells of the memory.
         cells: usize,
     },
+    /// A backend name does not match any known simulation backend.
+    UnknownBackend(String),
+    /// A packed simulator was asked to hold an unsupported number of lanes.
+    LaneCountOutOfRange {
+        /// Number of lanes requested (must be 1..=64).
+        requested: usize,
+    },
 }
 
 impl fmt::Display for SimulationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimulationError::AddressOutOfRange { address, cells } => {
-                write!(f, "cell address {address} out of range for a {cells}-cell memory")
+                write!(
+                    f,
+                    "cell address {address} out of range for a {cells}-cell memory"
+                )
             }
             SimulationError::OverlappingCells { address } => {
                 write!(f, "fault instance cells overlap at address {address}")
@@ -49,6 +59,18 @@ impl fmt::Display for SimulationError {
                 f,
                 "initial state has {provided} values but the memory has {cells} cells"
             ),
+            SimulationError::UnknownBackend(name) => {
+                write!(
+                    f,
+                    "unknown simulation backend `{name}` (expected scalar or packed)"
+                )
+            }
+            SimulationError::LaneCountOutOfRange { requested } => {
+                write!(
+                    f,
+                    "packed simulators hold 1 to 64 lanes per word, got {requested}"
+                )
+            }
         }
     }
 }
@@ -62,11 +84,19 @@ mod tests {
     #[test]
     fn messages() {
         for err in [
-            SimulationError::AddressOutOfRange { address: 9, cells: 4 },
+            SimulationError::AddressOutOfRange {
+                address: 9,
+                cells: 4,
+            },
             SimulationError::OverlappingCells { address: 2 },
             SimulationError::MissingCells("no aggressor".into()),
             SimulationError::EmptyMemory,
-            SimulationError::InitialStateSizeMismatch { provided: 3, cells: 8 },
+            SimulationError::InitialStateSizeMismatch {
+                provided: 3,
+                cells: 8,
+            },
+            SimulationError::UnknownBackend("simd".into()),
+            SimulationError::LaneCountOutOfRange { requested: 80 },
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -167,7 +167,11 @@ impl InstanceCells {
 
     /// Cell assignment for a three-cell (LF3) instance.
     #[must_use]
-    pub const fn triple(aggressor_first: usize, aggressor_second: usize, victim: usize) -> InstanceCells {
+    pub const fn triple(
+        aggressor_first: usize,
+        aggressor_second: usize,
+        victim: usize,
+    ) -> InstanceCells {
         InstanceCells {
             aggressor_first: Some(aggressor_first),
             aggressor_second: Some(aggressor_second),
@@ -278,19 +282,20 @@ impl LinkedFaultInstance {
             }
         }
 
-        let mut components = Vec::with_capacity(2);
-        components.push(build_component(
-            fault.first().clone(),
-            first_aggressor,
-            cells.victim,
-            memory_cells,
-        )?);
-        components.push(build_component(
-            fault.second().clone(),
-            second_aggressor,
-            cells.victim,
-            memory_cells,
-        )?);
+        let components = vec![
+            build_component(
+                fault.first().clone(),
+                first_aggressor,
+                cells.victim,
+                memory_cells,
+            )?,
+            build_component(
+                fault.second().clone(),
+                second_aggressor,
+                cells.victim,
+                memory_cells,
+            )?,
+        ];
 
         Ok(LinkedFaultInstance {
             fault,
@@ -392,8 +397,7 @@ mod tests {
     #[test]
     fn lf1_instance_uses_single_cell() {
         let fault = first_with_topology(LinkTopology::Lf1);
-        let instance =
-            LinkedFaultInstance::new(fault, InstanceCells::single(3), 8).unwrap();
+        let instance = LinkedFaultInstance::new(fault, InstanceCells::single(3), 8).unwrap();
         assert_eq!(instance.components().len(), 2);
         assert!(instance
             .components()

@@ -14,7 +14,11 @@
 //!   with a fault-free reference memory ([`FaultSimulator`], [`MarchRun`]);
 //! * measures the **coverage** of a march test over a
 //!   [`sram_fault_model::FaultList`], enumerating cell placements and data
-//!   backgrounds ([`CoverageReport`]).
+//!   backgrounds ([`CoverageReport`]);
+//! * evaluates coverage through pluggable [`SimulationBackend`]s — the scalar
+//!   dual-memory engine ([`ScalarBackend`]) or the bit-parallel packed engine
+//!   ([`PackedBackend`], up to 64 fault instances per `u64` word) — fanning the
+//!   fault targets out over worker threads ([`parallel_map`]).
 //!
 //! Masking between the two components of a linked fault is *emergent*: both fault
 //! primitives are injected as independent behavioural rules and masking happens
@@ -42,6 +46,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
+mod batch;
 mod coverage;
 mod diagnose;
 mod dictionary;
@@ -49,12 +55,18 @@ mod engine;
 mod error;
 mod inject;
 mod memory;
+mod parallel;
 mod placement;
 mod run;
 
+pub use backend::{
+    enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,
+    SimulationBackend,
+};
+pub use batch::TargetBatch;
 pub use coverage::{
-    detects_linked, detects_simple, measure_coverage, CoverageConfig, CoverageReport, Escape,
-    TargetKind,
+    detects_linked, detects_simple, enumerate_targets, measure_coverage, CoverageConfig,
+    CoverageReport, Escape, EscapeSortKey, TargetKind,
 };
 pub use diagnose::{diagnose, DiagnosisCandidate, LinkTopologyExt, Syndrome, SyndromeEntry};
 pub use dictionary::{DictionaryEntry, FaultDictionary};
@@ -62,6 +74,7 @@ pub use engine::{FaultSimulator, OperationOutcome};
 pub use error::SimulationError;
 pub use inject::{InjectedFault, InstanceCells, LinkedFaultInstance};
 pub use memory::{InitialState, Memory};
+pub use parallel::{effective_threads, parallel_map};
 pub use placement::{enumerate_placements, PlacementStrategy};
 pub use run::{run_march, Failure, MarchRun};
 

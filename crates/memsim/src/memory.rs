@@ -37,7 +37,13 @@ impl InitialState {
             InitialState::AllZero => Ok(vec![Bit::Zero; cells]),
             InitialState::AllOne => Ok(vec![Bit::One; cells]),
             InitialState::Checkerboard => Ok((0..cells)
-                .map(|address| if address % 2 == 0 { Bit::Zero } else { Bit::One })
+                .map(|address| {
+                    if address % 2 == 0 {
+                        Bit::Zero
+                    } else {
+                        Bit::One
+                    }
+                })
                 .collect()),
             InitialState::Custom(content) => {
                 if content.len() == cells {
@@ -192,7 +198,9 @@ mod tests {
             vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]
         );
         assert_eq!(
-            InitialState::Custom(vec![Bit::One, Bit::Zero]).materialise(2).unwrap(),
+            InitialState::Custom(vec![Bit::One, Bit::Zero])
+                .materialise(2)
+                .unwrap(),
             vec![Bit::One, Bit::Zero]
         );
         assert!(InitialState::Custom(vec![Bit::One]).materialise(2).is_err());

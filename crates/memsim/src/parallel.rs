@@ -1,0 +1,106 @@
+//! Deterministic thread fan-out for embarrassingly parallel simulation work.
+//!
+//! Coverage measurement evaluates every fault target independently — a perfect
+//! fan-out. This module provides a dependency-free `parallel_map` built on
+//! [`std::thread::scope`]: workers pull item indices from a shared atomic
+//! counter (self-scheduling, so uneven targets balance automatically) and
+//! results are merged back **in item order**, which keeps parallel runs
+//! byte-identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count knob: `0` means "use the available parallelism",
+/// and the result is clamped to the number of work items.
+#[must_use]
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    threads.clamp(1, items.max(1))
+}
+
+/// Applies `map` to every item, fanning the work out over `threads` OS threads
+/// (serial when `threads <= 1`). Results are returned in item order regardless
+/// of the scheduling, so the output is independent of the thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `map` (the worker threads are joined).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, map: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(map).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let map = &map;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, map(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (index, result) in worker.join().expect("simulation worker panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every work item is scheduled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = parallel_map(&items, 1, |value| value * 3);
+        for threads in [2, 4, 7] {
+            let parallel = parallel_map(&items, threads, |value| value * 3);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(0, 0), 1);
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 0, |value| *value).is_empty());
+    }
+
+    #[test]
+    fn handles_more_threads_than_items() {
+        let items = [1u64, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |value| value + 1), vec![2, 3, 4]);
+    }
+}

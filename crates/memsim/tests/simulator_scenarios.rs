@@ -22,7 +22,10 @@ fn detection_conditions_per_single_cell_family() {
     //    double reads);
     //  - March C- additionally misses WDF and DRDF;
     //  - March SS detects everything single-cell.
-    let families_missed_by_mats = [Ffm::WriteDestructiveFault, Ffm::DeceptiveReadDestructiveFault];
+    let families_missed_by_mats = [
+        Ffm::WriteDestructiveFault,
+        Ffm::DeceptiveReadDestructiveFault,
+    ];
     for family in families_missed_by_mats {
         let mut any_missed = false;
         for fp in family.fault_primitives() {
@@ -92,7 +95,11 @@ fn coverage_report_escape_accounting_is_consistent() {
     assert_eq!(report.covered() + report.escapes().len(), report.total());
     let by_topology: usize = report.by_topology().values().map(|(_, total)| *total).sum();
     assert_eq!(by_topology, list.linked().len());
-    let covered_by_topology: usize = report.by_topology().values().map(|(covered, _)| *covered).sum();
+    let covered_by_topology: usize = report
+        .by_topology()
+        .values()
+        .map(|(covered, _)| *covered)
+        .sum();
     assert_eq!(covered_by_topology, report.covered());
 }
 

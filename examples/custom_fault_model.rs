@@ -32,11 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Link them: FP2 masks FP1 (F2 = 1 = ¬F1, and FP2 is sensitized on the victim
     //    cell left at 0 by FP1). This is a two-cell linked fault of class LF2va.
-    let linked = LinkedFault::link(
-        tf_up.clone(),
-        cfwd,
-        LinkTopology::Lf2SingleThenCoupling,
-    )?;
+    let linked = LinkedFault::link(tf_up.clone(), cfwd, LinkTopology::Lf2SingleThenCoupling)?;
     println!("linked fault: {linked}");
 
     // 3. Build a custom fault list: the hand-made linked fault plus, for good
@@ -54,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .generate_verified();
     println!("generated: {}", generated.test());
     println!("coverage : {coverage}");
-    assert!(coverage.is_complete(), "the generated test must cover the custom list");
+    assert!(
+        coverage.is_complete(),
+        "the generated test must cover the custom list"
+    );
 
     // 5. Cross-check with an off-the-shelf test: MATS+ is not enough for this list.
     let mats = march_test::catalog::mats_plus();

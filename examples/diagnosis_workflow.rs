@@ -15,7 +15,9 @@ use sram_sim::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate a march test for the single-cell static linked faults.
     let list = FaultList::list_2();
-    let generated = MarchGenerator::new(list.clone()).named("March GEN-LF1").generate();
+    let generated = MarchGenerator::new(list.clone())
+        .named("March GEN-LF1")
+        .generate();
     let test = generated.test().clone();
     println!("generated test : {test}");
     println!();
@@ -57,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    so candidates localise the victim cell even if the exact defect is
     //    ambiguous).
     let candidates = dictionary.lookup(&syndrome);
-    println!("dictionary candidates with an identical syndrome: {}", candidates.len());
+    println!(
+        "dictionary candidates with an identical syndrome: {}",
+        candidates.len()
+    );
     for candidate in candidates.iter().take(5) {
         println!("  {candidate}");
     }
@@ -71,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // 5. Export the generated test as a C routine for the production test program.
-    println!("C export:\n{}", export::to_c_function(&test, "march_gen_lf1"));
+    println!(
+        "C export:\n{}",
+        export::to_c_function(&test, "march_gen_lf1")
+    );
     Ok(())
 }

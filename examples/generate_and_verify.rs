@@ -16,9 +16,10 @@ fn main() {
     println!();
 
     // Raw greedy output (the "ABL" analogue)…
-    let raw = MarchGenerator::with_config(list.clone(), GeneratorConfig::without_redundancy_removal())
-        .named("March GEN-L1")
-        .generate();
+    let raw =
+        MarchGenerator::with_config(list.clone(), GeneratorConfig::without_redundancy_removal())
+            .named("March GEN-L1")
+            .generate();
     println!("greedy result      : {}", raw.test());
     println!("                     {}", raw.report());
 

@@ -20,14 +20,16 @@ fn main() {
     let (generated, coverage) = generator.generate_verified();
 
     println!("generated test    : {}", generated.test());
-    println!("complexity        : {}", generated.test().complexity_label());
+    println!(
+        "complexity        : {}",
+        generated.test().complexity_label()
+    );
     println!("generation report : {}", generated.report());
     println!("verified coverage : {coverage}");
 
     // 3. Compare against the published baseline for the same fault list.
     let baseline = catalog::march_lf1();
-    let baseline_coverage =
-        march_gen::verify(&baseline, &list, &CoverageConfig::thorough());
+    let baseline_coverage = march_gen::verify(&baseline, &list, &CoverageConfig::thorough());
     println!(
         "baseline          : {} [{}] -> {}",
         baseline.name(),

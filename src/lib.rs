@@ -1,0 +1,18 @@
+//! Façade crate for the march-codex workspace.
+//!
+//! Re-exports the five member crates so the top-level integration tests and
+//! examples (and downstream users who want a single dependency) can reach the
+//! whole reproduction through one crate:
+//!
+//! * [`sram_fault_model`] — static fault primitives, linked faults, fault lists;
+//! * [`march_test`] — march notation, element algebra, the published catalogue;
+//! * [`sram_sim`] — the fault simulator (scalar and bit-parallel packed backends);
+//! * [`march_gen`] — the simulation-backed greedy march-test generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use march_gen;
+pub use march_test;
+pub use sram_fault_model;
+pub use sram_sim;

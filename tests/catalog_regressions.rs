@@ -40,7 +40,11 @@ fn march_lf1_covers_fault_list_2_with_11n() {
 
 #[test]
 fn linked_fault_tests_cover_the_single_cell_linked_faults() {
-    for test in [catalog::march_sl(), catalog::march_abl(), catalog::march_rabl()] {
+    for test in [
+        catalog::march_sl(),
+        catalog::march_abl(),
+        catalog::march_rabl(),
+    ] {
         let report = measure_coverage(&test, &FaultList::list_2(), &thorough());
         assert!(
             report.is_complete(),
@@ -82,6 +86,7 @@ fn coverage_is_monotone_in_placement_strategy() {
         memory_cells: 6,
         strategy: sram_sim::PlacementStrategy::Representative,
         backgrounds: thorough().backgrounds,
+        ..CoverageConfig::default()
     };
     let exhaustive = CoverageConfig::exhaustive();
     let list = FaultList::list_2();

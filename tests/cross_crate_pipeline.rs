@@ -26,10 +26,10 @@ fn paper_running_example_from_notation_to_detection() {
     let fp1 = cfds("<0w1;0/1/->");
     let fp2 = cfds("<0w1;1/0/->");
 
-    let afp1 = AddressedFaultPrimitive::instantiate(&fp1, Placement::coupling(0, 2, 3).unwrap())
-        .unwrap();
-    let afp2 = AddressedFaultPrimitive::instantiate(&fp2, Placement::coupling(1, 2, 3).unwrap())
-        .unwrap();
+    let afp1 =
+        AddressedFaultPrimitive::instantiate(&fp1, Placement::coupling(0, 2, 3).unwrap()).unwrap();
+    let afp2 =
+        AddressedFaultPrimitive::instantiate(&fp2, Placement::coupling(1, 2, 3).unwrap()).unwrap();
     let linked_afp = LinkedAfp::try_link(afp1.clone(), afp2).unwrap();
     assert_eq!(linked_afp.victim(), 2);
 
@@ -77,17 +77,15 @@ fn sequence_of_operations_detects_its_target_when_marched() {
     // Build an SO on cell j (the highest address of the 2-cell model), translate it
     // into a march element and check it detects a disturb coupling fault whose
     // aggressor sits above its victim.
-    let so = SequenceOfOperations::with_operations(
-        1,
-        vec![Operation::R0, Operation::W1, Operation::R1],
-    );
+    let so =
+        SequenceOfOperations::with_operations(1, vec![Operation::R0, Operation::W1, Operation::R1]);
     let element = so.to_march_element(2).unwrap();
     assert_eq!(element.order(), AddressOrder::Descending);
 
-    let test = MarchTest::new("so test", vec![
-        march_test::MarchElement::initialise(Bit::Zero),
-        element,
-    ])
+    let test = MarchTest::new(
+        "so test",
+        vec![march_test::MarchElement::initialise(Bit::Zero), element],
+    )
     .unwrap();
 
     let fp = cfds("<0w1;0/1/->");
@@ -139,8 +137,8 @@ fn coverage_of_a_derived_test_pattern_list() {
 
     // Sanity-check one TP explicitly.
     let tf = &Ffm::TransitionFault.fault_primitives()[0];
-    let afp = AddressedFaultPrimitive::instantiate(tf, Placement::single_cell(0, 2).unwrap())
-        .unwrap();
+    let afp =
+        AddressedFaultPrimitive::instantiate(tf, Placement::single_cell(0, 2).unwrap()).unwrap();
     let tp = TestPattern::new(afp);
     assert_eq!(tp.observe().cell(), 0);
 }

@@ -55,7 +55,9 @@ fn lf3_subset_generation_is_complete() {
     // The hardest topology class on its own: three-cell linked faults.
     let list = FaultList::list_1().filter_topology(sram_fault_model::LinkTopology::Lf3);
     assert!(!list.is_empty());
-    let (generated, coverage) = MarchGenerator::new(list).named("March GEN-LF3").generate_verified();
+    let (generated, coverage) = MarchGenerator::new(list)
+        .named("March GEN-LF3")
+        .generate_verified();
     assert!(
         generated.report().is_complete(),
         "uncovered: {:?}",
@@ -101,7 +103,9 @@ fn two_cell_subset_generation_is_complete() {
 #[ignore = "long-running headline experiment; exercised by the table1 bench binary"]
 fn fault_list_1_generation_is_complete_and_beats_the_baselines() {
     let list = FaultList::list_1();
-    let (generated, coverage) = MarchGenerator::new(list).named("March GEN-L1").generate_verified();
+    let (generated, coverage) = MarchGenerator::new(list)
+        .named("March GEN-L1")
+        .generate_verified();
     assert!(
         generated.report().is_complete(),
         "uncovered: {:?}",

@@ -26,9 +26,11 @@ fn arbitrary_order() -> impl Strategy<Value = AddressOrder> {
 }
 
 fn arbitrary_element() -> impl Strategy<Value = MarchElement> {
-    (arbitrary_order(), prop::collection::vec(arbitrary_operation(), 1..8)).prop_map(
-        |(order, ops)| MarchElement::new(order, ops).expect("non-empty by construction"),
+    (
+        arbitrary_order(),
+        prop::collection::vec(arbitrary_operation(), 1..8),
     )
+        .prop_map(|(order, ops)| MarchElement::new(order, ops).expect("non-empty by construction"))
 }
 
 fn arbitrary_test() -> impl Strategy<Value = MarchTest> {
