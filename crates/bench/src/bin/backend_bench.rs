@@ -1,54 +1,61 @@
-//! Scalar vs packed backend benchmark with a machine-readable trail: runs the
-//! coverage-matrix workload on both simulation backends and writes the timings
-//! to `BENCH_simulation.json`, so the perf trajectory of the simulation stack
-//! is tracked across PRs.
+//! The perf-trajectory benchmark with a machine-readable trail: times the
+//! coverage-matrix workloads on both simulation backends **and** the
+//! generator's candidate-scoring hot path with batched vs per-candidate
+//! pools, then writes the speedups to `BENCH_simulation.json` (schema
+//! version 2, see [`march_bench::BenchFile`]) so the simulation stack's perf
+//! trajectory is tracked — and diffed by CI via `bench_diff` — across PRs.
 //!
 //! Run with `cargo run --release -p march-bench --bin backend_bench`.
 //! Pass `--out PATH` to change the JSON location and `--threads N` for the
-//! thread fan-out (0 = auto).
+//! thread fan-out (0 = auto; the resolved count is what lands in the JSON).
 
 use std::env;
 use std::time::{Duration, Instant};
 
-use march_bench::{json_escape, BenchRecord};
-use march_test::catalog;
+use march_bench::{BenchFile, BenchRecord};
+use march_gen::{exhaustive_candidates, score_candidates};
+use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::FaultList;
-use sram_sim::{measure_coverage, BackendKind, CoverageConfig, PlacementStrategy};
+use sram_sim::{
+    effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
+    CoverageConfig, InitialState, PlacementStrategy, TargetBatch,
+};
 
-/// One benchmark workload: a named test × list × configuration.
-struct Workload {
+/// One coverage workload: a named test × list × configuration timed on the
+/// scalar and the packed backend.
+struct CoverageWorkload {
     name: &'static str,
-    test: march_test::MarchTest,
+    test: MarchTest,
     list: FaultList,
     config: CoverageConfig,
 }
 
-fn workloads() -> Vec<Workload> {
+fn coverage_workloads() -> Vec<CoverageWorkload> {
     let exhaustive8 = CoverageConfig {
         memory_cells: 8,
         strategy: PlacementStrategy::Exhaustive,
         ..CoverageConfig::thorough()
     };
     vec![
-        Workload {
+        CoverageWorkload {
             name: "march_sl_vs_list_2_exhaustive",
             test: catalog::march_sl(),
             list: FaultList::list_2(),
             config: exhaustive8.clone(),
         },
-        Workload {
+        CoverageWorkload {
             name: "march_ss_vs_unlinked_exhaustive",
             test: catalog::march_ss(),
             list: FaultList::unlinked_static(),
             config: exhaustive8,
         },
-        Workload {
+        CoverageWorkload {
             name: "march_sl_vs_list_1_thorough",
             test: catalog::march_sl(),
             list: FaultList::list_1(),
             config: CoverageConfig::thorough(),
         },
-        Workload {
+        CoverageWorkload {
             name: "march_c_minus_vs_list_1_exhaustive6",
             test: catalog::march_c_minus(),
             list: FaultList::list_1(),
@@ -57,7 +64,66 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-fn time_coverage(workload: &Workload, backend: BackendKind, threads: usize, reps: u32) -> Duration {
+/// One generation workload: target batches advanced past a march prefix (the
+/// generator's mid-run state), scored against a candidate pool — batched
+/// full-word pools vs the per-candidate path of PR 1.
+struct ScoringWorkload {
+    name: &'static str,
+    batches: Vec<TargetBatch>,
+    pool: Vec<MarchElement>,
+}
+
+/// Builds the packed target batches of `list`, advanced by `prefix` so only
+/// the hard-to-cover lanes are still pending — the regime in which the
+/// generator leans on the exhaustive 4^k repair pool.
+fn advanced_batches(list: &FaultList, prefix: &[MarchElement]) -> Vec<TargetBatch> {
+    let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+    let mut batches: Vec<TargetBatch> = enumerate_targets(list)
+        .into_iter()
+        .map(|target| {
+            let lanes =
+                enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds);
+            TargetBatch::new(target, lanes, 8, BackendKind::Packed)
+        })
+        .collect();
+    for element in prefix {
+        for batch in &mut batches {
+            batch.advance(element);
+        }
+    }
+    batches.retain(|batch| batch.pending() > 0);
+    batches
+}
+
+fn scoring_workloads() -> Vec<ScoringWorkload> {
+    // March ABL1's first two elements cover the easy lanes of list #2; the
+    // repair pool of length ≤ 4 then hunts the rest.
+    let abl1 = catalog::march_abl1();
+    let list2_prefix: Vec<MarchElement> = abl1.elements()[..2].to_vec();
+    // March SL's first four elements play the same role for list #1: what is
+    // left pending is the hard tail the repair search actually sees.
+    let sl = catalog::march_sl();
+    let list1_prefix: Vec<MarchElement> = sl.elements()[..4].to_vec();
+    vec![
+        ScoringWorkload {
+            name: "repair_pool4_vs_list_2_tail",
+            batches: advanced_batches(&FaultList::list_2(), &list2_prefix),
+            pool: exhaustive_candidates(4),
+        },
+        ScoringWorkload {
+            name: "repair_pool4_vs_list_1_tail",
+            batches: advanced_batches(&FaultList::list_1(), &list1_prefix),
+            pool: exhaustive_candidates(4),
+        },
+    ]
+}
+
+fn time_coverage(
+    workload: &CoverageWorkload,
+    backend: BackendKind,
+    threads: usize,
+    reps: u32,
+) -> Duration {
     let config = workload
         .config
         .clone()
@@ -73,6 +139,19 @@ fn time_coverage(workload: &Workload, backend: BackendKind, threads: usize, reps
     start.elapsed() / reps
 }
 
+fn time_scoring(workload: &ScoringWorkload, batch: usize, threads: usize, reps: u32) -> Duration {
+    // Warm-up; also pins the verdicts so a scoring bug cannot masquerade as a
+    // speedup.
+    let baseline = score_candidates(&workload.pool, &workload.batches, 1, threads);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let scores = score_candidates(&workload.pool, &workload.batches, batch, threads);
+        assert_eq!(scores, baseline);
+    }
+    start.elapsed() / reps
+}
+
+#[allow(clippy::cast_possible_truncation)]
 fn main() {
     let mut out_path = "BENCH_simulation.json".to_string();
     let threads = march_bench::threads_from_args();
@@ -82,16 +161,19 @@ fn main() {
             out_path = args.next().expect("--out requires a path");
         }
     }
+    // What lands in the JSON is the thread count the run actually used, not
+    // the flag: `--threads 0` resolves to the available parallelism here.
+    let threads_used = effective_threads(threads, usize::MAX);
 
     let mut records: Vec<BenchRecord> = Vec::new();
     println!(
         "{:<38} {:>12} {:>12} {:>9}",
-        "workload", "scalar", "packed", "speedup"
+        "workload", "baseline", "contender", "speedup"
     );
     println!("{}", "-".repeat(76));
-    for workload in workloads() {
-        let scalar = time_coverage(&workload, BackendKind::Scalar, threads, 3);
-        let packed = time_coverage(&workload, BackendKind::Packed, threads, 3);
+    for workload in coverage_workloads() {
+        let scalar = time_coverage(&workload, BackendKind::Scalar, threads, 10);
+        let packed = time_coverage(&workload, BackendKind::Packed, threads, 10);
         let speedup = scalar.as_secs_f64() / packed.as_secs_f64().max(1e-9);
         println!(
             "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
@@ -102,42 +184,43 @@ fn main() {
         );
         records.push(BenchRecord {
             name: workload.name.to_string(),
-            scalar_ns: scalar.as_nanos() as u64,
-            packed_ns: packed.as_nanos() as u64,
+            kind: "coverage".to_string(),
+            baseline: "scalar".to_string(),
+            contender: "packed".to_string(),
+            baseline_ns: scalar.as_nanos() as u64,
+            contender_ns: packed.as_nanos() as u64,
             speedup,
-            threads,
+        });
+    }
+    for workload in scoring_workloads() {
+        let sequential = time_scoring(&workload, 1, threads, 10);
+        let batched = time_scoring(&workload, 0, threads, 10);
+        let speedup = sequential.as_secs_f64() / batched.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            sequential.as_secs_f64() * 1e3,
+            batched.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "generation".to_string(),
+            baseline: "per-candidate".to_string(),
+            contender: "batched".to_string(),
+            baseline_ns: sequential.as_nanos() as u64,
+            contender_ns: batched.as_nanos() as u64,
+            speedup,
         });
     }
 
-    let geomean = (records
-        .iter()
-        .map(|record| record.speedup.ln())
-        .sum::<f64>()
-        / records.len() as f64)
-        .exp();
+    let file = BenchFile::new(threads_used, records);
     println!("{}", "-".repeat(76));
-    println!("geometric-mean speedup: {geomean:.2}x (threads: {threads})");
+    println!(
+        "geometric-mean speedup: {:.2}x (threads: {threads_used})",
+        file.geomean_speedup
+    );
 
-    let json = render_json(&records, geomean, threads);
-    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    std::fs::write(&out_path, file.to_json()).expect("write benchmark JSON");
     println!("wrote {out_path}");
-}
-
-fn render_json(records: &[BenchRecord], geomean: f64, threads: usize) -> String {
-    let mut json = String::from("{\n  \"benchmark\": \"simulation_backends\",\n");
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!("  \"geomean_speedup\": {geomean:.3},\n"));
-    json.push_str("  \"workloads\": [\n");
-    for (index, record) in records.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"packed_ns\": {}, \"speedup\": {:.3}}}{}\n",
-            json_escape(&record.name),
-            record.scalar_ns,
-            record.packed_ns,
-            record.speedup,
-            if index + 1 == records.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    json
 }

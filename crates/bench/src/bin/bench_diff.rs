@@ -1,0 +1,95 @@
+//! CI gate for the perf trajectory: diffs a freshly measured
+//! `BENCH_simulation.json` against the committed baseline and exits non-zero
+//! when the geometric-mean speedup regresses by more than the threshold
+//! (default 25%), or when either file violates the trajectory schema.
+//!
+//! ```text
+//! cargo run --release -p march-bench --bin bench_diff -- \
+//!     --baseline BENCH_simulation.json --current /tmp/BENCH_current.json \
+//!     [--threshold 0.25]
+//! ```
+//!
+//! Speedup *ratios* are compared (they are intra-run and therefore survive a
+//! change of machine); absolute nanoseconds are reported but never gated on.
+
+use std::process::ExitCode;
+
+use march_bench::{diff_trajectories, BenchFile};
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--threshold" => {
+                let text = value("--threshold")?;
+                threshold = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("`{text}` is not a valid threshold"))?;
+                if !(0.0..1.0).contains(&threshold) {
+                    return Err(format!(
+                        "threshold must be a fraction in [0, 1), got {threshold}"
+                    ));
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.ok_or("bench_diff requires --baseline")?,
+        current: current.ok_or("bench_diff requires --current")?,
+        threshold,
+    })
+}
+
+fn load(label: &str, path: &str) -> Result<BenchFile, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("{label} `{path}`: {error}"))?;
+    BenchFile::parse(&text).map_err(|error| format!("{label} `{path}`: {error}"))
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_options()?;
+    let baseline = load("baseline", &options.baseline)?;
+    let current = load("current", &options.current)?;
+    let diff = diff_trajectories(&baseline, &current)?;
+    println!("{diff}");
+    if diff.regressed(options.threshold) {
+        return Err(format!(
+            "geomean speedup regressed {:.1}% (gate: {:.0}%): {:.2}x -> {:.2}x",
+            100.0 * diff.regression(),
+            100.0 * options.threshold,
+            diff.baseline_geomean,
+            diff.current_geomean,
+        ));
+    }
+    println!(
+        "within the {:.0}% regression gate",
+        100.0 * options.threshold
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_diff: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,6 +22,12 @@ use std::time::Duration;
 
 use march_test::MarchTest;
 
+mod trajectory;
+
+pub use trajectory::{
+    diff_trajectories, geomean, BenchFile, BenchRecord, TrajectoryDiff, SCHEMA_VERSION,
+};
+
 /// One row of the reproduced Table 1.
 #[derive(Debug, Clone)]
 pub struct TableRow {
@@ -80,23 +86,6 @@ pub fn improvement_from_complexities(ours: usize, baseline: usize) -> f64 {
     } else {
         100.0 * (baseline as f64 - ours as f64) / baseline as f64
     }
-}
-
-/// One scalar-vs-packed timing record of the `backend_bench` binary, serialised
-/// to `BENCH_simulation.json` so the simulation stack's perf trajectory is
-/// tracked across PRs.
-#[derive(Debug, Clone)]
-pub struct BenchRecord {
-    /// Workload name (test × list × configuration).
-    pub name: String,
-    /// Mean scalar-backend wall time, nanoseconds.
-    pub scalar_ns: u64,
-    /// Mean packed-backend wall time, nanoseconds.
-    pub packed_ns: u64,
-    /// `scalar_ns / packed_ns`.
-    pub speedup: f64,
-    /// Worker threads the coverage fan-out used.
-    pub threads: usize,
 }
 
 /// Parses the `--threads N` flag from the process arguments, as used by the

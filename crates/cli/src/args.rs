@@ -64,7 +64,7 @@ pub enum Command {
         name: String,
     },
     /// `generate --list <1|2> [--no-removal] [--order up|down] [--name NAME]
-    /// [--exhaustive] [--backend scalar|packed] [--threads N]`.
+    /// [--exhaustive] [--backend scalar|packed] [--threads N] [--batch N]`.
     Generate {
         /// The target fault list.
         list: CoverageTarget,
@@ -76,10 +76,14 @@ pub enum Command {
         name: Option<String>,
         /// Verify with exhaustive placements after generation.
         exhaustive: bool,
-        /// Which simulation backend evaluates candidates and verification.
+        /// Which simulation backend evaluates candidates and verification
+        /// (defaults to the packed engine; `--backend scalar` opts out).
         backend: BackendKind,
         /// Worker threads for scoring/verification (0 = auto).
         threads: usize,
+        /// Candidates packed per scoring batch (0 = full 64-lane words,
+        /// 1 = per-candidate scoring).
+        batch: usize,
     },
     /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]
     /// [--backend scalar|packed] [--threads N]`.
@@ -90,7 +94,8 @@ pub enum Command {
         list: CoverageTarget,
         /// Use exhaustive cell placements.
         exhaustive: bool,
-        /// Which simulation backend evaluates the coverage lanes.
+        /// Which simulation backend evaluates the coverage lanes (defaults to
+        /// the packed engine; `--backend scalar` opts out).
         backend: BackendKind,
         /// Worker threads the fault targets fan out over (0 = auto).
         threads: usize,
@@ -142,8 +147,9 @@ impl Command {
                 let mut order = None;
                 let mut name = None;
                 let mut exhaustive = false;
-                let mut backend = BackendKind::Scalar;
+                let mut backend = BackendKind::Packed;
                 let mut threads = 1usize;
+                let mut batch = 0usize;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--list" => {
@@ -160,6 +166,7 @@ impl Command {
                         "--name" => name = Some(required(&mut args, "--name")?),
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
                         "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--batch" => batch = parse_batch(&required(&mut args, "--batch")?)?,
                         other => return Err(unknown_flag(other)),
                     }
                 }
@@ -171,13 +178,14 @@ impl Command {
                     exhaustive,
                     backend,
                     threads,
+                    batch,
                 })
             }
             "coverage" => {
                 let mut test = None;
                 let mut list = None;
                 let mut exhaustive = false;
-                let mut backend = BackendKind::Scalar;
+                let mut backend = BackendKind::Packed;
                 let mut threads = 1usize;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -262,6 +270,20 @@ fn parse_threads(text: &str) -> Result<usize, ParseArgsError> {
     })
 }
 
+fn parse_batch(text: &str) -> Result<usize, ParseArgsError> {
+    let batch = text.parse::<usize>().map_err(|_| {
+        ParseArgsError(format!(
+            "`{text}` is not a valid batch size (use 0 for full words)"
+        ))
+    })?;
+    if batch > 64 {
+        return Err(ParseArgsError(format!(
+            "batch sizes pack at most 64 candidates per word, got {batch}"
+        )));
+    }
+    Ok(batch)
+}
+
 fn unknown_flag(flag: &str) -> ParseArgsError {
     ParseArgsError(format!("unknown flag `{flag}`"))
 }
@@ -275,7 +297,7 @@ pub fn usage() -> String {
      \x20 march-codex catalog\n\
      \x20 march-codex show <name>\n\
      \x20 march-codex generate --list <1|2> [--no-removal] [--order up|down] [--name NAME] [--exhaustive]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N]\n\
      \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
@@ -327,8 +349,9 @@ mod tests {
                 order: Some(AddressOrder::Ascending),
                 name: Some("March X".into()),
                 exhaustive: false,
-                backend: BackendKind::Scalar,
+                backend: BackendKind::Packed,
                 threads: 1,
+                batch: 0,
             }
         );
         assert!(parse(&["generate"]).is_err());
@@ -337,25 +360,30 @@ mod tests {
     }
 
     #[test]
-    fn parses_backend_and_threads() {
+    fn parses_backend_threads_and_batch() {
         let command = parse(&[
             "generate",
             "--list",
             "2",
             "--backend",
-            "packed",
+            "scalar",
             "--threads",
             "4",
+            "--batch",
+            "16",
         ])
         .unwrap();
         assert!(matches!(
             command,
             Command::Generate {
-                backend: BackendKind::Packed,
+                backend: BackendKind::Scalar,
                 threads: 4,
+                batch: 16,
                 ..
             }
         ));
+        assert!(parse(&["generate", "--list", "2", "--batch", "65"]).is_err());
+        assert!(parse(&["generate", "--list", "2", "--batch", "lots"]).is_err());
         let coverage = parse(&[
             "coverage",
             "--test",
@@ -406,7 +434,7 @@ mod tests {
                 test: "March SL".into(),
                 list: CoverageTarget::Unlinked,
                 exhaustive: true,
-                backend: BackendKind::Scalar,
+                backend: BackendKind::Packed,
                 threads: 1,
             }
         );

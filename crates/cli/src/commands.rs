@@ -72,6 +72,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             exhaustive,
             backend,
             threads,
+            batch,
         } => generate(
             *list,
             *no_removal,
@@ -80,6 +81,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             *exhaustive,
             *backend,
             *threads,
+            *batch,
         ),
         Command::Coverage {
             test,
@@ -132,7 +134,7 @@ fn coverage_config(exhaustive: bool, backend: BackendKind, threads: usize) -> Co
     config.with_backend(backend).with_threads(threads)
 }
 
-#[allow(clippy::fn_params_excessive_bools)]
+#[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 fn generate(
     target: CoverageTarget,
     no_removal: bool,
@@ -141,6 +143,7 @@ fn generate(
     exhaustive: bool,
     backend: BackendKind,
     threads: usize,
+    batch: usize,
 ) -> Result<String, CliError> {
     let list = fault_list(target);
     let mut config = if no_removal {
@@ -151,7 +154,10 @@ fn generate(
     if let Some(order) = order {
         config.allowed_orders = vec![order, AddressOrder::Any];
     }
-    config = config.with_backend(backend).with_threads(threads);
+    config = config
+        .with_backend(backend)
+        .with_threads(threads)
+        .with_batch(batch);
     let generator = MarchGenerator::with_config(list.clone(), config)
         .named(name.unwrap_or("March GEN").to_string());
     let generated = generator.generate();
@@ -332,6 +338,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 0,
+            batch: 0,
         })
         .unwrap();
         assert!(output.contains("March CLI"));

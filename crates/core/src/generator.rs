@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 use march_test::{AddressOrder, MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::{Bit, FaultList};
 use sram_sim::{
-    parallel_map, BackendKind, CoverageConfig, CoverageReport, InitialState, PlacementStrategy,
-    TargetBatch,
+    parallel_map, BackendKind, CandidateBatch, CoverageConfig, CoverageReport, InitialState,
+    PlacementStrategy, TargetBatch,
 };
 
 use crate::targets::enumerate_target_lanes;
@@ -52,6 +52,11 @@ pub struct GeneratorConfig {
     /// over (`1` = serial, `0` = available parallelism). The generated test is
     /// identical for every value.
     pub threads: usize,
+    /// Maximum number of candidate march elements packed per
+    /// [`CandidateBatch`] when scoring (`0` = the full 64 lanes per word,
+    /// `1` = per-candidate scoring, i.e. the pre-batching behaviour). The
+    /// generated test is identical for every value.
+    pub batch: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -70,8 +75,9 @@ impl Default for GeneratorConfig {
                 AddressOrder::Descending,
                 AddressOrder::Any,
             ],
-            backend: BackendKind::Scalar,
+            backend: BackendKind::Packed,
             threads: 1,
+            batch: 0,
         }
     }
 }
@@ -102,8 +108,9 @@ impl GeneratorConfig {
     }
 
     /// A configuration running the whole pipeline on the bit-parallel packed
-    /// backend with automatic thread fan-out — the fast path for large fault
-    /// lists. The generated test is identical to the scalar one.
+    /// backend (now also the default) with automatic thread fan-out — the fast
+    /// path for large fault lists. The generated test is identical to the
+    /// scalar one.
     #[must_use]
     pub fn fast() -> GeneratorConfig {
         GeneratorConfig {
@@ -124,6 +131,14 @@ impl GeneratorConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> GeneratorConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Replaces the candidate-batch size (`0` = full words of 64 candidates,
+    /// `1` = per-candidate scoring).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> GeneratorConfig {
+        self.batch = batch;
         self
     }
 
@@ -454,17 +469,16 @@ impl MarchGenerator {
 
     /// Scores every candidate against the pending target batches and returns the
     /// best `(element, newly covered lanes)` pair: most newly covered lanes
-    /// first, fewest operations as the tie-breaker. Scoring fans out over the
-    /// configured worker threads; the selection scan is sequential and in
-    /// candidate order, so the result is independent of the thread count.
+    /// first, fewest operations as the tie-breaker. Scoring is batched and
+    /// fans out over the configured worker threads ([`score_candidates`]); the
+    /// selection scan is sequential and in candidate order, so the result is
+    /// independent of the thread count and batch size.
     fn best_candidate(
         &self,
         candidates: &[MarchElement],
         batches: &[TargetBatch],
     ) -> Option<(MarchElement, usize)> {
-        let scores: Vec<usize> = parallel_map(candidates, self.config.threads, |candidate| {
-            batches.iter().map(|batch| batch.score(candidate)).sum()
-        });
+        let scores = score_candidates(candidates, batches, self.config.batch, self.config.threads);
         let mut best: Option<(MarchElement, usize)> = None;
         for (candidate, covered) in candidates.iter().zip(scores) {
             let better = match &best {
@@ -480,6 +494,87 @@ impl MarchGenerator {
         }
         best
     }
+}
+
+/// Scores a whole candidate pool against a set of pending target batches: the
+/// number of still-undetected `(placement, background)` lanes each candidate
+/// would newly detect, in candidate order.
+///
+/// This is the batched hot path of the greedy generator and its repair search.
+/// The pool is packed into [`CandidateBatch`]es of at most `batch` elements
+/// (`0` = full 64-candidate words, `1` = the per-candidate behaviour), after a
+/// stable sort by operation count so words hold similar-length programs and
+/// padding stays low, and the `(pool, target batch)` grid is sharded over
+/// `threads` workers with [`parallel_map`] (`0` = available parallelism).
+/// Scores are merged back in pool order — per-candidate `usize` additions —
+/// so the result is byte-identical for every batch size and thread count.
+///
+/// # Examples
+///
+/// ```
+/// use march_gen::{library_candidates, score_candidates};
+/// use sram_fault_model::FaultList;
+/// use sram_sim::{enumerate_targets, enumerate_lanes, BackendKind, InitialState,
+///     PlacementStrategy, TargetBatch};
+///
+/// let list = FaultList::list_2();
+/// let batches: Vec<TargetBatch> = enumerate_targets(&list)
+///     .into_iter()
+///     .map(|target| {
+///         let lanes = enumerate_lanes(
+///             &target, 8, PlacementStrategy::Representative, &[InitialState::AllOne]);
+///         TargetBatch::new(target, lanes, 8, BackendKind::Packed)
+///     })
+///     .collect();
+/// let pool = library_candidates();
+/// let batched = score_candidates(&pool, &batches, 0, 1);
+/// let sequential = score_candidates(&pool, &batches, 1, 1);
+/// assert_eq!(batched, sequential);
+/// ```
+#[must_use]
+pub fn score_candidates(
+    candidates: &[MarchElement],
+    batches: &[TargetBatch],
+    batch: usize,
+    threads: usize,
+) -> Vec<usize> {
+    if candidates.is_empty() || batches.is_empty() {
+        return vec![0; candidates.len()];
+    }
+
+    // Pack words from length-sorted candidates (stable, so equal lengths keep
+    // pool order) and remember where each one came from.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&index| candidates[index].len());
+    let sorted: Vec<MarchElement> = order
+        .iter()
+        .map(|&index| candidates[index].clone())
+        .collect();
+    let pools = CandidateBatch::chunked(&sorted, batch);
+
+    // Shard the (pool × target batch) grid: coarse enough to amortise the
+    // per-job packed setup, fine enough to keep every worker busy even when
+    // the pool fits one word.
+    let jobs: Vec<(usize, usize)> = (0..pools.len())
+        .flat_map(|pool| (0..batches.len()).map(move |batch| (pool, batch)))
+        .collect();
+    let results: Vec<Vec<usize>> = parallel_map(&jobs, threads, |&(pool, batch)| {
+        batches[batch].score_pool(&pools[pool])
+    });
+
+    let mut pool_offsets = Vec::with_capacity(pools.len());
+    let mut offset = 0usize;
+    for pool in &pools {
+        pool_offsets.push(offset);
+        offset += pool.len();
+    }
+    let mut scores = vec![0usize; candidates.len()];
+    for (&(pool, _), pool_scores) in jobs.iter().zip(results) {
+        for (index, score) in pool_scores.into_iter().enumerate() {
+            scores[order[pool_offsets[pool] + index]] += score;
+        }
+    }
+    scores
 }
 
 #[cfg(test)]
@@ -553,7 +648,11 @@ mod tests {
 
     #[test]
     fn packed_backend_generates_the_identical_test() {
-        let scalar = MarchGenerator::new(FaultList::list_2()).generate();
+        let scalar = MarchGenerator::with_config(
+            FaultList::list_2(),
+            GeneratorConfig::default().with_backend(BackendKind::Scalar),
+        )
+        .generate();
         let packed =
             MarchGenerator::with_config(FaultList::list_2(), GeneratorConfig::fast()).generate();
         assert_eq!(scalar.test().notation(), packed.test().notation());
@@ -566,12 +665,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_and_threads_do_not_change_the_generated_test() {
+        let baseline = MarchGenerator::new(FaultList::list_2()).generate();
+        for (batch, threads) in [(1, 1), (7, 2), (0, 0)] {
+            let config = GeneratorConfig::default()
+                .with_batch(batch)
+                .with_threads(threads);
+            let generated = MarchGenerator::with_config(FaultList::list_2(), config).generate();
+            assert_eq!(
+                baseline.test().notation(),
+                generated.test().notation(),
+                "batch {batch}, threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_candidates_is_invariant_in_batch_and_threads() {
+        let list = FaultList::list_2();
+        let batches: Vec<TargetBatch> = crate::targets::enumerate_target_lanes(
+            &list,
+            8,
+            PlacementStrategy::Representative,
+            &[InitialState::AllZero, InitialState::AllOne],
+        )
+        .into_iter()
+        .map(|(target, lanes)| TargetBatch::new(target, lanes, 8, BackendKind::Packed))
+        .collect();
+        let pool = crate::exhaustive_candidates(2);
+        let baseline = score_candidates(&pool, &batches, 1, 1);
+        for (batch, threads) in [(0, 1), (0, 4), (3, 2), (64, 0)] {
+            assert_eq!(
+                score_candidates(&pool, &batches, batch, threads),
+                baseline,
+                "batch {batch}, threads {threads}"
+            );
+        }
+        assert!(score_candidates(&[], &batches, 0, 1).is_empty());
+        assert_eq!(score_candidates(&pool, &[], 0, 1), vec![0; pool.len()]);
+    }
+
+    #[test]
     fn config_builders_set_the_knobs() {
         let config = GeneratorConfig::default()
             .with_backend(BackendKind::Packed)
-            .with_threads(4);
+            .with_threads(4)
+            .with_batch(16);
         assert_eq!(config.backend, BackendKind::Packed);
         assert_eq!(config.threads, 4);
+        assert_eq!(config.batch, 16);
+        assert_eq!(GeneratorConfig::default().backend, BackendKind::Packed);
+        assert_eq!(GeneratorConfig::default().batch, 0);
         let fast = GeneratorConfig::fast();
         assert_eq!(fast.backend, BackendKind::Packed);
         assert_eq!(fast.threads, 0);

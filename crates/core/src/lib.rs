@@ -54,8 +54,10 @@ mod verify;
 
 pub use candidates::{exhaustive_candidates, library_candidates};
 pub use error::GenerationError;
-pub use generator::{GeneratedTest, GenerationReport, GeneratorConfig, MarchGenerator};
-pub use graph::{GraphEdge, MemoryGraph};
+pub use generator::{
+    score_candidates, GeneratedTest, GenerationReport, GeneratorConfig, MarchGenerator,
+};
+pub use graph::{GraphEdge, MemoryGraph, MAX_GRAPH_CELLS};
 pub use optimize::{minimise, minimise_with_strategy};
 pub use pattern_graph::{FaultyEdge, PatternGraph};
 pub use so::SequenceOfOperations;

@@ -2,7 +2,7 @@
 
 use march_test::{MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::FaultList;
-use sram_sim::{CoverageLane, PlacementStrategy, SimulationBackend, TargetKind};
+use sram_sim::{parallel_map, CoverageLane, PlacementStrategy, SimulationBackend, TargetKind};
 
 use crate::targets::enumerate_target_lanes;
 use crate::GeneratorConfig;
@@ -17,6 +17,11 @@ use crate::GeneratorConfig;
 /// removal is kept only if coverage stays complete. This is the step that turns an
 /// "ABL"-style greedy result into the shorter "RABL"-style test of the paper's
 /// Table 1.
+///
+/// Each re-verification runs on `config.backend` and shards its fault targets
+/// over `config.threads` workers; every target early-exits at its first
+/// undetected lane. The minimised test is identical for every backend, batch
+/// size and thread count.
 ///
 /// Returns the minimised test and the number of operations removed.
 ///
@@ -45,7 +50,13 @@ pub fn minimise(
 
     // Only minimise tests that are complete to begin with, otherwise "preserving
     // coverage" is ill-defined.
-    if !covers_all(test, &targets, config.memory_cells, backend.as_ref()) {
+    if !covers_all(
+        test,
+        &targets,
+        config.memory_cells,
+        backend.as_ref(),
+        config.threads,
+    ) {
         return (test.clone(), 0);
     }
 
@@ -66,7 +77,13 @@ pub fn minimise(
                     continue;
                 }
                 let trial = rebuild(test.name(), &candidate);
-                if covers_all(&trial, &targets, config.memory_cells, backend.as_ref()) {
+                if covers_all(
+                    &trial,
+                    &targets,
+                    config.memory_cells,
+                    backend.as_ref(),
+                    config.threads,
+                ) {
                     elements = candidate;
                     removed += 1;
                     changed = true;
@@ -85,18 +102,30 @@ pub fn minimise(
     (rebuild(test.name(), &elements), removed)
 }
 
-/// Returns `true` if `test` detects every lane of every target.
+/// Returns `true` if `test` detects every lane of every target. The targets
+/// are sharded over `threads` workers (`1` = serial with per-target
+/// early-exit, which the removal scan's mostly-covered trials favour).
 fn covers_all(
     test: &MarchTest,
     targets: &[(TargetKind, Vec<CoverageLane>)],
     memory_cells: usize,
     backend: &dyn SimulationBackend,
+    threads: usize,
 ) -> bool {
-    targets.iter().all(|(target, lanes)| {
+    if threads == 1 {
+        return targets.iter().all(|(target, lanes)| {
+            backend
+                .first_undetected(test, target, lanes, memory_cells)
+                .is_none()
+        });
+    }
+    parallel_map(targets, threads, |(target, lanes)| {
         backend
             .first_undetected(test, target, lanes, memory_cells)
             .is_none()
     })
+    .into_iter()
+    .all(|covered| covered)
 }
 
 /// Returns a copy of `elements` with operation `op_index` of element
@@ -179,8 +208,31 @@ mod tests {
             &minimised,
             &targets,
             config.memory_cells,
-            backend.as_ref()
+            backend.as_ref(),
+            1
         ));
+        // Sharding the re-verification over threads changes nothing.
+        assert!(covers_all(
+            &minimised,
+            &targets,
+            config.memory_cells,
+            backend.as_ref(),
+            4
+        ));
+    }
+
+    #[test]
+    fn thread_counts_minimise_identically() {
+        let padded = MarchTest::parse(
+            "padded ABL1",
+            "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+        )
+        .unwrap();
+        let list = FaultList::list_2();
+        let serial = minimise(&padded, &list, &GeneratorConfig::default());
+        let sharded = minimise(&padded, &list, &GeneratorConfig::default().with_threads(0));
+        assert_eq!(serial.0.notation(), sharded.0.notation());
+        assert_eq!(serial.1, sharded.1);
     }
 
     #[test]

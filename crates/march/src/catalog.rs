@@ -57,7 +57,7 @@ pub fn march_y() -> MarchTest {
 }
 
 /// March A (15n): the classic test for unlinked idempotent coupling faults
-/// (Suk & Reddy, 1981 — reference [6] of the paper).
+/// (Suk & Reddy, 1981 — reference \[6\] of the paper).
 #[must_use]
 pub fn march_a() -> MarchTest {
     parse(
@@ -67,7 +67,7 @@ pub fn march_a() -> MarchTest {
 }
 
 /// March B (17n): March A extended to linked transition/coupling faults
-/// (Suk & Reddy, 1981 — reference [6] of the paper).
+/// (Suk & Reddy, 1981 — reference \[6\] of the paper).
 #[must_use]
 pub fn march_b() -> MarchTest {
     parse(

@@ -15,6 +15,7 @@ use std::str::FromStr;
 use march_test::{MarchElement, MarchTest};
 use sram_fault_model::{Bit, CellValue, FaultPrimitive, LinkTopology, Operation, SensitizingSite};
 
+use crate::batch::CandidateBatch;
 use crate::coverage::TargetKind;
 use crate::{
     enumerate_placements, run_march, FaultSimulator, InitialState, InjectedFault, InstanceCells,
@@ -64,13 +65,16 @@ pub fn enumerate_lanes(
 }
 
 /// Which simulation backend a coverage or generation run uses.
+///
+/// The packed engine is the default everywhere (its verdicts are proven
+/// byte-identical to the scalar reference); `Scalar` is the explicit opt-out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum BackendKind {
     /// The dual-memory scalar engine: one fault instance at a time.
-    #[default]
     Scalar,
     /// The bit-parallel packed engine: up to 64 fault instances per `u64`.
+    #[default]
     Packed,
 }
 
@@ -651,6 +655,305 @@ impl PackedSimulator {
         }
         self.detected
     }
+
+    /// Re-packs one coverage lane of this simulator as a [`CandidateWave`]: the
+    /// lane's memory state broadcast across up to 64 *candidate* lanes, so a
+    /// whole [`CandidateBatch`] can be scored against it in one bit-parallel
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not a packed lane of this simulator.
+    #[must_use]
+    pub(crate) fn candidate_wave(&self, lane: usize) -> CandidateWave<'_> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        let broadcast = |plane: &u64| if plane & bit != 0 { u64::MAX } else { 0 };
+        CandidateWave {
+            cells: self.cells,
+            faulty: self.faulty.iter().map(broadcast).collect(),
+            golden: self.golden.iter().map(broadcast).collect(),
+            components: self
+                .components
+                .iter()
+                .map(|component| WaveComponent {
+                    primitive: &component.primitive,
+                    victim: component
+                        .victim_at
+                        .iter()
+                        .position(|plane| plane & bit != 0)
+                        .expect("every packed lane binds a victim cell"),
+                    aggressor: component
+                        .aggressor_at
+                        .iter()
+                        .position(|plane| plane & bit != 0),
+                })
+                .collect(),
+            detected: 0,
+        }
+    }
+
+    /// Merges selected lane columns of several same-target simulators into one
+    /// dense simulator (used by [`TargetBatch`](crate::TargetBatch) to compact
+    /// pending lanes after detected ones drop out). Lane order follows the
+    /// source order, so escape/pending reporting stays deterministic.
+    ///
+    /// Returns `None` when no lanes are selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`PackedSimulator::MAX_LANES`] lanes are selected or
+    /// the sources disagree on memory size / component structure.
+    pub(crate) fn merge_lanes(sources: &[(&PackedSimulator, u64)]) -> Option<PackedSimulator> {
+        let first = sources.iter().find(|(_, mask)| *mask != 0)?.0;
+        let cells = first.cells;
+        let mut merged = PackedSimulator {
+            cells,
+            lanes: 0,
+            lane_mask: 0,
+            faulty: vec![0; cells],
+            golden: vec![0; cells],
+            components: first
+                .components
+                .iter()
+                .map(|component| PackedComponent::new(component.primitive.clone(), cells))
+                .collect(),
+            detected: 0,
+        };
+        let mut dest = 0usize;
+        for (source, mask) in sources {
+            assert_eq!(source.cells, cells, "merged simulators share the memory");
+            assert_eq!(
+                source.components.len(),
+                merged.components.len(),
+                "merged simulators share the target"
+            );
+            let mut bits = *mask;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                assert!(
+                    dest < PackedSimulator::MAX_LANES,
+                    "compacted more than {} lanes into one word",
+                    PackedSimulator::MAX_LANES
+                );
+                let lane_bit = 1u64 << lane;
+                let dest_bit = 1u64 << dest;
+                for cell in 0..cells {
+                    if source.faulty[cell] & lane_bit != 0 {
+                        merged.faulty[cell] |= dest_bit;
+                    }
+                    if source.golden[cell] & lane_bit != 0 {
+                        merged.golden[cell] |= dest_bit;
+                    }
+                }
+                for (into, from) in merged.components.iter_mut().zip(&source.components) {
+                    for cell in 0..cells {
+                        if from.victim_at[cell] & lane_bit != 0 {
+                            into.victim_at[cell] |= dest_bit;
+                        }
+                        if from.aggressor_at[cell] & lane_bit != 0 {
+                            into.aggressor_at[cell] |= dest_bit;
+                        }
+                    }
+                }
+                if source.detected & lane_bit != 0 {
+                    merged.detected |= dest_bit;
+                }
+                dest += 1;
+            }
+        }
+        if dest == 0 {
+            return None;
+        }
+        merged.lanes = dest;
+        merged.lane_mask = if dest == 64 {
+            u64::MAX
+        } else {
+            (1u64 << dest) - 1
+        };
+        Some(merged)
+    }
+}
+
+/// One fault-primitive component of a [`CandidateWave`], bound to concrete
+/// cells (the wave replicates a *single* coverage lane, so the binding is a
+/// scalar address rather than a per-lane bit-plane).
+#[derive(Debug)]
+struct WaveComponent<'a> {
+    primitive: &'a FaultPrimitive,
+    victim: usize,
+    aggressor: Option<usize>,
+}
+
+/// A bit-parallel **candidate** evaluator: one still-pending coverage lane's
+/// simulator state broadcast across up to 64 lanes, where each lane executes a
+/// *different* candidate march element of a [`CandidateBatch`].
+///
+/// This is the transpose of [`PackedSimulator`]: instead of 64 fault instances
+/// running one program, one fault instance runs 64 programs. Per micro-step
+/// (cell visit × operation slot) the lanes are grouped by address order and
+/// operation kind — at most two addresses (ascending/descending cursor) and
+/// four operation kinds — and each group is applied with masked bitwise
+/// arithmetic, so a whole candidate pool is scored in a handful of passes
+/// instead of one full simulation per candidate.
+///
+/// The semantics mirror [`FaultSimulator`](crate::FaultSimulator) exactly: fire
+/// detection on the pre-operation state, read override, fault-free effect,
+/// fault effects in injection order, then one settle pass of state-sensitized
+/// primitives — masked to the lanes that executed an operation this step, just
+/// as each scalar simulator settles only after its own operations.
+#[derive(Debug)]
+pub(crate) struct CandidateWave<'a> {
+    cells: usize,
+    faulty: Vec<u64>,
+    golden: Vec<u64>,
+    components: Vec<WaveComponent<'a>>,
+    detected: u64,
+}
+
+impl CandidateWave<'_> {
+    /// Runs every candidate of `pool` against the replicated lane state and
+    /// returns the mask of candidates whose element detects the lane.
+    pub(crate) fn run_pool(&mut self, pool: &CandidateBatch) -> u64 {
+        let ascending = pool.ascending_mask();
+        let descending = !ascending & pool.lane_mask();
+        for index in 0..self.cells {
+            let descending_address = self.cells - 1 - index;
+            for slot in 0..pool.max_ops() {
+                if self.detected == pool.lane_mask() {
+                    return self.detected;
+                }
+                for (operation, kind_mask) in pool.slot_ops(slot) {
+                    let up = kind_mask & ascending;
+                    if up != 0 {
+                        self.apply_masked(index, operation, up);
+                    }
+                    let down = kind_mask & descending;
+                    if down != 0 {
+                        self.apply_masked(descending_address, operation, down);
+                    }
+                }
+            }
+        }
+        self.detected
+    }
+
+    /// Applies `operation` to cell `address` on the candidate lanes of
+    /// `lanes` only, mirroring [`PackedSimulator::apply`] step for step.
+    fn apply_masked(&mut self, address: usize, operation: Operation, lanes: u64) {
+        // 1. Which operation-sensitized primitives fire, per candidate lane?
+        let mut fired = [0u64; 2];
+        for (index, component) in self.components.iter().enumerate() {
+            fired[index] = self.sensitized_mask(component, address, operation) & lanes;
+        }
+
+        // 2. Read return values and detection.
+        if operation.is_read() {
+            let golden_read = self.golden[address];
+            let mut observed = self.faulty[address];
+            for (index, component) in self.components.iter().enumerate() {
+                if component.victim == address {
+                    if let Some(read_output) = component.primitive.effect().read_output() {
+                        let mask = fired[index];
+                        let bits = PackedSimulator::broadcast(read_output);
+                        observed = (observed & !mask) | (bits & mask);
+                    }
+                }
+            }
+            self.detected |= (observed ^ golden_read) & lanes;
+        }
+
+        // 3. Fault-free effect of the operation.
+        if let Operation::Write(value) = operation {
+            let bits = PackedSimulator::broadcast(value);
+            self.faulty[address] = (self.faulty[address] & !lanes) | (bits & lanes);
+            self.golden[address] = (self.golden[address] & !lanes) | (bits & lanes);
+        }
+
+        // 4. Fault effects of the fired primitives, in injection order.
+        for (index, component) in self.components.iter().enumerate() {
+            if let Some(forced) = component.primitive.effect().victim_value().to_bit() {
+                let mask = fired[index];
+                if mask != 0 {
+                    let bits = PackedSimulator::broadcast(forced);
+                    self.faulty[component.victim] =
+                        (self.faulty[component.victim] & !mask) | (bits & mask);
+                }
+            }
+        }
+
+        // 5. One settle pass of the state-sensitized primitives, on the lanes
+        // that executed this operation.
+        self.settle_state_faults(lanes);
+    }
+
+    /// Candidate lanes of `component` sensitized by applying `operation` to
+    /// `address`, evaluated on the pre-operation faulty state.
+    fn sensitized_mask(
+        &self,
+        component: &WaveComponent<'_>,
+        address: usize,
+        operation: Operation,
+    ) -> u64 {
+        let primitive = component.primitive;
+        let site = match primitive.sensitizing_site() {
+            SensitizingSite::None => return 0,
+            SensitizingSite::Victim => component.victim,
+            SensitizingSite::Aggressor => match component.aggressor {
+                Some(aggressor) => aggressor,
+                None => return 0,
+            },
+        };
+        if site != address {
+            return 0;
+        }
+        let required = primitive
+            .sensitizing_operation()
+            .expect("operation-sensitized primitive has an operation");
+        if !required.matches(operation) {
+            return 0;
+        }
+        let mut mask = PackedSimulator::condition_mask(
+            primitive.victim().initial(),
+            self.faulty[component.victim],
+        );
+        if let Some(aggressor) = primitive.aggressor() {
+            let values = component
+                .aggressor
+                .map_or(0, |aggressor_cell| self.faulty[aggressor_cell]);
+            mask &= PackedSimulator::condition_mask(aggressor.initial(), values);
+        }
+        mask
+    }
+
+    /// One pass over the state-sensitized primitives in injection order,
+    /// restricted to the candidate lanes of `lanes`.
+    fn settle_state_faults(&mut self, lanes: u64) {
+        for index in 0..self.components.len() {
+            let component = &self.components[index];
+            let primitive = component.primitive;
+            if primitive.sensitizing_site() != SensitizingSite::None {
+                continue;
+            }
+            let mut mask = lanes
+                & PackedSimulator::condition_mask(
+                    primitive.victim().initial(),
+                    self.faulty[component.victim],
+                );
+            if let Some(aggressor) = primitive.aggressor() {
+                let values = component
+                    .aggressor
+                    .map_or(0, |aggressor_cell| self.faulty[aggressor_cell]);
+                mask &= PackedSimulator::condition_mask(aggressor.initial(), values);
+            }
+            if let Some(forced) = primitive.effect().victim_value().to_bit() {
+                let victim = self.components[index].victim;
+                let bits = PackedSimulator::broadcast(forced);
+                self.faulty[victim] = (self.faulty[victim] & !mask) | (bits & mask);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -763,6 +1066,7 @@ mod tests {
 
     #[test]
     fn backend_kind_parsing_and_names() {
+        assert_eq!(BackendKind::default(), BackendKind::Packed);
         assert_eq!(
             "scalar".parse::<BackendKind>().unwrap(),
             BackendKind::Scalar

@@ -11,10 +11,11 @@
 use std::fmt;
 
 use march_test::MarchElement;
+use sram_fault_model::{Bit, Operation};
 
 use crate::backend::{scalar_lane_simulator, BackendKind, CoverageLane, PackedSimulator};
 use crate::coverage::TargetKind;
-use crate::FaultSimulator;
+use crate::{FaultSimulator, SimulationError};
 
 /// One scalar lane: its descriptor plus the advanced simulator state.
 #[derive(Debug, Clone)]
@@ -40,9 +41,195 @@ struct PackedChunk {
 }
 
 impl PackedChunk {
+    fn pending_mask(&self) -> u64 {
+        !self.simulator.detected_mask() & self.simulator.lane_mask()
+    }
+
     fn pending(&self) -> usize {
-        let undetected = !self.simulator.detected_mask() & self.simulator.lane_mask();
-        undetected.count_ones() as usize
+        self.pending_mask().count_ones() as usize
+    }
+
+    /// Newly detected lanes of this chunk if `element` were executed next.
+    fn score_one(&self, element: &MarchElement) -> usize {
+        let before = self.simulator.detected_mask();
+        if before == self.simulator.lane_mask() {
+            return 0;
+        }
+        let mut simulator = self.simulator.clone();
+        simulator.apply_element(element);
+        (simulator.detected_mask() & !before).count_ones() as usize
+    }
+}
+
+/// A pool of up to 64 candidate march elements packed one per bit-lane, ready
+/// for single-pass scoring against the pending lanes of a [`TargetBatch`].
+///
+/// Per operation slot the pool pre-computes one lane mask per operation kind
+/// (`w0` / `w1` / read / wait — the only distinctions the fault semantics make)
+/// plus the mask of lanes that march ascending, so the
+/// candidate-wave evaluator can execute all candidates with a handful of
+/// masked bitwise operations per cell visit.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::catalog;
+/// use sram_fault_model::FaultList;
+/// use sram_sim::{
+///     enumerate_lanes, BackendKind, CandidateBatch, InitialState, PlacementStrategy,
+///     TargetBatch, TargetKind,
+/// };
+///
+/// let fault = FaultList::list_2().linked()[0].clone();
+/// let target = TargetKind::Linked(fault);
+/// let lanes = enumerate_lanes(
+///     &target,
+///     8,
+///     PlacementStrategy::Representative,
+///     &[InitialState::AllOne],
+/// );
+/// let batch = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
+/// let pool: Vec<_> = catalog::march_sl().elements().to_vec();
+/// let packed = CandidateBatch::new(pool.clone())?;
+/// // One packed pass scores the whole pool...
+/// let batched = batch.score_pool(&packed);
+/// // ...and agrees with scoring every candidate on its own.
+/// let sequential: Vec<usize> = pool.iter().map(|e| batch.score(e)).collect();
+/// assert_eq!(batched, sequential);
+/// # Ok::<(), sram_sim::SimulationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateBatch {
+    candidates: Vec<MarchElement>,
+    lane_mask: u64,
+    ascending: u64,
+    max_ops: usize,
+    total_ops: usize,
+    w0: Vec<u64>,
+    w1: Vec<u64>,
+    read: Vec<u64>,
+    wait: Vec<u64>,
+}
+
+impl CandidateBatch {
+    /// The maximum number of candidates one batch packs.
+    pub const MAX_CANDIDATES: usize = 64;
+
+    /// Packs `candidates` one per bit-lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::LaneCountOutOfRange`] if `candidates` is
+    /// empty or holds more than [`CandidateBatch::MAX_CANDIDATES`] elements
+    /// (split larger pools with [`CandidateBatch::chunked`]).
+    pub fn new(candidates: Vec<MarchElement>) -> Result<CandidateBatch, SimulationError> {
+        if candidates.is_empty() || candidates.len() > CandidateBatch::MAX_CANDIDATES {
+            return Err(SimulationError::LaneCountOutOfRange {
+                requested: candidates.len(),
+            });
+        }
+        let max_ops = candidates
+            .iter()
+            .map(MarchElement::len)
+            .max()
+            .expect("pool is non-empty");
+        let total_ops = candidates.iter().map(MarchElement::len).sum();
+        let mut batch = CandidateBatch {
+            lane_mask: if candidates.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << candidates.len()) - 1
+            },
+            ascending: 0,
+            max_ops,
+            total_ops,
+            w0: vec![0; max_ops],
+            w1: vec![0; max_ops],
+            read: vec![0; max_ops],
+            wait: vec![0; max_ops],
+            candidates,
+        };
+        for (lane, candidate) in batch.candidates.iter().enumerate() {
+            let bit = 1u64 << lane;
+            // `Any` conventionally executes ascending, as in `run_march`.
+            if candidate.order() != march_test::AddressOrder::Descending {
+                batch.ascending |= bit;
+            }
+            for (slot, operation) in candidate.operations().iter().enumerate() {
+                match operation {
+                    Operation::Write(Bit::Zero) => batch.w0[slot] |= bit,
+                    Operation::Write(Bit::One) => batch.w1[slot] |= bit,
+                    Operation::Read(_) => batch.read[slot] |= bit,
+                    Operation::Wait => batch.wait[slot] |= bit,
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Splits a pool of any size into batches of at most `batch` candidates
+    /// (`0` = [`CandidateBatch::MAX_CANDIDATES`]; larger values are clamped).
+    #[must_use]
+    pub fn chunked(pool: &[MarchElement], batch: usize) -> Vec<CandidateBatch> {
+        let size = if batch == 0 {
+            CandidateBatch::MAX_CANDIDATES
+        } else {
+            batch.min(CandidateBatch::MAX_CANDIDATES)
+        };
+        pool.chunks(size)
+            .map(|chunk| CandidateBatch::new(chunk.to_vec()).expect("chunk sizes are in range"))
+            .collect()
+    }
+
+    /// The packed candidates, in lane order.
+    #[must_use]
+    pub fn candidates(&self) -> &[MarchElement] {
+        &self.candidates
+    }
+
+    /// Number of packed candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Always `false`: batches are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The mask with one bit set per packed candidate.
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        self.lane_mask
+    }
+
+    /// Candidate lanes whose element visits cells in ascending order.
+    pub(crate) fn ascending_mask(&self) -> u64 {
+        self.ascending
+    }
+
+    /// The longest candidate's operation count (the padded slot count).
+    pub(crate) fn max_ops(&self) -> usize {
+        self.max_ops
+    }
+
+    /// Total operation count over all candidates (the per-candidate
+    /// scoring cost, used to decide when the wave pass is cheaper).
+    pub(crate) fn total_ops(&self) -> usize {
+        self.total_ops
+    }
+
+    /// The operation kinds executed at `slot` with their candidate-lane masks
+    /// (lanes shorter than `slot` appear in no mask and idle).
+    pub(crate) fn slot_ops(&self, slot: usize) -> [(Operation, u64); 4] {
+        [
+            (Operation::W0, self.w0[slot]),
+            (Operation::W1, self.w1[slot]),
+            (Operation::Read(None), self.read[slot]),
+            (Operation::Wait, self.wait[slot]),
+        ]
     }
 }
 
@@ -164,23 +351,66 @@ impl TargetBatch {
                     run_element(element, &mut simulator)
                 })
                 .count(),
-            BatchState::Packed(chunks) => chunks
+            BatchState::Packed(chunks) => chunks.iter().map(|chunk| chunk.score_one(element)).sum(),
+        }
+    }
+
+    /// Scores every candidate of `pool` without advancing the batch, returning
+    /// the number of still-undetected lanes each candidate would newly detect,
+    /// in candidate order.
+    ///
+    /// On the scalar backend this is the per-candidate reference loop. On the
+    /// packed backend each chunk picks, per pool, the cheaper of two exact
+    /// strategies: the classic per-candidate packed pass, or transposing the
+    /// problem into a candidate wave — each pending lane's state broadcast
+    /// across the pool so one bit-parallel pass scores up to 64 candidates at
+    /// once. The verdicts are byte-identical either way.
+    #[must_use]
+    pub fn score_pool(&self, pool: &CandidateBatch) -> Vec<usize> {
+        match &self.state {
+            BatchState::Scalar(_) => pool
+                .candidates()
                 .iter()
-                .map(|chunk| {
-                    let before = chunk.simulator.detected_mask();
-                    if before == chunk.simulator.lane_mask() {
-                        return 0;
+                .map(|candidate| self.score(candidate))
+                .collect(),
+            BatchState::Packed(chunks) => {
+                let mut scores = vec![0usize; pool.len()];
+                for chunk in chunks {
+                    let pending = chunk.pending_mask();
+                    if pending == 0 {
+                        continue;
                     }
-                    let mut simulator = chunk.simulator.clone();
-                    simulator.apply_element(element);
-                    (simulator.detected_mask() & !before).count_ones() as usize
-                })
-                .sum(),
+                    // The wave pays ~3 masked group passes per padded slot per
+                    // pending lane; the per-candidate pass pays one plain pass
+                    // per operation of every candidate.
+                    let pending_count = pending.count_ones() as usize;
+                    let wave_cost = pending_count * pool.max_ops() * 3;
+                    if wave_cost <= pool.total_ops() {
+                        let mut lanes = pending;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            let mut detected = chunk.simulator.candidate_wave(lane).run_pool(pool);
+                            while detected != 0 {
+                                let candidate = detected.trailing_zeros() as usize;
+                                detected &= detected - 1;
+                                scores[candidate] += 1;
+                            }
+                        }
+                    } else {
+                        for (index, candidate) in pool.candidates().iter().enumerate() {
+                            scores[index] += chunk.score_one(candidate);
+                        }
+                    }
+                }
+                scores
+            }
         }
     }
 
     /// Advances the batch by executing `element`; returns the number of lanes
-    /// it newly detected (those lanes stop being simulated).
+    /// it newly detected (those lanes stop being simulated). Detected lanes
+    /// are compacted away so later scoring only pays for pending ones.
     pub fn advance(&mut self, element: &MarchElement) -> usize {
         match &mut self.state {
             BatchState::Scalar(lanes) => {
@@ -198,9 +428,49 @@ impl TargetBatch {
                     chunk.simulator.apply_element(element);
                     newly += (chunk.simulator.detected_mask() & !before).count_ones() as usize;
                 }
+                Self::compact_packed(chunks);
                 newly
             }
         }
+    }
+
+    /// Drops fully-detected packed chunks and, when every pending lane fits in
+    /// one word, merges the survivors into a single dense chunk — so candidate
+    /// scoring after a long march prefix clones and simulates one small word
+    /// instead of many sparse ones. Lane order is preserved, keeping pending
+    /// reporting and scores byte-identical to the uncompacted state.
+    fn compact_packed(chunks: &mut Vec<PackedChunk>) {
+        chunks.retain(|chunk| chunk.pending() > 0);
+        let total: usize = chunks.iter().map(PackedChunk::pending).sum();
+        let compactable = chunks.len() > 1
+            || chunks
+                .first()
+                .is_some_and(|chunk| chunk.lanes.len() > total);
+        if total == 0 || total > PackedSimulator::MAX_LANES || !compactable {
+            return;
+        }
+        let sources: Vec<(&PackedSimulator, u64)> = chunks
+            .iter()
+            .map(|chunk| (&chunk.simulator, chunk.pending_mask()))
+            .collect();
+        let merged = PackedSimulator::merge_lanes(&sources)
+            .expect("at least one pending lane survives compaction");
+        let lanes: Vec<CoverageLane> = chunks
+            .iter()
+            .flat_map(|chunk| {
+                let pending = chunk.pending_mask();
+                chunk
+                    .lanes
+                    .iter()
+                    .enumerate()
+                    .filter(move |(index, _)| pending & (1 << index) != 0)
+                    .map(|(_, lane)| lane.clone())
+            })
+            .collect();
+        *chunks = vec![PackedChunk {
+            lanes,
+            simulator: merged,
+        }];
     }
 }
 
@@ -265,6 +535,81 @@ mod tests {
             }
         }
         assert!(scalar.iter().all(|batch| batch.pending() == 0));
+    }
+
+    #[test]
+    fn candidate_batch_construction_and_chunking() {
+        let pool = catalog::march_sl().elements().to_vec();
+        let batch = CandidateBatch::new(pool.clone()).unwrap();
+        assert_eq!(batch.len(), pool.len());
+        assert!(!batch.is_empty());
+        assert_eq!(batch.lane_mask().count_ones() as usize, pool.len());
+        assert_eq!(batch.candidates(), &pool[..]);
+        assert!(matches!(
+            CandidateBatch::new(Vec::new()),
+            Err(SimulationError::LaneCountOutOfRange { requested: 0 })
+        ));
+        let big: Vec<MarchElement> = vec![pool[0].clone(); 65];
+        assert!(CandidateBatch::new(big.clone()).is_err());
+        let chunks = CandidateBatch::chunked(&big, 0);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 64);
+        assert_eq!(chunks[1].len(), 1);
+        let small = CandidateBatch::chunked(&big, 7);
+        assert!(small.iter().all(|chunk| chunk.len() <= 7));
+        assert_eq!(small.iter().map(CandidateBatch::len).sum::<usize>(), 65);
+        assert!(CandidateBatch::chunked(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn pool_scores_match_sequential_scores_on_both_backends() {
+        // A pool mixing lengths, orders and kinds, scored at several march
+        // prefixes so both the wave and the per-candidate paths are exercised.
+        let mut pool = catalog::march_sl().elements().to_vec();
+        pool.extend(catalog::march_ss().elements().iter().cloned());
+        pool.extend(catalog::mats_plus().elements().iter().cloned());
+        let packed_pool = CandidateBatch::new(pool.clone()).unwrap();
+        let mut scalar = batches_for(BackendKind::Scalar);
+        let mut packed = batches_for(BackendKind::Packed);
+        for (_, element) in catalog::march_ss().iter() {
+            for (s, p) in scalar.iter_mut().zip(packed.iter_mut()) {
+                let sequential: Vec<usize> =
+                    pool.iter().map(|candidate| s.score(candidate)).collect();
+                assert_eq!(s.score_pool(&packed_pool), sequential, "{}", s.target());
+                assert_eq!(p.score_pool(&packed_pool), sequential, "{}", p.target());
+                s.advance(element);
+                p.advance(element);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_compaction_preserves_scores_beyond_64_lanes() {
+        // Exhaustive two-cell placements on 8 cells force multiple chunks;
+        // advancing detects lanes and compacts the survivors into one word.
+        let fault = FaultList::list_1()
+            .linked()
+            .iter()
+            .find(|fault| fault.cell_count() == 2)
+            .expect("list #1 has two-cell faults")
+            .clone();
+        let target = TargetKind::Linked(fault);
+        let lanes = enumerate_lanes(
+            &target,
+            8,
+            PlacementStrategy::Exhaustive,
+            &[InitialState::AllZero, InitialState::AllOne],
+        );
+        assert!(lanes.len() > PackedSimulator::MAX_LANES);
+        let mut scalar = TargetBatch::new(target.clone(), lanes.clone(), 8, BackendKind::Scalar);
+        let mut packed = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
+        let pool = CandidateBatch::new(catalog::march_ss().elements().to_vec()).unwrap();
+        for (_, element) in catalog::march_sl().iter() {
+            assert_eq!(scalar.advance(element), packed.advance(element));
+            assert_eq!(scalar.pending_lanes(), packed.pending_lanes());
+            assert_eq!(scalar.score_pool(&pool), packed.score_pool(&pool));
+        }
+        assert_eq!(packed.pending(), 0);
     }
 
     #[test]

@@ -92,7 +92,9 @@ pub struct CoverageConfig {
     pub strategy: PlacementStrategy,
     /// The initial memory contents under which the test must detect each fault.
     pub backgrounds: Vec<InitialState>,
-    /// Which simulation backend evaluates the lanes of each target.
+    /// Which simulation backend evaluates the lanes of each target. Defaults
+    /// to the bit-parallel packed engine, whose verdicts are byte-identical to
+    /// the scalar reference (pass `BackendKind::Scalar` to opt out).
     pub backend: BackendKind,
     /// Number of worker threads the targets are fanned out over (`1` = serial,
     /// `0` = use the available parallelism). The report is identical for every
@@ -106,7 +108,7 @@ impl Default for CoverageConfig {
             memory_cells: 8,
             strategy: PlacementStrategy::Representative,
             backgrounds: vec![InitialState::AllOne],
-            backend: BackendKind::Scalar,
+            backend: BackendKind::Packed,
             threads: 1,
         }
     }

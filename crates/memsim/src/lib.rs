@@ -63,7 +63,7 @@ pub use backend::{
     enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,
     SimulationBackend,
 };
-pub use batch::TargetBatch;
+pub use batch::{CandidateBatch, TargetBatch};
 pub use coverage::{
     detects_linked, detects_simple, enumerate_targets, measure_coverage, CoverageConfig,
     CoverageReport, Escape, EscapeSortKey, TargetKind,
