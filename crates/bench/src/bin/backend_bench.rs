@@ -1,7 +1,8 @@
 //! The perf-trajectory benchmark with a machine-readable trail: times the
-//! coverage-matrix workloads on both simulation backends **and** the
-//! generator's candidate-scoring hot path with batched vs per-candidate
-//! pools, then writes the speedups to `BENCH_simulation.json` (schema
+//! coverage-matrix workloads on both simulation backends, the generator's
+//! candidate-scoring hot path with batched vs per-candidate pools, **and**
+//! repeated coverage through one resident [`Session`] vs the spawn-per-call
+//! legacy path, then writes the speedups to `BENCH_simulation.json` (schema
 //! version 2, see [`march_bench::BenchFile`]) so the simulation stack's perf
 //! trajectory is tracked — and diffed by CI via `bench_diff` — across PRs.
 //!
@@ -18,7 +19,7 @@ use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::FaultList;
 use sram_sim::{
     effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
-    CoverageConfig, InitialState, PlacementStrategy, TargetBatch,
+    CoverageConfig, InitialState, PlacementStrategy, Session, TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -118,6 +119,73 @@ fn scoring_workloads() -> Vec<ScoringWorkload> {
     ]
 }
 
+/// One pool-reuse workload: the same coverage query repeated through one
+/// resident [`Session`] (contender) versus the legacy free-function path that
+/// stands a fresh worker pool up per call (baseline). Runs at a fixed thread
+/// count so the record is comparable across `--threads` flags; the two sides
+/// produce byte-identical reports.
+struct SessionWorkload {
+    name: &'static str,
+    test: MarchTest,
+    list: FaultList,
+    config: CoverageConfig,
+    threads: usize,
+}
+
+fn session_workloads() -> Vec<SessionWorkload> {
+    let exhaustive8 = CoverageConfig {
+        memory_cells: 8,
+        strategy: PlacementStrategy::Exhaustive,
+        ..CoverageConfig::thorough()
+    };
+    vec![
+        // Small per-call work: the per-call thread spawn is the dominant cost
+        // the session pool removes.
+        SessionWorkload {
+            name: "repeated_coverage_session_list2_t4",
+            test: catalog::march_sl(),
+            list: FaultList::list_2(),
+            config: exhaustive8,
+            threads: 4,
+        },
+        // Larger per-call work: the pool win shrinks but must not vanish.
+        SessionWorkload {
+            name: "repeated_coverage_session_list1_t4",
+            test: catalog::march_sl(),
+            list: FaultList::list_1(),
+            config: CoverageConfig::thorough(),
+            threads: 4,
+        },
+    ]
+}
+
+fn time_session(workload: &SessionWorkload, reps: u32) -> (Duration, Duration) {
+    let config = workload.config.clone().with_threads(workload.threads);
+    let session = Session::from_coverage_config(&config);
+    // Warm-up both paths and pin the verdicts against each other.
+    let reference = session.coverage(&workload.test, &workload.list);
+    assert_eq!(
+        measure_coverage(&workload.test, &workload.list, &config),
+        reference
+    );
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        // The legacy path stands a fresh pool up inside every call.
+        let report = measure_coverage(&workload.test, &workload.list, &config);
+        assert_eq!(report.covered(), reference.covered());
+    }
+    let per_call = start.elapsed() / reps;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let report = session.coverage(&workload.test, &workload.list);
+        assert_eq!(report.covered(), reference.covered());
+    }
+    let pooled = start.elapsed() / reps;
+    (per_call, pooled)
+}
+
 fn time_coverage(
     workload: &CoverageWorkload,
     backend: BackendKind,
@@ -210,6 +278,26 @@ fn main() {
             contender: "batched".to_string(),
             baseline_ns: sequential.as_nanos() as u64,
             contender_ns: batched.as_nanos() as u64,
+            speedup,
+        });
+    }
+    for workload in session_workloads() {
+        let (per_call, pooled) = time_session(&workload, 20);
+        let speedup = per_call.as_secs_f64() / pooled.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            per_call.as_secs_f64() * 1e3,
+            pooled.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "session".to_string(),
+            baseline: "spawn-per-call".to_string(),
+            contender: "session-pool".to_string(),
+            baseline_ns: per_call.as_nanos() as u64,
+            contender_ns: pooled.as_nanos() as u64,
             speedup,
         });
     }

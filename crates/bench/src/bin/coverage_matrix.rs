@@ -4,6 +4,10 @@
 //! simulation backends, with per-backend wall-clock columns so the scalar vs
 //! packed trajectory is visible run over run.
 //!
+//! The whole matrix runs through two long-lived [`Session`]s (one per
+//! backend), so with `--threads > 1` every cell re-uses the same resident
+//! worker pool instead of spawning threads per query.
+//!
 //! Run with `cargo run --release -p march-bench --bin coverage_matrix`.
 //! Pass `--exhaustive` for exhaustive cell placements (slower, more lanes per
 //! `u64` word — the packed backend's best case).
@@ -12,10 +16,10 @@
 use std::env;
 use std::time::{Duration, Instant};
 
-use march_gen::MarchGenerator;
+use march_gen::SessionExt;
 use march_test::{catalog, MarchTest};
 use sram_fault_model::FaultList;
-use sram_sim::{measure_coverage, BackendKind, CoverageConfig};
+use sram_sim::{BackendKind, CoverageConfig, ExecPolicy, Session};
 
 fn main() {
     let exhaustive = env::args().any(|arg| arg == "--exhaustive");
@@ -26,22 +30,41 @@ fn main() {
         CoverageConfig::thorough()
     };
 
+    // One session per backend serves every cell of the matrix (and the
+    // generation of the two fresh tests below).
+    let scalar_session = Session::from_coverage_config(
+        &base
+            .clone()
+            .with_backend(BackendKind::Scalar)
+            .with_threads(threads),
+    );
+    let packed_session = Session::from_coverage_config(
+        &base
+            .clone()
+            .with_backend(BackendKind::Packed)
+            .with_threads(threads),
+    );
+
     let lists = [
         ("unlinked", FaultList::unlinked_static()),
         ("list #2", FaultList::list_2()),
         ("list #1", FaultList::list_1()),
     ];
 
-    // The catalogue plus the two generated tests.
+    // The catalogue plus the two generated tests. Generation needs the
+    // generator's default scope (which may differ from the matrix scope under
+    // --exhaustive), so it gets its own session — the third and last pool of
+    // the run, shared by both generations.
+    let generation_session = Session::new(ExecPolicy::default().with_threads(threads));
     let mut tests: Vec<MarchTest> = catalog::all();
-    let generated_l2 = MarchGenerator::new(FaultList::list_2())
-        .named("March GABL1")
-        .generate()
-        .into_test();
-    let generated_l1 = MarchGenerator::new(FaultList::list_1())
-        .named("March GRABL")
-        .generate()
-        .into_test();
+    let generated_l2 = generation_session
+        .generate(&FaultList::list_2())
+        .into_test()
+        .with_name("March GABL1");
+    let generated_l1 = generation_session
+        .generate(&FaultList::list_1())
+        .into_test()
+        .with_name("March GRABL");
     tests.push(generated_l2);
     tests.push(generated_l1);
 
@@ -58,20 +81,12 @@ fn main() {
         let mut scalar_time = Duration::ZERO;
         let mut packed_time = Duration::ZERO;
         for (_, list) in &lists {
-            let scalar_config = base
-                .clone()
-                .with_backend(BackendKind::Scalar)
-                .with_threads(threads);
             let start = Instant::now();
-            let scalar_report = measure_coverage(test, list, &scalar_config);
+            let scalar_report = scalar_session.coverage(test, list);
             scalar_time += start.elapsed();
 
-            let packed_config = base
-                .clone()
-                .with_backend(BackendKind::Packed)
-                .with_threads(threads);
             let start = Instant::now();
-            let packed_report = measure_coverage(test, list, &packed_config);
+            let packed_report = packed_session.coverage(test, list);
             packed_time += start.elapsed();
 
             assert_eq!(

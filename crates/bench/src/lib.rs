@@ -113,23 +113,13 @@ pub fn threads_from_args() -> usize {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
+///
+/// Re-exported from [`sram_sim::json_escape`] — the single escaping
+/// implementation shared by the session [`Report`](sram_sim::Report) writers
+/// and the trajectory file.
 #[must_use]
 pub fn json_escape(text: &str) -> String {
-    let mut escaped = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            '\t' => escaped.push_str("\\t"),
-            '\r' => escaped.push_str("\\r"),
-            control if (control as u32) < 0x20 => {
-                escaped.push_str(&format!("\\u{:04x}", control as u32));
-            }
-            other => escaped.push(other),
-        }
-    }
-    escaped
+    sram_sim::json_escape(text)
 }
 
 /// Renders a header matching [`TableRow::formatted`].

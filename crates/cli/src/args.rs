@@ -64,7 +64,8 @@ pub enum Command {
         name: String,
     },
     /// `generate --list <1|2> [--no-removal] [--order up|down] [--name NAME]
-    /// [--exhaustive] [--backend scalar|packed] [--threads N] [--batch N]`.
+    /// [--exhaustive] [--backend scalar|packed] [--threads N] [--batch N]
+    /// [--json]`.
     Generate {
         /// The target fault list.
         list: CoverageTarget,
@@ -84,9 +85,11 @@ pub enum Command {
         /// Candidates packed per scoring batch (0 = full 64-lane words,
         /// 1 = per-candidate scoring).
         batch: usize,
+        /// Emit the machine-readable `Report` JSON instead of the text form.
+        json: bool,
     },
     /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]
-    /// [--backend scalar|packed] [--threads N]`.
+    /// [--backend scalar|packed] [--threads N] [--json]`.
     Coverage {
         /// Catalogue name of the march test to evaluate.
         test: String,
@@ -99,6 +102,35 @@ pub enum Command {
         backend: BackendKind,
         /// Worker threads the fault targets fan out over (0 = auto).
         threads: usize,
+        /// Emit the machine-readable `Report` JSON instead of the text form.
+        json: bool,
+    },
+    /// `diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>
+    /// [--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]`.
+    ///
+    /// Simulates a device carrying the given fault, observes its failure
+    /// syndrome under the march test, then sweeps the fault list for every
+    /// candidate instance whose simulated syndrome matches.
+    Diagnose {
+        /// Catalogue name of the march test the syndrome is observed under.
+        test: String,
+        /// The `<S/F/R>` notation of the fault primitive injected into the
+        /// simulated device.
+        fault: String,
+        /// The victim cell address.
+        victim: usize,
+        /// The aggressor cell address, for coupling primitives.
+        aggressor: Option<usize>,
+        /// Memory size in cells.
+        cells: usize,
+        /// The fault space searched for matching candidates.
+        list: CoverageTarget,
+        /// Which simulation backend the session uses.
+        backend: BackendKind,
+        /// Worker threads of the session (0 = auto).
+        threads: usize,
+        /// Emit the machine-readable `Report` JSON instead of the text form.
+        json: bool,
     },
     /// `simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>]
     /// [--cells <n>]`.
@@ -150,6 +182,7 @@ impl Command {
                 let mut backend = BackendKind::Packed;
                 let mut threads = 1usize;
                 let mut batch = 0usize;
+                let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--list" => {
@@ -167,6 +200,7 @@ impl Command {
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
                         "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
                         "--batch" => batch = parse_batch(&required(&mut args, "--batch")?)?,
+                        "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
                 }
@@ -179,6 +213,7 @@ impl Command {
                     backend,
                     threads,
                     batch,
+                    json,
                 })
             }
             "coverage" => {
@@ -187,6 +222,7 @@ impl Command {
                 let mut exhaustive = false;
                 let mut backend = BackendKind::Packed;
                 let mut threads = 1usize;
+                let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
                         "--test" => test = Some(required(&mut args, "--test")?),
@@ -196,6 +232,7 @@ impl Command {
                         "--exhaustive" => exhaustive = true,
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
                         "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
                 }
@@ -205,6 +242,51 @@ impl Command {
                     exhaustive,
                     backend,
                     threads,
+                    json,
+                })
+            }
+            "diagnose" => {
+                let mut test = None;
+                let mut fault = None;
+                let mut victim = None;
+                let mut aggressor = None;
+                let mut cells = 8usize;
+                let mut list = None;
+                let mut backend = BackendKind::Packed;
+                let mut threads = 1usize;
+                let mut json = false;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--test" => test = Some(required(&mut args, "--test")?),
+                        "--fault" => fault = Some(required(&mut args, "--fault")?),
+                        "--victim" => {
+                            victim = Some(parse_number(&required(&mut args, "--victim")?)?)
+                        }
+                        "--aggressor" => {
+                            aggressor = Some(parse_number(&required(&mut args, "--aggressor")?)?);
+                        }
+                        "--cells" => cells = parse_number(&required(&mut args, "--cells")?)?,
+                        "--list" => {
+                            list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
+                        }
+                        "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
+                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--json" => json = true,
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Diagnose {
+                    test: test.ok_or_else(|| ParseArgsError("diagnose requires --test".into()))?,
+                    fault: fault
+                        .ok_or_else(|| ParseArgsError("diagnose requires --fault".into()))?,
+                    victim: victim
+                        .ok_or_else(|| ParseArgsError("diagnose requires --victim".into()))?,
+                    aggressor,
+                    cells,
+                    list: list.ok_or_else(|| ParseArgsError("diagnose requires --list".into()))?,
+                    backend,
+                    threads,
+                    json,
                 })
             }
             "simulate" => {
@@ -297,11 +379,16 @@ pub fn usage() -> String {
      \x20 march-codex catalog\n\
      \x20 march-codex show <name>\n\
      \x20 march-codex generate --list <1|2> [--no-removal] [--order up|down] [--name NAME] [--exhaustive]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N] [--json]\n\
      \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 march-codex diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
-     \x20 march-codex help\n"
+     \x20 march-codex help\n\
+     \n\
+     Every invocation builds one sram_sim::Session from the --backend/--threads/--batch\n\
+     execution policy; --json emits the session report's machine-readable form.\n"
         .to_string()
 }
 
@@ -352,6 +439,7 @@ mod tests {
                 backend: BackendKind::Packed,
                 threads: 1,
                 batch: 0,
+                json: false,
             }
         );
         assert!(parse(&["generate"]).is_err());
@@ -436,6 +524,7 @@ mod tests {
                 exhaustive: true,
                 backend: BackendKind::Packed,
                 threads: 1,
+                json: false,
             }
         );
         let simulate = parse(&[
@@ -465,6 +554,51 @@ mod tests {
         assert!(parse(&["simulate", "--test", "March SS"]).is_err());
         assert!(parse(&["coverage", "--test", "March SS"]).is_err());
         assert!(parse(&["simulate", "--test", "x", "--fault", "y", "--victim", "abc"]).is_err());
+    }
+
+    #[test]
+    fn parses_diagnose_and_json_flags() {
+        let diagnose = parse(&[
+            "diagnose",
+            "--test",
+            "March SS",
+            "--fault",
+            "<0w1;0/1/->",
+            "--victim",
+            "4",
+            "--aggressor",
+            "1",
+            "--list",
+            "unlinked",
+            "--cells",
+            "6",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            diagnose,
+            Command::Diagnose {
+                test: "March SS".into(),
+                fault: "<0w1;0/1/->".into(),
+                victim: 4,
+                aggressor: Some(1),
+                cells: 6,
+                list: CoverageTarget::Unlinked,
+                backend: BackendKind::Packed,
+                threads: 1,
+                json: true,
+            }
+        );
+        assert!(parse(&["diagnose", "--test", "March SS"]).is_err());
+        assert!(parse(&["diagnose", "--fault", "x", "--victim", "1", "--list", "2"]).is_err());
+        assert!(matches!(
+            parse(&["coverage", "--test", "x", "--list", "1", "--json"]).unwrap(),
+            Command::Coverage { json: true, .. }
+        ));
+        assert!(matches!(
+            parse(&["generate", "--list", "2", "--json"]).unwrap(),
+            Command::Generate { json: true, .. }
+        ));
     }
 
     #[test]

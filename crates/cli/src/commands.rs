@@ -7,8 +7,8 @@ use march_gen::{GeneratorConfig, MarchGenerator};
 use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
-    measure_coverage, BackendKind, CoverageConfig, FaultSimulator, InitialState, InjectedFault,
-    Syndrome,
+    BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState, InjectedFault,
+    JsonObject, Report, Session, Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, ParseArgsError};
@@ -73,15 +73,18 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             backend,
             threads,
             batch,
+            json,
         } => generate(
             *list,
             *no_removal,
             *order,
             name.as_deref(),
             *exhaustive,
-            *backend,
-            *threads,
-            *batch,
+            ExecPolicy::default()
+                .with_backend(*backend)
+                .with_threads(*threads)
+                .with_batch(*batch),
+            *json,
         ),
         Command::Coverage {
             test,
@@ -89,7 +92,30 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             exhaustive,
             backend,
             threads,
-        } => coverage(test, *list, *exhaustive, *backend, *threads),
+            json,
+        } => coverage(test, *list, *exhaustive, *backend, *threads, *json),
+        Command::Diagnose {
+            test,
+            fault,
+            victim,
+            aggressor,
+            cells,
+            list,
+            backend,
+            threads,
+            json,
+        } => diagnose(
+            test,
+            fault,
+            *victim,
+            *aggressor,
+            *cells,
+            *list,
+            ExecPolicy::default()
+                .with_backend(*backend)
+                .with_threads(*threads),
+            *json,
+        ),
         Command::Simulate {
             test,
             fault,
@@ -141,9 +167,8 @@ fn generate(
     order: Option<AddressOrder>,
     name: Option<&str>,
     exhaustive: bool,
-    backend: BackendKind,
-    threads: usize,
-    batch: usize,
+    policy: ExecPolicy,
+    json: bool,
 ) -> Result<String, CliError> {
     let list = fault_list(target);
     let mut config = if no_removal {
@@ -154,27 +179,43 @@ fn generate(
     if let Some(order) = order {
         config.allowed_orders = vec![order, AddressOrder::Any];
     }
-    config = config
-        .with_backend(backend)
-        .with_threads(threads)
-        .with_batch(batch);
+    config = config.with_exec(policy);
+
+    // One session serves the whole invocation: generation, redundancy removal
+    // and the final verification all share its policy and worker pool.
+    let session = config.session();
     let generator = MarchGenerator::with_config(list.clone(), config)
         .named(name.unwrap_or("March GEN").to_string());
-    let generated = generator.generate();
-    let report = measure_coverage(
-        generated.test(),
-        &list,
-        &coverage_config(exhaustive, backend, threads),
-    );
+    let generated = generator.generate_with(&session);
+    let report = if exhaustive {
+        // Exhaustive verification changes the simulation scope, not the policy.
+        Session::from_coverage_config(&coverage_config(true, policy.backend, policy.threads))
+            .coverage(generated.test(), &list)
+    } else {
+        session.coverage(generated.test(), &list)
+    };
+
+    if json {
+        return Ok(format!(
+            "{}\n",
+            JsonObject::new()
+                .raw("generation", generated.to_json())
+                .raw("verification", report.to_json())
+                .build()
+        ));
+    }
 
     let mut output = String::new();
     output.push_str(&format!("target        : {list}\n"));
-    let threads_label = if threads == 0 {
+    let threads_label = if policy.threads == 0 {
         "auto threads".to_string()
     } else {
-        format!("{threads} threads")
+        format!("{} threads", policy.threads)
     };
-    output.push_str(&format!("backend       : {backend} ({threads_label})\n"));
+    output.push_str(&format!(
+        "backend       : {} ({threads_label})\n",
+        policy.backend
+    ));
     output.push_str(&format!("generated     : {}\n", generated.test()));
     output.push_str(&format!(
         "complexity    : {}\n",
@@ -196,10 +237,15 @@ fn coverage(
     exhaustive: bool,
     backend: BackendKind,
     threads: usize,
+    json: bool,
 ) -> Result<String, CliError> {
     let test = lookup(test)?;
     let list = fault_list(target);
-    let report = measure_coverage(&test, &list, &coverage_config(exhaustive, backend, threads));
+    let session = Session::from_coverage_config(&coverage_config(exhaustive, backend, threads));
+    let report = session.coverage(&test, &list);
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
     let mut output = format!("{report} [{backend} backend]\n");
     for (topology, (covered, total)) in report.by_topology() {
         output.push_str(&format!("  {topology}: {covered}/{total}\n"));
@@ -215,6 +261,71 @@ fn coverage(
         }
     }
     Ok(output)
+}
+
+/// Simulates a device carrying the given fault, observes its syndrome under
+/// `test` and sweeps `list` for every candidate instance reproducing it — all
+/// through one session.
+#[allow(clippy::too_many_arguments)]
+fn diagnose(
+    test: &str,
+    fault: &str,
+    victim: usize,
+    aggressor: Option<usize>,
+    cells: usize,
+    target: CoverageTarget,
+    policy: ExecPolicy,
+    json: bool,
+) -> Result<String, CliError> {
+    let test = lookup(test)?;
+    let list = fault_list(target);
+    let primitive = find_primitive(fault)?;
+    let injected = build_injection(&primitive, victim, aggressor, cells)?;
+
+    let session = Session::new(policy).with_memory_cells(cells);
+    let syndrome = session
+        .observe(&test, &injected)
+        .map_err(|error| CliError::Simulation(error.to_string()))?;
+    let report = session.diagnose_sweep(&test, &syndrome, &list);
+
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+
+    let mut output = String::new();
+    output.push_str(&format!("device fault  : {primitive} (victim {victim}"));
+    if let Some(aggressor) = aggressor {
+        output.push_str(&format!(", aggressor {aggressor}"));
+    }
+    output.push_str(&format!(") on a {cells}-cell memory\n"));
+    output.push_str(&format!("syndrome      : {syndrome}\n"));
+    output.push_str(&format!("searched space: {list}\n"));
+    output.push_str(&format!("diagnosis     : {}\n", report.summary()));
+    for line in report.detail_lines().iter().take(15) {
+        output.push_str(&format!("  candidate: {line}\n"));
+    }
+    if report.is_unexplained() {
+        output.push_str("no single fault of the searched space explains the syndrome\n");
+    }
+    Ok(output)
+}
+
+/// Builds the fault injection shared by `simulate` and `diagnose`.
+fn build_injection(
+    primitive: &FaultPrimitive,
+    victim: usize,
+    aggressor: Option<usize>,
+    cells: usize,
+) -> Result<InjectedFault, CliError> {
+    if primitive.is_coupling() {
+        let aggressor = aggressor.ok_or_else(|| {
+            CliError::Simulation("coupling primitives require --aggressor".to_string())
+        })?;
+        InjectedFault::coupling(primitive.clone(), aggressor, victim, cells)
+    } else {
+        InjectedFault::single_cell(primitive.clone(), victim, cells)
+    }
+    .map_err(|error| CliError::Simulation(error.to_string()))
 }
 
 fn find_primitive(notation: &str) -> Result<FaultPrimitive, CliError> {
@@ -233,16 +344,7 @@ fn simulate(
 ) -> Result<String, CliError> {
     let test = lookup(test)?;
     let primitive = find_primitive(fault)?;
-
-    let injected = if primitive.is_coupling() {
-        let aggressor = aggressor.ok_or_else(|| {
-            CliError::Simulation("coupling primitives require --aggressor".to_string())
-        })?;
-        InjectedFault::coupling(primitive.clone(), aggressor, victim, cells)
-    } else {
-        InjectedFault::single_cell(primitive.clone(), victim, cells)
-    }
-    .map_err(|error| CliError::Simulation(error.to_string()))?;
+    let injected = build_injection(&primitive, victim, aggressor, cells)?;
 
     let mut output = String::new();
     for background in [InitialState::AllZero, InitialState::AllOne] {
@@ -296,6 +398,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
+            json: false,
         })
         .unwrap();
         assert!(output.contains("100.0%"));
@@ -310,6 +413,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
+            json: false,
         })
         .unwrap();
         let packed = run(&Command::Coverage {
@@ -318,6 +422,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 0,
+            json: false,
         })
         .unwrap();
         // Identical up to the backend tag on the first line.
@@ -339,6 +444,7 @@ mod tests {
             backend: BackendKind::Packed,
             threads: 0,
             batch: 0,
+            json: false,
         })
         .unwrap();
         assert!(output.contains("March CLI"));
@@ -373,6 +479,83 @@ mod tests {
             cells: 8,
         })
         .is_err());
+    }
+
+    #[test]
+    fn diagnose_command_recovers_the_injected_fault() {
+        let output = run(&Command::Diagnose {
+            test: "March SS".into(),
+            fault: "<0w1;0/1/->".into(),
+            victim: 4,
+            aggressor: Some(1),
+            cells: 6,
+            list: CoverageTarget::Unlinked,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(output.contains("syndrome"));
+        assert!(output.contains("candidates explain"));
+        assert!(output.contains("candidate: "));
+        assert!(run(&Command::Diagnose {
+            test: "March SS".into(),
+            fault: "<bogus>".into(),
+            victim: 4,
+            aggressor: None,
+            cells: 6,
+            list: CoverageTarget::Unlinked,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn json_flag_emits_machine_readable_reports() {
+        let coverage = run(&Command::Coverage {
+            test: "March ABL1".into(),
+            list: CoverageTarget::List2,
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: true,
+        })
+        .unwrap();
+        assert!(coverage.starts_with("{\"report\": \"coverage\""));
+        assert!(coverage.contains("\"complete\": true"));
+
+        let generate = run(&Command::Generate {
+            list: CoverageTarget::List2,
+            no_removal: false,
+            order: None,
+            name: Some("March JSON".into()),
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            batch: 0,
+            json: true,
+        })
+        .unwrap();
+        assert!(generate.starts_with("{\"generation\": {\"report\": \"generation\""));
+        assert!(generate.contains("\"verification\": {\"report\": \"coverage\""));
+        assert!(generate.contains("March JSON"));
+
+        let diagnose = run(&Command::Diagnose {
+            test: "March SS".into(),
+            fault: "<0w1;0/1/->".into(),
+            victim: 4,
+            aggressor: Some(1),
+            cells: 6,
+            list: CoverageTarget::Unlinked,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: true,
+        })
+        .unwrap();
+        assert!(diagnose.starts_with("{\"report\": \"diagnosis\""));
+        assert!(diagnose.contains("\"candidates\": ["));
     }
 
     #[test]

@@ -4,15 +4,24 @@
 //! argument parser plus the command implementations that tie together the fault
 //! model, the march-test catalogue, the fault simulator and the generator.
 //!
-//! The binary exposes five sub-commands:
+//! The binary exposes six sub-commands:
 //!
 //! * `catalog` — list the catalogue of published march tests;
 //! * `show <name>` — print one march test in the standard notation;
 //! * `generate --list <1|2>` — run the automatic generator of the DATE 2006 paper;
 //! * `coverage --test <name> --list <1|2|unlinked>` — fault-simulate a march test
 //!   against a fault list;
+//! * `diagnose --test <name> --fault <notation> --victim <cell> --list <…>` —
+//!   observe a faulty device's syndrome and search the fault space for the
+//!   instances that explain it;
 //! * `simulate --test <name> --fault <notation> --victim <cell>` — inject a single
 //!   fault primitive and show the failure syndrome.
+//!
+//! Every invocation builds **one** [`sram_sim::Session`] from the
+//! `--backend`/`--threads`/`--batch` execution policy and routes the pipeline
+//! through it; `--json` swaps the text output of `coverage`/`generate`/
+//! `diagnose` for the session report's machine-readable
+//! [`Report`](sram_sim::Report) serialisation.
 //!
 //! Everything is also usable programmatically; see [`run`] and [`Command`].
 

@@ -1,17 +1,19 @@
 //! The automatic march-test generator (Section 5 of the paper).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use march_test::{AddressOrder, MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::{Bit, FaultList};
 use sram_sim::{
-    parallel_map, BackendKind, CandidateBatch, CoverageConfig, CoverageReport, InitialState,
-    PlacementStrategy, TargetBatch,
+    parallel_map, BackendKind, CandidateBatch, CoverageConfig, CoverageReport, ExecPolicy,
+    InitialState, PlacementStrategy, Session, TargetBatch,
 };
 
+use crate::optimize::minimise_with;
 use crate::targets::enumerate_target_lanes;
-use crate::{exhaustive_candidates, library_candidates, minimise, verify};
+use crate::{exhaustive_candidates, library_candidates, verify};
 
 /// Configuration of the march-test generator.
 ///
@@ -45,18 +47,12 @@ pub struct GeneratorConfig {
     /// implemented more efficiently in BIST hardware). The initialisation element
     /// `⇕(w·)` is always allowed.
     pub allowed_orders: Vec<AddressOrder>,
-    /// Which simulation backend evaluates candidate elements and verifies the
-    /// generated test.
-    pub backend: BackendKind,
-    /// Number of worker threads candidate scoring and verification fan out
-    /// over (`1` = serial, `0` = available parallelism). The generated test is
-    /// identical for every value.
-    pub threads: usize,
-    /// Maximum number of candidate march elements packed per
-    /// [`CandidateBatch`] when scoring (`0` = the full 64 lanes per word,
-    /// `1` = per-candidate scoring, i.e. the pre-batching behaviour). The
-    /// generated test is identical for every value.
-    pub batch: usize,
+    /// The shared execution policy: backend, worker threads, candidate-batch
+    /// width and the wave-vs-per-candidate cost-model factor. Generation and
+    /// verification both derive from this single copy
+    /// (see [`GeneratorConfig::verification_config`]), so the two can no
+    /// longer drift apart. The generated test is identical for every policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for GeneratorConfig {
@@ -75,9 +71,7 @@ impl Default for GeneratorConfig {
                 AddressOrder::Descending,
                 AddressOrder::Any,
             ],
-            backend: BackendKind::Packed,
-            threads: 1,
-            batch: 0,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -114,46 +108,72 @@ impl GeneratorConfig {
     #[must_use]
     pub fn fast() -> GeneratorConfig {
         GeneratorConfig {
-            backend: BackendKind::Packed,
-            threads: 0,
+            exec: ExecPolicy::fast(),
             ..GeneratorConfig::default()
         }
     }
 
+    /// Replaces the whole execution policy.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPolicy) -> GeneratorConfig {
+        self.exec = exec;
+        self
+    }
+
     /// Replaces the simulation backend.
+    ///
+    /// Deprecated shim: prefer building an [`ExecPolicy`] once and passing it
+    /// via [`GeneratorConfig::with_exec`] or a [`Session`].
     #[must_use]
     pub fn with_backend(mut self, backend: BackendKind) -> GeneratorConfig {
-        self.backend = backend;
+        self.exec.backend = backend;
         self
     }
 
     /// Replaces the worker-thread count (`0` = available parallelism).
+    ///
+    /// Deprecated shim: prefer building an [`ExecPolicy`] once and passing it
+    /// via [`GeneratorConfig::with_exec`] or a [`Session`].
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> GeneratorConfig {
-        self.threads = threads;
+        self.exec.threads = threads;
         self
     }
 
     /// Replaces the candidate-batch size (`0` = full words of 64 candidates,
     /// `1` = per-candidate scoring).
+    ///
+    /// Deprecated shim: prefer building an [`ExecPolicy`] once and passing it
+    /// via [`GeneratorConfig::with_exec`] or a [`Session`].
     #[must_use]
     pub fn with_batch(mut self, batch: usize) -> GeneratorConfig {
-        self.batch = batch;
+        self.exec.batch = batch;
         self
     }
 
     /// The coverage configuration used for the final verification of a generated
-    /// test (thorough: both uniform backgrounds), inheriting the generator's
-    /// backend and thread knobs.
+    /// test (thorough: both uniform backgrounds), derived from the **same**
+    /// [`ExecPolicy`] that drives generation — the single source of the
+    /// backend/threads knobs, so generation and verification cannot drift.
     #[must_use]
     pub fn verification_config(&self) -> CoverageConfig {
         CoverageConfig {
             memory_cells: self.memory_cells,
             strategy: self.strategy,
             backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
-            backend: self.backend,
-            threads: self.threads,
+            backend: self.exec.backend,
+            threads: self.exec.threads,
         }
+    }
+
+    /// The session equivalent of this configuration: the execution policy plus
+    /// the generator's simulation scope.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session::new(self.exec)
+            .with_memory_cells(self.memory_cells)
+            .with_strategy(self.strategy)
+            .with_backgrounds(self.backgrounds.clone())
     }
 }
 
@@ -335,16 +355,36 @@ impl MarchGenerator {
     /// Runs the generation algorithm and returns the generated march test together
     /// with its report.
     ///
+    /// Thin shim over [`MarchGenerator::generate_with`] constructing a
+    /// throwaway [`Session`] from the configuration's [`ExecPolicy`]; callers
+    /// holding a long-lived session should prefer
+    /// [`SessionExt::generate`](crate::SessionExt::generate) or
+    /// `generate_with` directly so the worker pool is re-used across runs.
+    ///
     /// # Panics
     ///
     /// Panics if the configured memory has fewer than 4 cells (too small to host the
     /// placements of three-cell linked faults).
     #[must_use]
     pub fn generate(&self) -> GeneratedTest {
+        self.generate_with(&self.config.session())
+    }
+
+    /// Runs the generation algorithm on an existing [`Session`]: **every**
+    /// execution knob — backend, worker pool, candidate-batch width and the
+    /// wave-vs-per-candidate cost-model factor — comes from the session's
+    /// [`ExecPolicy`], never from `config.exec` (the configuration contributes
+    /// the simulation scope and the generator-specific knobs only, so a
+    /// session/config mismatch cannot silently mix policies). The generated
+    /// test is byte-identical to [`MarchGenerator::generate`] for every
+    /// policy.
+    #[must_use]
+    pub fn generate_with(&self, session: &Session) -> GeneratedTest {
         let start = Instant::now();
+        let policy = session.policy();
 
         // One batch per fault target: every (placement, background) lane of the
-        // target packed behind the configured simulation backend, carrying the
+        // target packed behind the session's simulation backend, carrying the
         // simulator state reached after the current march prefix so that
         // scoring a candidate only needs to simulate that element.
         let mut batches: Vec<TargetBatch> = enumerate_target_lanes(
@@ -355,7 +395,8 @@ impl MarchGenerator {
         )
         .into_iter()
         .map(|(target, lanes)| {
-            TargetBatch::new(target, lanes, self.config.memory_cells, self.config.backend)
+            TargetBatch::new(target, lanes, self.config.memory_cells, policy.backend)
+                .with_wave_cost_factor(policy.wave_cost_factor)
         })
         .collect();
         let initial_targets: usize = batches.iter().map(TargetBatch::pending).sum();
@@ -375,11 +416,12 @@ impl MarchGenerator {
 
         while !batches.is_empty() && elements.len() < self.config.max_elements {
             let choice = self
-                .best_candidate(&library, &batches)
+                .best_candidate(session, &library, &batches)
                 .filter(|(_, covered)| *covered > 0)
                 .or_else(|| {
                     if self.config.repair {
                         self.best_candidate(
+                            session,
                             &self.filter_orders(exhaustive_candidates(
                                 self.config.repair_max_length,
                             )),
@@ -428,7 +470,7 @@ impl MarchGenerator {
 
         let mut removed_operations = 0usize;
         if self.config.redundancy_removal && uncovered.is_empty() {
-            let (minimised, removed) = minimise(&test, &self.list, &self.config);
+            let (minimised, removed) = minimise_with(session, &test, &self.list, &self.config);
             test = minimised.with_name(&self.name);
             removed_operations = removed;
         }
@@ -470,15 +512,16 @@ impl MarchGenerator {
     /// Scores every candidate against the pending target batches and returns the
     /// best `(element, newly covered lanes)` pair: most newly covered lanes
     /// first, fewest operations as the tie-breaker. Scoring is batched and
-    /// fans out over the configured worker threads ([`score_candidates`]); the
-    /// selection scan is sequential and in candidate order, so the result is
-    /// independent of the thread count and batch size.
+    /// fans out over the session's worker pool ([`score_candidates_with`]);
+    /// the selection scan is sequential and in candidate order, so the result
+    /// is independent of the thread count and batch size.
     fn best_candidate(
         &self,
+        session: &Session,
         candidates: &[MarchElement],
         batches: &[TargetBatch],
     ) -> Option<(MarchElement, usize)> {
-        let scores = score_candidates(candidates, batches, self.config.batch, self.config.threads);
+        let scores = score_candidates_with(session, candidates, batches);
         let mut best: Option<(MarchElement, usize)> = None;
         for (candidate, covered) in candidates.iter().zip(scores) {
             let better = match &best {
@@ -541,9 +584,63 @@ pub fn score_candidates(
     if candidates.is_empty() || batches.is_empty() {
         return vec![0; candidates.len()];
     }
+    let packed = pack_pools(candidates, batches.len(), batch);
+    let results: Vec<Vec<usize>> = parallel_map(&packed.jobs, threads, |&(pool, batch)| {
+        batches[batch].score_pool(&packed.pools[pool])
+    });
+    merge_scores(&packed, results, candidates.len())
+}
 
-    // Pack words from length-sorted candidates (stable, so equal lengths keep
-    // pool order) and remember where each one came from.
+/// The session form of [`score_candidates`]: the candidate-batch width comes
+/// from the session's [`ExecPolicy`] and the `(pool × target batch)` grid is
+/// sharded over the session's resident worker pool instead of per-call scoped
+/// threads. Scores are byte-identical to the legacy path for every policy.
+#[must_use]
+pub fn score_candidates_with(
+    session: &Session,
+    candidates: &[MarchElement],
+    batches: &[TargetBatch],
+) -> Vec<usize> {
+    if candidates.is_empty() || batches.is_empty() {
+        return vec![0; candidates.len()];
+    }
+    let packed = pack_pools(candidates, batches.len(), session.policy().batch);
+    let results: Vec<Vec<usize>> = if session.is_parallel() {
+        // The pool requires `'static` jobs: pools and jobs are already
+        // `Arc`'d by `pack_pools`, so only the target batches are snapshotted
+        // (one clone per scoring call, amortised by the per-candidate
+        // simulator clones scoring itself performs).
+        let pools = Arc::clone(&packed.pools);
+        let target_batches = Arc::new(batches.to_vec());
+        session.execute(Arc::clone(&packed.jobs), move |&(pool, batch)| {
+            target_batches[batch].score_pool(&pools[pool])
+        })
+    } else {
+        packed
+            .jobs
+            .iter()
+            .map(|&(pool, batch)| batches[batch].score_pool(&packed.pools[pool]))
+            .collect()
+    };
+    merge_scores(&packed, results, candidates.len())
+}
+
+/// The packed scoring grid: candidate pools from length-sorted candidates plus
+/// the `(pool, target batch)` job list. Pools and jobs are `Arc`'d so the
+/// session path can ship them to the worker pool without copying.
+struct PackedPools {
+    /// `order[sorted position] = original candidate index`.
+    order: Vec<usize>,
+    pools: Arc<Vec<CandidateBatch>>,
+    pool_offsets: Vec<usize>,
+    jobs: Arc<Vec<(usize, usize)>>,
+}
+
+/// Packs words from length-sorted candidates (stable, so equal lengths keep
+/// pool order) and shards the `(pool × target batch)` grid: coarse enough to
+/// amortise the per-job packed setup, fine enough to keep every worker busy
+/// even when the pool fits one word.
+fn pack_pools(candidates: &[MarchElement], batches: usize, batch: usize) -> PackedPools {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by_key(|&index| candidates[index].len());
     let sorted: Vec<MarchElement> = order
@@ -551,27 +648,31 @@ pub fn score_candidates(
         .map(|&index| candidates[index].clone())
         .collect();
     let pools = CandidateBatch::chunked(&sorted, batch);
-
-    // Shard the (pool × target batch) grid: coarse enough to amortise the
-    // per-job packed setup, fine enough to keep every worker busy even when
-    // the pool fits one word.
     let jobs: Vec<(usize, usize)> = (0..pools.len())
-        .flat_map(|pool| (0..batches.len()).map(move |batch| (pool, batch)))
+        .flat_map(|pool| (0..batches).map(move |batch| (pool, batch)))
         .collect();
-    let results: Vec<Vec<usize>> = parallel_map(&jobs, threads, |&(pool, batch)| {
-        batches[batch].score_pool(&pools[pool])
-    });
-
     let mut pool_offsets = Vec::with_capacity(pools.len());
     let mut offset = 0usize;
     for pool in &pools {
         pool_offsets.push(offset);
         offset += pool.len();
     }
-    let mut scores = vec![0usize; candidates.len()];
-    for (&(pool, _), pool_scores) in jobs.iter().zip(results) {
+    PackedPools {
+        order,
+        pools: Arc::new(pools),
+        pool_offsets,
+        jobs: Arc::new(jobs),
+    }
+}
+
+/// Merges per-job pool scores back into candidate order — per-candidate
+/// `usize` additions, so the result is byte-identical for every batch size
+/// and thread count.
+fn merge_scores(packed: &PackedPools, results: Vec<Vec<usize>>, candidates: usize) -> Vec<usize> {
+    let mut scores = vec![0usize; candidates];
+    for (&(pool, _), pool_scores) in packed.jobs.iter().zip(results) {
         for (index, score) in pool_scores.into_iter().enumerate() {
-            scores[order[pool_offsets[pool] + index]] += score;
+            scores[packed.order[packed.pool_offsets[pool] + index]] += score;
         }
     }
     scores
@@ -711,15 +812,31 @@ mod tests {
             .with_backend(BackendKind::Packed)
             .with_threads(4)
             .with_batch(16);
-        assert_eq!(config.backend, BackendKind::Packed);
-        assert_eq!(config.threads, 4);
-        assert_eq!(config.batch, 16);
-        assert_eq!(GeneratorConfig::default().backend, BackendKind::Packed);
-        assert_eq!(GeneratorConfig::default().batch, 0);
+        assert_eq!(config.exec.backend, BackendKind::Packed);
+        assert_eq!(config.exec.threads, 4);
+        assert_eq!(config.exec.batch, 16);
+        assert_eq!(GeneratorConfig::default().exec, ExecPolicy::default());
         let fast = GeneratorConfig::fast();
-        assert_eq!(fast.backend, BackendKind::Packed);
-        assert_eq!(fast.threads, 0);
+        assert_eq!(fast.exec.backend, BackendKind::Packed);
+        assert_eq!(fast.exec.threads, 0);
         assert_eq!(fast.verification_config().backend, BackendKind::Packed);
+    }
+
+    #[test]
+    fn verification_config_derives_from_the_shared_policy() {
+        // The dedup guarantee: mutating the policy is seen by both generation
+        // and verification, so the two can no longer drift apart.
+        let config = GeneratorConfig::default().with_exec(
+            ExecPolicy::default()
+                .with_backend(BackendKind::Scalar)
+                .with_threads(3),
+        );
+        let verification = config.verification_config();
+        assert_eq!(verification.backend, config.exec.backend);
+        assert_eq!(verification.threads, config.exec.threads);
+        let session = config.session();
+        assert_eq!(session.policy(), config.exec);
+        assert_eq!(session.memory_cells(), config.memory_cells);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod generator;
 mod graph;
 mod optimize;
 mod pattern_graph;
+mod session;
 mod so;
 mod targets;
 mod verify;
@@ -55,11 +56,13 @@ mod verify;
 pub use candidates::{exhaustive_candidates, library_candidates};
 pub use error::GenerationError;
 pub use generator::{
-    score_candidates, GeneratedTest, GenerationReport, GeneratorConfig, MarchGenerator,
+    score_candidates, score_candidates_with, GeneratedTest, GenerationReport, GeneratorConfig,
+    MarchGenerator,
 };
 pub use graph::{GraphEdge, MemoryGraph, MAX_GRAPH_CELLS};
-pub use optimize::{minimise, minimise_with_strategy};
+pub use optimize::{minimise, minimise_with, minimise_with_strategy};
 pub use pattern_graph::{FaultyEdge, PatternGraph};
+pub use session::{MinimisationReport, SessionExt};
 pub use so::SequenceOfOperations;
 pub use targets::TargetInstance;
 pub use verify::verify;

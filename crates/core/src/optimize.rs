@@ -1,8 +1,10 @@
 //! Redundancy removal: shortening a march test while preserving its coverage.
 
+use std::sync::Arc;
+
 use march_test::{MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::FaultList;
-use sram_sim::{parallel_map, CoverageLane, PlacementStrategy, SimulationBackend, TargetKind};
+use sram_sim::{CoverageLane, PlacementStrategy, Session, SimulationBackend, TargetKind};
 
 use crate::targets::enumerate_target_lanes;
 use crate::GeneratorConfig;
@@ -34,6 +36,21 @@ pub fn minimise(
     list: &FaultList,
     config: &GeneratorConfig,
 ) -> (MarchTest, usize) {
+    minimise_with(&config.session(), test, list, config)
+}
+
+/// The session form of [`minimise`]: every removal trial's re-verification
+/// shards its fault targets over the session's resident worker pool (the
+/// target lanes are snapshotted once, not per trial). The minimised test is
+/// byte-identical to [`minimise`] for every backend, batch size and thread
+/// count.
+#[must_use]
+pub fn minimise_with(
+    session: &Session,
+    test: &MarchTest,
+    list: &FaultList,
+    config: &GeneratorConfig,
+) -> (MarchTest, usize) {
     let targets = enumerate_target_lanes(
         list,
         config.memory_cells,
@@ -46,17 +63,11 @@ pub fn minimise(
         return (test.clone(), 0);
     }
 
-    let backend = config.backend.instance();
+    let oracle = CoverageOracle::new(session, targets, config.memory_cells);
 
     // Only minimise tests that are complete to begin with, otherwise "preserving
     // coverage" is ill-defined.
-    if !covers_all(
-        test,
-        &targets,
-        config.memory_cells,
-        backend.as_ref(),
-        config.threads,
-    ) {
+    if !oracle.covers_all(session, test) {
         return (test.clone(), 0);
     }
 
@@ -77,13 +88,7 @@ pub fn minimise(
                     continue;
                 }
                 let trial = rebuild(test.name(), &candidate);
-                if covers_all(
-                    &trial,
-                    &targets,
-                    config.memory_cells,
-                    backend.as_ref(),
-                    config.threads,
-                ) {
+                if oracle.covers_all(session, &trial) {
                     elements = candidate;
                     removed += 1;
                     changed = true;
@@ -102,30 +107,53 @@ pub fn minimise(
     (rebuild(test.name(), &elements), removed)
 }
 
-/// Returns `true` if `test` detects every lane of every target. The targets
-/// are sharded over `threads` workers (`1` = serial with per-target
-/// early-exit, which the removal scan's mostly-covered trials favour).
-fn covers_all(
-    test: &MarchTest,
-    targets: &[(TargetKind, Vec<CoverageLane>)],
+/// The re-verification oracle of the removal scan: the enumerated target
+/// lanes, snapshotted once per minimisation run so repeated trials share one
+/// allocation across the session's workers.
+struct CoverageOracle {
+    targets: Arc<Vec<(TargetKind, Vec<CoverageLane>)>>,
+    backend: Arc<dyn SimulationBackend>,
     memory_cells: usize,
-    backend: &dyn SimulationBackend,
-    threads: usize,
-) -> bool {
-    if threads == 1 {
-        return targets.iter().all(|(target, lanes)| {
-            backend
-                .first_undetected(test, target, lanes, memory_cells)
-                .is_none()
-        });
+}
+
+impl CoverageOracle {
+    fn new(
+        session: &Session,
+        targets: Vec<(TargetKind, Vec<CoverageLane>)>,
+        memory_cells: usize,
+    ) -> CoverageOracle {
+        CoverageOracle {
+            targets: Arc::new(targets),
+            backend: session.backend_instance(),
+            memory_cells,
+        }
     }
-    parallel_map(targets, threads, |(target, lanes)| {
-        backend
-            .first_undetected(test, target, lanes, memory_cells)
-            .is_none()
-    })
-    .into_iter()
-    .all(|covered| covered)
+
+    /// Returns `true` if `test` detects every lane of every target. Serial
+    /// sessions early-exit at the first uncovered target (which the removal
+    /// scan's mostly-covered trials favour); parallel sessions shard the
+    /// targets over the resident pool.
+    fn covers_all(&self, session: &Session, test: &MarchTest) -> bool {
+        if session.is_parallel() {
+            let backend = Arc::clone(&self.backend);
+            let test = test.clone();
+            let memory_cells = self.memory_cells;
+            session
+                .execute(Arc::clone(&self.targets), move |(target, lanes)| {
+                    backend
+                        .first_undetected(&test, target, lanes, memory_cells)
+                        .is_none()
+                })
+                .into_iter()
+                .all(|covered| covered)
+        } else {
+            self.targets.iter().all(|(target, lanes)| {
+                self.backend
+                    .first_undetected(test, target, lanes, self.memory_cells)
+                    .is_none()
+            })
+        }
+    }
 }
 
 /// Returns a copy of `elements` with operation `op_index` of element
@@ -196,29 +224,19 @@ mod tests {
         let (minimised, removed) = minimise(&padded, &list, &config);
         assert!(removed >= 2, "removed {removed}");
         assert!(minimised.complexity() <= catalog::march_abl1().complexity());
-        // The minimised test still covers the list.
+        // The minimised test still covers the list, serially and sharded over
+        // a parallel session's pool.
         let targets = enumerate_target_lanes(
             &list,
             config.memory_cells,
             config.strategy,
             &config.backgrounds,
         );
-        let backend = config.backend.instance();
-        assert!(covers_all(
-            &minimised,
-            &targets,
-            config.memory_cells,
-            backend.as_ref(),
-            1
-        ));
-        // Sharding the re-verification over threads changes nothing.
-        assert!(covers_all(
-            &minimised,
-            &targets,
-            config.memory_cells,
-            backend.as_ref(),
-            4
-        ));
+        for threads in [1usize, 4] {
+            let session = config.clone().with_threads(threads).session();
+            let oracle = CoverageOracle::new(&session, targets.clone(), config.memory_cells);
+            assert!(oracle.covers_all(&session, &minimised), "threads {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Session-based entry points of the generation pipeline: [`SessionExt`]
+//! extends [`sram_sim::Session`] with `generate`, `minimise` and `verify`, so
+//! the whole paper pipeline — fault list → coverage → greedy generation →
+//! redundancy removal → diagnosis — runs through **one** engine handle and one
+//! [`ExecPolicy`](sram_sim::ExecPolicy).
+
+use std::fmt;
+
+use march_test::MarchTest;
+use sram_fault_model::FaultList;
+use sram_sim::{CoverageReport, JsonObject, Report, Session};
+
+use crate::optimize::minimise_with;
+use crate::{GeneratedTest, GeneratorConfig, MarchGenerator};
+
+/// The result of a session minimisation: the shortened march test plus the
+/// number of operations removed, with the common [`Report`] surface.
+#[derive(Debug, Clone)]
+pub struct MinimisationReport {
+    test: MarchTest,
+    removed: usize,
+}
+
+impl MinimisationReport {
+    /// The minimised march test.
+    #[must_use]
+    pub fn test(&self) -> &MarchTest {
+        &self.test
+    }
+
+    /// Number of operations the removal pass deleted.
+    #[must_use]
+    pub fn removed_operations(&self) -> usize {
+        self.removed
+    }
+
+    /// Consumes the report and returns the minimised test.
+    #[must_use]
+    pub fn into_test(self) -> MarchTest {
+        self.test
+    }
+}
+
+impl fmt::Display for MinimisationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "removed {} operations -> {} [{}]",
+            self.removed,
+            self.test,
+            self.test.complexity_label()
+        )
+    }
+}
+
+impl Report for MinimisationReport {
+    fn kind(&self) -> &'static str {
+        "minimisation"
+    }
+
+    fn summary(&self) -> String {
+        self.to_string()
+    }
+
+    fn detail_lines(&self) -> Vec<String> {
+        vec![self.test.notation()]
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("report", self.kind())
+            .string("name", self.test.name())
+            .string("notation", &self.test.notation())
+            .number("complexity", self.test.complexity() as u64)
+            .number("removed_operations", self.removed as u64)
+            .build()
+    }
+}
+
+impl Report for GeneratedTest {
+    fn kind(&self) -> &'static str {
+        "generation"
+    }
+
+    fn summary(&self) -> String {
+        self.to_string()
+    }
+
+    fn detail_lines(&self) -> Vec<String> {
+        self.report()
+            .element_history()
+            .iter()
+            .map(|(element, covered)| format!("{element} -> {covered} newly covered"))
+            .chain(
+                self.report()
+                    .uncovered()
+                    .iter()
+                    .map(|target| format!("uncovered: {target}")),
+            )
+            .collect()
+    }
+
+    fn to_json(&self) -> String {
+        let history = self
+            .report()
+            .element_history()
+            .iter()
+            .map(|(element, covered)| {
+                JsonObject::new()
+                    .string("element", element)
+                    .number("covered", *covered as u64)
+                    .build()
+            });
+        JsonObject::new()
+            .string("report", self.kind())
+            .string("name", self.test().name())
+            .string("notation", &self.test().notation())
+            .number("complexity", self.test().complexity() as u64)
+            .boolean("complete", self.report().is_complete())
+            .number("initial_targets", self.report().initial_targets() as u64)
+            .number("iterations", self.report().iterations() as u64)
+            .number(
+                "removed_operations",
+                self.report().removed_operations() as u64,
+            )
+            .float("elapsed_s", self.report().elapsed().as_secs_f64())
+            .strings("uncovered", self.report().uncovered().iter().cloned())
+            .raw_array("element_history", history)
+            .build()
+    }
+}
+
+/// Pipeline entry points on [`Session`]: march-test generation, redundancy
+/// removal and simulator-backed verification, all inheriting the session's
+/// [`ExecPolicy`](sram_sim::ExecPolicy) and simulation scope.
+pub trait SessionExt {
+    /// Generates a march test for `list` with the paper's default generator
+    /// setup, scoring candidates and re-verifying removals on this session's
+    /// worker pool. Byte-identical to
+    /// [`MarchGenerator::generate`] under the same policy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_gen::SessionExt;
+    /// use sram_fault_model::FaultList;
+    /// use sram_sim::{ExecPolicy, Session};
+    ///
+    /// let session = Session::new(ExecPolicy::fast());
+    /// let generated = session.generate(&FaultList::list_2());
+    /// assert!(generated.report().is_complete());
+    /// ```
+    fn generate(&self, list: &FaultList) -> GeneratedTest;
+
+    /// Like [`SessionExt::generate`] with an explicit generator configuration
+    /// (orders, repair pool, redundancy removal, …). The configuration's
+    /// `exec` policy and scope are overridden by the session's.
+    fn generate_with_config(&self, list: &FaultList, config: GeneratorConfig) -> GeneratedTest;
+
+    /// Removes redundant operations from `test` while preserving complete
+    /// coverage of `list` — the session form of
+    /// [`minimise`](crate::minimise), returning a typed [`MinimisationReport`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_gen::SessionExt;
+    /// use march_test::MarchTest;
+    /// use sram_fault_model::FaultList;
+    /// use sram_sim::Session;
+    ///
+    /// let session = Session::default();
+    /// let padded = MarchTest::parse("padded", "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)")?;
+    /// let report = session.minimise(&padded, &FaultList::list_2());
+    /// assert!(report.removed_operations() >= 2);
+    /// # Ok::<(), march_test::ParseMarchError>(())
+    /// ```
+    fn minimise(&self, test: &MarchTest, list: &FaultList) -> MinimisationReport;
+
+    /// Verifies `test` against `list` by fault simulation under the session's
+    /// scope — the session form of [`verify`](crate::verify), identical to
+    /// [`Session::coverage`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_gen::SessionExt;
+    /// use march_test::catalog;
+    /// use sram_fault_model::FaultList;
+    /// use sram_sim::Session;
+    ///
+    /// let session = Session::default();
+    /// let report = session.verify(&catalog::march_sl(), &FaultList::list_2());
+    /// assert!(report.is_complete());
+    /// ```
+    fn verify(&self, test: &MarchTest, list: &FaultList) -> CoverageReport;
+}
+
+/// The generator configuration equivalent to a session's policy and scope.
+fn generator_config(session: &Session) -> GeneratorConfig {
+    GeneratorConfig {
+        memory_cells: session.memory_cells(),
+        strategy: session.strategy(),
+        backgrounds: session.backgrounds().to_vec(),
+        exec: session.policy(),
+        ..GeneratorConfig::default()
+    }
+}
+
+impl SessionExt for Session {
+    fn generate(&self, list: &FaultList) -> GeneratedTest {
+        self.generate_with_config(list, GeneratorConfig::default())
+    }
+
+    fn generate_with_config(&self, list: &FaultList, config: GeneratorConfig) -> GeneratedTest {
+        let config = GeneratorConfig {
+            memory_cells: self.memory_cells(),
+            strategy: self.strategy(),
+            backgrounds: self.backgrounds().to_vec(),
+            exec: self.policy(),
+            ..config
+        };
+        MarchGenerator::with_config(list.clone(), config).generate_with(self)
+    }
+
+    fn minimise(&self, test: &MarchTest, list: &FaultList) -> MinimisationReport {
+        let config = generator_config(self);
+        let (test, removed) = minimise_with(self, test, list, &config);
+        MinimisationReport { test, removed }
+    }
+
+    fn verify(&self, test: &MarchTest, list: &FaultList) -> CoverageReport {
+        self.coverage(test, list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::catalog;
+    use sram_sim::{measure_coverage, BackendKind, ExecPolicy};
+
+    #[test]
+    fn session_generate_matches_the_legacy_generator() {
+        let list = FaultList::list_2();
+        let legacy = MarchGenerator::new(list.clone()).generate();
+        for policy in [
+            ExecPolicy::default(),
+            ExecPolicy::default().with_threads(2).with_batch(7),
+            ExecPolicy::default().with_backend(BackendKind::Scalar),
+        ] {
+            let session = Session::new(policy);
+            let generated = session.generate(&list);
+            assert_eq!(
+                generated.test().notation(),
+                legacy.test().notation(),
+                "policy {policy:?}"
+            );
+            assert_eq!(
+                generated.report().iterations(),
+                legacy.report().iterations()
+            );
+        }
+    }
+
+    #[test]
+    fn session_minimise_matches_the_legacy_pass() {
+        let padded = MarchTest::parse(
+            "padded ABL1",
+            "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+        )
+        .unwrap();
+        let list = FaultList::list_2();
+        let (legacy_test, legacy_removed) =
+            crate::minimise(&padded, &list, &GeneratorConfig::default());
+        let session = Session::default();
+        let report = session.minimise(&padded, &list);
+        assert_eq!(report.test().notation(), legacy_test.notation());
+        assert_eq!(report.removed_operations(), legacy_removed);
+        assert!(report.summary().contains("removed"));
+        assert!(report
+            .to_json()
+            .starts_with("{\"report\": \"minimisation\""));
+        assert_eq!(report.detail_lines(), vec![legacy_test.notation()]);
+        assert_eq!(
+            report.clone().into_test().notation(),
+            legacy_test.notation()
+        );
+    }
+
+    #[test]
+    fn session_verify_matches_measure_coverage() {
+        let session = Session::default();
+        let list = FaultList::list_2();
+        let report = session.verify(&catalog::march_sl(), &list);
+        let legacy = measure_coverage(&catalog::march_sl(), &list, &session.coverage_config());
+        assert_eq!(report, legacy);
+    }
+
+    #[test]
+    fn generated_test_report_serialises() {
+        let generated = Session::default().generate(&FaultList::list_2());
+        let json = generated.to_json();
+        assert!(json.starts_with("{\"report\": \"generation\""));
+        assert!(json.contains("\"complete\": true"));
+        assert!(json.contains("\"element_history\": ["));
+        assert!(!generated.detail_lines().is_empty());
+        assert_eq!(generated.summary(), generated.to_string());
+    }
+}

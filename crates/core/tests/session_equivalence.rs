@@ -1,0 +1,112 @@
+//! Property-based equivalence of the session-based generation pipeline and
+//! the legacy free functions: for random execution policies (backend × thread
+//! count × batch width × wave-cost factor), `session.generate`,
+//! `session.minimise` and `session.verify` must be byte-identical to the
+//! legacy `MarchGenerator::generate` / `minimise` / `verify` paths.
+
+use std::sync::OnceLock;
+
+use march_gen::{minimise, GeneratorConfig, MarchGenerator, SessionExt};
+use march_test::MarchTest;
+use proptest::prelude::*;
+use sram_fault_model::FaultList;
+use sram_sim::{BackendKind, ExecPolicy, Session};
+
+fn arbitrary_policy() -> impl Strategy<Value = ExecPolicy> {
+    (
+        prop_oneof![Just(BackendKind::Scalar), Just(BackendKind::Packed)],
+        0usize..4,
+        prop_oneof![Just(0usize), Just(1usize), Just(7usize), Just(64usize)],
+        prop_oneof![Just(1usize), Just(3usize), Just(10usize)],
+    )
+        .prop_map(|(backend, threads, batch, factor)| {
+            ExecPolicy::default()
+                .with_backend(backend)
+                .with_threads(threads)
+                .with_batch(batch)
+                .with_wave_cost_factor(factor)
+        })
+}
+
+/// The serial-default legacy generation baseline, computed once.
+fn legacy_generation() -> &'static (String, usize) {
+    static BASELINE: OnceLock<(String, usize)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let generated = MarchGenerator::new(FaultList::list_2()).generate();
+        (generated.test().notation(), generated.report().iterations())
+    })
+}
+
+fn padded_test() -> MarchTest {
+    MarchTest::parse(
+        "padded ABL1",
+        "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+    )
+    .expect("valid notation")
+}
+
+/// The serial-default legacy minimisation baseline, computed once.
+fn legacy_minimisation() -> &'static (String, usize) {
+    static BASELINE: OnceLock<(String, usize)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let (test, removed) = minimise(
+            &padded_test(),
+            &FaultList::list_2(),
+            &GeneratorConfig::default(),
+        );
+        (test.notation(), removed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The generated test (notation *and* greedy iteration count) is invariant
+    /// in the whole execution policy, through sessions and the legacy path.
+    #[test]
+    fn session_generation_is_policy_invariant(policy in arbitrary_policy()) {
+        let list = FaultList::list_2();
+        let (expected_notation, expected_iterations) = legacy_generation();
+
+        let session = Session::new(policy);
+        let generated = session.generate(&list);
+        prop_assert_eq!(&generated.test().notation(), expected_notation, "policy {:?}", policy);
+        prop_assert_eq!(generated.report().iterations(), *expected_iterations);
+
+        // The legacy path with the same policy agrees too.
+        let legacy = MarchGenerator::with_config(
+            list,
+            GeneratorConfig::default().with_exec(policy),
+        )
+        .generate();
+        prop_assert_eq!(&legacy.test().notation(), expected_notation);
+    }
+
+    /// The minimised test and removal count are invariant in the policy.
+    #[test]
+    fn session_minimisation_is_policy_invariant(policy in arbitrary_policy()) {
+        let list = FaultList::list_2();
+        let (expected_notation, expected_removed) = legacy_minimisation();
+
+        let session = Session::new(policy);
+        let report = session.minimise(&padded_test(), &list);
+        prop_assert_eq!(&report.test().notation(), expected_notation, "policy {:?}", policy);
+        prop_assert_eq!(report.removed_operations(), *expected_removed);
+    }
+
+    /// `session.verify` equals the legacy `verify` free function under the
+    /// configuration derived from the same policy.
+    #[test]
+    fn session_verification_is_policy_invariant(policy in arbitrary_policy()) {
+        let list = FaultList::list_2();
+        let test = march_test::catalog::march_sl();
+        let session = Session::new(policy);
+        let config = GeneratorConfig::default()
+            .with_exec(policy)
+            .verification_config();
+        prop_assert_eq!(
+            session.verify(&test, &list),
+            march_gen::verify(&test, &list, &config)
+        );
+    }
+}

@@ -263,6 +263,7 @@ impl CandidateBatch {
 pub struct TargetBatch {
     target: TargetKind,
     state: BatchState,
+    wave_cost_factor: usize,
 }
 
 impl TargetBatch {
@@ -301,7 +302,22 @@ impl TargetBatch {
                     .collect(),
             ),
         };
-        TargetBatch { target, state }
+        TargetBatch {
+            target,
+            state,
+            wave_cost_factor: crate::DEFAULT_WAVE_COST_FACTOR,
+        }
+    }
+
+    /// Replaces the wave-vs-per-candidate cost-model factor (see
+    /// [`ExecPolicy::wave_cost_factor`](crate::ExecPolicy)): the candidate
+    /// wave is chosen when `pending × padded slots × factor ≤ Σ candidate
+    /// ops`. Both strategies are exact, so [`TargetBatch::score_pool`] returns
+    /// identical scores for every factor — only the wall-clock changes.
+    #[must_use]
+    pub fn with_wave_cost_factor(mut self, factor: usize) -> TargetBatch {
+        self.wave_cost_factor = factor;
+        self
     }
 
     /// The fault target the batch instantiates.
@@ -380,11 +396,11 @@ impl TargetBatch {
                     if pending == 0 {
                         continue;
                     }
-                    // The wave pays ~3 masked group passes per padded slot per
-                    // pending lane; the per-candidate pass pays one plain pass
-                    // per operation of every candidate.
+                    // The wave pays ~`wave_cost_factor` masked group passes
+                    // per padded slot per pending lane; the per-candidate pass
+                    // pays one plain pass per operation of every candidate.
                     let pending_count = pending.count_ones() as usize;
-                    let wave_cost = pending_count * pool.max_ops() * 3;
+                    let wave_cost = pending_count * pool.max_ops() * self.wave_cost_factor;
                     if wave_cost <= pool.total_ops() {
                         let mut lanes = pending;
                         while lanes != 0 {
@@ -610,6 +626,28 @@ mod tests {
             assert_eq!(scalar.score_pool(&pool), packed.score_pool(&pool));
         }
         assert_eq!(packed.pending(), 0);
+    }
+
+    #[test]
+    fn wave_cost_factor_is_result_invariant() {
+        // Factor 0 forces the wave on every chunk, a huge factor forces the
+        // per-candidate pass; the scores must not change either way.
+        let mut pool = catalog::march_sl().elements().to_vec();
+        pool.extend(catalog::mats_plus().elements().iter().cloned());
+        let packed_pool = CandidateBatch::new(pool).unwrap();
+        let batches = batches_for(BackendKind::Packed);
+        for batch in &batches {
+            let reference = batch.score_pool(&packed_pool);
+            for factor in [0usize, 1, 3, 1_000_000] {
+                let tuned = batch.clone().with_wave_cost_factor(factor);
+                assert_eq!(
+                    tuned.score_pool(&packed_pool),
+                    reference,
+                    "factor {factor} changed scores on {}",
+                    batch.target()
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Every fault target (simple primitive or linked fault) is simulated under
 //! every coverage lane — the cross product of its enumerated cell placements
 //! and the configured data backgrounds — by the selected
-//! [`SimulationBackend`]; the targets themselves are fanned out over threads
-//! with [`parallel_map`](crate::parallel_map). The report (counts, per-topology
+//! [`SimulationBackend`]; the targets themselves are fanned out over the
+//! worker pool of a [`Session`](crate::Session) ([`measure_coverage`] is a
+//! thin shim building a throwaway one). The report (counts, per-topology
 //! break-down and the stable-sorted escape list) is byte-identical across
 //! backends and thread counts.
 
@@ -15,7 +16,6 @@ use march_test::MarchTest;
 use sram_fault_model::{Bit, FaultList, FaultPrimitive, LinkTopology, LinkedFault};
 
 use crate::backend::{enumerate_lanes, BackendKind, SimulationBackend};
-use crate::parallel::parallel_map;
 use crate::{InitialState, InstanceCells, PlacementStrategy};
 
 /// Which kind of target escaped a march test.
@@ -244,19 +244,30 @@ impl fmt::Display for CoverageReport {
 /// and simulated under every configured background by the configured backend;
 /// the target is covered only if every combination is detected. Targets are
 /// evaluated in parallel over `config.threads` workers.
+///
+/// This is now a thin shim constructing a throwaway [`Session`](crate::Session)
+/// per call; long-lived callers should build one session and use
+/// [`Session::coverage`](crate::Session::coverage), which re-uses its worker
+/// pool across queries. The report is byte-identical either way.
 #[must_use]
 pub fn measure_coverage(
     test: &MarchTest,
     list: &FaultList,
     config: &CoverageConfig,
 ) -> CoverageReport {
-    let targets = enumerate_targets(list);
+    crate::Session::from_coverage_config(config).coverage(test, list)
+}
 
-    let backend = config.backend.instance();
-    let first_escapes: Vec<Option<Escape>> = parallel_map(&targets, config.threads, |target| {
-        target_escape(backend.as_ref(), test, target, config)
-    });
-
+/// Assembles a [`CoverageReport`] from the per-target first escapes, in target
+/// order — shared by the session and (through it) the legacy free function.
+/// Escapes are stable-sorted by [`Escape::sort_key`] so reports are
+/// byte-identical across backends and thread counts.
+pub(crate) fn assemble_coverage_report(
+    test_name: &str,
+    list_name: &str,
+    targets: &[TargetKind],
+    first_escapes: Vec<Option<Escape>>,
+) -> CoverageReport {
     let mut covered = 0usize;
     let mut escapes = Vec::new();
     let mut by_topology: BTreeMap<LinkTopology, (usize, usize)> = BTreeMap::new();
@@ -277,8 +288,8 @@ pub fn measure_coverage(
     escapes.sort_by_cached_key(Escape::sort_key);
 
     CoverageReport {
-        test_name: test.name().to_string(),
-        list_name: list.name().to_string(),
+        test_name: test_name.to_string(),
+        list_name: list_name.to_string(),
         total: targets.len(),
         covered,
         escapes,
@@ -303,20 +314,17 @@ pub fn enumerate_targets(list: &FaultList) -> Vec<TargetKind> {
 }
 
 /// The first lane of `target` the test fails on, as an [`Escape`].
-fn target_escape(
+pub(crate) fn target_escape(
     backend: &dyn SimulationBackend,
     test: &MarchTest,
     target: &TargetKind,
-    config: &CoverageConfig,
+    memory_cells: usize,
+    strategy: PlacementStrategy,
+    backgrounds: &[InitialState],
 ) -> Option<Escape> {
-    let lanes = enumerate_lanes(
-        target,
-        config.memory_cells,
-        config.strategy,
-        &config.backgrounds,
-    );
+    let lanes = enumerate_lanes(target, memory_cells, strategy, backgrounds);
     backend
-        .first_undetected(test, target, &lanes, config.memory_cells)
+        .first_undetected(test, target, &lanes, memory_cells)
         .map(|index| Escape {
             target: target.clone(),
             cells: lanes[index].cells,
@@ -333,7 +341,9 @@ pub fn detects_linked(test: &MarchTest, fault: &LinkedFault, config: &CoverageCo
         backend.as_ref(),
         test,
         &TargetKind::Linked(fault.clone()),
-        config,
+        config.memory_cells,
+        config.strategy,
+        &config.backgrounds,
     )
     .is_none()
 }
@@ -351,7 +361,9 @@ pub fn detects_simple(
         backend.as_ref(),
         test,
         &TargetKind::Simple(primitive.clone()),
-        config,
+        config.memory_cells,
+        config.strategy,
+        &config.backgrounds,
     )
     .is_none()
 }

@@ -18,7 +18,11 @@
 //! * evaluates coverage through pluggable [`SimulationBackend`]s — the scalar
 //!   dual-memory engine ([`ScalarBackend`]) or the bit-parallel packed engine
 //!   ([`PackedBackend`], up to 64 fault instances per `u64` word) — fanning the
-//!   fault targets out over worker threads ([`parallel_map`]).
+//!   fault targets out over worker threads ([`parallel_map`]);
+//! * exposes the whole pipeline through one long-lived engine handle
+//!   ([`Session`]), built from a unified [`ExecPolicy`] and owning a
+//!   persistent [`WorkerPool`], whose methods return [`Report`]s with
+//!   dependency-free JSON serialisation.
 //!
 //! Masking between the two components of a linked fault is *emergent*: both fault
 //! primitives are injected as independent behavioural rules and masking happens
@@ -57,7 +61,10 @@ mod inject;
 mod memory;
 mod parallel;
 mod placement;
+mod policy;
+mod report;
 mod run;
+mod session;
 
 pub use backend::{
     enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,
@@ -74,9 +81,12 @@ pub use engine::{FaultSimulator, OperationOutcome};
 pub use error::SimulationError;
 pub use inject::{InjectedFault, InstanceCells, LinkedFaultInstance};
 pub use memory::{InitialState, Memory};
-pub use parallel::{effective_threads, parallel_map};
+pub use parallel::{effective_threads, parallel_map, WorkerPool};
 pub use placement::{enumerate_placements, PlacementStrategy};
+pub use policy::{ExecPolicy, DEFAULT_WAVE_COST_FACTOR};
+pub use report::{json_escape, DiagnosisReport, JsonObject, Report};
 pub use run::{run_march, Failure, MarchRun};
+pub use session::Session;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimulationError>;

@@ -1,0 +1,137 @@
+//! The unified execution policy of the simulation stack.
+//!
+//! Before [`ExecPolicy`], every pipeline stage carried its own copy of the
+//! execution knobs — `CoverageConfig { backend, threads }` for coverage,
+//! `GeneratorConfig { backend, threads, batch }` for generation — and the CLI
+//! and benches re-plumbed the triple independently. `ExecPolicy` owns those
+//! knobs once; a [`Session`](crate::Session) is built from it and every
+//! pipeline entry point inherits the same policy.
+
+use crate::backend::BackendKind;
+
+/// The default wave-vs-per-candidate cost-model factor.
+///
+/// The packed candidate-wave evaluator pays roughly this many masked group
+/// passes per padded operation slot per pending lane, versus one plain pass
+/// per operation of every candidate on the per-candidate path (see
+/// [`TargetBatch::score_pool`](crate::TargetBatch::score_pool)). The value is
+/// calibrated from the committed `BENCH_simulation.json` trajectory: with a
+/// factor of 3 the batched repair-pool workloads run 10–12× over per-candidate
+/// scoring, and nudging the factor to 2 or 4 flips the switch on pool shapes
+/// where the measured times show the other path is cheaper.
+pub const DEFAULT_WAVE_COST_FACTOR: usize = 3;
+
+/// Execution policy shared by every pipeline stage: which backend simulates,
+/// how many worker threads fan the work out, how many candidates are packed
+/// per scoring batch, and the cost-model threshold that picks between the
+/// candidate-wave and per-candidate scoring strategies.
+///
+/// Every knob is *result-invariant*: verdicts, reports and generated tests
+/// are byte-identical for every policy; only the wall-clock changes.
+///
+/// # Examples
+///
+/// ```
+/// use sram_sim::{BackendKind, ExecPolicy};
+///
+/// let policy = ExecPolicy::default().with_threads(0).with_batch(32);
+/// assert_eq!(policy.backend, BackendKind::Packed);
+/// assert_eq!(policy.batch, 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecPolicy {
+    /// Which simulation backend evaluates coverage lanes and candidates.
+    /// Defaults to the bit-parallel packed engine.
+    pub backend: BackendKind,
+    /// Worker threads the fault targets / scoring grid fan out over
+    /// (`1` = serial, `0` = available parallelism).
+    pub threads: usize,
+    /// Maximum candidates packed per [`CandidateBatch`](crate::CandidateBatch)
+    /// when scoring (`0` = full 64-lane words, `1` = per-candidate scoring).
+    pub batch: usize,
+    /// The wave-vs-per-candidate switch: the candidate wave is used when
+    /// `pending lanes × padded slots × wave_cost_factor ≤ Σ candidate ops`.
+    /// Defaults to [`DEFAULT_WAVE_COST_FACTOR`]; both strategies are exact,
+    /// so any value is result-identical.
+    pub wave_cost_factor: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            backend: BackendKind::Packed,
+            threads: 1,
+            batch: 0,
+            wave_cost_factor: DEFAULT_WAVE_COST_FACTOR,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// A policy using every available core and full scoring words — the fast
+    /// path for large workloads. Results are identical to the default policy.
+    #[must_use]
+    pub fn fast() -> ExecPolicy {
+        ExecPolicy {
+            threads: 0,
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// Replaces the simulation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> ExecPolicy {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ExecPolicy {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the candidate-batch width (`0` = full 64-candidate words,
+    /// `1` = per-candidate scoring).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> ExecPolicy {
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the wave-vs-per-candidate cost-model factor.
+    #[must_use]
+    pub fn with_wave_cost_factor(mut self, factor: usize) -> ExecPolicy {
+        self.wave_cost_factor = factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_legacy_knobs() {
+        let policy = ExecPolicy::default();
+        assert_eq!(policy.backend, BackendKind::Packed);
+        assert_eq!(policy.threads, 1);
+        assert_eq!(policy.batch, 0);
+        assert_eq!(policy.wave_cost_factor, DEFAULT_WAVE_COST_FACTOR);
+        assert_eq!(ExecPolicy::fast().threads, 0);
+    }
+
+    #[test]
+    fn builders_set_the_knobs() {
+        let policy = ExecPolicy::default()
+            .with_backend(BackendKind::Scalar)
+            .with_threads(4)
+            .with_batch(16)
+            .with_wave_cost_factor(5);
+        assert_eq!(policy.backend, BackendKind::Scalar);
+        assert_eq!(policy.threads, 4);
+        assert_eq!(policy.batch, 16);
+        assert_eq!(policy.wave_cost_factor, 5);
+    }
+}

@@ -1,0 +1,514 @@
+//! The session execution API: one long-lived engine handle for the whole
+//! pipeline.
+//!
+//! A [`Session`] is built **once** from an [`ExecPolicy`] and owns everything
+//! execution-related: the simulation backend instance, the candidate-batching
+//! and cost-model knobs, and — when the policy asks for more than one worker
+//! thread — a persistent [`WorkerPool`] that outlives individual queries, so
+//! repeated coverage / generation / diagnosis calls stop paying per-call
+//! thread spawn. Every result is byte-identical to the legacy free functions
+//! (`measure_coverage`, `run_march`, `diagnose`), which are now thin shims
+//! constructing a throwaway session.
+
+use std::sync::Arc;
+
+use march_test::MarchTest;
+use sram_fault_model::FaultList;
+
+use crate::backend::SimulationBackend;
+use crate::coverage::{assemble_coverage_report, enumerate_targets, target_escape, Escape};
+use crate::parallel::WorkerPool;
+use crate::report::DiagnosisReport;
+use crate::run::run_march;
+use crate::{
+    diagnose, CoverageConfig, CoverageReport, ExecPolicy, FaultDictionary, FaultSimulator,
+    InitialState, InjectedFault, LinkedFaultInstance, MarchRun, PlacementStrategy, Result,
+    Syndrome,
+};
+
+/// A reusable engine handle owning the execution policy and the resident
+/// worker pool of the simulation pipeline.
+///
+/// The session also carries the *simulation scope* — memory size, placement
+/// strategy and data backgrounds — defaulting to the paper's thorough
+/// verification setup (8 cells, representative placements, both uniform
+/// backgrounds). Execution policy is fixed at construction; the scope is
+/// adjustable with the builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use march_test::catalog;
+/// use sram_fault_model::FaultList;
+/// use sram_sim::{ExecPolicy, Session};
+///
+/// let session = Session::new(ExecPolicy::default().with_threads(2));
+/// // Repeated queries re-use the same worker pool...
+/// let ss = session.coverage(&catalog::march_ss(), &FaultList::unlinked_static());
+/// let sl = session.coverage(&catalog::march_sl(), &FaultList::list_2());
+/// assert!(ss.is_complete() && sl.is_complete());
+/// // ...no new workers were spawned between the calls.
+/// assert_eq!(session.workers_spawned(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    policy: ExecPolicy,
+    memory_cells: usize,
+    strategy: PlacementStrategy,
+    backgrounds: Vec<InitialState>,
+    backend: Arc<dyn SimulationBackend>,
+    pool: Option<WorkerPool>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(ExecPolicy::default())
+    }
+}
+
+impl Session {
+    /// Builds a session from `policy`, spawning the resident worker pool when
+    /// the policy resolves to more than one thread. The simulation scope
+    /// defaults to [`CoverageConfig::thorough`]: an 8-cell memory,
+    /// representative placements, detection required under both uniform
+    /// backgrounds.
+    #[must_use]
+    pub fn new(policy: ExecPolicy) -> Session {
+        let scope = CoverageConfig::thorough();
+        let pool = match policy.threads {
+            1 => None,
+            threads => Some(WorkerPool::new(threads)),
+        };
+        Session {
+            policy,
+            memory_cells: scope.memory_cells,
+            strategy: scope.strategy,
+            backgrounds: scope.backgrounds,
+            backend: Arc::from(policy.backend.instance()),
+            pool,
+        }
+    }
+
+    /// Builds a session whose scope *and* policy mirror a legacy
+    /// [`CoverageConfig`] — the bridge the deprecated free functions use.
+    #[must_use]
+    pub fn from_coverage_config(config: &CoverageConfig) -> Session {
+        Session::new(
+            ExecPolicy::default()
+                .with_backend(config.backend)
+                .with_threads(config.threads),
+        )
+        .with_memory_cells(config.memory_cells)
+        .with_strategy(config.strategy)
+        .with_backgrounds(config.backgrounds.clone())
+    }
+
+    /// Replaces the simulated memory size (≥ 4 cells).
+    #[must_use]
+    pub fn with_memory_cells(mut self, memory_cells: usize) -> Session {
+        self.memory_cells = memory_cells;
+        self
+    }
+
+    /// Replaces the placement-enumeration strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: PlacementStrategy) -> Session {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the data backgrounds each fault must be detected under.
+    #[must_use]
+    pub fn with_backgrounds(mut self, backgrounds: Vec<InitialState>) -> Session {
+        self.backgrounds = backgrounds;
+        self
+    }
+
+    /// The execution policy the session was built from.
+    #[must_use]
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// The simulated memory size in cells.
+    #[must_use]
+    pub fn memory_cells(&self) -> usize {
+        self.memory_cells
+    }
+
+    /// The placement-enumeration strategy.
+    #[must_use]
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// The data backgrounds each fault must be detected under.
+    #[must_use]
+    pub fn backgrounds(&self) -> &[InitialState] {
+        &self.backgrounds
+    }
+
+    /// The session's backend instance (shared, stateless).
+    #[must_use]
+    pub fn backend_instance(&self) -> Arc<dyn SimulationBackend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The legacy [`CoverageConfig`] equivalent of this session — what the
+    /// deprecated free-function path would have been called with.
+    #[must_use]
+    pub fn coverage_config(&self) -> CoverageConfig {
+        CoverageConfig {
+            memory_cells: self.memory_cells,
+            strategy: self.strategy,
+            backgrounds: self.backgrounds.clone(),
+            backend: self.policy.backend,
+            threads: self.policy.threads,
+        }
+    }
+
+    /// Returns `true` when the session owns a worker pool (resolved thread
+    /// count > 1); `false` means every query runs serially on the caller.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Total worker threads spawned since the session was built. Stays
+    /// constant across queries — the observable pool-reuse guarantee.
+    #[must_use]
+    pub fn workers_spawned(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers_spawned)
+    }
+
+    /// Number of fan-out jobs the session's pool has executed.
+    #[must_use]
+    pub fn jobs_executed(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::generation)
+    }
+
+    /// Fans `map` out over the session's resident workers, returning results
+    /// in item order (serially on the caller when the session is not
+    /// parallel). This is the deterministic-merge primitive the downstream
+    /// crates (generator, minimiser) build their sharding on.
+    pub fn execute<T, R, F>(&self, items: Arc<Vec<T>>, map: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        match &self.pool {
+            Some(pool) => pool.map(items, map),
+            None => items.iter().map(map).collect(),
+        }
+    }
+
+    /// Measures the coverage of `test` over `list` under the session's scope
+    /// and policy — the session form of
+    /// [`measure_coverage`](crate::measure_coverage), byte-identical to it for
+    /// every backend and thread count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_test::catalog;
+    /// use sram_fault_model::FaultList;
+    /// use sram_sim::Session;
+    ///
+    /// let session = Session::default();
+    /// let report = session.coverage(&catalog::march_ss(), &FaultList::unlinked_static());
+    /// assert!(report.is_complete());
+    /// ```
+    #[must_use]
+    pub fn coverage(&self, test: &MarchTest, list: &FaultList) -> CoverageReport {
+        let targets = Arc::new(enumerate_targets(list));
+        let first_escapes: Vec<Option<Escape>> = match &self.pool {
+            Some(pool) => {
+                let test = test.clone();
+                let backend = Arc::clone(&self.backend);
+                let memory_cells = self.memory_cells;
+                let strategy = self.strategy;
+                let backgrounds = self.backgrounds.clone();
+                pool.map(Arc::clone(&targets), move |target| {
+                    target_escape(
+                        backend.as_ref(),
+                        &test,
+                        target,
+                        memory_cells,
+                        strategy,
+                        &backgrounds,
+                    )
+                })
+            }
+            None => targets
+                .iter()
+                .map(|target| {
+                    target_escape(
+                        self.backend.as_ref(),
+                        test,
+                        target,
+                        self.memory_cells,
+                        self.strategy,
+                        &self.backgrounds,
+                    )
+                })
+                .collect(),
+        };
+        assemble_coverage_report(test.name(), list.name(), &targets, first_escapes)
+    }
+
+    /// Executes `test` against a memory with `fault` injected, under the
+    /// session's memory size and first background — the session form of
+    /// [`run_march`](crate::run_march).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`](crate::SimulationError) when the session's
+    /// memory scope cannot host the fault instance.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_test::catalog;
+    /// use sram_fault_model::Ffm;
+    /// use sram_sim::{InjectedFault, Session};
+    ///
+    /// let session = Session::default();
+    /// let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+    /// let fault = InjectedFault::single_cell(tf, 3, session.memory_cells())?;
+    /// let run = session.run(&catalog::march_ss(), &fault)?;
+    /// assert!(run.detected());
+    /// # Ok::<(), sram_sim::SimulationError>(())
+    /// ```
+    pub fn run(&self, test: &MarchTest, fault: &InjectedFault) -> Result<MarchRun> {
+        let mut simulator = self.device()?;
+        simulator.inject(fault.clone());
+        Ok(run_march(test, &mut simulator))
+    }
+
+    /// Like [`Session::run`] for a linked-fault instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`](crate::SimulationError) when the session's
+    /// memory scope cannot host the instance.
+    pub fn run_linked(&self, test: &MarchTest, fault: &LinkedFaultInstance) -> Result<MarchRun> {
+        let mut simulator = self.device()?;
+        simulator.inject_linked(fault);
+        Ok(run_march(test, &mut simulator))
+    }
+
+    /// Builds a [`FaultDictionary`] for `test` over `list` under the session's
+    /// scope — the pre-computed syndrome database
+    /// [`Session::diagnose`] looks candidates up in.
+    #[must_use]
+    pub fn dictionary(&self, test: &MarchTest, list: &FaultList) -> FaultDictionary {
+        FaultDictionary::build(test, list, &self.coverage_config())
+    }
+
+    /// Diagnoses an observed `syndrome` against a pre-computed fault
+    /// `dictionary`: the returned report holds every fault instance whose
+    /// recorded syndrome equals the observed one (one index lookup — the fast
+    /// path for repeated queries against the same test and fault space).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_test::catalog;
+    /// use sram_fault_model::{FaultListBuilder, Ffm};
+    /// use sram_sim::{InjectedFault, Report, Session, Syndrome};
+    ///
+    /// let session = Session::default().with_memory_cells(6);
+    /// let list = FaultListBuilder::new("tf").family(Ffm::TransitionFault).build()?;
+    /// let dictionary = session.dictionary(&catalog::march_ss(), &list);
+    ///
+    /// // A device with an (unknown to us) transition fault on cell 4.
+    /// let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+    /// let fault = InjectedFault::single_cell(tf, 4, 6)?;
+    /// let syndrome = session.observe(&catalog::march_ss(), &fault)?;
+    ///
+    /// let report = session.diagnose(&syndrome, &dictionary);
+    /// assert!(report.candidates().iter().all(|c| c.cells.victim == 4));
+    /// println!("{}", report.to_json());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn diagnose(&self, syndrome: &Syndrome, dictionary: &FaultDictionary) -> DiagnosisReport {
+        let candidates = dictionary
+            .lookup(syndrome)
+            .into_iter()
+            .filter(|entry| !entry.syndrome.is_empty())
+            .map(|entry| crate::DiagnosisCandidate {
+                target: entry.target.clone(),
+                cells: entry.cells,
+            })
+            .collect();
+        DiagnosisReport::new(dictionary.test_name(), syndrome.clone(), candidates)
+    }
+
+    /// Diagnoses `syndrome` by a full simulation sweep of `list` under `test`
+    /// — the session form of [`diagnose`](crate::diagnose()), for one-off
+    /// queries where building a dictionary would not amortise.
+    #[must_use]
+    pub fn diagnose_sweep(
+        &self,
+        test: &MarchTest,
+        syndrome: &Syndrome,
+        list: &FaultList,
+    ) -> DiagnosisReport {
+        let candidates = diagnose(test, syndrome, list, &self.coverage_config());
+        DiagnosisReport::new(test.name(), syndrome.clone(), candidates)
+    }
+
+    /// Runs `test` on a device carrying `fault` and returns the observed
+    /// syndrome — the input to [`Session::diagnose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`](crate::SimulationError) when the session's
+    /// memory scope cannot host the fault instance.
+    pub fn observe(&self, test: &MarchTest, fault: &InjectedFault) -> Result<Syndrome> {
+        let mut simulator = self.device()?;
+        simulator.inject(fault.clone());
+        Ok(Syndrome::observe(test, &mut simulator))
+    }
+
+    /// A fresh fault-free simulator with the session's memory size and first
+    /// background (all-zero under the default thorough scope).
+    fn device(&self) -> Result<FaultSimulator> {
+        let background = self
+            .backgrounds
+            .first()
+            .cloned()
+            .unwrap_or(InitialState::AllOne);
+        FaultSimulator::new(self.memory_cells, &background)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_coverage, BackendKind};
+    use march_test::catalog;
+    use sram_fault_model::Ffm;
+
+    #[test]
+    fn session_coverage_matches_the_legacy_path() {
+        let list = FaultList::list_2();
+        let test = catalog::march_c_minus();
+        let legacy = measure_coverage(&test, &list, &CoverageConfig::thorough());
+        for threads in [1usize, 2, 0] {
+            for backend in [BackendKind::Scalar, BackendKind::Packed] {
+                let session = Session::new(
+                    ExecPolicy::default()
+                        .with_backend(backend)
+                        .with_threads(threads),
+                );
+                assert_eq!(
+                    session.coverage(&test, &list),
+                    legacy,
+                    "backend {backend}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_sequential_calls_share_the_pool() {
+        let session = Session::new(ExecPolicy::default().with_threads(4));
+        assert!(session.is_parallel());
+        let spawned = session.workers_spawned();
+        assert_eq!(spawned, 3);
+        let list = FaultList::list_1();
+        let _ = session.coverage(&catalog::march_sl(), &list);
+        assert_eq!(session.workers_spawned(), spawned);
+        let _ = session.coverage(&catalog::march_ss(), &list);
+        assert_eq!(session.workers_spawned(), spawned);
+        assert_eq!(session.jobs_executed(), 2);
+    }
+
+    #[test]
+    fn serial_sessions_spawn_nothing() {
+        let session = Session::default();
+        assert!(!session.is_parallel());
+        assert_eq!(session.workers_spawned(), 0);
+        let _ = session.coverage(&catalog::march_ss(), &FaultList::unlinked_static());
+        assert_eq!(session.workers_spawned(), 0);
+        assert_eq!(session.jobs_executed(), 0);
+    }
+
+    #[test]
+    fn run_and_observe_match_the_manual_simulator() {
+        let session = Session::default();
+        let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+        let fault = InjectedFault::single_cell(tf, 3, 8).unwrap();
+        let run = session.run(&catalog::march_ss(), &fault).unwrap();
+
+        let mut manual = FaultSimulator::new(8, &InitialState::AllZero).unwrap();
+        manual.inject(fault.clone());
+        let reference = run_march(&catalog::march_ss(), &mut manual);
+        assert_eq!(run, reference);
+        assert_eq!(
+            session.observe(&catalog::march_ss(), &fault).unwrap(),
+            Syndrome::from_run(&reference)
+        );
+    }
+
+    #[test]
+    fn dictionary_diagnosis_round_trip() {
+        let session = Session::default().with_memory_cells(6);
+        let list = FaultList::list_2();
+        let dictionary = session.dictionary(&catalog::march_abl1(), &list);
+        let fault = list.linked()[0].clone();
+        let cells =
+            crate::enumerate_placements(fault.topology(), 6, PlacementStrategy::Representative)[0];
+        let instance = LinkedFaultInstance::new(fault, cells, 6).unwrap();
+        let run = session
+            .run_linked(&catalog::march_abl1(), &instance)
+            .unwrap();
+        let syndrome = Syndrome::from_run(&run);
+        assert!(!syndrome.is_empty());
+        let report = session.diagnose(&syndrome, &dictionary);
+        assert!(!report.is_unexplained());
+        assert!(report
+            .candidates()
+            .iter()
+            .any(|candidate| candidate.cells == cells));
+    }
+
+    #[test]
+    fn sweep_diagnosis_matches_the_free_function() {
+        let session = Session::default().with_memory_cells(6);
+        let tf = Ffm::TransitionFault.fault_primitives()[0].clone();
+        let fault = InjectedFault::single_cell(tf, 2, 6).unwrap();
+        let syndrome = session.observe(&catalog::march_ss(), &fault).unwrap();
+        let list = FaultList::unlinked_static();
+        let report = session.diagnose_sweep(&catalog::march_ss(), &syndrome, &list);
+        let reference = diagnose(
+            &catalog::march_ss(),
+            &syndrome,
+            &list,
+            &session.coverage_config(),
+        );
+        assert_eq!(report.candidates(), &reference[..]);
+        assert_eq!(report.test_name(), "March SS");
+    }
+
+    #[test]
+    fn scope_builders_and_accessors() {
+        let session = Session::default()
+            .with_memory_cells(6)
+            .with_strategy(PlacementStrategy::Exhaustive)
+            .with_backgrounds(vec![InitialState::AllOne]);
+        assert_eq!(session.memory_cells(), 6);
+        assert_eq!(session.strategy(), PlacementStrategy::Exhaustive);
+        assert_eq!(session.backgrounds(), &[InitialState::AllOne]);
+        let config = session.coverage_config();
+        assert_eq!(config.memory_cells, 6);
+        assert_eq!(config.backend, BackendKind::Packed);
+        let rebuilt = Session::from_coverage_config(&config);
+        assert_eq!(rebuilt.coverage_config(), config);
+        assert_eq!(session.policy().batch, 0);
+        assert_eq!(session.backend_instance().name(), "packed");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based equivalence of the session API and the legacy free
+//! functions: for random march tests × fault lists × scopes × execution
+//! policies, [`Session`] methods must produce **byte-identical** reports to
+//! the free-function paths, and repeated session calls must observably re-use
+//! the same worker pool.
+
+use march_test::{AddressOrder, MarchElement, MarchTest};
+use proptest::prelude::*;
+use sram_fault_model::{FaultList, Ffm, Operation};
+use sram_sim::{
+    measure_coverage, run_march, BackendKind, CoverageConfig, ExecPolicy, FaultSimulator,
+    InitialState, InjectedFault, PlacementStrategy, Session, Syndrome,
+};
+
+fn arbitrary_operation() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        Just(Operation::W0),
+        Just(Operation::W1),
+        Just(Operation::R0),
+        Just(Operation::R1),
+        Just(Operation::Read(None)),
+        Just(Operation::Wait),
+    ]
+}
+
+fn arbitrary_element() -> impl Strategy<Value = MarchElement> {
+    (
+        prop::sample::select(AddressOrder::ALL.to_vec()),
+        prop::collection::vec(arbitrary_operation(), 1..8),
+    )
+        .prop_map(|(order, ops)| MarchElement::new(order, ops).expect("non-empty"))
+}
+
+fn arbitrary_test() -> impl Strategy<Value = MarchTest> {
+    prop::collection::vec(arbitrary_element(), 1..6)
+        .prop_map(|elements| MarchTest::new("prop", elements).expect("non-empty"))
+}
+
+fn arbitrary_backgrounds() -> impl Strategy<Value = Vec<InitialState>> {
+    prop_oneof![
+        Just(vec![InitialState::AllOne]),
+        Just(vec![InitialState::AllZero]),
+        Just(vec![InitialState::AllZero, InitialState::AllOne]),
+    ]
+}
+
+fn arbitrary_backend() -> impl Strategy<Value = BackendKind> {
+    prop_oneof![Just(BackendKind::Scalar), Just(BackendKind::Packed)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Session::coverage` equals `measure_coverage` — and, transitively, the
+    /// serial scalar reference — for every backend, thread count and scope.
+    #[test]
+    fn session_coverage_is_byte_identical_to_the_legacy_path(
+        test in arbitrary_test(),
+        backgrounds in arbitrary_backgrounds(),
+        memory_cells in 4usize..9,
+        backend in arbitrary_backend(),
+        threads in 0usize..4,
+    ) {
+        let list = FaultList::list_2();
+        // Independent serial scalar reference.
+        let reference = measure_coverage(&test, &list, &CoverageConfig {
+            memory_cells,
+            strategy: PlacementStrategy::Representative,
+            backgrounds: backgrounds.clone(),
+            backend: BackendKind::Scalar,
+            threads: 1,
+        });
+        let config = CoverageConfig {
+            memory_cells,
+            strategy: PlacementStrategy::Representative,
+            backgrounds,
+            backend,
+            threads,
+        };
+        let session = Session::from_coverage_config(&config);
+        let report = session.coverage(&test, &list);
+        prop_assert_eq!(&report, &measure_coverage(&test, &list, &config));
+        prop_assert_eq!(&report, &reference,
+            "session diverged from the serial scalar reference: backend {} threads {}",
+            backend, threads);
+    }
+
+    /// `Session::run` / `Session::observe` equal the manual
+    /// simulator + `run_march` path for every single-cell primitive.
+    #[test]
+    fn session_run_matches_run_march(
+        primitive_index in 0usize..48,
+        victim in 0usize..6,
+        all_one in any::<bool>(),
+    ) {
+        let primitives = Ffm::all_fault_primitives();
+        let primitive = primitives[primitive_index % primitives.len()].clone();
+        let background = if all_one { InitialState::AllOne } else { InitialState::AllZero };
+        let test = march_test::catalog::march_ss();
+
+        let session = Session::default()
+            .with_memory_cells(6)
+            .with_backgrounds(vec![background.clone()]);
+        let fault = if primitive.is_coupling() {
+            InjectedFault::coupling(primitive, (victim + 1) % 6, victim, 6).unwrap()
+        } else {
+            InjectedFault::single_cell(primitive, victim, 6).unwrap()
+        };
+
+        let mut manual = FaultSimulator::new(6, &background).unwrap();
+        manual.inject(fault.clone());
+        let reference = run_march(&test, &mut manual);
+
+        prop_assert_eq!(session.run(&test, &fault).unwrap(), reference.clone());
+        prop_assert_eq!(
+            session.observe(&test, &fault).unwrap(),
+            Syndrome::from_run(&reference)
+        );
+    }
+}
+
+/// The pool-reuse guarantee: two sequential session calls are served by the
+/// same resident workers — the worker-generation counter never moves after
+/// construction, while the job counter does.
+#[test]
+fn sequential_session_calls_do_not_respawn_workers() {
+    let session = Session::new(ExecPolicy::default().with_threads(3));
+    let spawned = session.workers_spawned();
+    assert_eq!(spawned, 2, "threads - 1 workers spawned at construction");
+
+    let list = FaultList::list_1();
+    let first = session.coverage(&march_test::catalog::march_sl(), &list);
+    assert_eq!(session.workers_spawned(), spawned, "first call respawned");
+    let second = session.coverage(&march_test::catalog::march_sl(), &list);
+    assert_eq!(session.workers_spawned(), spawned, "second call respawned");
+    assert_eq!(first, second);
+    assert_eq!(
+        session.jobs_executed(),
+        2,
+        "both calls went through the pool"
+    );
+}
+
+/// The legacy `detects_*` helpers still agree with session coverage.
+#[test]
+fn detects_helpers_agree_with_session_coverage() {
+    let list = FaultList::list_2();
+    let config = CoverageConfig::thorough();
+    let session = Session::from_coverage_config(&config);
+    let report = session.coverage(&march_test::catalog::march_sl(), &list);
+    assert!(report.is_complete());
+    for fault in list.linked().iter().take(4) {
+        assert!(sram_sim::detects_linked(
+            &march_test::catalog::march_sl(),
+            fault,
+            &config
+        ));
+    }
+}
