@@ -1,42 +1,48 @@
-//! End-to-end reproduction of the paper's workflow on Fault List #1: generate a
-//! march test for the complete set of single-, two- and three-cell static linked
-//! faults, verify it by fault simulation and compare it against the published
-//! baselines of Table 1.
+//! End-to-end reproduction of the paper's workflow on Fault List #1 through
+//! the session API: generate a march test for the complete set of single-,
+//! two- and three-cell static linked faults, verify it by fault simulation,
+//! shorten it with the redundancy-removal pass and compare it against the
+//! published baselines of Table 1 — all on one [`Session`].
 //!
 //! Run with `cargo run --release --example generate_and_verify`.
 
-use march_gen::{GeneratorConfig, MarchGenerator};
+use march_gen::{GeneratorConfig, SessionExt};
 use march_test::catalog;
 use sram_fault_model::FaultList;
-use sram_sim::CoverageConfig;
+use sram_sim::{ExecPolicy, Session};
 
 fn main() {
+    // One engine handle for the whole run: packed backend, all cores, full
+    // 64-candidate scoring words.
+    let session = Session::new(ExecPolicy::fast());
+
     let list = FaultList::list_1();
     println!("target fault list : {list}");
     println!();
 
     // Raw greedy output (the "ABL" analogue)…
-    let raw =
-        MarchGenerator::with_config(list.clone(), GeneratorConfig::without_redundancy_removal())
-            .named("March GEN-L1")
-            .generate();
+    let raw = session.generate_with_config(&list, GeneratorConfig::without_redundancy_removal());
     println!("greedy result      : {}", raw.test());
     println!("                     {}", raw.report());
 
     // …and the reduced variant with redundancy removal (the "RABL" analogue).
-    let reduced = MarchGenerator::new(list.clone())
-        .named("March GEN-L1R")
-        .generate();
+    let reduced = session.generate(&list);
     println!("reduced result     : {}", reduced.test());
     println!("                     {}", reduced.report());
     println!();
 
-    // Verify the reduced test with the fault simulator (thorough configuration).
-    let coverage = march_gen::verify(reduced.test(), &list, &CoverageConfig::thorough());
+    // Verify the reduced test with the fault simulator through the session.
+    let coverage = session.verify(reduced.test(), &list);
     println!("verified coverage  : {coverage}");
     for escape in coverage.escapes().iter().take(5) {
         println!("  escape: {escape}");
     }
+    println!();
+
+    // The redundancy-removal pass is also callable on its own: shortening the
+    // raw greedy result recovers the reduced complexity.
+    let minimised = session.minimise(raw.test(), &list);
+    println!("standalone removal : {minimised}");
     println!();
 
     // Compare against the published baselines of Table 1.
