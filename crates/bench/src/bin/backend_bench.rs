@@ -1,10 +1,12 @@
 //! The perf-trajectory benchmark with a machine-readable trail: times the
 //! coverage-matrix workloads on both simulation backends, the generator's
-//! candidate-scoring hot path with batched vs per-candidate pools, **and**
-//! repeated coverage through one resident [`Session`] vs the spawn-per-call
-//! legacy path, then writes the speedups to `BENCH_simulation.json` (schema
-//! version 2, see [`march_bench::BenchFile`]) so the simulation stack's perf
-//! trajectory is tracked — and diffed by CI via `bench_diff` — across PRs.
+//! candidate-scoring hot path with batched vs per-candidate pools, the
+//! redundancy-removal pass with suffix-only snapshots vs full re-simulation,
+//! **and** repeated coverage through one resident [`Session`] vs the
+//! spawn-per-call legacy path, then writes the speedups to
+//! `BENCH_simulation.json` (schema version 2, see [`march_bench::BenchFile`])
+//! so the simulation stack's perf trajectory is tracked — and diffed by CI
+//! via `bench_diff` — across PRs.
 //!
 //! Run with `cargo run --release -p march-bench --bin backend_bench`.
 //! Pass `--out PATH` to change the JSON location and `--threads N` for the
@@ -14,7 +16,9 @@ use std::env;
 use std::time::{Duration, Instant};
 
 use march_bench::{BenchFile, BenchRecord};
-use march_gen::{exhaustive_candidates, score_candidates};
+use march_gen::{
+    exhaustive_candidates, minimise_full_resim, minimise_with, score_candidates, GeneratorConfig,
+};
 use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::FaultList;
 use sram_sim::{
@@ -159,6 +163,76 @@ fn session_workloads() -> Vec<SessionWorkload> {
     ]
 }
 
+/// One redundancy-removal workload: a catalogue test minimised against a
+/// fault list — the suffix-only snapshot pass (contender) vs the legacy
+/// full re-simulation of every trial (baseline). The two produce
+/// byte-identical minimised tests, asserted every repetition.
+struct MinimiseWorkload {
+    name: &'static str,
+    test: MarchTest,
+    list: FaultList,
+    config: GeneratorConfig,
+}
+
+fn minimise_workloads(threads: usize) -> Vec<MinimiseWorkload> {
+    vec![
+        // The generation pipeline's own regime: a long catalogue test with
+        // plenty of redundancy against the three-cell list under the paper's
+        // thorough scope.
+        MinimiseWorkload {
+            name: "minimise_march_sl_vs_list_1_thorough",
+            test: catalog::march_sl(),
+            list: FaultList::list_1(),
+            config: GeneratorConfig::default().with_threads(threads),
+        },
+        // Exhaustive placements: more lanes per target, so each legacy trial
+        // re-simulates far more state than the suffix needs.
+        MinimiseWorkload {
+            name: "minimise_march_sl_vs_list_2_exhaustive",
+            test: catalog::march_sl(),
+            list: FaultList::list_2(),
+            config: GeneratorConfig {
+                strategy: PlacementStrategy::Exhaustive,
+                ..GeneratorConfig::default()
+            }
+            .with_threads(threads),
+        },
+    ]
+}
+
+fn time_minimise(workload: &MinimiseWorkload, reps: u32) -> (Duration, Duration) {
+    let session = workload.config.session();
+    // Warm-up both paths and pin the minimised tests against each other: a
+    // checkpointing bug cannot masquerade as a speedup.
+    let reference = minimise_full_resim(&session, &workload.test, &workload.list, &workload.config);
+    let snapshot = minimise_with(&session, &workload.test, &workload.list, &workload.config);
+    assert_eq!(reference.0.notation(), snapshot.0.notation());
+    assert_eq!(reference.1, snapshot.1);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let (test, removed) =
+            minimise_full_resim(&session, &workload.test, &workload.list, &workload.config);
+        assert_eq!(
+            (test.notation(), removed),
+            (reference.0.notation(), reference.1)
+        );
+    }
+    let full = start.elapsed() / reps;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let (test, removed) =
+            minimise_with(&session, &workload.test, &workload.list, &workload.config);
+        assert_eq!(
+            (test.notation(), removed),
+            (reference.0.notation(), reference.1)
+        );
+    }
+    let suffix = start.elapsed() / reps;
+    (full, suffix)
+}
+
 fn time_session(workload: &SessionWorkload, reps: u32) -> (Duration, Duration) {
     let config = workload.config.clone().with_threads(workload.threads);
     let session = Session::from_coverage_config(&config);
@@ -278,6 +352,26 @@ fn main() {
             contender: "batched".to_string(),
             baseline_ns: sequential.as_nanos() as u64,
             contender_ns: batched.as_nanos() as u64,
+            speedup,
+        });
+    }
+    for workload in minimise_workloads(threads) {
+        let (full, suffix) = time_minimise(&workload, 5);
+        let speedup = full.as_secs_f64() / suffix.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            full.as_secs_f64() * 1e3,
+            suffix.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "minimise".to_string(),
+            baseline: "full-resim".to_string(),
+            contender: "snapshot".to_string(),
+            baseline_ns: full.as_nanos() as u64,
+            contender_ns: suffix.as_nanos() as u64,
             speedup,
         });
     }

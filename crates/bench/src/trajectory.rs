@@ -40,7 +40,8 @@ pub struct BenchRecord {
     /// Workload name (test × list × configuration); the differ matches
     /// baseline and current files by this key.
     pub name: String,
-    /// Workload family: `"coverage"` or `"generation"`.
+    /// Workload family: `"coverage"`, `"generation"`, `"minimise"` or
+    /// `"session"`.
     pub kind: String,
     /// What the slow side is (`"scalar"`, `"per-candidate"`, …).
     pub baseline: String,

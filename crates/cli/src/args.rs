@@ -105,6 +105,25 @@ pub enum Command {
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
+    /// `minimise --test <name> --list <1|2|unlinked>
+    /// [--backend scalar|packed] [--threads N] [--json]`.
+    ///
+    /// Runs the suffix-only redundancy-removal pass on a catalogue march test:
+    /// every operation whose removal keeps the fault list fully covered is
+    /// deleted, re-verifying only the suffix after each edit from per-element
+    /// simulation snapshots.
+    Minimise {
+        /// Catalogue name of the march test to shorten.
+        test: String,
+        /// The fault list whose coverage must be preserved.
+        list: CoverageTarget,
+        /// Which simulation backend re-verifies the removal trials.
+        backend: BackendKind,
+        /// Worker threads the `(target × suffix)` trials shard over (0 = auto).
+        threads: usize,
+        /// Emit the machine-readable `Report` JSON instead of the text form.
+        json: bool,
+    },
     /// `diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>
     /// [--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]`.
     ///
@@ -240,6 +259,32 @@ impl Command {
                     test: test.ok_or_else(|| ParseArgsError("coverage requires --test".into()))?,
                     list: list.ok_or_else(|| ParseArgsError("coverage requires --list".into()))?,
                     exhaustive,
+                    backend,
+                    threads,
+                    json,
+                })
+            }
+            "minimise" | "minimize" => {
+                let mut test = None;
+                let mut list = None;
+                let mut backend = BackendKind::Packed;
+                let mut threads = 1usize;
+                let mut json = false;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--test" => test = Some(required(&mut args, "--test")?),
+                        "--list" => {
+                            list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
+                        }
+                        "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
+                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--json" => json = true,
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Minimise {
+                    test: test.ok_or_else(|| ParseArgsError("minimise requires --test".into()))?,
+                    list: list.ok_or_else(|| ParseArgsError("minimise requires --list".into()))?,
                     backend,
                     threads,
                     json,
@@ -382,6 +427,8 @@ pub fn usage() -> String {
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N] [--json]\n\
      \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 march-codex minimise --test <name> --list <1|2|unlinked>\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--json]\n\
      \x20 march-codex diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
@@ -445,6 +492,45 @@ mod tests {
         assert!(parse(&["generate"]).is_err());
         assert!(parse(&["generate", "--list", "7"]).is_err());
         assert!(parse(&["generate", "--list", "1", "--order", "sideways"]).is_err());
+    }
+
+    #[test]
+    fn parses_minimise() {
+        let command = parse(&[
+            "minimise",
+            "--test",
+            "March SL",
+            "--list",
+            "2",
+            "--threads",
+            "0",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            command,
+            Command::Minimise {
+                test: "March SL".into(),
+                list: CoverageTarget::List2,
+                backend: BackendKind::Packed,
+                threads: 0,
+                json: true,
+            }
+        );
+        // The American spelling is accepted too.
+        assert_eq!(
+            parse(&["minimize", "--test", "MATS+", "--list", "unlinked"]).unwrap(),
+            Command::Minimise {
+                test: "MATS+".into(),
+                list: CoverageTarget::Unlinked,
+                backend: BackendKind::Packed,
+                threads: 1,
+                json: false,
+            }
+        );
+        assert!(parse(&["minimise", "--test", "March SL"]).is_err());
+        assert!(parse(&["minimise", "--list", "2"]).is_err());
+        assert!(parse(&["minimise", "--test", "x", "--list", "2", "--bogus"]).is_err());
     }
 
     #[test]

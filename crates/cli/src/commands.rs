@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use march_gen::{GeneratorConfig, MarchGenerator};
+use march_gen::{GeneratorConfig, MarchGenerator, SessionExt};
 use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
@@ -94,6 +94,20 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             threads,
             json,
         } => coverage(test, *list, *exhaustive, *backend, *threads, *json),
+        Command::Minimise {
+            test,
+            list,
+            backend,
+            threads,
+            json,
+        } => minimise(
+            test,
+            *list,
+            ExecPolicy::default()
+                .with_backend(*backend)
+                .with_threads(*threads),
+            *json,
+        ),
         Command::Diagnose {
             test,
             fault,
@@ -201,6 +215,7 @@ fn generate(
             JsonObject::new()
                 .raw("generation", generated.to_json())
                 .raw("verification", report.to_json())
+                .raw("session", session_stats(&session))
                 .build()
         ));
     }
@@ -228,6 +243,58 @@ fn generate(
             output.push_str(&format!("  escape: {escape}\n"));
         }
     }
+    Ok(output)
+}
+
+/// The session's observability counters as a JSON fragment: how many worker
+/// threads were spawned for the whole invocation and how often the
+/// target-lane artifact cache answered a query without re-enumerating.
+fn session_stats(session: &Session) -> String {
+    JsonObject::new()
+        .number("workers_spawned", session.workers_spawned() as u64)
+        .number("jobs_executed", session.jobs_executed() as u64)
+        .number("cache_hits", session.cache_hits() as u64)
+        .number("cached_artifacts", session.cached_artifacts() as u64)
+        .build()
+}
+
+/// Runs the suffix-only redundancy-removal pass on a catalogue test and
+/// reports the shortened test — the CLI surface of
+/// [`SessionExt::minimise`].
+fn minimise(
+    test: &str,
+    target: CoverageTarget,
+    policy: ExecPolicy,
+    json: bool,
+) -> Result<String, CliError> {
+    let test = lookup(test)?;
+    let list = fault_list(target);
+    let session = Session::new(policy);
+    let report = session.minimise(&test, &list);
+
+    if json {
+        return Ok(format!(
+            "{}\n",
+            JsonObject::new()
+                .raw("minimisation", report.to_json())
+                .raw("session", session_stats(&session))
+                .build()
+        ));
+    }
+
+    let mut output = String::new();
+    output.push_str(&format!("input         : {test}\n"));
+    output.push_str(&format!("target        : {list}\n"));
+    output.push_str(&format!("minimised     : {}\n", report.test()));
+    output.push_str(&format!(
+        "complexity    : {} -> {}\n",
+        test.complexity_label(),
+        report.test().complexity_label()
+    ));
+    output.push_str(&format!(
+        "removed       : {} operations\n",
+        report.removed_operations()
+    ));
     Ok(output)
 }
 
@@ -450,6 +517,41 @@ mod tests {
         assert!(output.contains("March CLI"));
         assert!(output.contains("100.0%"));
         assert!(output.contains("packed"));
+    }
+
+    #[test]
+    fn minimise_command_shortens_a_padded_catalogue_test() {
+        // March SL is heavily redundant against the single-cell list #2.
+        let output = run(&Command::Minimise {
+            test: "March SL".into(),
+            list: CoverageTarget::List2,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(output.contains("removed"));
+        assert!(output.contains("41n ->"));
+
+        let json = run(&Command::Minimise {
+            test: "March SL".into(),
+            list: CoverageTarget::List2,
+            backend: BackendKind::Packed,
+            threads: 0,
+            json: true,
+        })
+        .unwrap();
+        assert!(json.starts_with("{\"minimisation\": {\"report\": \"minimisation\""));
+        assert!(json.contains("\"removed_operations\": "));
+        assert!(json.contains("\"cache_hits\": "));
+        assert!(run(&Command::Minimise {
+            test: "no such test".into(),
+            list: CoverageTarget::List2,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .is_err());
     }
 
     #[test]

@@ -12,7 +12,6 @@ use sram_sim::{
 };
 
 use crate::optimize::minimise_with;
-use crate::targets::enumerate_target_lanes;
 use crate::{exhaustive_candidates, library_candidates, verify};
 
 /// Configuration of the march-test generator.
@@ -386,19 +385,27 @@ impl MarchGenerator {
         // One batch per fault target: every (placement, background) lane of the
         // target packed behind the session's simulation backend, carrying the
         // simulator state reached after the current march prefix so that
-        // scoring a candidate only needs to simulate that element.
-        let mut batches: Vec<TargetBatch> = enumerate_target_lanes(
-            &self.list,
-            self.config.memory_cells,
-            self.config.strategy,
-            &self.config.backgrounds,
-        )
-        .into_iter()
-        .map(|(target, lanes)| {
-            TargetBatch::new(target, lanes, self.config.memory_cells, policy.backend)
+        // scoring a candidate only needs to simulate that element. The
+        // enumeration comes from the session's artifact cache, so repeated
+        // generate/minimise/verify queries against the same list skip it.
+        let mut batches: Vec<TargetBatch> = session
+            .target_lanes_scoped(
+                &self.list,
+                self.config.memory_cells,
+                self.config.strategy,
+                &self.config.backgrounds,
+            )
+            .iter()
+            .map(|(target, lanes)| {
+                TargetBatch::new(
+                    target.clone(),
+                    lanes.clone(),
+                    self.config.memory_cells,
+                    policy.backend,
+                )
                 .with_wave_cost_factor(policy.wave_cost_factor)
-        })
-        .collect();
+            })
+            .collect();
         let initial_targets: usize = batches.iter().map(TargetBatch::pending).sum();
 
         // The march test always starts with the initialisation element ⇕(w·).
@@ -446,19 +453,20 @@ impl MarchGenerator {
             iterations += 1;
         }
 
-        let uncovered: Vec<String> = batches
-            .iter()
-            .flat_map(|batch| {
-                batch.pending_lanes().into_iter().map(|lane| {
-                    format!(
-                        "{} @ {} ({:?})",
-                        batch.target(),
-                        lane.cells,
-                        lane.background
-                    )
-                })
-            })
-            .collect();
+        let mut pending = Vec::new();
+        let mut uncovered: Vec<String> = Vec::new();
+        for batch in &batches {
+            pending.clear();
+            batch.pending_lanes_into(&mut pending);
+            uncovered.extend(pending.iter().map(|lane| {
+                format!(
+                    "{} @ {} ({:?})",
+                    batch.target(),
+                    lane.cells,
+                    lane.background
+                )
+            }));
+        }
 
         let mut test = MarchTestBuilder::new(&self.name);
         for element in elements {

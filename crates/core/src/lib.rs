@@ -60,7 +60,7 @@ pub use generator::{
     MarchGenerator,
 };
 pub use graph::{GraphEdge, MemoryGraph, MAX_GRAPH_CELLS};
-pub use optimize::{minimise, minimise_with, minimise_with_strategy};
+pub use optimize::{minimise, minimise_full_resim, minimise_with, minimise_with_strategy};
 pub use pattern_graph::{FaultyEdge, PatternGraph};
 pub use session::{MinimisationReport, SessionExt};
 pub use so::SequenceOfOperations;

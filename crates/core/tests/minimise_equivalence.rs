@@ -1,0 +1,114 @@
+//! Property-based equivalence of the suffix-only redundancy-removal pass and
+//! the legacy full re-simulation oracle: for random execution policies
+//! (backend × thread count × batch width × wave-cost factor), random input
+//! tests and random simulation scopes, `minimise_with` (per-element snapshot
+//! checkpoints, suffix-only trials, move-to-front probe order) must be
+//! byte-identical to `minimise_full_resim` (every trial re-verified from
+//! scratch).
+
+use march_gen::{minimise_full_resim, minimise_with, GeneratorConfig};
+use march_test::{catalog, MarchTest};
+use proptest::prelude::*;
+use sram_fault_model::FaultList;
+use sram_sim::{BackendKind, ExecPolicy, PlacementStrategy};
+
+fn arbitrary_policy() -> impl Strategy<Value = ExecPolicy> {
+    (
+        prop_oneof![Just(BackendKind::Scalar), Just(BackendKind::Packed)],
+        0usize..4,
+        prop_oneof![Just(0usize), Just(1usize), Just(7usize)],
+        prop_oneof![Just(1usize), Just(3usize)],
+    )
+        .prop_map(|(backend, threads, batch, factor)| {
+            ExecPolicy::default()
+                .with_backend(backend)
+                .with_threads(threads)
+                .with_batch(batch)
+                .with_wave_cost_factor(factor)
+        })
+}
+
+/// Input tests spanning the interesting shapes: a padded near-minimal test,
+/// heavily redundant catalogue tests (many accepted removals), an
+/// already-minimal test (all trials rejected) and an incomplete test (the
+/// pass must bail out untouched).
+fn arbitrary_test() -> impl Strategy<Value = MarchTest> {
+    prop_oneof![
+        Just(
+            MarchTest::parse(
+                "padded ABL1",
+                "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+            )
+            .expect("valid notation")
+        ),
+        Just(catalog::march_sl()),
+        Just(catalog::march_ss()),
+        Just(catalog::march_abl1()),
+        Just(catalog::mats_plus()),
+    ]
+}
+
+fn arbitrary_scope() -> impl Strategy<Value = (PlacementStrategy, usize)> {
+    prop_oneof![
+        Just((PlacementStrategy::Representative, 8usize)),
+        Just((PlacementStrategy::Exhaustive, 6usize)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The snapshot-based pass and the full re-simulation oracle agree on the
+    /// minimised notation and the removal count for every policy, input test
+    /// and scope.
+    #[test]
+    fn suffix_minimisation_matches_full_resimulation(
+        policy in arbitrary_policy(),
+        test in arbitrary_test(),
+        scope in arbitrary_scope(),
+    ) {
+        let (strategy, memory_cells) = scope;
+        let list = FaultList::list_2();
+        let config = GeneratorConfig {
+            strategy,
+            memory_cells,
+            exec: policy,
+            ..GeneratorConfig::default()
+        };
+        let session = config.session();
+        let (fast_test, fast_removed) = minimise_with(&session, &test, &list, &config);
+        let (full_test, full_removed) = minimise_full_resim(&session, &test, &list, &config);
+        prop_assert_eq!(
+            fast_test.notation(),
+            full_test.notation(),
+            "policy {:?}, test {}, strategy {:?}",
+            policy,
+            test.name(),
+            strategy
+        );
+        prop_assert_eq!(fast_removed, full_removed);
+    }
+
+    /// Thread count and batch width never change the minimised test — the
+    /// sharded `(target × suffix)` trials merge to the serial verdict.
+    #[test]
+    fn suffix_minimisation_is_policy_invariant(policy in arbitrary_policy()) {
+        let list = FaultList::list_2();
+        let test = catalog::march_sl();
+        let config = GeneratorConfig {
+            exec: policy,
+            ..GeneratorConfig::default()
+        };
+        let baseline_config = GeneratorConfig::default();
+        let baseline = minimise_with(
+            &baseline_config.session(),
+            &test,
+            &list,
+            &baseline_config,
+        );
+        let session = config.session();
+        let (minimised, removed) = minimise_with(&session, &test, &list, &config);
+        prop_assert_eq!(minimised.notation(), baseline.0.notation(), "policy {:?}", policy);
+        prop_assert_eq!(removed, baseline.1);
+    }
+}

@@ -274,7 +274,7 @@ impl SimulationBackend for PackedBackend {
 
 /// One fault-primitive component of the packed target, with its per-lane cell
 /// bindings encoded as bit-plane masks.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct PackedComponent {
     /// The primitive — identical across lanes (lanes vary only placement and
     /// background).
@@ -284,6 +284,22 @@ struct PackedComponent {
     /// `aggressor_at[cell]`: lanes whose aggressor is bound to `cell` (all-zero
     /// planes for single-cell primitives).
     aggressor_at: Vec<u64>,
+}
+
+impl Clone for PackedComponent {
+    fn clone(&self) -> PackedComponent {
+        PackedComponent {
+            primitive: self.primitive.clone(),
+            victim_at: self.victim_at.clone(),
+            aggressor_at: self.aggressor_at.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &PackedComponent) {
+        self.primitive.clone_from(&source.primitive);
+        self.victim_at.clone_from(&source.victim_at);
+        self.aggressor_at.clone_from(&source.aggressor_at);
+    }
 }
 
 impl PackedComponent {
@@ -341,7 +357,7 @@ impl PackedComponent {
 /// assert_eq!(detected, simulator.lane_mask(), "March SL covers every lane");
 /// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PackedSimulator {
     cells: usize,
     lanes: usize,
@@ -350,6 +366,33 @@ pub struct PackedSimulator {
     golden: Vec<u64>,
     components: Vec<PackedComponent>,
     detected: u64,
+}
+
+impl Clone for PackedSimulator {
+    fn clone(&self) -> PackedSimulator {
+        PackedSimulator {
+            cells: self.cells,
+            lanes: self.lanes,
+            lane_mask: self.lane_mask,
+            faulty: self.faulty.clone(),
+            golden: self.golden.clone(),
+            components: self.components.clone(),
+            detected: self.detected,
+        }
+    }
+
+    /// Field-wise `clone_from` so the bit-plane buffers are re-used when a
+    /// snapshot is restored into an existing simulator of the same memory size
+    /// — the hot restore of the suffix-only redundancy-removal trials.
+    fn clone_from(&mut self, source: &PackedSimulator) {
+        self.cells = source.cells;
+        self.lanes = source.lanes;
+        self.lane_mask = source.lane_mask;
+        self.faulty.clone_from(&source.faulty);
+        self.golden.clone_from(&source.golden);
+        self.components.clone_from(&source.components);
+        self.detected = source.detected;
+    }
 }
 
 impl PackedSimulator {

@@ -9,6 +9,7 @@
 //! bit-planes and running all lanes of a chunk at once.
 
 use std::fmt;
+use std::sync::Arc;
 
 use march_test::MarchElement;
 use sram_fault_model::{Bit, Operation};
@@ -18,14 +19,28 @@ use crate::coverage::TargetKind;
 use crate::{FaultSimulator, SimulationError};
 
 /// One scalar lane: its descriptor plus the advanced simulator state.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct ScalarLane {
     lane: CoverageLane,
     simulator: FaultSimulator,
 }
 
+impl Clone for ScalarLane {
+    fn clone(&self) -> ScalarLane {
+        ScalarLane {
+            lane: self.lane.clone(),
+            simulator: self.simulator.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &ScalarLane) {
+        self.lane.clone_from(&source.lane);
+        self.simulator.clone_from(&source.simulator);
+    }
+}
+
 /// The backend-specific simulation state of a batch.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum BatchState {
     /// One dual-memory simulator per undetected lane.
     Scalar(Vec<ScalarLane>),
@@ -34,10 +49,46 @@ enum BatchState {
     Packed(Vec<PackedChunk>),
 }
 
-#[derive(Debug, Clone)]
+impl Clone for BatchState {
+    fn clone(&self) -> BatchState {
+        match self {
+            BatchState::Scalar(lanes) => BatchState::Scalar(lanes.clone()),
+            BatchState::Packed(chunks) => BatchState::Packed(chunks.clone()),
+        }
+    }
+
+    /// Variant-aware `clone_from`: restoring a snapshot into a batch of the
+    /// same backend re-uses every lane/plane buffer already allocated.
+    fn clone_from(&mut self, source: &BatchState) {
+        match (self, source) {
+            (BatchState::Scalar(into), BatchState::Scalar(from)) => into.clone_from(from),
+            (BatchState::Packed(into), BatchState::Packed(from)) => into.clone_from(from),
+            (into, from) => *into = from.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct PackedChunk {
-    lanes: Vec<CoverageLane>,
+    /// The lane descriptors, `Arc`-shared with every snapshot of this chunk:
+    /// they only change on compaction, so snapshot/restore pays one refcount
+    /// bump instead of cloning the whole descriptor vector.
+    lanes: Arc<Vec<CoverageLane>>,
     simulator: PackedSimulator,
+}
+
+impl Clone for PackedChunk {
+    fn clone(&self) -> PackedChunk {
+        PackedChunk {
+            lanes: self.lanes.clone(),
+            simulator: self.simulator.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &PackedChunk) {
+        self.lanes = Arc::clone(&source.lanes);
+        self.simulator.clone_from(&source.simulator);
+    }
 }
 
 impl PackedChunk {
@@ -50,15 +101,29 @@ impl PackedChunk {
     }
 
     /// Newly detected lanes of this chunk if `element` were executed next.
-    fn score_one(&self, element: &MarchElement) -> usize {
+    /// The trial runs on `scratch` (rebuilt from this chunk's state with
+    /// buffer-reusing `clone_from`), so repeated scoring never reallocates.
+    fn score_one_with(&self, element: &MarchElement, scratch: &mut PackedSimulator) -> usize {
         let before = self.simulator.detected_mask();
         if before == self.simulator.lane_mask() {
             return 0;
         }
-        let mut simulator = self.simulator.clone();
-        simulator.apply_element(element);
-        (simulator.detected_mask() & !before).count_ones() as usize
+        scratch.clone_from(&self.simulator);
+        scratch.apply_element(element);
+        (scratch.detected_mask() & !before).count_ones() as usize
     }
+}
+
+/// A cheap checkpoint of a [`TargetBatch`]'s lane state, taken with
+/// [`TargetBatch::snapshot`] and replayed with [`TargetBatch::restore`].
+///
+/// The redundancy-removal pass records one snapshot per march element as it
+/// advances each target, so the trial for "remove operation *i* of element
+/// *e*" restores the checkpoint taken before *e* and re-simulates only the
+/// suffix — instead of re-running the whole shortened test from scratch.
+#[derive(Debug, Clone)]
+pub struct BatchSnapshot {
+    state: BatchState,
 }
 
 /// A pool of up to 64 candidate march elements packed one per bit-lane, ready
@@ -297,7 +362,7 @@ impl TargetBatch {
                     .map(|chunk| PackedChunk {
                         simulator: PackedSimulator::new(&target, chunk, memory_cells)
                             .expect("enumerated placements are valid"),
-                        lanes: chunk.to_vec(),
+                        lanes: Arc::new(chunk.to_vec()),
                     })
                     .collect(),
             ),
@@ -338,20 +403,83 @@ impl TargetBatch {
     /// The descriptors of the still-undetected lanes.
     #[must_use]
     pub fn pending_lanes(&self) -> Vec<CoverageLane> {
+        let mut lanes = Vec::new();
+        self.pending_lanes_into(&mut lanes);
+        lanes
+    }
+
+    /// Appends the descriptors of the still-undetected lanes to `out` without
+    /// allocating a fresh vector — callers looping over many batches (escape
+    /// reporting, the minimiser's diagnostics) re-use one buffer.
+    pub fn pending_lanes_into(&self, out: &mut Vec<CoverageLane>) {
         match &self.state {
-            BatchState::Scalar(lanes) => lanes.iter().map(|lane| lane.lane.clone()).collect(),
-            BatchState::Packed(chunks) => chunks
-                .iter()
-                .flat_map(|chunk| {
+            BatchState::Scalar(lanes) => out.extend(lanes.iter().map(|lane| lane.lane.clone())),
+            BatchState::Packed(chunks) => {
+                for chunk in chunks {
                     let detected = chunk.simulator.detected_mask();
-                    chunk
-                        .lanes
-                        .iter()
-                        .enumerate()
-                        .filter(move |(index, _)| detected & (1 << index) == 0)
-                        .map(|(_, lane)| lane.clone())
-                })
-                .collect(),
+                    out.extend(
+                        chunk
+                            .lanes
+                            .iter()
+                            .enumerate()
+                            .filter(|(index, _)| detected & (1 << index) == 0)
+                            .map(|(_, lane)| lane.clone()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Takes a checkpoint of the current lane state. Restoring it with
+    /// [`TargetBatch::restore`] rewinds the batch to this exact point of the
+    /// march prefix, byte-identically.
+    #[must_use]
+    pub fn snapshot(&self) -> BatchSnapshot {
+        BatchSnapshot {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Overwrites an existing snapshot with the current lane state, re-using
+    /// its buffers — the cheap way to refresh a checkpoint slot that went
+    /// stale after an accepted removal.
+    pub fn snapshot_into(&self, snapshot: &mut BatchSnapshot) {
+        snapshot.state.clone_from(&self.state);
+    }
+
+    /// Rewinds the batch to a previously taken [`BatchSnapshot`]. The restore
+    /// re-uses the buffers the batch already holds (no allocation when the
+    /// shapes match), so trial-restore loops are cheap.
+    pub fn restore(&mut self, snapshot: &BatchSnapshot) {
+        self.state.clone_from(&snapshot.state);
+    }
+
+    /// Executes `elements` from the current lane state and returns `true` if
+    /// every still-pending lane detects its fault instance by the end — the
+    /// suffix-only re-verification primitive of the redundancy-removal pass.
+    ///
+    /// The batch state is consumed by the trial (lane states advance with no
+    /// compaction); callers restore a snapshot before the next trial. The
+    /// scan is lane-major with a fail-fast: the first lane (scalar) or chunk
+    /// (packed) the suffix leaves undetected ends the trial, mirroring the
+    /// early exit of
+    /// [`SimulationBackend::first_undetected`](crate::SimulationBackend).
+    pub fn covers_suffix(&mut self, elements: &[MarchElement]) -> bool {
+        match &mut self.state {
+            BatchState::Scalar(lanes) => lanes.iter_mut().all(|lane| {
+                elements
+                    .iter()
+                    .any(|element| run_element(element, &mut lane.simulator))
+            }),
+            BatchState::Packed(chunks) => chunks.iter_mut().all(|chunk| {
+                for element in elements {
+                    if chunk.simulator.all_detected() {
+                        return true;
+                    }
+                    chunk.simulator.apply_element(element);
+                }
+                chunk.pending_mask() == 0
+            }),
         }
     }
 
@@ -360,14 +488,35 @@ impl TargetBatch {
     #[must_use]
     pub fn score(&self, element: &MarchElement) -> usize {
         match &self.state {
-            BatchState::Scalar(lanes) => lanes
-                .iter()
-                .filter(|lane| {
-                    let mut simulator = lane.simulator.clone();
-                    run_element(element, &mut simulator)
-                })
-                .count(),
-            BatchState::Packed(chunks) => chunks.iter().map(|chunk| chunk.score_one(element)).sum(),
+            BatchState::Scalar(lanes) => {
+                let mut scratch: Option<FaultSimulator> = None;
+                lanes
+                    .iter()
+                    .filter(|lane| {
+                        let simulator = match scratch.as_mut() {
+                            Some(simulator) => {
+                                simulator.clone_from(&lane.simulator);
+                                simulator
+                            }
+                            None => scratch.insert(lane.simulator.clone()),
+                        };
+                        run_element(element, simulator)
+                    })
+                    .count()
+            }
+            BatchState::Packed(chunks) => {
+                let mut scratch: Option<PackedSimulator> = None;
+                chunks
+                    .iter()
+                    .map(|chunk| {
+                        let scratch = match scratch.as_mut() {
+                            Some(scratch) => scratch,
+                            None => scratch.insert(chunk.simulator.clone()),
+                        };
+                        chunk.score_one_with(element, scratch)
+                    })
+                    .sum()
+            }
         }
     }
 
@@ -391,6 +540,7 @@ impl TargetBatch {
                 .collect(),
             BatchState::Packed(chunks) => {
                 let mut scores = vec![0usize; pool.len()];
+                let mut scratch: Option<PackedSimulator> = None;
                 for chunk in chunks {
                     let pending = chunk.pending_mask();
                     if pending == 0 {
@@ -414,8 +564,16 @@ impl TargetBatch {
                             }
                         }
                     } else {
+                        // One scratch simulator serves every candidate of
+                        // every chunk: the trial state is rebuilt with
+                        // buffer-reusing `clone_from` instead of a fresh
+                        // allocation per candidate.
+                        let scratch = match scratch.as_mut() {
+                            Some(scratch) => scratch,
+                            None => scratch.insert(chunk.simulator.clone()),
+                        };
                         for (index, candidate) in pool.candidates().iter().enumerate() {
-                            scores[index] += chunk.score_one(candidate);
+                            scores[index] += chunk.score_one_with(candidate, scratch);
                         }
                     }
                 }
@@ -484,7 +642,7 @@ impl TargetBatch {
             })
             .collect();
         *chunks = vec![PackedChunk {
-            lanes,
+            lanes: Arc::new(lanes),
             simulator: merged,
         }];
     }
@@ -647,6 +805,101 @@ mod tests {
                     batch.target()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn snapshots_restore_byte_identical_state() {
+        // Advance through March SL, snapshotting before every element; each
+        // restored snapshot must behave exactly like a batch advanced from
+        // scratch through the same prefix.
+        let elements: Vec<MarchElement> = catalog::march_sl().elements().to_vec();
+        for backend in [BackendKind::Scalar, BackendKind::Packed] {
+            for mut batch in batches_for(backend) {
+                let mut snapshots = vec![batch.snapshot()];
+                for element in &elements {
+                    batch.advance(element);
+                    snapshots.push(batch.snapshot());
+                }
+                let mut scratch = batch.clone();
+                for (prefix_len, snapshot) in snapshots.iter().enumerate() {
+                    scratch.restore(snapshot);
+                    let mut reference = batches_for(backend)
+                        .into_iter()
+                        .find(|candidate| candidate.target() == batch.target())
+                        .expect("same target set");
+                    for element in &elements[..prefix_len] {
+                        reference.advance(element);
+                    }
+                    assert_eq!(
+                        scratch.pending(),
+                        reference.pending(),
+                        "prefix {prefix_len}"
+                    );
+                    assert_eq!(scratch.pending_lanes(), reference.pending_lanes());
+                    // The restored state scores candidates identically too.
+                    let probe = &elements[0];
+                    assert_eq!(scratch.score(probe), reference.score(probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_suffix_matches_the_full_run_verdict() {
+        // From the checkpoint before element k, the suffix covers the batch
+        // iff the full test covers it — the invariant the suffix-only
+        // redundancy-removal pass is built on.
+        let complete: Vec<MarchElement> = catalog::march_sl().elements().to_vec();
+        let incomplete: Vec<MarchElement> = catalog::mats_plus().elements().to_vec();
+        for backend in [BackendKind::Scalar, BackendKind::Packed] {
+            for (elements, expected) in [(&complete, true), (&incomplete, false)] {
+                for batch in batches_for(backend) {
+                    let full_expected = expected || {
+                        // Some targets are covered even by MATS+.
+                        let mut probe = batch.clone();
+                        elements.iter().for_each(|element| {
+                            probe.advance(element);
+                        });
+                        probe.pending() == 0
+                    };
+                    let mut advanced = batch.clone();
+                    for split in 0..=elements.len() {
+                        let mut trial = batch.clone();
+                        trial.restore(&advanced.snapshot());
+                        assert_eq!(
+                            trial.covers_suffix(&elements[split.min(elements.len())..]),
+                            full_expected,
+                            "{} split {split} ({backend:?})",
+                            batch.target()
+                        );
+                        if split < elements.len() {
+                            advanced.advance(&elements[split]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_slots_identically() {
+        let elements: Vec<MarchElement> = catalog::march_ss().elements().to_vec();
+        let mut batch = batches_for(BackendKind::Packed).remove(0);
+        let mut slot = batch.snapshot();
+        for element in &elements {
+            batch.advance(element);
+            batch.snapshot_into(&mut slot);
+            let fresh = batch.snapshot();
+            let mut restored_slot = batch.clone();
+            restored_slot.restore(&slot);
+            let mut restored_fresh = batch.clone();
+            restored_fresh.restore(&fresh);
+            assert_eq!(restored_slot.pending(), restored_fresh.pending());
+            assert_eq!(
+                restored_slot.pending_lanes(),
+                restored_fresh.pending_lanes()
+            );
         }
     }
 

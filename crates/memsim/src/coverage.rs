@@ -323,8 +323,21 @@ pub(crate) fn target_escape(
     backgrounds: &[InitialState],
 ) -> Option<Escape> {
     let lanes = enumerate_lanes(target, memory_cells, strategy, backgrounds);
+    lane_escape(backend, test, target, &lanes, memory_cells)
+}
+
+/// The first of the pre-enumerated `lanes` the test fails on, as an
+/// [`Escape`] — the shared kernel of [`target_escape`] and the session's
+/// cached-lane coverage path.
+pub(crate) fn lane_escape(
+    backend: &dyn SimulationBackend,
+    test: &MarchTest,
+    target: &TargetKind,
+    lanes: &[crate::CoverageLane],
+    memory_cells: usize,
+) -> Option<Escape> {
     backend
-        .first_undetected(test, target, &lanes, memory_cells)
+        .first_undetected(test, target, lanes, memory_cells)
         .map(|index| Escape {
             target: target.clone(),
             cells: lanes[index].cells,

@@ -89,12 +89,33 @@ impl fmt::Display for OperationOutcome {
 /// assert!(outcome.mismatch());
 /// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FaultSimulator {
     faulty: Memory,
     golden: Memory,
     faults: Vec<InjectedFault>,
     initial: InitialState,
+}
+
+impl Clone for FaultSimulator {
+    fn clone(&self) -> FaultSimulator {
+        FaultSimulator {
+            faulty: self.faulty.clone(),
+            golden: self.golden.clone(),
+            faults: self.faults.clone(),
+            initial: self.initial.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so the scalar snapshot/restore path of
+    /// [`TargetBatch`](crate::TargetBatch) re-uses the memory buffers instead
+    /// of reallocating them per removal trial.
+    fn clone_from(&mut self, source: &FaultSimulator) {
+        self.faulty.clone_from(&source.faulty);
+        self.golden.clone_from(&source.golden);
+        self.faults.clone_from(&source.faults);
+        self.initial.clone_from(&source.initial);
+    }
 }
 
 impl FaultSimulator {

@@ -70,7 +70,7 @@ pub use backend::{
     enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,
     SimulationBackend,
 };
-pub use batch::{CandidateBatch, TargetBatch};
+pub use batch::{BatchSnapshot, CandidateBatch, TargetBatch};
 pub use coverage::{
     detects_linked, detects_simple, enumerate_targets, measure_coverage, CoverageConfig,
     CoverageReport, Escape, EscapeSortKey, TargetKind,
@@ -86,7 +86,7 @@ pub use placement::{enumerate_placements, PlacementStrategy};
 pub use policy::{ExecPolicy, DEFAULT_WAVE_COST_FACTOR};
 pub use report::{json_escape, DiagnosisReport, JsonObject, Report};
 pub use run::{run_march, Failure, MarchRun};
-pub use session::Session;
+pub use session::{Session, TargetLanes};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimulationError>;

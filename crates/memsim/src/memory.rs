@@ -77,9 +77,23 @@ impl InitialState {
 /// assert_eq!(memory.read(0), Bit::Zero);
 /// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Memory {
     cells: Vec<Bit>,
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            cells: self.cells.clone(),
+        }
+    }
+
+    /// Reuses the existing cell buffer — the snapshot/restore paths of the
+    /// redundancy-removal pass restore memories thousands of times per run.
+    fn clone_from(&mut self, source: &Memory) {
+        self.cells.clone_from(&source.cells);
+    }
 }
 
 impl Memory {

@@ -5,7 +5,10 @@
 //! `GeneratorConfig { backend, threads, batch }` for generation — and the CLI
 //! and benches re-plumbed the triple independently. `ExecPolicy` owns those
 //! knobs once; a [`Session`](crate::Session) is built from it and every
-//! pipeline entry point inherits the same policy.
+//! pipeline entry point inherits the same policy. The session built from a
+//! policy also owns the run-time state the policy's knobs govern: the
+//! resident worker pool (`threads`) and the memoised target-lane artifact
+//! cache that repeated coverage/generation/minimisation queries share.
 
 use crate::backend::BackendKind;
 

@@ -10,21 +10,72 @@
 //! (`measure_coverage`, `run_march`, `diagnose`), which are now thin shims
 //! constructing a throwaway session.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use march_test::MarchTest;
-use sram_fault_model::FaultList;
+use sram_fault_model::{FaultList, FaultPrimitive};
 
-use crate::backend::SimulationBackend;
-use crate::coverage::{assemble_coverage_report, enumerate_targets, target_escape, Escape};
+use crate::backend::{enumerate_lanes, SimulationBackend};
+use crate::coverage::{
+    assemble_coverage_report, enumerate_targets, lane_escape, Escape, TargetKind,
+};
 use crate::parallel::WorkerPool;
 use crate::report::DiagnosisReport;
 use crate::run::run_march;
 use crate::{
-    diagnose, CoverageConfig, CoverageReport, ExecPolicy, FaultDictionary, FaultSimulator,
-    InitialState, InjectedFault, LinkedFaultInstance, MarchRun, PlacementStrategy, Result,
-    Syndrome,
+    diagnose, CoverageConfig, CoverageLane, CoverageReport, ExecPolicy, FaultDictionary,
+    FaultSimulator, InitialState, InjectedFault, LinkedFaultInstance, MarchRun, PlacementStrategy,
+    Result, Syndrome,
 };
+
+/// Every fault target of a list together with its enumerated coverage lanes —
+/// the session-cached setup artifact shared by coverage measurement, the
+/// greedy generator and the redundancy-removal pass.
+pub type TargetLanes = Vec<(TargetKind, Vec<CoverageLane>)>;
+
+/// The immutable key of one cached target-lane enumeration: a content
+/// fingerprint of the fault list crossed with the simulation scope it was
+/// enumerated under. Entries are never invalidated — a different list or
+/// scope simply keys a different entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ArtifactKey {
+    /// The list's name plus one notation string per fault, kept as separate
+    /// fields (not joined into one string) so a crafted list name can never
+    /// collide with another list's name + contents.
+    list_name: String,
+    list_contents: Vec<String>,
+    memory_cells: usize,
+    strategy: PlacementStrategy,
+    backgrounds: Vec<InitialState>,
+}
+
+impl ArtifactKey {
+    fn new(
+        list: &FaultList,
+        memory_cells: usize,
+        strategy: PlacementStrategy,
+        backgrounds: &[InitialState],
+    ) -> ArtifactKey {
+        // The fingerprint covers the list *contents*, not just its name: two
+        // lists that happen to share a name but differ in a primitive key
+        // different cache entries.
+        let list_contents = list
+            .simple()
+            .iter()
+            .map(FaultPrimitive::notation)
+            .chain(list.linked().iter().map(|fault| fault.to_string()))
+            .collect();
+        ArtifactKey {
+            list_name: list.name().to_string(),
+            list_contents,
+            memory_cells,
+            strategy,
+            backgrounds: backgrounds.to_vec(),
+        }
+    }
+}
 
 /// A reusable engine handle owning the execution policy and the resident
 /// worker pool of the simulation pipeline.
@@ -58,6 +109,12 @@ pub struct Session {
     backgrounds: Vec<InitialState>,
     backend: Arc<dyn SimulationBackend>,
     pool: Option<WorkerPool>,
+    /// Memoised per-`(list, scope)` target-lane enumerations. Entries are
+    /// keyed immutably (list contents + scope), so nothing is ever
+    /// invalidated; repeated `coverage`/`generate`/`minimise`/`verify`
+    /// queries skip the setup entirely.
+    artifacts: Mutex<HashMap<ArtifactKey, Arc<TargetLanes>>>,
+    cache_hits: AtomicUsize,
 }
 
 impl Default for Session {
@@ -86,6 +143,8 @@ impl Session {
             backgrounds: scope.backgrounds,
             backend: Arc::from(policy.backend.instance()),
             pool,
+            artifacts: Mutex::new(HashMap::new()),
+            cache_hits: AtomicUsize::new(0),
         }
     }
 
@@ -187,6 +246,84 @@ impl Session {
         self.pool.as_ref().map_or(0, WorkerPool::generation)
     }
 
+    /// Number of times a query was answered from the session's artifact cache
+    /// instead of re-enumerating target lanes — the observable caching
+    /// guarantee, mirroring [`Session::workers_spawned`] for the pool.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(list, scope)` enumerations the session has cached.
+    #[must_use]
+    pub fn cached_artifacts(&self) -> usize {
+        self.artifacts.lock().expect("artifact cache lock").len()
+    }
+
+    /// Every fault target of `list` with its coverage lanes under the
+    /// session's scope, memoised for the session's lifetime: the first call
+    /// per `(list, scope)` enumerates, every later one returns the shared
+    /// [`Arc`] (observable through [`Session::cache_hits`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_fault_model::FaultList;
+    /// use sram_sim::Session;
+    ///
+    /// let session = Session::default();
+    /// let first = session.target_lanes(&FaultList::list_2());
+    /// let second = session.target_lanes(&FaultList::list_2());
+    /// assert!(std::sync::Arc::ptr_eq(&first, &second));
+    /// assert_eq!(session.cache_hits(), 1);
+    /// ```
+    #[must_use]
+    pub fn target_lanes(&self, list: &FaultList) -> Arc<TargetLanes> {
+        self.target_lanes_scoped(list, self.memory_cells, self.strategy, &self.backgrounds)
+    }
+
+    /// Like [`Session::target_lanes`] with an explicit simulation scope —
+    /// the entry point for pipeline stages (generator, minimiser) whose
+    /// configuration may override the session's own scope. The cache is
+    /// shared: entries are keyed by `(list contents, scope)`.
+    #[must_use]
+    pub fn target_lanes_scoped(
+        &self,
+        list: &FaultList,
+        memory_cells: usize,
+        strategy: PlacementStrategy,
+        backgrounds: &[InitialState],
+    ) -> Arc<TargetLanes> {
+        let key = ArtifactKey::new(list, memory_cells, strategy, backgrounds);
+        if let Some(cached) = self
+            .artifacts
+            .lock()
+            .expect("artifact cache lock")
+            .get(&key)
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        // Enumerate outside the lock: a concurrent miss on the same key costs
+        // one duplicate enumeration, never a stalled cache.
+        let enumerated: Arc<TargetLanes> = Arc::new(
+            enumerate_targets(list)
+                .into_iter()
+                .map(|target| {
+                    let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds);
+                    (target, lanes)
+                })
+                .collect(),
+        );
+        Arc::clone(
+            self.artifacts
+                .lock()
+                .expect("artifact cache lock")
+                .entry(key)
+                .or_insert(enumerated),
+        )
+    }
+
     /// Fans `map` out over the session's resident workers, returning results
     /// in item order (serially on the caller when the session is not
     /// parallel). This is the deterministic-merge primitive the downstream
@@ -221,39 +358,33 @@ impl Session {
     /// ```
     #[must_use]
     pub fn coverage(&self, test: &MarchTest, list: &FaultList) -> CoverageReport {
-        let targets = Arc::new(enumerate_targets(list));
+        let target_lanes = self.target_lanes(list);
         let first_escapes: Vec<Option<Escape>> = match &self.pool {
             Some(pool) => {
                 let test = test.clone();
                 let backend = Arc::clone(&self.backend);
                 let memory_cells = self.memory_cells;
-                let strategy = self.strategy;
-                let backgrounds = self.backgrounds.clone();
-                pool.map(Arc::clone(&targets), move |target| {
-                    target_escape(
-                        backend.as_ref(),
-                        &test,
-                        target,
-                        memory_cells,
-                        strategy,
-                        &backgrounds,
-                    )
+                pool.map(Arc::clone(&target_lanes), move |(target, lanes)| {
+                    lane_escape(backend.as_ref(), &test, target, lanes, memory_cells)
                 })
             }
-            None => targets
+            None => target_lanes
                 .iter()
-                .map(|target| {
-                    target_escape(
+                .map(|(target, lanes)| {
+                    lane_escape(
                         self.backend.as_ref(),
                         test,
                         target,
+                        lanes,
                         self.memory_cells,
-                        self.strategy,
-                        &self.backgrounds,
                     )
                 })
                 .collect(),
         };
+        let targets: Vec<TargetKind> = target_lanes
+            .iter()
+            .map(|(target, _)| target.clone())
+            .collect();
         assemble_coverage_report(test.name(), list.name(), &targets, first_escapes)
     }
 
@@ -492,6 +623,63 @@ mod tests {
         );
         assert_eq!(report.candidates(), &reference[..]);
         assert_eq!(report.test_name(), "March SS");
+    }
+
+    #[test]
+    fn artifact_cache_memoises_target_lanes_per_list_and_scope() {
+        let session = Session::default();
+        assert_eq!(session.cache_hits(), 0);
+        assert_eq!(session.cached_artifacts(), 0);
+
+        // Same list, same scope: one enumeration, then hits sharing the Arc.
+        let first = session.target_lanes(&FaultList::list_2());
+        assert_eq!(session.cache_hits(), 0);
+        assert_eq!(session.cached_artifacts(), 1);
+        let second = session.target_lanes(&FaultList::list_2());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(session.cache_hits(), 1);
+
+        // A different scope keys a different entry.
+        let exhaustive = session.target_lanes_scoped(
+            &FaultList::list_2(),
+            6,
+            PlacementStrategy::Exhaustive,
+            session.backgrounds(),
+        );
+        assert!(!Arc::ptr_eq(&first, &exhaustive));
+        assert_eq!(session.cache_hits(), 1);
+        assert_eq!(session.cached_artifacts(), 2);
+
+        // A different list under the same scope keys a third entry, and the
+        // content fingerprint distinguishes lists sharing a name.
+        let other = session.target_lanes(&FaultList::unlinked_static());
+        assert_eq!(session.cached_artifacts(), 3);
+        assert_ne!(other.len(), first.len());
+        let renamed = FaultList::new("Fault List #2 (single-cell linked faults)");
+        let empty = session.target_lanes(&renamed);
+        assert!(empty.is_empty());
+        assert_eq!(session.cached_artifacts(), 4);
+    }
+
+    #[test]
+    fn repeated_queries_share_the_enumeration() {
+        // generate/minimise/verify all funnel through the cache: repeated
+        // coverage of the same list re-enumerates nothing.
+        let session = Session::default();
+        let list = FaultList::list_2();
+        let baseline = session.coverage(&catalog::march_sl(), &list);
+        assert_eq!(session.cache_hits(), 0);
+        let repeat = session.coverage(&catalog::march_sl(), &list);
+        assert_eq!(repeat, baseline);
+        assert_eq!(session.cache_hits(), 1);
+        let other_test = session.coverage(&catalog::march_ss(), &list);
+        assert_eq!(session.cache_hits(), 2);
+        assert_eq!(other_test.total(), baseline.total());
+        // The cached enumeration yields the same report as a fresh session.
+        assert_eq!(
+            Session::default().coverage(&catalog::march_sl(), &list),
+            baseline
+        );
     }
 
     #[test]
