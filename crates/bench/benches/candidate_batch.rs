@@ -22,7 +22,8 @@ fn advanced_batches(list: &FaultList, prefix: &[MarchElement]) -> Vec<TargetBatc
         .into_iter()
         .map(|target| {
             let lanes =
-                enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds);
+                enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds)
+                    .expect("benchmark scope hosts the placements");
             TargetBatch::new(target, lanes, 8, BackendKind::Packed)
         })
         .collect();

@@ -23,7 +23,7 @@ use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::FaultList;
 use sram_sim::{
     effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
-    CoverageConfig, InitialState, PlacementStrategy, Session, TargetBatch,
+    CoverageConfig, ExecPolicy, InitialState, PlacementStrategy, Session, TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -87,7 +87,8 @@ fn advanced_batches(list: &FaultList, prefix: &[MarchElement]) -> Vec<TargetBatc
         .into_iter()
         .map(|target| {
             let lanes =
-                enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds);
+                enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds)
+                    .expect("benchmark scope hosts the placements");
             TargetBatch::new(target, lanes, 8, BackendKind::Packed)
         })
         .collect();
@@ -161,6 +162,73 @@ fn session_workloads() -> Vec<SessionWorkload> {
             threads: 4,
         },
     ]
+}
+
+/// One large-memory address-decoder workload: coverage of the canonical AF
+/// list at 64 / 256 / 1024 cells — serial scalar simulation (baseline) vs the
+/// packed + threaded session path (contender). At 1024 cells the scalar side
+/// replays the whole march test per lane with per-operation dispatch
+/// overhead, while the packed side streams each target's lanes through one
+/// bit-plane word and fans targets out over the pool: this is the first
+/// workload family where the packed + threaded path is the only viable one.
+struct AfWorkload {
+    name: &'static str,
+    cells: usize,
+    reps: u32,
+}
+
+fn af_workloads() -> Vec<AfWorkload> {
+    vec![
+        AfWorkload {
+            name: "af_coverage_march_ss_64",
+            cells: 64,
+            reps: 10,
+        },
+        AfWorkload {
+            name: "af_coverage_march_ss_256",
+            cells: 256,
+            reps: 5,
+        },
+        AfWorkload {
+            name: "af_coverage_march_ss_1024",
+            cells: 1024,
+            reps: 3,
+        },
+    ]
+}
+
+/// Times one AF workload; the two sides' reports are pinned byte-identical
+/// every repetition, so a decode-semantics bug cannot masquerade as a
+/// speedup. The contender runs at 4 threads like the session workloads, so
+/// records stay comparable across `--threads` flags.
+fn time_af(workload: &AfWorkload) -> (Duration, Duration) {
+    let reps = workload.reps;
+    let list = FaultList::address_decoder();
+    let test = catalog::march_ss();
+    let scalar = Session::new(
+        ExecPolicy::default()
+            .with_backend(BackendKind::Scalar)
+            .with_threads(1),
+    )
+    .with_memory_cells(workload.cells);
+    let packed =
+        Session::new(ExecPolicy::default().with_threads(4)).with_memory_cells(workload.cells);
+
+    let reference = scalar.coverage(&test, &list);
+    assert_eq!(packed.coverage(&test, &list), reference);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(scalar.coverage(&test, &list), reference);
+    }
+    let scalar_time = start.elapsed() / reps;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(packed.coverage(&test, &list), reference);
+    }
+    let packed_time = start.elapsed() / reps;
+    (scalar_time, packed_time)
 }
 
 /// One redundancy-removal workload: a catalogue test minimised against a
@@ -372,6 +440,26 @@ fn main() {
             contender: "snapshot".to_string(),
             baseline_ns: full.as_nanos() as u64,
             contender_ns: suffix.as_nanos() as u64,
+            speedup,
+        });
+    }
+    for workload in af_workloads() {
+        let (scalar, packed) = time_af(&workload);
+        let speedup = scalar.as_secs_f64() / packed.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            scalar.as_secs_f64() * 1e3,
+            packed.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "af_coverage".to_string(),
+            baseline: "scalar".to_string(),
+            contender: "packed+threaded".to_string(),
+            baseline_ns: scalar.as_nanos() as u64,
+            contender_ns: packed.as_nanos() as u64,
             speedup,
         });
     }

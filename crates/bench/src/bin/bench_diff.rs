@@ -68,6 +68,16 @@ fn run() -> Result<(), String> {
     let current = load("current", &options.current)?;
     let diff = diff_trajectories(&baseline, &current)?;
     println!("{diff}");
+    // Every baseline workload must still be measured: a silently dropped
+    // workload (say, the af_coverage large-memory family) would otherwise
+    // leave the gate without anyone deciding that.
+    if !diff.missing.is_empty() {
+        return Err(format!(
+            "baseline workloads missing from the current run: {} — regenerate the \
+             committed baseline if this removal is intentional",
+            diff.missing.join(", ")
+        ));
+    }
     if diff.regressed(options.threshold) {
         return Err(format!(
             "geomean speedup regressed {:.1}% (gate: {:.0}%): {:.2}x -> {:.2}x",

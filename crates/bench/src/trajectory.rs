@@ -40,8 +40,9 @@ pub struct BenchRecord {
     /// Workload name (test × list × configuration); the differ matches
     /// baseline and current files by this key.
     pub name: String,
-    /// Workload family: `"coverage"`, `"generation"`, `"minimise"` or
-    /// `"session"`.
+    /// Workload family: `"coverage"`, `"generation"`, `"minimise"`,
+    /// `"session"` or `"af_coverage"` (the large-memory address-decoder
+    /// workloads).
     pub kind: String,
     /// What the slow side is (`"scalar"`, `"per-candidate"`, …).
     pub baseline: String,
@@ -175,6 +176,11 @@ pub struct TrajectoryDiff {
     /// Workload names present in both files, with `(baseline, current)`
     /// speedups.
     pub compared: Vec<(String, f64, f64)>,
+    /// Per-kind `(kind, baseline geomean, current geomean)` over the compared
+    /// workloads, in first-seen order — so a regression confined to one
+    /// workload family (e.g. the `af_coverage` large-memory runs) is visible
+    /// even when the overall geomean stays inside the gate.
+    pub per_kind: Vec<(String, f64, f64)>,
     /// Baseline workloads missing from the current run.
     pub missing: Vec<String>,
     /// Current workloads the baseline does not know yet.
@@ -216,6 +222,14 @@ impl fmt::Display for TrajectoryDiff {
                 current / baseline
             )?;
         }
+        for (kind, baseline, current) in &self.per_kind {
+            writeln!(
+                f,
+                "{:<42} {baseline:>9.2}x {current:>9.2}x {:>7.2}",
+                format!("[geomean: {kind}]"),
+                current / baseline
+            )?;
+        }
         for name in &self.missing {
             writeln!(f, "{name:<42} {:>10} {:>10}", "(baseline)", "missing")?;
         }
@@ -244,6 +258,7 @@ pub fn diff_trajectories(
 ) -> Result<TrajectoryDiff, String> {
     let mut compared = Vec::new();
     let mut missing = Vec::new();
+    let mut kinds: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for record in &baseline.workloads {
         match current
             .workloads
@@ -252,6 +267,13 @@ pub fn diff_trajectories(
         {
             Some(matching) => {
                 compared.push((record.name.clone(), record.speedup, matching.speedup));
+                match kinds.iter_mut().find(|(kind, _)| *kind == record.kind) {
+                    Some((_, pairs)) => pairs.push((record.speedup, matching.speedup)),
+                    None => kinds.push((
+                        record.kind.clone(),
+                        vec![(record.speedup, matching.speedup)],
+                    )),
+                }
             }
             None => missing.push(record.name.clone()),
         }
@@ -274,8 +296,17 @@ pub fn diff_trajectories(
     }
     let baseline_geomean = geomean(compared.iter().map(|(_, baseline, _)| *baseline));
     let current_geomean = geomean(compared.iter().map(|(_, _, current)| *current));
+    let per_kind = kinds
+        .into_iter()
+        .map(|(kind, pairs)| {
+            let baseline = geomean(pairs.iter().map(|(baseline, _)| *baseline));
+            let current = geomean(pairs.iter().map(|(_, current)| *current));
+            (kind, baseline, current)
+        })
+        .collect();
     Ok(TrajectoryDiff {
         compared,
+        per_kind,
         missing,
         added,
         baseline_geomean,

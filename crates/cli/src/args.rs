@@ -53,6 +53,32 @@ impl CoverageTarget {
     }
 }
 
+/// Which fault domain a coverage/generation/minimisation command targets:
+/// the cell-array FFM lists, the address-decoder fault classes, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultDomain {
+    /// Cell-array faults only (the selected `--list`). The default.
+    #[default]
+    Ffm,
+    /// Address-decoder faults only (`--list` is not required).
+    Af,
+    /// The selected `--list` extended with the address-decoder fault classes.
+    All,
+}
+
+impl FaultDomain {
+    fn parse(text: &str) -> Result<FaultDomain, ParseArgsError> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "ffm" => Ok(FaultDomain::Ffm),
+            "af" => Ok(FaultDomain::Af),
+            "all" => Ok(FaultDomain::All),
+            other => Err(ParseArgsError(format!(
+                "unknown fault domain `{other}` (expected ffm, af or all)"
+            ))),
+        }
+    }
+}
+
 /// One parsed `march-codex` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -63,12 +89,16 @@ pub enum Command {
         /// The (case-insensitive) catalogue name.
         name: String,
     },
-    /// `generate --list <1|2> [--no-removal] [--order up|down] [--name NAME]
-    /// [--exhaustive] [--backend scalar|packed] [--threads N] [--batch N]
-    /// [--json]`.
+    /// `generate [--list <1|2>] [--faults ffm|af|all] [--cells N] [--no-removal]
+    /// [--order up|down] [--name NAME] [--exhaustive] [--backend scalar|packed]
+    /// [--threads N] [--batch N] [--json]`.
     Generate {
-        /// The target fault list.
-        list: CoverageTarget,
+        /// The target fault list (required unless `--faults af`).
+        list: Option<CoverageTarget>,
+        /// The fault domain: cell-array FFMs, address-decoder faults, or both.
+        faults: FaultDomain,
+        /// Memory size in cells (`None` = the scope default).
+        cells: Option<usize>,
         /// Disable the redundancy-removal pass.
         no_removal: bool,
         /// Restrict every element to a single address order.
@@ -88,13 +118,22 @@ pub enum Command {
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
-    /// `coverage --test <name> --list <1|2|unlinked> [--exhaustive]
-    /// [--backend scalar|packed] [--threads N] [--json]`.
+    /// `coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]
+    /// [--cells N] [--exhaustive] [--backend scalar|packed] [--threads N]
+    /// [--json]`.
+    ///
+    /// Without an explicit `--threads`, memories larger than 64 cells fan out
+    /// over every available core (`--threads 0`): large-memory coverage is
+    /// exactly the workload the packed + threaded path exists for.
     Coverage {
-        /// Catalogue name of the march test to evaluate.
+        /// Catalogue name of the march test to evaluate (default: March SS).
         test: String,
-        /// The target fault list.
-        list: CoverageTarget,
+        /// The target fault list (required unless `--faults af`).
+        list: Option<CoverageTarget>,
+        /// The fault domain: cell-array FFMs, address-decoder faults, or both.
+        faults: FaultDomain,
+        /// Memory size in cells (`None` = the scope default).
+        cells: Option<usize>,
         /// Use exhaustive cell placements.
         exhaustive: bool,
         /// Which simulation backend evaluates the coverage lanes (defaults to
@@ -115,8 +154,13 @@ pub enum Command {
     Minimise {
         /// Catalogue name of the march test to shorten.
         test: String,
-        /// The fault list whose coverage must be preserved.
-        list: CoverageTarget,
+        /// The fault list whose coverage must be preserved (required unless
+        /// `--faults af`).
+        list: Option<CoverageTarget>,
+        /// The fault domain: cell-array FFMs, address-decoder faults, or both.
+        faults: FaultDomain,
+        /// Memory size in cells (`None` = the scope default).
+        cells: Option<usize>,
         /// Which simulation backend re-verifies the removal trials.
         backend: BackendKind,
         /// Worker threads the `(target × suffix)` trials shard over (0 = auto).
@@ -194,12 +238,14 @@ impl Command {
             }
             "generate" => {
                 let mut list = None;
+                let mut faults = FaultDomain::Ffm;
+                let mut cells = None;
                 let mut no_removal = false;
                 let mut order = None;
                 let mut name = None;
                 let mut exhaustive = false;
                 let mut backend = BackendKind::Packed;
-                let mut threads = 1usize;
+                let mut threads = None;
                 let mut batch = 0usize;
                 let mut json = false;
                 while let Some(arg) = args.next() {
@@ -207,6 +253,10 @@ impl Command {
                         "--list" => {
                             list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
                         }
+                        "--faults" => {
+                            faults = FaultDomain::parse(&required(&mut args, "--faults")?)?
+                        }
+                        "--cells" => cells = Some(parse_number(&required(&mut args, "--cells")?)?),
                         "--no-removal" => no_removal = true,
                         "--exhaustive" => exhaustive = true,
                         "--order" => {
@@ -217,20 +267,25 @@ impl Command {
                         }
                         "--name" => name = Some(required(&mut args, "--name")?),
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
-                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--threads" => {
+                            threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
                         "--batch" => batch = parse_batch(&required(&mut args, "--batch")?)?,
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
                 }
+                require_list(list, faults, "generate")?;
                 Ok(Command::Generate {
-                    list: list.ok_or_else(|| ParseArgsError("generate requires --list".into()))?,
+                    list,
+                    faults,
+                    cells,
                     no_removal,
                     order,
                     name,
                     exhaustive,
                     backend,
-                    threads,
+                    threads: resolve_threads(threads, cells),
                     batch,
                     json,
                 })
@@ -238,9 +293,11 @@ impl Command {
             "coverage" => {
                 let mut test = None;
                 let mut list = None;
+                let mut faults = FaultDomain::Ffm;
+                let mut cells = None;
                 let mut exhaustive = false;
                 let mut backend = BackendKind::Packed;
-                let mut threads = 1usize;
+                let mut threads = None;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -248,27 +305,41 @@ impl Command {
                         "--list" => {
                             list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
                         }
+                        "--faults" => {
+                            faults = FaultDomain::parse(&required(&mut args, "--faults")?)?
+                        }
+                        "--cells" => cells = Some(parse_number(&required(&mut args, "--cells")?)?),
                         "--exhaustive" => exhaustive = true,
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
-                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--threads" => {
+                            threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
                 }
+                require_list(list, faults, "coverage")?;
                 Ok(Command::Coverage {
-                    test: test.ok_or_else(|| ParseArgsError("coverage requires --test".into()))?,
-                    list: list.ok_or_else(|| ParseArgsError("coverage requires --list".into()))?,
+                    // March SS is the canonical thorough catalogue test; it is
+                    // the default so `coverage --faults af --cells 1024` works
+                    // out of the box.
+                    test: test.unwrap_or_else(|| "March SS".to_string()),
+                    list,
+                    faults,
+                    cells,
                     exhaustive,
                     backend,
-                    threads,
+                    threads: resolve_threads(threads, cells),
                     json,
                 })
             }
             "minimise" | "minimize" => {
                 let mut test = None;
                 let mut list = None;
+                let mut faults = FaultDomain::Ffm;
+                let mut cells = None;
                 let mut backend = BackendKind::Packed;
-                let mut threads = 1usize;
+                let mut threads = None;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -276,17 +347,26 @@ impl Command {
                         "--list" => {
                             list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
                         }
+                        "--faults" => {
+                            faults = FaultDomain::parse(&required(&mut args, "--faults")?)?
+                        }
+                        "--cells" => cells = Some(parse_number(&required(&mut args, "--cells")?)?),
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
-                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--threads" => {
+                            threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
                 }
+                require_list(list, faults, "minimise")?;
                 Ok(Command::Minimise {
                     test: test.ok_or_else(|| ParseArgsError("minimise requires --test".into()))?,
-                    list: list.ok_or_else(|| ParseArgsError("minimise requires --list".into()))?,
+                    list,
+                    faults,
+                    cells,
                     backend,
-                    threads,
+                    threads: resolve_threads(threads, cells),
                     json,
                 })
             }
@@ -298,7 +378,7 @@ impl Command {
                 let mut cells = 8usize;
                 let mut list = None;
                 let mut backend = BackendKind::Packed;
-                let mut threads = 1usize;
+                let mut threads = None;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -315,7 +395,9 @@ impl Command {
                             list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
                         }
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
-                        "--threads" => threads = parse_threads(&required(&mut args, "--threads")?)?,
+                        "--threads" => {
+                            threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
@@ -330,7 +412,7 @@ impl Command {
                     cells,
                     list: list.ok_or_else(|| ParseArgsError("diagnose requires --list".into()))?,
                     backend,
-                    threads,
+                    threads: resolve_threads(threads, Some(cells)),
                     json,
                 })
             }
@@ -379,6 +461,38 @@ fn required(
         .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))
 }
 
+/// `--list` is mandatory unless the fault domain is decoder-only — and
+/// conversely the decoder-only domain rejects an explicit `--list`, so a
+/// cell-array list can never be silently dropped from the run.
+fn require_list(
+    list: Option<CoverageTarget>,
+    faults: FaultDomain,
+    command: &str,
+) -> Result<(), ParseArgsError> {
+    match faults {
+        FaultDomain::Af if list.is_some() => Err(ParseArgsError(format!(
+            "{command} --faults af targets only the decoder classes and would ignore \
+             --list; drop --list or use --faults all to combine the two domains"
+        ))),
+        FaultDomain::Ffm | FaultDomain::All if list.is_none() => Err(ParseArgsError(format!(
+            "{command} requires --list (or --faults af for the decoder-only domain)"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Resolves the worker-thread count: an explicit `--threads` wins; otherwise
+/// memories beyond 64 cells (one packed lane word) default to the available
+/// parallelism — the packed + threaded path is the only viable one there —
+/// and small memories stay serial, as before.
+fn resolve_threads(threads: Option<usize>, cells: Option<usize>) -> usize {
+    match (threads, cells) {
+        (Some(threads), _) => threads,
+        (None, Some(cells)) if cells > 64 => 0,
+        (None, _) => 1,
+    }
+}
+
 fn parse_number(text: &str) -> Result<usize, ParseArgsError> {
     text.parse::<usize>()
         .map_err(|_| ParseArgsError(format!("`{text}` is not a valid cell count/address")))
@@ -423,19 +537,25 @@ pub fn usage() -> String {
      USAGE:\n\
      \x20 march-codex catalog\n\
      \x20 march-codex show <name>\n\
-     \x20 march-codex generate --list <1|2> [--no-removal] [--order up|down] [--name NAME] [--exhaustive]\n\
+     \x20 march-codex generate [--list <1|2>] [--faults ffm|af|all] [--cells N] [--no-removal]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--order up|down] [--name NAME] [--exhaustive]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N] [--json]\n\
-     \x20 march-codex coverage --test <name> --list <1|2|unlinked> [--exhaustive]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--json]\n\
-     \x20 march-codex minimise --test <name> --list <1|2|unlinked>\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 march-codex coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--exhaustive] [--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 march-codex minimise --test <name> [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--backend scalar|packed] [--threads N] [--json]\n\
      \x20 march-codex diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
      \x20 march-codex help\n\
      \n\
      Every invocation builds one sram_sim::Session from the --backend/--threads/--batch\n\
-     execution policy; --json emits the session report's machine-readable form.\n"
+     execution policy; --json emits the session report's machine-readable form.\n\
+     --faults selects the fault domain: ffm (the cell-array --list, the default), af\n\
+     (the four address-decoder classes; --list must be omitted) or all (--list plus\n\
+     the decoder classes). --cells sets the simulated memory size; above 64 cells\n\
+     --threads defaults to the available parallelism (the packed + threaded\n\
+     large-memory path). coverage --test defaults to March SS.\n"
         .to_string()
 }
 
@@ -478,7 +598,9 @@ mod tests {
         assert_eq!(
             command,
             Command::Generate {
-                list: CoverageTarget::List1,
+                list: Some(CoverageTarget::List1),
+                faults: FaultDomain::Ffm,
+                cells: None,
                 no_removal: true,
                 order: Some(AddressOrder::Ascending),
                 name: Some("March X".into()),
@@ -511,7 +633,9 @@ mod tests {
             command,
             Command::Minimise {
                 test: "March SL".into(),
-                list: CoverageTarget::List2,
+                list: Some(CoverageTarget::List2),
+                faults: FaultDomain::Ffm,
+                cells: None,
                 backend: BackendKind::Packed,
                 threads: 0,
                 json: true,
@@ -522,7 +646,9 @@ mod tests {
             parse(&["minimize", "--test", "MATS+", "--list", "unlinked"]).unwrap(),
             Command::Minimise {
                 test: "MATS+".into(),
-                list: CoverageTarget::Unlinked,
+                list: Some(CoverageTarget::Unlinked),
+                faults: FaultDomain::Ffm,
+                cells: None,
                 backend: BackendKind::Packed,
                 threads: 1,
                 json: false,
@@ -606,7 +732,9 @@ mod tests {
             coverage,
             Command::Coverage {
                 test: "March SL".into(),
-                list: CoverageTarget::Unlinked,
+                list: Some(CoverageTarget::Unlinked),
+                faults: FaultDomain::Ffm,
+                cells: None,
                 exhaustive: true,
                 backend: BackendKind::Packed,
                 threads: 1,
@@ -638,7 +766,13 @@ mod tests {
             }
         );
         assert!(parse(&["simulate", "--test", "March SS"]).is_err());
+        // coverage without --list still errors in the default ffm domain...
         assert!(parse(&["coverage", "--test", "March SS"]).is_err());
+        // ...and without --test defaults to March SS in the af domain.
+        assert!(matches!(
+            parse(&["coverage", "--faults", "af"]).unwrap(),
+            Command::Coverage { test, .. } if test == "March SS"
+        ));
         assert!(parse(&["simulate", "--test", "x", "--fault", "y", "--victim", "abc"]).is_err());
     }
 
@@ -685,6 +819,72 @@ mod tests {
             parse(&["generate", "--list", "2", "--json"]).unwrap(),
             Command::Generate { json: true, .. }
         ));
+    }
+
+    #[test]
+    fn parses_faults_and_cells() {
+        // Decoder-only domain: --list becomes optional and large memories
+        // default to auto threads.
+        let af = parse(&[
+            "coverage", "--test", "March SS", "--faults", "af", "--cells", "1024",
+        ])
+        .unwrap();
+        assert_eq!(
+            af,
+            Command::Coverage {
+                test: "March SS".into(),
+                list: None,
+                faults: FaultDomain::Af,
+                cells: Some(1024),
+                exhaustive: false,
+                backend: BackendKind::Packed,
+                threads: 0,
+                json: false,
+            }
+        );
+        // Small memories stay serial by default; explicit --threads always wins.
+        assert!(matches!(
+            parse(&["coverage", "--test", "x", "--faults", "af", "--cells", "64"]).unwrap(),
+            Command::Coverage { threads: 1, .. }
+        ));
+        assert!(matches!(
+            parse(&[
+                "coverage",
+                "--test",
+                "x",
+                "--faults",
+                "af",
+                "--cells",
+                "1024",
+                "--threads",
+                "2"
+            ])
+            .unwrap(),
+            Command::Coverage { threads: 2, .. }
+        ));
+        // The combined domain still needs a cell-array list...
+        assert!(parse(&["coverage", "--test", "x", "--faults", "all"]).is_err());
+        // ...and the decoder-only domain rejects one rather than dropping it.
+        assert!(parse(&["coverage", "--test", "x", "--list", "2", "--faults", "af"]).is_err());
+        assert!(parse(&["generate", "--list", "1", "--faults", "af"]).is_err());
+        assert!(matches!(
+            parse(&["generate", "--list", "2", "--faults", "all", "--cells", "16"]).unwrap(),
+            Command::Generate {
+                faults: FaultDomain::All,
+                cells: Some(16),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["minimise", "--test", "March SS", "--faults", "af"]).unwrap(),
+            Command::Minimise {
+                list: None,
+                faults: FaultDomain::Af,
+                ..
+            }
+        ));
+        assert!(parse(&["coverage", "--test", "x", "--faults", "bogus"]).is_err());
+        assert!(parse(&["coverage", "--test", "x", "--list", "2", "--cells", "many"]).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use sram_sim::{
     JsonObject, Report, Session, Syndrome,
 };
 
-use crate::args::{usage, Command, CoverageTarget, ParseArgsError};
+use crate::args::{usage, Command, CoverageTarget, FaultDomain, ParseArgsError};
 
 /// Errors produced by the command-line front end.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +66,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Generate {
             list,
+            faults,
+            cells,
             no_removal,
             order,
             name,
@@ -75,7 +77,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             batch,
             json,
         } => generate(
-            *list,
+            resolve_list(*list, *faults)?,
+            *cells,
             *no_removal,
             *order,
             name.as_deref(),
@@ -89,20 +92,33 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::Coverage {
             test,
             list,
+            faults,
+            cells,
             exhaustive,
             backend,
             threads,
             json,
-        } => coverage(test, *list, *exhaustive, *backend, *threads, *json),
+        } => coverage(
+            test,
+            resolve_list(*list, *faults)?,
+            *cells,
+            *exhaustive,
+            *backend,
+            *threads,
+            *json,
+        ),
         Command::Minimise {
             test,
             list,
+            faults,
+            cells,
             backend,
             threads,
             json,
         } => minimise(
             test,
-            *list,
+            resolve_list(*list, *faults)?,
+            *cells,
             ExecPolicy::default()
                 .with_backend(*backend)
                 .with_threads(*threads),
@@ -165,6 +181,39 @@ fn fault_list(target: CoverageTarget) -> FaultList {
     }
 }
 
+/// The fault list of a `--list`/`--faults` pair: the selected cell-array list,
+/// the decoder-only list, or the selected list extended with the decoder
+/// classes. The parser guarantees `list` is present exactly when the domain
+/// needs it (and absent under `--faults af`, which would otherwise drop it).
+fn resolve_list(
+    target: Option<CoverageTarget>,
+    faults: FaultDomain,
+) -> Result<FaultList, CliError> {
+    match faults {
+        FaultDomain::Af => Ok(FaultList::address_decoder()),
+        FaultDomain::Ffm | FaultDomain::All => {
+            let base = fault_list(target.ok_or_else(|| {
+                CliError::Arguments("a fault list is required outside --faults af".to_string())
+            })?);
+            Ok(match faults {
+                FaultDomain::All => base.with_address_decoder_faults(),
+                _ => base,
+            })
+        }
+    }
+}
+
+/// Pre-validates that `session`'s scope can host `list`'s placements, turning
+/// the would-be panic of the infallible generation/minimisation paths into
+/// the same typed error `coverage` reports. The enumeration lands in the
+/// session's artifact cache, so the later pipeline run pays nothing extra.
+fn validate_scope(session: &Session, list: &FaultList) -> Result<(), CliError> {
+    session
+        .target_lanes(list)
+        .map(|_| ())
+        .map_err(|error| CliError::Simulation(error.to_string()))
+}
+
 fn coverage_config(exhaustive: bool, backend: BackendKind, threads: usize) -> CoverageConfig {
     let config = if exhaustive {
         CoverageConfig::exhaustive()
@@ -176,7 +225,8 @@ fn coverage_config(exhaustive: bool, backend: BackendKind, threads: usize) -> Co
 
 #[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 fn generate(
-    target: CoverageTarget,
+    list: FaultList,
+    cells: Option<usize>,
     no_removal: bool,
     order: Option<AddressOrder>,
     name: Option<&str>,
@@ -184,7 +234,6 @@ fn generate(
     policy: ExecPolicy,
     json: bool,
 ) -> Result<String, CliError> {
-    let list = fault_list(target);
     let mut config = if no_removal {
         GeneratorConfig::without_redundancy_removal()
     } else {
@@ -193,18 +242,28 @@ fn generate(
     if let Some(order) = order {
         config.allowed_orders = vec![order, AddressOrder::Any];
     }
+    if let Some(cells) = cells {
+        config.memory_cells = cells;
+    }
     config = config.with_exec(policy);
 
     // One session serves the whole invocation: generation, redundancy removal
     // and the final verification all share its policy and worker pool.
     let session = config.session();
+    validate_scope(&session, &list)?;
     let generator = MarchGenerator::with_config(list.clone(), config)
         .named(name.unwrap_or("March GEN").to_string());
     let generated = generator.generate_with(&session);
     let report = if exhaustive {
-        // Exhaustive verification changes the simulation scope, not the policy.
-        Session::from_coverage_config(&coverage_config(true, policy.backend, policy.threads))
-            .coverage(generated.test(), &list)
+        // Exhaustive verification changes the simulation scope, not the
+        // policy — but it must still honour an explicit --cells.
+        let mut verification = coverage_config(true, policy.backend, policy.threads);
+        if let Some(cells) = cells {
+            verification.memory_cells = cells;
+        }
+        Session::from_coverage_config(&verification)
+            .try_coverage(generated.test(), &list)
+            .map_err(|error| CliError::Simulation(error.to_string()))?
     } else {
         session.coverage(generated.test(), &list)
     };
@@ -255,6 +314,7 @@ fn session_stats(session: &Session) -> String {
         .number("jobs_executed", session.jobs_executed() as u64)
         .number("cache_hits", session.cache_hits() as u64)
         .number("cached_artifacts", session.cached_artifacts() as u64)
+        .number("cached_dictionaries", session.cached_dictionaries() as u64)
         .build()
 }
 
@@ -263,13 +323,17 @@ fn session_stats(session: &Session) -> String {
 /// [`SessionExt::minimise`].
 fn minimise(
     test: &str,
-    target: CoverageTarget,
+    list: FaultList,
+    cells: Option<usize>,
     policy: ExecPolicy,
     json: bool,
 ) -> Result<String, CliError> {
     let test = lookup(test)?;
-    let list = fault_list(target);
-    let session = Session::new(policy);
+    let mut session = Session::new(policy);
+    if let Some(cells) = cells {
+        session = session.with_memory_cells(cells);
+    }
+    validate_scope(&session, &list)?;
     let report = session.minimise(&test, &list);
 
     if json {
@@ -300,16 +364,24 @@ fn minimise(
 
 fn coverage(
     test: &str,
-    target: CoverageTarget,
+    list: FaultList,
+    cells: Option<usize>,
     exhaustive: bool,
     backend: BackendKind,
     threads: usize,
     json: bool,
 ) -> Result<String, CliError> {
     let test = lookup(test)?;
-    let list = fault_list(target);
-    let session = Session::from_coverage_config(&coverage_config(exhaustive, backend, threads));
-    let report = session.coverage(&test, &list);
+    let mut config = coverage_config(exhaustive, backend, threads);
+    if let Some(cells) = cells {
+        config.memory_cells = cells;
+    }
+    let session = Session::from_coverage_config(&config);
+    // The fallible form surfaces undersized memories (e.g. `--cells 2`) as a
+    // typed report error instead of a panic.
+    let report = session
+        .try_coverage(&test, &list)
+        .map_err(|error| CliError::Simulation(error.to_string()))?;
     if json {
         return Ok(format!("{}\n", report.to_json()));
     }
@@ -350,6 +422,7 @@ fn diagnose(
     let injected = build_injection(&primitive, victim, aggressor, cells)?;
 
     let session = Session::new(policy).with_memory_cells(cells);
+    validate_scope(&session, &list)?;
     let syndrome = session
         .observe(&test, &injected)
         .map_err(|error| CliError::Simulation(error.to_string()))?;
@@ -461,7 +534,9 @@ mod tests {
     fn coverage_command_reports_percentages() {
         let output = run(&Command::Coverage {
             test: "March ABL1".into(),
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
@@ -476,7 +551,9 @@ mod tests {
     fn coverage_command_agrees_across_backends() {
         let scalar = run(&Command::Coverage {
             test: "March C-".into(),
-            list: CoverageTarget::List1,
+            list: Some(CoverageTarget::List1),
+            faults: FaultDomain::Ffm,
+            cells: None,
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
@@ -485,7 +562,9 @@ mod tests {
         .unwrap();
         let packed = run(&Command::Coverage {
             test: "March C-".into(),
-            list: CoverageTarget::List1,
+            list: Some(CoverageTarget::List1),
+            faults: FaultDomain::Ffm,
+            cells: None,
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 0,
@@ -503,7 +582,9 @@ mod tests {
     #[test]
     fn generate_command_produces_a_complete_test() {
         let output = run(&Command::Generate {
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             no_removal: false,
             order: None,
             name: Some("March CLI".into()),
@@ -524,7 +605,9 @@ mod tests {
         // March SL is heavily redundant against the single-cell list #2.
         let output = run(&Command::Minimise {
             test: "March SL".into(),
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             backend: BackendKind::Packed,
             threads: 1,
             json: false,
@@ -535,7 +618,9 @@ mod tests {
 
         let json = run(&Command::Minimise {
             test: "March SL".into(),
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             backend: BackendKind::Packed,
             threads: 0,
             json: true,
@@ -546,7 +631,9 @@ mod tests {
         assert!(json.contains("\"cache_hits\": "));
         assert!(run(&Command::Minimise {
             test: "no such test".into(),
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             backend: BackendKind::Packed,
             threads: 1,
             json: false,
@@ -618,7 +705,9 @@ mod tests {
     fn json_flag_emits_machine_readable_reports() {
         let coverage = run(&Command::Coverage {
             test: "March ABL1".into(),
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 1,
@@ -629,7 +718,9 @@ mod tests {
         assert!(coverage.contains("\"complete\": true"));
 
         let generate = run(&Command::Generate {
-            list: CoverageTarget::List2,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: None,
             no_removal: false,
             order: None,
             name: Some("March JSON".into()),
@@ -658,6 +749,101 @@ mod tests {
         .unwrap();
         assert!(diagnose.starts_with("{\"report\": \"diagnosis\""));
         assert!(diagnose.contains("\"candidates\": ["));
+    }
+
+    #[test]
+    fn coverage_over_the_decoder_domain() {
+        let output = run(&Command::Coverage {
+            test: "March SS".into(),
+            list: None,
+            faults: FaultDomain::Af,
+            cells: Some(64),
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(output.contains("Address-decoder faults"));
+        assert!(output.contains("100.0%"));
+
+        // The combined domain extends the list with the decoder classes.
+        let combined = run(&Command::Coverage {
+            test: "March SS".into(),
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::All,
+            cells: None,
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(combined.contains("+ AF"));
+        assert!(combined.contains("37"));
+    }
+
+    #[test]
+    fn undersized_memories_surface_a_typed_error() {
+        let error = run(&Command::Coverage {
+            test: "March SS".into(),
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: Some(2),
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(matches!(error, CliError::Simulation(_)));
+        assert!(error.to_string().contains("too small"));
+
+        // generate and minimise report the same typed error, not a panic.
+        let error = run(&Command::Generate {
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: Some(2),
+            no_removal: false,
+            order: None,
+            name: None,
+            exhaustive: false,
+            backend: BackendKind::Packed,
+            threads: 1,
+            batch: 0,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(matches!(error, CliError::Simulation(_)));
+        assert!(error.to_string().contains("too small"));
+
+        let error = run(&Command::Minimise {
+            test: "March SL".into(),
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            cells: Some(2),
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(matches!(error, CliError::Simulation(_)));
+        assert!(error.to_string().contains("too small"));
+
+        let error = run(&Command::Diagnose {
+            test: "MATS+".into(),
+            fault: "<1/0/->".into(),
+            victim: 1,
+            aggressor: None,
+            cells: 2,
+            list: CoverageTarget::List2,
+            backend: BackendKind::Packed,
+            threads: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(matches!(error, CliError::Simulation(_)));
+        assert!(error.to_string().contains("too small"));
     }
 
     #[test]

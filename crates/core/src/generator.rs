@@ -395,6 +395,7 @@ impl MarchGenerator {
                 self.config.strategy,
                 &self.config.backgrounds,
             )
+            .expect("generator scope hosts the fault-list placements")
             .iter()
             .map(|(target, lanes)| {
                 TargetBatch::new(
@@ -573,7 +574,8 @@ impl MarchGenerator {
 ///     .into_iter()
 ///     .map(|target| {
 ///         let lanes = enumerate_lanes(
-///             &target, 8, PlacementStrategy::Representative, &[InitialState::AllOne]);
+///             &target, 8, PlacementStrategy::Representative, &[InitialState::AllOne])
+///             .unwrap();
 ///         TargetBatch::new(target, lanes, 8, BackendKind::Packed)
 ///     })
 ///     .collect();

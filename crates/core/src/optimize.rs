@@ -66,12 +66,14 @@ pub fn minimise_with(
     list: &FaultList,
     config: &GeneratorConfig,
 ) -> (MarchTest, usize) {
-    let targets = session.target_lanes_scoped(
-        list,
-        config.memory_cells,
-        config.strategy,
-        &config.backgrounds,
-    );
+    let targets = session
+        .target_lanes_scoped(
+            list,
+            config.memory_cells,
+            config.strategy,
+            &config.backgrounds,
+        )
+        .expect("minimisation scope hosts the fault-list placements");
 
     // Nothing to preserve: return the test untouched.
     if targets.is_empty() {

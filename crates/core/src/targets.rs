@@ -6,8 +6,9 @@ use std::fmt;
 use march_test::MarchTest;
 use sram_fault_model::FaultList;
 use sram_sim::{
-    enumerate_lanes, enumerate_placements, CoverageLane, FaultSimulator, InitialState,
-    InjectedFault, InstanceCells, LinkedFaultInstance, PlacementStrategy, TargetKind,
+    enumerate_decoder_placements, enumerate_lanes, enumerate_placements, CoverageLane,
+    DecoderFaultInstance, FaultSimulator, InitialState, InjectedFault, InstanceCells,
+    LinkedFaultInstance, PlacementStrategy, TargetKind,
 };
 
 /// Enumerates every fault target of `list` together with its coverage lanes —
@@ -23,7 +24,8 @@ pub(crate) fn enumerate_target_lanes(
     sram_sim::enumerate_targets(list)
         .into_iter()
         .map(|target| {
-            let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds);
+            let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds)
+                .expect("generator scope hosts the fault-list placements");
             (target, lanes)
         })
         .collect()
@@ -65,7 +67,9 @@ impl TargetInstance {
             } else {
                 sram_fault_model::LinkTopology::Lf1
             };
-            for cells in enumerate_placements(topology, memory_cells, strategy) {
+            let placements = enumerate_placements(topology, memory_cells, strategy)
+                .expect("target instances use validated memory configurations");
+            for cells in placements {
                 for background in backgrounds {
                     instances.push(TargetInstance {
                         target: TargetKind::Simple(primitive.clone()),
@@ -77,10 +81,26 @@ impl TargetInstance {
             }
         }
         for fault in list.linked() {
-            for cells in enumerate_placements(fault.topology(), memory_cells, strategy) {
+            let placements = enumerate_placements(fault.topology(), memory_cells, strategy)
+                .expect("target instances use validated memory configurations");
+            for cells in placements {
                 for background in backgrounds {
                     instances.push(TargetInstance {
                         target: TargetKind::Linked(fault.clone()),
+                        cells,
+                        background: background.clone(),
+                        memory_cells,
+                    });
+                }
+            }
+        }
+        for fault in list.decoders() {
+            let placements = enumerate_decoder_placements(*fault, memory_cells, strategy)
+                .expect("target instances use validated memory configurations");
+            for cells in placements {
+                for background in backgrounds {
+                    instances.push(TargetInstance {
+                        target: TargetKind::Decoder(*fault),
                         cells,
                         background: background.clone(),
                         memory_cells,
@@ -139,6 +159,11 @@ impl TargetInstance {
                     LinkedFaultInstance::new(fault.clone(), self.cells, self.memory_cells)
                         .expect("enumerated placements are valid");
                 simulator.inject_linked(&instance);
+            }
+            TargetKind::Decoder(fault) => {
+                let instance = DecoderFaultInstance::new(*fault, self.cells, self.memory_cells)
+                    .expect("enumerated placements are valid");
+                simulator.inject_decoder(instance);
             }
         }
         simulator

@@ -1,0 +1,194 @@
+//! Address-decoder faults (AFs): the four classical functional fault classes
+//! of the memory address decoder.
+//!
+//! Where the fault primitives of [`Ffm`](crate::Ffm) perturb the *cell array*,
+//! an address-decoder fault perturbs the mapping from addresses to cells. The
+//! classical taxonomy (van de Goor) distinguishes four classes, modelled here
+//! as deterministic decode perturbations so they can be fault-simulated
+//! exactly like cell-array faults:
+//!
+//! | class | view | modelled behaviour |
+//! |-------|------|--------------------|
+//! | [`DecoderFault::NoCellAccessed`] | address side | the faulty address selects no cell: writes are lost, reads return the floating-bitline value |
+//! | [`DecoderFault::NoAddressMaps`] | cell side | the faulty address is redirected to a partner cell; its own cell is never accessed |
+//! | [`DecoderFault::MultipleCellsAccessed`] | address side | the faulty address selects its own cell *and* a partner cell; reads see the wired-AND of both |
+//! | [`DecoderFault::MultipleAddressesMap`] | cell side | a partner (alias) address is redirected onto the primary cell, which is therefore reachable through two addresses |
+//!
+//! `NoAddressMaps` and `MultipleAddressesMap` describe the same physical
+//! defect graph (one address redirected onto another address's cell) seen
+//! from the orphaned-cell and the doubly-mapped-cell side respectively; they
+//! are kept as distinct classes, as in the classical presentation, because
+//! their placement enumerations anchor different roles of the pair and a
+//! march test meets them in different address orders.
+//!
+//! Reads that momentarily select two cells are resolved as a **wired-AND**
+//! (bitlines are precharged high; either stored `0` pulls the shared bitline
+//! down), the conventional deterministic resolution for simultaneous selects.
+
+use std::fmt;
+
+use crate::Bit;
+
+/// One of the four classical address-decoder fault classes, carrying the
+/// class-level parameters of its deterministic behavioural model.
+///
+/// A `DecoderFault` is a fault *class*: binding it to concrete addresses (the
+/// faulty address and, for the pair classes, its partner) is the simulator's
+/// job, mirroring how [`FaultPrimitive`](crate::FaultPrimitive)s are bound to
+/// victim/aggressor cells.
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::{Bit, DecoderFault};
+///
+/// let classes = DecoderFault::all();
+/// assert_eq!(classes.len(), 5); // NCA carries both open-read polarities.
+/// assert!(!DecoderFault::NoCellAccessed { open_read: Bit::One }.involves_partner());
+/// assert!(DecoderFault::NoAddressMaps.involves_partner());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderFault {
+    /// AF class A — *no cell accessed*: operations on the faulty address
+    /// select no cell. Writes are lost; reads return `open_read`, the value
+    /// the sense amplifier resolves from the untouched (precharged) bitlines.
+    NoCellAccessed {
+        /// The value a read of the faulty address returns.
+        open_read: Bit,
+    },
+    /// AF class B — *cell never accessed*: the faulty address is redirected
+    /// onto a partner cell, so its own cell is unreachable.
+    NoAddressMaps,
+    /// AF class C — *multiple cells accessed*: the faulty address selects its
+    /// own cell and a partner cell simultaneously. Writes store into both;
+    /// reads return the wired-AND of both.
+    MultipleCellsAccessed,
+    /// AF class D — *cell accessed by multiple addresses*: a partner (alias)
+    /// address is redirected onto the primary cell, which is therefore
+    /// selected by its own address *and* the alias.
+    MultipleAddressesMap,
+}
+
+impl DecoderFault {
+    /// The canonical address-decoder fault list: every class, with both
+    /// open-read polarities of the *no-cell-accessed* class (their detection
+    /// conditions differ — one needs a read expecting `0`, the other a read
+    /// expecting `1`).
+    #[must_use]
+    pub fn all() -> Vec<DecoderFault> {
+        vec![
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::Zero,
+            },
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::One,
+            },
+            DecoderFault::NoAddressMaps,
+            DecoderFault::MultipleCellsAccessed,
+            DecoderFault::MultipleAddressesMap,
+        ]
+    }
+
+    /// Returns `true` when instances of this class bind a partner address in
+    /// addition to the primary one (every class except *no cell accessed*).
+    #[must_use]
+    pub fn involves_partner(self) -> bool {
+        !matches!(self, DecoderFault::NoCellAccessed { .. })
+    }
+
+    /// Number of distinct addresses an instance of this class involves (1 or 2).
+    #[must_use]
+    pub fn address_count(self) -> usize {
+        if self.involves_partner() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The class's short name, following the classical A–D taxonomy.
+    #[must_use]
+    pub fn class_name(self) -> &'static str {
+        match self {
+            DecoderFault::NoCellAccessed { .. } => "no cell accessed",
+            DecoderFault::NoAddressMaps => "no address maps",
+            DecoderFault::MultipleCellsAccessed => "multiple cells accessed",
+            DecoderFault::MultipleAddressesMap => "multiple addresses map",
+        }
+    }
+
+    /// Renders the class in a compact, stable notation (used as the cache and
+    /// report fingerprint, like [`FaultPrimitive::notation`](crate::FaultPrimitive::notation)).
+    #[must_use]
+    pub fn notation(self) -> String {
+        match self {
+            DecoderFault::NoCellAccessed { open_read } => format!("AF-nca(open={open_read})"),
+            DecoderFault::NoAddressMaps => "AF-nam".to_string(),
+            DecoderFault::MultipleCellsAccessed => "AF-mca".to_string(),
+            DecoderFault::MultipleAddressesMap => "AF-mam".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DecoderFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_list_covers_every_class() {
+        let all = DecoderFault::all();
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().any(|fault| matches!(
+            fault,
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::Zero
+            }
+        )));
+        assert!(all.iter().any(|fault| matches!(
+            fault,
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::One
+            }
+        )));
+        assert!(all.contains(&DecoderFault::NoAddressMaps));
+        assert!(all.contains(&DecoderFault::MultipleCellsAccessed));
+        assert!(all.contains(&DecoderFault::MultipleAddressesMap));
+    }
+
+    #[test]
+    fn partner_arity_matches_the_class() {
+        for fault in DecoderFault::all() {
+            match fault {
+                DecoderFault::NoCellAccessed { .. } => {
+                    assert!(!fault.involves_partner());
+                    assert_eq!(fault.address_count(), 1);
+                }
+                _ => {
+                    assert!(fault.involves_partner());
+                    assert_eq!(fault.address_count(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn notations_are_distinct_and_stable() {
+        let notations: Vec<String> = DecoderFault::all()
+            .into_iter()
+            .map(DecoderFault::notation)
+            .collect();
+        let mut deduped = notations.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), notations.len());
+        assert_eq!(DecoderFault::NoAddressMaps.to_string(), "AF-nam");
+        assert!(DecoderFault::all()[1].to_string().contains("open=1"));
+        assert!(!DecoderFault::NoAddressMaps.class_name().is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{FaultModelError, FaultPrimitive, Ffm, LinkTopology, LinkedFault};
+use crate::{DecoderFault, FaultModelError, FaultPrimitive, Ffm, LinkTopology, LinkedFault};
 
 /// A named collection of simple fault primitives and linked faults used as the
 /// target of march-test generation or fault simulation.
@@ -32,6 +32,7 @@ pub struct FaultList {
     name: String,
     simple: Vec<FaultPrimitive>,
     linked: Vec<LinkedFault>,
+    decoders: Vec<DecoderFault>,
 }
 
 impl FaultList {
@@ -42,6 +43,7 @@ impl FaultList {
             name: name.into(),
             simple: Vec::new(),
             linked: Vec::new(),
+            decoders: Vec::new(),
         }
     }
 
@@ -56,6 +58,7 @@ impl FaultList {
             name: "Fault List #1 (static LF1+LF2+LF3)".to_string(),
             simple: Vec::new(),
             linked,
+            decoders: Vec::new(),
         }
     }
 
@@ -67,6 +70,7 @@ impl FaultList {
             name: "Fault List #2 (static LF1)".to_string(),
             simple: Vec::new(),
             linked: enumerate_lf1(),
+            decoders: Vec::new(),
         }
     }
 
@@ -78,7 +82,31 @@ impl FaultList {
             name: "Unlinked realistic static faults".to_string(),
             simple: Ffm::all_fault_primitives(),
             linked: Vec::new(),
+            decoders: Vec::new(),
         }
+    }
+
+    /// The canonical **address-decoder fault** list: every classical AF class
+    /// of [`DecoderFault::all`] (with both open-read polarities of the
+    /// *no-cell-accessed* class), and no cell-array fault.
+    #[must_use]
+    pub fn address_decoder() -> FaultList {
+        FaultList {
+            name: "Address-decoder faults (AF)".to_string(),
+            simple: Vec::new(),
+            linked: Vec::new(),
+            decoders: DecoderFault::all(),
+        }
+    }
+
+    /// Extends the list with the canonical address-decoder fault classes —
+    /// the `--faults all` surface: one list carrying both the cell-array
+    /// targets and the decoder targets.
+    #[must_use]
+    pub fn with_address_decoder_faults(mut self) -> FaultList {
+        self.name.push_str(" + AF");
+        self.decoders.extend(DecoderFault::all());
+        self
     }
 
     /// The list's name.
@@ -99,25 +127,39 @@ impl FaultList {
         &self.linked
     }
 
-    /// Total number of targets (simple primitives plus linked faults).
+    /// The address-decoder faults of the list.
+    #[must_use]
+    pub fn decoders(&self) -> &[DecoderFault] {
+        &self.decoders
+    }
+
+    /// Total number of targets (simple primitives, linked faults and
+    /// address-decoder faults).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.simple.len() + self.linked.len()
+        self.simple.len() + self.linked.len() + self.decoders.len()
     }
 
     /// Returns `true` if the list contains no target at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.simple.is_empty() && self.linked.is_empty()
+        self.simple.is_empty() && self.linked.is_empty() && self.decoders.is_empty()
     }
 
     /// The maximum number of distinct cells involved by any target of the list
     /// (1, 2 or 3); this fixes the size of the pattern graph used by the generator.
+    /// Decoder faults count the distinct *addresses* their instances bind.
     #[must_use]
     pub fn max_cells(&self) -> usize {
         let simple_max = self.simple.iter().map(FaultPrimitive::cell_count).max();
         let linked_max = self.linked.iter().map(LinkedFault::cell_count).max();
-        simple_max.into_iter().chain(linked_max).max().unwrap_or(1)
+        let decoder_max = self.decoders.iter().map(|af| af.address_count()).max();
+        simple_max
+            .into_iter()
+            .chain(linked_max)
+            .chain(decoder_max)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Number of linked faults per topology class.
@@ -142,6 +184,7 @@ impl FaultList {
                 .filter(|lf| lf.topology() == topology)
                 .cloned()
                 .collect(),
+            decoders: Vec::new(),
         }
     }
 }
@@ -155,6 +198,9 @@ impl fmt::Display for FaultList {
             self.simple.len(),
             self.linked.len()
         )?;
+        if !self.decoders.is_empty() {
+            write!(f, ", {} decoder faults", self.decoders.len())?;
+        }
         if !self.linked.is_empty() {
             write!(f, " (")?;
             let histogram = self.topology_histogram();
@@ -225,6 +271,23 @@ impl FaultListBuilder {
     #[must_use]
     pub fn linked_all(mut self, faults: impl IntoIterator<Item = LinkedFault>) -> FaultListBuilder {
         self.list.linked.extend(faults);
+        self
+    }
+
+    /// Adds an address-decoder fault class.
+    #[must_use]
+    pub fn decoder(mut self, fault: DecoderFault) -> FaultListBuilder {
+        self.list.decoders.push(fault);
+        self
+    }
+
+    /// Adds several address-decoder fault classes.
+    #[must_use]
+    pub fn decoder_all(
+        mut self,
+        faults: impl IntoIterator<Item = DecoderFault>,
+    ) -> FaultListBuilder {
+        self.list.decoders.extend(faults);
         self
     }
 
@@ -411,6 +474,34 @@ mod tests {
             .iter()
             .all(|lf| lf.topology() == LinkTopology::Lf3));
         assert!(lf3.linked().len() < list.linked().len());
+    }
+
+    #[test]
+    fn address_decoder_lists() {
+        let af = FaultList::address_decoder();
+        assert_eq!(af.len(), 5);
+        assert!(af.simple().is_empty() && af.linked().is_empty());
+        assert_eq!(af.decoders().len(), 5);
+        assert_eq!(af.max_cells(), 2);
+        assert!(af.to_string().contains("5 decoder faults"));
+
+        let mixed = FaultList::list_2().with_address_decoder_faults();
+        assert_eq!(mixed.len(), 37);
+        assert_eq!(mixed.decoders().len(), 5);
+        assert!(mixed.name().ends_with("+ AF"));
+        // Topology filtering drops the decoder targets.
+        assert!(mixed
+            .filter_topology(LinkTopology::Lf1)
+            .decoders()
+            .is_empty());
+
+        let built = FaultListBuilder::new("one af")
+            .decoder(DecoderFault::NoAddressMaps)
+            .decoder_all([DecoderFault::MultipleCellsAccessed])
+            .build()
+            .unwrap();
+        assert_eq!(built.len(), 2);
+        assert!(!built.is_empty());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   [`TestPattern`]s (Definition 5);
 //! * [`LinkedFault`]s `FP1 → FP2` (Definitions 6–7) with the LF1/LF2/LF3 topology
 //!   taxonomy of Hamdioui et al. (TCAD 2004);
+//! * [`DecoderFault`]s — the four classical address-decoder fault classes
+//!   (no cell accessed, no address maps, multiple cells accessed, multiple
+//!   addresses map), modelled as deterministic decode perturbations;
 //! * ready-made [`FaultList`]s reproducing the two target lists of the paper's
 //!   evaluation: [`FaultList::list_1`] (single-, two- and three-cell static LFs)
 //!   and [`FaultList::list_2`] (single-cell static LFs).
@@ -46,6 +49,7 @@ mod afp;
 mod bit;
 mod cell_value;
 mod condition;
+mod decoder;
 mod effect;
 mod error;
 mod fault_list;
@@ -60,6 +64,7 @@ pub use afp::{AddressedFaultPrimitive, AddressedOperation, Placement};
 pub use bit::Bit;
 pub use cell_value::CellValue;
 pub use condition::Condition;
+pub use decoder::DecoderFault;
 pub use effect::FaultEffect;
 pub use error::FaultModelError;
 pub use fault_list::{FaultList, FaultListBuilder};

@@ -13,13 +13,16 @@ use std::fmt;
 use std::str::FromStr;
 
 use march_test::{MarchElement, MarchTest};
-use sram_fault_model::{Bit, CellValue, FaultPrimitive, LinkTopology, Operation, SensitizingSite};
+use sram_fault_model::{
+    Bit, CellValue, DecoderFault, FaultPrimitive, LinkTopology, Operation, SensitizingSite,
+};
 
 use crate::batch::CandidateBatch;
 use crate::coverage::TargetKind;
 use crate::{
-    enumerate_placements, run_march, FaultSimulator, InitialState, InjectedFault, InstanceCells,
-    LinkedFaultInstance, PlacementStrategy, SimulationError,
+    enumerate_decoder_placements, enumerate_placements, run_march, DecoderFaultInstance,
+    FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkedFaultInstance,
+    PlacementStrategy, SimulationError,
 };
 
 /// One `(placement, background)` combination a target is simulated under.
@@ -32,28 +35,37 @@ pub struct CoverageLane {
 }
 
 /// Enumerates the coverage lanes of `target`: every placement returned by
-/// [`enumerate_placements`] for the target's topology, crossed with every
-/// background — placements outermost, matching the scalar engine's historical
-/// escape-reporting order.
-#[must_use]
+/// [`enumerate_placements`] (cell-array targets) or
+/// [`enumerate_decoder_placements`] (address-decoder targets), crossed with
+/// every background — placements outermost, matching the scalar engine's
+/// historical escape-reporting order.
+///
+/// # Errors
+///
+/// Returns [`SimulationError::MemoryTooSmall`] when the memory cannot host
+/// the target's placements.
 pub fn enumerate_lanes(
     target: &TargetKind,
     memory_cells: usize,
     strategy: PlacementStrategy,
     backgrounds: &[InitialState],
-) -> Vec<CoverageLane> {
-    let topology = match target {
+) -> Result<Vec<CoverageLane>, SimulationError> {
+    let placements = match target {
         TargetKind::Simple(primitive) => {
-            if primitive.is_coupling() {
+            let topology = if primitive.is_coupling() {
                 LinkTopology::Lf2CouplingThenSingle
             } else {
                 LinkTopology::Lf1
-            }
+            };
+            enumerate_placements(topology, memory_cells, strategy)?
         }
-        TargetKind::Linked(fault) => fault.topology(),
+        TargetKind::Linked(fault) => {
+            enumerate_placements(fault.topology(), memory_cells, strategy)?
+        }
+        TargetKind::Decoder(fault) => enumerate_decoder_placements(*fault, memory_cells, strategy)?,
     };
     let mut lanes = Vec::new();
-    for cells in enumerate_placements(topology, memory_cells, strategy) {
+    for cells in placements {
         for background in backgrounds {
             lanes.push(CoverageLane {
                 cells,
@@ -61,7 +73,7 @@ pub fn enumerate_lanes(
             });
         }
     }
-    lanes
+    Ok(lanes)
 }
 
 /// Which simulation backend a coverage or generation run uses.
@@ -178,6 +190,11 @@ pub(crate) fn scalar_lane_simulator(
             let instance = LinkedFaultInstance::new(fault.clone(), lane.cells, memory_cells)
                 .expect("enumerated placements are valid");
             simulator.inject_linked(&instance);
+        }
+        TargetKind::Decoder(fault) => {
+            let instance = DecoderFaultInstance::new(*fault, lane.cells, memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_decoder(instance);
         }
     }
     simulator
@@ -319,6 +336,92 @@ impl PackedComponent {
     }
 }
 
+/// The packed lane descriptors of an address-decoder target: the fault class
+/// (identical across lanes), a bit-plane binding each lane's perturbed
+/// *source* address — the decoder analogue of [`PackedComponent`]'s
+/// victim/aggressor planes, so AF targets pack exactly like FFM targets —
+/// and a dense per-lane *destination* table. The destination is a table
+/// rather than a bit-plane on purpose: resolving a redirected access then
+/// costs `O(popcount(redirected lanes))` random accesses instead of an
+/// `O(cells)` plane scan, which is what keeps the decode perturbation cheap
+/// on 1k+-cell memories.
+#[derive(Debug)]
+struct PackedDecoder {
+    fault: DecoderFault,
+    /// `source_at[cell]`: lanes whose perturbed address is `cell`.
+    source_at: Vec<u64>,
+    /// `dest_of_lane[lane]`: the destination cell of the lane's instance
+    /// (`usize::MAX` for the destination-less *no cell accessed* class, which
+    /// never reads the table).
+    dest_of_lane: Vec<usize>,
+}
+
+impl Clone for PackedDecoder {
+    fn clone(&self) -> PackedDecoder {
+        PackedDecoder {
+            fault: self.fault,
+            source_at: self.source_at.clone(),
+            dest_of_lane: self.dest_of_lane.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &PackedDecoder) {
+        self.fault = source.fault;
+        self.source_at.clone_from(&source.source_at);
+        self.dest_of_lane.clone_from(&source.dest_of_lane);
+    }
+}
+
+impl PackedDecoder {
+    fn new(fault: DecoderFault, cells: usize) -> PackedDecoder {
+        PackedDecoder {
+            fault,
+            source_at: vec![0; cells],
+            dest_of_lane: Vec::new(),
+        }
+    }
+
+    fn bind(&mut self, lane: usize, instance: &DecoderFaultInstance) {
+        self.source_at[instance.source()] |= 1 << lane;
+        if self.dest_of_lane.len() <= lane {
+            self.dest_of_lane.resize(lane + 1, usize::MAX);
+        }
+        self.dest_of_lane[lane] = instance.destination().unwrap_or(usize::MAX);
+    }
+
+    /// The destination cell of `lane`, if its instance has one.
+    fn destination(&self, lane: usize) -> Option<usize> {
+        self.dest_of_lane
+            .get(lane)
+            .copied()
+            .filter(|&cell| cell != usize::MAX)
+    }
+
+    /// Per-lane value of each redirected lane's destination cell, gathered in
+    /// lane position: `O(popcount(lanes))`.
+    fn gather_destinations(&self, planes: &[u64], mut lanes: u64) -> u64 {
+        let mut values = 0u64;
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            values |= planes[self.dest_of_lane[lane]] & (1 << lane);
+        }
+        values
+    }
+
+    /// Forces the broadcast `bits` into each redirected lane's destination
+    /// cell, lane by lane: `O(popcount(lanes))`.
+    fn scatter_destinations(&self, planes: &mut [u64], mut lanes: u64, bits: u64) {
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            let bit = 1u64 << lane;
+            let plane = &mut planes[self.dest_of_lane[lane]];
+            *plane = (*plane & !bit) | (bits & bit);
+        }
+    }
+}
+
 /// A bit-parallel fault simulator: up to 64 independent fault instances of the
 /// *same* target (one lane per `(placement, background)` pair) simulated
 /// simultaneously, one bit per lane.
@@ -351,7 +454,7 @@ impl PackedComponent {
 ///     8,
 ///     PlacementStrategy::Exhaustive,
 ///     &[InitialState::AllZero, InitialState::AllOne],
-/// );
+/// )?;
 /// let mut simulator = PackedSimulator::new(&target, &lanes, 8)?;
 /// let detected = simulator.run_test(&catalog::march_sl());
 /// assert_eq!(detected, simulator.lane_mask(), "March SL covers every lane");
@@ -365,6 +468,12 @@ pub struct PackedSimulator {
     faulty: Vec<u64>,
     golden: Vec<u64>,
     components: Vec<PackedComponent>,
+    decoder: Option<PackedDecoder>,
+    /// Whether any component is state-sensitized (SF, CFst): when `false`,
+    /// the per-operation settle pass — an `O(cells)` gather — is skipped
+    /// entirely, which matters on large memories and on decoder targets
+    /// (whose component list is empty).
+    has_state_faults: bool,
     detected: u64,
 }
 
@@ -377,6 +486,8 @@ impl Clone for PackedSimulator {
             faulty: self.faulty.clone(),
             golden: self.golden.clone(),
             components: self.components.clone(),
+            decoder: self.decoder.clone(),
+            has_state_faults: self.has_state_faults,
             detected: self.detected,
         }
     }
@@ -391,6 +502,11 @@ impl Clone for PackedSimulator {
         self.faulty.clone_from(&source.faulty);
         self.golden.clone_from(&source.golden);
         self.components.clone_from(&source.components);
+        match (&mut self.decoder, &source.decoder) {
+            (Some(into), Some(from)) => into.clone_from(from),
+            (into, from) => *into = from.clone(),
+        }
+        self.has_state_faults = source.has_state_faults;
         self.detected = source.detected;
     }
 }
@@ -422,7 +538,8 @@ impl PackedSimulator {
 
         // One component per fault primitive, bound lane by lane through the
         // scalar constructors so that validation and aggressor resolution are
-        // byte-for-byte the scalar engine's.
+        // byte-for-byte the scalar engine's. Decoder targets have no array
+        // component; their lane bindings live in the packed decoder planes.
         let mut components: Vec<PackedComponent> = match target {
             TargetKind::Simple(primitive) => {
                 vec![PackedComponent::new(primitive.clone(), memory_cells)]
@@ -431,6 +548,11 @@ impl PackedSimulator {
                 PackedComponent::new(fault.first().clone(), memory_cells),
                 PackedComponent::new(fault.second().clone(), memory_cells),
             ],
+            TargetKind::Decoder(_) => Vec::new(),
+        };
+        let mut decoder = match target {
+            TargetKind::Decoder(fault) => Some(PackedDecoder::new(*fault, memory_cells)),
+            _ => None,
         };
 
         let mut faulty = vec![0u64; memory_cells];
@@ -464,6 +586,14 @@ impl PackedSimulator {
                         component.bind(lane, injected.victim(), injected.aggressor());
                     }
                 }
+                TargetKind::Decoder(fault) => {
+                    let instance =
+                        DecoderFaultInstance::new(*fault, coverage_lane.cells, memory_cells)?;
+                    decoder
+                        .as_mut()
+                        .expect("decoder targets allocate decoder planes")
+                        .bind(lane, &instance);
+                }
             }
 
             let content = coverage_lane.background.materialise(memory_cells)?;
@@ -479,6 +609,9 @@ impl PackedSimulator {
         } else {
             (1u64 << lanes.len()) - 1
         };
+        let has_state_faults = components
+            .iter()
+            .any(|component| component.primitive.sensitizing_site() == SensitizingSite::None);
         let mut simulator = PackedSimulator {
             cells: memory_cells,
             lanes: lanes.len(),
@@ -486,6 +619,8 @@ impl PackedSimulator {
             golden: faulty.clone(),
             faulty,
             components,
+            decoder,
+            has_state_faults,
             detected: 0,
         };
         // State-sensitized primitives settle once right after initialisation,
@@ -602,7 +737,11 @@ impl PackedSimulator {
 
     /// One pass over the state-sensitized primitives in injection order,
     /// flipping the victims of every lane whose state condition holds.
+    /// Free when the target has no state-sensitized primitive.
     fn settle_state_faults(&mut self) {
+        if !self.has_state_faults {
+            return;
+        }
         for index in 0..self.components.len() {
             let component = &self.components[index];
             let primitive = &component.primitive;
@@ -641,10 +780,32 @@ impl PackedSimulator {
             fired[index] = self.sensitized_mask(component, address, operation);
         }
 
-        // 2. Read return values and detection.
+        // 2. Read return values and detection. The decoder perturbation (if
+        // any) resolves first — it sits in front of the array — then the
+        // fired primitives' read overrides, exactly as in the scalar engine.
         if operation.is_read() {
             let golden_read = self.golden[address];
             let mut observed = self.faulty[address];
+            if let Some(decoder) = &self.decoder {
+                let redirected = decoder.source_at[address];
+                if redirected != 0 {
+                    observed = match decoder.fault {
+                        DecoderFault::NoCellAccessed { open_read } => {
+                            (observed & !redirected) | (Self::broadcast(open_read) & redirected)
+                        }
+                        DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
+                            let destination = decoder.gather_destinations(&self.faulty, redirected);
+                            (observed & !redirected) | (destination & redirected)
+                        }
+                        DecoderFault::MultipleCellsAccessed => {
+                            // Wired-AND of the own cell and the extra cell on
+                            // the redirected lanes.
+                            let destination = decoder.gather_destinations(&self.faulty, redirected);
+                            observed & (destination | !redirected)
+                        }
+                    };
+                }
+            }
             for (index, component) in self.components.iter().enumerate() {
                 if let Some(read_output) = component.primitive.effect().read_output() {
                     let lanes = fired[index] & component.victim_at[address];
@@ -655,11 +816,31 @@ impl PackedSimulator {
             self.detected |= (observed ^ golden_read) & self.lane_mask;
         }
 
-        // 3. Fault-free effect of the operation.
+        // 3. Fault-free effect of the operation, routed through the perturbed
+        // decode on the faulty side (the golden reference always decodes
+        // correctly).
         if let Operation::Write(value) = operation {
             let bits = Self::broadcast(value);
-            self.faulty[address] = bits;
             self.golden[address] = bits;
+            match &self.decoder {
+                None => self.faulty[address] = bits,
+                Some(decoder) => {
+                    let redirected = decoder.source_at[address];
+                    // Lanes whose write still reaches the addressed cell: all
+                    // of them for the fan-out class, the unperturbed ones
+                    // otherwise.
+                    let own_mask = match decoder.fault {
+                        DecoderFault::MultipleCellsAccessed => u64::MAX,
+                        _ => !redirected,
+                    };
+                    self.faulty[address] = (self.faulty[address] & !own_mask) | (bits & own_mask);
+                    if redirected != 0
+                        && !matches!(decoder.fault, DecoderFault::NoCellAccessed { .. })
+                    {
+                        decoder.scatter_destinations(&mut self.faulty, redirected, bits);
+                    }
+                }
+            }
         }
 
         // 4. Fault effects of the fired primitives, in injection order.
@@ -732,6 +913,15 @@ impl PackedSimulator {
                         .position(|plane| plane & bit != 0),
                 })
                 .collect(),
+            decoder: self.decoder.as_ref().map(|decoder| WaveDecoder {
+                fault: decoder.fault,
+                source: decoder
+                    .source_at
+                    .iter()
+                    .position(|plane| plane & bit != 0)
+                    .expect("every packed decoder lane binds a source address"),
+                destination: decoder.destination(lane),
+            }),
             detected: 0,
         }
     }
@@ -761,6 +951,11 @@ impl PackedSimulator {
                 .iter()
                 .map(|component| PackedComponent::new(component.primitive.clone(), cells))
                 .collect(),
+            decoder: first
+                .decoder
+                .as_ref()
+                .map(|decoder| PackedDecoder::new(decoder.fault, cells)),
+            has_state_faults: first.has_state_faults,
             detected: 0,
         };
         let mut dest = 0usize;
@@ -800,6 +995,19 @@ impl PackedSimulator {
                         }
                     }
                 }
+                if let (Some(into), Some(from)) = (merged.decoder.as_mut(), source.decoder.as_ref())
+                {
+                    for cell in 0..cells {
+                        if from.source_at[cell] & lane_bit != 0 {
+                            into.source_at[cell] |= dest_bit;
+                        }
+                    }
+                    if into.dest_of_lane.len() <= dest {
+                        into.dest_of_lane.resize(dest + 1, usize::MAX);
+                    }
+                    into.dest_of_lane[dest] =
+                        from.dest_of_lane.get(lane).copied().unwrap_or(usize::MAX);
+                }
                 if source.detected & lane_bit != 0 {
                     merged.detected |= dest_bit;
                 }
@@ -829,6 +1037,15 @@ struct WaveComponent<'a> {
     aggressor: Option<usize>,
 }
 
+/// The decoder perturbation of a [`CandidateWave`] (the wave replicates a
+/// single coverage lane, so the binding is scalar addresses).
+#[derive(Debug, Clone, Copy)]
+struct WaveDecoder {
+    fault: DecoderFault,
+    source: usize,
+    destination: Option<usize>,
+}
+
 /// A bit-parallel **candidate** evaluator: one still-pending coverage lane's
 /// simulator state broadcast across up to 64 lanes, where each lane executes a
 /// *different* candidate march element of a [`CandidateBatch`].
@@ -852,6 +1069,7 @@ pub(crate) struct CandidateWave<'a> {
     faulty: Vec<u64>,
     golden: Vec<u64>,
     components: Vec<WaveComponent<'a>>,
+    decoder: Option<WaveDecoder>,
     detected: u64,
 }
 
@@ -891,10 +1109,29 @@ impl CandidateWave<'_> {
             fired[index] = self.sensitized_mask(component, address, operation) & lanes;
         }
 
-        // 2. Read return values and detection.
+        // 2. Read return values and detection. The decoder perturbation (if
+        // any) resolves first, mirroring the packed engine.
         if operation.is_read() {
             let golden_read = self.golden[address];
             let mut observed = self.faulty[address];
+            if let Some(decoder) = self.decoder {
+                if decoder.source == address {
+                    observed = match decoder.fault {
+                        DecoderFault::NoCellAccessed { open_read } => {
+                            PackedSimulator::broadcast(open_read)
+                        }
+                        DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
+                            self.faulty
+                                [decoder.destination.expect("pair class binds a destination")]
+                        }
+                        DecoderFault::MultipleCellsAccessed => {
+                            observed
+                                & self.faulty
+                                    [decoder.destination.expect("pair class binds a destination")]
+                        }
+                    };
+                }
+            }
             for (index, component) in self.components.iter().enumerate() {
                 if component.victim == address {
                     if let Some(read_output) = component.primitive.effect().read_output() {
@@ -907,11 +1144,35 @@ impl CandidateWave<'_> {
             self.detected |= (observed ^ golden_read) & lanes;
         }
 
-        // 3. Fault-free effect of the operation.
+        // 3. Fault-free effect of the operation, routed through the perturbed
+        // decode on the faulty side.
         if let Operation::Write(value) = operation {
             let bits = PackedSimulator::broadcast(value);
-            self.faulty[address] = (self.faulty[address] & !lanes) | (bits & lanes);
             self.golden[address] = (self.golden[address] & !lanes) | (bits & lanes);
+            let mut write_own = true;
+            if let Some(decoder) = self.decoder {
+                if decoder.source == address {
+                    match decoder.fault {
+                        DecoderFault::NoCellAccessed { .. } => write_own = false,
+                        DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
+                            write_own = false;
+                            let destination =
+                                decoder.destination.expect("pair class binds a destination");
+                            self.faulty[destination] =
+                                (self.faulty[destination] & !lanes) | (bits & lanes);
+                        }
+                        DecoderFault::MultipleCellsAccessed => {
+                            let destination =
+                                decoder.destination.expect("pair class binds a destination");
+                            self.faulty[destination] =
+                                (self.faulty[destination] & !lanes) | (bits & lanes);
+                        }
+                    }
+                }
+            }
+            if write_own {
+                self.faulty[address] = (self.faulty[address] & !lanes) | (bits & lanes);
+            }
         }
 
         // 4. Fault effects of the fired primitives, in injection order.
@@ -1011,7 +1272,7 @@ mod tests {
         strategy: PlacementStrategy,
         backgrounds: &[InitialState],
     ) -> (Vec<bool>, Vec<bool>) {
-        let lanes = enumerate_lanes(target, 8, strategy, backgrounds);
+        let lanes = enumerate_lanes(target, 8, strategy, backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(test, target, &lanes, 8);
         let packed = PackedBackend.lane_verdicts(test, target, &lanes, 8);
         (scalar, packed)
@@ -1088,7 +1349,8 @@ mod tests {
             8,
             PlacementStrategy::Exhaustive,
             &[InitialState::AllZero, InitialState::AllOne],
-        );
+        )
+        .unwrap();
         assert!(lanes.len() > PackedSimulator::MAX_LANES);
         assert!(matches!(
             PackedSimulator::new(&target, &lanes, 8),
@@ -1105,6 +1367,49 @@ mod tests {
             ScalarBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
             PackedBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
         );
+    }
+
+    #[test]
+    fn backends_agree_on_decoder_targets_beyond_64_lanes() {
+        use sram_fault_model::DecoderFault;
+
+        // Exhaustive address-line pairs on 32 cells: 32 primaries × 5 strides
+        // × 2 backgrounds = 320 lanes — forces chunking, and partial
+        // detection exercises the decoder-plane path of `merge_lanes` through
+        // `TargetBatch` compaction.
+        let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+        for fault in DecoderFault::all() {
+            let target = TargetKind::Decoder(fault);
+            let lanes =
+                enumerate_lanes(&target, 32, PlacementStrategy::Exhaustive, &backgrounds).unwrap();
+            if fault.involves_partner() {
+                assert!(lanes.len() > PackedSimulator::MAX_LANES, "{fault}");
+            }
+            for test in [catalog::mats_plus(), catalog::march_c_minus()] {
+                let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, 32);
+                let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, 32);
+                assert_eq!(scalar, packed, "{fault} under {}", test.name());
+                assert_eq!(
+                    ScalarBackend.first_undetected(&test, &target, &lanes, 32),
+                    PackedBackend.first_undetected(&test, &target, &lanes, 32),
+                );
+            }
+
+            // Advance both backends element by element through a weak test:
+            // compaction (decoder-plane lane merging) must not change scores
+            // or the surviving lane set.
+            let mut scalar_batch =
+                crate::TargetBatch::new(target.clone(), lanes.clone(), 32, BackendKind::Scalar);
+            let mut packed_batch = crate::TargetBatch::new(target, lanes, 32, BackendKind::Packed);
+            for (_, element) in catalog::mats_plus().iter() {
+                assert_eq!(
+                    scalar_batch.advance(element),
+                    packed_batch.advance(element),
+                    "{fault}"
+                );
+                assert_eq!(scalar_batch.pending_lanes(), packed_batch.pending_lanes());
+            }
+        }
     }
 
     #[test]
@@ -1128,7 +1433,8 @@ mod tests {
         let backgrounds = [InitialState::AllOne];
         for fault in FaultList::list_2().linked().iter().take(8) {
             let target = TargetKind::Linked(fault.clone());
-            let lanes = enumerate_lanes(&target, 8, PlacementStrategy::Exhaustive, &backgrounds);
+            let lanes =
+                enumerate_lanes(&target, 8, PlacementStrategy::Exhaustive, &backgrounds).unwrap();
             let test = catalog::mats_plus();
             let verdicts = PackedBackend.lane_verdicts(&test, &target, &lanes, 8);
             let first = PackedBackend.first_undetected(&test, &target, &lanes, 8);

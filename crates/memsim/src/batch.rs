@@ -152,7 +152,7 @@ pub struct BatchSnapshot {
 ///     8,
 ///     PlacementStrategy::Representative,
 ///     &[InitialState::AllOne],
-/// );
+/// )?;
 /// let batch = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
 /// let pool: Vec<_> = catalog::march_sl().elements().to_vec();
 /// let packed = CandidateBatch::new(pool.clone())?;
@@ -317,12 +317,13 @@ impl CandidateBatch {
 ///     8,
 ///     PlacementStrategy::Representative,
 ///     &[InitialState::AllOne],
-/// );
+/// )?;
 /// let mut batch = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
 /// for (_, element) in catalog::march_sl().iter() {
 ///     batch.advance(element);
 /// }
 /// assert_eq!(batch.pending(), 0, "March SL covers every lane");
+/// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct TargetBatch {
@@ -688,7 +689,8 @@ mod tests {
                     8,
                     PlacementStrategy::Representative,
                     &[InitialState::AllZero, InitialState::AllOne],
-                );
+                )
+                .unwrap();
                 TargetBatch::new(target, lanes, 8, backend)
             })
             .collect()
@@ -773,7 +775,8 @@ mod tests {
             8,
             PlacementStrategy::Exhaustive,
             &[InitialState::AllZero, InitialState::AllOne],
-        );
+        )
+        .unwrap();
         assert!(lanes.len() > PackedSimulator::MAX_LANES);
         let mut scalar = TargetBatch::new(target.clone(), lanes.clone(), 8, BackendKind::Scalar);
         let mut packed = TargetBatch::new(target, lanes, 8, BackendKind::Packed);

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use march_test::MarchTest;
-use sram_fault_model::{Bit, FaultList, FaultPrimitive, LinkTopology, LinkedFault};
+use sram_fault_model::{Bit, DecoderFault, FaultList, FaultPrimitive, LinkTopology, LinkedFault};
 
 use crate::backend::{enumerate_lanes, BackendKind, SimulationBackend};
 use crate::{InitialState, InstanceCells, PlacementStrategy};
@@ -25,6 +25,8 @@ pub enum TargetKind {
     Simple(FaultPrimitive),
     /// A linked fault.
     Linked(LinkedFault),
+    /// An address-decoder fault class.
+    Decoder(DecoderFault),
 }
 
 impl fmt::Display for TargetKind {
@@ -32,6 +34,7 @@ impl fmt::Display for TargetKind {
         match self {
             TargetKind::Simple(fp) => write!(f, "{fp}"),
             TargetKind::Linked(lf) => write!(f, "{lf}"),
+            TargetKind::Decoder(af) => write!(f, "{af}"),
         }
     }
 }
@@ -298,8 +301,9 @@ pub(crate) fn assemble_coverage_report(
 }
 
 /// Enumerates the fault targets of `list` in report order: every simple
-/// primitive first, then every linked fault. Both coverage measurement and the
-/// generator's target batches rely on this single ordering.
+/// primitive first, then every linked fault, then every address-decoder fault.
+/// Both coverage measurement and the generator's target batches rely on this
+/// single ordering.
 #[must_use]
 pub fn enumerate_targets(list: &FaultList) -> Vec<TargetKind> {
     list.simple()
@@ -309,6 +313,11 @@ pub fn enumerate_targets(list: &FaultList) -> Vec<TargetKind> {
             list.linked()
                 .iter()
                 .map(|fault| TargetKind::Linked(fault.clone())),
+        )
+        .chain(
+            list.decoders()
+                .iter()
+                .map(|fault| TargetKind::Decoder(*fault)),
         )
         .collect()
 }
@@ -322,7 +331,8 @@ pub(crate) fn target_escape(
     strategy: PlacementStrategy,
     backgrounds: &[InitialState],
 ) -> Option<Escape> {
-    let lanes = enumerate_lanes(target, memory_cells, strategy, backgrounds);
+    let lanes = enumerate_lanes(target, memory_cells, strategy, backgrounds)
+        .expect("coverage scope hosts the target's placements");
     lane_escape(backend, test, target, &lanes, memory_cells)
 }
 

@@ -13,8 +13,9 @@ use march_test::MarchTest;
 use sram_fault_model::{Bit, FaultList};
 
 use crate::{
-    enumerate_placements, run_march, CoverageConfig, FaultSimulator, InitialState, InjectedFault,
-    InstanceCells, LinkedFaultInstance, MarchRun, TargetKind,
+    enumerate_decoder_placements, enumerate_placements, run_march, CoverageConfig,
+    DecoderFaultInstance, FaultSimulator, InitialState, InjectedFault, InstanceCells,
+    LinkedFaultInstance, MarchRun, TargetKind,
 };
 
 /// One failing read of a syndrome: which element/cell/operation failed and what was
@@ -235,6 +236,28 @@ pub fn diagnose(
         }
     }
 
+    for fault in list.decoders() {
+        for cells in enumerate_decoder_placements(
+            *fault,
+            config.memory_cells,
+            crate::PlacementStrategy::Exhaustive,
+        )
+        .expect("diagnosis memory hosts the placements")
+        {
+            let mut simulator = FaultSimulator::new(config.memory_cells, &background)
+                .expect("diagnosis memory configuration is valid");
+            let instance = DecoderFaultInstance::new(*fault, cells, config.memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_decoder(instance);
+            if &Syndrome::observe(test, &mut simulator) == syndrome {
+                candidates.push(DiagnosisCandidate {
+                    target: TargetKind::Decoder(*fault),
+                    cells,
+                });
+            }
+        }
+    }
+
     candidates
 }
 
@@ -249,6 +272,7 @@ fn enumerate_exhaustive_like(
         config.memory_cells,
         crate::PlacementStrategy::Exhaustive,
     )
+    .expect("diagnosis memory hosts the placements")
 }
 
 /// Extension mapping a simple fault primitive onto the placement topology used to
@@ -321,7 +345,7 @@ mod tests {
         // The true fault is among the candidates.
         assert!(candidates.iter().any(|candidate| match &candidate.target {
             TargetKind::Simple(fp) => fp == &tf,
-            TargetKind::Linked(_) => false,
+            _ => false,
         }));
     }
 

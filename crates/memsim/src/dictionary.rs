@@ -15,8 +15,9 @@ use march_test::MarchTest;
 use sram_fault_model::FaultList;
 
 use crate::{
-    enumerate_placements, CoverageConfig, FaultSimulator, InitialState, InjectedFault,
-    InstanceCells, LinkTopologyExt, LinkedFaultInstance, PlacementStrategy, Syndrome, TargetKind,
+    enumerate_decoder_placements, enumerate_placements, CoverageConfig, DecoderFaultInstance,
+    FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkTopologyExt,
+    LinkedFaultInstance, PlacementStrategy, Syndrome, TargetKind,
 };
 
 /// One entry of a fault dictionary: a fault instance and the syndrome it produces.
@@ -89,6 +90,7 @@ impl FaultDictionary {
             let topology = primitive.diagnosis_topology();
             for cells in
                 enumerate_placements(topology, config.memory_cells, PlacementStrategy::Exhaustive)
+                    .expect("dictionary memory hosts the placements")
             {
                 let mut simulator = FaultSimulator::new(config.memory_cells, &background)
                     .expect("dictionary memory configuration is valid");
@@ -117,7 +119,9 @@ impl FaultDictionary {
                 fault.topology(),
                 config.memory_cells,
                 PlacementStrategy::Exhaustive,
-            ) {
+            )
+            .expect("dictionary memory hosts the placements")
+            {
                 let mut simulator = FaultSimulator::new(config.memory_cells, &background)
                     .expect("dictionary memory configuration is valid");
                 let instance = LinkedFaultInstance::new(fault.clone(), cells, config.memory_cells)
@@ -125,6 +129,27 @@ impl FaultDictionary {
                 simulator.inject_linked(&instance);
                 entries.push(DictionaryEntry {
                     target: TargetKind::Linked(fault.clone()),
+                    cells,
+                    syndrome: Syndrome::observe(test, &mut simulator),
+                });
+            }
+        }
+
+        for fault in list.decoders() {
+            for cells in enumerate_decoder_placements(
+                *fault,
+                config.memory_cells,
+                PlacementStrategy::Exhaustive,
+            )
+            .expect("dictionary memory hosts the placements")
+            {
+                let mut simulator = FaultSimulator::new(config.memory_cells, &background)
+                    .expect("dictionary memory configuration is valid");
+                let instance = DecoderFaultInstance::new(*fault, cells, config.memory_cells)
+                    .expect("enumerated placements are valid");
+                simulator.inject_decoder(instance);
+                entries.push(DictionaryEntry {
+                    target: TargetKind::Decoder(*fault),
                     cells,
                     syndrome: Syndrome::observe(test, &mut simulator),
                 });
@@ -295,7 +320,7 @@ mod tests {
         assert!(matches.iter().all(|entry| entry.cells.victim == 4));
         assert!(matches.iter().any(|entry| match &entry.target {
             TargetKind::Simple(fp) => fp == &tf,
-            TargetKind::Linked(_) => false,
+            _ => false,
         }));
 
         // A passing syndrome matches only undetected entries (of which there are

@@ -3,9 +3,11 @@
 
 use std::fmt;
 
-use sram_fault_model::{Bit, Operation, SensitizingSite};
+use sram_fault_model::{Bit, DecoderFault, Operation, SensitizingSite};
 
-use crate::{InitialState, InjectedFault, LinkedFaultInstance, Memory, SimulationError};
+use crate::{
+    DecoderFaultInstance, InitialState, InjectedFault, LinkedFaultInstance, Memory, SimulationError,
+};
 
 /// The outcome of one memory operation applied to the simulated (faulty) memory and
 /// to the fault-free reference memory.
@@ -69,6 +71,21 @@ impl fmt::Display for OperationOutcome {
 /// if the second primitive restores the victim before any read observes it, no
 /// mismatch is ever produced.
 ///
+/// # Address-decoder faults
+///
+/// Injected [`DecoderFaultInstance`]s sit *in front of* the faulty cell array:
+/// every operation is first resolved through the perturbed decode (the golden
+/// reference always decodes correctly). An operation issued to an instance's
+/// [`source`](DecoderFaultInstance::source) address selects no cell
+/// (*no cell accessed*: writes are lost, reads return the instance's
+/// open-bitline value), the destination cell instead of its own
+/// (*no address maps* / *multiple addresses map*), or its own cell **and**
+/// the destination (*multiple cells accessed*: writes store into both, reads
+/// return the wired-AND of both). When several instances perturb the same
+/// address, the first injected one wins. Cell-array fault primitives keep
+/// matching on the *issued* address — decoder and array defects are distinct
+/// fault sites, and coverage targets inject exactly one of them at a time.
+///
 /// # Examples
 ///
 /// ```
@@ -94,6 +111,7 @@ pub struct FaultSimulator {
     faulty: Memory,
     golden: Memory,
     faults: Vec<InjectedFault>,
+    decoders: Vec<DecoderFaultInstance>,
     initial: InitialState,
 }
 
@@ -103,6 +121,7 @@ impl Clone for FaultSimulator {
             faulty: self.faulty.clone(),
             golden: self.golden.clone(),
             faults: self.faults.clone(),
+            decoders: self.decoders.clone(),
             initial: self.initial.clone(),
         }
     }
@@ -114,6 +133,7 @@ impl Clone for FaultSimulator {
         self.faulty.clone_from(&source.faulty);
         self.golden.clone_from(&source.golden);
         self.faults.clone_from(&source.faults);
+        self.decoders.clone_from(&source.decoders);
         self.initial.clone_from(&source.initial);
     }
 }
@@ -132,6 +152,7 @@ impl FaultSimulator {
             faulty,
             golden,
             faults: Vec::new(),
+            decoders: Vec::new(),
             initial: initial.clone(),
         })
     }
@@ -157,15 +178,30 @@ impl FaultSimulator {
         self.settle_state_faults();
     }
 
-    /// Removes every injected fault (the memory contents are preserved).
+    /// Injects an address-decoder fault instance: from now on, operations
+    /// issued to the instance's source address resolve through the perturbed
+    /// decode (see the type-level documentation).
+    pub fn inject_decoder(&mut self, instance: DecoderFaultInstance) {
+        self.decoders.push(instance);
+    }
+
+    /// Removes every injected fault — cell-array primitives and decoder
+    /// instances alike (the memory contents are preserved).
     pub fn clear_faults(&mut self) {
         self.faults.clear();
+        self.decoders.clear();
     }
 
     /// The injected fault primitives, in injection order.
     #[must_use]
     pub fn faults(&self) -> &[InjectedFault] {
         &self.faults
+    }
+
+    /// The injected address-decoder fault instances, in injection order.
+    #[must_use]
+    pub fn decoder_faults(&self) -> &[DecoderFaultInstance] {
+        &self.decoders
     }
 
     /// Resets both memories to the configured initial content, keeping the injected
@@ -225,7 +261,7 @@ impl FaultSimulator {
             None
         };
         let observed = if operation.is_read() {
-            let mut value = self.faulty.read(address);
+            let mut value = self.decoded_read(address);
             for index in &fired {
                 let fault = &self.faults[*index];
                 if fault.victim() == address {
@@ -241,7 +277,7 @@ impl FaultSimulator {
 
         // 3. Fault-free effect of the operation.
         if let Operation::Write(value) = operation {
-            self.faulty.write(address, value);
+            self.decoded_write(address, value);
             self.golden.write(address, value);
         }
 
@@ -265,6 +301,69 @@ impl FaultSimulator {
         OperationOutcome {
             observed,
             expected: golden_read,
+        }
+    }
+
+    /// The decoder instance perturbing `address`, if any (first injected wins).
+    fn decoder_at(&self, address: usize) -> Option<&DecoderFaultInstance> {
+        self.decoders
+            .iter()
+            .find(|instance| instance.source() == address)
+    }
+
+    /// The value a read of `address` returns from the faulty array, after
+    /// resolving the (possibly perturbed) address decode.
+    fn decoded_read(&self, address: usize) -> Bit {
+        let Some(instance) = self.decoder_at(address) else {
+            return self.faulty.read(address);
+        };
+        match instance.fault() {
+            DecoderFault::NoCellAccessed { open_read } => open_read,
+            DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => self.faulty.read(
+                instance
+                    .destination()
+                    .expect("pair class binds a destination"),
+            ),
+            DecoderFault::MultipleCellsAccessed => {
+                // Wired-AND: either selected cell storing 0 pulls the
+                // precharged bitline down.
+                let own = self.faulty.read(address);
+                let extra = self.faulty.read(
+                    instance
+                        .destination()
+                        .expect("pair class binds a destination"),
+                );
+                if own == Bit::One && extra == Bit::One {
+                    Bit::One
+                } else {
+                    Bit::Zero
+                }
+            }
+        }
+    }
+
+    /// Stores `value` into the cell(s) the (possibly perturbed) decode of
+    /// `address` selects.
+    fn decoded_write(&mut self, address: usize, value: Bit) {
+        let Some(instance) = self.decoder_at(address).copied() else {
+            self.faulty.write(address, value);
+            return;
+        };
+        match instance.fault() {
+            DecoderFault::NoCellAccessed { .. } => {}
+            DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
+                let destination = instance
+                    .destination()
+                    .expect("pair class binds a destination");
+                self.faulty.write(destination, value);
+            }
+            DecoderFault::MultipleCellsAccessed => {
+                let destination = instance
+                    .destination()
+                    .expect("pair class binds a destination");
+                self.faulty.write(address, value);
+                self.faulty.write(destination, value);
+            }
         }
     }
 
@@ -514,6 +613,103 @@ mod tests {
         // Aggressor raised to 1: the victim (currently 0) flips.
         sim.apply(0, Operation::W1);
         assert!(sim.apply(2, Operation::R0).mismatch());
+    }
+
+    #[test]
+    fn no_cell_accessed_loses_writes_and_reads_the_open_value() {
+        let mut sim = simulator(4);
+        sim.inject_decoder(
+            DecoderFaultInstance::new(
+                DecoderFault::NoCellAccessed {
+                    open_read: Bit::One,
+                },
+                crate::InstanceCells::single(2),
+                4,
+            )
+            .unwrap(),
+        );
+        // The write is lost and the read floats to 1 while golden holds 0.
+        sim.apply(2, Operation::W0);
+        let outcome = sim.apply(2, Operation::R0);
+        assert_eq!(outcome.observed, Some(Bit::One));
+        assert_eq!(outcome.expected, Some(Bit::Zero));
+        assert!(outcome.mismatch());
+        // Other addresses are untouched.
+        sim.apply(1, Operation::W1);
+        assert!(!sim.apply(1, Operation::R1).mismatch());
+        assert_eq!(sim.decoder_faults().len(), 1);
+        sim.clear_faults();
+        assert!(sim.decoder_faults().is_empty());
+    }
+
+    #[test]
+    fn no_address_maps_redirects_onto_the_partner_cell() {
+        let mut sim = simulator(4);
+        sim.inject_decoder(
+            DecoderFaultInstance::new(
+                DecoderFault::NoAddressMaps,
+                crate::InstanceCells::pair(3, 1),
+                4,
+            )
+            .unwrap(),
+        );
+        // A write to address 1 lands in cell 3.
+        sim.apply(1, Operation::W1);
+        assert_eq!(sim.faulty_memory().read(1), Bit::Zero);
+        assert_eq!(sim.faulty_memory().read(3), Bit::One);
+        // Reading address 3 (its own, unperturbed address) now mismatches:
+        // golden cell 3 still holds 0.
+        assert!(sim.apply(3, Operation::R0).mismatch());
+        // Reading address 1 returns cell 3's content (1) vs golden 1: no
+        // mismatch here.
+        assert!(!sim.apply(1, Operation::R1).mismatch());
+    }
+
+    #[test]
+    fn multiple_cells_accessed_fans_out_and_reads_wired_and() {
+        let mut sim = simulator(4);
+        sim.inject_decoder(
+            DecoderFaultInstance::new(
+                DecoderFault::MultipleCellsAccessed,
+                crate::InstanceCells::pair(2, 0),
+                4,
+            )
+            .unwrap(),
+        );
+        // Writing address 0 stores into cells 0 and 2.
+        sim.apply(0, Operation::W1);
+        assert_eq!(sim.faulty_memory().read(0), Bit::One);
+        assert_eq!(sim.faulty_memory().read(2), Bit::One);
+        // Cell 2 read through its own address mismatches (golden is 0).
+        assert!(sim.apply(2, Operation::R0).mismatch());
+        // After writing 0 into cell 2, the wired-AND read of address 0 sees 0
+        // although its own cell holds 1.
+        sim.apply(2, Operation::W0);
+        let outcome = sim.apply(0, Operation::R1);
+        assert_eq!(outcome.observed, Some(Bit::Zero));
+        assert!(outcome.mismatch());
+    }
+
+    #[test]
+    fn multiple_addresses_map_aliases_the_partner_onto_the_primary() {
+        let mut sim = simulator(4);
+        sim.inject_decoder(
+            DecoderFaultInstance::new(
+                DecoderFault::MultipleAddressesMap,
+                crate::InstanceCells::pair(3, 1),
+                4,
+            )
+            .unwrap(),
+        );
+        // Address 3 (the alias) writes into cell 1; cell 3 is orphaned.
+        sim.apply(3, Operation::W1);
+        assert_eq!(sim.faulty_memory().read(3), Bit::Zero);
+        assert_eq!(sim.faulty_memory().read(1), Bit::One);
+        // Reading the primary address 1 sees the aliased write.
+        assert!(sim.apply(1, Operation::R0).mismatch());
+        // Reading the alias returns cell 1's content.
+        let outcome = sim.apply(3, Operation::R1);
+        assert_eq!(outcome.observed, Some(Bit::One));
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub enum SimulationError {
         /// Number of lanes requested (must be 1..=64).
         requested: usize,
     },
+    /// The simulated memory is too small to host the placements of a fault
+    /// target (e.g. three-cell linked faults need at least 4 cells).
+    MemoryTooSmall {
+        /// The number of cells of the configured memory.
+        cells: usize,
+        /// The smallest memory the requested enumeration supports.
+        min_cells: usize,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -71,6 +79,13 @@ impl fmt::Display for SimulationError {
                     "packed simulators hold 1 to 64 lanes per word, got {requested}"
                 )
             }
+            SimulationError::MemoryTooSmall { cells, min_cells } => {
+                write!(
+                    f,
+                    "memory with {cells} cells is too small for the requested placements \
+                     (need at least {min_cells} cells)"
+                )
+            }
         }
     }
 }
@@ -97,6 +112,10 @@ mod tests {
             },
             SimulationError::UnknownBackend("simd".into()),
             SimulationError::LaneCountOutOfRange { requested: 80 },
+            SimulationError::MemoryTooSmall {
+                cells: 2,
+                min_cells: 4,
+            },
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sram_fault_model::{FaultPrimitive, LinkTopology, LinkedFault, SensitizingSite};
+use sram_fault_model::{DecoderFault, FaultPrimitive, LinkTopology, LinkedFault, SensitizingSite};
 
 use crate::SimulationError;
 
@@ -329,6 +329,141 @@ impl fmt::Display for LinkedFaultInstance {
     }
 }
 
+/// An address-decoder fault class bound to concrete addresses of the simulated
+/// memory, ready to be injected into a
+/// [`FaultSimulator`](crate::FaultSimulator).
+///
+/// The *primary* address is the anchor of the class (the dead address of
+/// *no cell accessed*, the redirected address of *no address maps*, the
+/// fanning address of *multiple cells accessed*, the doubly-mapped cell of
+/// *multiple addresses map*); the *partner* is the second address of the pair
+/// classes. The pair [`source`](DecoderFaultInstance::source) /
+/// [`destination`](DecoderFaultInstance::destination) exposes the resulting
+/// decode perturbation: operations issued to `source` reach `destination`
+/// (instead of, or — for the fan-out class — in addition to, their own cell).
+///
+/// # Examples
+///
+/// ```
+/// use sram_fault_model::DecoderFault;
+/// use sram_sim::{DecoderFaultInstance, InstanceCells};
+///
+/// // Address 3 is redirected onto cell 5: cell 3 is never accessed.
+/// let af = DecoderFaultInstance::new(
+///     DecoderFault::NoAddressMaps,
+///     InstanceCells::pair(5, 3),
+///     8,
+/// )?;
+/// assert_eq!(af.source(), 3);
+/// assert_eq!(af.destination(), Some(5));
+/// # Ok::<(), sram_sim::SimulationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderFaultInstance {
+    fault: DecoderFault,
+    primary: usize,
+    partner: Option<usize>,
+}
+
+impl DecoderFaultInstance {
+    /// Binds `fault` to the addresses of `cells` (primary = `victim`,
+    /// partner = `aggressor_first`) on a memory with `memory_cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::AddressOutOfRange`] for out-of-range addresses;
+    /// * [`SimulationError::MissingCells`] if a pair class lacks its partner;
+    /// * [`SimulationError::OverlappingCells`] if primary and partner coincide.
+    pub fn new(
+        fault: DecoderFault,
+        cells: InstanceCells,
+        memory_cells: usize,
+    ) -> Result<DecoderFaultInstance, SimulationError> {
+        check_address(cells.victim, memory_cells)?;
+        let partner = if fault.involves_partner() {
+            let partner = cells.aggressor_first.ok_or_else(|| {
+                SimulationError::MissingCells(format!(
+                    "decoder fault class `{fault}` requires a partner address"
+                ))
+            })?;
+            check_address(partner, memory_cells)?;
+            if partner == cells.victim {
+                return Err(SimulationError::OverlappingCells {
+                    address: cells.victim,
+                });
+            }
+            Some(partner)
+        } else {
+            None
+        };
+        Ok(DecoderFaultInstance {
+            fault,
+            primary: cells.victim,
+            partner,
+        })
+    }
+
+    /// The decoder fault class being instantiated.
+    #[must_use]
+    pub fn fault(&self) -> DecoderFault {
+        self.fault
+    }
+
+    /// The primary address of the instance.
+    #[must_use]
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// The partner address, for the pair classes.
+    #[must_use]
+    pub fn partner(&self) -> Option<usize> {
+        self.partner
+    }
+
+    /// The address assignment, in the [`InstanceCells`] encoding the placement
+    /// enumeration produced it in.
+    #[must_use]
+    pub fn cells(&self) -> InstanceCells {
+        match self.partner {
+            Some(partner) => InstanceCells::pair(partner, self.primary),
+            None => InstanceCells::single(self.primary),
+        }
+    }
+
+    /// The address whose decode is perturbed: the primary for every class
+    /// except *multiple addresses map*, where the alias (partner) address is
+    /// the one redirected onto the primary cell.
+    #[must_use]
+    pub fn source(&self) -> usize {
+        match self.fault {
+            DecoderFault::MultipleAddressesMap => self.partner.expect("pair class binds a partner"),
+            _ => self.primary,
+        }
+    }
+
+    /// The cell the perturbed address reaches (`None` for *no cell accessed*,
+    /// which selects nothing). For *multiple cells accessed* this is the extra
+    /// cell selected alongside the source's own cell.
+    #[must_use]
+    pub fn destination(&self) -> Option<usize> {
+        match self.fault {
+            DecoderFault::NoCellAccessed { .. } => None,
+            DecoderFault::NoAddressMaps | DecoderFault::MultipleCellsAccessed => self.partner,
+            DecoderFault::MultipleAddressesMap => Some(self.primary),
+        }
+    }
+}
+
+impl fmt::Display for DecoderFaultInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.partner {
+            Some(partner) => write!(f, "{} @ a={}, p={partner}", self.fault, self.primary),
+            None => write!(f, "{} @ a={}", self.fault, self.primary),
+        }
+    }
+}
+
 fn build_component(
     primitive: FaultPrimitive,
     aggressor: Option<usize>,
@@ -422,6 +557,58 @@ mod tests {
         let instance = LinkedFaultInstance::new(aa, InstanceCells::pair(1, 5), 8).unwrap();
         assert_eq!(instance.components()[0].aggressor(), Some(1));
         assert_eq!(instance.components()[1].aggressor(), Some(1));
+    }
+
+    #[test]
+    fn decoder_instance_validation_and_roles() {
+        use sram_fault_model::{Bit, DecoderFault};
+
+        let nca = DecoderFault::NoCellAccessed {
+            open_read: Bit::One,
+        };
+        let instance = DecoderFaultInstance::new(nca, InstanceCells::single(3), 8).unwrap();
+        assert_eq!(instance.source(), 3);
+        assert_eq!(instance.destination(), None);
+        assert_eq!(instance.partner(), None);
+        assert_eq!(instance.cells(), InstanceCells::single(3));
+        assert!(!instance.to_string().is_empty());
+        assert!(matches!(
+            DecoderFaultInstance::new(nca, InstanceCells::single(8), 8),
+            Err(SimulationError::AddressOutOfRange { .. })
+        ));
+
+        let nam =
+            DecoderFaultInstance::new(DecoderFault::NoAddressMaps, InstanceCells::pair(5, 3), 8)
+                .unwrap();
+        assert_eq!((nam.source(), nam.destination()), (3, Some(5)));
+        assert_eq!(nam.cells(), InstanceCells::pair(5, 3));
+
+        let mca = DecoderFaultInstance::new(
+            DecoderFault::MultipleCellsAccessed,
+            InstanceCells::pair(5, 3),
+            8,
+        )
+        .unwrap();
+        assert_eq!((mca.source(), mca.destination()), (3, Some(5)));
+
+        // The alias address of the `multiple addresses map` class is the
+        // perturbed one; the primary cell is its destination.
+        let mam = DecoderFaultInstance::new(
+            DecoderFault::MultipleAddressesMap,
+            InstanceCells::pair(5, 3),
+            8,
+        )
+        .unwrap();
+        assert_eq!((mam.source(), mam.destination()), (5, Some(3)));
+
+        assert!(matches!(
+            DecoderFaultInstance::new(DecoderFault::NoAddressMaps, InstanceCells::single(3), 8),
+            Err(SimulationError::MissingCells(_))
+        ));
+        assert!(matches!(
+            DecoderFaultInstance::new(DecoderFault::NoAddressMaps, InstanceCells::pair(3, 3), 8),
+            Err(SimulationError::OverlappingCells { address: 3 })
+        ));
     }
 
     #[test]

@@ -79,10 +79,12 @@ pub use diagnose::{diagnose, DiagnosisCandidate, LinkTopologyExt, Syndrome, Synd
 pub use dictionary::{DictionaryEntry, FaultDictionary};
 pub use engine::{FaultSimulator, OperationOutcome};
 pub use error::SimulationError;
-pub use inject::{InjectedFault, InstanceCells, LinkedFaultInstance};
+pub use inject::{DecoderFaultInstance, InjectedFault, InstanceCells, LinkedFaultInstance};
 pub use memory::{InitialState, Memory};
 pub use parallel::{effective_threads, parallel_map, WorkerPool};
-pub use placement::{enumerate_placements, PlacementStrategy};
+pub use placement::{
+    enumerate_decoder_placements, enumerate_placements, PlacementStrategy, MIN_PLACEMENT_CELLS,
+};
 pub use policy::{ExecPolicy, DEFAULT_WAVE_COST_FACTOR};
 pub use report::{json_escape, DiagnosisReport, JsonObject, Report};
 pub use run::{run_march, Failure, MarchRun};

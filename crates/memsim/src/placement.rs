@@ -1,8 +1,12 @@
 //! Enumeration of cell placements for coverage measurement.
 
-use sram_fault_model::LinkTopology;
+use sram_fault_model::{DecoderFault, LinkTopology};
 
-use crate::InstanceCells;
+use crate::{InstanceCells, SimulationError};
+
+/// The smallest memory linked-fault placement enumeration supports: three
+/// distinct cells with distinct relative positions need at least 4 cells.
+pub const MIN_PLACEMENT_CELLS: usize = 4;
 
 /// How exhaustively a coverage measurement enumerates the possible cell assignments
 /// of each fault.
@@ -28,22 +32,27 @@ pub enum PlacementStrategy {
 /// order (which cells are visited first in ⇑ / ⇓ elements), not on the absolute
 /// addresses.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cells` is smaller than 4 (too small to host three distinct cells with
+/// Returns [`SimulationError::MemoryTooSmall`] if `cells` is smaller than
+/// [`MIN_PLACEMENT_CELLS`] (too small to host three distinct cells with
 /// distinct relative positions).
-#[must_use]
 pub fn enumerate_placements(
     topology: LinkTopology,
     cells: usize,
     strategy: PlacementStrategy,
-) -> Vec<InstanceCells> {
-    assert!(cells >= 4, "coverage memories must have at least 4 cells");
+) -> Result<Vec<InstanceCells>, SimulationError> {
+    if cells < MIN_PLACEMENT_CELLS {
+        return Err(SimulationError::MemoryTooSmall {
+            cells,
+            min_cells: MIN_PLACEMENT_CELLS,
+        });
+    }
     let low = 1;
     let mid = cells / 2;
     let high = cells - 2;
 
-    match strategy {
+    Ok(match strategy {
         PlacementStrategy::Representative => match topology {
             LinkTopology::Lf1 => vec![InstanceCells::single(mid)],
             LinkTopology::Lf2CouplingThenSingle
@@ -97,17 +106,121 @@ pub fn enumerate_placements(
                 placements
             }
         },
+    })
+}
+
+/// Enumerates the address assignments used to instantiate an address-decoder
+/// fault on a memory with `cells` cells. The primary address is carried as the
+/// placement's `victim`, the partner address (for the pair classes) as
+/// `aggressor_first` — so decoder targets pack through the same
+/// [`InstanceCells`] lane descriptors as cell-array targets.
+///
+/// The instance space is the **address-line fault space**: a decoder defect
+/// shorts or opens one decoded address line, so the two addresses of a pair
+/// instance differ in exactly one address bit. This keeps the enumeration
+/// `O(cells · log cells)` under [`PlacementStrategy::Exhaustive`] — tractable
+/// at 1k+ cells, where all-pairs enumeration would not be — and lets
+/// [`PlacementStrategy::Representative`] pick one relative-order class per
+/// address bit (partner above and below the primary, mirroring the
+/// relative-order classes of [`enumerate_placements`]) instead of absolute
+/// addresses.
+///
+/// # Errors
+///
+/// Returns [`SimulationError::MemoryTooSmall`] when the memory cannot host an
+/// instance (single-address classes need 1 cell, pair classes 2).
+pub fn enumerate_decoder_placements(
+    fault: DecoderFault,
+    cells: usize,
+    strategy: PlacementStrategy,
+) -> Result<Vec<InstanceCells>, SimulationError> {
+    let min_cells = fault.address_count();
+    if cells < min_cells {
+        return Err(SimulationError::MemoryTooSmall { cells, min_cells });
     }
+
+    if !fault.involves_partner() {
+        // Single-address classes (no cell accessed).
+        return Ok(match strategy {
+            PlacementStrategy::Representative => {
+                let mut addresses: Vec<usize> = vec![0, 1, cells / 2, cells - 1];
+                addresses.extend(address_strides(cells));
+                addresses.retain(|&address| address < cells);
+                addresses.sort_unstable();
+                addresses.dedup();
+                addresses.into_iter().map(InstanceCells::single).collect()
+            }
+            PlacementStrategy::Exhaustive => (0..cells).map(InstanceCells::single).collect(),
+        });
+    }
+
+    // Pair classes: (primary, partner = primary ^ stride) for each address-bit
+    // stride, in both relative orders.
+    let mut placements = Vec::new();
+    match strategy {
+        PlacementStrategy::Representative => {
+            for stride in address_strides(cells) {
+                // Partner above the primary, partner below, and one
+                // non-boundary base — the relative-order classes march-test
+                // detection distinguishes.
+                let mut bases = vec![0, stride];
+                let mid = cells / 2;
+                if mid != 0 && mid != stride {
+                    bases.push(mid);
+                }
+                for base in bases {
+                    let partner = base ^ stride;
+                    if base < cells && partner < cells && partner != base {
+                        placements.push(decoder_pair(base, partner));
+                    }
+                }
+            }
+        }
+        PlacementStrategy::Exhaustive => {
+            for stride in address_strides(cells) {
+                for primary in 0..cells {
+                    let partner = primary ^ stride;
+                    if partner < cells {
+                        placements.push(decoder_pair(primary, partner));
+                    }
+                }
+            }
+        }
+    }
+    placements.dedup();
+    if placements.is_empty() {
+        // A 2-cell memory with stride 1 always yields placements; this is
+        // unreachable but keeps the contract obvious.
+        return Err(SimulationError::MemoryTooSmall { cells, min_cells });
+    }
+    Ok(placements)
+}
+
+/// The single-bit address strides `1, 2, 4, …` below `cells` — the address
+/// lines a decoder defect can short or open.
+fn address_strides(cells: usize) -> impl Iterator<Item = usize> {
+    (0..usize::BITS)
+        .map(|bit| 1usize << bit)
+        .take_while(move |&stride| stride < cells)
+}
+
+/// A decoder pair placement: primary address as the victim slot, partner
+/// address as the (first) aggressor slot.
+fn decoder_pair(primary: usize, partner: usize) -> InstanceCells {
+    InstanceCells::pair(partner, primary)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sram_fault_model::Bit;
 
     #[test]
     fn representative_counts() {
         assert_eq!(
-            enumerate_placements(LinkTopology::Lf1, 8, PlacementStrategy::Representative).len(),
+            enumerate_placements(LinkTopology::Lf1, 8, PlacementStrategy::Representative)
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
@@ -116,11 +229,14 @@ mod tests {
                 8,
                 PlacementStrategy::Representative
             )
+            .unwrap()
             .len(),
             2
         );
         assert_eq!(
-            enumerate_placements(LinkTopology::Lf3, 8, PlacementStrategy::Representative).len(),
+            enumerate_placements(LinkTopology::Lf3, 8, PlacementStrategy::Representative)
+                .unwrap()
+                .len(),
             6
         );
     }
@@ -128,7 +244,9 @@ mod tests {
     #[test]
     fn exhaustive_counts() {
         assert_eq!(
-            enumerate_placements(LinkTopology::Lf1, 6, PlacementStrategy::Exhaustive).len(),
+            enumerate_placements(LinkTopology::Lf1, 6, PlacementStrategy::Exhaustive)
+                .unwrap()
+                .len(),
             6
         );
         assert_eq!(
@@ -137,11 +255,14 @@ mod tests {
                 6,
                 PlacementStrategy::Exhaustive
             )
+            .unwrap()
             .len(),
             30
         );
         assert_eq!(
-            enumerate_placements(LinkTopology::Lf3, 6, PlacementStrategy::Exhaustive).len(),
+            enumerate_placements(LinkTopology::Lf3, 6, PlacementStrategy::Exhaustive)
+                .unwrap()
+                .len(),
             120
         );
     }
@@ -152,7 +273,8 @@ mod tests {
             LinkTopology::Lf2CouplingThenSingle,
             8,
             PlacementStrategy::Representative,
-        );
+        )
+        .unwrap();
         assert!(placements
             .iter()
             .any(|p| p.aggressor_first.unwrap() < p.victim));
@@ -162,8 +284,95 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 4 cells")]
-    fn tiny_memories_are_rejected() {
-        let _ = enumerate_placements(LinkTopology::Lf1, 2, PlacementStrategy::Representative);
+    fn tiny_memories_yield_a_typed_error() {
+        // The small-memory edge is a typed `Err`, not a panic.
+        assert!(matches!(
+            enumerate_placements(LinkTopology::Lf1, 2, PlacementStrategy::Representative),
+            Err(SimulationError::MemoryTooSmall {
+                cells: 2,
+                min_cells: MIN_PLACEMENT_CELLS
+            })
+        ));
+        assert!(matches!(
+            enumerate_placements(LinkTopology::Lf3, 3, PlacementStrategy::Exhaustive),
+            Err(SimulationError::MemoryTooSmall { cells: 3, .. })
+        ));
+        assert!(matches!(
+            enumerate_decoder_placements(
+                DecoderFault::NoAddressMaps,
+                1,
+                PlacementStrategy::Representative
+            ),
+            Err(SimulationError::MemoryTooSmall {
+                cells: 1,
+                min_cells: 2
+            })
+        ));
+        assert!(enumerate_decoder_placements(
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::Zero
+            },
+            1,
+            PlacementStrategy::Representative
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn decoder_pairs_differ_in_one_address_bit_and_cover_both_orders() {
+        for fault in [
+            DecoderFault::NoAddressMaps,
+            DecoderFault::MultipleCellsAccessed,
+            DecoderFault::MultipleAddressesMap,
+        ] {
+            for strategy in [
+                PlacementStrategy::Representative,
+                PlacementStrategy::Exhaustive,
+            ] {
+                let placements = enumerate_decoder_placements(fault, 16, strategy).unwrap();
+                assert!(!placements.is_empty());
+                for placement in &placements {
+                    let partner = placement.aggressor_first.unwrap();
+                    let xor = placement.victim ^ partner;
+                    assert!(xor.is_power_of_two(), "{placement}");
+                }
+                // Both relative orders appear.
+                assert!(placements
+                    .iter()
+                    .any(|p| p.aggressor_first.unwrap() > p.victim));
+                assert!(placements
+                    .iter()
+                    .any(|p| p.aggressor_first.unwrap() < p.victim));
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_enumeration_scales_logarithmically() {
+        // Exhaustive pairs are O(cells · log cells): tractable at 1k+ cells.
+        let placements = enumerate_decoder_placements(
+            DecoderFault::NoAddressMaps,
+            1024,
+            PlacementStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert_eq!(placements.len(), 1024 * 10);
+        let representative = enumerate_decoder_placements(
+            DecoderFault::NoAddressMaps,
+            1024,
+            PlacementStrategy::Representative,
+        )
+        .unwrap();
+        assert!(representative.len() <= 3 * 10);
+        let singles = enumerate_decoder_placements(
+            DecoderFault::NoCellAccessed {
+                open_read: Bit::One,
+            },
+            1024,
+            PlacementStrategy::Representative,
+        )
+        .unwrap();
+        assert!(singles.len() <= 16);
+        assert!(singles.iter().any(|p| p.victim == 1023));
     }
 }

@@ -66,6 +66,7 @@ impl ArtifactKey {
             .iter()
             .map(FaultPrimitive::notation)
             .chain(list.linked().iter().map(|fault| fault.to_string()))
+            .chain(list.decoders().iter().map(|fault| fault.notation()))
             .collect();
         ArtifactKey {
             list_name: list.name().to_string(),
@@ -75,6 +76,16 @@ impl ArtifactKey {
             backgrounds: backgrounds.to_vec(),
         }
     }
+}
+
+/// The cache key of one memoised fault dictionary: the march test's identity
+/// (name *and* notation, so a renamed or edited test can never alias) crossed
+/// with the list-contents/scope fingerprint of [`ArtifactKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DictionaryKey {
+    test_name: String,
+    test_notation: String,
+    artifact: ArtifactKey,
 }
 
 /// A reusable engine handle owning the execution policy and the resident
@@ -114,6 +125,10 @@ pub struct Session {
     /// invalidated; repeated `coverage`/`generate`/`minimise`/`verify`
     /// queries skip the setup entirely.
     artifacts: Mutex<HashMap<ArtifactKey, Arc<TargetLanes>>>,
+    /// Memoised per-`(test, list contents, scope)` fault dictionaries —
+    /// [`Session::dictionary`] rebuilds its syndrome database only on the
+    /// first query per key.
+    dictionaries: Mutex<HashMap<DictionaryKey, Arc<FaultDictionary>>>,
     cache_hits: AtomicUsize,
 }
 
@@ -144,6 +159,7 @@ impl Session {
             backend: Arc::from(policy.backend.instance()),
             pool,
             artifacts: Mutex::new(HashMap::new()),
+            dictionaries: Mutex::new(HashMap::new()),
             cache_hits: AtomicUsize::new(0),
         }
     }
@@ -260,10 +276,25 @@ impl Session {
         self.artifacts.lock().expect("artifact cache lock").len()
     }
 
+    /// Number of distinct `(test, list, scope)` fault dictionaries the
+    /// session has cached.
+    #[must_use]
+    pub fn cached_dictionaries(&self) -> usize {
+        self.dictionaries
+            .lock()
+            .expect("dictionary cache lock")
+            .len()
+    }
+
     /// Every fault target of `list` with its coverage lanes under the
     /// session's scope, memoised for the session's lifetime: the first call
     /// per `(list, scope)` enumerates, every later one returns the shared
     /// [`Arc`] (observable through [`Session::cache_hits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::MemoryTooSmall`](crate::SimulationError)
+    /// when the session's memory cannot host the list's placements.
     ///
     /// # Examples
     ///
@@ -272,13 +303,12 @@ impl Session {
     /// use sram_sim::Session;
     ///
     /// let session = Session::default();
-    /// let first = session.target_lanes(&FaultList::list_2());
-    /// let second = session.target_lanes(&FaultList::list_2());
+    /// let first = session.target_lanes(&FaultList::list_2()).unwrap();
+    /// let second = session.target_lanes(&FaultList::list_2()).unwrap();
     /// assert!(std::sync::Arc::ptr_eq(&first, &second));
     /// assert_eq!(session.cache_hits(), 1);
     /// ```
-    #[must_use]
-    pub fn target_lanes(&self, list: &FaultList) -> Arc<TargetLanes> {
+    pub fn target_lanes(&self, list: &FaultList) -> Result<Arc<TargetLanes>> {
         self.target_lanes_scoped(list, self.memory_cells, self.strategy, &self.backgrounds)
     }
 
@@ -286,14 +316,18 @@ impl Session {
     /// the entry point for pipeline stages (generator, minimiser) whose
     /// configuration may override the session's own scope. The cache is
     /// shared: entries are keyed by `(list contents, scope)`.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::MemoryTooSmall`](crate::SimulationError)
+    /// when `memory_cells` cannot host the list's placements.
     pub fn target_lanes_scoped(
         &self,
         list: &FaultList,
         memory_cells: usize,
         strategy: PlacementStrategy,
         backgrounds: &[InitialState],
-    ) -> Arc<TargetLanes> {
+    ) -> Result<Arc<TargetLanes>> {
         let key = ArtifactKey::new(list, memory_cells, strategy, backgrounds);
         if let Some(cached) = self
             .artifacts
@@ -302,26 +336,23 @@ impl Session {
             .get(&key)
         {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
+            return Ok(Arc::clone(cached));
         }
         // Enumerate outside the lock: a concurrent miss on the same key costs
         // one duplicate enumeration, never a stalled cache.
-        let enumerated: Arc<TargetLanes> = Arc::new(
-            enumerate_targets(list)
-                .into_iter()
-                .map(|target| {
-                    let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds);
-                    (target, lanes)
-                })
-                .collect(),
-        );
-        Arc::clone(
+        let mut entries = Vec::new();
+        for target in enumerate_targets(list) {
+            let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds)?;
+            entries.push((target, lanes));
+        }
+        let enumerated: Arc<TargetLanes> = Arc::new(entries);
+        Ok(Arc::clone(
             self.artifacts
                 .lock()
                 .expect("artifact cache lock")
                 .entry(key)
                 .or_insert(enumerated),
-        )
+        ))
     }
 
     /// Fans `map` out over the session's resident workers, returning results
@@ -358,7 +389,21 @@ impl Session {
     /// ```
     #[must_use]
     pub fn coverage(&self, test: &MarchTest, list: &FaultList) -> CoverageReport {
-        let target_lanes = self.target_lanes(list);
+        self.try_coverage(test, list).expect(
+            "session scope hosts the fault-list placements (try_coverage surfaces the error)",
+        )
+    }
+
+    /// Fallible form of [`Session::coverage`]: the byte-identical report, or
+    /// a typed error when the session's memory scope cannot host the list's
+    /// placements (e.g. fewer than 4 cells for linked faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::MemoryTooSmall`](crate::SimulationError)
+    /// for undersized memories.
+    pub fn try_coverage(&self, test: &MarchTest, list: &FaultList) -> Result<CoverageReport> {
+        let target_lanes = self.target_lanes(list)?;
         let first_escapes: Vec<Option<Escape>> = match &self.pool {
             Some(pool) => {
                 let test = test.clone();
@@ -385,7 +430,12 @@ impl Session {
             .iter()
             .map(|(target, _)| target.clone())
             .collect();
-        assemble_coverage_report(test.name(), list.name(), &targets, first_escapes)
+        Ok(assemble_coverage_report(
+            test.name(),
+            list.name(),
+            &targets,
+            first_escapes,
+        ))
     }
 
     /// Executes `test` against a memory with `fault` injected, under the
@@ -432,9 +482,46 @@ impl Session {
     /// Builds a [`FaultDictionary`] for `test` over `list` under the session's
     /// scope — the pre-computed syndrome database
     /// [`Session::diagnose`] looks candidates up in.
+    ///
+    /// Dictionaries are memoised per `(test, list contents, scope)` through
+    /// the session's artifact cache: the first call per key simulates the
+    /// whole fault space, every later one returns the shared [`Arc`]
+    /// (observable through [`Session::cache_hits`], exactly like the
+    /// target-lane cache). Keys are immutable, so entries are never
+    /// invalidated.
     #[must_use]
-    pub fn dictionary(&self, test: &MarchTest, list: &FaultList) -> FaultDictionary {
-        FaultDictionary::build(test, list, &self.coverage_config())
+    pub fn dictionary(&self, test: &MarchTest, list: &FaultList) -> Arc<FaultDictionary> {
+        // Dictionaries always enumerate placements exhaustively (diagnosis
+        // needs localisation), so the scope key pins the exhaustive strategy
+        // regardless of the session's coverage strategy.
+        let key = DictionaryKey {
+            test_name: test.name().to_string(),
+            test_notation: test.notation(),
+            artifact: ArtifactKey::new(
+                list,
+                self.memory_cells,
+                PlacementStrategy::Exhaustive,
+                &self.backgrounds,
+            ),
+        };
+        if let Some(cached) = self
+            .dictionaries
+            .lock()
+            .expect("dictionary cache lock")
+            .get(&key)
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        // Build outside the lock, like the target-lane cache.
+        let built = Arc::new(FaultDictionary::build(test, list, &self.coverage_config()));
+        Arc::clone(
+            self.dictionaries
+                .lock()
+                .expect("dictionary cache lock")
+                .entry(key)
+                .or_insert(built),
+        )
     }
 
     /// Diagnoses an observed `syndrome` against a pre-computed fault
@@ -592,7 +679,8 @@ mod tests {
         let dictionary = session.dictionary(&catalog::march_abl1(), &list);
         let fault = list.linked()[0].clone();
         let cells =
-            crate::enumerate_placements(fault.topology(), 6, PlacementStrategy::Representative)[0];
+            crate::enumerate_placements(fault.topology(), 6, PlacementStrategy::Representative)
+                .unwrap()[0];
         let instance = LinkedFaultInstance::new(fault, cells, 6).unwrap();
         let run = session
             .run_linked(&catalog::march_abl1(), &instance)
@@ -632,33 +720,73 @@ mod tests {
         assert_eq!(session.cached_artifacts(), 0);
 
         // Same list, same scope: one enumeration, then hits sharing the Arc.
-        let first = session.target_lanes(&FaultList::list_2());
+        let first = session.target_lanes(&FaultList::list_2()).unwrap();
         assert_eq!(session.cache_hits(), 0);
         assert_eq!(session.cached_artifacts(), 1);
-        let second = session.target_lanes(&FaultList::list_2());
+        let second = session.target_lanes(&FaultList::list_2()).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(session.cache_hits(), 1);
 
         // A different scope keys a different entry.
-        let exhaustive = session.target_lanes_scoped(
-            &FaultList::list_2(),
-            6,
-            PlacementStrategy::Exhaustive,
-            session.backgrounds(),
-        );
+        let exhaustive = session
+            .target_lanes_scoped(
+                &FaultList::list_2(),
+                6,
+                PlacementStrategy::Exhaustive,
+                session.backgrounds(),
+            )
+            .unwrap();
         assert!(!Arc::ptr_eq(&first, &exhaustive));
         assert_eq!(session.cache_hits(), 1);
         assert_eq!(session.cached_artifacts(), 2);
 
         // A different list under the same scope keys a third entry, and the
         // content fingerprint distinguishes lists sharing a name.
-        let other = session.target_lanes(&FaultList::unlinked_static());
+        let other = session.target_lanes(&FaultList::unlinked_static()).unwrap();
         assert_eq!(session.cached_artifacts(), 3);
         assert_ne!(other.len(), first.len());
         let renamed = FaultList::new("Fault List #2 (single-cell linked faults)");
-        let empty = session.target_lanes(&renamed);
+        let empty = session.target_lanes(&renamed).unwrap();
         assert!(empty.is_empty());
         assert_eq!(session.cached_artifacts(), 4);
+    }
+
+    #[test]
+    fn dictionary_cache_memoises_per_test_list_and_scope() {
+        let session = Session::default().with_memory_cells(6);
+        assert_eq!(session.cached_dictionaries(), 0);
+        let list = FaultList::list_2();
+
+        // First build populates the cache; the repeat is a hit sharing the Arc.
+        let first = session.dictionary(&catalog::march_abl1(), &list);
+        assert_eq!(session.cache_hits(), 0);
+        assert_eq!(session.cached_dictionaries(), 1);
+        let second = session.dictionary(&catalog::march_abl1(), &list);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(session.cache_hits(), 1);
+        assert_eq!(session.cached_dictionaries(), 1);
+
+        // A different test keys a different entry...
+        let other_test = session.dictionary(&catalog::march_ss(), &list);
+        assert!(!Arc::ptr_eq(&first, &other_test));
+        assert_eq!(session.cached_dictionaries(), 2);
+        assert_eq!(session.cache_hits(), 1);
+
+        // ...as does a test sharing the name but not the notation.
+        let renamed = catalog::march_ss().with_name("March ABL1");
+        let aliased = session.dictionary(&renamed, &list);
+        assert!(!Arc::ptr_eq(&first, &aliased));
+        assert_eq!(session.cached_dictionaries(), 3);
+
+        // The cached dictionary is byte-identical to an uncached build.
+        let fresh =
+            FaultDictionary::build(&catalog::march_abl1(), &list, &session.coverage_config());
+        assert_eq!(first.len(), fresh.len());
+        assert_eq!(first.entries(), fresh.entries());
+
+        // The dictionary cache and the target-lane cache share the hit
+        // counter but not the entries.
+        assert_eq!(session.cached_artifacts(), 0);
     }
 
     #[test]

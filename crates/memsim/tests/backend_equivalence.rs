@@ -72,7 +72,7 @@ proptest! {
         let list = FaultList::list_1();
         let fault = &list.linked()[fault_index % list.linked().len()];
         let target = TargetKind::Linked(fault.clone());
-        let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds);
+        let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
         let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
         prop_assert_eq!(&scalar, &packed, "verdicts diverged for {}", fault);
@@ -94,7 +94,7 @@ proptest! {
         let primitives = Ffm::all_fault_primitives();
         let primitive = primitives[primitive_index % primitives.len()].clone();
         let target = TargetKind::Simple(primitive);
-        let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds);
+        let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
         let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
         prop_assert_eq!(scalar, packed);

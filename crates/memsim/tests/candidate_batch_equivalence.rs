@@ -97,7 +97,7 @@ proptest! {
         prefix in arbitrary_prefix(),
         pool in arbitrary_pool(),
     ) {
-        let lanes = enumerate_lanes(&target, 8, strategy, &backgrounds);
+        let lanes = enumerate_lanes(&target, 8, strategy, &backgrounds).unwrap();
         prop_assume!(!lanes.is_empty());
 
         let mut scalar = TargetBatch::new(target.clone(), lanes.clone(), 8, BackendKind::Scalar);
@@ -177,7 +177,7 @@ proptest! {
                 .into_iter()
                 .map(|target| {
                     let lanes =
-                        enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds);
+                        enumerate_lanes(&target, 8, PlacementStrategy::Representative, &backgrounds).unwrap();
                     TargetBatch::new(target, lanes, 8, backend)
                 })
                 .collect();

@@ -147,7 +147,8 @@ proptest! {
             fault.topology(),
             8,
             PlacementStrategy::Representative,
-        );
+        )
+        .unwrap();
         let cells = placements[seed % placements.len()];
         let background = if seed % 2 == 0 { InitialState::AllZero } else { InitialState::AllOne };
 

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod testkit;
+
 pub use march_gen;
 pub use march_test;
 pub use sram_fault_model;

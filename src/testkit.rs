@@ -1,0 +1,215 @@
+//! Cross-backend differential test support: one generic harness asserting the
+//! whole pipeline — coverage, generation, minimisation, verification — is
+//! **byte-identical** across two execution policies.
+//!
+//! This module replaces the three near-duplicate equivalence suites that used
+//! to live in `sram_sim` and `march_gen` (`session_equivalence` ×2 and
+//! `minimise_equivalence`): every "policy A and policy B must agree" property
+//! now funnels through [`assert_pipeline_equivalent`], so new pipeline stages
+//! (and new fault domains, like the address-decoder classes) get differential
+//! coverage by being added here once.
+//!
+//! The harness is compiled into the façade crate (not behind `cfg(test)`) so
+//! the workspace-level integration tests and any downstream consumer can use
+//! it; it is `#[doc(hidden)]`-free because "how do I check a new backend is
+//! correct" is a legitimate user question.
+
+use march_gen::{minimise_full_resim, minimise_with, GeneratorConfig, SessionExt};
+use march_test::{catalog, MarchTest};
+use sram_fault_model::FaultList;
+use sram_sim::{BackendKind, ExecPolicy, InitialState, PlacementStrategy, Session};
+
+/// The catalogue probe tests every equivalence run measures coverage under:
+/// two strong tests (complete over most lists), one weak one (plenty of
+/// escapes, so escape ordering is exercised) and one mid-strength classic.
+fn probe_tests() -> Vec<MarchTest> {
+    vec![
+        catalog::march_ss(),
+        catalog::march_sl(),
+        catalog::mats_plus(),
+        catalog::march_c_minus(),
+    ]
+}
+
+/// The minimisation inputs, spanning the interesting shapes the removal pass
+/// branches on: a padded near-minimal test (a few accepted removals), a
+/// heavily redundant catalogue test (many accepted removals and long suffix
+/// replays), and a weak test that is incomplete over most lists (the pass
+/// must bail out untouched through the completeness precheck).
+fn minimisation_probes() -> Vec<MarchTest> {
+    vec![
+        MarchTest::parse(
+            "padded ABL1",
+            "⇕(w0); ⇕(w0,r0,r0,w1); ⇕(w1,r1,r1,w0); ⇕(r0,r0)",
+        )
+        .expect("valid notation"),
+        catalog::march_sl(),
+        catalog::mats_plus(),
+    ]
+}
+
+/// A session over `policy` scoped to `cells` with the paper's thorough
+/// backgrounds and the given placement strategy.
+fn session(policy: ExecPolicy, cells: usize, strategy: PlacementStrategy) -> Session {
+    Session::new(policy)
+        .with_memory_cells(cells)
+        .with_strategy(strategy)
+        .with_backgrounds(vec![InitialState::AllZero, InitialState::AllOne])
+}
+
+/// Asserts the **whole pipeline is byte-identical** under `policy_a` and
+/// `policy_b` for `fault_list` on a `cells`-cell memory:
+///
+/// * `Session::coverage` / `Session::verify` reports are `==` (counts,
+///   per-topology break-down *and* the stable-sorted escape list) for every
+///   probe test, under representative placements — and under exhaustive
+///   placements too when `cells ≤ 8`;
+/// * `Session::generate` produces the same march-test notation, greedy
+///   iteration count and completeness verdict;
+/// * `Session::minimise` produces the same minimised notation and removal
+///   count, and both agree with the legacy full re-simulation oracle
+///   ([`march_gen::minimise_full_resim`]) evaluated under `policy_a`.
+///
+/// Works for any fault-list contents — FFM-only, address-decoder-only, or
+/// mixed — which is exactly how the workspace equivalence tests drive it.
+///
+/// # Panics
+///
+/// Panics (with a policy-labelled message) on the first divergence, or if
+/// `cells` cannot host the list's placements.
+pub fn assert_pipeline_equivalent(
+    policy_a: ExecPolicy,
+    policy_b: ExecPolicy,
+    fault_list: &FaultList,
+    cells: usize,
+) {
+    let label = |what: &str| {
+        format!(
+            "{what} diverged: {policy_a:?} vs {policy_b:?} ({cells} cells, {})",
+            fault_list.name()
+        )
+    };
+
+    // Coverage and verification, representative scope (+ exhaustive on small
+    // memories, where all-pairs placement enumeration stays tractable).
+    let mut strategies = vec![PlacementStrategy::Representative];
+    if cells <= 8 {
+        strategies.push(PlacementStrategy::Exhaustive);
+    }
+    for strategy in strategies {
+        let session_a = session(policy_a, cells, strategy);
+        let session_b = session(policy_b, cells, strategy);
+        for test in probe_tests() {
+            let report_a = session_a
+                .try_coverage(&test, fault_list)
+                .expect("harness scope hosts the fault-list placements");
+            let report_b = session_b
+                .try_coverage(&test, fault_list)
+                .expect("harness scope hosts the fault-list placements");
+            assert_eq!(
+                report_a,
+                report_b,
+                "{} [{} under {:?}]",
+                label("coverage"),
+                test.name(),
+                strategy
+            );
+            // `verify` is defined as coverage; pin that contract too.
+            assert_eq!(
+                session_a.verify(&test, fault_list),
+                report_a,
+                "{} [{}]",
+                label("verify"),
+                test.name()
+            );
+        }
+    }
+
+    let session_a = session(policy_a, cells, PlacementStrategy::Representative);
+    let session_b = session(policy_b, cells, PlacementStrategy::Representative);
+
+    // Generation: the greedy search must make identical choices.
+    let generated_a = session_a.generate(fault_list);
+    let generated_b = session_b.generate(fault_list);
+    assert_eq!(
+        generated_a.test().notation(),
+        generated_b.test().notation(),
+        "{}",
+        label("generated test")
+    );
+    assert_eq!(
+        generated_a.report().iterations(),
+        generated_b.report().iterations(),
+        "{}",
+        label("greedy iteration count")
+    );
+    assert_eq!(
+        generated_a.report().is_complete(),
+        generated_b.report().is_complete(),
+        "{}",
+        label("generation completeness")
+    );
+
+    // Minimisation: policy-invariant for every probe shape (accepted
+    // removals, heavy redundancy, incomplete-input bail-out), and equal to
+    // the full re-simulation oracle (every trial re-verified from scratch)
+    // under policy_a.
+    let oracle_config = GeneratorConfig {
+        memory_cells: cells,
+        exec: policy_a,
+        ..GeneratorConfig::default()
+    };
+    for probe in minimisation_probes() {
+        let minimised_a = session_a.minimise(&probe, fault_list);
+        let minimised_b = session_b.minimise(&probe, fault_list);
+        assert_eq!(
+            minimised_a.test().notation(),
+            minimised_b.test().notation(),
+            "{} [{}]",
+            label("minimised test"),
+            probe.name()
+        );
+        assert_eq!(
+            minimised_a.removed_operations(),
+            minimised_b.removed_operations(),
+            "{} [{}]",
+            label("removal count"),
+            probe.name()
+        );
+        let (oracle_test, oracle_removed) =
+            minimise_full_resim(&session_a, &probe, fault_list, &oracle_config);
+        let (suffix_test, suffix_removed) =
+            minimise_with(&session_a, &probe, fault_list, &oracle_config);
+        assert_eq!(
+            suffix_test.notation(),
+            oracle_test.notation(),
+            "{} [{}]",
+            label("suffix-only vs full-resim minimisation"),
+            probe.name()
+        );
+        assert_eq!(
+            suffix_removed,
+            oracle_removed,
+            "{} [{}]",
+            label("oracle removal count"),
+            probe.name()
+        );
+        assert_eq!(
+            minimised_a.test().notation(),
+            oracle_test.notation(),
+            "{} [{}]",
+            label("session minimisation vs oracle"),
+            probe.name()
+        );
+    }
+}
+
+/// The serial scalar reference policy every equivalence sweep anchors to: the
+/// original dual-memory engine, one lane and one thread at a time.
+#[must_use]
+pub fn reference_policy() -> ExecPolicy {
+    ExecPolicy::default()
+        .with_backend(BackendKind::Scalar)
+        .with_threads(1)
+        .with_batch(1)
+}

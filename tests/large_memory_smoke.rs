@@ -1,0 +1,107 @@
+//! Large-memory smoke tests: 1024-cell coverage and diagnosis through the
+//! packed + threaded path — the first workload family where per-candidate
+//! scalar simulation is genuinely infeasible.
+//!
+//! `#[ignore]`d by default (they are release-grade workloads); the release CI
+//! job runs them with `cargo test --release -- --ignored` under a wall-clock
+//! budget, and each test additionally asserts its own in-process budget so a
+//! performance regression fails loudly rather than just slowly.
+
+use std::time::{Duration, Instant};
+
+use march_test::catalog;
+use sram_fault_model::{DecoderFault, FaultList};
+use sram_sim::{
+    DecoderFaultInstance, ExecPolicy, FaultSimulator, InitialState, InstanceCells, Session,
+    Syndrome, TargetKind,
+};
+
+/// Per-test wall-clock budget. Generous (the measured release times are well
+/// under 10 s) so CI jitter cannot flake the job, but tight enough that an
+/// accidental fall-back onto an `O(cells²)` path fails the suite.
+const BUDGET: Duration = Duration::from_secs(120);
+
+#[test]
+#[ignore = "release-grade 1k-cell workload; run with --ignored"]
+fn af_coverage_at_1024_cells_packed_threaded() {
+    let start = Instant::now();
+    let session = Session::new(ExecPolicy::fast()).with_memory_cells(1024);
+    let report = session.coverage(&catalog::march_ss(), &FaultList::address_decoder());
+    assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    assert_eq!(report.total(), 5);
+    assert!(
+        start.elapsed() < BUDGET,
+        "1024-cell AF coverage blew the budget: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "release-grade 1k-cell workload; run with --ignored"]
+fn mixed_af_ffm_coverage_at_1024_cells() {
+    let start = Instant::now();
+    let session = Session::new(ExecPolicy::fast()).with_memory_cells(1024);
+    let list = FaultList::unlinked_static().with_address_decoder_faults();
+    let report = session.coverage(&catalog::march_ss(), &list);
+    assert!(report.is_complete(), "escapes: {:?}", report.escapes());
+    assert_eq!(report.total(), 53);
+    assert!(
+        start.elapsed() < BUDGET,
+        "1024-cell mixed coverage blew the budget: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "release-grade 1k-cell workload; run with --ignored"]
+fn af_diagnosis_at_1024_cells_recovers_the_instance() {
+    let start = Instant::now();
+    let cells = 1024usize;
+    // A decoder defect on address line 6: address 700 redirected onto cell
+    // 700 ^ 64 = 764.
+    let primary = 700usize;
+    let partner = primary ^ 64;
+    let instance = DecoderFaultInstance::new(
+        DecoderFault::NoAddressMaps,
+        InstanceCells::pair(partner, primary),
+        cells,
+    )
+    .unwrap();
+
+    let test = catalog::mats_plus();
+    let mut device = FaultSimulator::new(cells, &InitialState::AllZero).unwrap();
+    device.inject_decoder(instance);
+    let syndrome = Syndrome::observe(&test, &mut device);
+    assert!(!syndrome.is_empty(), "MATS+ must flag the decoder defect");
+
+    // Sweep the whole decoder fault space (every class × every address-line
+    // placement — ~33k instances at 1024 cells) for candidates reproducing
+    // the syndrome exactly.
+    let session = Session::new(ExecPolicy::fast()).with_memory_cells(cells);
+    let report = session.diagnose_sweep(&test, &syndrome, &FaultList::address_decoder());
+    assert!(!report.is_unexplained());
+    assert!(
+        report.candidates().iter().any(|candidate| {
+            matches!(
+                candidate.target,
+                TargetKind::Decoder(DecoderFault::NoAddressMaps)
+            ) && candidate.cells.victim == primary
+                && candidate.cells.aggressor_first == Some(partner)
+        }),
+        "the injected instance must be among the candidates: {:?}",
+        report.candidates()
+    );
+    // Localisation: every candidate touches the faulty address pair.
+    assert!(report
+        .candidates()
+        .iter()
+        .all(|candidate| candidate.cells.victim == primary
+            || candidate.cells.aggressor_first == Some(primary)
+            || candidate.cells.victim == partner
+            || candidate.cells.aggressor_first == Some(partner)));
+    assert!(
+        start.elapsed() < BUDGET,
+        "1024-cell AF diagnosis blew the budget: {:?}",
+        start.elapsed()
+    );
+}
