@@ -2,8 +2,10 @@
 //! coverage-matrix workloads on both simulation backends, the generator's
 //! candidate-scoring hot path with batched vs per-candidate pools, the
 //! redundancy-removal pass with suffix-only snapshots vs full re-simulation,
-//! **and** repeated coverage through one resident [`Session`] vs the
-//! spawn-per-call legacy path, then writes the speedups to
+//! repeated coverage through one resident [`Session`] vs the
+//! spawn-per-call legacy path, **and** the wide-word packed engine (128/256
+//! lanes per word vs 64) on exhaustive address-decoder sweeps, then writes
+//! the speedups to
 //! `BENCH_simulation.json` (schema version 2, see [`march_bench::BenchFile`])
 //! so the simulation stack's perf trajectory is tracked — and diffed by CI
 //! via `bench_diff` — across PRs.
@@ -20,10 +22,10 @@ use march_gen::{
     exhaustive_candidates, minimise_full_resim, minimise_with, score_candidates, GeneratorConfig,
 };
 use march_test::{catalog, MarchElement, MarchTest};
-use sram_fault_model::FaultList;
+use sram_fault_model::{FaultList, FaultListBuilder};
 use sram_sim::{
     effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
-    CoverageConfig, ExecPolicy, InitialState, PlacementStrategy, Session, TargetBatch,
+    CoverageConfig, ExecPolicy, InitialState, LaneWidth, PlacementStrategy, Session, TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -195,6 +197,100 @@ fn af_workloads() -> Vec<AfWorkload> {
             reps: 3,
         },
     ]
+}
+
+/// One lane-width workload: exhaustive address-decoder coverage (the regime
+/// where every target carries thousands of lanes — `cells` placements per
+/// decoder class × 2 backgrounds × up to 10 sensitizing pairs) timed with
+/// 64-lane packed words (baseline) against one wide `[u64; N]` width
+/// (contender). Same backend, same thread count, same plan: the only
+/// difference is how many coverage lanes one sensitization pass carries.
+struct LaneWidthWorkload {
+    name: &'static str,
+    cells: usize,
+    width: LaneWidth,
+    reps: u32,
+}
+
+fn lane_width_workloads() -> Vec<LaneWidthWorkload> {
+    vec![
+        LaneWidthWorkload {
+            name: "af-sl-xh-256c-w128",
+            cells: 256,
+            width: LaneWidth::W128,
+            reps: 5,
+        },
+        LaneWidthWorkload {
+            name: "af-sl-xh-256c-w256",
+            cells: 256,
+            width: LaneWidth::W256,
+            reps: 5,
+        },
+        LaneWidthWorkload {
+            name: "af-sl-xh-1024c-w128",
+            cells: 1024,
+            width: LaneWidth::W128,
+            reps: 7,
+        },
+        LaneWidthWorkload {
+            name: "af-sl-xh-1024c-w256",
+            cells: 1024,
+            width: LaneWidth::W256,
+            reps: 7,
+        },
+    ]
+}
+
+/// Times one lane-width workload; the narrow and wide reports are pinned
+/// byte-identical every repetition, so a wide-word carry bug cannot
+/// masquerade as a speedup. Both sides run packed single-worker — the AF
+/// decoder space splits into only five targets, so at 4 threads the wall
+/// time measures pool scheduling over lumpy work items, not the per-pass
+/// width effect under test — and the sweep is timed one decoder class at a
+/// time, each side keeping its best repetition per class and summing the
+/// minima. Short per-class samples are far less likely to absorb a
+/// scheduler interference spike than a whole five-class sweep, and the
+/// damping is symmetric across both sides. The width is the only variable.
+fn time_lane_width(workload: &LaneWidthWorkload) -> (Duration, Duration) {
+    // March SL: the heaviest complete test in the catalog (most operations
+    // per cell), so the workload is dominated by sensitization passes — the
+    // work the lane width multiplies — rather than per-chunk setup.
+    let test = catalog::march_sl();
+    let session = |width: LaneWidth| {
+        Session::new(ExecPolicy::default().with_threads(1).with_lane_width(width))
+            .with_memory_cells(workload.cells)
+            .with_strategy(PlacementStrategy::Exhaustive)
+    };
+    let narrow = session(LaneWidth::W64);
+    let wide = session(workload.width);
+
+    let mut narrow_time = Duration::ZERO;
+    let mut wide_time = Duration::ZERO;
+    for decoder in FaultList::address_decoder().decoders() {
+        let list = FaultListBuilder::new(format!("AF class {decoder}"))
+            .decoder(*decoder)
+            .build()
+            .expect("single-decoder list is well-formed");
+        let reference = narrow.coverage(&test, &list);
+        assert_eq!(wide.coverage(&test, &list), reference);
+
+        let mut narrow_best = Duration::MAX;
+        for _ in 0..workload.reps {
+            let start = Instant::now();
+            assert_eq!(narrow.coverage(&test, &list), reference);
+            narrow_best = narrow_best.min(start.elapsed());
+        }
+        narrow_time += narrow_best;
+
+        let mut wide_best = Duration::MAX;
+        for _ in 0..workload.reps {
+            let start = Instant::now();
+            assert_eq!(wide.coverage(&test, &list), reference);
+            wide_best = wide_best.min(start.elapsed());
+        }
+        wide_time += wide_best;
+    }
+    (narrow_time, wide_time)
 }
 
 /// Times one AF workload; the two sides' reports are pinned byte-identical
@@ -400,6 +496,7 @@ fn main() {
             baseline_ns: scalar.as_nanos() as u64,
             contender_ns: packed.as_nanos() as u64,
             speedup,
+            lane_width: None,
         });
     }
     for workload in scoring_workloads() {
@@ -421,6 +518,7 @@ fn main() {
             baseline_ns: sequential.as_nanos() as u64,
             contender_ns: batched.as_nanos() as u64,
             speedup,
+            lane_width: None,
         });
     }
     for workload in minimise_workloads(threads) {
@@ -441,6 +539,7 @@ fn main() {
             baseline_ns: full.as_nanos() as u64,
             contender_ns: suffix.as_nanos() as u64,
             speedup,
+            lane_width: None,
         });
     }
     for workload in af_workloads() {
@@ -461,6 +560,28 @@ fn main() {
             baseline_ns: scalar.as_nanos() as u64,
             contender_ns: packed.as_nanos() as u64,
             speedup,
+            lane_width: None,
+        });
+    }
+    for workload in lane_width_workloads() {
+        let (narrow, wide) = time_lane_width(&workload);
+        let speedup = narrow.as_secs_f64() / wide.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            narrow.as_secs_f64() * 1e3,
+            wide.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "lane_width".to_string(),
+            baseline: "packed-w64".to_string(),
+            contender: format!("packed-w{}", workload.width.name()),
+            baseline_ns: narrow.as_nanos() as u64,
+            contender_ns: wide.as_nanos() as u64,
+            speedup,
+            lane_width: Some(workload.width.name().to_string()),
         });
     }
     for workload in session_workloads() {
@@ -481,6 +602,7 @@ fn main() {
             baseline_ns: per_call.as_nanos() as u64,
             contender_ns: pooled.as_nanos() as u64,
             speedup,
+            lane_width: None,
         });
     }
 

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use march_test::AddressOrder;
-use sram_sim::BackendKind;
+use sram_sim::{BackendKind, LaneWidth};
 
 /// Errors produced while parsing command-line arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,12 +115,14 @@ pub enum Command {
         /// Candidates packed per scoring batch (0 = full 64-lane words,
         /// 1 = per-candidate scoring).
         batch: usize,
+        /// Coverage lanes per packed word (auto = narrowest fitting width).
+        lane_width: LaneWidth,
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
     /// `coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]
     /// [--cells N] [--exhaustive] [--backend scalar|packed] [--threads N]
-    /// [--json]`.
+    /// [--lane-width auto|64|128|256] [--json]`.
     ///
     /// Without an explicit `--threads`, memories larger than 64 cells fan out
     /// over every available core (`--threads 0`): large-memory coverage is
@@ -141,11 +143,14 @@ pub enum Command {
         backend: BackendKind,
         /// Worker threads the fault targets fan out over (0 = auto).
         threads: usize,
+        /// Coverage lanes per packed word (auto = narrowest fitting width).
+        lane_width: LaneWidth,
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
     /// `minimise --test <name> --list <1|2|unlinked>
-    /// [--backend scalar|packed] [--threads N] [--json]`.
+    /// [--backend scalar|packed] [--threads N] [--lane-width auto|64|128|256]
+    /// [--json]`.
     ///
     /// Runs the suffix-only redundancy-removal pass on a catalogue march test:
     /// every operation whose removal keeps the fault list fully covered is
@@ -165,6 +170,8 @@ pub enum Command {
         backend: BackendKind,
         /// Worker threads the `(target × suffix)` trials shard over (0 = auto).
         threads: usize,
+        /// Coverage lanes per packed word (auto = narrowest fitting width).
+        lane_width: LaneWidth,
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
@@ -192,6 +199,8 @@ pub enum Command {
         backend: BackendKind,
         /// Worker threads of the session (0 = auto).
         threads: usize,
+        /// Coverage lanes per packed word (auto = narrowest fitting width).
+        lane_width: LaneWidth,
         /// Emit the machine-readable `Report` JSON instead of the text form.
         json: bool,
     },
@@ -247,6 +256,7 @@ impl Command {
                 let mut backend = BackendKind::Packed;
                 let mut threads = None;
                 let mut batch = 0usize;
+                let mut lane_width = LaneWidth::Auto;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -271,6 +281,9 @@ impl Command {
                             threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
                         }
                         "--batch" => batch = parse_batch(&required(&mut args, "--batch")?)?,
+                        "--lane-width" => {
+                            lane_width = parse_lane_width(&required(&mut args, "--lane-width")?)?;
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
@@ -287,6 +300,7 @@ impl Command {
                     backend,
                     threads: resolve_threads(threads, cells),
                     batch,
+                    lane_width,
                     json,
                 })
             }
@@ -298,6 +312,7 @@ impl Command {
                 let mut exhaustive = false;
                 let mut backend = BackendKind::Packed;
                 let mut threads = None;
+                let mut lane_width = LaneWidth::Auto;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -313,6 +328,9 @@ impl Command {
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
                         "--threads" => {
                             threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
+                        "--lane-width" => {
+                            lane_width = parse_lane_width(&required(&mut args, "--lane-width")?)?;
                         }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
@@ -330,6 +348,7 @@ impl Command {
                     exhaustive,
                     backend,
                     threads: resolve_threads(threads, cells),
+                    lane_width,
                     json,
                 })
             }
@@ -340,6 +359,7 @@ impl Command {
                 let mut cells = None;
                 let mut backend = BackendKind::Packed;
                 let mut threads = None;
+                let mut lane_width = LaneWidth::Auto;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -355,6 +375,9 @@ impl Command {
                         "--threads" => {
                             threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
                         }
+                        "--lane-width" => {
+                            lane_width = parse_lane_width(&required(&mut args, "--lane-width")?)?;
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
@@ -367,6 +390,7 @@ impl Command {
                     cells,
                     backend,
                     threads: resolve_threads(threads, cells),
+                    lane_width,
                     json,
                 })
             }
@@ -379,6 +403,7 @@ impl Command {
                 let mut list = None;
                 let mut backend = BackendKind::Packed;
                 let mut threads = None;
+                let mut lane_width = LaneWidth::Auto;
                 let mut json = false;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -398,6 +423,9 @@ impl Command {
                         "--threads" => {
                             threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
                         }
+                        "--lane-width" => {
+                            lane_width = parse_lane_width(&required(&mut args, "--lane-width")?)?;
+                        }
                         "--json" => json = true,
                         other => return Err(unknown_flag(other)),
                     }
@@ -413,6 +441,7 @@ impl Command {
                     list: list.ok_or_else(|| ParseArgsError("diagnose requires --list".into()))?,
                     backend,
                     threads: resolve_threads(threads, Some(cells)),
+                    lane_width,
                     json,
                 })
             }
@@ -511,6 +540,11 @@ fn parse_threads(text: &str) -> Result<usize, ParseArgsError> {
     })
 }
 
+fn parse_lane_width(text: &str) -> Result<LaneWidth, ParseArgsError> {
+    text.parse::<LaneWidth>()
+        .map_err(|error| ParseArgsError(error.to_string()))
+}
+
 fn parse_batch(text: &str) -> Result<usize, ParseArgsError> {
     let batch = text.parse::<usize>().map_err(|_| {
         ParseArgsError(format!(
@@ -539,23 +573,33 @@ pub fn usage() -> String {
      \x20 march-codex show <name>\n\
      \x20 march-codex generate [--list <1|2>] [--faults ffm|af|all] [--cells N] [--no-removal]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--order up|down] [--name NAME] [--exhaustive]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N] [--json]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--exhaustive] [--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--exhaustive] [--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex minimise --test <name> [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex diagnose --test <name> --fault <notation> --victim <cell> --list <1|2|unlinked>\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N] [--json]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
      \x20 march-codex help\n\
      \n\
-     Every invocation builds one sram_sim::Session from the --backend/--threads/--batch\n\
-     execution policy; --json emits the session report's machine-readable form.\n\
+     Every invocation builds one sram_sim::Session from the --backend/--threads/\n\
+     --batch/--lane-width execution policy; --json emits the session report's\n\
+     machine-readable form.\n\
      --faults selects the fault domain: ffm (the cell-array --list, the default), af\n\
      (the four address-decoder classes; --list must be omitted) or all (--list plus\n\
      the decoder classes). --cells sets the simulated memory size; above 64 cells\n\
      --threads defaults to the available parallelism (the packed + threaded\n\
-     large-memory path). coverage --test defaults to March SS.\n"
+     large-memory path). --lane-width packs 64, 128 or 256 coverage lanes into one\n\
+     simulation pass of the packed backend (auto, the default, picks the narrowest\n\
+     width holding each target's lanes — e.g. `coverage --faults af --cells 1024\n\
+     --lane-width 256` quarters the sensitization passes of the exhaustive decoder\n\
+     sweep). Reports are byte-identical at every width. coverage --test defaults\n\
+     to March SS.\n"
         .to_string()
 }
 
@@ -608,6 +652,7 @@ mod tests {
                 backend: BackendKind::Packed,
                 threads: 1,
                 batch: 0,
+                lane_width: LaneWidth::Auto,
                 json: false,
             }
         );
@@ -638,6 +683,7 @@ mod tests {
                 cells: None,
                 backend: BackendKind::Packed,
                 threads: 0,
+                lane_width: LaneWidth::Auto,
                 json: true,
             }
         );
@@ -651,6 +697,7 @@ mod tests {
                 cells: None,
                 backend: BackendKind::Packed,
                 threads: 1,
+                lane_width: LaneWidth::Auto,
                 json: false,
             }
         );
@@ -738,6 +785,7 @@ mod tests {
                 exhaustive: true,
                 backend: BackendKind::Packed,
                 threads: 1,
+                lane_width: LaneWidth::Auto,
                 json: false,
             }
         );
@@ -806,6 +854,7 @@ mod tests {
                 list: CoverageTarget::Unlinked,
                 backend: BackendKind::Packed,
                 threads: 1,
+                lane_width: LaneWidth::Auto,
                 json: true,
             }
         );
@@ -839,6 +888,7 @@ mod tests {
                 exhaustive: false,
                 backend: BackendKind::Packed,
                 threads: 0,
+                lane_width: LaneWidth::Auto,
                 json: false,
             }
         );
@@ -885,6 +935,83 @@ mod tests {
         ));
         assert!(parse(&["coverage", "--test", "x", "--faults", "bogus"]).is_err());
         assert!(parse(&["coverage", "--test", "x", "--list", "2", "--cells", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_lane_width() {
+        // Explicit widths reach every session-building sub-command.
+        assert!(matches!(
+            parse(&[
+                "coverage",
+                "--test",
+                "x",
+                "--list",
+                "1",
+                "--lane-width",
+                "256"
+            ])
+            .unwrap(),
+            Command::Coverage {
+                lane_width: LaneWidth::W256,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["generate", "--list", "2", "--lane-width", "128"]).unwrap(),
+            Command::Generate {
+                lane_width: LaneWidth::W128,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&[
+                "minimise",
+                "--test",
+                "x",
+                "--list",
+                "2",
+                "--lane-width",
+                "64"
+            ])
+            .unwrap(),
+            Command::Minimise {
+                lane_width: LaneWidth::W64,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&[
+                "diagnose",
+                "--test",
+                "x",
+                "--fault",
+                "y",
+                "--victim",
+                "1",
+                "--list",
+                "2",
+                "--lane-width",
+                "auto"
+            ])
+            .unwrap(),
+            Command::Diagnose {
+                lane_width: LaneWidth::Auto,
+                ..
+            }
+        ));
+        // Unknown widths surface the simulator's error text.
+        let error = parse(&[
+            "coverage",
+            "--test",
+            "x",
+            "--list",
+            "1",
+            "--lane-width",
+            "512",
+        ])
+        .unwrap_err();
+        assert!(error.to_string().contains("unknown lane width"));
+        assert!(parse(&["coverage", "--test", "x", "--list", "1", "--lane-width"]).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
     BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState, InjectedFault,
-    JsonObject, Report, Session, Syndrome,
+    JsonObject, LaneWidth, Report, Session, Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, FaultDomain, ParseArgsError};
@@ -75,6 +75,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             backend,
             threads,
             batch,
+            lane_width,
             json,
         } => generate(
             resolve_list(*list, *faults)?,
@@ -86,7 +87,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             ExecPolicy::default()
                 .with_backend(*backend)
                 .with_threads(*threads)
-                .with_batch(*batch),
+                .with_batch(*batch)
+                .with_lane_width(*lane_width),
             *json,
         ),
         Command::Coverage {
@@ -97,6 +99,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             exhaustive,
             backend,
             threads,
+            lane_width,
             json,
         } => coverage(
             test,
@@ -105,6 +108,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             *exhaustive,
             *backend,
             *threads,
+            *lane_width,
             *json,
         ),
         Command::Minimise {
@@ -114,6 +118,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             cells,
             backend,
             threads,
+            lane_width,
             json,
         } => minimise(
             test,
@@ -121,7 +126,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             *cells,
             ExecPolicy::default()
                 .with_backend(*backend)
-                .with_threads(*threads),
+                .with_threads(*threads)
+                .with_lane_width(*lane_width),
             *json,
         ),
         Command::Diagnose {
@@ -133,6 +139,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             list,
             backend,
             threads,
+            lane_width,
             json,
         } => diagnose(
             test,
@@ -143,7 +150,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             *list,
             ExecPolicy::default()
                 .with_backend(*backend)
-                .with_threads(*threads),
+                .with_threads(*threads)
+                .with_lane_width(*lane_width),
             *json,
         ),
         Command::Simulate {
@@ -214,13 +222,21 @@ fn validate_scope(session: &Session, list: &FaultList) -> Result<(), CliError> {
         .map_err(|error| CliError::Simulation(error.to_string()))
 }
 
-fn coverage_config(exhaustive: bool, backend: BackendKind, threads: usize) -> CoverageConfig {
+fn coverage_config(
+    exhaustive: bool,
+    backend: BackendKind,
+    threads: usize,
+    lane_width: LaneWidth,
+) -> CoverageConfig {
     let config = if exhaustive {
         CoverageConfig::exhaustive()
     } else {
         CoverageConfig::thorough()
     };
-    config.with_backend(backend).with_threads(threads)
+    config
+        .with_backend(backend)
+        .with_threads(threads)
+        .with_lane_width(lane_width)
 }
 
 #[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
@@ -257,7 +273,8 @@ fn generate(
     let report = if exhaustive {
         // Exhaustive verification changes the simulation scope, not the
         // policy — but it must still honour an explicit --cells.
-        let mut verification = coverage_config(true, policy.backend, policy.threads);
+        let mut verification =
+            coverage_config(true, policy.backend, policy.threads, policy.lane_width);
         if let Some(cells) = cells {
             verification.memory_cells = cells;
         }
@@ -362,6 +379,7 @@ fn minimise(
     Ok(output)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn coverage(
     test: &str,
     list: FaultList,
@@ -369,10 +387,11 @@ fn coverage(
     exhaustive: bool,
     backend: BackendKind,
     threads: usize,
+    lane_width: LaneWidth,
     json: bool,
 ) -> Result<String, CliError> {
     let test = lookup(test)?;
-    let mut config = coverage_config(exhaustive, backend, threads);
+    let mut config = coverage_config(exhaustive, backend, threads, lane_width);
     if let Some(cells) = cells {
         config.memory_cells = cells;
     }
@@ -540,6 +559,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -557,6 +577,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Scalar,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -568,6 +589,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 0,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -592,6 +614,7 @@ mod tests {
             backend: BackendKind::Packed,
             threads: 0,
             batch: 0,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -610,6 +633,7 @@ mod tests {
             cells: None,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -623,6 +647,7 @@ mod tests {
             cells: None,
             backend: BackendKind::Packed,
             threads: 0,
+            lane_width: LaneWidth::Auto,
             json: true,
         })
         .unwrap();
@@ -636,6 +661,7 @@ mod tests {
             cells: None,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .is_err());
@@ -681,6 +707,7 @@ mod tests {
             list: CoverageTarget::Unlinked,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -696,6 +723,7 @@ mod tests {
             list: CoverageTarget::Unlinked,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .is_err());
@@ -711,6 +739,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: true,
         })
         .unwrap();
@@ -728,6 +757,7 @@ mod tests {
             backend: BackendKind::Packed,
             threads: 1,
             batch: 0,
+            lane_width: LaneWidth::Auto,
             json: true,
         })
         .unwrap();
@@ -744,6 +774,7 @@ mod tests {
             list: CoverageTarget::Unlinked,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: true,
         })
         .unwrap();
@@ -761,6 +792,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -776,6 +808,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap();
@@ -793,6 +826,7 @@ mod tests {
             exhaustive: false,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap_err();
@@ -811,6 +845,7 @@ mod tests {
             backend: BackendKind::Packed,
             threads: 1,
             batch: 0,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap_err();
@@ -824,6 +859,7 @@ mod tests {
             cells: Some(2),
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap_err();
@@ -839,6 +875,7 @@ mod tests {
             list: CoverageTarget::List2,
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
             json: false,
         })
         .unwrap_err();

@@ -162,6 +162,7 @@ impl GeneratorConfig {
             backgrounds: vec![InitialState::AllZero, InitialState::AllOne],
             backend: self.exec.backend,
             threads: self.exec.threads,
+            lane_width: self.exec.lane_width,
         }
     }
 
@@ -398,11 +399,12 @@ impl MarchGenerator {
             .expect("generator scope hosts the fault-list placements")
             .iter()
             .map(|(target, lanes)| {
-                TargetBatch::new(
+                TargetBatch::new_with_width(
                     target.clone(),
                     lanes.clone(),
                     self.config.memory_cells,
                     policy.backend,
+                    policy.lane_width,
                 )
                 .with_wave_cost_factor(policy.wave_cost_factor)
             })

@@ -15,8 +15,8 @@ use std::sync::{Arc, Mutex};
 use march_test::{MarchElement, MarchTest, MarchTestBuilder};
 use sram_fault_model::FaultList;
 use sram_sim::{
-    BackendKind, BatchSnapshot, CoverageLane, PlacementStrategy, Session, SimulationBackend,
-    TargetBatch, TargetKind,
+    BackendKind, BatchSnapshot, CoverageLane, LaneWidth, PlacementStrategy, Session,
+    SimulationBackend, TargetBatch, TargetKind,
 };
 
 use crate::targets::enumerate_target_lanes;
@@ -93,7 +93,7 @@ pub fn minimise_with(
         return (test.clone(), 0);
     }
 
-    let backend = session.policy().backend;
+    let policy = session.policy();
     let states: Arc<Vec<Mutex<TargetState>>> = Arc::new(
         targets
             .iter()
@@ -102,7 +102,8 @@ pub fn minimise_with(
                     target.clone(),
                     lanes.clone(),
                     config.memory_cells,
-                    backend,
+                    policy.backend,
+                    policy.lane_width,
                 ))
             })
             .collect(),
@@ -300,8 +301,9 @@ impl TargetState {
         lanes: Vec<CoverageLane>,
         memory_cells: usize,
         backend: BackendKind,
+        lane_width: LaneWidth,
     ) -> TargetState {
-        let batch = TargetBatch::new(target, lanes, memory_cells, backend);
+        let batch = TargetBatch::new_with_width(target, lanes, memory_cells, backend, lane_width);
         let checkpoints = vec![batch.snapshot()];
         let pending_at = vec![batch.pending()];
         let trial = batch.clone();

@@ -4,21 +4,25 @@
 //! A *coverage lane* is one `(cell placement, initial background)` pair a march
 //! test must detect a fault target under. The scalar backend simulates lanes
 //! one at a time with [`FaultSimulator`]; the packed backend pins each lane to
-//! one bit of a `u64` and evaluates up to 64 lanes per memory operation with
-//! branch-free bitwise sensitization/effect arithmetic — the hot-path
+//! one bit of a lane word ([`LaneWord`]: `u64`, or a `[u64; N]` block for 128
+//! and 256 lanes) and evaluates a whole word of lanes per memory operation
+//! with branch-free bitwise sensitization/effect arithmetic — the hot-path
 //! optimisation that makes the generator's simulation-backed greedy search and
-//! the coverage matrix fast.
+//! the coverage matrix fast. The lane width is a policy knob
+//! ([`LaneWidth`](crate::LaneWidth)): verdicts are byte-identical across
+//! widths, wider words just carry more lanes per pass.
 
 use std::fmt;
 use std::str::FromStr;
 
 use march_test::{MarchElement, MarchTest};
 use sram_fault_model::{
-    Bit, CellValue, DecoderFault, FaultPrimitive, LinkTopology, Operation, SensitizingSite,
+    Bit, DecoderFault, FaultPrimitive, LinkTopology, Operation, SensitizingSite,
 };
 
 use crate::batch::CandidateBatch;
 use crate::coverage::TargetKind;
+use crate::lane::{broadcast, condition_mask, LaneWidth, LaneWord, W128, W256};
 use crate::{
     enumerate_decoder_placements, enumerate_placements, run_march, DecoderFaultInstance,
     FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkedFaultInstance,
@@ -85,18 +89,27 @@ pub fn enumerate_lanes(
 pub enum BackendKind {
     /// The dual-memory scalar engine: one fault instance at a time.
     Scalar,
-    /// The bit-parallel packed engine: up to 64 fault instances per `u64`.
+    /// The bit-parallel packed engine: one word of fault instances (64–256
+    /// lanes, see [`LaneWidth`](crate::LaneWidth)) per pass.
     #[default]
     Packed,
 }
 
 impl BackendKind {
-    /// Instantiates the backend.
+    /// Instantiates the backend with its default lane width
+    /// ([`LaneWidth::Auto`]).
     #[must_use]
     pub fn instance(self) -> Box<dyn SimulationBackend> {
+        self.instance_with(LaneWidth::default())
+    }
+
+    /// Instantiates the backend with an explicit packed lane width (ignored
+    /// by the scalar backend, which has no lanes to pack).
+    #[must_use]
+    pub fn instance_with(self, width: LaneWidth) -> Box<dyn SimulationBackend> {
         match self {
             BackendKind::Scalar => Box::new(ScalarBackend),
-            BackendKind::Packed => Box::new(PackedBackend),
+            BackendKind::Packed => Box::new(PackedBackend::with_width(width)),
         }
     }
 
@@ -241,9 +254,91 @@ impl SimulationBackend for ScalarBackend {
 }
 
 /// The bit-parallel engine exposed through the backend trait: lanes are packed
-/// 64 per [`PackedSimulator`] word.
+/// one word per [`PackedSimulator`], with the word width set by the
+/// configured [`LaneWidth`] (`Auto` picks the narrowest width holding the
+/// lane count, so small targets keep the cheap `u64` word and large decoder
+/// spaces pack 256 lanes per pass).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct PackedBackend;
+pub struct PackedBackend {
+    width: LaneWidth,
+}
+
+impl PackedBackend {
+    /// A packed backend pinned to (or auto-selecting) the given lane width.
+    #[must_use]
+    pub fn with_width(width: LaneWidth) -> PackedBackend {
+        PackedBackend { width }
+    }
+
+    /// The configured lane width.
+    #[must_use]
+    pub fn width(&self) -> LaneWidth {
+        self.width
+    }
+}
+
+/// The width-generic body of [`PackedBackend::lane_verdicts`]. One scratch
+/// simulator is re-packed per chunk so the plane allocations are paid once
+/// per lane set, not once per chunk.
+fn packed_verdicts<W: LaneWord>(
+    test: &MarchTest,
+    target: &TargetKind,
+    lanes: &[CoverageLane],
+    memory_cells: usize,
+) -> Vec<bool> {
+    let mut verdicts = Vec::with_capacity(lanes.len());
+    let mut scratch: Option<PackedSimulator<W>> = None;
+    for chunk in lanes.chunks(W::BITS) {
+        let simulator = repacked(&mut scratch, target, chunk, memory_cells);
+        let detected = simulator.run_test(test);
+        for lane in 0..chunk.len() {
+            verdicts.push(detected.test_bit(lane));
+        }
+    }
+    verdicts
+}
+
+/// The width-generic body of [`PackedBackend::first_undetected`]. Chunks
+/// re-pack one scratch simulator, exactly like [`packed_verdicts`].
+fn packed_first_undetected<W: LaneWord>(
+    test: &MarchTest,
+    target: &TargetKind,
+    lanes: &[CoverageLane],
+    memory_cells: usize,
+) -> Option<usize> {
+    let mut scratch: Option<PackedSimulator<W>> = None;
+    for (chunk_index, chunk) in lanes.chunks(W::BITS).enumerate() {
+        let simulator = repacked(&mut scratch, target, chunk, memory_cells);
+        let detected = simulator.run_test(test);
+        if detected != simulator.lane_mask() {
+            let undetected = !detected & simulator.lane_mask();
+            return Some(chunk_index * W::BITS + undetected.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Builds the scratch simulator on the first chunk and re-packs it (re-using
+/// its plane buffers) on every later one.
+fn repacked<'scratch, W: LaneWord>(
+    scratch: &'scratch mut Option<PackedSimulator<W>>,
+    target: &TargetKind,
+    chunk: &[CoverageLane],
+    memory_cells: usize,
+) -> &'scratch mut PackedSimulator<W> {
+    match scratch {
+        None => scratch.insert(
+            PackedSimulator::new(target, chunk, memory_cells)
+                .expect("enumerated placements are valid"),
+        ),
+        Some(simulator) => {
+            simulator
+                .repack(target, chunk)
+                .expect("enumerated placements are valid");
+            simulator
+        }
+    }
+}
 
 impl SimulationBackend for PackedBackend {
     fn name(&self) -> &'static str {
@@ -257,16 +352,11 @@ impl SimulationBackend for PackedBackend {
         lanes: &[CoverageLane],
         memory_cells: usize,
     ) -> Vec<bool> {
-        let mut verdicts = Vec::with_capacity(lanes.len());
-        for chunk in lanes.chunks(PackedSimulator::MAX_LANES) {
-            let mut simulator = PackedSimulator::new(target, chunk, memory_cells)
-                .expect("enumerated placements are valid");
-            let detected = simulator.run_test(test);
-            for lane in 0..chunk.len() {
-                verdicts.push(detected & (1 << lane) != 0);
-            }
+        match self.width.resolve(lanes.len()) {
+            LaneWidth::W128 => packed_verdicts::<W128>(test, target, lanes, memory_cells),
+            LaneWidth::W256 => packed_verdicts::<W256>(test, target, lanes, memory_cells),
+            _ => packed_verdicts::<u64>(test, target, lanes, memory_cells),
         }
-        verdicts
     }
 
     fn first_undetected(
@@ -276,35 +366,30 @@ impl SimulationBackend for PackedBackend {
         lanes: &[CoverageLane],
         memory_cells: usize,
     ) -> Option<usize> {
-        for (chunk_index, chunk) in lanes.chunks(PackedSimulator::MAX_LANES).enumerate() {
-            let mut simulator = PackedSimulator::new(target, chunk, memory_cells)
-                .expect("enumerated placements are valid");
-            let detected = simulator.run_test(test);
-            if detected != simulator.lane_mask() {
-                let lane = (!detected & simulator.lane_mask()).trailing_zeros() as usize;
-                return Some(chunk_index * PackedSimulator::MAX_LANES + lane);
-            }
+        match self.width.resolve(lanes.len()) {
+            LaneWidth::W128 => packed_first_undetected::<W128>(test, target, lanes, memory_cells),
+            LaneWidth::W256 => packed_first_undetected::<W256>(test, target, lanes, memory_cells),
+            _ => packed_first_undetected::<u64>(test, target, lanes, memory_cells),
         }
-        None
     }
 }
 
 /// One fault-primitive component of the packed target, with its per-lane cell
 /// bindings encoded as bit-plane masks.
 #[derive(Debug)]
-struct PackedComponent {
+struct PackedComponent<W: LaneWord> {
     /// The primitive — identical across lanes (lanes vary only placement and
     /// background).
     primitive: FaultPrimitive,
     /// `victim_at[cell]`: lanes whose victim is bound to `cell`.
-    victim_at: Vec<u64>,
+    victim_at: Vec<W>,
     /// `aggressor_at[cell]`: lanes whose aggressor is bound to `cell` (all-zero
     /// planes for single-cell primitives).
-    aggressor_at: Vec<u64>,
+    aggressor_at: Vec<W>,
 }
 
-impl Clone for PackedComponent {
-    fn clone(&self) -> PackedComponent {
+impl<W: LaneWord> Clone for PackedComponent<W> {
+    fn clone(&self) -> PackedComponent<W> {
         PackedComponent {
             primitive: self.primitive.clone(),
             victim_at: self.victim_at.clone(),
@@ -312,27 +397,33 @@ impl Clone for PackedComponent {
         }
     }
 
-    fn clone_from(&mut self, source: &PackedComponent) {
+    fn clone_from(&mut self, source: &PackedComponent<W>) {
         self.primitive.clone_from(&source.primitive);
         self.victim_at.clone_from(&source.victim_at);
         self.aggressor_at.clone_from(&source.aggressor_at);
     }
 }
 
-impl PackedComponent {
-    fn new(primitive: FaultPrimitive, cells: usize) -> PackedComponent {
+impl<W: LaneWord> PackedComponent<W> {
+    fn new(primitive: FaultPrimitive, cells: usize) -> PackedComponent<W> {
         PackedComponent {
             primitive,
-            victim_at: vec![0; cells],
-            aggressor_at: vec![0; cells],
+            victim_at: vec![W::ZERO; cells],
+            aggressor_at: vec![W::ZERO; cells],
         }
     }
 
     fn bind(&mut self, lane: usize, victim: usize, aggressor: Option<usize>) {
-        self.victim_at[victim] |= 1 << lane;
+        *self.victim_at[victim].limb_mut(lane >> 6) |= 1 << (lane & 63);
         if let Some(aggressor) = aggressor {
-            self.aggressor_at[aggressor] |= 1 << lane;
+            *self.aggressor_at[aggressor].limb_mut(lane >> 6) |= 1 << (lane & 63);
         }
+    }
+
+    /// Clears every lane binding so the planes can be re-bound to a new chunk.
+    fn reset(&mut self) {
+        self.victim_at.fill(W::ZERO);
+        self.aggressor_at.fill(W::ZERO);
     }
 }
 
@@ -346,47 +437,69 @@ impl PackedComponent {
 /// `O(cells)` plane scan, which is what keeps the decode perturbation cheap
 /// on 1k+-cell memories.
 #[derive(Debug)]
-struct PackedDecoder {
+struct PackedDecoder<W: LaneWord> {
     fault: DecoderFault,
     /// `source_at[cell]`: lanes whose perturbed address is `cell`.
-    source_at: Vec<u64>,
+    source_at: Vec<W>,
     /// `dest_of_lane[lane]`: the destination cell of the lane's instance
     /// (`usize::MAX` for the destination-less *no cell accessed* class, which
     /// never reads the table).
     dest_of_lane: Vec<usize>,
+    /// The cells with at least one bit set in `source_at`, so `reset` clears
+    /// a handful of plane words instead of sweeping the whole plane. Lanes
+    /// cluster by perturbed address (the enumeration orders placements by
+    /// primary), so this stays far smaller than the cell count per chunk.
+    bound_sources: Vec<usize>,
 }
 
-impl Clone for PackedDecoder {
-    fn clone(&self) -> PackedDecoder {
+impl<W: LaneWord> Clone for PackedDecoder<W> {
+    fn clone(&self) -> PackedDecoder<W> {
         PackedDecoder {
             fault: self.fault,
             source_at: self.source_at.clone(),
             dest_of_lane: self.dest_of_lane.clone(),
+            bound_sources: self.bound_sources.clone(),
         }
     }
 
-    fn clone_from(&mut self, source: &PackedDecoder) {
+    fn clone_from(&mut self, source: &PackedDecoder<W>) {
         self.fault = source.fault;
         self.source_at.clone_from(&source.source_at);
         self.dest_of_lane.clone_from(&source.dest_of_lane);
+        self.bound_sources.clone_from(&source.bound_sources);
     }
 }
 
-impl PackedDecoder {
-    fn new(fault: DecoderFault, cells: usize) -> PackedDecoder {
+impl<W: LaneWord> PackedDecoder<W> {
+    fn new(fault: DecoderFault, cells: usize) -> PackedDecoder<W> {
         PackedDecoder {
             fault,
-            source_at: vec![0; cells],
+            source_at: vec![W::ZERO; cells],
             dest_of_lane: Vec::new(),
+            bound_sources: Vec::new(),
         }
     }
 
     fn bind(&mut self, lane: usize, instance: &DecoderFaultInstance) {
-        self.source_at[instance.source()] |= 1 << lane;
+        let source = instance.source();
+        if self.source_at[source].is_zero() {
+            self.bound_sources.push(source);
+        }
+        *self.source_at[source].limb_mut(lane >> 6) |= 1 << (lane & 63);
         if self.dest_of_lane.len() <= lane {
             self.dest_of_lane.resize(lane + 1, usize::MAX);
         }
         self.dest_of_lane[lane] = instance.destination().unwrap_or(usize::MAX);
+    }
+
+    /// Clears every lane binding so the planes can be re-bound to a new
+    /// chunk. Only the plane words actually bound since the last reset are
+    /// touched, so re-packing does not re-sweep the whole plane.
+    fn reset(&mut self) {
+        for source in self.bound_sources.drain(..) {
+            self.source_at[source] = W::ZERO;
+        }
+        self.dest_of_lane.clear();
     }
 
     /// The destination cell of `lane`, if its instance has one.
@@ -398,33 +511,62 @@ impl PackedDecoder {
     }
 
     /// Per-lane value of each redirected lane's destination cell, gathered in
-    /// lane position: `O(popcount(lanes))`.
-    fn gather_destinations(&self, planes: &[u64], mut lanes: u64) -> u64 {
-        let mut values = 0u64;
-        while lanes != 0 {
-            let lane = lanes.trailing_zeros() as usize;
-            lanes &= lanes - 1;
-            values |= planes[self.dest_of_lane[lane]] & (1 << lane);
+    /// lane position. Walks the word limb by limb so the per-lane cost stays
+    /// `O(1)` at every width — `O(popcount(lanes))` total, not
+    /// `O(popcount · LIMBS)`.
+    fn gather_destinations(&self, planes: &[W], lanes: W) -> W {
+        let mut values = W::ZERO;
+        for index in 0..W::LIMBS {
+            let mut pending = lanes.limb(index);
+            if pending == 0 {
+                continue;
+            }
+            let base = index * 64;
+            let mut gathered = 0u64;
+            while pending != 0 {
+                let lane = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                gathered |= planes[self.dest_of_lane[base + lane]].limb(index) & (1u64 << lane);
+            }
+            *values.limb_mut(index) = gathered;
         }
         values
     }
 
     /// Forces the broadcast `bits` into each redirected lane's destination
-    /// cell, lane by lane: `O(popcount(lanes))`.
-    fn scatter_destinations(&self, planes: &mut [u64], mut lanes: u64, bits: u64) {
-        while lanes != 0 {
-            let lane = lanes.trailing_zeros() as usize;
-            lanes &= lanes - 1;
-            let bit = 1u64 << lane;
-            let plane = &mut planes[self.dest_of_lane[lane]];
-            *plane = (*plane & !bit) | (bits & bit);
+    /// cell, limb by limb: `O(popcount(lanes))` total at every width. `bits`
+    /// is a written value broadcast over every lane, so each limb is all-ones
+    /// or all-zeros — the per-lane write is a plain set or clear, picked once
+    /// per limb.
+    fn scatter_destinations(&self, planes: &mut [W], lanes: W, bits: W) {
+        for index in 0..W::LIMBS {
+            let mut pending = lanes.limb(index);
+            if pending == 0 {
+                continue;
+            }
+            let base = index * 64;
+            let ones = bits.limb(index) != 0;
+            while pending != 0 {
+                let lane = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let bit = 1u64 << lane;
+                let limb = planes[self.dest_of_lane[base + lane]].limb_mut(index);
+                if ones {
+                    *limb |= bit;
+                } else {
+                    *limb &= !bit;
+                }
+            }
         }
     }
 }
 
-/// A bit-parallel fault simulator: up to 64 independent fault instances of the
-/// *same* target (one lane per `(placement, background)` pair) simulated
-/// simultaneously, one bit per lane.
+/// A bit-parallel fault simulator: one word of independent fault instances of
+/// the *same* target (one lane per `(placement, background)` pair) simulated
+/// simultaneously, one bit per lane. The word type `W` sets the lane capacity:
+/// `u64` (the default) carries 64 lanes, the [`W128`]/[`W256`] blocks carry
+/// 128/256 — wider words quarter the chunk count on large lane sets while
+/// producing bit-identical verdicts.
 ///
 /// The memory is stored as bit-planes: `faulty[cell]` holds the faulty value of
 /// `cell` in every lane, `golden[cell]` the fault-free reference. Each march
@@ -444,7 +586,7 @@ impl PackedDecoder {
 /// use march_test::catalog;
 /// use sram_fault_model::FaultList;
 /// use sram_sim::{
-///     enumerate_lanes, PackedSimulator, PlacementStrategy, InitialState, TargetKind,
+///     enumerate_lanes, PackedSimulator, PlacementStrategy, InitialState, TargetKind, W256,
 /// };
 ///
 /// let fault = FaultList::list_2().linked()[0].clone();
@@ -455,30 +597,35 @@ impl PackedDecoder {
 ///     PlacementStrategy::Exhaustive,
 ///     &[InitialState::AllZero, InitialState::AllOne],
 /// )?;
-/// let mut simulator = PackedSimulator::new(&target, &lanes, 8)?;
+/// // The default word packs 64 lanes ...
+/// let mut simulator: PackedSimulator = PackedSimulator::new(&target, &lanes, 8)?;
 /// let detected = simulator.run_test(&catalog::march_sl());
 /// assert_eq!(detected, simulator.lane_mask(), "March SL covers every lane");
+/// // ... and a `[u64; 4]` block packs 256 with identical verdicts.
+/// let mut wide = PackedSimulator::<W256>::new(&target, &lanes, 8)?;
+/// let wide_detected = wide.run_test(&catalog::march_sl());
+/// assert_eq!(wide_detected, wide.lane_mask());
 /// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
 #[derive(Debug)]
-pub struct PackedSimulator {
+pub struct PackedSimulator<W: LaneWord = u64> {
     cells: usize,
     lanes: usize,
-    lane_mask: u64,
-    faulty: Vec<u64>,
-    golden: Vec<u64>,
-    components: Vec<PackedComponent>,
-    decoder: Option<PackedDecoder>,
+    lane_mask: W,
+    faulty: Vec<W>,
+    golden: Vec<W>,
+    components: Vec<PackedComponent<W>>,
+    decoder: Option<PackedDecoder<W>>,
     /// Whether any component is state-sensitized (SF, CFst): when `false`,
     /// the per-operation settle pass — an `O(cells)` gather — is skipped
     /// entirely, which matters on large memories and on decoder targets
     /// (whose component list is empty).
     has_state_faults: bool,
-    detected: u64,
+    detected: W,
 }
 
-impl Clone for PackedSimulator {
-    fn clone(&self) -> PackedSimulator {
+impl<W: LaneWord> Clone for PackedSimulator<W> {
+    fn clone(&self) -> PackedSimulator<W> {
         PackedSimulator {
             cells: self.cells,
             lanes: self.lanes,
@@ -495,7 +642,7 @@ impl Clone for PackedSimulator {
     /// Field-wise `clone_from` so the bit-plane buffers are re-used when a
     /// snapshot is restored into an existing simulator of the same memory size
     /// — the hot restore of the suffix-only redundancy-removal trials.
-    fn clone_from(&mut self, source: &PackedSimulator) {
+    fn clone_from(&mut self, source: &PackedSimulator<W>) {
         self.cells = source.cells;
         self.lanes = source.lanes;
         self.lane_mask = source.lane_mask;
@@ -511,9 +658,9 @@ impl Clone for PackedSimulator {
     }
 }
 
-impl PackedSimulator {
-    /// The maximum number of lanes one packed simulator holds.
-    pub const MAX_LANES: usize = 64;
+impl<W: LaneWord> PackedSimulator<W> {
+    /// The maximum number of lanes this simulator's word holds.
+    pub const MAX_LANES: usize = W::BITS;
 
     /// Packs every lane of `target` into one simulator.
     ///
@@ -529,18 +676,12 @@ impl PackedSimulator {
         target: &TargetKind,
         lanes: &[CoverageLane],
         memory_cells: usize,
-    ) -> Result<PackedSimulator, SimulationError> {
-        if lanes.is_empty() || lanes.len() > PackedSimulator::MAX_LANES {
-            return Err(SimulationError::LaneCountOutOfRange {
-                requested: lanes.len(),
-            });
-        }
-
+    ) -> Result<PackedSimulator<W>, SimulationError> {
         // One component per fault primitive, bound lane by lane through the
         // scalar constructors so that validation and aggressor resolution are
         // byte-for-byte the scalar engine's. Decoder targets have no array
         // component; their lane bindings live in the packed decoder planes.
-        let mut components: Vec<PackedComponent> = match target {
+        let components: Vec<PackedComponent<W>> = match target {
             TargetKind::Simple(primitive) => {
                 vec![PackedComponent::new(primitive.clone(), memory_cells)]
             }
@@ -550,12 +691,73 @@ impl PackedSimulator {
             ],
             TargetKind::Decoder(_) => Vec::new(),
         };
-        let mut decoder = match target {
+        let decoder = match target {
             TargetKind::Decoder(fault) => Some(PackedDecoder::new(*fault, memory_cells)),
             _ => None,
         };
+        let has_state_faults = components
+            .iter()
+            .any(|component| component.primitive.sensitizing_site() == SensitizingSite::None);
+        let mut simulator = PackedSimulator {
+            cells: memory_cells,
+            lanes: 0,
+            lane_mask: W::ZERO,
+            faulty: vec![W::ZERO; memory_cells],
+            golden: vec![W::ZERO; memory_cells],
+            components,
+            decoder,
+            has_state_faults,
+            detected: W::ZERO,
+        };
+        simulator.pack(target, lanes)?;
+        Ok(simulator)
+    }
 
-        let mut faulty = vec![0u64; memory_cells];
+    /// Re-packs this simulator onto a new chunk of lanes of the *same*
+    /// `target` it was constructed for, re-using every plane allocation — the
+    /// chunk-loop companion of `new` that keeps per-chunk construction free of
+    /// allocator traffic when a backend walks a large lane set
+    /// (`first_undetected` / `lane_verdicts` re-pack one scratch simulator
+    /// per chunk instead of building hundreds of fresh ones).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`PackedSimulator::new`]. On error the simulator
+    /// is left partially re-bound and must not be run until a later `repack`
+    /// succeeds.
+    pub fn repack(
+        &mut self,
+        target: &TargetKind,
+        lanes: &[CoverageLane],
+    ) -> Result<(), SimulationError> {
+        for component in &mut self.components {
+            component.reset();
+        }
+        if let Some(decoder) = &mut self.decoder {
+            decoder.reset();
+        }
+        self.pack(target, lanes)
+    }
+
+    /// The shared body of `new` and `repack`: binds every lane of `lanes`
+    /// into the (cleared) planes and initialises the memory state. `target`
+    /// must be the target the component/decoder planes were allocated for.
+    fn pack(&mut self, target: &TargetKind, lanes: &[CoverageLane]) -> Result<(), SimulationError> {
+        if lanes.is_empty() || lanes.len() > Self::MAX_LANES {
+            return Err(SimulationError::LaneCountOutOfRange {
+                requested: lanes.len(),
+            });
+        }
+        let memory_cells = self.cells;
+
+        // Lanes sharing a background share one mask. The two uniform
+        // backgrounds — by far the common case — collapse into a single word
+        // each (`ones`: lanes whose every cell starts at one), so the memory
+        // fill below is one `fill` over the planes instead of a per-cell
+        // branch per background; only patterned backgrounds (checkerboard,
+        // custom images) pay the `O(cells)` materialise-and-scan.
+        let mut ones = W::ZERO;
+        let mut patterned: Vec<(&InitialState, W)> = Vec::new();
         for (lane, coverage_lane) in lanes.iter().enumerate() {
             match target {
                 TargetKind::Simple(primitive) => {
@@ -577,56 +779,68 @@ impl PackedSimulator {
                             memory_cells,
                         )?
                     };
-                    components[0].bind(lane, injected.victim(), injected.aggressor());
+                    self.components[0].bind(lane, injected.victim(), injected.aggressor());
                 }
                 TargetKind::Linked(fault) => {
                     let instance =
                         LinkedFaultInstance::new(fault.clone(), coverage_lane.cells, memory_cells)?;
-                    for (component, injected) in components.iter_mut().zip(instance.components()) {
+                    for (component, injected) in
+                        self.components.iter_mut().zip(instance.components())
+                    {
                         component.bind(lane, injected.victim(), injected.aggressor());
                     }
                 }
                 TargetKind::Decoder(fault) => {
                     let instance =
                         DecoderFaultInstance::new(*fault, coverage_lane.cells, memory_cells)?;
-                    decoder
+                    self.decoder
                         .as_mut()
                         .expect("decoder targets allocate decoder planes")
                         .bind(lane, &instance);
                 }
             }
 
-            let content = coverage_lane.background.materialise(memory_cells)?;
-            for (cell, bit) in content.iter().enumerate() {
-                if *bit == Bit::One {
-                    faulty[cell] |= 1 << lane;
+            match &coverage_lane.background {
+                InitialState::AllZero => {}
+                InitialState::AllOne => *ones.limb_mut(lane >> 6) |= 1 << (lane & 63),
+                background => {
+                    let bit = W::bit(lane);
+                    match patterned
+                        .iter_mut()
+                        .find(|(candidate, _)| *candidate == background)
+                    {
+                        Some((_, mask)) => *mask |= bit,
+                        None => patterned.push((background, bit)),
+                    }
                 }
             }
         }
 
-        let lane_mask = if lanes.len() == 64 {
-            u64::MAX
+        self.faulty.fill(ones);
+        if patterned.is_empty() {
+            self.golden.fill(ones);
         } else {
-            (1u64 << lanes.len()) - 1
-        };
-        let has_state_faults = components
-            .iter()
-            .any(|component| component.primitive.sensitizing_site() == SensitizingSite::None);
-        let mut simulator = PackedSimulator {
-            cells: memory_cells,
-            lanes: lanes.len(),
-            lane_mask,
-            golden: faulty.clone(),
-            faulty,
-            components,
-            decoder,
-            has_state_faults,
-            detected: 0,
-        };
+            for (background, mask) in patterned {
+                let content = background.materialise(memory_cells)?;
+                for (cell, bit) in content.iter().enumerate() {
+                    if *bit == Bit::One {
+                        self.faulty[cell] |= mask;
+                    }
+                }
+            }
+            self.golden.clone_from(&self.faulty);
+        }
+
+        // One shared width-generic boundary: `full_mask` handles the
+        // n == width case that used to be special-cased here and in
+        // `merge_lanes`.
+        self.lanes = lanes.len();
+        self.lane_mask = W::full_mask(lanes.len());
+        self.detected = W::ZERO;
         // State-sensitized primitives settle once right after initialisation,
         // exactly like the scalar engine's post-inject pass.
-        simulator.settle_state_faults();
-        Ok(simulator)
+        self.settle_state_faults();
+        Ok(())
     }
 
     /// The number of packed lanes.
@@ -643,13 +857,13 @@ impl PackedSimulator {
 
     /// The mask with one bit set per packed lane.
     #[must_use]
-    pub fn lane_mask(&self) -> u64 {
+    pub fn lane_mask(&self) -> W {
         self.lane_mask
     }
 
     /// Lanes on which at least one read has mismatched so far.
     #[must_use]
-    pub fn detected_mask(&self) -> u64 {
+    pub fn detected_mask(&self) -> W {
         self.detected
     }
 
@@ -659,78 +873,58 @@ impl PackedSimulator {
         self.detected == self.lane_mask
     }
 
-    /// `mask` of lanes in which `condition` accepts the gathered `values`.
-    #[inline]
-    fn condition_mask(condition: CellValue, values: u64) -> u64 {
-        match condition {
-            CellValue::Zero => !values,
-            CellValue::One => values,
-            CellValue::DontCare => u64::MAX,
-        }
-    }
-
     /// Per-lane value of the component's bound cell: OR of the memory planes
     /// masked by the binding planes (each lane has exactly one bound cell).
     #[inline]
-    fn gather(planes: &[u64], bound_at: &[u64]) -> u64 {
-        let mut values = 0u64;
+    fn gather(planes: &[W], bound_at: &[W]) -> W {
+        let mut values = W::ZERO;
         for (plane, bound) in planes.iter().zip(bound_at) {
-            values |= plane & bound;
+            values |= *plane & *bound;
         }
         values
-    }
-
-    /// All-ones / all-zeros broadcast of a concrete bit.
-    #[inline]
-    fn broadcast(bit: Bit) -> u64 {
-        match bit {
-            Bit::Zero => 0,
-            Bit::One => u64::MAX,
-        }
     }
 
     /// Lanes in which `component` is sensitized by applying `operation` to
     /// `address`, evaluated on the pre-operation faulty state.
     fn sensitized_mask(
         &self,
-        component: &PackedComponent,
+        component: &PackedComponent<W>,
         address: usize,
         operation: Operation,
-    ) -> u64 {
+    ) -> W {
         let primitive = &component.primitive;
         let site_mask = match primitive.sensitizing_site() {
-            SensitizingSite::None => return 0,
+            SensitizingSite::None => return W::ZERO,
             SensitizingSite::Victim => component.victim_at[address],
             SensitizingSite::Aggressor => component.aggressor_at[address],
         };
-        if site_mask == 0 {
-            return 0;
+        if site_mask.is_zero() {
+            return W::ZERO;
         }
         let required = primitive
             .sensitizing_operation()
             .expect("operation-sensitized primitive has an operation");
         if !required.matches(operation) {
-            return 0;
+            return W::ZERO;
         }
         let victim_values = Self::gather(&self.faulty, &component.victim_at);
-        let mut mask =
-            site_mask & Self::condition_mask(primitive.victim().initial(), victim_values);
+        let mut mask = site_mask & condition_mask(primitive.victim().initial(), victim_values);
         if let Some(aggressor) = primitive.aggressor() {
             let aggressor_values = Self::gather(&self.faulty, &component.aggressor_at);
-            mask &= Self::condition_mask(aggressor.initial(), aggressor_values);
+            mask &= condition_mask(aggressor.initial(), aggressor_values);
         }
         mask
     }
 
     /// Masked scatter: forces `bit` into the component's victim cells on the
     /// lanes of `mask`.
-    fn scatter_victim(faulty: &mut [u64], component: &PackedComponent, bit: Bit, mask: u64) {
-        if mask == 0 {
+    fn scatter_victim(faulty: &mut [W], component: &PackedComponent<W>, bit: Bit, mask: W) {
+        if mask.is_zero() {
             return;
         }
-        let bits = Self::broadcast(bit);
+        let bits = broadcast::<W>(bit);
         for (plane, victim) in faulty.iter_mut().zip(&component.victim_at) {
-            let write = mask & victim;
+            let write = mask & *victim;
             *plane = (*plane & !write) | (bits & write);
         }
     }
@@ -750,10 +944,10 @@ impl PackedSimulator {
             }
             let victim_values = Self::gather(&self.faulty, &component.victim_at);
             let mut mask =
-                self.lane_mask & Self::condition_mask(primitive.victim().initial(), victim_values);
+                self.lane_mask & condition_mask(primitive.victim().initial(), victim_values);
             if let Some(aggressor) = primitive.aggressor() {
                 let aggressor_values = Self::gather(&self.faulty, &component.aggressor_at);
-                mask &= Self::condition_mask(aggressor.initial(), aggressor_values);
+                mask &= condition_mask(aggressor.initial(), aggressor_values);
             }
             if let Some(forced) = primitive.effect().victim_value().to_bit() {
                 let component = &self.components[index];
@@ -775,7 +969,7 @@ impl PackedSimulator {
         );
 
         // 1. Which operation-sensitized primitives fire, per lane?
-        let mut fired = [0u64; 2];
+        let mut fired = [W::ZERO; 2];
         for (index, component) in self.components.iter().enumerate() {
             fired[index] = self.sensitized_mask(component, address, operation);
         }
@@ -787,11 +981,17 @@ impl PackedSimulator {
             let golden_read = self.golden[address];
             let mut observed = self.faulty[address];
             if let Some(decoder) = &self.decoder {
-                let redirected = decoder.source_at[address];
-                if redirected != 0 {
+                // Detected lanes are dead: their verdict bit is already latched
+                // (`detected` only ever ORs), so their redirections no longer
+                // need resolving. Masking them out caps the per-lane
+                // gather/scatter tail at the *undetected* population — the
+                // dominant run-phase cost on exhaustive AF spaces, where most
+                // lanes detect within the first elements.
+                let redirected = decoder.source_at[address] & !self.detected;
+                if !redirected.is_zero() {
                     observed = match decoder.fault {
                         DecoderFault::NoCellAccessed { open_read } => {
-                            (observed & !redirected) | (Self::broadcast(open_read) & redirected)
+                            (observed & !redirected) | (broadcast::<W>(open_read) & redirected)
                         }
                         DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
                             let destination = decoder.gather_destinations(&self.faulty, redirected);
@@ -809,7 +1009,7 @@ impl PackedSimulator {
             for (index, component) in self.components.iter().enumerate() {
                 if let Some(read_output) = component.primitive.effect().read_output() {
                     let lanes = fired[index] & component.victim_at[address];
-                    let bits = Self::broadcast(read_output);
+                    let bits = broadcast::<W>(read_output);
                     observed = (observed & !lanes) | (bits & lanes);
                 }
             }
@@ -820,21 +1020,24 @@ impl PackedSimulator {
         // decode on the faulty side (the golden reference always decodes
         // correctly).
         if let Operation::Write(value) = operation {
-            let bits = Self::broadcast(value);
+            let bits = broadcast::<W>(value);
             self.golden[address] = bits;
             match &self.decoder {
                 None => self.faulty[address] = bits,
                 Some(decoder) => {
-                    let redirected = decoder.source_at[address];
+                    // Dead (detected) lanes are dropped from the perturbed
+                    // decode, as in the read path: their array state is never
+                    // observed again.
+                    let redirected = decoder.source_at[address] & !self.detected;
                     // Lanes whose write still reaches the addressed cell: all
                     // of them for the fan-out class, the unperturbed ones
                     // otherwise.
                     let own_mask = match decoder.fault {
-                        DecoderFault::MultipleCellsAccessed => u64::MAX,
+                        DecoderFault::MultipleCellsAccessed => W::ALL,
                         _ => !redirected,
                     };
                     self.faulty[address] = (self.faulty[address] & !own_mask) | (bits & own_mask);
-                    if redirected != 0
+                    if !redirected.is_zero()
                         && !matches!(decoder.fault, DecoderFault::NoCellAccessed { .. })
                     {
                         decoder.scatter_destinations(&mut self.faulty, redirected, bits);
@@ -870,7 +1073,7 @@ impl PackedSimulator {
 
     /// Executes a full march test and returns the per-lane detection mask.
     /// Early-exits once every lane has detected its instance.
-    pub fn run_test(&mut self, test: &MarchTest) -> u64 {
+    pub fn run_test(&mut self, test: &MarchTest) -> W {
         for (_, element) in test.iter() {
             self.apply_element(element);
             if self.all_detected() {
@@ -881,22 +1084,27 @@ impl PackedSimulator {
     }
 
     /// Re-packs one coverage lane of this simulator as a [`CandidateWave`]: the
-    /// lane's memory state broadcast across up to 64 *candidate* lanes, so a
-    /// whole [`CandidateBatch`] can be scored against it in one bit-parallel
-    /// pass.
+    /// lane's memory state broadcast across up to one candidate word of
+    /// *candidate* lanes, so a whole [`CandidateBatch`] can be scored against
+    /// it in one bit-parallel pass.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is not a packed lane of this simulator.
     #[must_use]
-    pub(crate) fn candidate_wave(&self, lane: usize) -> CandidateWave<'_> {
+    pub(crate) fn candidate_wave<C: LaneWord>(&self, lane: usize) -> CandidateWave<'_, C> {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        let bit = 1u64 << lane;
-        let broadcast = |plane: &u64| if plane & bit != 0 { u64::MAX } else { 0 };
+        let broadcast_lane = |plane: &W| {
+            if plane.test_bit(lane) {
+                C::ALL
+            } else {
+                C::ZERO
+            }
+        };
         CandidateWave {
             cells: self.cells,
-            faulty: self.faulty.iter().map(broadcast).collect(),
-            golden: self.golden.iter().map(broadcast).collect(),
+            faulty: self.faulty.iter().map(broadcast_lane).collect(),
+            golden: self.golden.iter().map(broadcast_lane).collect(),
             components: self
                 .components
                 .iter()
@@ -905,12 +1113,12 @@ impl PackedSimulator {
                     victim: component
                         .victim_at
                         .iter()
-                        .position(|plane| plane & bit != 0)
+                        .position(|plane| plane.test_bit(lane))
                         .expect("every packed lane binds a victim cell"),
                     aggressor: component
                         .aggressor_at
                         .iter()
-                        .position(|plane| plane & bit != 0),
+                        .position(|plane| plane.test_bit(lane)),
                 })
                 .collect(),
             decoder: self.decoder.as_ref().map(|decoder| WaveDecoder {
@@ -918,11 +1126,11 @@ impl PackedSimulator {
                 source: decoder
                     .source_at
                     .iter()
-                    .position(|plane| plane & bit != 0)
+                    .position(|plane| plane.test_bit(lane))
                     .expect("every packed decoder lane binds a source address"),
                 destination: decoder.destination(lane),
             }),
-            detected: 0,
+            detected: C::ZERO,
         }
     }
 
@@ -937,15 +1145,15 @@ impl PackedSimulator {
     ///
     /// Panics if more than [`PackedSimulator::MAX_LANES`] lanes are selected or
     /// the sources disagree on memory size / component structure.
-    pub(crate) fn merge_lanes(sources: &[(&PackedSimulator, u64)]) -> Option<PackedSimulator> {
-        let first = sources.iter().find(|(_, mask)| *mask != 0)?.0;
+    pub(crate) fn merge_lanes(sources: &[(&PackedSimulator<W>, W)]) -> Option<PackedSimulator<W>> {
+        let first = sources.iter().find(|(_, mask)| !mask.is_zero())?.0;
         let cells = first.cells;
         let mut merged = PackedSimulator {
             cells,
             lanes: 0,
-            lane_mask: 0,
-            faulty: vec![0; cells],
-            golden: vec![0; cells],
+            lane_mask: W::ZERO,
+            faulty: vec![W::ZERO; cells],
+            golden: vec![W::ZERO; cells],
             components: first
                 .components
                 .iter()
@@ -956,7 +1164,7 @@ impl PackedSimulator {
                 .as_ref()
                 .map(|decoder| PackedDecoder::new(decoder.fault, cells)),
             has_state_faults: first.has_state_faults,
-            detected: 0,
+            detected: W::ZERO,
         };
         let mut dest = 0usize;
         for (source, mask) in sources {
@@ -967,30 +1175,29 @@ impl PackedSimulator {
                 "merged simulators share the target"
             );
             let mut bits = *mask;
-            while bits != 0 {
+            while !bits.is_zero() {
                 let lane = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
+                bits.clear_lowest_bit();
                 assert!(
-                    dest < PackedSimulator::MAX_LANES,
+                    dest < Self::MAX_LANES,
                     "compacted more than {} lanes into one word",
-                    PackedSimulator::MAX_LANES
+                    Self::MAX_LANES
                 );
-                let lane_bit = 1u64 << lane;
-                let dest_bit = 1u64 << dest;
+                let dest_bit = W::bit(dest);
                 for cell in 0..cells {
-                    if source.faulty[cell] & lane_bit != 0 {
+                    if source.faulty[cell].test_bit(lane) {
                         merged.faulty[cell] |= dest_bit;
                     }
-                    if source.golden[cell] & lane_bit != 0 {
+                    if source.golden[cell].test_bit(lane) {
                         merged.golden[cell] |= dest_bit;
                     }
                 }
                 for (into, from) in merged.components.iter_mut().zip(&source.components) {
                     for cell in 0..cells {
-                        if from.victim_at[cell] & lane_bit != 0 {
+                        if from.victim_at[cell].test_bit(lane) {
                             into.victim_at[cell] |= dest_bit;
                         }
-                        if from.aggressor_at[cell] & lane_bit != 0 {
+                        if from.aggressor_at[cell].test_bit(lane) {
                             into.aggressor_at[cell] |= dest_bit;
                         }
                     }
@@ -998,7 +1205,7 @@ impl PackedSimulator {
                 if let (Some(into), Some(from)) = (merged.decoder.as_mut(), source.decoder.as_ref())
                 {
                     for cell in 0..cells {
-                        if from.source_at[cell] & lane_bit != 0 {
+                        if from.source_at[cell].test_bit(lane) {
                             into.source_at[cell] |= dest_bit;
                         }
                     }
@@ -1008,7 +1215,7 @@ impl PackedSimulator {
                     into.dest_of_lane[dest] =
                         from.dest_of_lane.get(lane).copied().unwrap_or(usize::MAX);
                 }
-                if source.detected & lane_bit != 0 {
+                if source.detected.test_bit(lane) {
                     merged.detected |= dest_bit;
                 }
                 dest += 1;
@@ -1018,11 +1225,8 @@ impl PackedSimulator {
             return None;
         }
         merged.lanes = dest;
-        merged.lane_mask = if dest == 64 {
-            u64::MAX
-        } else {
-            (1u64 << dest) - 1
-        };
+        // The same shared boundary helper as `new`: no width special cases.
+        merged.lane_mask = W::full_mask(dest);
         Some(merged)
     }
 }
@@ -1047,16 +1251,16 @@ struct WaveDecoder {
 }
 
 /// A bit-parallel **candidate** evaluator: one still-pending coverage lane's
-/// simulator state broadcast across up to 64 lanes, where each lane executes a
-/// *different* candidate march element of a [`CandidateBatch`].
+/// simulator state broadcast across one candidate word of lanes, where each
+/// lane executes a *different* candidate march element of a [`CandidateBatch`].
 ///
-/// This is the transpose of [`PackedSimulator`]: instead of 64 fault instances
-/// running one program, one fault instance runs 64 programs. Per micro-step
-/// (cell visit × operation slot) the lanes are grouped by address order and
-/// operation kind — at most two addresses (ascending/descending cursor) and
-/// four operation kinds — and each group is applied with masked bitwise
-/// arithmetic, so a whole candidate pool is scored in a handful of passes
-/// instead of one full simulation per candidate.
+/// This is the transpose of [`PackedSimulator`]: instead of a word of fault
+/// instances running one program, one fault instance runs a word of programs.
+/// Per micro-step (cell visit × operation slot) the lanes are grouped by
+/// address order and operation kind — at most two addresses
+/// (ascending/descending cursor) and four operation kinds — and each group is
+/// applied with masked bitwise arithmetic, so a whole candidate pool is scored
+/// in a handful of passes instead of one full simulation per candidate.
 ///
 /// The semantics mirror [`FaultSimulator`](crate::FaultSimulator) exactly: fire
 /// detection on the pre-operation state, read override, fault-free effect,
@@ -1064,19 +1268,19 @@ struct WaveDecoder {
 /// primitives — masked to the lanes that executed an operation this step, just
 /// as each scalar simulator settles only after its own operations.
 #[derive(Debug)]
-pub(crate) struct CandidateWave<'a> {
+pub(crate) struct CandidateWave<'a, C: LaneWord = u64> {
     cells: usize,
-    faulty: Vec<u64>,
-    golden: Vec<u64>,
+    faulty: Vec<C>,
+    golden: Vec<C>,
     components: Vec<WaveComponent<'a>>,
     decoder: Option<WaveDecoder>,
-    detected: u64,
+    detected: C,
 }
 
-impl CandidateWave<'_> {
+impl<C: LaneWord> CandidateWave<'_, C> {
     /// Runs every candidate of `pool` against the replicated lane state and
     /// returns the mask of candidates whose element detects the lane.
-    pub(crate) fn run_pool(&mut self, pool: &CandidateBatch) -> u64 {
+    pub(crate) fn run_pool(&mut self, pool: &CandidateBatch<C>) -> C {
         let ascending = pool.ascending_mask();
         let descending = !ascending & pool.lane_mask();
         for index in 0..self.cells {
@@ -1087,11 +1291,11 @@ impl CandidateWave<'_> {
                 }
                 for (operation, kind_mask) in pool.slot_ops(slot) {
                     let up = kind_mask & ascending;
-                    if up != 0 {
+                    if !up.is_zero() {
                         self.apply_masked(index, operation, up);
                     }
                     let down = kind_mask & descending;
-                    if down != 0 {
+                    if !down.is_zero() {
                         self.apply_masked(descending_address, operation, down);
                     }
                 }
@@ -1102,9 +1306,9 @@ impl CandidateWave<'_> {
 
     /// Applies `operation` to cell `address` on the candidate lanes of
     /// `lanes` only, mirroring [`PackedSimulator::apply`] step for step.
-    fn apply_masked(&mut self, address: usize, operation: Operation, lanes: u64) {
+    fn apply_masked(&mut self, address: usize, operation: Operation, lanes: C) {
         // 1. Which operation-sensitized primitives fire, per candidate lane?
-        let mut fired = [0u64; 2];
+        let mut fired = [C::ZERO; 2];
         for (index, component) in self.components.iter().enumerate() {
             fired[index] = self.sensitized_mask(component, address, operation) & lanes;
         }
@@ -1117,9 +1321,7 @@ impl CandidateWave<'_> {
             if let Some(decoder) = self.decoder {
                 if decoder.source == address {
                     observed = match decoder.fault {
-                        DecoderFault::NoCellAccessed { open_read } => {
-                            PackedSimulator::broadcast(open_read)
-                        }
+                        DecoderFault::NoCellAccessed { open_read } => broadcast::<C>(open_read),
                         DecoderFault::NoAddressMaps | DecoderFault::MultipleAddressesMap => {
                             self.faulty
                                 [decoder.destination.expect("pair class binds a destination")]
@@ -1136,7 +1338,7 @@ impl CandidateWave<'_> {
                 if component.victim == address {
                     if let Some(read_output) = component.primitive.effect().read_output() {
                         let mask = fired[index];
-                        let bits = PackedSimulator::broadcast(read_output);
+                        let bits = broadcast::<C>(read_output);
                         observed = (observed & !mask) | (bits & mask);
                     }
                 }
@@ -1147,7 +1349,7 @@ impl CandidateWave<'_> {
         // 3. Fault-free effect of the operation, routed through the perturbed
         // decode on the faulty side.
         if let Operation::Write(value) = operation {
-            let bits = PackedSimulator::broadcast(value);
+            let bits = broadcast::<C>(value);
             self.golden[address] = (self.golden[address] & !lanes) | (bits & lanes);
             let mut write_own = true;
             if let Some(decoder) = self.decoder {
@@ -1179,8 +1381,8 @@ impl CandidateWave<'_> {
         for (index, component) in self.components.iter().enumerate() {
             if let Some(forced) = component.primitive.effect().victim_value().to_bit() {
                 let mask = fired[index];
-                if mask != 0 {
-                    let bits = PackedSimulator::broadcast(forced);
+                if !mask.is_zero() {
+                    let bits = broadcast::<C>(forced);
                     self.faulty[component.victim] =
                         (self.faulty[component.victim] & !mask) | (bits & mask);
                 }
@@ -1199,61 +1401,55 @@ impl CandidateWave<'_> {
         component: &WaveComponent<'_>,
         address: usize,
         operation: Operation,
-    ) -> u64 {
+    ) -> C {
         let primitive = component.primitive;
         let site = match primitive.sensitizing_site() {
-            SensitizingSite::None => return 0,
+            SensitizingSite::None => return C::ZERO,
             SensitizingSite::Victim => component.victim,
             SensitizingSite::Aggressor => match component.aggressor {
                 Some(aggressor) => aggressor,
-                None => return 0,
+                None => return C::ZERO,
             },
         };
         if site != address {
-            return 0;
+            return C::ZERO;
         }
         let required = primitive
             .sensitizing_operation()
             .expect("operation-sensitized primitive has an operation");
         if !required.matches(operation) {
-            return 0;
+            return C::ZERO;
         }
-        let mut mask = PackedSimulator::condition_mask(
-            primitive.victim().initial(),
-            self.faulty[component.victim],
-        );
+        let mut mask = condition_mask(primitive.victim().initial(), self.faulty[component.victim]);
         if let Some(aggressor) = primitive.aggressor() {
             let values = component
                 .aggressor
-                .map_or(0, |aggressor_cell| self.faulty[aggressor_cell]);
-            mask &= PackedSimulator::condition_mask(aggressor.initial(), values);
+                .map_or(C::ZERO, |aggressor_cell| self.faulty[aggressor_cell]);
+            mask &= condition_mask(aggressor.initial(), values);
         }
         mask
     }
 
     /// One pass over the state-sensitized primitives in injection order,
     /// restricted to the candidate lanes of `lanes`.
-    fn settle_state_faults(&mut self, lanes: u64) {
+    fn settle_state_faults(&mut self, lanes: C) {
         for index in 0..self.components.len() {
             let component = &self.components[index];
             let primitive = component.primitive;
             if primitive.sensitizing_site() != SensitizingSite::None {
                 continue;
             }
-            let mut mask = lanes
-                & PackedSimulator::condition_mask(
-                    primitive.victim().initial(),
-                    self.faulty[component.victim],
-                );
+            let mut mask =
+                lanes & condition_mask(primitive.victim().initial(), self.faulty[component.victim]);
             if let Some(aggressor) = primitive.aggressor() {
                 let values = component
                     .aggressor
-                    .map_or(0, |aggressor_cell| self.faulty[aggressor_cell]);
-                mask &= PackedSimulator::condition_mask(aggressor.initial(), values);
+                    .map_or(C::ZERO, |aggressor_cell| self.faulty[aggressor_cell]);
+                mask &= condition_mask(aggressor.initial(), values);
             }
             if let Some(forced) = primitive.effect().victim_value().to_bit() {
                 let victim = self.components[index].victim;
-                let bits = PackedSimulator::broadcast(forced);
+                let bits = broadcast::<C>(forced);
                 self.faulty[victim] = (self.faulty[victim] & !mask) | (bits & mask);
             }
         }
@@ -1274,7 +1470,7 @@ mod tests {
     ) -> (Vec<bool>, Vec<bool>) {
         let lanes = enumerate_lanes(target, 8, strategy, backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(test, target, &lanes, 8);
-        let packed = PackedBackend.lane_verdicts(test, target, &lanes, 8);
+        let packed = PackedBackend::default().lane_verdicts(test, target, &lanes, 8);
         (scalar, packed)
     }
 
@@ -1336,7 +1532,7 @@ mod tests {
     #[test]
     fn packed_chunks_split_beyond_64_lanes() {
         // Exhaustive LF2 placements on 8 cells: 56 placements × 2 backgrounds =
-        // 112 lanes — forces chunking.
+        // 112 lanes — forces chunking at width 64 but fits one W128 word.
         let fault = FaultList::list_1()
             .linked()
             .iter()
@@ -1351,22 +1547,74 @@ mod tests {
             &[InitialState::AllZero, InitialState::AllOne],
         )
         .unwrap();
-        assert!(lanes.len() > PackedSimulator::MAX_LANES);
+        assert!(lanes.len() > PackedSimulator::<u64>::MAX_LANES);
+        assert!(lanes.len() <= PackedSimulator::<W128>::MAX_LANES);
         assert!(matches!(
-            PackedSimulator::new(&target, &lanes, 8),
+            PackedSimulator::<u64>::new(&target, &lanes, 8),
             Err(SimulationError::LaneCountOutOfRange { requested }) if requested == lanes.len()
         ));
         assert!(matches!(
-            PackedSimulator::new(&target, &[], 8),
+            PackedSimulator::<u64>::new(&target, &[], 8),
             Err(SimulationError::LaneCountOutOfRange { requested: 0 })
         ));
+        // The whole lane set fits a single wide word.
+        let mut wide = PackedSimulator::<W128>::new(&target, &lanes, 8).unwrap();
+        assert_eq!(wide.lanes(), lanes.len());
         let scalar = ScalarBackend.lane_verdicts(&catalog::march_sl(), &target, &lanes, 8);
-        let packed = PackedBackend.lane_verdicts(&catalog::march_sl(), &target, &lanes, 8);
+        let packed =
+            PackedBackend::default().lane_verdicts(&catalog::march_sl(), &target, &lanes, 8);
         assert_eq!(scalar, packed);
+        let wide_detected = wide.run_test(&catalog::march_sl());
+        let wide_verdicts: Vec<bool> = (0..lanes.len())
+            .map(|lane| wide_detected.test_bit(lane))
+            .collect();
+        assert_eq!(scalar, wide_verdicts);
         assert_eq!(
             ScalarBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
-            PackedBackend.first_undetected(&catalog::march_sl(), &target, &lanes, 8),
+            PackedBackend::default().first_undetected(&catalog::march_sl(), &target, &lanes, 8),
         );
+    }
+
+    #[test]
+    fn lane_widths_agree_on_verdicts_and_first_undetected() {
+        // 112-lane linked target and 320-lane decoder targets: every width
+        // (auto, 64, 128, 256) must report identical verdicts and identical
+        // first-escape indices, for complete and incomplete tests alike.
+        let backgrounds = [InitialState::AllZero, InitialState::AllOne];
+        let linked = FaultList::list_1()
+            .linked()
+            .iter()
+            .find(|fault| fault.cell_count() == 2)
+            .expect("list #1 has two-cell faults")
+            .clone();
+        let mut targets = vec![(TargetKind::Linked(linked), 8usize)];
+        for fault in DecoderFault::all() {
+            targets.push((TargetKind::Decoder(fault), 32));
+        }
+        for (target, cells) in targets {
+            let lanes =
+                enumerate_lanes(&target, cells, PlacementStrategy::Exhaustive, &backgrounds)
+                    .unwrap();
+            for test in [catalog::march_sl(), catalog::mats_plus()] {
+                let reference = PackedBackend::with_width(LaneWidth::W64)
+                    .lane_verdicts(&test, &target, &lanes, cells);
+                let reference_first = PackedBackend::with_width(LaneWidth::W64)
+                    .first_undetected(&test, &target, &lanes, cells);
+                for width in LaneWidth::ALL {
+                    let backend = PackedBackend::with_width(width);
+                    assert_eq!(
+                        backend.lane_verdicts(&test, &target, &lanes, cells),
+                        reference,
+                        "{target:?} verdicts at width {width}"
+                    );
+                    assert_eq!(
+                        backend.first_undetected(&test, &target, &lanes, cells),
+                        reference_first,
+                        "{target:?} first escape at width {width}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -1383,31 +1631,44 @@ mod tests {
             let lanes =
                 enumerate_lanes(&target, 32, PlacementStrategy::Exhaustive, &backgrounds).unwrap();
             if fault.involves_partner() {
-                assert!(lanes.len() > PackedSimulator::MAX_LANES, "{fault}");
+                assert!(lanes.len() > PackedSimulator::<u64>::MAX_LANES, "{fault}");
             }
             for test in [catalog::mats_plus(), catalog::march_c_minus()] {
                 let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, 32);
-                let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, 32);
+                let packed = PackedBackend::default().lane_verdicts(&test, &target, &lanes, 32);
                 assert_eq!(scalar, packed, "{fault} under {}", test.name());
                 assert_eq!(
                     ScalarBackend.first_undetected(&test, &target, &lanes, 32),
-                    PackedBackend.first_undetected(&test, &target, &lanes, 32),
+                    PackedBackend::default().first_undetected(&test, &target, &lanes, 32),
                 );
             }
 
-            // Advance both backends element by element through a weak test:
-            // compaction (decoder-plane lane merging) must not change scores
-            // or the surviving lane set.
-            let mut scalar_batch =
-                crate::TargetBatch::new(target.clone(), lanes.clone(), 32, BackendKind::Scalar);
-            let mut packed_batch = crate::TargetBatch::new(target, lanes, 32, BackendKind::Packed);
-            for (_, element) in catalog::mats_plus().iter() {
-                assert_eq!(
-                    scalar_batch.advance(element),
-                    packed_batch.advance(element),
-                    "{fault}"
+            // Advance the scalar batch and a packed batch of every lane width
+            // element by element through a weak test: compaction
+            // (decoder-plane lane merging) must not change scores or the
+            // surviving lane set at any width.
+            for width in LaneWidth::ALL {
+                let mut scalar_batch =
+                    crate::TargetBatch::new(target.clone(), lanes.clone(), 32, BackendKind::Scalar);
+                let mut packed_batch = crate::TargetBatch::new_with_width(
+                    target.clone(),
+                    lanes.clone(),
+                    32,
+                    BackendKind::Packed,
+                    width,
                 );
-                assert_eq!(scalar_batch.pending_lanes(), packed_batch.pending_lanes());
+                for (_, element) in catalog::mats_plus().iter() {
+                    assert_eq!(
+                        scalar_batch.advance(element),
+                        packed_batch.advance(element),
+                        "{fault} at width {width}"
+                    );
+                    assert_eq!(
+                        scalar_batch.pending_lanes(),
+                        packed_batch.pending_lanes(),
+                        "{fault} at width {width}"
+                    );
+                }
             }
         }
     }
@@ -1426,6 +1687,14 @@ mod tests {
         assert!("simd".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Scalar.to_string(), "scalar");
         assert_eq!(BackendKind::Packed.instance().name(), "packed");
+        assert_eq!(
+            BackendKind::Packed.instance_with(LaneWidth::W256).name(),
+            "packed"
+        );
+        assert_eq!(
+            PackedBackend::with_width(LaneWidth::W128).width(),
+            LaneWidth::W128
+        );
     }
 
     #[test]
@@ -1436,8 +1705,8 @@ mod tests {
             let lanes =
                 enumerate_lanes(&target, 8, PlacementStrategy::Exhaustive, &backgrounds).unwrap();
             let test = catalog::mats_plus();
-            let verdicts = PackedBackend.lane_verdicts(&test, &target, &lanes, 8);
-            let first = PackedBackend.first_undetected(&test, &target, &lanes, 8);
+            let verdicts = PackedBackend::default().lane_verdicts(&test, &target, &lanes, 8);
+            let first = PackedBackend::default().first_undetected(&test, &target, &lanes, 8);
             assert_eq!(first, verdicts.iter().position(|detected| !detected));
         }
     }

@@ -5,8 +5,12 @@
 //! lane of one fault target together with the simulator state reached after
 //! the march prefix built so far. Scoring a candidate march element only has
 //! to simulate that element: on the scalar backend by cloning each lane's
-//! [`FaultSimulator`], on the packed backend by cloning a handful of `u64`
-//! bit-planes and running all lanes of a chunk at once.
+//! [`FaultSimulator`], on the packed backend by cloning a handful of lane-word
+//! bit-planes and running all lanes of a chunk at once. The packed chunk word
+//! is width-generic ([`LaneWord`]): a `u64` chunk carries 64 lanes, the
+//! [`W128`]/[`W256`] blocks carry 128/256 — picked per batch by the
+//! [`LaneWidth`] policy, with byte-identical scores and pending sets at every
+//! width.
 
 use std::fmt;
 use std::sync::Arc;
@@ -16,6 +20,7 @@ use sram_fault_model::{Bit, Operation};
 
 use crate::backend::{scalar_lane_simulator, BackendKind, CoverageLane, PackedSimulator};
 use crate::coverage::TargetKind;
+use crate::lane::{LaneWidth, LaneWord, W128, W256};
 use crate::{FaultSimulator, SimulationError};
 
 /// One scalar lane: its descriptor plus the advanced simulator state.
@@ -39,7 +44,9 @@ impl Clone for ScalarLane {
     }
 }
 
-/// The backend-specific simulation state of a batch.
+/// The backend-specific simulation state of a batch. The packed variants
+/// differ only in the lane-word width of their chunks; every operation on
+/// them goes through the same width-generic helpers.
 #[derive(Debug)]
 enum BatchState {
     /// One dual-memory simulator per undetected lane.
@@ -47,6 +54,10 @@ enum BatchState {
     /// Packed chunks of up to 64 lanes; detected lanes are masked out of the
     /// scoring by each chunk's detection mask.
     Packed(Vec<PackedChunk>),
+    /// Packed chunks of up to 128 lanes (`[u64; 2]` words).
+    Packed128(Vec<PackedChunk<W128>>),
+    /// Packed chunks of up to 256 lanes (`[u64; 4]` words).
+    Packed256(Vec<PackedChunk<W256>>),
 }
 
 impl Clone for BatchState {
@@ -54,45 +65,50 @@ impl Clone for BatchState {
         match self {
             BatchState::Scalar(lanes) => BatchState::Scalar(lanes.clone()),
             BatchState::Packed(chunks) => BatchState::Packed(chunks.clone()),
+            BatchState::Packed128(chunks) => BatchState::Packed128(chunks.clone()),
+            BatchState::Packed256(chunks) => BatchState::Packed256(chunks.clone()),
         }
     }
 
     /// Variant-aware `clone_from`: restoring a snapshot into a batch of the
-    /// same backend re-uses every lane/plane buffer already allocated.
+    /// same backend (and lane width) re-uses every lane/plane buffer already
+    /// allocated.
     fn clone_from(&mut self, source: &BatchState) {
         match (self, source) {
             (BatchState::Scalar(into), BatchState::Scalar(from)) => into.clone_from(from),
             (BatchState::Packed(into), BatchState::Packed(from)) => into.clone_from(from),
+            (BatchState::Packed128(into), BatchState::Packed128(from)) => into.clone_from(from),
+            (BatchState::Packed256(into), BatchState::Packed256(from)) => into.clone_from(from),
             (into, from) => *into = from.clone(),
         }
     }
 }
 
 #[derive(Debug)]
-struct PackedChunk {
+struct PackedChunk<W: LaneWord = u64> {
     /// The lane descriptors, `Arc`-shared with every snapshot of this chunk:
     /// they only change on compaction, so snapshot/restore pays one refcount
     /// bump instead of cloning the whole descriptor vector.
     lanes: Arc<Vec<CoverageLane>>,
-    simulator: PackedSimulator,
+    simulator: PackedSimulator<W>,
 }
 
-impl Clone for PackedChunk {
-    fn clone(&self) -> PackedChunk {
+impl<W: LaneWord> Clone for PackedChunk<W> {
+    fn clone(&self) -> PackedChunk<W> {
         PackedChunk {
             lanes: self.lanes.clone(),
             simulator: self.simulator.clone(),
         }
     }
 
-    fn clone_from(&mut self, source: &PackedChunk) {
+    fn clone_from(&mut self, source: &PackedChunk<W>) {
         self.lanes = Arc::clone(&source.lanes);
         self.simulator.clone_from(&source.simulator);
     }
 }
 
-impl PackedChunk {
-    fn pending_mask(&self) -> u64 {
+impl<W: LaneWord> PackedChunk<W> {
+    fn pending_mask(&self) -> W {
         !self.simulator.detected_mask() & self.simulator.lane_mask()
     }
 
@@ -103,7 +119,7 @@ impl PackedChunk {
     /// Newly detected lanes of this chunk if `element` were executed next.
     /// The trial runs on `scratch` (rebuilt from this chunk's state with
     /// buffer-reusing `clone_from`), so repeated scoring never reallocates.
-    fn score_one_with(&self, element: &MarchElement, scratch: &mut PackedSimulator) -> usize {
+    fn score_one_with(&self, element: &MarchElement, scratch: &mut PackedSimulator<W>) -> usize {
         let before = self.simulator.detected_mask();
         if before == self.simulator.lane_mask() {
             return 0;
@@ -126,8 +142,9 @@ pub struct BatchSnapshot {
     state: BatchState,
 }
 
-/// A pool of up to 64 candidate march elements packed one per bit-lane, ready
-/// for single-pass scoring against the pending lanes of a [`TargetBatch`].
+/// A pool of candidate march elements packed one per bit-lane of a candidate
+/// word, ready for single-pass scoring against the pending lanes of a
+/// [`TargetBatch`]. The default `u64` word packs up to 64 candidates.
 ///
 /// Per operation slot the pool pre-computes one lane mask per operation kind
 /// (`w0` / `w1` / read / wait — the only distinctions the fault semantics make)
@@ -164,31 +181,48 @@ pub struct BatchSnapshot {
 /// # Ok::<(), sram_sim::SimulationError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct CandidateBatch {
+pub struct CandidateBatch<C: LaneWord = u64> {
     candidates: Vec<MarchElement>,
-    lane_mask: u64,
-    ascending: u64,
+    lane_mask: C,
+    ascending: C,
     max_ops: usize,
     total_ops: usize,
-    w0: Vec<u64>,
-    w1: Vec<u64>,
-    read: Vec<u64>,
-    wait: Vec<u64>,
+    w0: Vec<C>,
+    w1: Vec<C>,
+    read: Vec<C>,
+    wait: Vec<C>,
 }
 
 impl CandidateBatch {
-    /// The maximum number of candidates one batch packs.
+    /// The maximum number of candidates one default-width (`u64`) batch
+    /// packs. Wider candidate words hold `C::BITS` candidates.
     pub const MAX_CANDIDATES: usize = 64;
 
+    /// Splits a pool of any size into batches of at most `batch` candidates
+    /// (`0` = [`CandidateBatch::MAX_CANDIDATES`]; larger values are clamped).
+    #[must_use]
+    pub fn chunked(pool: &[MarchElement], batch: usize) -> Vec<CandidateBatch> {
+        let size = if batch == 0 {
+            CandidateBatch::MAX_CANDIDATES
+        } else {
+            batch.min(CandidateBatch::MAX_CANDIDATES)
+        };
+        pool.chunks(size)
+            .map(|chunk| CandidateBatch::new(chunk.to_vec()).expect("chunk sizes are in range"))
+            .collect()
+    }
+}
+
+impl<C: LaneWord> CandidateBatch<C> {
     /// Packs `candidates` one per bit-lane.
     ///
     /// # Errors
     ///
     /// Returns [`SimulationError::LaneCountOutOfRange`] if `candidates` is
-    /// empty or holds more than [`CandidateBatch::MAX_CANDIDATES`] elements
+    /// empty or holds more than one candidate word's worth of elements
     /// (split larger pools with [`CandidateBatch::chunked`]).
-    pub fn new(candidates: Vec<MarchElement>) -> Result<CandidateBatch, SimulationError> {
-        if candidates.is_empty() || candidates.len() > CandidateBatch::MAX_CANDIDATES {
+    pub fn new(candidates: Vec<MarchElement>) -> Result<CandidateBatch<C>, SimulationError> {
+        if candidates.is_empty() || candidates.len() > C::BITS {
             return Err(SimulationError::LaneCountOutOfRange {
                 requested: candidates.len(),
             });
@@ -200,22 +234,20 @@ impl CandidateBatch {
             .expect("pool is non-empty");
         let total_ops = candidates.iter().map(MarchElement::len).sum();
         let mut batch = CandidateBatch {
-            lane_mask: if candidates.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << candidates.len()) - 1
-            },
-            ascending: 0,
+            // The shared width-generic boundary helper: no `== 64` special
+            // case (see `LaneWord::full_mask`).
+            lane_mask: C::full_mask(candidates.len()),
+            ascending: C::ZERO,
             max_ops,
             total_ops,
-            w0: vec![0; max_ops],
-            w1: vec![0; max_ops],
-            read: vec![0; max_ops],
-            wait: vec![0; max_ops],
+            w0: vec![C::ZERO; max_ops],
+            w1: vec![C::ZERO; max_ops],
+            read: vec![C::ZERO; max_ops],
+            wait: vec![C::ZERO; max_ops],
             candidates,
         };
         for (lane, candidate) in batch.candidates.iter().enumerate() {
-            let bit = 1u64 << lane;
+            let bit = C::bit(lane);
             // `Any` conventionally executes ascending, as in `run_march`.
             if candidate.order() != march_test::AddressOrder::Descending {
                 batch.ascending |= bit;
@@ -230,20 +262,6 @@ impl CandidateBatch {
             }
         }
         Ok(batch)
-    }
-
-    /// Splits a pool of any size into batches of at most `batch` candidates
-    /// (`0` = [`CandidateBatch::MAX_CANDIDATES`]; larger values are clamped).
-    #[must_use]
-    pub fn chunked(pool: &[MarchElement], batch: usize) -> Vec<CandidateBatch> {
-        let size = if batch == 0 {
-            CandidateBatch::MAX_CANDIDATES
-        } else {
-            batch.min(CandidateBatch::MAX_CANDIDATES)
-        };
-        pool.chunks(size)
-            .map(|chunk| CandidateBatch::new(chunk.to_vec()).expect("chunk sizes are in range"))
-            .collect()
     }
 
     /// The packed candidates, in lane order.
@@ -266,12 +284,12 @@ impl CandidateBatch {
 
     /// The mask with one bit set per packed candidate.
     #[must_use]
-    pub fn lane_mask(&self) -> u64 {
+    pub fn lane_mask(&self) -> C {
         self.lane_mask
     }
 
     /// Candidate lanes whose element visits cells in ascending order.
-    pub(crate) fn ascending_mask(&self) -> u64 {
+    pub(crate) fn ascending_mask(&self) -> C {
         self.ascending
     }
 
@@ -288,7 +306,7 @@ impl CandidateBatch {
 
     /// The operation kinds executed at `slot` with their candidate-lane masks
     /// (lanes shorter than `slot` appear in no mask and idle).
-    pub(crate) fn slot_ops(&self, slot: usize) -> [(Operation, u64); 4] {
+    pub(crate) fn slot_ops(&self, slot: usize) -> [(Operation, C); 4] {
         [
             (Operation::W0, self.w0[slot]),
             (Operation::W1, self.w1[slot]),
@@ -334,7 +352,9 @@ pub struct TargetBatch {
 
 impl TargetBatch {
     /// Builds the batch for `target` over `lanes` on a `memory_cells`-cell
-    /// memory, simulated with `backend`.
+    /// memory, simulated with `backend` at the automatic lane width (the
+    /// narrowest word holding the lane count; see
+    /// [`TargetBatch::new_with_width`]).
     ///
     /// # Panics
     ///
@@ -347,6 +367,25 @@ impl TargetBatch {
         memory_cells: usize,
         backend: BackendKind,
     ) -> TargetBatch {
+        TargetBatch::new_with_width(target, lanes, memory_cells, backend, LaneWidth::Auto)
+    }
+
+    /// Builds the batch with an explicit packed lane width. The width only
+    /// changes how many lanes share one chunk word (and hence the wall-clock
+    /// cost); scores, pending sets and snapshots are byte-identical across
+    /// widths. The scalar backend ignores the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane's placement is invalid for the target.
+    #[must_use]
+    pub fn new_with_width(
+        target: TargetKind,
+        lanes: Vec<CoverageLane>,
+        memory_cells: usize,
+        backend: BackendKind,
+        width: LaneWidth,
+    ) -> TargetBatch {
         let state = match backend {
             BackendKind::Scalar => BatchState::Scalar(
                 lanes
@@ -357,16 +396,15 @@ impl TargetBatch {
                     })
                     .collect(),
             ),
-            BackendKind::Packed => BatchState::Packed(
-                lanes
-                    .chunks(PackedSimulator::MAX_LANES)
-                    .map(|chunk| PackedChunk {
-                        simulator: PackedSimulator::new(&target, chunk, memory_cells)
-                            .expect("enumerated placements are valid"),
-                        lanes: Arc::new(chunk.to_vec()),
-                    })
-                    .collect(),
-            ),
+            BackendKind::Packed => match width.resolve(lanes.len()) {
+                LaneWidth::W128 => {
+                    BatchState::Packed128(build_chunks::<W128>(&target, &lanes, memory_cells))
+                }
+                LaneWidth::W256 => {
+                    BatchState::Packed256(build_chunks::<W256>(&target, &lanes, memory_cells))
+                }
+                _ => BatchState::Packed(build_chunks::<u64>(&target, &lanes, memory_cells)),
+            },
         };
         TargetBatch {
             target,
@@ -397,7 +435,9 @@ impl TargetBatch {
     pub fn pending(&self) -> usize {
         match &self.state {
             BatchState::Scalar(lanes) => lanes.len(),
-            BatchState::Packed(chunks) => chunks.iter().map(PackedChunk::pending).sum(),
+            BatchState::Packed(chunks) => chunks_pending(chunks),
+            BatchState::Packed128(chunks) => chunks_pending(chunks),
+            BatchState::Packed256(chunks) => chunks_pending(chunks),
         }
     }
 
@@ -415,19 +455,9 @@ impl TargetBatch {
     pub fn pending_lanes_into(&self, out: &mut Vec<CoverageLane>) {
         match &self.state {
             BatchState::Scalar(lanes) => out.extend(lanes.iter().map(|lane| lane.lane.clone())),
-            BatchState::Packed(chunks) => {
-                for chunk in chunks {
-                    let detected = chunk.simulator.detected_mask();
-                    out.extend(
-                        chunk
-                            .lanes
-                            .iter()
-                            .enumerate()
-                            .filter(|(index, _)| detected & (1 << index) == 0)
-                            .map(|(_, lane)| lane.clone()),
-                    );
-                }
-            }
+            BatchState::Packed(chunks) => chunks_pending_lanes_into(chunks, out),
+            BatchState::Packed128(chunks) => chunks_pending_lanes_into(chunks, out),
+            BatchState::Packed256(chunks) => chunks_pending_lanes_into(chunks, out),
         }
     }
 
@@ -472,15 +502,9 @@ impl TargetBatch {
                     .iter()
                     .any(|element| run_element(element, &mut lane.simulator))
             }),
-            BatchState::Packed(chunks) => chunks.iter_mut().all(|chunk| {
-                for element in elements {
-                    if chunk.simulator.all_detected() {
-                        return true;
-                    }
-                    chunk.simulator.apply_element(element);
-                }
-                chunk.pending_mask() == 0
-            }),
+            BatchState::Packed(chunks) => chunks_covers_suffix(chunks, elements),
+            BatchState::Packed128(chunks) => chunks_covers_suffix(chunks, elements),
+            BatchState::Packed256(chunks) => chunks_covers_suffix(chunks, elements),
         }
     }
 
@@ -505,19 +529,9 @@ impl TargetBatch {
                     })
                     .count()
             }
-            BatchState::Packed(chunks) => {
-                let mut scratch: Option<PackedSimulator> = None;
-                chunks
-                    .iter()
-                    .map(|chunk| {
-                        let scratch = match scratch.as_mut() {
-                            Some(scratch) => scratch,
-                            None => scratch.insert(chunk.simulator.clone()),
-                        };
-                        chunk.score_one_with(element, scratch)
-                    })
-                    .sum()
-            }
+            BatchState::Packed(chunks) => chunks_score(chunks, element),
+            BatchState::Packed128(chunks) => chunks_score(chunks, element),
+            BatchState::Packed256(chunks) => chunks_score(chunks, element),
         }
     }
 
@@ -529,8 +543,8 @@ impl TargetBatch {
     /// packed backend each chunk picks, per pool, the cheaper of two exact
     /// strategies: the classic per-candidate packed pass, or transposing the
     /// problem into a candidate wave — each pending lane's state broadcast
-    /// across the pool so one bit-parallel pass scores up to 64 candidates at
-    /// once. The verdicts are byte-identical either way.
+    /// across the pool so one bit-parallel pass scores a whole candidate word
+    /// at once. The verdicts are byte-identical either way.
     #[must_use]
     pub fn score_pool(&self, pool: &CandidateBatch) -> Vec<usize> {
         match &self.state {
@@ -539,47 +553,9 @@ impl TargetBatch {
                 .iter()
                 .map(|candidate| self.score(candidate))
                 .collect(),
-            BatchState::Packed(chunks) => {
-                let mut scores = vec![0usize; pool.len()];
-                let mut scratch: Option<PackedSimulator> = None;
-                for chunk in chunks {
-                    let pending = chunk.pending_mask();
-                    if pending == 0 {
-                        continue;
-                    }
-                    // The wave pays ~`wave_cost_factor` masked group passes
-                    // per padded slot per pending lane; the per-candidate pass
-                    // pays one plain pass per operation of every candidate.
-                    let pending_count = pending.count_ones() as usize;
-                    let wave_cost = pending_count * pool.max_ops() * self.wave_cost_factor;
-                    if wave_cost <= pool.total_ops() {
-                        let mut lanes = pending;
-                        while lanes != 0 {
-                            let lane = lanes.trailing_zeros() as usize;
-                            lanes &= lanes - 1;
-                            let mut detected = chunk.simulator.candidate_wave(lane).run_pool(pool);
-                            while detected != 0 {
-                                let candidate = detected.trailing_zeros() as usize;
-                                detected &= detected - 1;
-                                scores[candidate] += 1;
-                            }
-                        }
-                    } else {
-                        // One scratch simulator serves every candidate of
-                        // every chunk: the trial state is rebuilt with
-                        // buffer-reusing `clone_from` instead of a fresh
-                        // allocation per candidate.
-                        let scratch = match scratch.as_mut() {
-                            Some(scratch) => scratch,
-                            None => scratch.insert(chunk.simulator.clone()),
-                        };
-                        for (index, candidate) in pool.candidates().iter().enumerate() {
-                            scores[index] += chunk.score_one_with(candidate, scratch);
-                        }
-                    }
-                }
-                scores
-            }
+            BatchState::Packed(chunks) => chunks_score_pool(chunks, pool, self.wave_cost_factor),
+            BatchState::Packed128(chunks) => chunks_score_pool(chunks, pool, self.wave_cost_factor),
+            BatchState::Packed256(chunks) => chunks_score_pool(chunks, pool, self.wave_cost_factor),
         }
     }
 
@@ -593,60 +569,172 @@ impl TargetBatch {
                 lanes.retain_mut(|lane| !run_element(element, &mut lane.simulator));
                 before - lanes.len()
             }
-            BatchState::Packed(chunks) => {
-                let mut newly = 0usize;
-                for chunk in chunks.iter_mut() {
-                    let before = chunk.simulator.detected_mask();
-                    if before == chunk.simulator.lane_mask() {
-                        continue;
-                    }
-                    chunk.simulator.apply_element(element);
-                    newly += (chunk.simulator.detected_mask() & !before).count_ones() as usize;
+            BatchState::Packed(chunks) => chunks_advance(chunks, element),
+            BatchState::Packed128(chunks) => chunks_advance(chunks, element),
+            BatchState::Packed256(chunks) => chunks_advance(chunks, element),
+        }
+    }
+}
+
+/// Splits `lanes` into packed chunks of one `W` word each.
+fn build_chunks<W: LaneWord>(
+    target: &TargetKind,
+    lanes: &[CoverageLane],
+    memory_cells: usize,
+) -> Vec<PackedChunk<W>> {
+    lanes
+        .chunks(W::BITS)
+        .map(|chunk| PackedChunk {
+            simulator: PackedSimulator::<W>::new(target, chunk, memory_cells)
+                .expect("enumerated placements are valid"),
+            lanes: Arc::new(chunk.to_vec()),
+        })
+        .collect()
+}
+
+fn chunks_pending<W: LaneWord>(chunks: &[PackedChunk<W>]) -> usize {
+    chunks.iter().map(PackedChunk::pending).sum()
+}
+
+fn chunks_pending_lanes_into<W: LaneWord>(chunks: &[PackedChunk<W>], out: &mut Vec<CoverageLane>) {
+    for chunk in chunks {
+        let detected = chunk.simulator.detected_mask();
+        out.extend(
+            chunk
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(index, _)| !detected.test_bit(*index))
+                .map(|(_, lane)| lane.clone()),
+        );
+    }
+}
+
+fn chunks_covers_suffix<W: LaneWord>(
+    chunks: &mut [PackedChunk<W>],
+    elements: &[MarchElement],
+) -> bool {
+    chunks.iter_mut().all(|chunk| {
+        for element in elements {
+            if chunk.simulator.all_detected() {
+                return true;
+            }
+            chunk.simulator.apply_element(element);
+        }
+        chunk.pending_mask().is_zero()
+    })
+}
+
+fn chunks_score<W: LaneWord>(chunks: &[PackedChunk<W>], element: &MarchElement) -> usize {
+    let mut scratch: Option<PackedSimulator<W>> = None;
+    chunks
+        .iter()
+        .map(|chunk| {
+            let scratch = match scratch.as_mut() {
+                Some(scratch) => scratch,
+                None => scratch.insert(chunk.simulator.clone()),
+            };
+            chunk.score_one_with(element, scratch)
+        })
+        .sum()
+}
+
+fn chunks_score_pool<W: LaneWord>(
+    chunks: &[PackedChunk<W>],
+    pool: &CandidateBatch,
+    wave_cost_factor: usize,
+) -> Vec<usize> {
+    let mut scores = vec![0usize; pool.len()];
+    let mut scratch: Option<PackedSimulator<W>> = None;
+    for chunk in chunks {
+        let pending = chunk.pending_mask();
+        if pending.is_zero() {
+            continue;
+        }
+        // The wave pays ~`wave_cost_factor` masked group passes per padded
+        // slot per pending lane; the per-candidate pass pays one plain pass
+        // per operation of every candidate.
+        let pending_count = pending.count_ones() as usize;
+        let wave_cost = pending_count * pool.max_ops() * wave_cost_factor;
+        if wave_cost <= pool.total_ops() {
+            let mut lanes = pending;
+            while !lanes.is_zero() {
+                let lane = lanes.trailing_zeros() as usize;
+                lanes.clear_lowest_bit();
+                let mut detected = chunk.simulator.candidate_wave(lane).run_pool(pool);
+                while detected != 0 {
+                    let candidate = detected.trailing_zeros() as usize;
+                    detected &= detected - 1;
+                    scores[candidate] += 1;
                 }
-                Self::compact_packed(chunks);
-                newly
+            }
+        } else {
+            // One scratch simulator serves every candidate of every chunk:
+            // the trial state is rebuilt with buffer-reusing `clone_from`
+            // instead of a fresh allocation per candidate.
+            let scratch = match scratch.as_mut() {
+                Some(scratch) => scratch,
+                None => scratch.insert(chunk.simulator.clone()),
+            };
+            for (index, candidate) in pool.candidates().iter().enumerate() {
+                scores[index] += chunk.score_one_with(candidate, scratch);
             }
         }
     }
+    scores
+}
 
-    /// Drops fully-detected packed chunks and, when every pending lane fits in
-    /// one word, merges the survivors into a single dense chunk — so candidate
-    /// scoring after a long march prefix clones and simulates one small word
-    /// instead of many sparse ones. Lane order is preserved, keeping pending
-    /// reporting and scores byte-identical to the uncompacted state.
-    fn compact_packed(chunks: &mut Vec<PackedChunk>) {
-        chunks.retain(|chunk| chunk.pending() > 0);
-        let total: usize = chunks.iter().map(PackedChunk::pending).sum();
-        let compactable = chunks.len() > 1
-            || chunks
-                .first()
-                .is_some_and(|chunk| chunk.lanes.len() > total);
-        if total == 0 || total > PackedSimulator::MAX_LANES || !compactable {
-            return;
+fn chunks_advance<W: LaneWord>(chunks: &mut Vec<PackedChunk<W>>, element: &MarchElement) -> usize {
+    let mut newly = 0usize;
+    for chunk in chunks.iter_mut() {
+        let before = chunk.simulator.detected_mask();
+        if before == chunk.simulator.lane_mask() {
+            continue;
         }
-        let sources: Vec<(&PackedSimulator, u64)> = chunks
-            .iter()
-            .map(|chunk| (&chunk.simulator, chunk.pending_mask()))
-            .collect();
-        let merged = PackedSimulator::merge_lanes(&sources)
-            .expect("at least one pending lane survives compaction");
-        let lanes: Vec<CoverageLane> = chunks
-            .iter()
-            .flat_map(|chunk| {
-                let pending = chunk.pending_mask();
-                chunk
-                    .lanes
-                    .iter()
-                    .enumerate()
-                    .filter(move |(index, _)| pending & (1 << index) != 0)
-                    .map(|(_, lane)| lane.clone())
-            })
-            .collect();
-        *chunks = vec![PackedChunk {
-            lanes: Arc::new(lanes),
-            simulator: merged,
-        }];
+        chunk.simulator.apply_element(element);
+        newly += (chunk.simulator.detected_mask() & !before).count_ones() as usize;
     }
+    compact_chunks(chunks);
+    newly
+}
+
+/// Drops fully-detected packed chunks and, when every pending lane fits in
+/// one word, merges the survivors into a single dense chunk — so candidate
+/// scoring after a long march prefix clones and simulates one small word
+/// instead of many sparse ones. Lane order is preserved, keeping pending
+/// reporting and scores byte-identical to the uncompacted state.
+fn compact_chunks<W: LaneWord>(chunks: &mut Vec<PackedChunk<W>>) {
+    chunks.retain(|chunk| chunk.pending() > 0);
+    let total: usize = chunks.iter().map(PackedChunk::pending).sum();
+    let compactable = chunks.len() > 1
+        || chunks
+            .first()
+            .is_some_and(|chunk| chunk.lanes.len() > total);
+    if total == 0 || total > W::BITS || !compactable {
+        return;
+    }
+    let sources: Vec<(&PackedSimulator<W>, W)> = chunks
+        .iter()
+        .map(|chunk| (&chunk.simulator, chunk.pending_mask()))
+        .collect();
+    let merged = PackedSimulator::merge_lanes(&sources)
+        .expect("at least one pending lane survives compaction");
+    let lanes: Vec<CoverageLane> = chunks
+        .iter()
+        .flat_map(|chunk| {
+            let pending = chunk.pending_mask();
+            chunk
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(move |(index, _)| pending.test_bit(*index))
+                .map(|(_, lane)| lane.clone())
+        })
+        .collect();
+    *chunks = vec![PackedChunk {
+        lanes: Arc::new(lanes),
+        simulator: merged,
+    }];
 }
 
 impl fmt::Display for TargetBatch {
@@ -696,6 +784,26 @@ mod tests {
             .collect()
     }
 
+    /// The 112-lane linked target the width tests use: chunked at width 64,
+    /// one word at 128/256.
+    fn wide_target() -> (TargetKind, Vec<CoverageLane>) {
+        let fault = FaultList::list_1()
+            .linked()
+            .iter()
+            .find(|fault| fault.cell_count() == 2)
+            .expect("list #1 has two-cell faults")
+            .clone();
+        let target = TargetKind::Linked(fault);
+        let lanes = enumerate_lanes(
+            &target,
+            8,
+            PlacementStrategy::Exhaustive,
+            &[InitialState::AllZero, InitialState::AllOne],
+        )
+        .unwrap();
+        (target, lanes)
+    }
+
     #[test]
     fn scalar_and_packed_batches_advance_identically() {
         let mut scalar = batches_for(BackendKind::Scalar);
@@ -716,17 +824,21 @@ mod tests {
     #[test]
     fn candidate_batch_construction_and_chunking() {
         let pool = catalog::march_sl().elements().to_vec();
-        let batch = CandidateBatch::new(pool.clone()).unwrap();
+        let batch: CandidateBatch = CandidateBatch::new(pool.clone()).unwrap();
         assert_eq!(batch.len(), pool.len());
         assert!(!batch.is_empty());
         assert_eq!(batch.lane_mask().count_ones() as usize, pool.len());
         assert_eq!(batch.candidates(), &pool[..]);
         assert!(matches!(
-            CandidateBatch::new(Vec::new()),
+            CandidateBatch::<u64>::new(Vec::new()),
             Err(SimulationError::LaneCountOutOfRange { requested: 0 })
         ));
         let big: Vec<MarchElement> = vec![pool[0].clone(); 65];
-        assert!(CandidateBatch::new(big.clone()).is_err());
+        assert!(CandidateBatch::<u64>::new(big.clone()).is_err());
+        // A wider candidate word packs the same 65-element pool whole.
+        let wide = CandidateBatch::<W128>::new(big.clone()).unwrap();
+        assert_eq!(wide.len(), 65);
+        assert_eq!(wide.lane_mask().count_ones(), 65);
         let chunks = CandidateBatch::chunked(&big, 0);
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].len(), 64);
@@ -744,7 +856,7 @@ mod tests {
         let mut pool = catalog::march_sl().elements().to_vec();
         pool.extend(catalog::march_ss().elements().iter().cloned());
         pool.extend(catalog::mats_plus().elements().iter().cloned());
-        let packed_pool = CandidateBatch::new(pool.clone()).unwrap();
+        let packed_pool: CandidateBatch = CandidateBatch::new(pool.clone()).unwrap();
         let mut scalar = batches_for(BackendKind::Scalar);
         let mut packed = batches_for(BackendKind::Packed);
         for (_, element) in catalog::march_ss().iter() {
@@ -761,26 +873,16 @@ mod tests {
 
     #[test]
     fn packed_compaction_preserves_scores_beyond_64_lanes() {
-        // Exhaustive two-cell placements on 8 cells force multiple chunks;
-        // advancing detects lanes and compacts the survivors into one word.
-        let fault = FaultList::list_1()
-            .linked()
-            .iter()
-            .find(|fault| fault.cell_count() == 2)
-            .expect("list #1 has two-cell faults")
-            .clone();
-        let target = TargetKind::Linked(fault);
-        let lanes = enumerate_lanes(
-            &target,
-            8,
-            PlacementStrategy::Exhaustive,
-            &[InitialState::AllZero, InitialState::AllOne],
-        )
-        .unwrap();
-        assert!(lanes.len() > PackedSimulator::MAX_LANES);
+        // Exhaustive two-cell placements on 8 cells force multiple chunks at
+        // width 64 (pinned: `Auto` would pick one 128-lane word and never
+        // chunk); advancing detects lanes and compacts the survivors.
+        let (target, lanes) = wide_target();
+        assert!(lanes.len() > PackedSimulator::<u64>::MAX_LANES);
         let mut scalar = TargetBatch::new(target.clone(), lanes.clone(), 8, BackendKind::Scalar);
-        let mut packed = TargetBatch::new(target, lanes, 8, BackendKind::Packed);
-        let pool = CandidateBatch::new(catalog::march_ss().elements().to_vec()).unwrap();
+        let mut packed =
+            TargetBatch::new_with_width(target, lanes, 8, BackendKind::Packed, LaneWidth::W64);
+        let pool: CandidateBatch =
+            CandidateBatch::new(catalog::march_ss().elements().to_vec()).unwrap();
         for (_, element) in catalog::march_sl().iter() {
             assert_eq!(scalar.advance(element), packed.advance(element));
             assert_eq!(scalar.pending_lanes(), packed.pending_lanes());
@@ -790,12 +892,51 @@ mod tests {
     }
 
     #[test]
+    fn lane_widths_advance_and_score_identically() {
+        // Every lane width must produce the same scores, pending sets and
+        // pool scores at every march prefix — the batch-level byte-identity
+        // the pipeline-wide differential harness builds on.
+        let (target, lanes) = wide_target();
+        let mut reference = TargetBatch::new_with_width(
+            target.clone(),
+            lanes.clone(),
+            8,
+            BackendKind::Packed,
+            LaneWidth::W64,
+        );
+        let mut wide: Vec<TargetBatch> = [LaneWidth::Auto, LaneWidth::W128, LaneWidth::W256]
+            .into_iter()
+            .map(|width| {
+                TargetBatch::new_with_width(
+                    target.clone(),
+                    lanes.clone(),
+                    8,
+                    BackendKind::Packed,
+                    width,
+                )
+            })
+            .collect();
+        let pool: CandidateBatch =
+            CandidateBatch::new(catalog::march_ss().elements().to_vec()).unwrap();
+        for (_, element) in catalog::march_sl().iter() {
+            let scores = reference.score_pool(&pool);
+            let newly = reference.advance(element);
+            for batch in wide.iter_mut() {
+                assert_eq!(batch.score_pool(&pool), scores);
+                assert_eq!(batch.advance(element), newly);
+                assert_eq!(batch.pending_lanes(), reference.pending_lanes());
+            }
+        }
+        assert_eq!(reference.pending(), 0);
+    }
+
+    #[test]
     fn wave_cost_factor_is_result_invariant() {
         // Factor 0 forces the wave on every chunk, a huge factor forces the
         // per-candidate pass; the scores must not change either way.
         let mut pool = catalog::march_sl().elements().to_vec();
         pool.extend(catalog::mats_plus().elements().iter().cloned());
-        let packed_pool = CandidateBatch::new(pool).unwrap();
+        let packed_pool: CandidateBatch = CandidateBatch::new(pool).unwrap();
         let batches = batches_for(BackendKind::Packed);
         for batch in &batches {
             let reference = batch.score_pool(&packed_pool);
@@ -845,6 +986,35 @@ mod tests {
                     assert_eq!(scratch.score(probe), reference.score(probe));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn wide_snapshots_restore_byte_identical_state() {
+        // The snapshot/restore chain carries the wide chunk variants too:
+        // restoring across a compaction boundary must rewind exactly.
+        let (target, lanes) = wide_target();
+        for width in [LaneWidth::W128, LaneWidth::W256] {
+            let mut batch = TargetBatch::new_with_width(
+                target.clone(),
+                lanes.clone(),
+                8,
+                BackendKind::Packed,
+                width,
+            );
+            let baseline = batch.snapshot();
+            let pending_before = batch.pending_lanes();
+            let mut slot = batch.snapshot();
+            for (_, element) in catalog::march_sl().iter() {
+                batch.advance(element);
+                batch.snapshot_into(&mut slot);
+            }
+            assert_eq!(batch.pending(), 0);
+            let mut restored = batch.clone();
+            restored.restore(&slot);
+            assert_eq!(restored.pending(), 0, "width {width}");
+            restored.restore(&baseline);
+            assert_eq!(restored.pending_lanes(), pending_before, "width {width}");
         }
     }
 

@@ -16,6 +16,7 @@ use march_test::MarchTest;
 use sram_fault_model::{Bit, DecoderFault, FaultList, FaultPrimitive, LinkTopology, LinkedFault};
 
 use crate::backend::{enumerate_lanes, BackendKind, SimulationBackend};
+use crate::lane::LaneWidth;
 use crate::{InitialState, InstanceCells, PlacementStrategy};
 
 /// Which kind of target escaped a march test.
@@ -103,6 +104,9 @@ pub struct CoverageConfig {
     /// `0` = use the available parallelism). The report is identical for every
     /// value.
     pub threads: usize,
+    /// The packed backend's lane width (`Auto` = narrowest word holding each
+    /// target's lane count). The report is identical for every width.
+    pub lane_width: LaneWidth,
 }
 
 impl Default for CoverageConfig {
@@ -113,6 +117,7 @@ impl Default for CoverageConfig {
             backgrounds: vec![InitialState::AllOne],
             backend: BackendKind::Packed,
             threads: 1,
+            lane_width: LaneWidth::Auto,
         }
     }
 }
@@ -152,6 +157,13 @@ impl CoverageConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> CoverageConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Replaces the packed lane width.
+    #[must_use]
+    pub fn with_lane_width(mut self, lane_width: LaneWidth) -> CoverageConfig {
+        self.lane_width = lane_width;
         self
     }
 }
@@ -359,7 +371,7 @@ pub(crate) fn lane_escape(
 /// background of `config`.
 #[must_use]
 pub fn detects_linked(test: &MarchTest, fault: &LinkedFault, config: &CoverageConfig) -> bool {
-    let backend = config.backend.instance();
+    let backend = config.backend.instance_with(config.lane_width);
     target_escape(
         backend.as_ref(),
         test,
@@ -379,7 +391,7 @@ pub fn detects_simple(
     primitive: &FaultPrimitive,
     config: &CoverageConfig,
 ) -> bool {
-    let backend = config.backend.instance();
+    let backend = config.backend.instance_with(config.lane_width);
     target_escape(
         backend.as_ref(),
         test,
@@ -470,6 +482,11 @@ mod tests {
                     "report diverged for backend {backend} with {threads} threads"
                 );
             }
+        }
+        for lane_width in LaneWidth::ALL {
+            let config = CoverageConfig::thorough().with_lane_width(lane_width);
+            let report = measure_coverage(&test, &list, &config);
+            assert_eq!(report, baseline, "report diverged at width {lane_width}");
         }
     }
 

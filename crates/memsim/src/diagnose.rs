@@ -192,50 +192,41 @@ pub fn diagnose(
         .first()
         .cloned()
         .unwrap_or(InitialState::AllOne);
+    let pristine = FaultSimulator::new(config.memory_cells, &background)
+        .expect("diagnosis memory configuration is valid");
+    let mut scratch = pristine.clone();
     let mut candidates = Vec::new();
-
-    for primitive in list.simple() {
-        let topology = primitive.diagnosis_topology();
-        for cells in enumerate_exhaustive_like(topology, config) {
-            let mut simulator = FaultSimulator::new(config.memory_cells, &background)
-                .expect("diagnosis memory configuration is valid");
-            let injected = if primitive.is_coupling() {
-                InjectedFault::coupling(
-                    primitive.clone(),
-                    cells.aggressor_first.expect("pair placement"),
-                    cells.victim,
-                    config.memory_cells,
-                )
-            } else {
-                InjectedFault::single_cell(primitive.clone(), cells.victim, config.memory_cells)
-            }
-            .expect("enumerated placements are valid");
-            simulator.inject(injected);
-            if &Syndrome::observe(test, &mut simulator) == syndrome {
-                candidates.push(DiagnosisCandidate {
-                    target: TargetKind::Simple(primitive.clone()),
-                    cells,
-                });
-            }
+    for (target, cells) in enumerate_diagnosis_instances(list, config) {
+        scratch.clone_from(&pristine);
+        inject_diagnosis_instance(&mut scratch, &target, cells, config.memory_cells);
+        if &Syndrome::observe(test, &mut scratch) == syndrome {
+            candidates.push(DiagnosisCandidate { target, cells });
         }
     }
+    candidates
+}
 
+/// Enumerates every fault instance a diagnosis sweep simulates — simple
+/// primitives first, then linked faults, then decoder faults, placements in
+/// enumeration order. Both the free [`diagnose`] function and the session's
+/// sharded [`diagnose_sweep`](crate::Session::diagnose_sweep) walk exactly
+/// this sequence, which is what keeps their candidate order identical at any
+/// worker-thread count.
+pub(crate) fn enumerate_diagnosis_instances(
+    list: &FaultList,
+    config: &CoverageConfig,
+) -> Vec<(TargetKind, InstanceCells)> {
+    let mut instances = Vec::new();
+    for primitive in list.simple() {
+        for cells in enumerate_exhaustive_like(primitive.diagnosis_topology(), config) {
+            instances.push((TargetKind::Simple(primitive.clone()), cells));
+        }
+    }
     for fault in list.linked() {
         for cells in enumerate_exhaustive_like(fault.topology(), config) {
-            let mut simulator = FaultSimulator::new(config.memory_cells, &background)
-                .expect("diagnosis memory configuration is valid");
-            let instance = LinkedFaultInstance::new(fault.clone(), cells, config.memory_cells)
-                .expect("enumerated placements are valid");
-            simulator.inject_linked(&instance);
-            if &Syndrome::observe(test, &mut simulator) == syndrome {
-                candidates.push(DiagnosisCandidate {
-                    target: TargetKind::Linked(fault.clone()),
-                    cells,
-                });
-            }
+            instances.push((TargetKind::Linked(fault.clone()), cells));
         }
     }
-
     for fault in list.decoders() {
         for cells in enumerate_decoder_placements(
             *fault,
@@ -244,21 +235,45 @@ pub fn diagnose(
         )
         .expect("diagnosis memory hosts the placements")
         {
-            let mut simulator = FaultSimulator::new(config.memory_cells, &background)
-                .expect("diagnosis memory configuration is valid");
-            let instance = DecoderFaultInstance::new(*fault, cells, config.memory_cells)
-                .expect("enumerated placements are valid");
-            simulator.inject_decoder(instance);
-            if &Syndrome::observe(test, &mut simulator) == syndrome {
-                candidates.push(DiagnosisCandidate {
-                    target: TargetKind::Decoder(*fault),
-                    cells,
-                });
-            }
+            instances.push((TargetKind::Decoder(*fault), cells));
         }
     }
+    instances
+}
 
-    candidates
+/// Injects one enumerated diagnosis instance into a fault-free simulator.
+pub(crate) fn inject_diagnosis_instance(
+    simulator: &mut FaultSimulator,
+    target: &TargetKind,
+    cells: InstanceCells,
+    memory_cells: usize,
+) {
+    match target {
+        TargetKind::Simple(primitive) => {
+            let injected = if primitive.is_coupling() {
+                InjectedFault::coupling(
+                    primitive.clone(),
+                    cells.aggressor_first.expect("pair placement"),
+                    cells.victim,
+                    memory_cells,
+                )
+            } else {
+                InjectedFault::single_cell(primitive.clone(), cells.victim, memory_cells)
+            }
+            .expect("enumerated placements are valid");
+            simulator.inject(injected);
+        }
+        TargetKind::Linked(fault) => {
+            let instance = LinkedFaultInstance::new(fault.clone(), cells, memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_linked(&instance);
+        }
+        TargetKind::Decoder(fault) => {
+            let instance = DecoderFaultInstance::new(*fault, cells, memory_cells)
+                .expect("enumerated placements are valid");
+            simulator.inject_decoder(instance);
+        }
+    }
 }
 
 /// Diagnosis must localise faults, so placements are always enumerated

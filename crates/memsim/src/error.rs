@@ -32,9 +32,11 @@ pub enum SimulationError {
     },
     /// A backend name does not match any known simulation backend.
     UnknownBackend(String),
+    /// A lane-width name does not match any packed lane width.
+    UnknownLaneWidth(String),
     /// A packed simulator was asked to hold an unsupported number of lanes.
     LaneCountOutOfRange {
-        /// Number of lanes requested (must be 1..=64).
+        /// Number of lanes requested (must be 1..=width of the lane word).
         requested: usize,
     },
     /// The simulated memory is too small to host the placements of a fault
@@ -73,10 +75,16 @@ impl fmt::Display for SimulationError {
                     "unknown simulation backend `{name}` (expected scalar or packed)"
                 )
             }
+            SimulationError::UnknownLaneWidth(name) => {
+                write!(
+                    f,
+                    "unknown lane width `{name}` (expected auto, 64, 128 or 256)"
+                )
+            }
             SimulationError::LaneCountOutOfRange { requested } => {
                 write!(
                     f,
-                    "packed simulators hold 1 to 64 lanes per word, got {requested}"
+                    "packed simulators hold at most one word of lanes, got {requested}"
                 )
             }
             SimulationError::MemoryTooSmall { cells, min_cells } => {
@@ -111,6 +119,7 @@ mod tests {
                 cells: 8,
             },
             SimulationError::UnknownBackend("simd".into()),
+            SimulationError::UnknownLaneWidth("512".into()),
             SimulationError::LaneCountOutOfRange { requested: 80 },
             SimulationError::MemoryTooSmall {
                 cells: 2,

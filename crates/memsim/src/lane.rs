@@ -1,0 +1,496 @@
+//! Lane words: the machine words the packed backend packs coverage lanes
+//! into.
+//!
+//! The original packed engine was hard-wired to `u64` — 64 `(placement,
+//! background)` lanes per sensitization pass. This module abstracts the word
+//! behind the sealed [`LaneWord`] trait and provides wider blocks built from
+//! `[u64; N]` arrays ([`W128`], [`W256`]), so one pass over a march test can
+//! carry 128 or 256 lanes and the chunk count (and with it per-chunk dispatch
+//! overhead, thread hand-offs and snapshot traffic) drops proportionally.
+//! The `[u64; N]` representation keeps every operation branch-free and
+//! auto-vectorizable; a `W512` alias or a `std::simd` carrier can slot in
+//! later by adding one more [`LaneWord`] impl.
+//!
+//! [`LaneWidth`] is the user-facing policy knob (`auto | 64 | 128 | 256`)
+//! threaded through `ExecPolicy`, `CoverageConfig` and the CLI `--lane-width`
+//! flag; `auto` picks the narrowest width that holds the enumerated lane
+//! count.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+use std::str::FromStr;
+
+use crate::SimulationError;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u64 {}
+    impl<const N: usize> Sealed for super::WideWord<N> {}
+}
+
+/// A fixed-width machine word holding one packed coverage lane per bit.
+///
+/// Sealed: the packed engine's correctness argument (lane-local bitwise
+/// semantics, byte-identical across widths) is proven per implementation, so
+/// the set of carriers is closed — `u64` plus the `[u64; N]` blocks defined
+/// here. All operations are branch-free on the lane dimension.
+pub trait LaneWord:
+    sealed::Sealed
+    + Copy
+    + Eq
+    + fmt::Debug
+    + Send
+    + Sync
+    + 'static
+    + Not<Output = Self>
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + BitAndAssign
+    + BitOrAssign
+    + BitXorAssign
+{
+    /// Number of lanes (bits) the word carries.
+    const BITS: usize;
+    /// Number of 64-bit limbs backing the word (`BITS / 64`).
+    const LIMBS: usize;
+    /// The all-zero word.
+    const ZERO: Self;
+    /// The all-one word.
+    const ALL: Self;
+
+    /// The mask with the low `n` lanes set, for `1 ≤ n ≤ Self::BITS`.
+    ///
+    /// This is the shared width-generic helper behind every lane-mask
+    /// construction (simulator lane masks, merge compaction, candidate
+    /// pools): the old `u64` code special-cased `n == 64` because `1 << 64`
+    /// overflows; the boundary now lives in exactly one place per width.
+    fn full_mask(n: usize) -> Self;
+    /// The word with only lane `lane` set.
+    fn bit(lane: usize) -> Self;
+    /// Whether lane `lane` is set.
+    fn test_bit(&self, lane: usize) -> bool;
+    /// Whether no lane is set.
+    fn is_zero(&self) -> bool;
+    /// Number of set lanes.
+    fn count_ones(&self) -> u32;
+    /// Index of the lowest set lane (`Self::BITS` when empty).
+    fn trailing_zeros(&self) -> u32;
+    /// Clears the lowest set lane (`x &= x - 1` on scalar words).
+    fn clear_lowest_bit(&mut self);
+    /// The `index`-th 64-bit limb (lanes `64*index .. 64*index + 64`).
+    ///
+    /// Limb access is what keeps per-lane scans width-independent: iterating
+    /// the set lanes of a wide word limb by limb costs `O(1)` per lane, where
+    /// building per-lane `W::bit` masks would cost `O(LIMBS)` per lane.
+    fn limb(&self, index: usize) -> u64;
+    /// Mutable access to the `index`-th 64-bit limb.
+    fn limb_mut(&mut self, index: usize) -> &mut u64;
+}
+
+impl LaneWord for u64 {
+    const BITS: usize = 64;
+    const LIMBS: usize = 1;
+    const ZERO: Self = 0;
+    const ALL: Self = u64::MAX;
+
+    #[inline]
+    fn full_mask(n: usize) -> Self {
+        debug_assert!((1..=<Self as LaneWord>::BITS).contains(&n));
+        if n == <Self as LaneWord>::BITS {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    #[inline]
+    fn bit(lane: usize) -> Self {
+        1u64 << lane
+    }
+
+    #[inline]
+    fn test_bit(&self, lane: usize) -> bool {
+        self & (1u64 << lane) != 0
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+
+    #[inline]
+    fn count_ones(&self) -> u32 {
+        u64::count_ones(*self)
+    }
+
+    #[inline]
+    fn trailing_zeros(&self) -> u32 {
+        u64::trailing_zeros(*self)
+    }
+
+    #[inline]
+    fn clear_lowest_bit(&mut self) {
+        *self &= self.wrapping_sub(1);
+    }
+
+    #[inline]
+    fn limb(&self, index: usize) -> u64 {
+        debug_assert_eq!(index, 0);
+        let _ = index;
+        *self
+    }
+
+    #[inline]
+    fn limb_mut(&mut self, index: usize) -> &mut u64 {
+        debug_assert_eq!(index, 0);
+        let _ = index;
+        self
+    }
+}
+
+/// A lane block of `N` 64-bit limbs: `64 * N` packed lanes per word. Lane `i`
+/// lives in bit `i % 64` of limb `i / 64`. All bitwise operations are
+/// limb-wise loops over fixed-size arrays, which the compiler unrolls and
+/// vectorizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideWord<const N: usize>([u64; N]);
+
+/// A 128-lane block (`[u64; 2]`).
+pub type W128 = WideWord<2>;
+/// A 256-lane block (`[u64; 4]`).
+pub type W256 = WideWord<4>;
+
+impl<const N: usize> fmt::Debug for WideWord<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WideWord<{N}>[")?;
+        // Most-significant limb first, like an integer literal.
+        for (index, limb) in self.0.iter().rev().enumerate() {
+            if index > 0 {
+                write!(f, "_")?;
+            }
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const N: usize> Not for WideWord<N> {
+    type Output = Self;
+    #[inline]
+    fn not(mut self) -> Self {
+        for limb in &mut self.0 {
+            *limb = !*limb;
+        }
+        self
+    }
+}
+
+macro_rules! wide_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $assign_op:tt) => {
+        impl<const N: usize> $trait for WideWord<N> {
+            type Output = Self;
+            #[inline]
+            fn $method(mut self, rhs: Self) -> Self {
+                self.$assign_method(rhs);
+                self
+            }
+        }
+        impl<const N: usize> $assign_trait for WideWord<N> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Self) {
+                for (limb, other) in self.0.iter_mut().zip(rhs.0.iter()) {
+                    *limb $assign_op *other;
+                }
+            }
+        }
+    };
+}
+
+wide_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+wide_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+wide_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const N: usize> LaneWord for WideWord<N> {
+    const BITS: usize = 64 * N;
+    const LIMBS: usize = N;
+    const ZERO: Self = WideWord([0; N]);
+    const ALL: Self = WideWord([u64::MAX; N]);
+
+    #[inline]
+    fn full_mask(n: usize) -> Self {
+        debug_assert!(n >= 1 && n <= Self::BITS);
+        let mut limbs = [0u64; N];
+        let full = n / 64;
+        for limb in limbs.iter_mut().take(full) {
+            *limb = u64::MAX;
+        }
+        if full < N && !n.is_multiple_of(64) {
+            limbs[full] = (1u64 << (n % 64)) - 1;
+        }
+        WideWord(limbs)
+    }
+
+    #[inline]
+    fn bit(lane: usize) -> Self {
+        debug_assert!(lane < Self::BITS);
+        let mut limbs = [0u64; N];
+        limbs[lane / 64] = 1u64 << (lane % 64);
+        WideWord(limbs)
+    }
+
+    #[inline]
+    fn test_bit(&self, lane: usize) -> bool {
+        debug_assert!(lane < Self::BITS);
+        self.0[lane / 64] & (1u64 << (lane % 64)) != 0
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.iter().all(|&limb| limb == 0)
+    }
+
+    #[inline]
+    fn count_ones(&self) -> u32 {
+        self.0.iter().map(|limb| limb.count_ones()).sum()
+    }
+
+    #[inline]
+    fn trailing_zeros(&self) -> u32 {
+        let mut zeros = 0u32;
+        for limb in &self.0 {
+            if *limb != 0 {
+                return zeros + limb.trailing_zeros();
+            }
+            zeros += 64;
+        }
+        zeros
+    }
+
+    #[inline]
+    fn clear_lowest_bit(&mut self) {
+        for limb in &mut self.0 {
+            if *limb != 0 {
+                *limb &= limb.wrapping_sub(1);
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn limb(&self, index: usize) -> u64 {
+        self.0[index]
+    }
+
+    #[inline]
+    fn limb_mut(&mut self, index: usize) -> &mut u64 {
+        &mut self.0[index]
+    }
+}
+
+/// Broadcasts a scalar bit over every lane of a word.
+#[inline]
+pub(crate) fn broadcast<W: LaneWord>(bit: sram_fault_model::Bit) -> W {
+    match bit {
+        sram_fault_model::Bit::Zero => W::ZERO,
+        sram_fault_model::Bit::One => W::ALL,
+    }
+}
+
+/// The lanes of `values` matching a sensitizing condition: `Zero` selects the
+/// lanes holding 0, `One` the lanes holding 1, `DontCare` every lane.
+#[inline]
+pub(crate) fn condition_mask<W: LaneWord>(condition: sram_fault_model::CellValue, values: W) -> W {
+    match condition {
+        sram_fault_model::CellValue::Zero => !values,
+        sram_fault_model::CellValue::One => values,
+        sram_fault_model::CellValue::DontCare => W::ALL,
+    }
+}
+
+/// The packed-backend lane width: how many coverage lanes one machine word
+/// carries through each sensitization/effects pass.
+///
+/// `Auto` (the default) picks the narrowest width that holds the enumerated
+/// lane count of each target, so small scopes keep the cheap 64-bit word and
+/// large scopes (exhaustive decoder spaces, 1k-cell memories) pack 256 lanes
+/// per pass. Reports are byte-identical across widths — the width only
+/// changes how lanes are grouped into chunks, never any lane's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneWidth {
+    /// Pick the narrowest width that holds the lane count (the default).
+    #[default]
+    Auto,
+    /// One `u64` word: 64 lanes per pass.
+    W64,
+    /// A `[u64; 2]` block: 128 lanes per pass.
+    W128,
+    /// A `[u64; 4]` block: 256 lanes per pass.
+    W256,
+}
+
+impl LaneWidth {
+    /// Every selectable width, narrowest first.
+    pub const ALL: [LaneWidth; 4] = [
+        LaneWidth::Auto,
+        LaneWidth::W64,
+        LaneWidth::W128,
+        LaneWidth::W256,
+    ];
+
+    /// Resolves `Auto` against an enumerated lane count; explicit widths
+    /// resolve to themselves.
+    #[must_use]
+    pub fn resolve(self, lanes: usize) -> LaneWidth {
+        match self {
+            LaneWidth::Auto => {
+                if lanes <= 64 {
+                    LaneWidth::W64
+                } else if lanes <= 128 {
+                    LaneWidth::W128
+                } else {
+                    LaneWidth::W256
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// The number of lanes per word, or `None` for `Auto`.
+    #[must_use]
+    pub fn lanes_per_word(self) -> Option<usize> {
+        match self {
+            LaneWidth::Auto => None,
+            LaneWidth::W64 => Some(64),
+            LaneWidth::W128 => Some(128),
+            LaneWidth::W256 => Some(256),
+        }
+    }
+
+    /// The stable CLI/JSON name of the width.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneWidth::Auto => "auto",
+            LaneWidth::W64 => "64",
+            LaneWidth::W128 => "128",
+            LaneWidth::W256 => "256",
+        }
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LaneWidth {
+    type Err = SimulationError;
+
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(LaneWidth::Auto),
+            "64" | "w64" => Ok(LaneWidth::W64),
+            "128" | "w128" => Ok(LaneWidth::W128),
+            "256" | "w256" => Ok(LaneWidth::W256),
+            other => Err(SimulationError::UnknownLaneWidth(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_mask_boundary<W: LaneWord>() {
+        // The n == width boundary — the case the old code special-cased
+        // twice — must produce the all-ones word, and n == width - 1 must
+        // clear exactly the top lane.
+        assert_eq!(W::full_mask(W::BITS), W::ALL);
+        let almost = W::full_mask(W::BITS - 1);
+        assert!(!almost.test_bit(W::BITS - 1));
+        assert_eq!(almost.count_ones() as usize, W::BITS - 1);
+        assert_eq!(almost | W::bit(W::BITS - 1), W::ALL);
+        // And the low boundary.
+        assert_eq!(W::full_mask(1), W::bit(0));
+    }
+
+    #[test]
+    fn full_mask_covers_the_width_boundary_on_every_word() {
+        full_mask_boundary::<u64>();
+        full_mask_boundary::<W128>();
+        full_mask_boundary::<W256>();
+    }
+
+    fn bit_scan_roundtrip<W: LaneWord>() {
+        for lane in [0usize, 1, 63, W::BITS / 2, W::BITS - 1] {
+            let word = W::bit(lane);
+            assert!(word.test_bit(lane));
+            assert_eq!(word.count_ones(), 1);
+            assert_eq!(word.trailing_zeros() as usize, lane);
+            let mut cleared = word;
+            cleared.clear_lowest_bit();
+            assert!(cleared.is_zero());
+        }
+        assert_eq!(W::ZERO.trailing_zeros() as usize, W::BITS);
+        assert!(W::ZERO.is_zero());
+        assert!(!W::ALL.is_zero());
+        assert_eq!(W::ALL.count_ones() as usize, W::BITS);
+    }
+
+    #[test]
+    fn bit_operations_roundtrip_on_every_word() {
+        bit_scan_roundtrip::<u64>();
+        bit_scan_roundtrip::<W128>();
+        bit_scan_roundtrip::<W256>();
+    }
+
+    #[test]
+    fn wide_words_mirror_u64_limbwise() {
+        // A W128 built from two u64 patterns behaves like the pair.
+        let low = 0x0123_4567_89ab_cdefu64;
+        let high = 0xfedc_ba98_7654_3210u64;
+        let word = W128::full_mask(64) & W128::ALL;
+        assert_eq!(word.count_ones(), 64);
+        let mut composed = W128::ZERO;
+        for lane in 0..64 {
+            if low.test_bit(lane) {
+                composed |= W128::bit(lane);
+            }
+            if high.test_bit(lane) {
+                composed |= W128::bit(64 + lane);
+            }
+        }
+        assert_eq!(composed.count_ones(), low.count_ones() + high.count_ones());
+        assert_eq!(composed.trailing_zeros(), low.trailing_zeros());
+        assert_eq!((!composed & composed), W128::ZERO);
+        assert_eq!((composed ^ composed), W128::ZERO);
+        assert_eq!((composed | !composed), W128::ALL);
+    }
+
+    #[test]
+    fn lane_width_resolution_and_parsing() {
+        assert_eq!(LaneWidth::default(), LaneWidth::Auto);
+        assert_eq!(LaneWidth::Auto.resolve(1), LaneWidth::W64);
+        assert_eq!(LaneWidth::Auto.resolve(64), LaneWidth::W64);
+        assert_eq!(LaneWidth::Auto.resolve(65), LaneWidth::W128);
+        assert_eq!(LaneWidth::Auto.resolve(128), LaneWidth::W128);
+        assert_eq!(LaneWidth::Auto.resolve(129), LaneWidth::W256);
+        assert_eq!(LaneWidth::Auto.resolve(20_480), LaneWidth::W256);
+        assert_eq!(LaneWidth::W64.resolve(20_480), LaneWidth::W64);
+        assert_eq!(LaneWidth::W128.resolve(1), LaneWidth::W128);
+
+        for width in LaneWidth::ALL {
+            assert_eq!(width.name().parse::<LaneWidth>().unwrap(), width);
+            assert_eq!(width.to_string(), width.name());
+        }
+        assert_eq!("W256".parse::<LaneWidth>().unwrap(), LaneWidth::W256);
+        assert!(matches!(
+            "512".parse::<LaneWidth>(),
+            Err(SimulationError::UnknownLaneWidth(name)) if name == "512"
+        ));
+        assert_eq!(LaneWidth::Auto.lanes_per_word(), None);
+        assert_eq!(LaneWidth::W256.lanes_per_word(), Some(256));
+    }
+}

@@ -17,8 +17,10 @@
 //!   backgrounds ([`CoverageReport`]);
 //! * evaluates coverage through pluggable [`SimulationBackend`]s — the scalar
 //!   dual-memory engine ([`ScalarBackend`]) or the bit-parallel packed engine
-//!   ([`PackedBackend`], up to 64 fault instances per `u64` word) — fanning the
-//!   fault targets out over worker threads ([`parallel_map`]);
+//!   ([`PackedBackend`], one fault instance per bit of a [`LaneWord`]: 64 per
+//!   `u64` word, 128/256 per [`W128`]/[`W256`] block, selected by
+//!   [`LaneWidth`]) — fanning the fault targets out over worker threads
+//!   ([`parallel_map`]);
 //! * exposes the whole pipeline through one long-lived engine handle
 //!   ([`Session`]), built from a unified [`ExecPolicy`] and owning a
 //!   persistent [`WorkerPool`], whose methods return [`Report`]s with
@@ -58,6 +60,7 @@ mod dictionary;
 mod engine;
 mod error;
 mod inject;
+mod lane;
 mod memory;
 mod parallel;
 mod placement;
@@ -80,6 +83,7 @@ pub use dictionary::{DictionaryEntry, FaultDictionary};
 pub use engine::{FaultSimulator, OperationOutcome};
 pub use error::SimulationError;
 pub use inject::{DecoderFaultInstance, InjectedFault, InstanceCells, LinkedFaultInstance};
+pub use lane::{LaneWidth, LaneWord, WideWord, W128, W256};
 pub use memory::{InitialState, Memory};
 pub use parallel::{effective_threads, parallel_map, WorkerPool};
 pub use placement::{

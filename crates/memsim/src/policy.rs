@@ -11,6 +11,7 @@
 //! cache that repeated coverage/generation/minimisation queries share.
 
 use crate::backend::BackendKind;
+use crate::lane::LaneWidth;
 
 /// The default wave-vs-per-candidate cost-model factor.
 ///
@@ -57,6 +58,11 @@ pub struct ExecPolicy {
     /// Defaults to [`DEFAULT_WAVE_COST_FACTOR`]; both strategies are exact,
     /// so any value is result-identical.
     pub wave_cost_factor: usize,
+    /// How many coverage lanes the packed backend carries per word
+    /// (`Auto` = narrowest width holding each target's lane count; explicit
+    /// 64/128/256 pin the word). Ignored by the scalar backend. Like every
+    /// other knob, result-invariant: reports are byte-identical at any width.
+    pub lane_width: LaneWidth,
 }
 
 impl Default for ExecPolicy {
@@ -66,6 +72,7 @@ impl Default for ExecPolicy {
             threads: 1,
             batch: 0,
             wave_cost_factor: DEFAULT_WAVE_COST_FACTOR,
+            lane_width: LaneWidth::Auto,
         }
     }
 }
@@ -109,6 +116,13 @@ impl ExecPolicy {
         self.wave_cost_factor = factor;
         self
     }
+
+    /// Replaces the packed lane width.
+    #[must_use]
+    pub fn with_lane_width(mut self, lane_width: LaneWidth) -> ExecPolicy {
+        self.lane_width = lane_width;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +136,9 @@ mod tests {
         assert_eq!(policy.threads, 1);
         assert_eq!(policy.batch, 0);
         assert_eq!(policy.wave_cost_factor, DEFAULT_WAVE_COST_FACTOR);
+        assert_eq!(policy.lane_width, LaneWidth::Auto);
         assert_eq!(ExecPolicy::fast().threads, 0);
+        assert_eq!(ExecPolicy::fast().lane_width, LaneWidth::Auto);
     }
 
     #[test]
@@ -131,10 +147,12 @@ mod tests {
             .with_backend(BackendKind::Scalar)
             .with_threads(4)
             .with_batch(16)
-            .with_wave_cost_factor(5);
+            .with_wave_cost_factor(5)
+            .with_lane_width(LaneWidth::W256);
         assert_eq!(policy.backend, BackendKind::Scalar);
         assert_eq!(policy.threads, 4);
         assert_eq!(policy.batch, 16);
         assert_eq!(policy.wave_cost_factor, 5);
+        assert_eq!(policy.lane_width, LaneWidth::W256);
     }
 }

@@ -21,14 +21,20 @@ use crate::backend::{enumerate_lanes, SimulationBackend};
 use crate::coverage::{
     assemble_coverage_report, enumerate_targets, lane_escape, Escape, TargetKind,
 };
+use crate::diagnose::{enumerate_diagnosis_instances, inject_diagnosis_instance};
 use crate::parallel::WorkerPool;
 use crate::report::DiagnosisReport;
 use crate::run::run_march;
 use crate::{
-    diagnose, CoverageConfig, CoverageLane, CoverageReport, ExecPolicy, FaultDictionary,
-    FaultSimulator, InitialState, InjectedFault, LinkedFaultInstance, MarchRun, PlacementStrategy,
-    Result, Syndrome,
+    CoverageConfig, CoverageLane, CoverageReport, DiagnosisCandidate, ExecPolicy, FaultDictionary,
+    FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkedFaultInstance, MarchRun,
+    PlacementStrategy, Result, Syndrome,
 };
+
+/// How many diagnosis instances one sweep shard simulates: large enough to
+/// amortise the per-shard fault-free simulator, small enough that the shards
+/// of a representative sweep still spread over every worker.
+const DIAGNOSIS_SHARD: usize = 256;
 
 /// Every fault target of a list together with its enumerated coverage lanes —
 /// the session-cached setup artifact shared by coverage measurement, the
@@ -156,7 +162,7 @@ impl Session {
             memory_cells: scope.memory_cells,
             strategy: scope.strategy,
             backgrounds: scope.backgrounds,
-            backend: Arc::from(policy.backend.instance()),
+            backend: Arc::from(policy.backend.instance_with(policy.lane_width)),
             pool,
             artifacts: Mutex::new(HashMap::new()),
             dictionaries: Mutex::new(HashMap::new()),
@@ -171,7 +177,8 @@ impl Session {
         Session::new(
             ExecPolicy::default()
                 .with_backend(config.backend)
-                .with_threads(config.threads),
+                .with_threads(config.threads)
+                .with_lane_width(config.lane_width),
         )
         .with_memory_cells(config.memory_cells)
         .with_strategy(config.strategy)
@@ -239,6 +246,7 @@ impl Session {
             backgrounds: self.backgrounds.clone(),
             backend: self.policy.backend,
             threads: self.policy.threads,
+            lane_width: self.policy.lane_width,
         }
     }
 
@@ -567,6 +575,13 @@ impl Session {
     /// Diagnoses `syndrome` by a full simulation sweep of `list` under `test`
     /// — the session form of [`diagnose`](crate::diagnose()), for one-off
     /// queries where building a dictionary would not amortise.
+    ///
+    /// The sweep shards its instance space over the session's resident worker
+    /// pool in fixed-size ranges; each shard re-uses one scratch simulator
+    /// (reset per instance with `clone_from`, so the memory buffers are
+    /// allocated once per shard, not once per instance). Shard results are
+    /// concatenated in enumeration order, so the report is byte-identical to
+    /// the free function at every thread count.
     #[must_use]
     pub fn diagnose_sweep(
         &self,
@@ -574,8 +589,44 @@ impl Session {
         syndrome: &Syndrome,
         list: &FaultList,
     ) -> DiagnosisReport {
-        let candidates = diagnose(test, syndrome, list, &self.coverage_config());
-        DiagnosisReport::new(test.name(), syndrome.clone(), candidates)
+        if syndrome.is_empty() {
+            return DiagnosisReport::new(test.name(), syndrome.clone(), Vec::new());
+        }
+        let instances = enumerate_diagnosis_instances(list, &self.coverage_config());
+        let shards: Vec<Vec<(TargetKind, InstanceCells)>> = instances
+            .chunks(DIAGNOSIS_SHARD)
+            .map(<[_]>::to_vec)
+            .collect();
+        let test_owned = test.clone();
+        let observed = syndrome.clone();
+        let memory_cells = self.memory_cells;
+        let background = self
+            .backgrounds
+            .first()
+            .cloned()
+            .unwrap_or(InitialState::AllOne);
+        let matches: Vec<Vec<DiagnosisCandidate>> = self.execute(Arc::new(shards), move |shard| {
+            let pristine = FaultSimulator::new(memory_cells, &background)
+                .expect("diagnosis memory configuration is valid");
+            let mut scratch = pristine.clone();
+            let mut found = Vec::new();
+            for (target, cells) in shard {
+                scratch.clone_from(&pristine);
+                inject_diagnosis_instance(&mut scratch, target, *cells, memory_cells);
+                if Syndrome::observe(&test_owned, &mut scratch) == observed {
+                    found.push(DiagnosisCandidate {
+                        target: target.clone(),
+                        cells: *cells,
+                    });
+                }
+            }
+            found
+        });
+        DiagnosisReport::new(
+            test.name(),
+            syndrome.clone(),
+            matches.into_iter().flatten().collect(),
+        )
     }
 
     /// Runs `test` on a device carrying `fault` and returns the observed
@@ -606,7 +657,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{measure_coverage, BackendKind};
+    use crate::{diagnose, measure_coverage, BackendKind, LaneWidth};
     use march_test::catalog;
     use sram_fault_model::Ffm;
 
@@ -711,6 +762,32 @@ mod tests {
         );
         assert_eq!(report.candidates(), &reference[..]);
         assert_eq!(report.test_name(), "March SS");
+
+        // The sharded parallel sweep is byte-identical to the serial one,
+        // and an empty syndrome short-circuits to an unexplained report.
+        for threads in [2usize, 0] {
+            let parallel =
+                Session::new(ExecPolicy::default().with_threads(threads)).with_memory_cells(6);
+            let sharded = parallel.diagnose_sweep(&catalog::march_ss(), &syndrome, &list);
+            assert_eq!(sharded, report, "{threads} threads");
+        }
+        let passing = session.diagnose_sweep(&catalog::march_ss(), &Syndrome::new(), &list);
+        assert!(passing.candidates().is_empty());
+        assert!(!passing.is_unexplained());
+    }
+
+    #[test]
+    fn lane_width_threads_through_the_session() {
+        let list = FaultList::list_2();
+        let test = catalog::march_sl();
+        let baseline = Session::default().coverage(&test, &list);
+        for width in LaneWidth::ALL {
+            let session = Session::new(ExecPolicy::default().with_lane_width(width));
+            assert_eq!(session.coverage_config().lane_width, width);
+            assert_eq!(session.coverage(&test, &list), baseline, "width {width}");
+            let rebuilt = Session::from_coverage_config(&session.coverage_config());
+            assert_eq!(rebuilt.policy().lane_width, width);
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@ use march_test::{AddressOrder, MarchElement, MarchTest};
 use proptest::prelude::*;
 use sram_fault_model::{FaultList, Ffm, Operation};
 use sram_sim::{
-    enumerate_lanes, measure_coverage, BackendKind, CoverageConfig, InitialState, PackedBackend,
-    PlacementStrategy, ScalarBackend, SimulationBackend, TargetKind,
+    enumerate_lanes, measure_coverage, BackendKind, CoverageConfig, InitialState, LaneWidth,
+    PackedBackend, PlacementStrategy, ScalarBackend, SimulationBackend, TargetKind,
 };
 
 fn arbitrary_operation() -> impl Strategy<Value = Operation> {
@@ -74,12 +74,16 @@ proptest! {
         let target = TargetKind::Linked(fault.clone());
         let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
-        let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
-        prop_assert_eq!(&scalar, &packed, "verdicts diverged for {}", fault);
-        prop_assert_eq!(
-            ScalarBackend.first_undetected(&test, &target, &lanes, memory_cells),
-            PackedBackend.first_undetected(&test, &target, &lanes, memory_cells)
-        );
+        // Every packed lane width must match the scalar reference exactly.
+        for width in LaneWidth::ALL {
+            let backend = PackedBackend::with_width(width);
+            let packed = backend.lane_verdicts(&test, &target, &lanes, memory_cells);
+            prop_assert_eq!(&scalar, &packed, "verdicts diverged for {} at width {}", fault, width);
+            prop_assert_eq!(
+                ScalarBackend.first_undetected(&test, &target, &lanes, memory_cells),
+                backend.first_undetected(&test, &target, &lanes, memory_cells)
+            );
+        }
     }
 
     /// Same for the 48 unlinked realistic fault primitives.
@@ -96,7 +100,7 @@ proptest! {
         let target = TargetKind::Simple(primitive);
         let lanes = enumerate_lanes(&target, memory_cells, strategy, &backgrounds).unwrap();
         let scalar = ScalarBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
-        let packed = PackedBackend.lane_verdicts(&test, &target, &lanes, memory_cells);
+        let packed = PackedBackend::default().lane_verdicts(&test, &target, &lanes, memory_cells);
         prop_assert_eq!(scalar, packed);
     }
 

@@ -1,6 +1,8 @@
 //! Cross-backend differential test support: one generic harness asserting the
 //! whole pipeline — coverage, generation, minimisation, verification — is
-//! **byte-identical** across two execution policies.
+//! **byte-identical** across two execution policies (any combination of
+//! backend, thread count, batch size, wave-cost factor and packed lane width:
+//! 64, 128 or 256 lanes per word).
 //!
 //! This module replaces the three near-duplicate equivalence suites that used
 //! to live in `sram_sim` and `march_gen` (`session_equivalence` ×2 and

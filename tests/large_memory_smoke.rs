@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use march_test::catalog;
 use sram_fault_model::{DecoderFault, FaultList};
 use sram_sim::{
-    DecoderFaultInstance, ExecPolicy, FaultSimulator, InitialState, InstanceCells, Session,
-    Syndrome, TargetKind,
+    DecoderFaultInstance, ExecPolicy, FaultSimulator, InitialState, InstanceCells, LaneWidth,
+    PlacementStrategy, Session, Syndrome, TargetKind,
 };
 
 /// Per-test wall-clock budget. Generous (the measured release times are well
@@ -48,6 +48,31 @@ fn mixed_af_ffm_coverage_at_1024_cells() {
     assert!(
         start.elapsed() < BUDGET,
         "1024-cell mixed coverage blew the budget: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "release-grade 1k-cell workload; run with --ignored"]
+fn af_coverage_at_1024_cells_is_lane_width_invariant() {
+    // Exhaustive decoder placements at 1024 cells put tens of thousands of
+    // lanes on every target — the workload the 256-lane words exist for. The
+    // wide run must be byte-identical to the one-word-per-64-lanes run.
+    let start = Instant::now();
+    let list = FaultList::address_decoder();
+    let scoped = |width: LaneWidth| {
+        Session::new(ExecPolicy::fast().with_lane_width(width))
+            .with_memory_cells(1024)
+            .with_strategy(PlacementStrategy::Exhaustive)
+            .coverage(&catalog::march_ss(), &list)
+    };
+    let narrow = scoped(LaneWidth::W64);
+    let wide = scoped(LaneWidth::W256);
+    assert_eq!(narrow, wide, "reports diverged between 64 and 256 lanes");
+    assert!(wide.is_complete(), "escapes: {:?}", wide.escapes());
+    assert!(
+        start.elapsed() < BUDGET,
+        "1024-cell width-invariance smoke blew the budget: {:?}",
         start.elapsed()
     );
 }

@@ -1,8 +1,9 @@
 //! The cross-backend differential suite: **one harness**
 //! ([`march_codex_repro::testkit::assert_pipeline_equivalent`]) asserting
 //! coverage / generation / minimisation / verification verdicts are
-//! byte-identical across backend × threads × batch × wave-cost × scope, for
-//! address-decoder (AF), cell-array (FFM) and mixed fault lists.
+//! byte-identical across backend × threads × batch × wave-cost × lane-width
+//! (64/128/256) × scope, for address-decoder (AF), cell-array (FFM) and mixed
+//! fault lists.
 //!
 //! This replaces the three near-duplicate equivalence suites that previously
 //! lived in `crates/memsim/tests/session_equivalence.rs`,
@@ -13,7 +14,7 @@ use march_codex_repro::testkit::{assert_pipeline_equivalent, reference_policy};
 use march_test::{AddressOrder, MarchElement, MarchTest};
 use proptest::prelude::*;
 use sram_fault_model::{FaultList, Operation};
-use sram_sim::{BackendKind, ExecPolicy, Session};
+use sram_sim::{BackendKind, ExecPolicy, LaneWidth, Session};
 
 /// The three fault domains the tentpole opens: decoder-only, FFM-only and the
 /// mixed list carrying both.
@@ -31,28 +32,38 @@ fn arbitrary_policy() -> impl Strategy<Value = ExecPolicy> {
         0usize..4,
         prop_oneof![Just(0usize), Just(1usize), Just(7usize), Just(64usize)],
         prop_oneof![Just(1usize), Just(3usize), Just(10usize)],
+        prop::sample::select(LaneWidth::ALL.to_vec()),
     )
-        .prop_map(|(backend, threads, batch, factor)| {
+        .prop_map(|(backend, threads, batch, factor, lane_width)| {
             ExecPolicy::default()
                 .with_backend(backend)
                 .with_threads(threads)
                 .with_batch(batch)
                 .with_wave_cost_factor(factor)
+                .with_lane_width(lane_width)
         })
 }
 
 /// Deterministic sweep: every fault domain × a policy matrix spanning both
-/// backends, serial/pooled threads, full/odd/per-candidate batches and an
-/// off-default wave-cost factor, each anchored to the serial scalar reference.
+/// backends, serial/pooled threads, full/odd/per-candidate batches, an
+/// off-default wave-cost factor and every packed lane width, each anchored to
+/// the serial scalar reference.
 #[test]
 fn af_ffm_and_mixed_lists_are_policy_invariant() {
     let policies = [
-        ExecPolicy::default(), // packed, serial, full words
+        ExecPolicy::default(), // packed, serial, full words, auto width
         ExecPolicy::default().with_threads(2).with_batch(7),
         ExecPolicy::default()
             .with_backend(BackendKind::Scalar)
             .with_threads(3),
         ExecPolicy::fast().with_batch(1).with_wave_cost_factor(10),
+        ExecPolicy::default().with_lane_width(LaneWidth::W64),
+        ExecPolicy::default()
+            .with_lane_width(LaneWidth::W128)
+            .with_threads(2),
+        ExecPolicy::fast()
+            .with_lane_width(LaneWidth::W256)
+            .with_batch(7),
     ];
     for list in fault_lists() {
         for policy in policies {
