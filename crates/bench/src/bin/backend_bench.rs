@@ -3,9 +3,11 @@
 //! candidate-scoring hot path with batched vs per-candidate pools, the
 //! redundancy-removal pass with suffix-only snapshots vs full re-simulation,
 //! repeated coverage through one resident [`Session`] vs the
-//! spawn-per-call legacy path, **and** the wide-word packed engine (128/256
-//! lanes per word vs 64) on exhaustive address-decoder sweeps, then writes
-//! the speedups to
+//! spawn-per-call legacy path, the wide-word packed engine (128/256
+//! lanes per word vs 64) on exhaustive address-decoder sweeps, **and** the
+//! `march-codex serve` loop replaying a fixed NDJSON script against a cold
+//! engine per replay vs one resident engine with a warm artifact store, then
+//! writes the speedups to
 //! `BENCH_simulation.json` (schema version 2, see [`march_bench::BenchFile`])
 //! so the simulation stack's perf trajectory is tracked — and diffed by CI
 //! via `bench_diff` — across PRs.
@@ -15,9 +17,11 @@
 //! thread fan-out (0 = auto; the resolved count is what lands in the JSON).
 
 use std::env;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use march_bench::{BenchFile, BenchRecord};
+use march_codex_cli::{serve_lines, ServeMetrics, ServeOptions};
 use march_gen::{
     exhaustive_candidates, minimise_full_resim, minimise_with, score_candidates, GeneratorConfig,
 };
@@ -25,7 +29,8 @@ use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::{FaultList, FaultListBuilder};
 use sram_sim::{
     effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
-    CoverageConfig, ExecPolicy, InitialState, LaneWidth, PlacementStrategy, Session, TargetBatch,
+    CoverageConfig, ExecPolicy, InitialState, LaneWidth, PlacementStrategy, Session, SharedEngine,
+    TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -239,6 +244,83 @@ fn lane_width_workloads() -> Vec<LaneWidthWorkload> {
             reps: 7,
         },
     ]
+}
+
+/// One service workload: a fixed NDJSON request script replayed through the
+/// `march-codex serve` loop — a cold [`SharedEngine`] stood up per replay
+/// (baseline) versus one resident engine whose artifact store and fault
+/// dictionaries stay warm across replays (contender). This is the regime the
+/// `serve` subcommand exists for: many clients, one process, every repeated
+/// (test, list, scope) key answered from the shared store.
+struct ServiceWorkload {
+    name: &'static str,
+    script: &'static str,
+    reps: u32,
+}
+
+fn service_workloads() -> Vec<ServiceWorkload> {
+    // Mixed coverage + diagnosis traffic over two fault lists. The diagnosis
+    // pair shares one dictionary key (same test × list × scope), so a cold
+    // replay pays one dictionary build and the warm engine answers both from
+    // the index; the coverage lines keep re-simulating but reuse the
+    // enumerated target lanes.
+    const MIXED: &str = concat!(
+        r#"{"op": "coverage", "test": "March SL", "list": "2"}"#,
+        "\n",
+        r#"{"op": "diagnose", "test": "March SS", "fault": "<0w1;0/1/->", "victim": 4, "aggressor": 1, "cells": 6, "list": "unlinked"}"#,
+        "\n",
+        r#"{"op": "coverage", "test": "March SS", "list": "unlinked"}"#,
+        "\n",
+        r#"{"op": "diagnose", "test": "March SS", "fault": "<0w1;0/1/->", "victim": 2, "aggressor": 5, "cells": 6, "list": "unlinked"}"#,
+        "\n",
+    );
+    vec![ServiceWorkload {
+        name: "serve_mixed_script_cold_vs_resident",
+        script: MIXED,
+        reps: 5,
+    }]
+}
+
+/// Times one service workload. Every replay — cold or warm — is pinned
+/// byte-identical to a reference transcript from a fresh engine, so a stale
+/// cache entry cannot masquerade as a speedup.
+fn time_service(workload: &ServiceWorkload) -> (Duration, Duration) {
+    let options = ServeOptions::default();
+    let policy = || ExecPolicy::default().with_threads(2);
+    let run = |engine: &Arc<SharedEngine>| -> Vec<u8> {
+        let metrics = Arc::new(ServeMetrics::default());
+        let mut output = Vec::new();
+        serve_lines(
+            workload.script.as_bytes(),
+            &mut output,
+            engine,
+            &metrics,
+            &options,
+        )
+        .expect("benchmark script is well-formed");
+        output
+    };
+    let reference = run(&SharedEngine::new(policy()));
+
+    let mut cold_time = Duration::ZERO;
+    for _ in 0..workload.reps {
+        let engine = SharedEngine::new(policy());
+        let start = Instant::now();
+        assert_eq!(run(&engine), reference);
+        cold_time += start.elapsed();
+    }
+    let cold = cold_time / workload.reps;
+
+    let resident = SharedEngine::new(policy());
+    // Warm-up replay populates the resident store; the timed replays are the
+    // steady state a long-lived `serve` process answers from.
+    assert_eq!(run(&resident), reference);
+    let start = Instant::now();
+    for _ in 0..workload.reps {
+        assert_eq!(run(&resident), reference);
+    }
+    let warm = start.elapsed() / workload.reps;
+    (cold, warm)
 }
 
 /// Times one lane-width workload; the narrow and wide reports are pinned
@@ -582,6 +664,27 @@ fn main() {
             contender_ns: wide.as_nanos() as u64,
             speedup,
             lane_width: Some(workload.width.name().to_string()),
+        });
+    }
+    for workload in service_workloads() {
+        let (cold, warm) = time_service(&workload);
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "service".to_string(),
+            baseline: "cold-engine".to_string(),
+            contender: "resident-engine".to_string(),
+            baseline_ns: cold.as_nanos() as u64,
+            contender_ns: warm.as_nanos() as u64,
+            speedup,
+            lane_width: None,
         });
     }
     for workload in session_workloads() {

@@ -31,7 +31,7 @@ pub enum CoverageTarget {
 }
 
 impl CoverageTarget {
-    fn parse(text: &str) -> Result<CoverageTarget, ParseArgsError> {
+    pub(crate) fn parse(text: &str) -> Result<CoverageTarget, ParseArgsError> {
         match text {
             "1" | "list1" | "#1" => Ok(CoverageTarget::List1),
             "2" | "list2" | "#2" => Ok(CoverageTarget::List2),
@@ -67,7 +67,7 @@ pub enum FaultDomain {
 }
 
 impl FaultDomain {
-    fn parse(text: &str) -> Result<FaultDomain, ParseArgsError> {
+    pub(crate) fn parse(text: &str) -> Result<FaultDomain, ParseArgsError> {
         match text.trim().to_ascii_lowercase().as_str() {
             "ffm" => Ok(FaultDomain::Ffm),
             "af" => Ok(FaultDomain::Af),
@@ -217,6 +217,32 @@ pub enum Command {
         aggressor: Option<usize>,
         /// Memory size in cells.
         cells: usize,
+    },
+    /// `serve [--backend scalar|packed] [--threads N] [--lane-width auto|64|128|256]
+    /// [--max-in-flight N] [--timeout-ms N] [--tcp ADDR]`.
+    ///
+    /// Runs the resident service loop: newline-delimited JSON requests
+    /// (coverage / generate / minimise / diagnose / stats) from stdin — or
+    /// from every client of a TCP listener under `--tcp` — multiplexed over
+    /// one shared engine whose artifact store and worker pool stay warm
+    /// across requests and clients.
+    Serve {
+        /// Which simulation backend the shared engine uses.
+        backend: BackendKind,
+        /// Worker threads of the resident pool (0 = auto; the default, since
+        /// a server wants every core).
+        threads: usize,
+        /// Coverage lanes per packed word (auto = narrowest fitting width).
+        lane_width: LaneWidth,
+        /// Maximum concurrently executing requests; further requests apply
+        /// backpressure to the client.
+        max_in_flight: usize,
+        /// Per-request deadline in milliseconds before a typed `timeout`
+        /// error is answered in its slot.
+        timeout_ms: u64,
+        /// TCP listen address (e.g. `127.0.0.1:7777`; port 0 picks a free
+        /// one). Stdin/stdout when absent.
+        tcp: Option<String>,
     },
     /// `help` — print the usage text.
     Help,
@@ -475,6 +501,53 @@ impl Command {
                     cells,
                 })
             }
+            "serve" => {
+                let mut backend = BackendKind::Packed;
+                let mut threads = None;
+                let mut lane_width = LaneWidth::Auto;
+                let mut max_in_flight = 4usize;
+                let mut timeout_ms = 30_000u64;
+                let mut tcp = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
+                        "--threads" => {
+                            threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
+                        }
+                        "--lane-width" => {
+                            lane_width = parse_lane_width(&required(&mut args, "--lane-width")?)?;
+                        }
+                        "--max-in-flight" => {
+                            let value = required(&mut args, "--max-in-flight")?;
+                            max_in_flight = value.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                                ParseArgsError(format!(
+                                    "`{value}` is not a valid in-flight limit (need a positive integer)"
+                                ))
+                            })?;
+                        }
+                        "--timeout-ms" => {
+                            let value = required(&mut args, "--timeout-ms")?;
+                            timeout_ms = value.parse::<u64>().map_err(|_| {
+                                ParseArgsError(format!(
+                                    "`{value}` is not a valid timeout in milliseconds"
+                                ))
+                            })?;
+                        }
+                        "--tcp" => tcp = Some(required(&mut args, "--tcp")?),
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                Ok(Command::Serve {
+                    backend,
+                    // A resident service defaults to every core, unlike the
+                    // serial one-shot commands.
+                    threads: threads.unwrap_or(0),
+                    lane_width,
+                    max_in_flight,
+                    timeout_ms,
+                    tcp,
+                })
+            }
             other => Err(ParseArgsError(format!(
                 "unknown sub-command `{other}` (try `march-codex help`)"
             ))),
@@ -493,7 +566,7 @@ fn required(
 /// `--list` is mandatory unless the fault domain is decoder-only — and
 /// conversely the decoder-only domain rejects an explicit `--list`, so a
 /// cell-array list can never be silently dropped from the run.
-fn require_list(
+pub(crate) fn require_list(
     list: Option<CoverageTarget>,
     faults: FaultDomain,
     command: &str,
@@ -585,6 +658,8 @@ pub fn usage() -> String {
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--aggressor <cell>] [--cells <n>] [--backend scalar|packed] [--threads N]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
+     \x20 march-codex serve [--backend scalar|packed] [--threads N] [--lane-width auto|64|128|256]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--max-in-flight N] [--timeout-ms N] [--tcp ADDR]\n\
      \x20 march-codex help\n\
      \n\
      Every invocation builds one sram_sim::Session from the --backend/--threads/\n\
@@ -599,7 +674,12 @@ pub fn usage() -> String {
      width holding each target's lanes — e.g. `coverage --faults af --cells 1024\n\
      --lane-width 256` quarters the sensitization passes of the exhaustive decoder\n\
      sweep). Reports are byte-identical at every width. coverage --test defaults\n\
-     to March SS.\n"
+     to March SS.\n\
+     serve keeps one engine resident and answers newline-delimited JSON requests\n\
+     ({\"op\": \"coverage\"|\"generate\"|\"minimise\"|\"diagnose\"|\"stats\", ...}) on stdin or a\n\
+     --tcp socket; all clients share its artifact store and worker pool, at most\n\
+     --max-in-flight requests execute concurrently (excess requests see\n\
+     backpressure), and requests beyond --timeout-ms answer a typed timeout error.\n"
         .to_string()
 }
 
@@ -1012,6 +1092,52 @@ mod tests {
         .unwrap_err();
         assert!(error.to_string().contains("unknown lane width"));
         assert!(parse(&["coverage", "--test", "x", "--list", "1", "--lane-width"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&["serve"]).unwrap(),
+            Command::Serve {
+                backend: BackendKind::Packed,
+                threads: 0,
+                lane_width: LaneWidth::Auto,
+                max_in_flight: 4,
+                timeout_ms: 30_000,
+                tcp: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "serve",
+                "--backend",
+                "scalar",
+                "--threads",
+                "2",
+                "--lane-width",
+                "128",
+                "--max-in-flight",
+                "8",
+                "--timeout-ms",
+                "500",
+                "--tcp",
+                "127.0.0.1:0",
+            ])
+            .unwrap(),
+            Command::Serve {
+                backend: BackendKind::Scalar,
+                threads: 2,
+                lane_width: LaneWidth::W128,
+                max_in_flight: 8,
+                timeout_ms: 500,
+                tcp: Some("127.0.0.1:0".into()),
+            }
+        );
+        assert!(parse(&["serve", "--max-in-flight", "0"]).is_err());
+        assert!(parse(&["serve", "--max-in-flight", "lots"]).is_err());
+        assert!(parse(&["serve", "--timeout-ms", "soon"]).is_err());
+        assert!(parse(&["serve", "--bogus"]).is_err());
+        assert!(parse(&["serve", "--tcp"]).is_err());
     }
 
     #[test]

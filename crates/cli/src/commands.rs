@@ -7,8 +7,8 @@ use march_gen::{GeneratorConfig, MarchGenerator, SessionExt};
 use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
-    BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState, InjectedFault,
-    JsonObject, LaneWidth, Report, Session, Syndrome,
+    ArtifactStore, BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState,
+    InjectedFault, JsonObject, LaneWidth, Report, Session, SharedEngine, Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, FaultDomain, ParseArgsError};
@@ -161,6 +161,32 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             aggressor,
             cells,
         } => simulate(test, fault, *victim, *aggressor, *cells),
+        Command::Serve {
+            backend,
+            threads,
+            lane_width,
+            max_in_flight,
+            timeout_ms,
+            tcp,
+        } => {
+            // The serve engine sits on the process-wide store, so repeated
+            // serve invocations in one process (and every client of one
+            // invocation) share the same warm cache.
+            let engine = SharedEngine::with_store(
+                ExecPolicy::default()
+                    .with_backend(*backend)
+                    .with_threads(*threads)
+                    .with_lane_width(*lane_width),
+                ArtifactStore::global(),
+            );
+            let options = crate::serve::ServeOptions {
+                max_in_flight: *max_in_flight,
+                timeout: std::time::Duration::from_millis(*timeout_ms),
+            };
+            crate::serve::run_serve(&engine, options, tcp.as_deref())
+                .map_err(|error| CliError::Simulation(format!("serve: {error}")))?;
+            Ok(String::new())
+        }
     }
 }
 
@@ -177,7 +203,7 @@ fn render_catalog() -> String {
     output
 }
 
-fn lookup(name: &str) -> Result<MarchTest, CliError> {
+pub(crate) fn lookup(name: &str) -> Result<MarchTest, CliError> {
     catalog::by_name(name).ok_or_else(|| CliError::UnknownTest(name.to_string()))
 }
 
@@ -193,7 +219,7 @@ fn fault_list(target: CoverageTarget) -> FaultList {
 /// the decoder-only list, or the selected list extended with the decoder
 /// classes. The parser guarantees `list` is present exactly when the domain
 /// needs it (and absent under `--faults af`, which would otherwise drop it).
-fn resolve_list(
+pub(crate) fn resolve_list(
     target: Option<CoverageTarget>,
     faults: FaultDomain,
 ) -> Result<FaultList, CliError> {
@@ -215,7 +241,7 @@ fn resolve_list(
 /// the would-be panic of the infallible generation/minimisation paths into
 /// the same typed error `coverage` reports. The enumeration lands in the
 /// session's artifact cache, so the later pipeline run pays nothing extra.
-fn validate_scope(session: &Session, list: &FaultList) -> Result<(), CliError> {
+pub(crate) fn validate_scope(session: &Session, list: &FaultList) -> Result<(), CliError> {
     session
         .target_lanes(list)
         .map(|_| ())
@@ -470,7 +496,7 @@ fn diagnose(
 }
 
 /// Builds the fault injection shared by `simulate` and `diagnose`.
-fn build_injection(
+pub(crate) fn build_injection(
     primitive: &FaultPrimitive,
     victim: usize,
     aggressor: Option<usize>,
@@ -487,7 +513,7 @@ fn build_injection(
     .map_err(|error| CliError::Simulation(error.to_string()))
 }
 
-fn find_primitive(notation: &str) -> Result<FaultPrimitive, CliError> {
+pub(crate) fn find_primitive(notation: &str) -> Result<FaultPrimitive, CliError> {
     Ffm::all_fault_primitives()
         .into_iter()
         .find(|fp| fp.notation() == notation.trim())

@@ -1,0 +1,342 @@
+//! A minimal dependency-free JSON reader for the `serve` request protocol.
+//!
+//! The crate's *output* JSON comes from [`sram_sim::JsonObject`]; this module
+//! is the matching *input* side — just enough of RFC 8259 to parse one
+//! newline-delimited request object per line. Strict where it matters
+//! (strings, escapes, nesting, trailing garbage), tolerant of insignificant
+//! whitespace.
+
+use std::fmt;
+use std::iter::Peekable;
+use std::str::Chars;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; the protocol only uses small integers).
+    Number(f64),
+    /// A string literal with escapes resolved.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (the protocol never relies on duplicates).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A JSON syntax error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses one complete JSON document; trailing non-whitespace is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first offending token.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut chars = text.chars().peekable();
+        let value = parse_value(&mut chars, 0)?;
+        skip_whitespace(&mut chars);
+        if chars.next().is_some() {
+            return Err(JsonError("trailing characters after JSON value".into()));
+        }
+        Ok(value)
+    }
+
+    /// The value of `key` when `self` is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The string content when `self` is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when it is one exactly.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Number(number)
+                if *number >= 0.0 && number.fract() == 0.0 && *number <= 2f64.powi(53) =>
+            {
+                Some(*number as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean content when `self` is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(flag) => Some(*flag),
+            _ => None,
+        }
+    }
+}
+
+/// Objects and arrays deeper than this are rejected instead of risking a
+/// stack overflow on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+fn skip_whitespace(chars: &mut Peekable<Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        chars.next();
+    }
+}
+
+fn expect_literal(
+    chars: &mut Peekable<Chars<'_>>,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    for expected in literal.chars() {
+        if chars.next() != Some(expected) {
+            return Err(JsonError(format!("invalid literal (expected `{literal}`)")));
+        }
+    }
+    Ok(value)
+}
+
+fn parse_value(chars: &mut Peekable<Chars<'_>>, depth: usize) -> Result<JsonValue, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError("JSON nesting too deep".into()));
+    }
+    skip_whitespace(chars);
+    match chars.peek() {
+        Some('n') => expect_literal(chars, "null", JsonValue::Null),
+        Some('t') => expect_literal(chars, "true", JsonValue::Bool(true)),
+        Some('f') => expect_literal(chars, "false", JsonValue::Bool(false)),
+        Some('"') => parse_string(chars).map(JsonValue::Str),
+        Some('[') => parse_array(chars, depth),
+        Some('{') => parse_object(chars, depth),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars),
+        Some(c) => Err(JsonError(format!("unexpected character `{c}`"))),
+        None => Err(JsonError("unexpected end of input".into())),
+    }
+}
+
+fn parse_string(chars: &mut Peekable<Chars<'_>>) -> Result<String, JsonError> {
+    chars.next(); // consume the opening quote
+    let mut text = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(text),
+            Some('\\') => match chars.next() {
+                Some('"') => text.push('"'),
+                Some('\\') => text.push('\\'),
+                Some('/') => text.push('/'),
+                Some('b') => text.push('\u{0008}'),
+                Some('f') => text.push('\u{000C}'),
+                Some('n') => text.push('\n'),
+                Some('r') => text.push('\r'),
+                Some('t') => text.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let digit = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or_else(|| JsonError("invalid \\u escape".into()))?;
+                        code = code * 16 + digit;
+                    }
+                    // Surrogate pairs are outside the protocol's needs; map
+                    // them (and only them) to the replacement character.
+                    text.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => return Err(JsonError("invalid escape sequence".into())),
+            },
+            Some(c) if (c as u32) < 0x20 => {
+                return Err(JsonError("unescaped control character in string".into()))
+            }
+            Some(c) => text.push(c),
+            None => return Err(JsonError("unterminated string".into())),
+        }
+    }
+}
+
+fn parse_number(chars: &mut Peekable<Chars<'_>>) -> Result<JsonValue, JsonError> {
+    let mut text = String::new();
+    while let Some(c) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            text.push(*c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| JsonError(format!("invalid number `{text}`")))
+}
+
+fn parse_array(chars: &mut Peekable<Chars<'_>>, depth: usize) -> Result<JsonValue, JsonError> {
+    chars.next(); // consume `[`
+    let mut items = Vec::new();
+    skip_whitespace(chars);
+    if chars.peek() == Some(&']') {
+        chars.next();
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, depth + 1)?);
+        skip_whitespace(chars);
+        match chars.next() {
+            Some(',') => {}
+            Some(']') => return Ok(JsonValue::Array(items)),
+            _ => return Err(JsonError("expected `,` or `]` in array".into())),
+        }
+    }
+}
+
+fn parse_object(chars: &mut Peekable<Chars<'_>>, depth: usize) -> Result<JsonValue, JsonError> {
+    chars.next(); // consume `{`
+    let mut fields = Vec::new();
+    skip_whitespace(chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_whitespace(chars);
+        if chars.peek() != Some(&'"') {
+            return Err(JsonError("expected string key in object".into()));
+        }
+        let key = parse_string(chars)?;
+        skip_whitespace(chars);
+        if chars.next() != Some(':') {
+            return Err(JsonError("expected `:` after object key".into()));
+        }
+        fields.push((key, parse_value(chars, depth + 1)?));
+        skip_whitespace(chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => return Ok(JsonValue::Object(fields)),
+            _ => return Err(JsonError("expected `,` or `}` in object".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_shapes() {
+        let request = JsonValue::parse(
+            r#"{"op": "coverage", "test": "March SS", "list": "2", "cells": 8, "json": true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            request.get("op").and_then(JsonValue::as_str),
+            Some("coverage")
+        );
+        assert_eq!(request.get("cells").and_then(JsonValue::as_usize), Some(8));
+        assert_eq!(request.get("json").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(request.get("missing"), None);
+    }
+
+    #[test]
+    fn round_trips_the_crate_output_format() {
+        // The serve responses embed sram_sim::JsonObject output; our reader
+        // must accept everything the writer emits, including escapes.
+        let written = sram_sim::JsonObject::new()
+            .string("name", "March \"quoted\"\n")
+            .number("count", 42)
+            .float("ratio", 0.5)
+            .boolean("complete", true)
+            .strings("items", ["a".to_string(), "b".to_string()])
+            .build();
+        let parsed = JsonValue::parse(&written).unwrap();
+        assert_eq!(
+            parsed.get("name").and_then(JsonValue::as_str),
+            Some("March \"quoted\"\n")
+        );
+        assert_eq!(parsed.get("count").and_then(JsonValue::as_usize), Some(42));
+        assert_eq!(
+            parsed.get("complete").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            parsed.get("items"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Str("a".into()),
+                JsonValue::Str("b".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_escapes() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(
+            JsonValue::parse("-2.5e2").unwrap(),
+            JsonValue::Number(-250.0)
+        );
+        assert_eq!(
+            JsonValue::parse(r#""A\t""#).unwrap(),
+            JsonValue::Str("A\t".into())
+        );
+        assert_eq!(
+            JsonValue::parse("[1, [2], {}]").unwrap(),
+            JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Array(vec![JsonValue::Number(2.0)]),
+                JsonValue::Object(vec![]),
+            ])
+        );
+        // Numbers that are not exact non-negative integers refuse as_usize.
+        assert_eq!(JsonValue::parse("1.5").unwrap().as_usize(), None);
+        assert_eq!(JsonValue::parse("-1").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "\"unterminated",
+            "nul",
+            "{\"a\": 1} trailing",
+            "\"bad \\x escape\"",
+            "{1: 2}",
+            "--5",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "`{bad}` should fail");
+        }
+        // Pathological nesting is bounded, not a stack overflow.
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(JsonValue::parse(&deep).is_err());
+    }
+}

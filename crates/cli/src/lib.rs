@@ -15,7 +15,11 @@
 //!   observe a faulty device's syndrome and search the fault space for the
 //!   instances that explain it;
 //! * `simulate --test <name> --fault <notation> --victim <cell>` — inject a single
-//!   fault primitive and show the failure syndrome.
+//!   fault primitive and show the failure syndrome;
+//! * `serve` — keep one shared engine resident and answer newline-delimited
+//!   JSON requests (coverage / generate / minimise / diagnose / stats) from
+//!   stdin or a TCP socket, all clients sharing its warm artifact store and
+//!   worker pool (see [`serve_lines`]).
 //!
 //! Every invocation builds **one** [`sram_sim::Session`] from the
 //! `--backend`/`--threads`/`--batch` execution policy and routes the pipeline
@@ -30,9 +34,13 @@
 
 mod args;
 mod commands;
+mod json;
+mod serve;
 
 pub use args::{Command, CoverageTarget, ParseArgsError};
 pub use commands::{run, CliError};
+pub use json::{JsonError, JsonValue};
+pub use serve::{run_serve, serve_lines, LatencyCounter, ServeMetrics, ServeOptions};
 
 /// Parses command-line arguments (without the program name) and executes the
 /// resulting command, returning the rendered output.

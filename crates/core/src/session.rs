@@ -298,6 +298,26 @@ mod tests {
     }
 
     #[test]
+    fn engine_sessions_share_artifacts_across_generator_runs() {
+        let engine = sram_sim::SharedEngine::new(ExecPolicy::default().with_threads(2));
+        let list = FaultList::list_2();
+        let baseline = Session::new(ExecPolicy::default()).generate(&list);
+
+        let first = engine.session().generate(&list);
+        let hits_after_first = engine.cache_hits();
+        let second = engine.session().generate(&list);
+
+        assert_eq!(first.test().notation(), baseline.test().notation());
+        assert_eq!(second.test().notation(), baseline.test().notation());
+        // The generator re-simulates candidate tests but enumerates the fault
+        // lanes once per scope: the second run over a fresh handle must be all
+        // hits on the shared store, with no new enumeration work.
+        assert_eq!(engine.store().enumerations(), 1);
+        assert!(engine.cache_hits() > hits_after_first);
+        assert_eq!(engine.workers_spawned(), 1);
+    }
+
+    #[test]
     fn generated_test_report_serialises() {
         let generated = Session::default().generate(&FaultList::list_2());
         let json = generated.to_json();

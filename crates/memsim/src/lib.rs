@@ -24,7 +24,11 @@
 //! * exposes the whole pipeline through one long-lived engine handle
 //!   ([`Session`]), built from a unified [`ExecPolicy`] and owning a
 //!   persistent [`WorkerPool`], whose methods return [`Report`]s with
-//!   dependency-free JSON serialisation.
+//!   dependency-free JSON serialisation;
+//! * shares one warm cache between any number of concurrent sessions: a
+//!   process-wide [`ArtifactStore`] of immutable-keyed artifacts behind a
+//!   resident [`SharedEngine`] that stamps out cheap [`Session`] handles —
+//!   the substrate of the CLI's `serve` mode.
 //!
 //! Masking between the two components of a linked fault is *emergent*: both fault
 //! primitives are injected as independent behavioural rules and masking happens
@@ -68,6 +72,7 @@ mod policy;
 mod report;
 mod run;
 mod session;
+mod store;
 
 pub use backend::{
     enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,
@@ -93,6 +98,7 @@ pub use policy::{ExecPolicy, DEFAULT_WAVE_COST_FACTOR};
 pub use report::{json_escape, DiagnosisReport, JsonObject, Report};
 pub use run::{run_march, Failure, MarchRun};
 pub use session::{Session, TargetLanes};
+pub use store::{ArtifactStore, SharedEngine};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimulationError>;

@@ -9,13 +9,17 @@
 //! thread spawn. Every result is byte-identical to the legacy free functions
 //! (`measure_coverage`, `run_march`, `diagnose`), which are now thin shims
 //! constructing a throwaway session.
+//!
+//! A session built with [`Session::new`] owns a *private*
+//! [`ArtifactStore`](crate::ArtifactStore) and pool; sessions handed out by a
+//! [`SharedEngine`](crate::SharedEngine) are cheap handles onto one shared
+//! store and one resident pool, so many concurrent sessions amortise the same
+//! warm cache.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use march_test::MarchTest;
-use sram_fault_model::{FaultList, FaultPrimitive};
+use sram_fault_model::FaultList;
 
 use crate::backend::{enumerate_lanes, SimulationBackend};
 use crate::coverage::{
@@ -25,6 +29,7 @@ use crate::diagnose::{enumerate_diagnosis_instances, inject_diagnosis_instance};
 use crate::parallel::WorkerPool;
 use crate::report::DiagnosisReport;
 use crate::run::run_march;
+use crate::store::{ArtifactKey, ArtifactStore, DictionaryKey};
 use crate::{
     CoverageConfig, CoverageLane, CoverageReport, DiagnosisCandidate, ExecPolicy, FaultDictionary,
     FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkedFaultInstance, MarchRun,
@@ -40,59 +45,6 @@ const DIAGNOSIS_SHARD: usize = 256;
 /// the session-cached setup artifact shared by coverage measurement, the
 /// greedy generator and the redundancy-removal pass.
 pub type TargetLanes = Vec<(TargetKind, Vec<CoverageLane>)>;
-
-/// The immutable key of one cached target-lane enumeration: a content
-/// fingerprint of the fault list crossed with the simulation scope it was
-/// enumerated under. Entries are never invalidated — a different list or
-/// scope simply keys a different entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ArtifactKey {
-    /// The list's name plus one notation string per fault, kept as separate
-    /// fields (not joined into one string) so a crafted list name can never
-    /// collide with another list's name + contents.
-    list_name: String,
-    list_contents: Vec<String>,
-    memory_cells: usize,
-    strategy: PlacementStrategy,
-    backgrounds: Vec<InitialState>,
-}
-
-impl ArtifactKey {
-    fn new(
-        list: &FaultList,
-        memory_cells: usize,
-        strategy: PlacementStrategy,
-        backgrounds: &[InitialState],
-    ) -> ArtifactKey {
-        // The fingerprint covers the list *contents*, not just its name: two
-        // lists that happen to share a name but differ in a primitive key
-        // different cache entries.
-        let list_contents = list
-            .simple()
-            .iter()
-            .map(FaultPrimitive::notation)
-            .chain(list.linked().iter().map(|fault| fault.to_string()))
-            .chain(list.decoders().iter().map(|fault| fault.notation()))
-            .collect();
-        ArtifactKey {
-            list_name: list.name().to_string(),
-            list_contents,
-            memory_cells,
-            strategy,
-            backgrounds: backgrounds.to_vec(),
-        }
-    }
-}
-
-/// The cache key of one memoised fault dictionary: the march test's identity
-/// (name *and* notation, so a renamed or edited test can never alias) crossed
-/// with the list-contents/scope fingerprint of [`ArtifactKey`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct DictionaryKey {
-    test_name: String,
-    test_notation: String,
-    artifact: ArtifactKey,
-}
 
 /// A reusable engine handle owning the execution policy and the resident
 /// worker pool of the simulation pipeline.
@@ -125,17 +77,16 @@ pub struct Session {
     strategy: PlacementStrategy,
     backgrounds: Vec<InitialState>,
     backend: Arc<dyn SimulationBackend>,
-    pool: Option<WorkerPool>,
-    /// Memoised per-`(list, scope)` target-lane enumerations. Entries are
-    /// keyed immutably (list contents + scope), so nothing is ever
-    /// invalidated; repeated `coverage`/`generate`/`minimise`/`verify`
-    /// queries skip the setup entirely.
-    artifacts: Mutex<HashMap<ArtifactKey, Arc<TargetLanes>>>,
-    /// Memoised per-`(test, list contents, scope)` fault dictionaries —
-    /// [`Session::dictionary`] rebuilds its syndrome database only on the
-    /// first query per key.
-    dictionaries: Mutex<HashMap<DictionaryKey, Arc<FaultDictionary>>>,
-    cache_hits: AtomicUsize,
+    /// `Arc`'d so sessions handed out by one
+    /// [`SharedEngine`](crate::SharedEngine) multiplex over a single resident
+    /// pool instead of spawning per handle.
+    pool: Option<Arc<WorkerPool>>,
+    /// The artifact store backing the session: memoised per-`(list, scope)`
+    /// target-lane enumerations and per-`(test, list contents, scope)` fault
+    /// dictionaries under immutable content-fingerprint keys. Private per
+    /// session by default; shared process-wide behind a
+    /// [`SharedEngine`](crate::SharedEngine).
+    store: Arc<ArtifactStore>,
 }
 
 impl Default for Session {
@@ -152,11 +103,23 @@ impl Session {
     /// backgrounds.
     #[must_use]
     pub fn new(policy: ExecPolicy) -> Session {
-        let scope = CoverageConfig::thorough();
         let pool = match policy.threads {
             1 => None,
-            threads => Some(WorkerPool::new(threads)),
+            threads => Some(Arc::new(WorkerPool::new(threads))),
         };
+        Session::with_shared(policy, pool, Arc::new(ArtifactStore::new()))
+    }
+
+    /// Builds a cheap handle over already-shared state: the pool and store
+    /// are `Arc` bumps, not fresh resources. This is how
+    /// [`SharedEngine::session`](crate::SharedEngine::session) stamps out
+    /// handles.
+    pub(crate) fn with_shared(
+        policy: ExecPolicy,
+        pool: Option<Arc<WorkerPool>>,
+        store: Arc<ArtifactStore>,
+    ) -> Session {
+        let scope = CoverageConfig::thorough();
         Session {
             policy,
             memory_cells: scope.memory_cells,
@@ -164,9 +127,7 @@ impl Session {
             backgrounds: scope.backgrounds,
             backend: Arc::from(policy.backend.instance_with(policy.lane_width)),
             pool,
-            artifacts: Mutex::new(HashMap::new()),
-            dictionaries: Mutex::new(HashMap::new()),
-            cache_hits: AtomicUsize::new(0),
+            store,
         }
     }
 
@@ -261,37 +222,44 @@ impl Session {
     /// constant across queries — the observable pool-reuse guarantee.
     #[must_use]
     pub fn workers_spawned(&self) -> usize {
-        self.pool.as_ref().map_or(0, WorkerPool::workers_spawned)
+        self.pool.as_ref().map_or(0, |pool| pool.workers_spawned())
     }
 
     /// Number of fan-out jobs the session's pool has executed.
     #[must_use]
     pub fn jobs_executed(&self) -> usize {
-        self.pool.as_ref().map_or(0, WorkerPool::generation)
+        self.pool.as_ref().map_or(0, |pool| pool.generation())
     }
 
-    /// Number of times a query was answered from the session's artifact cache
+    /// Number of times a query was answered from the session's artifact store
     /// instead of re-enumerating target lanes — the observable caching
-    /// guarantee, mirroring [`Session::workers_spawned`] for the pool.
+    /// guarantee, mirroring [`Session::workers_spawned`] for the pool. When
+    /// the store is shared, this counts hits **across** every attached
+    /// session.
     #[must_use]
     pub fn cache_hits(&self) -> usize {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.store.hits()
     }
 
-    /// Number of distinct `(list, scope)` enumerations the session has cached.
+    /// Number of distinct `(list, scope)` enumerations the session's store
+    /// has cached.
     #[must_use]
     pub fn cached_artifacts(&self) -> usize {
-        self.artifacts.lock().expect("artifact cache lock").len()
+        self.store.cached_artifacts()
     }
 
     /// Number of distinct `(test, list, scope)` fault dictionaries the
-    /// session has cached.
+    /// session's store has cached.
     #[must_use]
     pub fn cached_dictionaries(&self) -> usize {
-        self.dictionaries
-            .lock()
-            .expect("dictionary cache lock")
-            .len()
+        self.store.cached_dictionaries()
+    }
+
+    /// The artifact store backing the session — shared with every other
+    /// session handle of the same [`SharedEngine`](crate::SharedEngine).
+    #[must_use]
+    pub fn store(&self) -> Arc<ArtifactStore> {
+        Arc::clone(&self.store)
     }
 
     /// Every fault target of `list` with its coverage lanes under the
@@ -337,30 +305,14 @@ impl Session {
         backgrounds: &[InitialState],
     ) -> Result<Arc<TargetLanes>> {
         let key = ArtifactKey::new(list, memory_cells, strategy, backgrounds);
-        if let Some(cached) = self
-            .artifacts
-            .lock()
-            .expect("artifact cache lock")
-            .get(&key)
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(cached));
-        }
-        // Enumerate outside the lock: a concurrent miss on the same key costs
-        // one duplicate enumeration, never a stalled cache.
-        let mut entries = Vec::new();
-        for target in enumerate_targets(list) {
-            let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds)?;
-            entries.push((target, lanes));
-        }
-        let enumerated: Arc<TargetLanes> = Arc::new(entries);
-        Ok(Arc::clone(
-            self.artifacts
-                .lock()
-                .expect("artifact cache lock")
-                .entry(key)
-                .or_insert(enumerated),
-        ))
+        self.store.target_lanes(&key, || {
+            let mut entries = Vec::new();
+            for target in enumerate_targets(list) {
+                let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds)?;
+                entries.push((target, lanes));
+            }
+            Ok(Arc::new(entries))
+        })
     }
 
     /// Fans `map` out over the session's resident workers, returning results
@@ -500,36 +452,18 @@ impl Session {
     #[must_use]
     pub fn dictionary(&self, test: &MarchTest, list: &FaultList) -> Arc<FaultDictionary> {
         // Dictionaries always enumerate placements exhaustively (diagnosis
-        // needs localisation), so the scope key pins the exhaustive strategy
-        // regardless of the session's coverage strategy.
-        let key = DictionaryKey {
-            test_name: test.name().to_string(),
-            test_notation: test.notation(),
-            artifact: ArtifactKey::new(
-                list,
-                self.memory_cells,
-                PlacementStrategy::Exhaustive,
-                &self.backgrounds,
-            ),
-        };
-        if let Some(cached) = self
-            .dictionaries
-            .lock()
-            .expect("dictionary cache lock")
-            .get(&key)
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
-        }
-        // Build outside the lock, like the target-lane cache.
-        let built = Arc::new(FaultDictionary::build(test, list, &self.coverage_config()));
-        Arc::clone(
-            self.dictionaries
-                .lock()
-                .expect("dictionary cache lock")
-                .entry(key)
-                .or_insert(built),
-        )
+        // needs localisation) and simulate only the first data background, so
+        // the key carries exactly that scope: sessions differing only in
+        // coverage strategy or trailing backgrounds share one entry.
+        let background = self
+            .backgrounds
+            .first()
+            .cloned()
+            .unwrap_or(InitialState::AllOne);
+        let key = DictionaryKey::new(test, list, self.memory_cells, background);
+        self.store.dictionary(&key, || {
+            Arc::new(FaultDictionary::build(test, list, &self.coverage_config()))
+        })
     }
 
     /// Diagnoses an observed `syndrome` against a pre-computed fault

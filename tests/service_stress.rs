@@ -1,0 +1,201 @@
+//! Multi-client stress tests of the shared engine: many threads hammering one
+//! [`ArtifactStore`] with identical and disjoint keys must produce
+//! byte-identical reports vs the serial path, enumerate each unique key
+//! exactly once, and never deadlock under pool saturation — the guarantees
+//! `march-codex serve` builds its multiplexing on.
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::thread;
+
+use march_codex_cli::{serve_lines, ServeMetrics, ServeOptions};
+use march_test::catalog;
+use sram_fault_model::FaultList;
+use sram_sim::{ExecPolicy, Report, Session, SharedEngine};
+
+/// 8 clients × 4 repeats on one key: one enumeration, everything else hits,
+/// every report byte-identical to a fresh serial session.
+#[test]
+fn identical_keys_enumerate_once_across_clients() {
+    const CLIENTS: usize = 8;
+    const REPEATS: usize = 4;
+    let engine = SharedEngine::new(ExecPolicy::default().with_threads(2));
+    let test = catalog::march_sl();
+    let list = FaultList::list_2();
+    let serial = Session::new(ExecPolicy::default())
+        .coverage(&test, &list)
+        .to_json();
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let test = test.clone();
+                let list = list.clone();
+                scope.spawn(move || {
+                    (0..REPEATS)
+                        .map(|_| engine.session().coverage(&test, &list).to_json())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for report in handle.join().expect("client thread") {
+                assert_eq!(report, serial);
+            }
+        }
+    });
+
+    // Exactly one enumeration however many clients raced on the key...
+    assert_eq!(engine.store().enumerations(), 1);
+    assert_eq!(engine.cached_artifacts(), 1);
+    // ...and every other query was a hit.
+    assert_eq!(engine.cache_hits(), CLIENTS * REPEATS - 1);
+    // All clients multiplexed over the single resident pool.
+    assert_eq!(engine.workers_spawned(), 1);
+    assert_eq!(engine.jobs_executed(), CLIENTS * REPEATS);
+}
+
+/// Concurrent clients on disjoint keys (different tests × lists × scopes):
+/// per-key build locks must not serialise unrelated keys into each other or
+/// double-build any of them.
+#[test]
+fn disjoint_keys_build_independently() {
+    let engine = SharedEngine::new(ExecPolicy::default().with_threads(2));
+    let workloads: Vec<(march_test::MarchTest, FaultList, usize)> = vec![
+        (catalog::march_ss(), FaultList::list_2(), 8),
+        (catalog::march_sl(), FaultList::list_2(), 8),
+        (catalog::march_ss(), FaultList::unlinked_static(), 8),
+        (catalog::march_c_minus(), FaultList::list_1(), 8),
+        (catalog::march_ss(), FaultList::list_2(), 6),
+        (catalog::mats_plus(), FaultList::unlinked_static(), 6),
+    ];
+    // Unique artifact keys = unique (list, cells) scopes; several workloads
+    // share one (the test is not part of the artifact key).
+    let unique_keys = 5;
+
+    let serial: Vec<String> = workloads
+        .iter()
+        .map(|(test, list, cells)| {
+            Session::new(ExecPolicy::default())
+                .with_memory_cells(*cells)
+                .coverage(test, list)
+                .to_json()
+        })
+        .collect();
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|(test, list, cells)| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    engine
+                        .session()
+                        .with_memory_cells(*cells)
+                        .coverage(test, list)
+                        .to_json()
+                })
+            })
+            .collect();
+        for (handle, expected) in handles.into_iter().zip(&serial) {
+            assert_eq!(&handle.join().expect("client thread"), expected);
+        }
+    });
+
+    assert_eq!(engine.store().enumerations(), unique_keys);
+    assert_eq!(engine.cached_artifacts(), unique_keys);
+    assert_eq!(
+        engine.cache_hits(),
+        workloads.len() - unique_keys,
+        "only the scope-sharing workloads may hit"
+    );
+}
+
+/// More clients than in-flight slots than pool workers, mixed hot and cold
+/// keys: everything completes (no deadlock between the per-key build locks,
+/// the job queue and the shared worker pool) with correct reports.
+#[test]
+fn pool_saturation_never_deadlocks() {
+    const CLIENTS: usize = 16;
+    let engine = SharedEngine::new(ExecPolicy::default().with_threads(2));
+    let list = FaultList::list_2();
+    let tests = [
+        catalog::march_ss(),
+        catalog::march_sl(),
+        catalog::march_abl1(),
+    ];
+    let serial: Vec<String> = tests
+        .iter()
+        .map(|test| {
+            Session::new(ExecPolicy::default())
+                .coverage(test, &list)
+                .to_json()
+        })
+        .collect();
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let engine = Arc::clone(&engine);
+                let test = tests[client % tests.len()].clone();
+                let list = list.clone();
+                scope.spawn(move || engine.session().coverage(&test, &list).to_json())
+            })
+            .collect();
+        for (client, handle) in handles.into_iter().enumerate() {
+            assert_eq!(
+                handle.join().expect("client thread"),
+                serial[client % serial.len()]
+            );
+        }
+    });
+
+    // All three tests share one fault-list scope: one enumeration total.
+    assert_eq!(engine.store().enumerations(), 1);
+    assert_eq!(engine.cache_hits(), CLIENTS - 1);
+    assert_eq!(engine.workers_spawned(), 1);
+}
+
+/// The serve loop end-to-end over the shared engine: concurrent in-flight
+/// requests, responses in request order, repeated requests byte-identical
+/// with the cache-hit counter advancing — the contract the CI `service-smoke`
+/// leg locks down on the release binary.
+#[test]
+fn serve_loop_matches_serial_reports() {
+    let engine = SharedEngine::new(ExecPolicy::default().with_threads(2));
+    let metrics = Arc::new(ServeMetrics::default());
+    let request = concat!(
+        r#"{"op": "coverage", "test": "March SS", "list": "unlinked"}"#,
+        "\n"
+    );
+    let script = request.repeat(6);
+    let mut output = Vec::new();
+    serve_lines(
+        script.as_bytes(),
+        &mut output,
+        &engine,
+        &metrics,
+        &ServeOptions::default(),
+    )
+    .expect("serve loop");
+
+    let serial = Session::new(ExecPolicy::default())
+        .coverage(&catalog::march_ss(), &FaultList::unlinked_static())
+        .to_json();
+    let lines: Vec<String> = output
+        .lines()
+        .map(|line| line.expect("utf8 line"))
+        .collect();
+    assert_eq!(lines.len(), 6);
+    for (seq, line) in lines.iter().enumerate() {
+        assert_eq!(
+            line,
+            &format!(
+                "{{\"seq\": {seq}, \"ok\": true, \"op\": \"coverage\", \"report\": {serial}}}"
+            )
+        );
+    }
+    assert_eq!(engine.store().enumerations(), 1);
+    assert_eq!(engine.cache_hits(), 5);
+}
