@@ -639,6 +639,8 @@ fn unknown_flag(flag: &str) -> ParseArgsError {
 /// The usage text printed by `march-codex help`.
 #[must_use]
 pub fn usage() -> String {
+    // lint: allow(json) — help text showing an example serve request line;
+    // not report output.
     "march-codex — automatic march test generation for static linked faults in SRAMs\n\
      \n\
      USAGE:\n\

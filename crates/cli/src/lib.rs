@@ -36,6 +36,7 @@ mod args;
 mod commands;
 mod json;
 mod serve;
+pub(crate) mod sync;
 
 pub use args::{Command, CoverageTarget, ParseArgsError};
 pub use commands::{run, CliError};

@@ -34,10 +34,9 @@ use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
-use std::thread;
-use std::time::{Duration, Instant};
+
+use crate::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use crate::sync::{thread, Arc, Duration, Instant, Mutex, PoisonError};
 
 use march_gen::{GeneratorConfig, MarchGenerator, SessionExt};
 use sram_fault_model::FaultList;
@@ -446,6 +445,8 @@ fn collect_in_order<W: Write>(
         // assigned in accept order.
         let message = match deadlines.get(&next) {
             Some(deadline) => {
+                // lint: allow(timing) — façade `Instant`: reads the explorer's
+                // virtual clock under cfg(interleave), the real one otherwise.
                 match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
                     Ok(message) => Some(message),
                     Err(RecvTimeoutError::Timeout) => None,
@@ -538,11 +539,16 @@ where
             let engine = Arc::clone(engine);
             let metrics = Arc::clone(metrics);
             scope.spawn(move || loop {
-                let received = job_rx.lock().expect("serve job queue lock").recv();
+                // Poison recovery: the lock only serialises `recv` calls (no
+                // job runs under it), so a panicked sibling worker leaves the
+                // receiver usable and the remaining workers keep serving.
+                let received = job_rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                 let Ok((seq, request)) = received else {
                     break;
                 };
                 let op = request.op();
+                // lint: allow(timing) — façade `Instant` feeding the latency
+                // metrics only; never printed into response bytes.
                 let started = Instant::now();
                 let line = match execute(&engine, &metrics, &request) {
                     Ok(report) => ok_line(seq, op, report),
@@ -576,6 +582,9 @@ where
             // send below happens-before any Finished for this seq.
             let _ = out_tx.send(Outcome::Accepted {
                 seq,
+                // lint: allow(timing) — façade `Instant`: deadline assignment
+                // is what the interleave model test drives through the
+                // virtual clock.
                 deadline: Instant::now() + options.timeout,
             });
             match parse_request(&line) {
@@ -803,7 +812,19 @@ mod tests {
         let script = request.repeat(3);
         let lines = serve_script(&engine, &metrics, &ServeOptions::default(), &script);
         assert_eq!(lines.len(), 3);
-        let strip_seq = |line: &str| line.split_once(',').unwrap().1.to_string();
+        // Drops the leading `"seq": N` field so transcript lines can be
+        // compared across their sequence numbers; fails with the offending
+        // line instead of a bare unwrap panic when a response is malformed.
+        let strip_seq = |line: &str| {
+            let (prefix, rest) = line.split_once(',').unwrap_or_else(|| {
+                panic!("malformed transcript line (no `,` after the seq field): {line:?}")
+            });
+            assert!(
+                prefix.starts_with("{\"seq\": "),
+                "malformed transcript line (expected a leading seq field): {line:?}"
+            );
+            rest.to_string()
+        };
         assert_eq!(strip_seq(&lines[0]), strip_seq(&lines[1]));
         assert_eq!(strip_seq(&lines[0]), strip_seq(&lines[2]));
         assert_eq!(engine.cached_dictionaries(), 1);
@@ -886,5 +907,66 @@ mod tests {
         }
         assert_eq!(engine.store().enumerations(), 1);
         assert_eq!(engine.cache_hits(), 11);
+    }
+}
+
+/// Schedule-exploration model tests of the serve loop, compiled only under
+/// `--cfg interleave` (see `sram_sim::models` for the pattern). Run with:
+///
+/// ```text
+/// RUSTFLAGS="--cfg interleave" cargo test -p march-codex-cli --lib models::
+/// ```
+#[cfg(all(test, interleave))]
+mod models {
+    use super::*;
+    use interleave::{check, Config};
+    use sram_sim::ExecPolicy;
+
+    /// In-order emission under timeout races: with a deadline short enough
+    /// that the scheduler can fire it at any point, every explored schedule
+    /// must still emit exactly one response per request, in request order —
+    /// each slot answered either by its own result or by a substituted
+    /// `timeout` error, never reordered, dropped or duplicated.
+    ///
+    /// `stats`-only scripts on a single-threaded engine keep the protocol
+    /// surface under test exactly the serve loop's own machinery: the
+    /// rendezvous job channel, the worker/collector channels, and the
+    /// deadline bookkeeping.
+    #[test]
+    fn responses_stay_in_order_under_timeout_races() {
+        let config = Config {
+            max_schedules: 6000,
+            preemption_bound: Some(1),
+            random_schedules: 250,
+            ..Config::default()
+        };
+        let outcome = check(&config, || {
+            let engine = SharedEngine::new(ExecPolicy::default().with_threads(1));
+            let metrics = Arc::new(ServeMetrics::default());
+            let options = ServeOptions {
+                max_in_flight: 2,
+                // Nominal only: the virtual clock lets the scheduler fire or
+                // hold this deadline at will, so both outcomes are explored.
+                timeout: Duration::from_millis(5),
+            };
+            let script = "{\"op\": \"stats\"}\n{\"op\": \"stats\"}\n";
+            let mut output = Vec::new();
+            serve_lines(script.as_bytes(), &mut output, &engine, &metrics, &options)
+                .expect("in-memory serve cannot fail on I/O");
+            let transcript = String::from_utf8(output).expect("responses are UTF-8");
+            let lines: Vec<&str> = transcript.lines().collect();
+            assert_eq!(lines.len(), 2, "dropped or duplicated a response");
+            for (seq, line) in lines.iter().enumerate() {
+                assert!(
+                    line.starts_with(&format!("{{\"seq\": {seq}, ")),
+                    "response out of order at slot {seq}: {line}"
+                );
+                assert!(
+                    line.contains("\"ok\": true") || line.contains("\"kind\": \"timeout\""),
+                    "slot {seq} answered with neither a result nor a timeout: {line}"
+                );
+            }
+        });
+        assert!(outcome.schedules > 1, "no schedule diversity explored");
     }
 }

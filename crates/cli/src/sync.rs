@@ -1,0 +1,30 @@
+//! The CLI's synchronisation façade (see `sram_sim`'s `sync` module for the
+//! pattern).
+//!
+//! The serve loop imports every concurrency primitive it uses — channels,
+//! locks, threads, clocks — through this module. Normal builds re-export
+//! `std` unchanged; under `--cfg interleave` the instrumented `interleave`
+//! versions take their place, so the serve-loop model tests can explore the
+//! rendezvous-backpressure and timeout protocols schedule-by-schedule.
+//! `Instant` is the interesting one: inside a model execution it reads the
+//! scheduler's virtual clock, which is what makes deadline races explorable.
+
+#[cfg(not(interleave))]
+pub use std::sync::{mpsc, Arc, Mutex, PoisonError};
+
+#[cfg(not(interleave))]
+pub use std::thread;
+
+// lint: allow(timing) — the façade is the sanctioned doorway to the real
+// clock; serve-path timing goes virtual under cfg(interleave).
+#[cfg(not(interleave))]
+pub use std::time::{Duration, Instant};
+
+#[cfg(interleave)]
+pub use interleave::sync::{mpsc, Arc, Mutex, PoisonError};
+
+#[cfg(interleave)]
+pub use interleave::thread;
+
+#[cfg(interleave)]
+pub use interleave::time::{Duration, Instant};

@@ -380,6 +380,8 @@ impl MarchGenerator {
     /// policy.
     #[must_use]
     pub fn generate_with(&self, session: &Session) -> GeneratedTest {
+        // lint: allow(timing) — generation CPU time is itself a reported
+        // quantity (Table 1 of the paper); it never shapes the test.
         let start = Instant::now();
         let policy = session.policy();
 

@@ -1,0 +1,672 @@
+//! The deterministic-schedule controller behind [`explore`](crate::explore).
+//!
+//! One **execution** runs the model closure once under one schedule. Every
+//! thread that touches an instrumented primitive is *managed*: exactly one
+//! managed thread runs at a time, and at every instrumented operation (a
+//! *yield point*) the running thread hands control to the scheduler, which
+//! picks the next thread to run. The sequence of picks is the **schedule**;
+//! recording it as a decision trace makes executions replayable, and
+//! replaying a prefix with the last branch advanced turns repeated execution
+//! into a depth-first search over schedules.
+//!
+//! Exploration strategies:
+//!
+//! * **Bounded-exhaustive DFS** — enumerate every schedule, optionally under a
+//!   *preemption bound* (CHESS-style): switching away from a thread that could
+//!   continue costs one unit of a small budget, which prunes the search space
+//!   to the schedules that find practically all concurrency bugs first.
+//! * **Seeded random** — PCT-flavoured deeper exploration: after (or instead
+//!   of) the DFS frontier, run extra schedules choosing uniformly among the
+//!   enabled threads from a seeded xorshift generator, with no preemption
+//!   bound, so long schedules beyond the DFS budget still get sampled
+//!   reproducibly.
+//!
+//! Failure conditions an execution can report: a panic in the model closure
+//! or any managed thread (assertion failures in model tests), a **deadlock**
+//! (no thread can run but not all have finished), or a step-budget overrun
+//! (livelock guard). The failing decision trace is attached for reproduction.
+//!
+//! The scheduler models sequential consistency: instrumented atomics yield
+//! before each access but are not reordered, so weak-memory-only bugs are out
+//! of scope (every protocol under test here pairs atomics with mutexes for
+//! publication).
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration budgets and strategy knobs of one [`explore`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum DFS schedules to run before giving up on exhaustiveness.
+    pub max_schedules: usize,
+    /// CHESS-style preemption bound for the DFS phase: how many times a
+    /// schedule may switch away from a thread that could have continued.
+    /// `None` removes the bound (full interleaving exhaustion).
+    pub preemption_bound: Option<usize>,
+    /// Extra seeded-random schedules run after the DFS phase (no preemption
+    /// bound), sampling deeper interleavings than the bounded search reaches.
+    pub random_schedules: usize,
+    /// Seed of the random phase; the same seed replays the same schedules.
+    pub seed: u64,
+    /// Per-execution yield-point budget: exceeding it fails the schedule as a
+    /// livelock.
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_schedules: 4096,
+            preemption_bound: Some(2),
+            random_schedules: 256,
+            seed: 0x5eed_cafe_f00d,
+            max_steps: 1 << 20,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration that only runs the bounded-exhaustive DFS phase.
+    #[must_use]
+    pub fn exhaustive(preemption_bound: usize, max_schedules: usize) -> Config {
+        Config {
+            max_schedules,
+            preemption_bound: Some(preemption_bound),
+            random_schedules: 0,
+            ..Config::default()
+        }
+    }
+}
+
+/// One failing schedule: the failure message plus the branch choices that
+/// reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong: the panic payload, deadlock diagnosis, or livelock.
+    pub message: String,
+    /// The branch decisions (position chosen at each multi-option yield
+    /// point) reproducing the failing schedule.
+    pub trace: Vec<usize>,
+}
+
+/// The result of one [`explore`] call.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Schedules actually executed (DFS + random phases).
+    pub schedules: usize,
+    /// Whether the DFS frontier was exhausted within
+    /// [`Config::max_schedules`] — i.e. the exploration was exhaustive under
+    /// the configured preemption bound.
+    pub complete: bool,
+    /// The first failing schedule found, if any; exploration stops at it.
+    pub failure: Option<Failure>,
+}
+
+/// What a managed thread is currently doing, from the scheduler's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Can be picked to run.
+    Runnable,
+    /// Waiting on a resource; only a wake from another thread makes it
+    /// runnable again.
+    Blocked,
+    /// Waiting with a timeout: the scheduler may fire the timer at any yield
+    /// point, so both the timely and the timed-out outcome are explored.
+    TimedBlocked,
+    /// Returned from its closure.
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    /// Set when the scheduler woke this thread by firing its timeout; the
+    /// blocking primitive consumes it to return its `Timeout` variant.
+    timed_out: bool,
+    /// Diagnostic label of the resource a blocked thread waits on.
+    blocked_on: &'static str,
+    /// Threads blocked in `join` on this one, woken when it finishes.
+    joiners: Vec<usize>,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState {
+            status: Status::Runnable,
+            timed_out: false,
+            blocked_on: "",
+            joiners: Vec::new(),
+        }
+    }
+}
+
+/// One recorded scheduling decision: how many options were enabled and which
+/// position was taken. Single-option points are not recorded (no branch).
+#[derive(Debug, Clone)]
+struct Decision {
+    options: usize,
+    chosen: usize,
+}
+
+/// The choice strategy of one execution.
+#[derive(Debug)]
+enum Driver {
+    /// Replay `replay` at the branch points, then take the first option.
+    Dfs { replay: Vec<usize>, pos: usize },
+    /// Seeded xorshift over the options.
+    Random { state: u64 },
+}
+
+impl Driver {
+    fn choose(&mut self, options: usize) -> usize {
+        match self {
+            Driver::Dfs { replay, pos } => {
+                let choice = replay.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                // A divergent replay (non-deterministic model closure) would
+                // index past the options; clamp rather than panic inside the
+                // scheduler — the run still explores a valid schedule.
+                choice.min(options - 1)
+            }
+            Driver::Random { state } => {
+                // xorshift64: deterministic, dependency-free, good enough to
+                // scatter schedules.
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                (*state % options as u64) as usize
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ExecState {
+    threads: Vec<ThreadState>,
+    /// Index of the one thread allowed to run; `usize::MAX` once every
+    /// thread has finished.
+    active: usize,
+    driver: Driver,
+    trace: Vec<Decision>,
+    /// Remaining preemption budget (`None` = unbounded).
+    preemptions_left: Option<usize>,
+    steps: u64,
+    max_steps: u64,
+    /// Virtual nanosecond clock: bumped once per yield point, read by the
+    /// instrumented `Instant`.
+    clock_nanos: u64,
+    failed: Option<String>,
+}
+
+/// One model execution: the scheduler state plus the rendezvous condvar every
+/// managed thread parks on between turns.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    turn: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution and managed-thread id of the calling thread, when it is
+/// running inside a model execution.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|current| current.borrow().clone())
+}
+
+pub(crate) fn set_current(value: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|current| *current.borrow_mut() = value);
+}
+
+/// The panic payload managed threads unwind with when the execution has
+/// already failed (deadlock, another thread's panic): carries no message of
+/// its own and is silenced by the panic hook.
+pub(crate) struct ModelAbort;
+
+fn abort_thread() -> ! {
+    panic::panic_any(ModelAbort)
+}
+
+/// Installs (once) a panic hook that silences panics on threads currently
+/// inside a model execution: the explorer reports them with the failing
+/// schedule instead, so thousands of explored-and-caught panics do not spam
+/// stderr. Panics outside model executions go to the previous hook.
+fn install_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        if current().is_some() || info.payload().is::<ModelAbort>() {
+            return;
+        }
+        previous(info);
+    }));
+}
+
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+impl Execution {
+    fn new(config: &Config, driver: Driver) -> Execution {
+        let preemptions_left = match driver {
+            Driver::Dfs { .. } => config.preemption_bound,
+            // The random phase samples deep schedules; bounding it would just
+            // re-sample the DFS space.
+            Driver::Random { .. } => None,
+        };
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                driver,
+                trace: Vec::new(),
+                preemptions_left,
+                steps: 0,
+                max_steps: config.max_steps,
+                clock_nanos: 0,
+                failed: None,
+            }),
+            turn: StdCondvar::new(),
+        }
+    }
+
+    /// Locks the scheduler state, recovering from poison: a managed thread
+    /// that panicked records a failure and every other thread bails out, so
+    /// the state itself stays consistent.
+    fn state(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a new managed thread (runnable, not active) and returns its
+    /// id. Called on the *spawning* thread so ids are schedule-independent.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state();
+        st.threads.push(ThreadState::new());
+        st.threads.len() - 1
+    }
+
+    /// Records the execution's failure (first writer wins) and wakes every
+    /// parked thread so they can bail out.
+    pub(crate) fn record_failure(&self, message: String) {
+        let mut st = self.state();
+        if st.failed.is_none() {
+            st.failed = Some(message);
+        }
+        drop(st);
+        self.turn.notify_all();
+    }
+
+    /// Reads and bumps the virtual clock (no yield point).
+    pub(crate) fn clock_nanos(&self) -> u64 {
+        let mut st = self.state();
+        st.clock_nanos += 1;
+        st.clock_nanos
+    }
+
+    /// An extra scheduling decision not tied to picking the next thread —
+    /// e.g. which of several condvar waiters a `notify_one` wakes. Returns a
+    /// position into `options`.
+    pub(crate) fn decide(&self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        let mut st = self.state();
+        let chosen = st.driver.choose(options);
+        st.trace.push(Decision { options, chosen });
+        chosen
+    }
+
+    /// Core scheduling step of thread `me`: adopt `status`, pick the next
+    /// active thread, and (unless finishing) park until re-selected.
+    fn reschedule(self: &Arc<Self>, me: usize, status: Status, blocked_on: &'static str) {
+        let mut st = self.state();
+        if st.failed.is_some() {
+            drop(st);
+            abort_thread();
+        }
+        st.threads[me].status = status;
+        st.threads[me].blocked_on = blocked_on;
+        self.pick_next(&mut st, me);
+        if status == Status::Finished {
+            return;
+        }
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                abort_thread();
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return;
+            }
+            st = self
+                .turn
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Picks the next active thread among the enabled ones (runnable threads,
+    /// plus timed-blocked threads whose timer the scheduler may fire),
+    /// recording the decision when there is a real branch.
+    fn pick_next(self: &Arc<Self>, st: &mut ExecState, me: usize) {
+        st.steps += 1;
+        st.clock_nanos += 1;
+        if st.steps > st.max_steps {
+            self.fail_locked(
+                st,
+                "step budget exceeded — livelock or unbounded retry".to_string(),
+            );
+            return;
+        }
+        let mut options: Vec<usize> = Vec::new();
+        for (id, thread) in st.threads.iter().enumerate() {
+            if matches!(thread.status, Status::Runnable | Status::TimedBlocked) {
+                options.push(id);
+            }
+        }
+        if options.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.active = usize::MAX;
+                self.turn.notify_all();
+                return;
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked)
+                .map(|(id, t)| format!("thread {id} on {}", t.blocked_on))
+                .collect();
+            self.fail_locked(st, format!("deadlock: {}", stuck.join(", ")));
+            return;
+        }
+        // Preemption bounding: switching away from a thread that could have
+        // continued spends budget; once it is gone the running thread keeps
+        // running whenever it can.
+        let my_status = st.threads[me].status;
+        if my_status == Status::Runnable && st.preemptions_left == Some(0) {
+            options = vec![me];
+        }
+        let pos = if options.len() == 1 {
+            0
+        } else {
+            let chosen = st.driver.choose(options.len());
+            st.trace.push(Decision {
+                options: options.len(),
+                chosen,
+            });
+            chosen
+        };
+        let chosen = options[pos];
+        if chosen != me && my_status == Status::Runnable {
+            if let Some(left) = st.preemptions_left.as_mut() {
+                *left = left.saturating_sub(1);
+            }
+        }
+        if st.threads[chosen].status == Status::TimedBlocked {
+            st.threads[chosen].status = Status::Runnable;
+            st.threads[chosen].timed_out = true;
+        }
+        st.active = chosen;
+        self.turn.notify_all();
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, message: String) {
+        if st.failed.is_none() {
+            st.failed = Some(message);
+        }
+        self.turn.notify_all();
+    }
+
+    /// A plain yield point: stay runnable, let the scheduler preempt.
+    pub(crate) fn yield_point(self: &Arc<Self>, me: usize) {
+        self.reschedule(me, Status::Runnable, "");
+    }
+
+    /// Blocks `me` on `what` until another thread calls [`Execution::unblock`]
+    /// (or, when `timed`, until the scheduler fires the timeout). Returns
+    /// whether the wake was a timeout.
+    pub(crate) fn block(self: &Arc<Self>, me: usize, what: &'static str, timed: bool) -> bool {
+        let status = if timed {
+            Status::TimedBlocked
+        } else {
+            Status::Blocked
+        };
+        self.reschedule(me, status, what);
+        let mut st = self.state();
+        let timed_out = st.threads[me].timed_out;
+        st.threads[me].timed_out = false;
+        timed_out
+    }
+
+    /// Marks a blocked thread runnable (it still runs only when the scheduler
+    /// picks it). Waking a thread that is not blocked is a no-op.
+    pub(crate) fn unblock(&self, id: usize) {
+        let mut st = self.state();
+        if matches!(
+            st.threads[id].status,
+            Status::Blocked | Status::TimedBlocked
+        ) {
+            st.threads[id].status = Status::Runnable;
+            st.threads[id].timed_out = false;
+            st.threads[id].blocked_on = "";
+        }
+    }
+
+    /// Parks a freshly spawned managed thread until the scheduler first picks
+    /// it.
+    pub(crate) fn gate_start(self: &Arc<Self>, me: usize) {
+        let mut st = self.state();
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                abort_thread();
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return;
+            }
+            st = self
+                .turn
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    pub(crate) fn finish_thread(self: &Arc<Self>, me: usize) {
+        {
+            let mut st = self.state();
+            if st.failed.is_some() {
+                return;
+            }
+            let joiners = std::mem::take(&mut st.threads[me].joiners);
+            for joiner in joiners {
+                if matches!(
+                    st.threads[joiner].status,
+                    Status::Blocked | Status::TimedBlocked
+                ) {
+                    st.threads[joiner].status = Status::Runnable;
+                }
+            }
+        }
+        self.reschedule(me, Status::Finished, "");
+    }
+
+    /// Blocks the harness thread until every managed thread has finished (or
+    /// the execution failed): the decision trace is only complete once the
+    /// last thread has scheduled its final step.
+    fn wait_all_finished(&self) {
+        let mut st = self.state();
+        loop {
+            if st.failed.is_some() || st.active == usize::MAX {
+                return;
+            }
+            st = self
+                .turn
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks `me` until managed thread `target` finishes. Safe against the
+    /// target finishing first (checks before blocking; the check-then-block
+    /// pair is atomic because no yield point separates them).
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            {
+                let mut st = self.state();
+                if st.failed.is_some() {
+                    drop(st);
+                    abort_thread();
+                }
+                if st.threads[target].status == Status::Finished {
+                    return;
+                }
+                st.threads[target].joiners.push(me);
+            }
+            self.block(me, "join", false);
+        }
+    }
+}
+
+/// Runs one execution of `f` under `driver`, returning the recorded decision
+/// trace and the failure (if any).
+fn run_one<F: Fn()>(config: &Config, driver: Driver, f: &F) -> (Vec<Decision>, Option<String>) {
+    let exec = Arc::new(Execution::new(config, driver));
+    let main_id = exec.register_thread();
+    debug_assert_eq!(main_id, 0);
+    set_current(Some((Arc::clone(&exec), main_id)));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(()) => exec.finish_thread(main_id),
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                exec.record_failure(format!(
+                    "model closure panicked: {}",
+                    payload_message(payload.as_ref())
+                ));
+            }
+            // Ensure no other thread waits forever on a token the panicked
+            // main thread still holds.
+            exec.record_failure("model closure panicked".to_string());
+        }
+    }
+    // Let every spawned thread run its final scheduling step (or bail out
+    // after a failure) before reading the trace: a half-finished schedule
+    // would corrupt the DFS frontier. The OS threads themselves exit on their
+    // own — once finished (or aborted) they never touch this execution again.
+    exec.wait_all_finished();
+    set_current(None);
+    let mut st = exec.state();
+    let trace = std::mem::take(&mut st.trace);
+    let failed = st.failed.take();
+    (trace, failed)
+}
+
+/// The next DFS replay prefix after `trace`, or `None` when the frontier is
+/// exhausted: backtrack to the deepest branch with an untaken option and
+/// advance it.
+fn next_replay(trace: &[Decision]) -> Option<Vec<usize>> {
+    for depth in (0..trace.len()).rev() {
+        if trace[depth].chosen + 1 < trace[depth].options {
+            let mut replay: Vec<usize> = trace[..depth]
+                .iter()
+                .map(|decision| decision.chosen)
+                .collect();
+            replay.push(trace[depth].chosen + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Explores schedules of `f` under `config`: bounded-exhaustive DFS first,
+/// then the seeded random phase. Stops at the first failing schedule.
+///
+/// The closure runs many times and must be deterministic apart from
+/// scheduling: derive all inputs inside it, and do not consult real time or
+/// OS randomness.
+pub fn explore<F: Fn()>(config: &Config, f: F) -> Outcome {
+    install_hook();
+    let mut schedules = 0;
+    let mut complete = false;
+    let mut replay: Vec<usize> = Vec::new();
+    let mut failure = None;
+
+    while schedules < config.max_schedules {
+        let driver = Driver::Dfs {
+            replay: std::mem::take(&mut replay),
+            pos: 0,
+        };
+        let (trace, failed) = run_one(config, driver, &f);
+        schedules += 1;
+        if let Some(message) = failed {
+            failure = Some(Failure {
+                message,
+                trace: trace.iter().map(|decision| decision.chosen).collect(),
+            });
+            break;
+        }
+        match next_replay(&trace) {
+            Some(next) => replay = next,
+            None => {
+                complete = true;
+                break;
+            }
+        }
+    }
+
+    if failure.is_none() {
+        let mut seed = config.seed | 1;
+        for round in 0..config.random_schedules {
+            // Decorrelate rounds: each gets its own generator state.
+            seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(round as u64);
+            let driver = Driver::Random { state: seed | 1 };
+            let (trace, failed) = run_one(config, driver, &f);
+            schedules += 1;
+            if let Some(message) = failed {
+                failure = Some(Failure {
+                    message,
+                    trace: trace.iter().map(|decision| decision.chosen).collect(),
+                });
+                break;
+            }
+        }
+    }
+
+    Outcome {
+        schedules,
+        complete,
+        failure,
+    }
+}
+
+/// Like [`explore`], but panics with the failing schedule if one is found —
+/// the assertion form model tests use.
+pub fn check<F: Fn()>(config: &Config, f: F) -> Outcome {
+    let outcome = explore(config, f);
+    if let Some(failure) = &outcome.failure {
+        panic!(
+            "interleave: schedule {} of {} failed: {}\nreplay trace: {:?}",
+            outcome.schedules, outcome.schedules, failure.message, failure.trace
+        );
+    }
+    outcome
+}

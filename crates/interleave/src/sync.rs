@@ -1,0 +1,728 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives the
+//! modelled protocols use.
+//!
+//! Each primitive mirrors the `std` API shape (including `LockResult` /
+//! `PoisonError` signatures, so poison-recovery call sites compile unchanged)
+//! and has **two behaviours**:
+//!
+//! * inside a model execution (under [`explore`](crate::explore)), every
+//!   operation is a scheduler yield point and blocking is virtual — the
+//!   scheduler decides who runs, detects deadlocks, and explores wake orders;
+//! * outside a model execution, operations delegate to the real `std`
+//!   primitives, so code compiled against the instrumented façade still runs
+//!   normally (the non-model unit tests of an instrumented crate, for
+//!   example).
+//!
+//! [`Arc`], [`OnceLock`] and the `LockResult` family are re-exported from
+//! `std` unchanged: they need no instrumentation (`Arc` is immutable
+//! refcounting; `OnceLock` is used for process-global singletons that model
+//! tests never touch).
+
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError};
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::scheduler::{current, Execution};
+
+/// Grabs a `std` mutex whose model-level lock is already held: always free
+/// (the model lock is exclusive), but possibly poisoned by a panicking
+/// schedule explored earlier in the same run — recover the data in that case.
+fn acquire_inner<T>(inner: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    match inner.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            unreachable!("model lock held but inner lock contended")
+        }
+    }
+}
+
+/// Model-level state of one [`Mutex`]: whether it is held, and which managed
+/// threads are parked on it.
+#[derive(Debug, Default)]
+struct ModelLock {
+    locked: bool,
+    waiters: Vec<usize>,
+}
+
+/// An instrumented mutual-exclusion lock with the `std::sync::Mutex` API.
+///
+/// Under a model execution, acquisition order among contending threads is a
+/// scheduler decision (all parked waiters are woken on release and re-race),
+/// and lock/unlock are yield points.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    model: StdMutex<ModelLock>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+            model: StdMutex::new(ModelLock::default()),
+        }
+    }
+
+    fn model_state(&self) -> StdMutexGuard<'_, ModelLock> {
+        self.model.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the model-level lock for managed thread `me`, parking on the
+    /// scheduler while it is held elsewhere. No yield point of its own —
+    /// callers yield first.
+    fn model_acquire(&self, exec: &Arc<Execution>, me: usize) {
+        loop {
+            {
+                let mut model = self.model_state();
+                if !model.locked {
+                    model.locked = true;
+                    return;
+                }
+                model.waiters.push(me);
+            }
+            exec.block(me, "mutex", false);
+        }
+    }
+
+    /// Releases the model-level lock and wakes every parked waiter (they
+    /// re-race; the scheduler picks the winner). No yield point.
+    fn model_release(&self, exec: &Arc<Execution>) {
+        let waiters = {
+            let mut model = self.model_state();
+            model.locked = false;
+            std::mem::take(&mut model.waiters)
+        };
+        for waiter in waiters {
+            exec.unblock(waiter);
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// # Errors
+    ///
+    /// Like `std`, returns a [`PoisonError`] (still holding the guard) when a
+    /// previous holder panicked. Under a model execution, panics abort the
+    /// whole schedule, so the model path always returns `Ok`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((exec, me)) => {
+                exec.yield_point(me);
+                self.model_acquire(&exec, me);
+                // The model-level lock is exclusive, so the inner lock is
+                // always free here (a poisoned inner lock only means an
+                // earlier schedule panicked while holding it).
+                let inner = acquire_inner(&self.inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((exec, me)),
+                })
+            }
+        }
+    }
+}
+
+/// RAII guard of an instrumented [`Mutex`]; releasing it is a yield point
+/// under a model execution.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Releases the lock without a trailing yield point and without running
+    /// `Drop` — the atomic first half of a condvar wait.
+    fn release_for_wait(mut self) {
+        self.inner.take();
+        if let Some((exec, _)) = self.model.take() {
+            self.lock.model_release(&exec);
+        }
+        std::mem::forget(self);
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, me)) = self.model.take() {
+            self.lock.model_release(&exec);
+            // Releasing a lock is a preemption point — but not while this
+            // thread is already unwinding (the scheduler would park a
+            // panicking thread).
+            if !std::thread::panicking() {
+                exec.yield_point(me);
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.as_ref().fmt(f)
+    }
+}
+
+/// An instrumented condition variable with the `std::sync::Condvar` API
+/// (minus spurious wakeups, which the modelled protocols must already
+/// tolerate via their predicate loops).
+///
+/// Under a model execution, `notify_one` with several waiters is a recorded
+/// scheduler decision, so every wake order gets explored; a `notify` with no
+/// waiters is a no-op exactly like `std`, which is what lets the explorer
+/// catch lost-wakeup protocols as deadlocks.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+    waiters: StdMutex<Vec<usize>>,
+}
+
+impl Condvar {
+    /// Creates a condition variable with no waiters.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    fn model_waiters(&self) -> StdMutexGuard<'_, Vec<usize>> {
+        self.waiters.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Atomically releases `guard`'s mutex and waits for a notification,
+    /// reacquiring the mutex before returning.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `std`'s poison reporting; the model path always returns `Ok`
+    /// (panics abort the schedule instead of poisoning).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &guard.model {
+            None => {
+                // Delegate to the real condvar on the real inner guard.
+                let lock = guard.lock;
+                let mut guard = guard;
+                let inner = guard.inner.take().expect("guard accessed after release");
+                std::mem::forget(guard);
+                match self.inner.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((exec, me)) => {
+                let exec = Arc::clone(exec);
+                let me = *me;
+                let lock = guard.lock;
+                // Register as a waiter *before* releasing the mutex: no yield
+                // point separates the two, so wait is atomic and a notify
+                // between release and park cannot be lost.
+                self.model_waiters().push(me);
+                guard.release_for_wait();
+                exec.block(me, "condvar", false);
+                exec.yield_point(me);
+                lock.model_acquire(&exec, me);
+                let inner = acquire_inner(&lock.inner);
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: Some((exec, me)),
+                })
+            }
+        }
+    }
+
+    /// Wakes one waiter; which one is a scheduler decision under a model
+    /// execution.
+    pub fn notify_one(&self) {
+        if let Some((exec, _)) = current() {
+            let waiter = {
+                let mut waiters = self.model_waiters();
+                if waiters.is_empty() {
+                    None
+                } else {
+                    let chosen = exec.decide(waiters.len());
+                    Some(waiters.swap_remove(chosen))
+                }
+            };
+            if let Some(waiter) = waiter {
+                exec.unblock(waiter);
+            }
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some((exec, _)) = current() {
+            let waiters = std::mem::take(&mut *self.model_waiters());
+            for waiter in waiters {
+                exec.unblock(waiter);
+            }
+        }
+        self.inner.notify_all();
+    }
+}
+
+/// Instrumented atomic integers: sequentially-consistent exploration with a
+/// yield point before every access, mirroring the `std::sync::atomic` API
+/// shape the protocols use.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::current;
+
+    fn yield_before_access() {
+        if let Some((exec, me)) = current() {
+            exec.yield_point(me);
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// An instrumented atomic: every access is a scheduler yield
+            /// point under a model execution, and a plain delegation outside
+            /// one.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with `value`.
+                #[must_use]
+                pub const fn new(value: $value) -> $name {
+                    $name {
+                        inner: <$std>::new(value),
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $value {
+                    yield_before_access();
+                    self.inner.load(order)
+                }
+
+                /// Stores `value`.
+                pub fn store(&self, value: $value, order: Ordering) {
+                    yield_before_access();
+                    self.inner.store(value, order);
+                }
+
+                /// Adds, returning the previous value.
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    yield_before_access();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                    yield_before_access();
+                    self.inner.fetch_max(value, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+    /// An instrumented atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with `value`.
+        #[must_use]
+        pub const fn new(value: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_before_access();
+            self.inner.load(order)
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: bool, order: Ordering) {
+            yield_before_access();
+            self.inner.store(value, order);
+        }
+
+        /// Swaps in `value`, returning the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            yield_before_access();
+            self.inner.swap(value, order)
+        }
+    }
+}
+
+/// Instrumented multi-producer single-consumer channels mirroring the
+/// `std::sync::mpsc` subset the serve loop uses: [`mpsc::channel`] (unbounded)
+/// and [`mpsc::sync_channel`] (bounded, including the capacity-0 rendezvous
+/// form whose
+/// `send` blocks until the message is received), with `recv`, `recv_timeout`
+/// and disconnection semantics.
+///
+/// Under a model execution, a `recv_timeout` may have its timer fired by the
+/// scheduler at any yield point — both the timely and the timed-out outcome
+/// of every race get explored, regardless of the nominal duration (virtual
+/// time has no fixed rate). Outside a model execution the ops run on real
+/// condvars and real clocks.
+pub mod mpsc {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    use std::collections::VecDeque;
+    use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+    use std::time::Duration;
+
+    use super::{current, Arc, PoisonError};
+
+    #[derive(Debug)]
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        /// Buffered capacity; `None` = unbounded, `Some(0)` = rendezvous.
+        cap: Option<usize>,
+        senders: usize,
+        receiver_alive: bool,
+        /// Total messages ever enqueued / dequeued: a rendezvous sender waits
+        /// until `consumed` passes its own message's index.
+        sent: u64,
+        consumed: u64,
+        recv_waiters: Vec<usize>,
+        send_waiters: Vec<usize>,
+    }
+
+    #[derive(Debug)]
+    struct Chan<T> {
+        state: StdMutex<ChanState<T>>,
+        /// Real-mode parking (model-mode blocking goes via the scheduler).
+        recv_ready: StdCondvar,
+        send_ready: StdCondvar,
+    }
+
+    impl<T> Chan<T> {
+        fn new(cap: Option<usize>) -> Arc<Chan<T>> {
+            Arc::new(Chan {
+                state: StdMutex::new(ChanState {
+                    queue: VecDeque::new(),
+                    cap,
+                    senders: 1,
+                    receiver_alive: true,
+                    sent: 0,
+                    consumed: 0,
+                    recv_waiters: Vec::new(),
+                    send_waiters: Vec::new(),
+                }),
+                recv_ready: StdCondvar::new(),
+                send_ready: StdCondvar::new(),
+            })
+        }
+
+        fn state(&self) -> StdMutexGuard<'_, ChanState<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        fn wake_receivers(&self, st: &mut ChanState<T>) {
+            if let Some((exec, _)) = current() {
+                for waiter in st.recv_waiters.drain(..) {
+                    exec.unblock(waiter);
+                }
+            }
+            self.recv_ready.notify_all();
+        }
+
+        fn wake_senders(&self, st: &mut ChanState<T>) {
+            if let Some((exec, _)) = current() {
+                for waiter in st.send_waiters.drain(..) {
+                    exec.unblock(waiter);
+                }
+            }
+            self.send_ready.notify_all();
+        }
+
+        /// Core send with `block_until_consumed` selecting rendezvous
+        /// semantics (capacity 0).
+        fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let model = current();
+            if let Some((exec, me)) = &model {
+                exec.yield_point(*me);
+            }
+            // Bounded (cap > 0): wait for buffer room first.
+            loop {
+                let mut st = self.state();
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if cap > 0 && st.queue.len() >= cap => match &model {
+                        Some((exec, me)) => {
+                            st.send_waiters.push(*me);
+                            drop(st);
+                            exec.block(*me, "channel send (full)", false);
+                            continue;
+                        }
+                        None => {
+                            drop(self.send_ready.wait(st));
+                            continue;
+                        }
+                    },
+                    _ => {
+                        let my_index = st.sent;
+                        st.sent += 1;
+                        st.queue.push_back(value);
+                        self.wake_receivers(&mut st);
+                        let rendezvous = st.cap == Some(0);
+                        drop(st);
+                        if rendezvous {
+                            return self.wait_consumed(my_index, &model);
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// The rendezvous tail of a capacity-0 send: block until the message
+        /// is consumed, or pull it back out if the receiver disconnects.
+        fn wait_consumed(
+            &self,
+            my_index: u64,
+            model: &Option<(Arc<crate::scheduler::Execution>, usize)>,
+        ) -> Result<(), SendError<T>> {
+            loop {
+                let mut st = self.state();
+                if st.consumed > my_index {
+                    return Ok(());
+                }
+                if !st.receiver_alive {
+                    // The receiver is gone and our message is still in the
+                    // queue, `my_index - consumed` entries from the front.
+                    let position = (my_index - st.consumed) as usize;
+                    let value = st
+                        .queue
+                        .remove(position)
+                        .expect("unconsumed rendezvous message disappeared");
+                    return Err(SendError(value));
+                }
+                match model {
+                    Some((exec, me)) => {
+                        st.send_waiters.push(*me);
+                        drop(st);
+                        exec.block(*me, "channel send (rendezvous)", false);
+                    }
+                    None => drop(self.send_ready.wait(st)),
+                }
+            }
+        }
+
+        fn recv_inner(&self, timeout: Option<Duration>) -> Result<T, RecvTimeoutError> {
+            let model = current();
+            if let Some((exec, me)) = &model {
+                exec.yield_point(*me);
+            }
+            // Real-mode timeouts are deadline-based so a wakeup that loses the
+            // race for a message does not restart the full wait.
+            let deadline = match (&model, timeout) {
+                (None, Some(duration)) => Some(std::time::Instant::now() + duration),
+                _ => None,
+            };
+            loop {
+                let mut st = self.state();
+                if let Some(value) = st.queue.pop_front() {
+                    st.consumed += 1;
+                    self.wake_senders(&mut st);
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                match &model {
+                    Some((exec, me)) => {
+                        st.recv_waiters.push(*me);
+                        drop(st);
+                        // With a timeout, the scheduler may fire the timer at
+                        // any point; without one, only a send or disconnect
+                        // wakes us.
+                        let timed_out = exec.block(*me, "channel recv", timeout.is_some());
+                        if timed_out {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                    }
+                    None => match deadline {
+                        Some(deadline) => {
+                            let remaining =
+                                deadline.saturating_duration_since(std::time::Instant::now());
+                            if remaining.is_zero() {
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                            let (state, _) = self
+                                .recv_ready
+                                .wait_timeout(st, remaining)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            drop(state);
+                        }
+                        None => drop(self.recv_ready.wait(st)),
+                    },
+                }
+            }
+        }
+    }
+
+    /// The sending half of an unbounded [`channel`].
+    #[derive(Debug)]
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The sending half of a bounded [`sync_channel`].
+    #[derive(Debug)]
+    pub struct SyncSender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of either channel flavour.
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    fn clone_sender<T>(chan: &Arc<Chan<T>>) -> Arc<Chan<T>> {
+        chan.state().senders += 1;
+        Arc::clone(chan)
+    }
+
+    fn drop_sender<T>(chan: &Chan<T>) {
+        let mut st = chan.state();
+        st.senders -= 1;
+        if st.senders == 0 {
+            chan.wake_receivers(&mut st);
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(clone_sender(&self.0))
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> SyncSender<T> {
+            SyncSender(clone_sender(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state();
+            st.receiver_alive = false;
+            self.0.wake_senders(&mut st);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends without blocking (unbounded buffer).
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Sends, blocking while the buffer is full — or, for a capacity-0
+        /// rendezvous channel, until the receiver takes the message.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message or disconnection.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender has been dropped and the buffer is
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv_inner(None).map_err(|_| RecvError)
+        }
+
+        /// Receives with a deadline.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` when the timer fires first (under a model execution the
+        /// scheduler decides), `Disconnected` when every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_inner(Some(timeout))
+        }
+    }
+
+    /// An unbounded channel, like `std::sync::mpsc::channel`.
+    #[must_use]
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Chan::new(None);
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    /// A bounded channel, like `std::sync::mpsc::sync_channel`; `bound == 0`
+    /// is the rendezvous form.
+    #[must_use]
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        let chan = Chan::new(Some(bound));
+        (SyncSender(Arc::clone(&chan)), Receiver(chan))
+    }
+}

@@ -1,0 +1,237 @@
+//! Instrumented thread spawning and joining with the `std::thread` API shape
+//! the modelled protocols use: [`spawn`], [`Builder`], [`JoinHandle`], and
+//! scoped threads via [`scope`].
+//!
+//! Inside a model execution, spawned threads become *managed*: they are
+//! registered with the scheduler on the spawning thread (so thread ids are
+//! schedule-independent), parked until first picked, and their panics are
+//! reported as model failures with the failing schedule attached. Outside a
+//! model execution everything delegates to `std::thread` directly.
+
+pub use std::thread::available_parallelism;
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::scheduler::{current, set_current, Execution, ModelAbort};
+
+/// Runs `f` as managed thread `id` of `exec`: gate until first scheduled,
+/// report panics as model failures, and hand the token on when done.
+fn managed<T>(exec: Arc<Execution>, id: usize, f: impl FnOnce() -> T) -> T {
+    set_current(Some((Arc::clone(&exec), id)));
+    exec.gate_start(id);
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(value) => {
+            exec.finish_thread(id);
+            set_current(None);
+            value
+        }
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                exec.record_failure(format!(
+                    "managed thread {id} panicked: {}",
+                    crate::scheduler::payload_message(payload.as_ref())
+                ));
+            }
+            set_current(None);
+            panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// An owned handle to join a spawned thread, mirroring
+/// `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked, like `std`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some((_, me)) = current() {
+                // Model-level join first: block on the scheduler until the
+                // target's last step has been scheduled. The real join below
+                // then returns promptly (the OS thread is already exiting),
+                // so holding the scheduler token across it cannot deadlock.
+                exec.join_wait(me, *target);
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// A thread factory mirroring `std::thread::Builder` (name configuration
+/// only).
+#[derive(Debug)]
+pub struct Builder {
+    inner: std::thread::Builder,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// Creates a builder with default settings.
+    #[must_use]
+    pub fn new() -> Builder {
+        Builder {
+            inner: std::thread::Builder::new(),
+        }
+    }
+
+    /// Names the thread.
+    #[must_use]
+    pub fn name(self, name: String) -> Builder {
+        Builder {
+            inner: self.inner.name(name),
+        }
+    }
+
+    /// Spawns a thread running `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS-level spawn failure, like `std`.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current() {
+            None => self
+                .inner
+                .spawn(f)
+                .map(|inner| JoinHandle { inner, model: None }),
+            Some((exec, _)) => {
+                let id = exec.register_thread();
+                let child_exec = Arc::clone(&exec);
+                let inner = self.inner.spawn(move || managed(child_exec, id, f))?;
+                Ok(JoinHandle {
+                    inner,
+                    model: Some((exec, id)),
+                })
+            }
+        }
+    }
+}
+
+/// Spawns a thread running `f`, panicking on OS-level spawn failure, like
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    // lint: allow(unwrap) — mirrors std::thread::spawn's own panic on
+    // OS-level spawn failure.
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// A scope handle mirroring `std::thread::Scope`, passed by reference to the
+/// [`scope`] closure.
+///
+/// Unlike `std`'s, this wrapper also tracks the managed ids of spawned
+/// threads so the scope can *model-join* them all before `std`'s real
+/// implicit join runs — otherwise the scope exit would block on an OS join
+/// while holding the scheduler token, deadlocking the model for real.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: StdMutex<Vec<usize>>,
+}
+
+/// An owned handle to join a scoped thread, mirroring
+/// `std::thread::ScopedJoinHandle`.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the scoped thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked, like `std`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            if let Some((_, me)) = current() {
+                exec.join_wait(me, *target);
+            }
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread running `f`, mirroring
+    /// `std::thread::Scope::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match current() {
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                model: None,
+            },
+            Some((exec, _)) => {
+                let id = exec.register_thread();
+                self.spawned
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(id);
+                let child_exec = Arc::clone(&exec);
+                let inner = self.inner.spawn(move || managed(child_exec, id, f));
+                ScopedJoinHandle {
+                    inner,
+                    model: Some((exec, id)),
+                }
+            }
+        }
+    }
+}
+
+/// Creates a scope for spawning borrowed-data threads, mirroring
+/// `std::thread::scope` (the closure receives `&Scope` rather than
+/// `&'scope Scope`; spawned closures only need the `'scope` bound).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|inner| {
+        let wrapper = Scope {
+            inner,
+            spawned: StdMutex::new(Vec::new()),
+        };
+        let result = f(&wrapper);
+        // Model-join every scoped thread (including ones whose handles the
+        // closure dropped) before std's implicit real join below.
+        if let Some((exec, me)) = current() {
+            let spawned = std::mem::take(
+                &mut *wrapper
+                    .spawned
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            for id in spawned {
+                exec.join_wait(me, id);
+            }
+        }
+        result
+    })
+}

@@ -1,0 +1,74 @@
+//! An instrumented [`Instant`] backed by the scheduler's virtual clock.
+//!
+//! Real wall-clock time is meaningless inside a model execution — threads run
+//! one at a time and wait virtually — so `Instant::now()` there reads a
+//! virtual nanosecond counter that the scheduler bumps at every yield point.
+//! The counter is monotonic and schedule-dependent, which is exactly the
+//! point: elapsed times differ across schedules the way they differ across
+//! real runs, and timeout races stay explorable. Outside a model execution,
+//! `Instant` is the real `std::time::Instant`.
+
+pub use std::time::Duration;
+
+use std::ops::Add;
+
+use crate::scheduler::current;
+
+/// A measurement of a monotonically nondecreasing clock, mirroring the
+/// `std::time::Instant` subset the serve loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instant(Repr);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Repr {
+    // lint: allow(timing) — this is the instrumentation layer's real-mode
+    // fallback; everything else reaches time through it.
+    Real(std::time::Instant),
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant: virtual inside a model execution, real outside.
+    #[must_use]
+    pub fn now() -> Instant {
+        match current() {
+            Some((exec, _)) => Instant(Repr::Virtual(exec.clock_nanos())),
+            None => Instant(Repr::Real(std::time::Instant::now())),
+        }
+    }
+
+    /// Time elapsed since this instant.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// Time elapsed from `earlier` to this instant, or zero when this instant
+    /// is the earlier one.
+    #[must_use]
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self.0, earlier.0) {
+            (Repr::Real(this), Repr::Real(earlier)) => this.saturating_duration_since(earlier),
+            (Repr::Virtual(this), Repr::Virtual(earlier)) => {
+                Duration::from_nanos(this.saturating_sub(earlier))
+            }
+            // Instants from different modes are incomparable; zero is the
+            // saturating answer (and unreachable in practice — a model
+            // execution never sees instants taken outside it).
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, duration: Duration) -> Instant {
+        match self.0 {
+            Repr::Real(real) => Instant(Repr::Real(real + duration)),
+            Repr::Virtual(nanos) => Instant(Repr::Virtual(
+                nanos.saturating_add(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)),
+            )),
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Self-tests of the schedule explorer: known-buggy protocols must be caught,
+//! known-correct ones must pass exhaustively.
+
+use std::sync::PoisonError;
+
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use interleave::sync::{mpsc, Arc, Condvar, Mutex};
+use interleave::time::{Duration, Instant};
+use interleave::{check, explore, thread, Config};
+
+fn lock<T>(mutex: &Mutex<T>) -> interleave::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A classic unsynchronised read-modify-write: two threads each do
+/// `load; store(+1)` on an atomic. The explorer must find the interleaving
+/// where one increment is lost.
+#[test]
+fn finds_lost_update_race() {
+    let outcome = explore(&Config::exhaustive(2, 4096), || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let racer = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                let seen = counter.load(Ordering::SeqCst);
+                counter.store(seen + 1, Ordering::SeqCst);
+            })
+        };
+        let seen = counter.load(Ordering::SeqCst);
+        counter.store(seen + 1, Ordering::SeqCst);
+        racer.join().expect("racer panicked");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    let failure = outcome.failure.expect("explorer missed the lost update");
+    assert!(
+        failure.message.contains("an increment was lost"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// The same protocol with the read-modify-write under a mutex is correct; the
+/// DFS must exhaust the schedule space without finding anything.
+#[test]
+fn passes_locked_counter_exhaustively() {
+    let outcome = check(&Config::exhaustive(2, 4096), || {
+        let counter = Arc::new(Mutex::new(0usize));
+        let worker = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || *lock(&counter) += 1)
+        };
+        *lock(&counter) += 1;
+        worker.join().expect("worker panicked");
+        assert_eq!(*lock(&counter), 2);
+    });
+    assert!(outcome.complete, "DFS frontier not exhausted");
+    assert!(outcome.schedules > 1, "no schedule diversity explored");
+}
+
+/// AB-BA lock ordering: the explorer must find the schedule where each thread
+/// holds one lock and waits for the other, and report it as a deadlock.
+#[test]
+fn finds_lock_order_deadlock() {
+    let outcome = explore(&Config::exhaustive(2, 4096), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let crossed = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let held_b = lock(&b);
+                let held_a = lock(&a);
+                drop((held_a, held_b));
+            })
+        };
+        let held_a = lock(&a);
+        let held_b = lock(&b);
+        drop((held_b, held_a));
+        crossed.join().expect("crossed panicked");
+    });
+    let failure = outcome.failure.expect("explorer missed the AB-BA deadlock");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// Check-then-wait without re-checking under the lock: the notifier can fire
+/// between the flag check and the `wait`, losing the wakeup. Presents as a
+/// deadlock (waiter blocked on the condvar, nobody left to notify).
+#[test]
+fn finds_lost_wakeup() {
+    let outcome = explore(&Config::exhaustive(2, 4096), || {
+        let flag = Arc::new((Mutex::new(false), Condvar::new()));
+        let notifier = {
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                *lock(&flag.0) = true;
+                flag.1.notify_one();
+            })
+        };
+        // BUG under test: checks the flag, drops the lock, then waits —
+        // the notify can land in the gap.
+        let ready = *lock(&flag.0);
+        if !ready {
+            let guard = lock(&flag.0);
+            drop(flag.1.wait(guard).unwrap_or_else(PoisonError::into_inner));
+        }
+        notifier.join().expect("notifier panicked");
+    });
+    let failure = outcome.failure.expect("explorer missed the lost wakeup");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// The correct predicate-loop version of the same protocol passes
+/// exhaustively: every wait re-checks the flag under the lock.
+#[test]
+fn passes_predicate_loop_wait_exhaustively() {
+    let outcome = check(&Config::exhaustive(2, 4096), || {
+        let flag = Arc::new((Mutex::new(false), Condvar::new()));
+        let notifier = {
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                *lock(&flag.0) = true;
+                flag.1.notify_one();
+            })
+        };
+        let mut guard = lock(&flag.0);
+        while !*guard {
+            guard = flag.1.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(guard);
+        notifier.join().expect("notifier panicked");
+    });
+    assert!(outcome.complete, "DFS frontier not exhausted");
+}
+
+/// Rendezvous channel semantics: a capacity-0 `send` must not complete before
+/// the receiver consumes the message.
+#[test]
+fn rendezvous_send_blocks_until_received() {
+    let outcome = check(&Config::exhaustive(2, 2048), || {
+        let (tx, rx) = mpsc::sync_channel::<u32>(0);
+        let send_done = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let send_done = Arc::clone(&send_done);
+            thread::spawn(move || {
+                tx.send(7).expect("receiver vanished");
+                send_done.store(1, Ordering::SeqCst);
+            })
+        };
+        // In every schedule, the send cannot have completed before this recv
+        // consumes the message: a buggy non-blocking rendezvous would let the
+        // explorer reach this load with the flag already set.
+        assert_eq!(
+            send_done.load(Ordering::SeqCst),
+            0,
+            "rendezvous send completed before the receive"
+        );
+        let value = rx.recv().expect("producer vanished");
+        assert_eq!(value, 7);
+        producer.join().expect("producer panicked");
+    });
+    assert!(outcome.complete, "DFS frontier not exhausted");
+}
+
+/// Timeout races: under exploration, `recv_timeout` on an empty-then-filled
+/// channel must visit both outcomes — the timely receive and the timeout.
+#[test]
+fn explores_both_timeout_outcomes() {
+    let timed_out = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let delivered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let outcome = {
+        let timed_out = Arc::clone(&timed_out);
+        let delivered = Arc::clone(&delivered);
+        check(&Config::exhaustive(2, 2048), move || {
+            let (tx, rx) = mpsc::channel::<u32>();
+            let producer = thread::spawn(move || {
+                tx.send(1).expect("receiver vanished");
+            });
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(value) => {
+                    assert_eq!(value, 1);
+                    delivered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    timed_out.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("sender dropped before sending")
+                }
+            }
+            producer.join().expect("producer panicked");
+        })
+    };
+    assert!(outcome.complete, "DFS frontier not exhausted");
+    assert!(
+        delivered.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "timely delivery never explored"
+    );
+    assert!(
+        timed_out.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "timeout firing never explored"
+    );
+}
+
+/// Scoped threads: borrowed-data workers through the façade `scope` are
+/// modelled, and the implicit scope join is deadlock-free.
+#[test]
+fn scoped_threads_exhaustive() {
+    let outcome = check(&Config::exhaustive(2, 2048), || {
+        let total = Mutex::new(0u32);
+        thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| *lock(&total) += 1);
+            }
+        });
+        assert_eq!(*lock(&total), 2);
+    });
+    assert!(outcome.complete, "DFS frontier not exhausted");
+}
+
+/// The virtual clock is monotonic inside a model execution and real outside.
+#[test]
+fn instant_monotonic_in_both_modes() {
+    let real_start = Instant::now();
+    assert!(real_start.elapsed() >= Duration::ZERO);
+    check(&Config::exhaustive(0, 64), || {
+        let start = Instant::now();
+        let later = Instant::now();
+        assert!(later.saturating_duration_since(start) > Duration::ZERO);
+        assert_eq!(start.saturating_duration_since(later), Duration::ZERO);
+    });
+}
+
+/// The random phase is reproducible: the same seed explores the same
+/// schedules (same schedule count to first failure).
+#[test]
+fn random_phase_is_seeded() {
+    let run = |seed: u64| {
+        let config = Config {
+            max_schedules: 4,
+            preemption_bound: Some(0),
+            random_schedules: 64,
+            seed,
+            ..Config::default()
+        };
+        explore(&config, || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let racer = {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            };
+            let seen = counter.load(Ordering::SeqCst);
+            counter.store(seen + 1, Ordering::SeqCst);
+            racer.join().expect("racer panicked");
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "an increment was lost");
+        })
+        .schedules
+    };
+    assert_eq!(run(42), run(42), "same seed diverged");
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: the marker suppresses the unwrap finding but is itself
+// flagged because the justification is missing.
+
+pub fn sloppy(values: &[u32]) -> u32 {
+    // lint: allow(unwrap)
+    *values.first().unwrap()
+}

@@ -1,0 +1,20 @@
+// Known-good fixture: every flagged construct carries a justified marker,
+// including a preceding marker whose justification wraps onto a second
+// comment line, a trailing same-line marker, and a whole-file marker.
+
+// lint: allow-file(json) — this fixture emits no report bytes; the literal
+// below exercises the whole-file marker path.
+
+pub fn blessed(values: &[u32]) -> u32 {
+    // lint: allow(unwrap) — the caller guarantees a non-empty slice and the
+    // justification continues on a second comment line.
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("second value"); // lint: allow(unwrap) — trailing marker form
+    let _script = r#"{"op": "stats"}"#;
+    first + second
+}
+
+pub fn blessed_timing() -> std::time::Instant {
+    // lint: allow(timing) — fixture stands in for a sanctioned façade site.
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: hand-rolled JSON object literals, escaped and raw.
+
+pub fn payload(ok: bool) -> String {
+    let head = "{\"seq\": 0, \"ok\": ".to_string();
+    let tail = r#"{"kind": "timeout"}"#;
+    format!("{head}{ok}, \"error\": {tail}}}")
+}

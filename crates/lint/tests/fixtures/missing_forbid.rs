@@ -1,0 +1,6 @@
+//! Known-bad fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

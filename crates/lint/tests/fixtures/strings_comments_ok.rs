@@ -1,0 +1,15 @@
+// Known-good fixture: rule tokens inside comments, doc comments, string
+// literals, raw strings and char/lifetime syntax must never trigger.
+//
+// Instant::now( and thread::spawn( and .unwrap() in a comment are fine.
+
+/// Docs may say `.expect(` or show `{"op": "stats"}` freely.
+pub fn describe<'a>(label: &'a str) -> String {
+    let advice = "never call .unwrap() or Instant::now( on the serve path";
+    let brace = '{';
+    let quote = '"';
+    /* block comments too: SystemTime, thread::spawn(, .expect( — all inert,
+    even /* nested */ ones */
+    let raw = r##"tokens like .unwrap() or Instant::now( stay inert in raw strings"##;
+    format!("{label}: {advice} {brace}{quote} {raw}")
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: unwraps, clocks and spawns inside `#[cfg(test)]` and
+// `#[cfg(all(test, interleave))]` module bodies are exempt; the cfg'd `use`
+// (no body) must not start a skip region.
+
+#[cfg(test)]
+use std::time::Duration;
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_freely() {
+        let start = std::time::Instant::now();
+        let worker = std::thread::spawn(|| "{\"ok\": true}".to_string());
+        let line = worker.join().unwrap();
+        assert!(line.contains("ok"));
+        let _ = start.elapsed();
+    }
+}
+
+#[cfg(all(test, interleave))]
+mod models {
+    #[test]
+    fn models_too() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}

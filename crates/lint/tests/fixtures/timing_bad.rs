@@ -1,0 +1,9 @@
+// Known-bad fixture: ambient clock reads and an ad-hoc thread spawn.
+
+pub fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    let _stamp = std::time::SystemTime::now();
+    let worker = std::thread::spawn(|| 42);
+    let _ = worker.join();
+    start.elapsed()
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture: bare unwrap/expect on a serve-path file.
+
+pub fn fetch(values: &[u32]) -> u32 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("second value");
+    first + second
+}

@@ -73,6 +73,10 @@ mod report;
 mod run;
 mod session;
 mod store;
+pub(crate) mod sync;
+
+#[cfg(all(test, interleave))]
+mod models;
 
 pub use backend::{
     enumerate_lanes, BackendKind, CoverageLane, PackedBackend, PackedSimulator, ScalarBackend,

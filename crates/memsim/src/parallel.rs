@@ -12,16 +12,16 @@
 //!   the engine behind [`Session`](crate::Session), so repeated pipeline
 //!   queries stop paying per-call thread spawn and join.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Resolves a thread-count knob: `0` means "use the available parallelism",
 /// and the result is clamped to the number of work items.
 #[must_use]
 pub fn effective_threads(requested: usize, items: usize) -> usize {
     let threads = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         requested
     };
@@ -50,7 +50,7 @@ where
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
@@ -69,6 +69,9 @@ where
             })
             .collect();
         for worker in workers {
+            // lint: allow(unwrap) — re-raising a worker's panic on the caller
+            // is `parallel_map`'s documented contract; the scoped workers
+            // share no locks with the resident pool.
             for (index, result) in worker.join().expect("simulation worker panicked") {
                 results[index] = Some(result);
             }
@@ -77,6 +80,8 @@ where
 
     results
         .into_iter()
+        // lint: allow(unwrap) — the chunked index walk above visits every
+        // index exactly once; an empty slot is a logic bug worth a panic.
         .map(|slot| slot.expect("every work item is scheduled exactly once"))
         .collect()
 }
@@ -100,11 +105,16 @@ struct Completion {
 }
 
 impl Completion {
+    // Poison recovery, not propagation: `add` runs from `ItemGuard::drop`
+    // during a worker unwind, which poisons `finished` in std builds. The
+    // counter itself is always left consistent (no user code runs under the
+    // lock), so recovering keeps the pool serviceable after a panicked job
+    // instead of wedging every later `wait` in the resident service.
     fn add(&self, count: usize, len: usize) {
         if count == 0 {
             return;
         }
-        let mut finished = self.finished.lock().expect("completion lock");
+        let mut finished = self.finished.lock().unwrap_or_else(PoisonError::into_inner);
         *finished += count;
         if *finished >= len {
             self.all_done.notify_all();
@@ -112,9 +122,12 @@ impl Completion {
     }
 
     fn wait(&self, len: usize) {
-        let mut finished = self.finished.lock().expect("completion lock");
+        let mut finished = self.finished.lock().unwrap_or_else(PoisonError::into_inner);
         while *finished < len {
-            finished = self.all_done.wait(finished).expect("completion lock");
+            finished = self
+                .all_done
+                .wait(finished)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -234,9 +247,12 @@ impl WorkerPool {
             .map(|worker| {
                 let shared = Arc::clone(&shared);
                 shared.workers_spawned.fetch_add(1, Ordering::Relaxed);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("sram-sim-worker-{worker}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(unwrap) — OS-level spawn failure at pool
+                    // construction is unrecoverable and happens before any
+                    // request is in flight.
                     .expect("spawn simulation worker")
             })
             .collect();
@@ -292,7 +308,10 @@ impl WorkerPool {
         if len <= 1 || self.handles.is_empty() {
             return items.iter().map(map).collect();
         }
-        let _call = self.call_lock.lock().expect("pool call lock");
+        let _call = self
+            .call_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         self.generations.fetch_add(1, Ordering::Relaxed);
 
         let results: Arc<Vec<Mutex<Option<R>>>> =
@@ -303,7 +322,9 @@ impl WorkerPool {
                 let results = Arc::clone(&results);
                 Arc::new(move |index| {
                     let value = map(&items[index]);
-                    *results[index].lock().expect("result slot") = Some(value);
+                    *results[index]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(value);
                 })
             },
             next: Arc::new(AtomicUsize::new(0)),
@@ -312,7 +333,11 @@ impl WorkerPool {
         };
 
         {
-            let mut state = self.shared.state.lock().expect("pool state");
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             state.generation += 1;
             state.job = Some(job.clone());
         }
@@ -324,14 +349,21 @@ impl WorkerPool {
 
         // Unpublish the job so worker-held clones are the only references left
         // and the captured Arcs drop promptly.
-        self.shared.state.lock().expect("pool state").job = None;
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .job = None;
 
         results
             .iter()
             .map(|slot| {
                 slot.lock()
-                    .expect("result slot")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
+                    // lint: allow(unwrap) — a missing result means a worker
+                    // died mid-item; failing fast here is the documented
+                    // contract (see the `map` panics section).
                     .expect("every work item is scheduled exactly once")
             })
             .collect()
@@ -341,7 +373,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state");
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -359,7 +395,7 @@ fn worker_loop(shared: &PoolShared) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool state");
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if state.shutdown {
                     return;
@@ -370,7 +406,10 @@ fn worker_loop(shared: &PoolShared) {
                         break job;
                     }
                 }
-                state = shared.work_ready.wait(state).expect("pool state");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         drain_job(&job);

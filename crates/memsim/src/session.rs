@@ -349,6 +349,8 @@ impl Session {
     /// ```
     #[must_use]
     pub fn coverage(&self, test: &MarchTest, list: &FaultList) -> CoverageReport {
+        // lint: allow(unwrap) — the infallible convenience wrapper; callers
+        // that can see scope errors use `try_coverage` instead.
         self.try_coverage(test, list).expect(
             "session scope hosts the fault-list placements (try_coverage surfaces the error)",
         )
@@ -541,6 +543,9 @@ impl Session {
             .unwrap_or(InitialState::AllOne);
         let matches: Vec<Vec<DiagnosisCandidate>> = self.execute(Arc::new(shards), move |shard| {
             let pristine = FaultSimulator::new(memory_cells, &background)
+                // lint: allow(unwrap) — the same scope was validated when the
+                // session enumerated the fault list; a failure here means the
+                // validation upstream regressed.
                 .expect("diagnosis memory configuration is valid");
             let mut scratch = pristine.clone();
             let mut found = Vec::new();

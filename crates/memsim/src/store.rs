@@ -26,11 +26,11 @@
 //! store and multiplex over the same pool. [`SharedEngine::global`] is the
 //! process-wide instance behind `march-codex serve`.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 
 use march_test::MarchTest;
 use sram_fault_model::{FaultList, FaultPrimitive};
@@ -162,10 +162,13 @@ impl<K: Eq + Hash + Clone, V> ShardedMap<K, V> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let shard = (hasher.finish() as usize) % STORE_SHARDS;
+        // Poison recovery: the shard lock only guards the map probe (no user
+        // code runs under it), so a panicked builder elsewhere leaves the map
+        // consistent and the resident service keeps answering.
         Arc::clone(
             self.shards[shard]
                 .lock()
-                .expect("store shard lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(key.clone())
                 .or_default(),
         )
@@ -258,7 +261,13 @@ impl ArtifactStore {
     where
         F: FnOnce() -> Result<Arc<V>>,
     {
-        let mut guard = slot.lock().expect("store entry lock");
+        // Poison recovery: a builder that panicked under this lock never
+        // published (the slot is written only after `build` returns), so the
+        // slot is either still empty — the next requester simply rebuilds —
+        // or was populated by an earlier successful build. Propagating the
+        // poison instead would permanently wedge this key for the resident
+        // service.
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(value) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(value));
@@ -286,6 +295,8 @@ impl ArtifactStore {
     {
         let slot = self.dictionaries.slot(key);
         self.get_or_build(&slot, &self.dictionary_entries, || Ok(build()))
+            // lint: allow(unwrap) — the build closure is wrapped in Ok just
+            // above; no error value can reach this expect.
             .expect("dictionary builds are infallible")
     }
 }

@@ -1,0 +1,25 @@
+//! The crate's synchronisation façade.
+//!
+//! Everything concurrency-flavoured in this crate — locks, condvars, atomics,
+//! threads — is imported through this module instead of `std` directly. In
+//! normal builds it re-exports `std::sync`/`std::thread` unchanged (zero
+//! cost); under `--cfg interleave` it re-exports the instrumented versions
+//! from the [`interleave`] crate, which lets the model tests in
+//! [`models`](crate::models) explore thread schedules of the store and pool
+//! protocols deterministically.
+//!
+//! `Arc` and `OnceLock` come from `std` in both configurations (refcounting
+//! and process-global init need no schedule instrumentation; `interleave`
+//! re-exports the `std` types for them).
+
+#[cfg(not(interleave))]
+pub use std::sync::{atomic, Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+#[cfg(not(interleave))]
+pub use std::thread;
+
+#[cfg(interleave)]
+pub use interleave::sync::{atomic, Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+#[cfg(interleave)]
+pub use interleave::thread;
