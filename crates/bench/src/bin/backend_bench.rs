@@ -28,9 +28,9 @@ use march_gen::{
 use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::{FaultList, FaultListBuilder};
 use sram_sim::{
-    effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, BackendKind,
-    CoverageConfig, ExecPolicy, InitialState, LaneWidth, PlacementStrategy, Session, SharedEngine,
-    TargetBatch,
+    effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, ArtifactStore,
+    BackendKind, CoverageConfig, ExecPolicy, InitialState, LaneWidth, MemIo, PlacementStrategy,
+    Report, Session, SharedEngine, SnapshotStore, TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -279,6 +279,98 @@ fn service_workloads() -> Vec<ServiceWorkload> {
         script: MIXED,
         reps: 5,
     }]
+}
+
+/// One snapshot workload: a simulated process restart answering the same
+/// lane-enumeration + fault-dictionary build — a cold start rebuilding both
+/// artifacts in memory (baseline) versus a start replaying crash-safe
+/// snapshots from a pre-warmed device into an empty artifact store
+/// (contender). This is the regime `serve --snapshot-dir` exists for: a
+/// restarted service re-answering its steady-state keys from disk instead of
+/// re-simulating them.
+struct SnapshotWorkload {
+    name: &'static str,
+    test: MarchTest,
+    list: FaultList,
+    cells: usize,
+    reps: u32,
+}
+
+fn snapshot_workloads() -> Vec<SnapshotWorkload> {
+    vec![
+        // The serve steady state: FFM dictionary + lanes over the paper's
+        // three-cell list.
+        SnapshotWorkload {
+            name: "restart_march_ss_list2_snapshot",
+            test: catalog::march_ss(),
+            list: FaultList::list_2(),
+            cells: 8,
+            reps: 5,
+        },
+        // The decoder domain, where lane enumeration is placement-heavy and
+        // the snapshot replay skips the most rebuild work.
+        SnapshotWorkload {
+            name: "restart_march_ss_af64_snapshot",
+            test: catalog::march_ss(),
+            list: FaultList::address_decoder(),
+            cells: 64,
+            reps: 5,
+        },
+    ]
+}
+
+/// Times one snapshot workload. Every restart — cold or snapshot-warmed — is
+/// pinned byte-identical to a reference dictionary JSON, so a stale or torn
+/// snapshot cannot masquerade as a speedup. The device is in-memory
+/// ([`MemIo`]), so the measured delta is decode-vs-rebuild, not disk speed.
+fn time_snapshot(workload: &SnapshotWorkload) -> (Duration, Duration) {
+    let policy = || ExecPolicy::default().with_threads(2);
+    let primitive = sram_fault_model::Ffm::all_fault_primitives()
+        .into_iter()
+        .find(|fp| !fp.is_coupling())
+        .expect("the FFM space has single-cell primitives");
+    let injected =
+        sram_sim::InjectedFault::single_cell(primitive, workload.cells - 1, workload.cells)
+            .expect("the victim address is in scope");
+    let restart = |store: Arc<ArtifactStore>| -> String {
+        let engine = SharedEngine::with_store(policy(), store);
+        let session = engine.session().with_memory_cells(workload.cells);
+        session
+            .target_lanes(&workload.list)
+            .expect("benchmark scope hosts the placements");
+        let syndrome = session
+            .observe(&workload.test, &injected)
+            .expect("the injected fault is in scope");
+        let dictionary = session.dictionary(&workload.test, &workload.list);
+        session.diagnose(&syndrome, &dictionary).to_json()
+    };
+    let snapshot_store = |device: &Arc<MemIo>| -> Arc<ArtifactStore> {
+        let store = Arc::new(ArtifactStore::new());
+        store.attach_snapshots(SnapshotStore::with_io(device.clone(), "snaps"));
+        store
+    };
+    // The warm-up restart populates the device; it is also the reference.
+    let device: Arc<MemIo> = Arc::new(MemIo::new());
+    let reference = restart(snapshot_store(&device));
+
+    let mut cold_time = Duration::ZERO;
+    for _ in 0..workload.reps {
+        let store = Arc::new(ArtifactStore::new());
+        let start = Instant::now();
+        assert_eq!(restart(store), reference);
+        cold_time += start.elapsed();
+    }
+    let cold = cold_time / workload.reps;
+
+    let mut warm_time = Duration::ZERO;
+    for _ in 0..workload.reps {
+        let store = snapshot_store(&device);
+        let start = Instant::now();
+        assert_eq!(restart(store), reference);
+        warm_time += start.elapsed();
+    }
+    let warm = warm_time / workload.reps;
+    (cold, warm)
 }
 
 /// Times one service workload. Every replay — cold or warm — is pinned
@@ -681,6 +773,27 @@ fn main() {
             kind: "service".to_string(),
             baseline: "cold-engine".to_string(),
             contender: "resident-engine".to_string(),
+            baseline_ns: cold.as_nanos() as u64,
+            contender_ns: warm.as_nanos() as u64,
+            speedup,
+            lane_width: None,
+        });
+    }
+    for workload in snapshot_workloads() {
+        let (cold, warm) = time_snapshot(&workload);
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "snapshot".to_string(),
+            baseline: "cold-start".to_string(),
+            contender: "snapshot-warmed".to_string(),
             baseline_ns: cold.as_nanos() as u64,
             contender_ns: warm.as_nanos() as u64,
             speedup,

@@ -219,13 +219,14 @@ pub enum Command {
         cells: usize,
     },
     /// `serve [--backend scalar|packed] [--threads N] [--lane-width auto|64|128|256]
-    /// [--max-in-flight N] [--timeout-ms N] [--tcp ADDR]`.
+    /// [--max-in-flight N] [--timeout-ms N] [--read-timeout-ms N]
+    /// [--snapshot-dir DIR] [--tcp ADDR]`.
     ///
     /// Runs the resident service loop: newline-delimited JSON requests
-    /// (coverage / generate / minimise / diagnose / stats) from stdin — or
-    /// from every client of a TCP listener under `--tcp` — multiplexed over
-    /// one shared engine whose artifact store and worker pool stay warm
-    /// across requests and clients.
+    /// (coverage / generate / minimise / diagnose / stats / shutdown) from
+    /// stdin — or from every client of a TCP listener under `--tcp` —
+    /// multiplexed over one shared engine whose artifact store and worker
+    /// pool stay warm across requests and clients.
     Serve {
         /// Which simulation backend the shared engine uses.
         backend: BackendKind,
@@ -240,9 +241,41 @@ pub enum Command {
         /// Per-request deadline in milliseconds before a typed `timeout`
         /// error is answered in its slot.
         timeout_ms: u64,
+        /// Per-connection idle read timeout in milliseconds; an idle TCP
+        /// client is answered with a typed `timeout` error and closed.
+        /// `None` waits indefinitely.
+        read_timeout_ms: Option<u64>,
+        /// Crash-safe snapshot directory: cached target-lane enumerations and
+        /// fault dictionaries persist here across restarts. `None` keeps the
+        /// cache memory-only.
+        snapshot_dir: Option<String>,
         /// TCP listen address (e.g. `127.0.0.1:7777`; port 0 picks a free
         /// one). Stdin/stdout when absent.
         tcp: Option<String>,
+    },
+    /// `snapshot --dir DIR [--warm --list <1|2|unlinked> [--faults ffm|af|all]
+    /// [--test <name>] [--cells N]]`.
+    ///
+    /// Inspects a snapshot directory (file names, sizes, kinds and
+    /// integrity), and with `--warm` pre-populates it: enumerates the target
+    /// lanes of the selected fault list (and, with `--test`, builds that
+    /// test's fault dictionary) so a later `serve --snapshot-dir DIR` starts
+    /// warm.
+    Snapshot {
+        /// The snapshot directory to inspect or pre-warm.
+        dir: String,
+        /// Pre-populate the directory instead of only inspecting it.
+        warm: bool,
+        /// The fault list to warm (required with `--warm` unless
+        /// `--faults af`).
+        list: Option<CoverageTarget>,
+        /// The fault domain of the warmed list.
+        faults: FaultDomain,
+        /// Also build and persist this march test's fault dictionary.
+        test: Option<String>,
+        /// Memory size in cells for the warmed artifacts (`None` = the scope
+        /// default).
+        cells: Option<usize>,
     },
     /// `help` — print the usage text.
     Help,
@@ -507,6 +540,8 @@ impl Command {
                 let mut lane_width = LaneWidth::Auto;
                 let mut max_in_flight = 4usize;
                 let mut timeout_ms = 30_000u64;
+                let mut read_timeout_ms = None;
+                let mut snapshot_dir = None;
                 let mut tcp = None;
                 while let Some(arg) = args.next() {
                     match arg.as_str() {
@@ -533,6 +568,21 @@ impl Command {
                                 ))
                             })?;
                         }
+                        "--read-timeout-ms" => {
+                            let value = required(&mut args, "--read-timeout-ms")?;
+                            read_timeout_ms =
+                                Some(value.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(
+                                    || {
+                                        ParseArgsError(format!(
+                                            "`{value}` is not a valid read timeout in milliseconds \
+                                             (need a positive integer)"
+                                        ))
+                                    },
+                                )?);
+                        }
+                        "--snapshot-dir" => {
+                            snapshot_dir = Some(required(&mut args, "--snapshot-dir")?);
+                        }
                         "--tcp" => tcp = Some(required(&mut args, "--tcp")?),
                         other => return Err(unknown_flag(other)),
                     }
@@ -545,7 +595,47 @@ impl Command {
                     lane_width,
                     max_in_flight,
                     timeout_ms,
+                    read_timeout_ms,
+                    snapshot_dir,
                     tcp,
+                })
+            }
+            "snapshot" => {
+                let mut dir = None;
+                let mut warm = false;
+                let mut list = None;
+                let mut faults = FaultDomain::Ffm;
+                let mut test = None;
+                let mut cells = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--dir" => dir = Some(required(&mut args, "--dir")?),
+                        "--warm" => warm = true,
+                        "--list" => {
+                            list = Some(CoverageTarget::parse(&required(&mut args, "--list")?)?)
+                        }
+                        "--faults" => {
+                            faults = FaultDomain::parse(&required(&mut args, "--faults")?)?
+                        }
+                        "--test" => test = Some(required(&mut args, "--test")?),
+                        "--cells" => cells = Some(parse_number(&required(&mut args, "--cells")?)?),
+                        other => return Err(unknown_flag(other)),
+                    }
+                }
+                if warm {
+                    require_list(list, faults, "snapshot --warm")?;
+                } else if list.is_some() || test.is_some() || cells.is_some() {
+                    return Err(ParseArgsError(
+                        "snapshot only uses --list/--test/--cells together with --warm".into(),
+                    ));
+                }
+                Ok(Command::Snapshot {
+                    dir: dir.ok_or_else(|| ParseArgsError("snapshot requires --dir".into()))?,
+                    warm,
+                    list,
+                    faults,
+                    test,
+                    cells,
                 })
             }
             other => Err(ParseArgsError(format!(
@@ -661,7 +751,10 @@ pub fn usage() -> String {
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex simulate --test <name> --fault <notation> --victim <cell> [--aggressor <cell>] [--cells <n>]\n\
      \x20 march-codex serve [--backend scalar|packed] [--threads N] [--lane-width auto|64|128|256]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--max-in-flight N] [--timeout-ms N] [--tcp ADDR]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--max-in-flight N] [--timeout-ms N] [--read-timeout-ms N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--snapshot-dir DIR] [--tcp ADDR]\n\
+     \x20 march-codex snapshot --dir DIR [--warm --list <1|2|unlinked> [--faults ffm|af|all]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--test <name>] [--cells N]]\n\
      \x20 march-codex help\n\
      \n\
      Every invocation builds one sram_sim::Session from the --backend/--threads/\n\
@@ -678,10 +771,15 @@ pub fn usage() -> String {
      sweep). Reports are byte-identical at every width. coverage --test defaults\n\
      to March SS.\n\
      serve keeps one engine resident and answers newline-delimited JSON requests\n\
-     ({\"op\": \"coverage\"|\"generate\"|\"minimise\"|\"diagnose\"|\"stats\", ...}) on stdin or a\n\
-     --tcp socket; all clients share its artifact store and worker pool, at most\n\
-     --max-in-flight requests execute concurrently (excess requests see\n\
-     backpressure), and requests beyond --timeout-ms answer a typed timeout error.\n"
+     ({\"op\": \"coverage\"|\"generate\"|\"minimise\"|\"diagnose\"|\"stats\"|\"shutdown\", ...}) on\n\
+     stdin or a --tcp socket; all clients share its artifact store and worker pool,\n\
+     at most --max-in-flight requests execute concurrently (excess requests see\n\
+     backpressure), and requests beyond --timeout-ms answer a typed timeout error.\n\
+     --snapshot-dir persists the cache crash-safely across restarts (checksummed,\n\
+     written atomically; corrupt files are quarantined and rebuilt in memory);\n\
+     --read-timeout-ms bounds idle connections; a shutdown request drains the\n\
+     service gracefully. snapshot inspects such a directory, or pre-warms it with\n\
+     --warm so the next serve starts hot.\n"
         .to_string()
 }
 
@@ -1106,6 +1204,8 @@ mod tests {
                 lane_width: LaneWidth::Auto,
                 max_in_flight: 4,
                 timeout_ms: 30_000,
+                read_timeout_ms: None,
+                snapshot_dir: None,
                 tcp: None,
             }
         );
@@ -1122,6 +1222,10 @@ mod tests {
                 "8",
                 "--timeout-ms",
                 "500",
+                "--read-timeout-ms",
+                "250",
+                "--snapshot-dir",
+                "/tmp/snaps",
                 "--tcp",
                 "127.0.0.1:0",
             ])
@@ -1132,14 +1236,71 @@ mod tests {
                 lane_width: LaneWidth::W128,
                 max_in_flight: 8,
                 timeout_ms: 500,
+                read_timeout_ms: Some(250),
+                snapshot_dir: Some("/tmp/snaps".into()),
                 tcp: Some("127.0.0.1:0".into()),
             }
         );
         assert!(parse(&["serve", "--max-in-flight", "0"]).is_err());
         assert!(parse(&["serve", "--max-in-flight", "lots"]).is_err());
         assert!(parse(&["serve", "--timeout-ms", "soon"]).is_err());
+        assert!(parse(&["serve", "--read-timeout-ms", "0"]).is_err());
+        assert!(parse(&["serve", "--read-timeout-ms", "never"]).is_err());
+        assert!(parse(&["serve", "--snapshot-dir"]).is_err());
         assert!(parse(&["serve", "--bogus"]).is_err());
         assert!(parse(&["serve", "--tcp"]).is_err());
+    }
+
+    #[test]
+    fn parses_snapshot() {
+        assert_eq!(
+            parse(&["snapshot", "--dir", "/tmp/snaps"]).unwrap(),
+            Command::Snapshot {
+                dir: "/tmp/snaps".into(),
+                warm: false,
+                list: None,
+                faults: FaultDomain::Ffm,
+                test: None,
+                cells: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "snapshot",
+                "--dir",
+                "/tmp/snaps",
+                "--warm",
+                "--list",
+                "2",
+                "--test",
+                "March SS",
+                "--cells",
+                "8",
+            ])
+            .unwrap(),
+            Command::Snapshot {
+                dir: "/tmp/snaps".into(),
+                warm: true,
+                list: Some(CoverageTarget::List2),
+                faults: FaultDomain::Ffm,
+                test: Some("March SS".into()),
+                cells: Some(8),
+            }
+        );
+        // --dir is mandatory; warm-only flags are rejected without --warm;
+        // --warm inherits the usual list/domain presence rules.
+        assert!(parse(&["snapshot"]).is_err());
+        assert!(parse(&["snapshot", "--dir", "/tmp/snaps", "--list", "2"]).is_err());
+        assert!(parse(&["snapshot", "--dir", "/tmp/snaps", "--warm"]).is_err());
+        assert!(matches!(
+            parse(&["snapshot", "--dir", "d", "--warm", "--faults", "af"]).unwrap(),
+            Command::Snapshot {
+                warm: true,
+                list: None,
+                faults: FaultDomain::Af,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
     ArtifactStore, BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState,
-    InjectedFault, JsonObject, LaneWidth, Report, Session, SharedEngine, Syndrome,
+    InjectedFault, JsonObject, LaneWidth, Report, Session, SharedEngine, SnapshotStore, Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, FaultDomain, ParseArgsError};
@@ -167,27 +167,100 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             lane_width,
             max_in_flight,
             timeout_ms,
+            read_timeout_ms,
+            snapshot_dir,
             tcp,
         } => {
             // The serve engine sits on the process-wide store, so repeated
             // serve invocations in one process (and every client of one
             // invocation) share the same warm cache.
+            let store = ArtifactStore::global();
+            if let Some(dir) = snapshot_dir {
+                // Attaching is write-once per process; a second serve in the
+                // same process keeps the first snapshot layer (the cache is
+                // shared anyway), so a failed attach is not an error.
+                let _ = store.attach_snapshots(SnapshotStore::open(dir));
+            }
             let engine = SharedEngine::with_store(
                 ExecPolicy::default()
                     .with_backend(*backend)
                     .with_threads(*threads)
                     .with_lane_width(*lane_width),
-                ArtifactStore::global(),
+                store,
             );
             let options = crate::serve::ServeOptions {
                 max_in_flight: *max_in_flight,
                 timeout: std::time::Duration::from_millis(*timeout_ms),
+                read_timeout: read_timeout_ms.map(std::time::Duration::from_millis),
             };
             crate::serve::run_serve(&engine, options, tcp.as_deref())
                 .map_err(|error| CliError::Simulation(format!("serve: {error}")))?;
             Ok(String::new())
         }
+        Command::Snapshot {
+            dir,
+            warm,
+            list,
+            faults,
+            test,
+            cells,
+        } => snapshot(dir, *warm, *list, *faults, test.as_deref(), *cells),
     }
+}
+
+/// The `snapshot` subcommand: pre-warms a snapshot directory (with `--warm`)
+/// and reports its contents — names, sizes, kinds and integrity of every
+/// file, so operators can audit what a `serve --snapshot-dir` will replay.
+fn snapshot(
+    dir: &str,
+    warm: bool,
+    list: Option<CoverageTarget>,
+    faults: FaultDomain,
+    test: Option<&str>,
+    cells: Option<usize>,
+) -> Result<String, CliError> {
+    let snapshots = SnapshotStore::open(dir);
+    let mut output = String::new();
+    if warm {
+        let list = resolve_list(list, faults)?;
+        // A private store keeps the warm run isolated from the process-wide
+        // cache: everything it builds lands in the snapshot directory.
+        let artifacts = std::sync::Arc::new(ArtifactStore::new());
+        artifacts.attach_snapshots(std::sync::Arc::clone(&snapshots));
+        let engine = SharedEngine::with_store(ExecPolicy::default(), artifacts);
+        let mut session = engine.session();
+        if let Some(cells) = cells {
+            session = session.with_memory_cells(cells);
+        }
+        validate_scope(&session, &list)?;
+        if let Some(test) = test {
+            let test = lookup(test)?;
+            // Building the dictionary is the warming side effect; the handle
+            // itself is not needed here.
+            let _ = session.dictionary(&test, &list);
+        }
+        let stats = snapshots.stats();
+        output.push_str(&format!(
+            "warmed        : {} new snapshot(s), {} replayed from disk\n",
+            stats.writes, stats.hits
+        ));
+        if stats.degraded {
+            output.push_str("warning       : directory is unwritable; nothing was persisted\n");
+        }
+    }
+    output.push_str(&format!("snapshot dir  : {dir}\n"));
+    let files = snapshots.inspect();
+    if files.is_empty() {
+        output.push_str("(no snapshot files)\n");
+    }
+    for file in &files {
+        output.push_str(&format!(
+            "  {:<28} {:>8} bytes  {:<10} {}\n",
+            file.name, file.bytes, file.kind, file.status
+        ));
+    }
+    output.push_str(&format!("total         : {} file(s)\n", files.len()));
+    Ok(output)
 }
 
 fn render_catalog() -> String {
@@ -907,6 +980,45 @@ mod tests {
         .unwrap_err();
         assert!(matches!(error, CliError::Simulation(_)));
         assert!(error.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn snapshot_command_warms_and_inspects_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "march-codex-snapshot-cli-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let dir = dir.to_string_lossy().to_string();
+        let warmed = run(&Command::Snapshot {
+            dir: dir.clone(),
+            warm: true,
+            list: Some(CoverageTarget::List2),
+            faults: FaultDomain::Ffm,
+            test: Some("March SS".into()),
+            cells: Some(8),
+        })
+        .unwrap();
+        assert!(warmed.contains("warmed"), "{warmed}");
+        assert!(warmed.contains("2 new snapshot(s)"), "{warmed}");
+        assert!(warmed.contains("lanes"), "{warmed}");
+        assert!(warmed.contains("dictionary"), "{warmed}");
+        assert!(warmed.contains("2 file(s)"), "{warmed}");
+
+        // Inspect-only over the same directory sees the persisted files.
+        let inspected = run(&Command::Snapshot {
+            dir: dir.clone(),
+            warm: false,
+            list: None,
+            faults: FaultDomain::Ffm,
+            test: None,
+            cells: None,
+        })
+        .unwrap();
+        assert!(inspected.contains("2 file(s)"), "{inspected}");
+        assert!(inspected.contains("ok"), "{inspected}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

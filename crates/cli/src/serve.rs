@@ -16,6 +16,7 @@
 //! {"op": "minimise", "test": "March SL", "list": "2"}
 //! {"op": "diagnose", "test": "March SS", "fault": "<0w1;0/1/->", "victim": 4, "aggressor": 1, "cells": 6, "list": "unlinked"}
 //! {"op": "stats"}
+//! {"op": "shutdown"}
 //! ```
 //!
 //! Responses are `{"seq": N, "ok": true, "op": …, "report": {…}}` or
@@ -29,11 +30,19 @@
 //! `timeout` error in its slot; its late result is discarded, though its
 //! cache warming persists), and responses are re-serialised into request
 //! order before writing.
+//!
+//! Degradation: a `shutdown` request starts a graceful drain — in-flight
+//! jobs finish and are answered, new requests (on every connection) get a
+//! typed `shutting_down` error, and the TCP listener stops accepting. A
+//! client that goes silent past [`ServeOptions::read_timeout`] is answered
+//! with a typed `timeout` error and its socket closed; a client that closes
+//! its read end mid-transcript (`BrokenPipe`) ends that stream's serve loop
+//! cleanly instead of panicking the writer.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use crate::sync::{thread, Arc, Duration, Instant, Mutex, PoisonError};
@@ -57,6 +66,11 @@ pub struct ServeOptions {
     /// Per-job deadline: a request still unanswered this long after being
     /// accepted yields a typed `timeout` error response in its slot.
     pub timeout: Duration,
+    /// Per-connection read timeout: a TCP client that sends nothing for this
+    /// long is answered with a typed `timeout` error and its socket closed,
+    /// so stalled clients cannot hold connection slots forever. `None` (the
+    /// default) waits indefinitely.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +78,7 @@ impl Default for ServeOptions {
         ServeOptions {
             max_in_flight: 4,
             timeout: Duration::from_secs(30),
+            read_timeout: None,
         }
     }
 }
@@ -141,7 +156,7 @@ impl ServeMetrics {
             .raw("diagnose", self.diagnose.to_json())
             .raw("stats", self.stats.to_json())
             .build();
-        JsonObject::new()
+        let mut response = JsonObject::new()
             .number("workers_spawned", engine.workers_spawned() as u64)
             .number("jobs_executed", engine.jobs_executed() as u64)
             .number("cache_hits", engine.cache_hits() as u64)
@@ -149,8 +164,24 @@ impl ServeMetrics {
             .number("cached_dictionaries", engine.cached_dictionaries() as u64)
             .raw("requests", requests)
             .number("errors", self.errors.load(Ordering::Relaxed))
-            .number("timeouts", self.timeouts.load(Ordering::Relaxed))
-            .build()
+            .number("timeouts", self.timeouts.load(Ordering::Relaxed));
+        // The snapshot object appears only when persistence is attached, so
+        // snapshot-less transcripts stay byte-identical to older builds.
+        if let Some(snapshot) = engine.snapshot_stats() {
+            let mut layer = JsonObject::new()
+                .string("dir", &snapshot.dir)
+                .boolean("degraded", snapshot.degraded)
+                .number("hits", snapshot.hits as u64)
+                .number("misses", snapshot.misses as u64)
+                .number("writes", snapshot.writes as u64)
+                .number("write_failures", snapshot.write_failures as u64)
+                .number("quarantined", snapshot.quarantined as u64);
+            if let Some(last_error) = &snapshot.last_error {
+                layer = layer.string("last_error", last_error);
+            }
+            response = response.raw("snapshot", layer.build());
+        }
+        response.build()
     }
 }
 
@@ -183,6 +214,7 @@ enum Request {
         list: FaultList,
     },
     Stats,
+    Shutdown,
 }
 
 impl Request {
@@ -193,6 +225,7 @@ impl Request {
             Request::Minimise { .. } => "minimise",
             Request::Diagnose { .. } => "diagnose",
             Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
         }
     }
 }
@@ -283,8 +316,9 @@ fn parse_request(line: &str) -> Result<Request, CliError> {
             list: parse_request_list(&value, "diagnose")?,
         }),
         "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
         other => Err(CliError::Arguments(format!(
-            "unknown op `{other}` (expected coverage, generate, minimise, diagnose or stats)"
+            "unknown op `{other}` (expected coverage, generate, minimise, diagnose, stats or shutdown)"
         ))),
     }
 }
@@ -375,6 +409,13 @@ fn execute(
             Ok(session.diagnose(&syndrome, &dictionary).to_json())
         }
         Request::Stats => Ok(metrics.to_json(engine)),
+        // Shutdown is answered inline by the reader (it must observe the
+        // drain flag before the next request is parsed); this arm only keeps
+        // the dispatch total if one ever reaches a worker.
+        Request::Shutdown => Ok(JsonObject::new()
+            .string("report", "shutdown")
+            .boolean("draining", true)
+            .build()),
     }
 }
 
@@ -413,6 +454,18 @@ fn ok_line(seq: u64, op: &str, report: String) -> String {
         .build()
 }
 
+/// Writes one response line and flushes, treating a broken output pipe (the
+/// client closed its read end mid-transcript) as an orderly end of the
+/// stream: returns `Ok(false)` so the caller stops writing, instead of
+/// surfacing an error or panicking the writer thread.
+fn write_line<W: Write>(output: &mut W, line: &str) -> io::Result<bool> {
+    match writeln!(output, "{line}").and_then(|()| output.flush()) {
+        Ok(()) => Ok(true),
+        Err(error) if error.kind() == io::ErrorKind::BrokenPipe => Ok(false),
+        Err(error) => Err(error),
+    }
+}
+
 /// A message on the collector channel: either "seq N was accepted with this
 /// deadline" (sent by the reader **before** the job is dispatched, so it
 /// always arrives first) or "seq N finished with this response line".
@@ -436,8 +489,9 @@ fn collect_in_order<W: Write>(
     let mut timed_out: HashSet<u64> = HashSet::new();
     loop {
         while let Some(line) = ready.remove(&next) {
-            writeln!(output, "{line}")?;
-            output.flush()?;
+            if !write_line(output, &line)? {
+                return Ok(());
+            }
             next += 1;
         }
         // Wait bounded by the pending head-of-line deadline (if any); other
@@ -488,8 +542,9 @@ fn collect_in_order<W: Write>(
         }
     }
     while let Some(line) = ready.remove(&next) {
-        writeln!(output, "{line}")?;
-        output.flush()?;
+        if !write_line(output, &line)? {
+            return Ok(());
+        }
         next += 1;
     }
     Ok(())
@@ -514,6 +569,26 @@ pub fn serve_lines<R, W>(
     engine: &Arc<SharedEngine>,
     metrics: &Arc<ServeMetrics>,
     options: &ServeOptions,
+) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let draining = AtomicBool::new(false);
+    serve_lines_draining(input, output, engine, metrics, options, &draining)
+}
+
+/// [`serve_lines`] with a shared drain flag: a `shutdown` request sets the
+/// flag (shared across every connection of a TCP listener), after which new
+/// requests on any stream are answered with a typed `shutting_down` error
+/// while already-accepted jobs finish and are answered normally.
+fn serve_lines_draining<R, W>(
+    input: R,
+    output: &mut W,
+    engine: &Arc<SharedEngine>,
+    metrics: &Arc<ServeMetrics>,
+    options: &ServeOptions,
+    draining: &AtomicBool,
 ) -> io::Result<()>
 where
     R: BufRead,
@@ -563,6 +638,11 @@ where
                 }
             });
         }
+        // Drop the reader's own handle on the job receiver: the workers hold
+        // their clones, so once they all exit (e.g. the collector died on a
+        // broken pipe and their result sends failed) the rendezvous channel
+        // closes and `job_tx.send` below errors instead of blocking forever.
+        drop(job_rx);
 
         let mut seq = 0u64;
         let mut read_error = None;
@@ -570,7 +650,28 @@ where
             let line = match line {
                 Ok(line) => line,
                 Err(error) => {
-                    read_error = Some(error);
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) {
+                        // The connection's read timeout fired: answer the
+                        // would-be next request with a typed error and close
+                        // the stream cleanly so a stalled client cannot hold
+                        // its slot forever.
+                        metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = out_tx.send(Outcome::Finished {
+                            seq,
+                            line: error_line(
+                                seq,
+                                None,
+                                "timeout",
+                                "connection idle past the read timeout; closing",
+                            ),
+                        });
+                    } else {
+                        read_error = Some(error);
+                    }
                     break;
                 }
             };
@@ -588,6 +689,32 @@ where
                 deadline: Instant::now() + options.timeout,
             });
             match parse_request(&line) {
+                Ok(Request::Shutdown) => {
+                    draining.store(true, Ordering::SeqCst);
+                    let _ = out_tx.send(Outcome::Finished {
+                        seq,
+                        line: ok_line(
+                            seq,
+                            "shutdown",
+                            JsonObject::new()
+                                .string("report", "shutdown")
+                                .boolean("draining", true)
+                                .build(),
+                        ),
+                    });
+                }
+                Ok(request) if draining.load(Ordering::SeqCst) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = out_tx.send(Outcome::Finished {
+                        seq,
+                        line: error_line(
+                            seq,
+                            Some(request.op()),
+                            "shutting_down",
+                            "service is draining; no new work accepted",
+                        ),
+                    });
+                }
                 Ok(request) => {
                     if job_tx.send((seq, request)).is_err() {
                         break;
@@ -618,26 +745,61 @@ where
 }
 
 /// Serves every connection accepted by `listener`, one thread per client,
-/// all sharing `engine` and `metrics` — the cross-client warm cache.
+/// all sharing `engine`, `metrics` and the drain flag — the cross-client
+/// warm cache. Accepting is non-blocking so the loop can observe a
+/// `shutdown` request (from any connection) and stop taking new clients;
+/// in-flight connections are drained before the function returns.
 fn serve_listener(
     listener: &TcpListener,
     engine: &Arc<SharedEngine>,
     metrics: &Arc<ServeMetrics>,
     options: ServeOptions,
+    draining: &AtomicBool,
 ) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
     thread::scope(|scope| {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            let engine = Arc::clone(engine);
-            let metrics = Arc::clone(metrics);
-            scope.spawn(move || {
-                let reader = match stream.try_clone() {
-                    Ok(clone) => BufReader::new(clone),
-                    Err(_) => return,
-                };
-                let mut writer = stream;
-                let _ = serve_lines(reader, &mut writer, &engine, &metrics, &options);
-            });
+        loop {
+            if draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let engine = Arc::clone(engine);
+                    let metrics = Arc::clone(metrics);
+                    scope.spawn(move || {
+                        // The listener is non-blocking only for accept
+                        // polling; each stream reverts to blocking reads,
+                        // bounded by the per-connection read timeout.
+                        if stream.set_nonblocking(false).is_err() {
+                            return;
+                        }
+                        if stream.set_read_timeout(options.read_timeout).is_err() {
+                            return;
+                        }
+                        let reader = match stream.try_clone() {
+                            Ok(clone) => BufReader::new(clone),
+                            Err(_) => return,
+                        };
+                        let mut writer = stream;
+                        let _ = serve_lines_draining(
+                            reader,
+                            &mut writer,
+                            &engine,
+                            &metrics,
+                            &options,
+                            draining,
+                        );
+                    });
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    // Nothing to accept: poll the drain flag. A plain OS
+                    // sleep — the accept loop is real I/O that the
+                    // interleave explorer never drives.
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
         }
         Ok(())
     })
@@ -657,21 +819,34 @@ pub fn run_serve(
     tcp: Option<&str>,
 ) -> io::Result<()> {
     let metrics = Arc::new(ServeMetrics::default());
+    let draining = AtomicBool::new(false);
     match tcp {
         Some(address) => {
             let listener = TcpListener::bind(address)?;
             // Announce the bound address (the port may have been chosen by
-            // the OS via `:0`) so clients and scripts can connect.
-            println!("listening on {}", listener.local_addr()?);
-            io::stdout().flush()?;
-            serve_listener(&listener, engine, &metrics, options)
+            // the OS via `:0`) so clients and scripts can connect. A broken
+            // stdout (closed pager, detached supervisor) must not abort the
+            // service — TCP clients are the real consumers here.
+            let mut stdout = io::stdout();
+            write_line(
+                &mut stdout,
+                &format!("listening on {}", listener.local_addr()?),
+            )?;
+            serve_listener(&listener, engine, &metrics, options, &draining)
         }
         None => {
             let stdin = io::stdin();
             // `Stdout` (unlike `StdoutLock`) is `Send`, which the collector
             // thread needs; it still locks internally per write.
             let mut stdout = io::stdout();
-            serve_lines(stdin.lock(), &mut stdout, engine, &metrics, &options)
+            serve_lines_draining(
+                stdin.lock(),
+                &mut stdout,
+                engine,
+                &metrics,
+                &options,
+                &draining,
+            )
         }
     }
 }
@@ -838,6 +1013,7 @@ mod tests {
         let options = ServeOptions {
             max_in_flight: 2,
             timeout: Duration::from_millis(0),
+            read_timeout: None,
         };
         let script = concat!(
             r#"{"op": "generate", "list": "1"}"#,
@@ -864,7 +1040,14 @@ mod tests {
             let engine = Arc::clone(&engine);
             let metrics = Arc::clone(&metrics);
             thread::spawn(move || {
-                let _ = serve_listener(&listener, &engine, &metrics, ServeOptions::default());
+                let draining = AtomicBool::new(false);
+                let _ = serve_listener(
+                    &listener,
+                    &engine,
+                    &metrics,
+                    ServeOptions::default(),
+                    &draining,
+                );
             });
         }
         let request = "{\"op\": \"coverage\", \"test\": \"March ABL1\", \"list\": \"2\"}\n";
@@ -885,6 +1068,156 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_drains_and_rejects_followup_requests() {
+        let engine = engine();
+        let metrics = Arc::new(ServeMetrics::default());
+        let script = concat!(
+            r#"{"op": "coverage", "test": "March ABL1", "list": "2"}"#,
+            "\n",
+            r#"{"op": "shutdown"}"#,
+            "\n",
+            r#"{"op": "coverage", "test": "March ABL1", "list": "2"}"#,
+            "\n",
+            r#"{"op": "stats"}"#,
+            "\n",
+        );
+        let lines = serve_script(&engine, &metrics, &ServeOptions::default(), script);
+        assert_eq!(lines.len(), 4);
+        // The in-flight request before the shutdown is answered normally.
+        assert!(lines[0].starts_with("{\"seq\": 0, \"ok\": true, \"op\": \"coverage\""));
+        assert!(lines[1].contains("\"op\": \"shutdown\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"draining\": true"), "{}", lines[1]);
+        // Everything after the shutdown gets a typed drain rejection, still
+        // in order and still tagged with the op it tried to run.
+        for (index, op) in [(2usize, "coverage"), (3, "stats")] {
+            assert!(
+                lines[index].contains("\"kind\": \"shutting_down\""),
+                "line {index}: {}",
+                lines[index]
+            );
+            assert!(
+                lines[index].contains(&format!("\"op\": \"{op}\"")),
+                "line {index}: {}",
+                lines[index]
+            );
+        }
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 2);
+    }
+
+    /// A writer that reports `BrokenPipe` after its first successful write,
+    /// like a TCP peer (or a pager on stdout) that hung up mid-transcript.
+    struct HangsUpAfterOneLine {
+        writes: usize,
+    }
+
+    impl Write for HangsUpAfterOneLine {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            if self.writes >= 1 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "client hung up"));
+            }
+            self.writes += 1;
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_pipe_mid_transcript_is_an_orderly_shutdown() {
+        // More requests than workers after the writer dies: the collector
+        // exits on the broken pipe, the workers drain out behind it, and the
+        // reader's rendezvous send errors instead of blocking forever — the
+        // serve loop returns Ok rather than panicking or hanging.
+        let engine = engine();
+        let metrics = Arc::new(ServeMetrics::default());
+        let options = ServeOptions {
+            max_in_flight: 1,
+            timeout: Duration::from_secs(60),
+            read_timeout: None,
+        };
+        let script = "{\"op\": \"stats\"}\n".repeat(6);
+        let mut output = HangsUpAfterOneLine { writes: 0 };
+        serve_lines(script.as_bytes(), &mut output, &engine, &metrics, &options)
+            .expect("a hung-up client is not a serve error");
+    }
+
+    #[test]
+    fn idle_tcp_connections_time_out_with_a_typed_error() {
+        let engine = engine();
+        let metrics = Arc::new(ServeMetrics::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let address = listener.local_addr().unwrap();
+        let options = ServeOptions {
+            max_in_flight: 2,
+            timeout: Duration::from_secs(30),
+            read_timeout: Some(Duration::from_millis(100)),
+        };
+        {
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || {
+                let draining = AtomicBool::new(false);
+                let _ = serve_listener(&listener, &engine, &metrics, options, &draining);
+            });
+        }
+        // Send one request, then go silent with the connection held open.
+        let mut stream = TcpStream::connect(address).unwrap();
+        stream
+            .write_all(b"{\"op\": \"coverage\", \"test\": \"March ABL1\", \"list\": \"2\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains("\"ok\": true"), "{first}");
+        // The server answers the idle slot with a typed timeout...
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert!(second.contains("\"kind\": \"timeout\""), "{second}");
+        assert!(second.contains("read timeout"), "{second}");
+        // ...and then closes the socket cleanly (EOF, not a reset).
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+        assert!(metrics.timeouts.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn shutdown_stops_the_tcp_listener() {
+        let engine = engine();
+        let metrics = Arc::new(ServeMetrics::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let address = listener.local_addr().unwrap();
+        let server = {
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || {
+                let draining = AtomicBool::new(false);
+                serve_listener(
+                    &listener,
+                    &engine,
+                    &metrics,
+                    ServeOptions::default(),
+                    &draining,
+                )
+            })
+        };
+        let mut stream = TcpStream::connect(address).unwrap();
+        stream.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        BufReader::new(&mut stream).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"draining\": true"), "{reply}");
+        drop(stream);
+        // The accept loop observes the drain flag and returns instead of
+        // serving forever.
+        server
+            .join()
+            .expect("listener thread panicked")
+            .expect("graceful listener shutdown is not an error");
+    }
+
+    #[test]
     fn saturating_the_pool_never_deadlocks() {
         // More simultaneous requests than in-flight slots and worker threads:
         // the reader blocks on backpressure, the jobs multiplex over one
@@ -894,6 +1227,7 @@ mod tests {
         let options = ServeOptions {
             max_in_flight: 2,
             timeout: Duration::from_secs(60),
+            read_timeout: None,
         };
         let request = concat!(
             r#"{"op": "coverage", "test": "March ABL1", "list": "2"}"#,
@@ -948,6 +1282,7 @@ mod models {
                 // Nominal only: the virtual clock lets the scheduler fire or
                 // hold this deadline at will, so both outcomes are explored.
                 timeout: Duration::from_millis(5),
+                read_timeout: None,
             };
             let script = "{\"op\": \"stats\"}\n{\"op\": \"stats\"}\n";
             let mut output = Vec::new();

@@ -2,7 +2,7 @@
 //!
 //! Dependency-free invariant scanner for the march-codex workspace, in the
 //! spirit of the repository's other single-purpose tools (`bench_diff`). It
-//! enforces four repo-wide rules that `rustc`/`clippy` cannot express:
+//! enforces five repo-wide rules that `rustc`/`clippy` cannot express:
 //!
 //! * **`forbid-unsafe`** — every non-compat crate root carries
 //!   `#![forbid(unsafe_code)]`.
@@ -20,6 +20,14 @@
 //!   containing `{"`) outside `memsim/src/report.rs`, `cli/src/json.rs` and
 //!   the benchmarks: report bytes must flow through `JsonObject` so escaping
 //!   and key order stay canonical.
+//! * **`snapshot-io`** — no direct `std::fs` access (`std::fs`,
+//!   `File::create(`, `File::open(`, `OpenOptions`, `fs::write(`,
+//!   `fs::rename(`, `fs::remove_file(`) in snapshot-path code
+//!   (`memsim/src/snapshot.rs`, `memsim/src/store.rs`,
+//!   `memsim/src/session.rs`) outside the sanctioned `SnapshotIo` impl:
+//!   every byte the snapshot layer persists must flow through the trait so
+//!   the chaos suites can interpose fault injection, and so atomicity
+//!   (temp + fsync + rename) cannot be bypassed by a stray write.
 //!
 //! ## Allow markers
 //!
@@ -82,6 +90,17 @@ pub const SERVE_PATH_FILES: &[&str] = &[
     "crates/memsim/src/store.rs",
     "crates/memsim/src/parallel.rs",
     "crates/memsim/src/session.rs",
+    "crates/memsim/src/snapshot.rs",
+];
+
+/// Files on the snapshot persistence path where the `snapshot-io` rule
+/// applies: everything that participates in loading or storing snapshot
+/// artifacts. Only the sanctioned `SnapshotIo` impl (`FsIo`, which carries
+/// per-line allow markers) may touch `std::fs` here.
+pub const SNAPSHOT_PATH_FILES: &[&str] = &[
+    "crates/memsim/src/snapshot.rs",
+    "crates/memsim/src/store.rs",
+    "crates/memsim/src/session.rs",
 ];
 
 /// Path prefixes exempt from the `timing` rule: the worker-pool module that
@@ -130,6 +149,8 @@ pub struct FileRules {
     pub timing: bool,
     /// Apply the hand-rolled-`json` rule.
     pub json: bool,
+    /// Apply the snapshot-path `snapshot-io` rule.
+    pub snapshot_io: bool,
 }
 
 /// Classifies a workspace-relative path. `None` means the file is not
@@ -144,6 +165,7 @@ pub fn rules_for(rel: &str) -> Option<FileRules> {
         unwrap: SERVE_PATH_FILES.contains(&rel),
         timing: !TIMING_EXEMPT.iter().any(|prefix| rel.starts_with(prefix)),
         json: !JSON_EXEMPT.iter().any(|prefix| rel.starts_with(prefix)),
+        snapshot_io: SNAPSHOT_PATH_FILES.contains(&rel),
     })
 }
 
@@ -516,6 +538,30 @@ pub fn scan_source(rel: &str, source: &str, rules: &FileRules) -> Vec<Finding> {
                 message: "ambient clock read or ad-hoc thread spawn outside the \
                           sanctioned sites: route it through the `sync` façade or \
                           justify with `// lint: allow(timing) — why`"
+                    .to_owned(),
+            });
+        }
+        if rules.snapshot_io
+            && [
+                "std::fs",
+                "File::create(",
+                "File::open(",
+                "OpenOptions",
+                "fs::write(",
+                "fs::rename(",
+                "fs::remove_file(",
+            ]
+            .iter()
+            .any(|token| code.contains(token))
+            && !allowed(index, "snapshot-io")
+        {
+            findings.push(Finding {
+                file: rel.to_owned(),
+                line: index + 1,
+                rule: "snapshot-io",
+                message: "direct filesystem access on the snapshot path: route the \
+                          bytes through the `SnapshotIo` trait, or justify with \
+                          `// lint: allow(snapshot-io) — why`"
                     .to_owned(),
             });
         }

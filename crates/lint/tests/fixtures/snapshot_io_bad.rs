@@ -1,0 +1,6 @@
+//! Known-bad fixture: direct `std::fs` access on the snapshot path.
+
+pub fn sneaky_persist(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)?;
+    std::fs::rename(path, "final.snap")
+}

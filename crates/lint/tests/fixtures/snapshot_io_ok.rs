@@ -1,0 +1,12 @@
+//! Known-good fixture: the sanctioned `SnapshotIo` impl blesses each
+//! filesystem call with a justified marker, and trait-routed code never
+//! touches `std::fs` at all.
+
+pub fn persist_via_trait(io: &dyn crate::SnapshotIo, path: &str, bytes: &[u8]) {
+    io.write_file(path, bytes);
+}
+
+pub fn sanctioned_impl(path: &str) -> std::io::Result<Vec<u8>> {
+    // lint: allow(snapshot-io) — this *is* the sanctioned SnapshotIo impl.
+    std::fs::read(path)
+}

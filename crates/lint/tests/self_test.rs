@@ -10,6 +10,7 @@ const ALL_RULES: FileRules = FileRules {
     unwrap: true,
     timing: true,
     json: true,
+    snapshot_io: true,
 };
 
 fn scan(fixture: &str, source: &str) -> Vec<Finding> {
@@ -42,6 +43,29 @@ fn flags_hand_rolled_json_in_escaped_and_raw_strings() {
     let findings = scan("json_bad.rs", include_str!("fixtures/json_bad.rs"));
     assert_eq!(rules_of(&findings), ["json", "json"]);
     assert_eq!(findings.iter().map(|f| f.line).collect::<Vec<_>>(), [4, 5]);
+}
+
+#[test]
+fn flags_direct_fs_access_on_the_snapshot_path() {
+    let findings = scan(
+        "snapshot_io_bad.rs",
+        include_str!("fixtures/snapshot_io_bad.rs"),
+    );
+    assert_eq!(rules_of(&findings), ["snapshot-io", "snapshot-io"]);
+    assert_eq!(findings.iter().map(|f| f.line).collect::<Vec<_>>(), [4, 5]);
+}
+
+#[test]
+fn sanctioned_snapshot_io_impl_is_clean() {
+    let findings = scan(
+        "snapshot_io_ok.rs",
+        include_str!("fixtures/snapshot_io_ok.rs"),
+    );
+    assert_eq!(
+        findings,
+        [],
+        "trait-routed I/O and the marked SnapshotIo impl must pass"
+    );
 }
 
 #[test]
@@ -91,10 +115,18 @@ fn tokens_in_strings_and_comments_are_inert() {
 #[test]
 fn classification_matches_the_config() {
     let serve = rules_for("crates/cli/src/serve.rs").expect("serve path is scanned");
-    assert!(serve.unwrap && serve.timing && serve.json);
+    assert!(serve.unwrap && serve.timing && serve.json && !serve.snapshot_io);
+
+    let snapshot = rules_for("crates/memsim/src/snapshot.rs").expect("snapshot path is scanned");
+    assert!(
+        snapshot.unwrap && snapshot.snapshot_io,
+        "the snapshot layer sits on both the serve and persistence paths"
+    );
+    let session = rules_for("crates/memsim/src/session.rs").expect("session is scanned");
+    assert!(session.snapshot_io);
 
     let core = rules_for("crates/core/src/generator.rs").expect("library code is scanned");
-    assert!(!core.unwrap && core.timing && core.json);
+    assert!(!core.unwrap && core.timing && core.json && !core.snapshot_io);
 
     let bench = rules_for("crates/bench/src/bin/table1.rs").expect("bench code is scanned");
     assert!(!bench.unwrap && !bench.timing && !bench.json);

@@ -93,6 +93,12 @@ impl Syndrome {
         Syndrome::from_run(&run_march(test, simulator))
     }
 
+    /// Rebuilds a syndrome from an already-validated entry set — the snapshot
+    /// loader's constructor.
+    pub(crate) fn from_entries(entries: BTreeSet<SyndromeEntry>) -> Syndrome {
+        Syndrome { entries }
+    }
+
     /// The failing reads, ordered by (element, cell, operation).
     pub fn entries(&self) -> impl Iterator<Item = &SyndromeEntry> {
         self.entries.iter()

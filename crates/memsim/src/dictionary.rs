@@ -171,6 +171,25 @@ impl FaultDictionary {
         }
     }
 
+    /// Rebuilds a dictionary from decoded entries — the snapshot loader's
+    /// constructor. The index is re-derived with the same keying as
+    /// [`FaultDictionary::build`], so a round-tripped dictionary answers
+    /// every lookup identically to a freshly built one.
+    pub(crate) fn from_parts(test_name: String, entries: Vec<DictionaryEntry>) -> FaultDictionary {
+        let mut index: BTreeMap<SyndromeKey, Vec<usize>> = BTreeMap::new();
+        for (position, entry) in entries.iter().enumerate() {
+            index
+                .entry(Self::key(&entry.syndrome))
+                .or_default()
+                .push(position);
+        }
+        FaultDictionary {
+            test_name,
+            entries,
+            index,
+        }
+    }
+
     fn key(syndrome: &Syndrome) -> Vec<(usize, usize, usize, u8)> {
         syndrome
             .entries()

@@ -28,7 +28,11 @@
 //! * shares one warm cache between any number of concurrent sessions: a
 //!   process-wide [`ArtifactStore`] of immutable-keyed artifacts behind a
 //!   resident [`SharedEngine`] that stamps out cheap [`Session`] handles —
-//!   the substrate of the CLI's `serve` mode.
+//!   the substrate of the CLI's `serve` mode;
+//! * optionally persists that cache crash-safely: a content-addressed,
+//!   checksummed [`SnapshotStore`] replays target-lane enumerations and fault
+//!   dictionaries across process restarts, quarantining corrupt files and
+//!   degrading to an in-memory rebuild on any I/O failure.
 //!
 //! Masking between the two components of a linked fault is *emergent*: both fault
 //! primitives are injected as independent behavioural rules and masking happens
@@ -72,6 +76,7 @@ mod policy;
 mod report;
 mod run;
 mod session;
+mod snapshot;
 mod store;
 pub(crate) mod sync;
 
@@ -102,6 +107,10 @@ pub use policy::{ExecPolicy, DEFAULT_WAVE_COST_FACTOR};
 pub use report::{json_escape, DiagnosisReport, JsonObject, Report};
 pub use run::{run_march, Failure, MarchRun};
 pub use session::{Session, TargetLanes};
+pub use snapshot::{
+    FsIo, IoOp, MemIo, SnapshotError, SnapshotFileInfo, SnapshotIo, SnapshotStats, SnapshotStore,
+    SNAPSHOT_VERSION,
+};
 pub use store::{ArtifactStore, SharedEngine};
 
 /// Convenience result alias used throughout the crate.

@@ -25,6 +25,7 @@
 use interleave::{check, explore, Config};
 use sram_fault_model::FaultList;
 
+use crate::snapshot::{MemIo, SnapshotStore};
 use crate::store::{ArtifactKey, ArtifactStore};
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::{thread, Arc, Mutex, PoisonError};
@@ -148,6 +149,42 @@ fn checker_detects_broken_build_slot_protocol() {
         "unexpected failure: {}",
         failure.message
     );
+}
+
+/// Writer/loader race over one shared snapshot device: a loader running
+/// concurrently with the atomic publish protocol (writer lock → temp file →
+/// rename → unlock) must either replay the complete artifact or miss and
+/// fall back to an in-memory rebuild — at no explored interleaving may it
+/// observe a torn file (which would surface as a quarantine) or a wrong
+/// artifact. After the publish completes, the snapshot must always replay.
+#[test]
+fn snapshot_loads_never_observe_torn_writes() {
+    let outcome = check(&Config::exhaustive(2, 30_000), || {
+        let device: Arc<MemIo> = Arc::new(MemIo::new());
+        let list = FaultList::new("race");
+        let writer_store = SnapshotStore::with_io(device.clone(), "snaps");
+        let loader_store = SnapshotStore::with_io(device.clone(), "snaps");
+        let writer = {
+            let writer_store = Arc::clone(&writer_store);
+            thread::spawn(move || {
+                writer_store.store_lanes(&key("race"), &Vec::new());
+            })
+        };
+        if let Some(lanes) = loader_store.load_lanes(&key("race"), &list) {
+            assert!(lanes.is_empty(), "the loader observed a wrong artifact");
+        }
+        assert_eq!(
+            loader_store.stats().quarantined,
+            0,
+            "the loader observed a torn snapshot file"
+        );
+        writer.join().expect("snapshot writer panicked");
+        assert!(
+            loader_store.load_lanes(&key("race"), &list).is_some(),
+            "a completed publish must be replayable"
+        );
+    });
+    assert!(outcome.schedules > 1, "no schedule diversity explored");
 }
 
 /// Pool lifecycle at clients > workers: two client threads funnel jobs

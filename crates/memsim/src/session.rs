@@ -305,13 +305,26 @@ impl Session {
         backgrounds: &[InitialState],
     ) -> Result<Arc<TargetLanes>> {
         let key = ArtifactKey::new(list, memory_cells, strategy, backgrounds);
+        let snapshots = self.store.snapshots();
         self.store.target_lanes(&key, || {
+            // Replay the crash-safe snapshot first, when one is attached: a
+            // valid file short-circuits the whole enumeration, anything else
+            // (miss, corruption, I/O failure) degrades to the build below.
+            if let Some(snapshots) = &snapshots {
+                if let Some(lanes) = snapshots.load_lanes(&key, list) {
+                    return Ok(Arc::new(lanes));
+                }
+            }
             let mut entries = Vec::new();
             for target in enumerate_targets(list) {
                 let lanes = enumerate_lanes(&target, memory_cells, strategy, backgrounds)?;
                 entries.push((target, lanes));
             }
-            Ok(Arc::new(entries))
+            let built = Arc::new(entries);
+            if let Some(snapshots) = &snapshots {
+                snapshots.store_lanes(&key, &built);
+            }
+            Ok(built)
         })
     }
 
@@ -463,8 +476,18 @@ impl Session {
             .cloned()
             .unwrap_or(InitialState::AllOne);
         let key = DictionaryKey::new(test, list, self.memory_cells, background);
+        let snapshots = self.store.snapshots();
         self.store.dictionary(&key, || {
-            Arc::new(FaultDictionary::build(test, list, &self.coverage_config()))
+            if let Some(snapshots) = &snapshots {
+                if let Some(dictionary) = snapshots.load_dictionary(&key, list) {
+                    return Arc::new(dictionary);
+                }
+            }
+            let built = Arc::new(FaultDictionary::build(test, list, &self.coverage_config()));
+            if let Some(snapshots) = &snapshots {
+                snapshots.store_dictionary(&key, &built, list);
+            }
+            built
         })
     }
 

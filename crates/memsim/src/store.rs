@@ -37,6 +37,7 @@ use sram_fault_model::{FaultList, FaultPrimitive};
 
 use crate::parallel::WorkerPool;
 use crate::session::{Session, TargetLanes};
+use crate::snapshot::{SnapshotStats, SnapshotStore};
 use crate::{ExecPolicy, FaultDictionary, InitialState, PlacementStrategy, Result};
 
 /// How many shards the store's key → entry maps split into. Shards are
@@ -50,8 +51,8 @@ const STORE_SHARDS: usize = 16;
 /// This is the shared key *prefix* of both cache families.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ListFingerprint {
-    list_name: String,
-    list_contents: Vec<String>,
+    pub(crate) list_name: String,
+    pub(crate) list_contents: Vec<String>,
 }
 
 impl ListFingerprint {
@@ -80,10 +81,10 @@ impl ListFingerprint {
 /// list or scope simply keys a different entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct ArtifactKey {
-    fingerprint: ListFingerprint,
-    memory_cells: usize,
-    strategy: PlacementStrategy,
-    backgrounds: Vec<InitialState>,
+    pub(crate) fingerprint: ListFingerprint,
+    pub(crate) memory_cells: usize,
+    pub(crate) strategy: PlacementStrategy,
+    pub(crate) backgrounds: Vec<InitialState>,
 }
 
 impl ArtifactKey {
@@ -112,11 +113,11 @@ impl ArtifactKey {
 /// dictionary entry instead of recomputing it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct DictionaryKey {
-    test_name: String,
-    test_notation: String,
-    fingerprint: ListFingerprint,
-    memory_cells: usize,
-    background: InitialState,
+    pub(crate) test_name: String,
+    pub(crate) test_notation: String,
+    pub(crate) fingerprint: ListFingerprint,
+    pub(crate) memory_cells: usize,
+    pub(crate) background: InitialState,
 }
 
 impl DictionaryKey {
@@ -195,6 +196,11 @@ pub struct ArtifactStore {
     enumerations: AtomicUsize,
     artifact_entries: AtomicUsize,
     dictionary_entries: AtomicUsize,
+    /// The optional crash-safe persistence layer: when attached, build
+    /// closures first try to replay a snapshot and persist what they build.
+    /// Write-once so racing attachers cannot split the store over two
+    /// directories mid-flight.
+    snapshots: OnceLock<Arc<SnapshotStore>>,
 }
 
 impl Default for ArtifactStore {
@@ -215,7 +221,29 @@ impl ArtifactStore {
             enumerations: AtomicUsize::new(0),
             artifact_entries: AtomicUsize::new(0),
             dictionary_entries: AtomicUsize::new(0),
+            snapshots: OnceLock::new(),
         }
+    }
+
+    /// Attaches a crash-safe [`SnapshotStore`] to this store: from now on
+    /// every artifact build first tries to replay a snapshot, and everything
+    /// built is persisted. Returns `false` (and leaves the existing layer in
+    /// place) when a snapshot store is already attached — the layer is
+    /// write-once per store.
+    pub fn attach_snapshots(&self, snapshots: Arc<SnapshotStore>) -> bool {
+        self.snapshots.set(snapshots).is_ok()
+    }
+
+    /// The attached snapshot layer, if any.
+    #[must_use]
+    pub fn snapshots(&self) -> Option<Arc<SnapshotStore>> {
+        self.snapshots.get().map(Arc::clone)
+    }
+
+    /// The snapshot layer's counters, when one is attached.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> Option<SnapshotStats> {
+        self.snapshots.get().map(|snapshots| snapshots.stats())
     }
 
     /// The process-wide store: one lazily-created instance shared by every
@@ -421,6 +449,13 @@ impl SharedEngine {
     pub fn cached_dictionaries(&self) -> usize {
         self.store.cached_dictionaries()
     }
+
+    /// The snapshot layer's counters, when the engine's store persists to
+    /// disk — what the `serve` stats op surfaces as the `snapshot` object.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> Option<SnapshotStats> {
+        self.store.snapshot_stats()
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +591,56 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert!(Arc::ptr_eq(&a.store(), &ArtifactStore::global()));
         assert_eq!(a.policy().threads, 0);
+    }
+
+    #[test]
+    fn panicked_builder_leaves_the_slot_reusable() {
+        // The PR 8 interleave model proves the lock protocol; this pins the
+        // poison-recovery behaviour under a *real* panic: a builder that
+        // unwinds inside its build slot must leave the slot empty and
+        // unpoisoned-in-effect, so the next requester simply rebuilds.
+        let store = Arc::new(ArtifactStore::new());
+        let key = ArtifactKey::new(
+            &FaultList::list_2(),
+            8,
+            PlacementStrategy::Representative,
+            &[InitialState::AllOne],
+        );
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.target_lanes(&key, || panic!("builder exploded mid-enumeration"))
+        }));
+        assert!(panicked.is_err(), "the panic must propagate to the caller");
+        assert_eq!(store.enumerations(), 0);
+        assert_eq!(store.cached_artifacts(), 0);
+
+        // The same key is immediately buildable again...
+        let rebuilt = store
+            .target_lanes(&key, || Ok(Arc::new(Vec::new())))
+            .expect("slot must be reusable after a panicked build");
+        assert!(rebuilt.is_empty());
+        assert_eq!(store.enumerations(), 1);
+        // ...and later requesters hit the published value as usual.
+        let hit = store
+            .target_lanes(&key, || {
+                panic!("a populated slot must never re-run the builder")
+            })
+            .expect("populated slot answers");
+        assert!(Arc::ptr_eq(&rebuilt, &hit));
+        assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn snapshot_layer_is_write_once() {
+        let store = ArtifactStore::new();
+        assert!(store.snapshots().is_none());
+        assert!(store.snapshot_stats().is_none());
+        let first = crate::SnapshotStore::with_io(Arc::new(crate::MemIo::new()), "a");
+        let second = crate::SnapshotStore::with_io(Arc::new(crate::MemIo::new()), "b");
+        assert!(store.attach_snapshots(Arc::clone(&first)));
+        assert!(!store.attach_snapshots(second));
+        let attached = store.snapshots().expect("layer attached");
+        assert_eq!(attached.dir(), "a");
+        assert_eq!(store.snapshot_stats().expect("stats").dir, "a");
     }
 
     #[test]

@@ -13,13 +13,13 @@
 //! re-exports the `std` types for them).
 
 #[cfg(not(interleave))]
-pub use std::sync::{atomic, Arc, Condvar, Mutex, OnceLock, PoisonError};
+pub use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 #[cfg(not(interleave))]
 pub use std::thread;
 
 #[cfg(interleave)]
-pub use interleave::sync::{atomic, Arc, Condvar, Mutex, OnceLock, PoisonError};
+pub use interleave::sync::{atomic, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 #[cfg(interleave)]
 pub use interleave::thread;

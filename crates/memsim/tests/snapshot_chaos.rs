@@ -1,0 +1,301 @@
+//! Corruption-fuzz and fault-injection chaos suite for the crash-safe
+//! snapshot layer.
+//!
+//! The acceptance property is **loader totality**: for *every* single-byte
+//! flip and *every* truncation length of a valid snapshot file, reloading
+//! through a fresh engine must either replay a byte-identical artifact or
+//! surface a typed [`sram_sim::SnapshotError`], quarantine the file and
+//! rebuild in memory — never panic, never serve a wrong artifact. Because
+//! snapshot encoding is canonical and deterministic, "the rebuild produced
+//! the same artifact" is proved by the re-persisted snapshot being
+//! byte-identical to the original file.
+//!
+//! On top of the exhaustive fuzz, seeded [`MemIo::chaos`] devices hammer the
+//! whole pipeline with random I/O failures across simulated restarts, and a
+//! real-filesystem leg does the corrupt-then-quarantine dance through
+//! [`FsIo`] in a temp directory.
+
+use std::sync::Arc;
+
+use march_test::catalog;
+use sram_fault_model::FaultList;
+use sram_sim::{ArtifactStore, ExecPolicy, MemIo, Report, SharedEngine, SnapshotStore};
+
+const DIR: &str = "snaps";
+
+/// A fresh engine over `device`: empty artifact store, snapshot layer on the
+/// shared in-memory filesystem — one simulated process start.
+fn engine_on(device: &Arc<MemIo>) -> (Arc<SharedEngine>, Arc<SnapshotStore>) {
+    let snapshots = SnapshotStore::with_io(device.clone(), DIR);
+    let store = Arc::new(ArtifactStore::new());
+    assert!(store.attach_snapshots(Arc::clone(&snapshots)));
+    (
+        SharedEngine::with_store(ExecPolicy::default(), store),
+        snapshots,
+    )
+}
+
+/// The single `.snap` file under `DIR` with the given name prefix.
+fn snapshot_file(device: &MemIo, prefix: &str) -> (String, Vec<u8>) {
+    let prefix = format!("{DIR}/{prefix}");
+    let mut names: Vec<String> = device
+        .paths()
+        .into_iter()
+        .filter(|path| path.starts_with(&prefix) && path.ends_with(".snap"))
+        .collect();
+    assert_eq!(names.len(), 1, "expected exactly one {prefix}*.snap file");
+    let name = names.pop().expect("just checked");
+    let bytes = device.file(&name).expect("file exists");
+    (name, bytes)
+}
+
+/// Reloads the lane snapshot from `device` through a fresh engine and
+/// asserts the totality contract: a valid file replays as a hit; a tampered
+/// file is quarantined with a typed error, rebuilt in memory, and
+/// re-persisted byte-identically to `pristine`.
+fn assert_lanes_total(device: &Arc<MemIo>, list: &FaultList, path: &str, pristine: &[u8]) {
+    let (engine, snapshots) = engine_on(device);
+    engine
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(list)
+        .expect("the scope hosts the list under every corruption");
+    let stats = snapshots.stats();
+    let tampered = device.file(path) != Some(pristine.to_vec());
+    if tampered || stats.hits == 0 {
+        // The loader rejected the file: the rejection must be typed, the
+        // corpse quarantined, and the rebuild re-persisted byte-identically.
+        assert_eq!(stats.quarantined, 1, "corrupt file not quarantined");
+        assert!(
+            stats.last_error.is_some(),
+            "quarantine without a typed error"
+        );
+        assert_eq!(stats.writes, 1, "rebuild was not re-persisted");
+    }
+    assert_eq!(
+        device.file(path).as_deref(),
+        Some(pristine),
+        "the re-persisted snapshot diverged from the pristine encoding"
+    );
+}
+
+#[test]
+fn every_single_byte_flip_of_a_lane_snapshot_is_survived() {
+    let list = FaultList::address_decoder();
+    let device = Arc::new(MemIo::new());
+    let (engine, _) = engine_on(&device);
+    engine
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(&list)
+        .expect("warm enumeration succeeds");
+    let (path, pristine) = snapshot_file(&device, "art-");
+
+    // Seeded nonzero XOR masks: deterministic, never the identity flip.
+    let mut mask_rng = 0x9E37_79B9_7F4A_7C15u64;
+    for offset in 0..pristine.len() {
+        mask_rng ^= mask_rng << 13;
+        mask_rng ^= mask_rng >> 7;
+        mask_rng ^= mask_rng << 17;
+        let mask = (mask_rng as u8) | 1;
+        let mut corrupt = pristine.clone();
+        corrupt[offset] ^= mask;
+
+        let device = Arc::new(MemIo::new());
+        device.insert_file(&path, corrupt);
+        assert_lanes_total(&device, &list, &path, &pristine);
+    }
+}
+
+#[test]
+fn every_truncation_of_a_lane_snapshot_is_survived() {
+    let list = FaultList::address_decoder();
+    let device = Arc::new(MemIo::new());
+    let (engine, _) = engine_on(&device);
+    engine
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(&list)
+        .expect("warm enumeration succeeds");
+    let (path, pristine) = snapshot_file(&device, "art-");
+
+    for length in 0..pristine.len() {
+        let device = Arc::new(MemIo::new());
+        device.insert_file(&path, pristine[..length].to_vec());
+        assert_lanes_total(&device, &list, &path, &pristine);
+    }
+}
+
+#[test]
+fn every_single_byte_flip_of_a_dictionary_snapshot_is_survived() {
+    let test = catalog::mats_plus();
+    let list = FaultList::address_decoder();
+    let device = Arc::new(MemIo::new());
+    let (engine, _) = engine_on(&device);
+    let _ = engine
+        .session()
+        .with_memory_cells(8)
+        .dictionary(&test, &list);
+    let (path, pristine) = snapshot_file(&device, "dict-");
+
+    let mut mask_rng = 0xD1B5_4A32_D192_ED03u64;
+    for offset in 0..pristine.len() {
+        mask_rng ^= mask_rng << 13;
+        mask_rng ^= mask_rng >> 7;
+        mask_rng ^= mask_rng << 17;
+        let mask = (mask_rng as u8) | 1;
+        let mut corrupt = pristine.clone();
+        corrupt[offset] ^= mask;
+
+        let device = Arc::new(MemIo::new());
+        device.insert_file(&path, corrupt);
+        let (engine, snapshots) = engine_on(&device);
+        let _ = engine
+            .session()
+            .with_memory_cells(8)
+            .dictionary(&test, &list);
+        let stats = snapshots.stats();
+        assert_eq!(stats.quarantined, 1, "flip at {offset} not quarantined");
+        assert!(
+            stats.last_error.is_some(),
+            "flip at {offset}: untyped error"
+        );
+        assert_eq!(
+            device.file(&path).as_deref(),
+            Some(pristine.as_slice()),
+            "flip at {offset}: rebuilt dictionary diverged from pristine"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_dictionary_snapshot_is_survived() {
+    let test = catalog::mats_plus();
+    let list = FaultList::address_decoder();
+    let device = Arc::new(MemIo::new());
+    let (engine, _) = engine_on(&device);
+    let _ = engine
+        .session()
+        .with_memory_cells(8)
+        .dictionary(&test, &list);
+    let (path, pristine) = snapshot_file(&device, "dict-");
+
+    for length in 0..pristine.len() {
+        let device = Arc::new(MemIo::new());
+        device.insert_file(&path, pristine[..length].to_vec());
+        let (engine, snapshots) = engine_on(&device);
+        let _ = engine
+            .session()
+            .with_memory_cells(8)
+            .dictionary(&test, &list);
+        let stats = snapshots.stats();
+        assert_eq!(stats.quarantined, 1, "length {length} not quarantined");
+        assert_eq!(
+            device.file(&path).as_deref(),
+            Some(pristine.as_slice()),
+            "length {length}: rebuilt dictionary diverged from pristine"
+        );
+    }
+}
+
+/// Full-pipeline chaos: a device failing ~a third of all I/O, shared across
+/// two simulated restarts. Every report must stay byte-identical to the
+/// snapshot-less golden engine — persistence may silently degrade, but it
+/// may never panic or change an answer.
+#[test]
+fn seeded_io_chaos_never_changes_a_report() {
+    let test = catalog::march_ss();
+    let list = FaultList::list_2();
+    let primitive = sram_fault_model::Ffm::all_fault_primitives()
+        .into_iter()
+        .find(|fp| !fp.is_coupling())
+        .expect("the FFM space has single-cell primitives");
+    let injected = sram_sim::InjectedFault::single_cell(primitive, 7, 8)
+        .expect("the victim address is in scope");
+    let transcript = |engine: &Arc<SharedEngine>| {
+        let session = engine.session().with_memory_cells(8);
+        let coverage = session
+            .try_coverage(&test, &list)
+            .expect("the scope hosts the list")
+            .to_json();
+        let syndrome = session
+            .observe(&test, &injected)
+            .expect("the scope hosts the injected fault");
+        let dictionary = session.dictionary(&test, &list);
+        let diagnosis = session.diagnose(&syndrome, &dictionary).to_json();
+        (coverage, diagnosis)
+    };
+    let golden = transcript(&SharedEngine::new(ExecPolicy::default()));
+
+    for seed in [1u64, 3, 5, 7, 42] {
+        let device = Arc::new(MemIo::chaos(seed, 35));
+        for restart in 0..2 {
+            let (engine, snapshots) = engine_on(&device);
+            assert_eq!(
+                transcript(&engine),
+                golden,
+                "seed {seed}, restart {restart}: chaos I/O changed a report \
+                 ({:?})",
+                snapshots.stats()
+            );
+        }
+    }
+}
+
+/// The same corrupt-quarantine-rebuild protocol through the production
+/// [`sram_sim::FsIo`] on a real temp directory: a byte flipped on disk is
+/// detected, the corpse lands in `quarantine/`, and the rebuilt snapshot is
+/// byte-identical to the pristine one.
+#[test]
+fn on_disk_corruption_is_quarantined_and_rebuilt() {
+    let dir = std::env::temp_dir().join(format!(
+        "sram-sim-snapshot-chaos-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let dir_text = dir.to_string_lossy().to_string();
+    let list = FaultList::address_decoder();
+
+    let warm = |expect_attach: bool| -> Arc<SharedEngine> {
+        let snapshots = SnapshotStore::open(&dir_text);
+        let store = Arc::new(ArtifactStore::new());
+        assert_eq!(store.attach_snapshots(snapshots), expect_attach);
+        SharedEngine::with_store(ExecPolicy::default(), store)
+    };
+    warm(true)
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(&list)
+        .expect("warm enumeration succeeds");
+
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("snapshot dir exists")
+        .filter_map(Result::ok)
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "snap"))
+        .collect();
+    assert_eq!(entries.len(), 1);
+    let path = entries[0].path();
+    let pristine = std::fs::read(&path).expect("snapshot readable");
+    let mut corrupt = pristine.clone();
+    let middle = corrupt.len() / 2;
+    corrupt[middle] ^= 0x40;
+    std::fs::write(&path, &corrupt).expect("corruption written");
+
+    warm(true)
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(&list)
+        .expect("rebuild succeeds despite on-disk corruption");
+    assert_eq!(
+        std::fs::read(&path).expect("rebuilt snapshot readable"),
+        pristine,
+        "rebuilt snapshot diverged from the pristine encoding"
+    );
+    let quarantined = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir exists")
+        .filter_map(Result::ok)
+        .count();
+    assert_eq!(quarantined, 1, "the corrupt corpse was not quarantined");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -215,3 +215,79 @@ pub fn reference_policy() -> ExecPolicy {
         .with_threads(1)
         .with_batch(1)
 }
+
+/// Asserts crash-safe snapshot persistence is **observationally
+/// transparent**: the same pipeline queries (coverage plus dictionary-backed
+/// diagnosis) answered by
+///
+/// 1. a cold engine with no snapshot layer at all,
+/// 2. an engine *writing* snapshots to a fresh in-memory device, and
+/// 3. a post-"restart" engine *replaying* those snapshots from the same
+///    device into an empty artifact store
+///
+/// produce byte-identical report JSON — and the replaying engine really did
+/// answer from the snapshot layer (at least one hit, nothing quarantined).
+///
+/// # Panics
+///
+/// Panics on the first report divergence, if `cells` cannot host the list's
+/// placements, or if the replay engine never touched the snapshot layer.
+pub fn assert_snapshot_transparent(policy: ExecPolicy, fault_list: &FaultList, cells: usize) {
+    use sram_fault_model::Ffm;
+    use sram_sim::{ArtifactStore, InjectedFault, MemIo, Report, SharedEngine, SnapshotStore};
+    use std::sync::Arc;
+
+    let test = catalog::march_ss();
+    let primitive = Ffm::all_fault_primitives()
+        .into_iter()
+        .find(|fp| !fp.is_coupling())
+        .expect("the FFM space has single-cell primitives");
+    let injected = InjectedFault::single_cell(primitive, cells - 1, cells)
+        .expect("the victim address is in scope");
+
+    let transcript = |engine: &Arc<SharedEngine>| -> Vec<String> {
+        let session = engine.session().with_memory_cells(cells);
+        let coverage = session
+            .try_coverage(&test, fault_list)
+            .expect("harness scope hosts the fault-list placements")
+            .to_json();
+        let syndrome = session
+            .observe(&test, &injected)
+            .expect("harness scope hosts the injected fault");
+        let dictionary = session.dictionary(&test, fault_list);
+        let diagnosis = session.diagnose(&syndrome, &dictionary).to_json();
+        vec![coverage, diagnosis]
+    };
+
+    let cold = transcript(&SharedEngine::new(policy));
+
+    let device: Arc<MemIo> = Arc::new(MemIo::new());
+    let writer_store = Arc::new(ArtifactStore::new());
+    writer_store.attach_snapshots(SnapshotStore::with_io(device.clone(), "snaps"));
+    let written = transcript(&SharedEngine::with_store(policy, writer_store));
+
+    // "Restart": an empty artifact store over the same snapshot device.
+    let replay_snapshots = SnapshotStore::with_io(device, "snaps");
+    let replay_store = Arc::new(ArtifactStore::new());
+    replay_store.attach_snapshots(Arc::clone(&replay_snapshots));
+    let replayed = transcript(&SharedEngine::with_store(policy, replay_store));
+
+    assert_eq!(
+        cold,
+        written,
+        "writing snapshots changed a report ({policy:?}, {cells} cells, {})",
+        fault_list.name()
+    );
+    assert_eq!(
+        cold,
+        replayed,
+        "replaying snapshots changed a report ({policy:?}, {cells} cells, {})",
+        fault_list.name()
+    );
+    let stats = replay_snapshots.stats();
+    assert!(
+        stats.hits >= 1,
+        "the replay engine never answered from the snapshot layer: {stats:?}"
+    );
+    assert_eq!(stats.quarantined, 0, "a pristine snapshot was quarantined");
+}

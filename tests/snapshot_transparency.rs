@@ -1,0 +1,38 @@
+//! Snapshot persistence must be invisible to every consumer: cold engines,
+//! snapshot-writing engines and snapshot-replaying engines (a simulated
+//! process restart over the same device) answer byte-identical reports —
+//! across backends, thread counts and fault domains. The corruption and
+//! fault-injection side of the story lives in
+//! `crates/memsim/tests/snapshot_chaos.rs`; this suite pins the happy path
+//! that makes a warmed `serve --snapshot-dir` transcript trustworthy.
+
+use march_codex_repro::testkit::{assert_snapshot_transparent, reference_policy};
+use sram_fault_model::FaultList;
+use sram_sim::{BackendKind, ExecPolicy};
+
+#[test]
+fn snapshots_are_transparent_for_the_reference_policy() {
+    assert_snapshot_transparent(reference_policy(), &FaultList::list_2(), 8);
+}
+
+#[test]
+fn snapshots_are_transparent_for_the_packed_threaded_policy() {
+    let policy = ExecPolicy::default()
+        .with_backend(BackendKind::Packed)
+        .with_threads(2);
+    assert_snapshot_transparent(policy, &FaultList::list_2(), 8);
+}
+
+#[test]
+fn snapshots_are_transparent_for_the_decoder_domain() {
+    assert_snapshot_transparent(ExecPolicy::default(), &FaultList::address_decoder(), 16);
+}
+
+#[test]
+fn snapshots_are_transparent_for_the_mixed_domain() {
+    assert_snapshot_transparent(
+        ExecPolicy::default(),
+        &FaultList::list_2().with_address_decoder_faults(),
+        8,
+    );
+}
