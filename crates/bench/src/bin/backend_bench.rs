@@ -29,8 +29,8 @@ use march_test::{catalog, MarchElement, MarchTest};
 use sram_fault_model::{FaultList, FaultListBuilder};
 use sram_sim::{
     effective_threads, enumerate_lanes, enumerate_targets, measure_coverage, ArtifactStore,
-    BackendKind, CoverageConfig, ExecPolicy, InitialState, LaneWidth, MemIo, PlacementStrategy,
-    Report, Session, SharedEngine, SnapshotStore, TargetBatch,
+    BackendKind, CampaignConfig, CoverageConfig, ExecPolicy, InitialState, LaneWidth, MemIo,
+    PlacementStrategy, Report, Session, SharedEngine, SnapshotStore, TargetBatch,
 };
 
 /// One coverage workload: a named test × list × configuration timed on the
@@ -317,6 +317,80 @@ fn snapshot_workloads() -> Vec<SnapshotWorkload> {
             reps: 5,
         },
     ]
+}
+
+/// One Monte-Carlo campaign workload: address-decoder coverage over the
+/// exhaustive placement space — full enumeration of every lane (baseline)
+/// versus a seeded campaign drawing a fixed sample through the same packed
+/// engine (contender). This is the regime `coverage --sample` exists for:
+/// spaces whose lane count grows with the cell count squared, where a
+/// bounded draw budget with a Wilson confidence interval replaces an
+/// enumeration that no longer fits the time budget.
+struct CampaignWorkload {
+    name: &'static str,
+    cells: usize,
+    draws: u64,
+    seed: u64,
+    reps: u32,
+}
+
+fn campaign_workloads() -> Vec<CampaignWorkload> {
+    vec![
+        CampaignWorkload {
+            name: "campaign_af_256c_1024_draws",
+            cells: 256,
+            draws: 1024,
+            seed: 7,
+            reps: 5,
+        },
+        CampaignWorkload {
+            name: "campaign_af_1024c_8192_draws",
+            cells: 1024,
+            draws: 8192,
+            seed: 7,
+            reps: 3,
+        },
+    ]
+}
+
+/// Times one campaign workload. The campaign report is pinned byte-identical
+/// (same seed, same JSON) every repetition, so a sampler or merge bug cannot
+/// masquerade as a speedup; the exhaustive side pins its verdict the same
+/// way. Both sides run the packed engine at 4 threads — the only variable is
+/// enumerate-everything vs draw-a-sample.
+fn time_campaign(workload: &CampaignWorkload) -> (Duration, Duration) {
+    let test = catalog::march_ss();
+    let list = FaultList::address_decoder();
+    let session = Session::new(ExecPolicy::default().with_threads(4))
+        .with_memory_cells(workload.cells)
+        .with_strategy(PlacementStrategy::Exhaustive)
+        .with_backgrounds(vec![InitialState::AllZero, InitialState::AllOne]);
+    let config = CampaignConfig::default()
+        .with_draws(workload.draws)
+        .with_seed(workload.seed);
+
+    let exhaustive_reference = session.coverage(&test, &list);
+    let campaign_reference = session.campaign(&test, &list, &config).to_json();
+
+    let mut exhaustive_time = Duration::ZERO;
+    for _ in 0..workload.reps {
+        let start = Instant::now();
+        assert_eq!(session.coverage(&test, &list), exhaustive_reference);
+        exhaustive_time += start.elapsed();
+    }
+    let exhaustive = exhaustive_time / workload.reps;
+
+    let mut campaign_time = Duration::ZERO;
+    for _ in 0..workload.reps {
+        let start = Instant::now();
+        assert_eq!(
+            session.campaign(&test, &list, &config).to_json(),
+            campaign_reference
+        );
+        campaign_time += start.elapsed();
+    }
+    let campaign = campaign_time / workload.reps;
+    (exhaustive, campaign)
 }
 
 /// Times one snapshot workload. Every restart — cold or snapshot-warmed — is
@@ -796,6 +870,27 @@ fn main() {
             contender: "snapshot-warmed".to_string(),
             baseline_ns: cold.as_nanos() as u64,
             contender_ns: warm.as_nanos() as u64,
+            speedup,
+            lane_width: None,
+        });
+    }
+    for workload in campaign_workloads() {
+        let (exhaustive, campaign) = time_campaign(&workload);
+        let speedup = exhaustive.as_secs_f64() / campaign.as_secs_f64().max(1e-9);
+        println!(
+            "{:<38} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            workload.name,
+            exhaustive.as_secs_f64() * 1e3,
+            campaign.as_secs_f64() * 1e3,
+            speedup
+        );
+        records.push(BenchRecord {
+            name: workload.name.to_string(),
+            kind: "campaign".to_string(),
+            baseline: "exhaustive-enumeration".to_string(),
+            contender: "sampled-campaign".to_string(),
+            baseline_ns: exhaustive.as_nanos() as u64,
+            contender_ns: campaign.as_nanos() as u64,
             speedup,
             lane_width: None,
         });

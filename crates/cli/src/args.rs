@@ -80,7 +80,9 @@ impl FaultDomain {
 }
 
 /// One parsed `march-codex` invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`PartialEq` only: `Coverage::confidence` is an `f64`.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `catalog` — list the catalogue of published march tests.
     Catalog,
@@ -121,12 +123,17 @@ pub enum Command {
         json: bool,
     },
     /// `coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]
-    /// [--cells N] [--exhaustive] [--backend scalar|packed] [--threads N]
+    /// [--cells N] [--exhaustive] [--sample N --seed S --confidence C]
+    /// [--backend scalar|packed] [--threads N]
     /// [--lane-width auto|64|128|256] [--json]`.
     ///
     /// Without an explicit `--threads`, memories larger than 64 cells fan out
     /// over every available core (`--threads 0`): large-memory coverage is
     /// exactly the workload the packed + threaded path exists for.
+    ///
+    /// `--sample N` switches from enumeration to a seeded Monte-Carlo
+    /// campaign over the exhaustive placement space; the report carries a
+    /// Wilson-score confidence interval instead of an exact verdict.
     Coverage {
         /// Catalogue name of the march test to evaluate (default: March SS).
         test: String,
@@ -138,6 +145,15 @@ pub enum Command {
         cells: Option<usize>,
         /// Use exhaustive cell placements.
         exhaustive: bool,
+        /// Monte-Carlo draw count: `Some(n)` runs a seeded campaign over the
+        /// exhaustive `(placement, background)` space instead of enumerating
+        /// it. `None` (no `--sample`) keeps the enumeration path.
+        sample: Option<u64>,
+        /// Campaign PRNG seed; identical seeds replay identical draws.
+        seed: u64,
+        /// Confidence level of the campaign's Wilson-score interval,
+        /// strictly inside `(0, 1)`.
+        confidence: f64,
         /// Which simulation backend evaluates the coverage lanes (defaults to
         /// the packed engine; `--backend scalar` opts out).
         backend: BackendKind,
@@ -369,6 +385,9 @@ impl Command {
                 let mut faults = FaultDomain::Ffm;
                 let mut cells = None;
                 let mut exhaustive = false;
+                let mut sample = None;
+                let mut seed = None;
+                let mut confidence = None;
                 let mut backend = BackendKind::Packed;
                 let mut threads = None;
                 let mut lane_width = LaneWidth::Auto;
@@ -384,6 +403,14 @@ impl Command {
                         }
                         "--cells" => cells = Some(parse_number(&required(&mut args, "--cells")?)?),
                         "--exhaustive" => exhaustive = true,
+                        "--sample" => {
+                            sample = Some(parse_sample(&required(&mut args, "--sample")?)?)
+                        }
+                        "--seed" => seed = Some(parse_seed(&required(&mut args, "--seed")?)?),
+                        "--confidence" => {
+                            confidence =
+                                Some(parse_confidence(&required(&mut args, "--confidence")?)?);
+                        }
                         "--backend" => backend = parse_backend(&required(&mut args, "--backend")?)?,
                         "--threads" => {
                             threads = Some(parse_threads(&required(&mut args, "--threads")?)?);
@@ -396,6 +423,26 @@ impl Command {
                     }
                 }
                 require_list(list, faults, "coverage")?;
+                if sample.is_some() && exhaustive {
+                    return Err(ParseArgsError(
+                        "--sample draws from the exhaustive space at random; combining it \
+                         with --exhaustive is ambiguous — pick one"
+                            .into(),
+                    ));
+                }
+                if sample.is_none() {
+                    if seed.is_some() {
+                        return Err(ParseArgsError(
+                            "--seed only applies to Monte-Carlo campaigns; add --sample N".into(),
+                        ));
+                    }
+                    if confidence.is_some() {
+                        return Err(ParseArgsError(
+                            "--confidence only applies to Monte-Carlo campaigns; add --sample N"
+                                .into(),
+                        ));
+                    }
+                }
                 Ok(Command::Coverage {
                     // March SS is the canonical thorough catalogue test; it is
                     // the default so `coverage --faults af --cells 1024` works
@@ -405,6 +452,9 @@ impl Command {
                     faults,
                     cells,
                     exhaustive,
+                    sample,
+                    seed: seed.unwrap_or(0),
+                    confidence: confidence.unwrap_or(0.95),
                     backend,
                     threads: resolve_threads(threads, cells),
                     lane_width,
@@ -690,6 +740,47 @@ fn parse_number(text: &str) -> Result<usize, ParseArgsError> {
         .map_err(|_| ParseArgsError(format!("`{text}` is not a valid cell count/address")))
 }
 
+/// Parses a campaign draw count. Scientific notation is accepted
+/// (`--sample 1e6`), but the value must be a finite positive integer no
+/// larger than 2^53 — the largest f64-exact integer — so a notation like
+/// `1e999` (infinite) or `2.5e3.1` can never silently truncate through an
+/// `as` cast.
+fn parse_sample(text: &str) -> Result<u64, ParseArgsError> {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    let value = text.trim().parse::<f64>().map_err(|_| {
+        ParseArgsError(format!(
+            "`{text}` is not a valid sample count (e.g. 100000 or 1e6)"
+        ))
+    })?;
+    if !value.is_finite() || value < 1.0 || value.fract() != 0.0 || value > MAX_EXACT {
+        return Err(ParseArgsError(format!(
+            "`{text}` is not a valid sample count (a positive integer up to 2^53; \
+             scientific notation like 1e6 is fine)"
+        )));
+    }
+    // lint: allow(cast) — guarded above: finite, integral, within 2^53.
+    Ok(value as u64)
+}
+
+fn parse_seed(text: &str) -> Result<u64, ParseArgsError> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|_| ParseArgsError(format!("`{text}` is not a valid campaign seed (a u64)")))
+}
+
+fn parse_confidence(text: &str) -> Result<f64, ParseArgsError> {
+    let value = text
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| ParseArgsError(format!("`{text}` is not a valid confidence level")))?;
+    if !value.is_finite() || value <= 0.0 || value >= 1.0 {
+        return Err(ParseArgsError(format!(
+            "confidence levels are strictly between 0 and 1 (e.g. 0.95), got `{text}`"
+        )));
+    }
+    Ok(value)
+}
+
 fn parse_backend(text: &str) -> Result<BackendKind, ParseArgsError> {
     text.parse::<BackendKind>()
         .map_err(|error| ParseArgsError(error.to_string()))
@@ -741,7 +832,8 @@ pub fn usage() -> String {
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N] [--batch N]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex coverage [--test <name>] [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
-     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--exhaustive] [--backend scalar|packed] [--threads N]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--exhaustive] [--sample N [--seed S] [--confidence C]]\n\
+     \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--backend scalar|packed] [--threads N]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--lane-width auto|64|128|256] [--json]\n\
      \x20 march-codex minimise --test <name> [--list <1|2|unlinked>] [--faults ffm|af|all]\n\
      \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20 \x20[--cells N] [--backend scalar|packed] [--threads N]\n\
@@ -770,6 +862,13 @@ pub fn usage() -> String {
      --lane-width 256` quarters the sensitization passes of the exhaustive decoder\n\
      sweep). Reports are byte-identical at every width. coverage --test defaults\n\
      to March SS.\n\
+     coverage --sample N replaces enumeration with a seeded Monte-Carlo campaign\n\
+     over the exhaustive (placement, background) space: N draws (1e6 notation is\n\
+     accepted), a Wilson-score confidence interval at --confidence (default 0.95),\n\
+     and a bounded escape trace. Identical --seed values replay identical draws on\n\
+     every backend, thread count and lane width; draw counts covering the whole\n\
+     space degenerate to sampling without replacement and match --exhaustive\n\
+     verdicts exactly.\n\
      serve keeps one engine resident and answers newline-delimited JSON requests\n\
      ({\"op\": \"coverage\"|\"generate\"|\"minimise\"|\"diagnose\"|\"stats\"|\"shutdown\", ...}) on\n\
      stdin or a --tcp socket; all clients share its artifact store and worker pool,\n\
@@ -963,6 +1062,9 @@ mod tests {
                 faults: FaultDomain::Ffm,
                 cells: None,
                 exhaustive: true,
+                sample: None,
+                seed: 0,
+                confidence: 0.95,
                 backend: BackendKind::Packed,
                 threads: 1,
                 lane_width: LaneWidth::Auto,
@@ -1066,6 +1168,9 @@ mod tests {
                 faults: FaultDomain::Af,
                 cells: Some(1024),
                 exhaustive: false,
+                sample: None,
+                seed: 0,
+                confidence: 0.95,
                 backend: BackendKind::Packed,
                 threads: 0,
                 lane_width: LaneWidth::Auto,
@@ -1115,6 +1220,74 @@ mod tests {
         ));
         assert!(parse(&["coverage", "--test", "x", "--faults", "bogus"]).is_err());
         assert!(parse(&["coverage", "--test", "x", "--list", "2", "--cells", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_flags() {
+        // Full campaign spelling, with scientific notation for the draws.
+        assert!(matches!(
+            parse(&[
+                "coverage",
+                "--faults",
+                "af",
+                "--cells",
+                "1024",
+                "--sample",
+                "1e6",
+                "--seed",
+                "7",
+                "--confidence",
+                "0.99",
+            ])
+            .unwrap(),
+            Command::Coverage {
+                sample: Some(1_000_000),
+                seed: 7,
+                confidence,
+                ..
+            } if (confidence - 0.99).abs() < 1e-12
+        ));
+        // Defaults: seed 0, confidence 0.95.
+        assert!(matches!(
+            parse(&["coverage", "--list", "1", "--sample", "4096"]).unwrap(),
+            Command::Coverage {
+                sample: Some(4096),
+                seed: 0,
+                confidence,
+                ..
+            } if (confidence - 0.95).abs() < 1e-12
+        ));
+        // --seed / --confidence are campaign-only knobs.
+        assert!(parse(&["coverage", "--list", "1", "--seed", "7"]).is_err());
+        assert!(parse(&["coverage", "--list", "1", "--confidence", "0.9"]).is_err());
+        // --sample and --exhaustive are mutually exclusive.
+        assert!(parse(&["coverage", "--list", "1", "--sample", "10", "--exhaustive"]).is_err());
+        // Degenerate numerics are typed errors, never silent truncation:
+        // infinite notation, fractional counts, zero/negative, and overflow
+        // past 2^53 all reject.
+        for bad in ["1e999", "2.5", "0", "-3", "1e300", "nan", "inf", "lots"] {
+            assert!(
+                parse(&["coverage", "--list", "1", "--sample", bad]).is_err(),
+                "--sample {bad} should be rejected"
+            );
+        }
+        for bad in ["0", "1", "1.5", "-0.5", "nan", "inf", "many"] {
+            assert!(
+                parse(&[
+                    "coverage",
+                    "--list",
+                    "1",
+                    "--sample",
+                    "10",
+                    "--confidence",
+                    bad
+                ])
+                .is_err(),
+                "--confidence {bad} should be rejected"
+            );
+        }
+        assert!(parse(&["coverage", "--list", "1", "--sample", "10", "--seed", "-1"]).is_err());
+        assert!(parse(&["coverage", "--list", "1", "--sample", "10", "--seed", "1e3"]).is_err());
     }
 
     #[test]

@@ -7,8 +7,9 @@ use march_gen::{GeneratorConfig, MarchGenerator, SessionExt};
 use march_test::{catalog, AddressOrder, MarchTest};
 use sram_fault_model::{FaultList, FaultPrimitive, Ffm};
 use sram_sim::{
-    ArtifactStore, BackendKind, CoverageConfig, ExecPolicy, FaultSimulator, InitialState,
-    InjectedFault, JsonObject, LaneWidth, Report, Session, SharedEngine, SnapshotStore, Syndrome,
+    ArtifactStore, BackendKind, CampaignConfig, CoverageConfig, ExecPolicy, FaultSimulator,
+    InitialState, InjectedFault, JsonObject, LaneWidth, Report, Session, SharedEngine,
+    SnapshotStore, Syndrome,
 };
 
 use crate::args::{usage, Command, CoverageTarget, FaultDomain, ParseArgsError};
@@ -97,20 +98,37 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             faults,
             cells,
             exhaustive,
+            sample,
+            seed,
+            confidence,
             backend,
             threads,
             lane_width,
             json,
-        } => coverage(
-            test,
-            resolve_list(*list, *faults)?,
-            *cells,
-            *exhaustive,
-            *backend,
-            *threads,
-            *lane_width,
-            *json,
-        ),
+        } => match sample {
+            Some(draws) => campaign(
+                test,
+                resolve_list(*list, *faults)?,
+                *cells,
+                *draws,
+                *seed,
+                *confidence,
+                *backend,
+                *threads,
+                *lane_width,
+                *json,
+            ),
+            None => coverage(
+                test,
+                resolve_list(*list, *faults)?,
+                *cells,
+                *exhaustive,
+                *backend,
+                *threads,
+                *lane_width,
+                *json,
+            ),
+        },
         Command::Minimise {
             test,
             list,
@@ -520,6 +538,69 @@ fn coverage(
     Ok(output)
 }
 
+/// The Monte-Carlo leg of the `coverage` subcommand: `--sample N` draws a
+/// seeded campaign over the exhaustive `(placement, background)` space
+/// instead of enumerating it.
+#[allow(clippy::too_many_arguments)]
+fn campaign(
+    test: &str,
+    list: FaultList,
+    cells: Option<usize>,
+    draws: u64,
+    seed: u64,
+    confidence: f64,
+    backend: BackendKind,
+    threads: usize,
+    lane_width: LaneWidth,
+    json: bool,
+) -> Result<String, CliError> {
+    let test = lookup(test)?;
+    // Campaigns always draw from the exhaustive placement space, so the
+    // session scope mirrors `--exhaustive` (both uniform backgrounds): a
+    // full-space `--sample` then reproduces the exhaustive verdict exactly.
+    let mut config = coverage_config(true, backend, threads, lane_width);
+    if let Some(cells) = cells {
+        config.memory_cells = cells;
+    }
+    let session = Session::from_coverage_config(&config);
+    let campaign = CampaignConfig::default()
+        .with_draws(draws)
+        .with_seed(seed)
+        .with_confidence(confidence);
+    let report = session
+        .try_campaign(&test, &list, &campaign)
+        .map_err(|error| CliError::Simulation(error.to_string()))?;
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    let mut output = format!("{report} [{backend} backend]\n");
+    output.push_str(&format!(
+        "  replay: --sample {} --seed {}{}\n",
+        report.draws(),
+        report.seed(),
+        if report.without_replacement() {
+            " (covers the full space, without replacement)"
+        } else {
+            ""
+        }
+    ));
+    if !report.trace().is_empty() {
+        output.push_str(&format!(
+            "escape trace ({} shown{}):\n",
+            report.trace().len(),
+            if report.trace_truncated() {
+                ", truncated"
+            } else {
+                ""
+            }
+        ));
+        for line in report.detail_lines() {
+            output.push_str(&format!("  {line}\n"));
+        }
+    }
+    Ok(output)
+}
+
 /// Simulates a device carrying the given fault, observes its syndrome under
 /// `test` and sweeps `list` for every candidate instance reproducing it — all
 /// through one session.
@@ -656,6 +737,9 @@ mod tests {
             faults: FaultDomain::Ffm,
             cells: None,
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Scalar,
             threads: 1,
             lane_width: LaneWidth::Auto,
@@ -674,6 +758,9 @@ mod tests {
             faults: FaultDomain::Ffm,
             cells: None,
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Scalar,
             threads: 1,
             lane_width: LaneWidth::Auto,
@@ -686,6 +773,9 @@ mod tests {
             faults: FaultDomain::Ffm,
             cells: None,
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Packed,
             threads: 0,
             lane_width: LaneWidth::Auto,
@@ -698,6 +788,47 @@ mod tests {
                 .replacen(" [packed backend]", "", 1)
         };
         assert_eq!(strip(&scalar), strip(&packed));
+    }
+
+    #[test]
+    fn coverage_sample_runs_a_campaign() {
+        let base = Command::Coverage {
+            test: "March C-".into(),
+            list: Some(CoverageTarget::List1),
+            faults: FaultDomain::Ffm,
+            cells: None,
+            exhaustive: false,
+            sample: Some(256),
+            seed: 9,
+            confidence: 0.95,
+            backend: BackendKind::Packed,
+            threads: 1,
+            lane_width: LaneWidth::Auto,
+            json: true,
+        };
+        let output = run(&base).unwrap();
+        assert!(output.starts_with("{\"report\": \"campaign\""));
+        assert!(output.contains("\"seed\": 9"));
+        assert!(output.contains("\"confidence\": 0.950"));
+        // Identical seeds replay byte-identically on another backend and
+        // thread count.
+        let mut replay = base.clone();
+        if let Command::Coverage {
+            threads, backend, ..
+        } = &mut replay
+        {
+            *threads = 0;
+            *backend = BackendKind::Scalar;
+        }
+        assert_eq!(output, run(&replay).unwrap());
+        // The text form carries the interval and the replay recipe.
+        let mut text = base;
+        if let Command::Coverage { json, .. } = &mut text {
+            *json = false;
+        }
+        let rendered = run(&text).unwrap();
+        assert!(rendered.contains("CI ["));
+        assert!(rendered.contains("replay: --sample 256 --seed 9"));
     }
 
     #[test]
@@ -836,6 +967,9 @@ mod tests {
             faults: FaultDomain::Ffm,
             cells: None,
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Packed,
             threads: 1,
             lane_width: LaneWidth::Auto,
@@ -889,6 +1023,9 @@ mod tests {
             faults: FaultDomain::Af,
             cells: Some(64),
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Packed,
             threads: 1,
             lane_width: LaneWidth::Auto,
@@ -905,6 +1042,9 @@ mod tests {
             faults: FaultDomain::All,
             cells: None,
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Packed,
             threads: 1,
             lane_width: LaneWidth::Auto,
@@ -923,6 +1063,9 @@ mod tests {
             faults: FaultDomain::Ffm,
             cells: Some(2),
             exhaustive: false,
+            sample: None,
+            seed: 0,
+            confidence: 0.95,
             backend: BackendKind::Packed,
             threads: 1,
             lane_width: LaneWidth::Auto,

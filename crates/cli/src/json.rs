@@ -90,6 +90,35 @@ impl JsonValue {
         }
     }
 
+    /// The value as a non-negative `u64`, when it is one exactly.
+    ///
+    /// Numbers beyond 2^53 are refused outright: past that point f64 cannot
+    /// represent every integer, so an `as` cast could silently land on a
+    /// neighbouring value. The protocol's counts all fit comfortably below.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Number(number)
+                if *number >= 0.0 && number.fract() == 0.0 && *number <= 2f64.powi(53) =>
+            {
+                Some(*number as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`. `1e999` parses to infinity under RFC 8259
+    /// grammar; this accessor is where such values are rejected instead of
+    /// flowing on into arithmetic.
+    #[must_use]
+    pub fn as_finite_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(number) if number.is_finite() => Some(*number),
+            _ => None,
+        }
+    }
+
     /// The boolean content when `self` is a boolean.
     #[must_use]
     pub fn as_bool(&self) -> Option<bool> {
@@ -314,6 +343,32 @@ mod tests {
         // Numbers that are not exact non-negative integers refuse as_usize.
         assert_eq!(JsonValue::parse("1.5").unwrap().as_usize(), None);
         assert_eq!(JsonValue::parse("-1").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn integer_and_float_accessors_refuse_out_of_range_numbers() {
+        // Exact integers flow through as_u64...
+        assert_eq!(JsonValue::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(JsonValue::parse("1e6").unwrap().as_u64(), Some(1_000_000));
+        // ...but fractions, negatives, overflow past 2^53 and the infinities
+        // that `1e999` parses to are all refused — no silent `as` truncation.
+        assert_eq!(JsonValue::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("1e300").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("1e999").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("true").unwrap().as_u64(), None);
+        // as_finite_f64 accepts any finite number and nothing else.
+        assert_eq!(
+            JsonValue::parse("0.95").unwrap().as_finite_f64(),
+            Some(0.95)
+        );
+        assert_eq!(
+            JsonValue::parse("-2.5e2").unwrap().as_finite_f64(),
+            Some(-250.0)
+        );
+        assert_eq!(JsonValue::parse("1e999").unwrap().as_finite_f64(), None);
+        assert_eq!(JsonValue::parse("-1e999").unwrap().as_finite_f64(), None);
+        assert_eq!(JsonValue::parse("\"0.5\"").unwrap().as_finite_f64(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!
 //! ```json
 //! {"op": "coverage", "test": "March SS", "list": "2", "cells": 8}
+//! {"op": "campaign", "test": "March SS", "list": "2", "cells": 8, "sample": 4096, "seed": 7, "confidence": 0.95}
 //! {"op": "generate", "list": "2", "name": "March GEN", "no_removal": false}
 //! {"op": "minimise", "test": "March SL", "list": "2"}
 //! {"op": "diagnose", "test": "March SS", "fault": "<0w1;0/1/->", "victim": 4, "aggressor": 1, "cells": 6, "list": "unlinked"}
@@ -49,7 +50,7 @@ use crate::sync::{thread, Arc, Duration, Instant, Mutex, PoisonError};
 
 use march_gen::{GeneratorConfig, MarchGenerator, SessionExt};
 use sram_fault_model::FaultList;
-use sram_sim::{JsonObject, PlacementStrategy, Report, SharedEngine};
+use sram_sim::{CampaignConfig, JsonObject, PlacementStrategy, Report, SharedEngine};
 
 use crate::args::{require_list, CoverageTarget, FaultDomain};
 use crate::commands::{
@@ -123,6 +124,8 @@ impl LatencyCounter {
 pub struct ServeMetrics {
     /// Latency of `coverage` requests.
     pub coverage: LatencyCounter,
+    /// Latency of `campaign` requests.
+    pub campaign: LatencyCounter,
     /// Latency of `generate` requests.
     pub generate: LatencyCounter,
     /// Latency of `minimise` requests.
@@ -141,6 +144,7 @@ impl ServeMetrics {
     fn counter(&self, op: &'static str) -> &LatencyCounter {
         match op {
             "coverage" => &self.coverage,
+            "campaign" => &self.campaign,
             "generate" => &self.generate,
             "minimise" => &self.minimise,
             "diagnose" => &self.diagnose,
@@ -151,6 +155,7 @@ impl ServeMetrics {
     fn to_json(&self, engine: &SharedEngine) -> String {
         let requests = JsonObject::new()
             .raw("coverage", self.coverage.to_json())
+            .raw("campaign", self.campaign.to_json())
             .raw("generate", self.generate.to_json())
             .raw("minimise", self.minimise.to_json())
             .raw("diagnose", self.diagnose.to_json())
@@ -194,6 +199,14 @@ enum Request {
         cells: Option<usize>,
         exhaustive: bool,
     },
+    Campaign {
+        test: String,
+        list: FaultList,
+        cells: Option<usize>,
+        sample: u64,
+        seed: u64,
+        confidence: f64,
+    },
     Generate {
         list: FaultList,
         cells: Option<usize>,
@@ -221,6 +234,7 @@ impl Request {
     fn op(&self) -> &'static str {
         match self {
             Request::Coverage { .. } => "coverage",
+            Request::Campaign { .. } => "campaign",
             Request::Generate { .. } => "generate",
             Request::Minimise { .. } => "minimise",
             Request::Diagnose { .. } => "diagnose",
@@ -246,6 +260,32 @@ fn field_usize(value: &JsonValue, key: &str) -> Result<Option<usize>, CliError> 
         Some(field) => field.as_usize().map(Some).ok_or_else(|| {
             CliError::Arguments(format!("field `{key}` must be a non-negative integer"))
         }),
+    }
+}
+
+/// Decodes an optional exact-integer `u64` field. Fractions, negatives,
+/// values past 2^53 and the infinities `1e999` parses to are all typed
+/// `protocol` errors — never a silent `as`-cast truncation.
+fn field_u64(value: &JsonValue, key: &str) -> Result<Option<u64>, CliError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(field) => field.as_u64().map(Some).ok_or_else(|| {
+            CliError::Arguments(format!(
+                "field `{key}` must be a non-negative integer (at most 2^53)"
+            ))
+        }),
+    }
+}
+
+/// Decodes an optional finite float field; `1e999` (infinite) and friends are
+/// typed `protocol` errors.
+fn field_finite_f64(value: &JsonValue, key: &str) -> Result<Option<f64>, CliError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(field) => field
+            .as_finite_f64()
+            .map(Some)
+            .ok_or_else(|| CliError::Arguments(format!("field `{key}` must be a finite number"))),
     }
 }
 
@@ -295,6 +335,30 @@ fn parse_request(line: &str) -> Result<Request, CliError> {
             cells: field_usize(&value, "cells")?,
             exhaustive: field_bool(&value, "exhaustive")?,
         }),
+        "campaign" => {
+            let sample = field_u64(&value, "sample")?.ok_or_else(|| {
+                CliError::Arguments("campaign requires a `sample` draw count".to_string())
+            })?;
+            if sample == 0 {
+                return Err(CliError::Arguments(
+                    "field `sample` must be at least 1".to_string(),
+                ));
+            }
+            let confidence = field_finite_f64(&value, "confidence")?.unwrap_or(0.95);
+            if confidence <= 0.0 || confidence >= 1.0 {
+                return Err(CliError::Arguments(
+                    "field `confidence` must lie strictly between 0 and 1".to_string(),
+                ));
+            }
+            Ok(Request::Campaign {
+                test: field_str(&value, "test")?.unwrap_or_else(|| "March SS".to_string()),
+                list: parse_request_list(&value, "campaign")?,
+                cells: field_usize(&value, "cells")?,
+                sample,
+                seed: field_u64(&value, "seed")?.unwrap_or(0),
+                confidence,
+            })
+        }
         "generate" => Ok(Request::Generate {
             list: parse_request_list(&value, "generate")?,
             cells: field_usize(&value, "cells")?,
@@ -318,7 +382,8 @@ fn parse_request(line: &str) -> Result<Request, CliError> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(CliError::Arguments(format!(
-            "unknown op `{other}` (expected coverage, generate, minimise, diagnose, stats or shutdown)"
+            "unknown op `{other}` (expected coverage, campaign, generate, minimise, diagnose, \
+             stats or shutdown)"
         ))),
     }
 }
@@ -347,6 +412,28 @@ fn execute(
             }
             session
                 .try_coverage(&test, list)
+                .map(|report| report.to_json())
+                .map_err(|error| CliError::Simulation(error.to_string()))
+        }
+        Request::Campaign {
+            test,
+            list,
+            cells,
+            sample,
+            seed,
+            confidence,
+        } => {
+            let test = lookup(test)?;
+            let mut session = engine.session();
+            if let Some(cells) = cells {
+                session = session.with_memory_cells(*cells);
+            }
+            let config = CampaignConfig::default()
+                .with_draws(*sample)
+                .with_seed(*seed)
+                .with_confidence(*confidence);
+            session
+                .try_campaign(&test, list, &config)
                 .map(|report| report.to_json())
                 .map_err(|error| CliError::Simulation(error.to_string()))
         }
@@ -962,18 +1049,65 @@ mod tests {
             "\n",
             r#"{"op": "coverage", "faults": "af", "cells": 64}"#,
             "\n",
+            r#"{"op": "campaign", "test": "March C-", "list": "1", "sample": 128, "seed": 7}"#,
+            "\n",
         );
         let lines = serve_script(&engine, &metrics, &ServeOptions::default(), script);
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert!(lines[0].contains("\"report\": {\"report\": \"generation\""));
         assert!(lines[0].contains("March SRV"));
         assert!(lines[1].contains("\"report\": {\"report\": \"minimisation\""));
         assert!(lines[2].contains("\"report\": {\"report\": \"diagnosis\""));
         assert!(lines[2].contains("\"candidates\": ["));
         assert!(lines[3].contains("\"ok\": true"));
+        assert!(lines[4].contains("\"report\": {\"report\": \"campaign\""));
+        assert!(lines[4].contains("\"seed\": 7"));
         assert_eq!(metrics.generate.count(), 1);
         assert_eq!(metrics.minimise.count(), 1);
         assert_eq!(metrics.diagnose.count(), 1);
+        assert_eq!(metrics.campaign.count(), 1);
+    }
+
+    #[test]
+    fn campaign_requests_validate_numeric_fields() {
+        let engine = engine();
+        let metrics = Arc::new(ServeMetrics::default());
+        // Every degenerate numeric shape is a typed protocol error — the
+        // infinite `1e999`, fractions, zero draws, a negative seed, an
+        // out-of-range confidence and a missing draw count alike.
+        let script = concat!(
+            r#"{"op": "campaign", "list": "1", "sample": 1e999}"#,
+            "\n",
+            r#"{"op": "campaign", "list": "1", "sample": 2.5}"#,
+            "\n",
+            r#"{"op": "campaign", "list": "1"}"#,
+            "\n",
+            r#"{"op": "campaign", "list": "1", "sample": 64, "confidence": 1.5}"#,
+            "\n",
+            r#"{"op": "campaign", "list": "1", "sample": 64, "seed": -1}"#,
+            "\n",
+            r#"{"op": "campaign", "list": "1", "sample": 0}"#,
+            "\n",
+            r#"{"op": "campaign", "test": "March C-", "list": "1", "sample": 64, "seed": 3}"#,
+            "\n",
+            r#"{"op": "campaign", "test": "March C-", "list": "1", "sample": 64, "seed": 3}"#,
+            "\n",
+        );
+        let lines = serve_script(&engine, &metrics, &ServeOptions::default(), script);
+        assert_eq!(lines.len(), 8);
+        for (index, line) in lines.iter().take(6).enumerate() {
+            assert!(line.contains("\"ok\": false"), "line {index}: {line}");
+            assert!(
+                line.contains("\"kind\": \"protocol\""),
+                "line {index}: {line}"
+            );
+        }
+        // The well-formed pair replays byte-identically (same seed, shared
+        // engine) modulo the sequence number.
+        assert!(lines[6].contains("\"ok\": true"));
+        assert_eq!(lines[6].replacen("\"seq\": 6", "\"seq\": 7", 1), lines[7]);
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.campaign.count(), 2);
     }
 
     #[test]

@@ -653,9 +653,13 @@ fn chunks_score_pool<W: LaneWord>(
         }
         // The wave pays ~`wave_cost_factor` masked group passes per padded
         // slot per pending lane; the per-candidate pass pays one plain pass
-        // per operation of every candidate.
+        // per operation of every candidate. Saturating: a pathological
+        // `with_wave_cost_factor` value must degrade to the per-candidate
+        // path, not wrap around to a spuriously cheap wave.
         let pending_count = pending.count_ones() as usize;
-        let wave_cost = pending_count * pool.max_ops() * wave_cost_factor;
+        let wave_cost = pending_count
+            .saturating_mul(pool.max_ops())
+            .saturating_mul(wave_cost_factor);
         if wave_cost <= pool.total_ops() {
             let mut lanes = pending;
             while !lanes.is_zero() {
@@ -944,6 +948,34 @@ mod tests {
                 let tuned = batch.clone().with_wave_cost_factor(factor);
                 assert_eq!(
                     tuned.score_pool(&packed_pool),
+                    reference,
+                    "factor {factor} changed scores on {}",
+                    batch.target()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_wave_cost_factors_degrade_to_per_candidate_scoring() {
+        // `usize::MAX`-adjacent factors used to overflow the wave-cost
+        // product (wrapping to a spuriously cheap wave in release builds);
+        // saturating arithmetic must pin them to the per-candidate path with
+        // byte-identical scores.
+        let pool: CandidateBatch =
+            CandidateBatch::new(catalog::march_ss().elements().to_vec()).unwrap();
+        let batches = batches_for(BackendKind::Packed);
+        for batch in &batches {
+            let reference = batch.score_pool(&pool);
+            for factor in [
+                usize::MAX,
+                usize::MAX - 1,
+                usize::MAX / 2,
+                usize::MAX / 3 + 1,
+            ] {
+                let tuned = batch.clone().with_wave_cost_factor(factor);
+                assert_eq!(
+                    tuned.score_pool(&pool),
                     reference,
                     "factor {factor} changed scores on {}",
                     batch.target()

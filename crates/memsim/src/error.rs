@@ -47,6 +47,9 @@ pub enum SimulationError {
         /// The smallest memory the requested enumeration supports.
         min_cells: usize,
     },
+    /// A Monte-Carlo campaign configuration or sample space is degenerate
+    /// (zero draws, a confidence level outside `(0, 1)`, an empty space, …).
+    InvalidCampaign(String),
 }
 
 impl fmt::Display for SimulationError {
@@ -94,6 +97,9 @@ impl fmt::Display for SimulationError {
                      (need at least {min_cells} cells)"
                 )
             }
+            SimulationError::InvalidCampaign(reason) => {
+                write!(f, "invalid campaign configuration: {reason}")
+            }
         }
     }
 }
@@ -125,6 +131,7 @@ mod tests {
                 cells: 2,
                 min_cells: 4,
             },
+            SimulationError::InvalidCampaign("zero draws".into()),
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -21,6 +21,10 @@
 //!   `u64` word, 128/256 per [`W128`]/[`W256`] block, selected by
 //!   [`LaneWidth`]) — fanning the fault targets out over worker threads
 //!   ([`parallel_map`]);
+//! * runs seeded Monte-Carlo **campaigns** over the exhaustive instance
+//!   space — unranked draws streamed through the packed engine, reported
+//!   with a Wilson-score confidence interval ([`CampaignReport`]) —
+//!   for memories where exhaustive enumeration is intractable;
 //! * exposes the whole pipeline through one long-lived engine handle
 //!   ([`Session`]), built from a unified [`ExecPolicy`] and owning a
 //!   persistent [`WorkerPool`], whose methods return [`Report`]s with
@@ -62,6 +66,7 @@
 
 mod backend;
 mod batch;
+mod campaign;
 mod coverage;
 mod diagnose;
 mod dictionary;
@@ -88,6 +93,10 @@ pub use backend::{
     SimulationBackend,
 };
 pub use batch::{BatchSnapshot, CandidateBatch, TargetBatch};
+pub use campaign::{
+    sample_draw_indices, wilson_interval, CampaignConfig, CampaignEscape, CampaignReport,
+    CampaignSpace, MAX_CAMPAIGN_DRAWS,
+};
 pub use coverage::{
     detects_linked, detects_simple, enumerate_targets, measure_coverage, CoverageConfig,
     CoverageReport, Escape, EscapeSortKey, TargetKind,

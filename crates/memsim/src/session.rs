@@ -16,12 +16,14 @@
 //! store and one resident pool, so many concurrent sessions amortise the same
 //! warm cache.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use march_test::MarchTest;
 use sram_fault_model::FaultList;
 
 use crate::backend::{enumerate_lanes, SimulationBackend};
+use crate::campaign::{sample_draw_indices, CampaignConfig, CampaignEscape, CampaignReport};
 use crate::coverage::{
     assemble_coverage_report, enumerate_targets, lane_escape, Escape, TargetKind,
 };
@@ -31,15 +33,21 @@ use crate::report::DiagnosisReport;
 use crate::run::run_march;
 use crate::store::{ArtifactKey, ArtifactStore, DictionaryKey};
 use crate::{
-    CoverageConfig, CoverageLane, CoverageReport, DiagnosisCandidate, ExecPolicy, FaultDictionary,
-    FaultSimulator, InitialState, InjectedFault, InstanceCells, LinkedFaultInstance, MarchRun,
-    PlacementStrategy, Result, Syndrome,
+    CampaignSpace, CoverageConfig, CoverageLane, CoverageReport, DiagnosisCandidate, ExecPolicy,
+    FaultDictionary, FaultSimulator, InitialState, InjectedFault, InstanceCells,
+    LinkedFaultInstance, MarchRun, PlacementStrategy, Result, Syndrome,
 };
 
 /// How many diagnosis instances one sweep shard simulates: large enough to
 /// amortise the per-shard fault-free simulator, small enough that the shards
 /// of a representative sweep still spread over every worker.
 const DIAGNOSIS_SHARD: usize = 256;
+
+/// How many campaign draws one shard decodes and simulates: a multiple of
+/// the widest packed lane word (256), so each shard's per-target lane groups
+/// fill whole simulation waves, while typical sample sizes still shard over
+/// every worker.
+const CAMPAIGN_SHARD: usize = 2048;
 
 /// Every fault target of a list together with its enumerated coverage lanes —
 /// the session-cached setup artifact shared by coverage measurement, the
@@ -413,6 +421,110 @@ impl Session {
         ))
     }
 
+    /// Runs a seeded Monte-Carlo coverage campaign of `test` over `list`:
+    /// `config.draws` lanes are sampled from the **exhaustive**
+    /// `(target, placement, background)` instance space (regardless of the
+    /// session's placement strategy — sampling only makes sense over the full
+    /// space), simulated by the session's backend in packed lane batches, and
+    /// summarised as a point estimate with a Wilson-score confidence
+    /// interval.
+    ///
+    /// The draw sequence is a pure function of `config.seed` and the space,
+    /// and shards merge deterministically in draw order, so the report is
+    /// byte-identical across backends, thread counts and lane widths. A
+    /// request covering the whole space degenerates to sampling without
+    /// replacement in lane order — verdict-identical to
+    /// [`Session::try_coverage`] under exhaustive placements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::InvalidCampaign`](crate::SimulationError)
+    /// for a degenerate configuration or an empty space, and
+    /// [`SimulationError::MemoryTooSmall`](crate::SimulationError) when the
+    /// session's memory cannot host the list's placements.
+    pub fn try_campaign(
+        &self,
+        test: &MarchTest,
+        list: &FaultList,
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport> {
+        config.validate()?;
+        let space = Arc::new(CampaignSpace::build(
+            list,
+            self.memory_cells,
+            &self.backgrounds,
+        )?);
+        let without_replacement = config.draws >= space.total();
+        let indices = sample_draw_indices(config.seed, space.total(), config.draws);
+        let draws = indices.len() as u64;
+        let shards: Vec<Vec<u64>> = indices.chunks(CAMPAIGN_SHARD).map(<[_]>::to_vec).collect();
+        let verdict_shards: Vec<Vec<bool>> = {
+            let test = test.clone();
+            let backend = Arc::clone(&self.backend);
+            let space = Arc::clone(&space);
+            let memory_cells = self.memory_cells;
+            self.execute(Arc::new(shards), move |shard| {
+                campaign_shard_verdicts(backend.as_ref(), &test, &space, shard, memory_cells)
+            })
+        };
+        let verdicts: Vec<bool> = verdict_shards.into_iter().flatten().collect();
+        let detected = verdicts.iter().filter(|&&lane| lane).count() as u64;
+        let mut trace = Vec::new();
+        let mut truncated = false;
+        for (position, (&index, _)) in indices
+            .iter()
+            .zip(&verdicts)
+            .enumerate()
+            .filter(|(_, (_, &detected_lane))| !detected_lane)
+        {
+            if trace.len() >= config.max_escapes {
+                truncated = true;
+                break;
+            }
+            let (slot, lane) = space.decode(index);
+            trace.push(CampaignEscape {
+                draw: position as u64,
+                escape: Escape {
+                    target: space.target(slot).clone(),
+                    cells: lane.cells,
+                    background: lane.background,
+                },
+            });
+        }
+        Ok(CampaignReport::new(
+            test.name(),
+            list.name(),
+            space.total(),
+            draws,
+            detected,
+            config.seed,
+            config.confidence,
+            without_replacement,
+            trace,
+            truncated,
+        ))
+    }
+
+    /// Infallible form of [`Session::try_campaign`] for validated
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration or the session scope is degenerate —
+    /// callers that can see those errors use [`Session::try_campaign`].
+    #[must_use]
+    pub fn campaign(
+        &self,
+        test: &MarchTest,
+        list: &FaultList,
+        config: &CampaignConfig,
+    ) -> CampaignReport {
+        self.try_campaign(test, list, config)
+            // lint: allow(unwrap) — the infallible convenience wrapper; callers
+            // that can see configuration errors use `try_campaign` instead.
+            .expect("campaign configuration is valid (try_campaign surfaces the error)")
+    }
+
     /// Executes `test` against a memory with `fault` injected, under the
     /// session's memory size and first background — the session form of
     /// [`run_march`](crate::run_march).
@@ -616,10 +728,39 @@ impl Session {
     }
 }
 
+/// The detection verdicts of one campaign shard, in draw order: the shard's
+/// draws are decoded, grouped per target (remembering each draw's slot), and
+/// every group streams through the backend's lane batching — `LaneWidth`-sized
+/// packed waves with dead-lane masking on the ragged final word — before the
+/// verdicts scatter back to their draw positions.
+fn campaign_shard_verdicts(
+    backend: &dyn SimulationBackend,
+    test: &MarchTest,
+    space: &CampaignSpace,
+    shard: &[u64],
+    memory_cells: usize,
+) -> Vec<bool> {
+    let mut groups: BTreeMap<usize, (Vec<usize>, Vec<CoverageLane>)> = BTreeMap::new();
+    for (position, &index) in shard.iter().enumerate() {
+        let (slot, lane) = space.decode(index);
+        let entry = groups.entry(slot).or_default();
+        entry.0.push(position);
+        entry.1.push(lane);
+    }
+    let mut verdicts = vec![false; shard.len()];
+    for (slot, (positions, lanes)) in groups {
+        let group = backend.lane_verdicts(test, space.target(slot), &lanes, memory_cells);
+        for (position, verdict) in positions.into_iter().zip(group) {
+            verdicts[position] = verdict;
+        }
+    }
+    verdicts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{diagnose, measure_coverage, BackendKind, LaneWidth};
+    use crate::{diagnose, measure_coverage, BackendKind, LaneWidth, Report as _};
     use march_test::catalog;
     use sram_fault_model::Ffm;
 
@@ -847,6 +988,91 @@ mod tests {
             Session::default().coverage(&catalog::march_sl(), &list),
             baseline
         );
+    }
+
+    #[test]
+    fn full_space_campaign_matches_exhaustive_coverage() {
+        let session = Session::default()
+            .with_memory_cells(6)
+            .with_strategy(PlacementStrategy::Exhaustive);
+        let list = FaultList::list_1();
+        let test = catalog::mats_plus();
+        let exhaustive = session.try_coverage(&test, &list).unwrap();
+        let config = CampaignConfig::default()
+            .with_draws(crate::MAX_CAMPAIGN_DRAWS)
+            .with_max_escapes(usize::MAX);
+        let report = session.try_campaign(&test, &list, &config).unwrap();
+        assert!(report.without_replacement());
+        assert_eq!(report.draws(), report.space());
+        assert_eq!(report.detected() + report.escapes_found(), report.draws());
+        assert!(!report.trace_truncated());
+        // The set of escaping targets is exactly the exhaustive escape set.
+        let campaign_targets: std::collections::BTreeSet<String> = report
+            .trace()
+            .iter()
+            .map(|entry| entry.escape.target.to_string())
+            .collect();
+        let exhaustive_targets: std::collections::BTreeSet<String> = exhaustive
+            .escapes()
+            .iter()
+            .map(|escape| escape.target.to_string())
+            .collect();
+        assert_eq!(campaign_targets, exhaustive_targets);
+        assert_eq!(
+            exhaustive.total() - exhaustive.covered(),
+            campaign_targets.len()
+        );
+    }
+
+    #[test]
+    fn campaign_reports_are_identical_across_policies() {
+        let list = FaultList::list_2().with_address_decoder_faults();
+        let test = catalog::march_c_minus();
+        let config = CampaignConfig::default().with_draws(512).with_seed(11);
+        let baseline = Session::new(ExecPolicy::default().with_threads(1))
+            .with_memory_cells(16)
+            .try_campaign(&test, &list, &config)
+            .unwrap()
+            .to_json();
+        for threads in [2usize, 0] {
+            for backend in [BackendKind::Scalar, BackendKind::Packed] {
+                let report = Session::new(
+                    ExecPolicy::default()
+                        .with_backend(backend)
+                        .with_threads(threads),
+                )
+                .with_memory_cells(16)
+                .try_campaign(&test, &list, &config)
+                .unwrap();
+                assert_eq!(
+                    report.to_json(),
+                    baseline,
+                    "backend {backend}, {threads} threads"
+                );
+            }
+        }
+        // A different seed draws a different prefix.
+        let other = Session::new(ExecPolicy::default().with_threads(1))
+            .with_memory_cells(16)
+            .try_campaign(&test, &list, &config.clone().with_seed(12))
+            .unwrap();
+        assert_ne!(other.to_json(), baseline);
+    }
+
+    #[test]
+    fn campaign_surfaces_typed_configuration_errors() {
+        let session = Session::default();
+        let list = FaultList::list_2();
+        let bad = CampaignConfig::default().with_confidence(2.0);
+        assert!(matches!(
+            session.try_campaign(&catalog::march_ss(), &list, &bad),
+            Err(crate::SimulationError::InvalidCampaign(_))
+        ));
+        let small = Session::default().with_memory_cells(2);
+        assert!(matches!(
+            small.try_campaign(&catalog::march_ss(), &list, &CampaignConfig::default()),
+            Err(crate::SimulationError::MemoryTooSmall { .. })
+        ));
     }
 
     #[test]

@@ -821,6 +821,19 @@ fn decode_container<'a>(
     if bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
+    // Validate the header-declared length against the bytes actually on disk
+    // *before* the O(n) checksum pass: a corrupt or hostile header promising
+    // a multi-GB container is rejected here for the cost of one comparison,
+    // and nothing downstream ever sizes a buffer from the declared length.
+    let declared_total = u64::from_le_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
+    ]);
+    if declared_total != bytes.len() as u64 {
+        return Err(SnapshotError::Truncated {
+            expected: declared_total,
+            found: bytes.len() as u64,
+        });
+    }
     let stored_crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     if crc32(&bytes[8..]) != stored_crc {
         return Err(SnapshotError::ChecksumMismatch);
@@ -835,12 +848,7 @@ fn decode_container<'a>(
         return Err(SnapshotError::WrongKind { found: kind });
     }
     let total = cursor.u64()?;
-    if total != bytes.len() as u64 {
-        return Err(SnapshotError::Truncated {
-            expected: total,
-            found: bytes.len() as u64,
-        });
-    }
+    debug_assert_eq!(total, declared_total);
     let key_len = cursor.count(1)?;
     let echoed = cursor.take(key_len)?;
     if let Some(expected) = expected_key {

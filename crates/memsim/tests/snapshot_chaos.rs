@@ -126,6 +126,55 @@ fn every_truncation_of_a_lane_snapshot_is_survived() {
     }
 }
 
+/// IEEE 802.3 CRC32, mirroring the snapshot container's checksum — so the
+/// inflated-length fuzz case below can forge a header whose *only* lie is
+/// the declared length.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[test]
+fn inflated_length_headers_are_rejected_without_huge_allocations() {
+    // A hostile header declaring a multi-GB container, with the checksum
+    // recomputed so the length field is the only lie: the loader must reject
+    // it on the cheap length comparison (typed error, quarantine, rebuild) —
+    // it must never trust the declared length for sizing anything.
+    let list = FaultList::address_decoder();
+    let device = Arc::new(MemIo::new());
+    let (engine, _) = engine_on(&device);
+    engine
+        .session()
+        .with_memory_cells(8)
+        .target_lanes(&list)
+        .expect("warm enumeration succeeds");
+    let (path, pristine) = snapshot_file(&device, "art-");
+
+    for declared in [
+        64u64 << 30,               // 64 GiB — would OOM if trusted
+        u64::MAX,                  // maximal lie
+        u64::from(u32::MAX) + 1,   // just past 4 GiB
+        pristine.len() as u64 + 1, // off by one
+        pristine.len() as u64 - 1, // off by one the other way
+    ] {
+        let mut corrupt = pristine.clone();
+        corrupt[16..24].copy_from_slice(&declared.to_le_bytes());
+        let crc = crc32(&corrupt[8..]);
+        corrupt[4..8].copy_from_slice(&crc.to_le_bytes());
+
+        let device = Arc::new(MemIo::new());
+        device.insert_file(&path, corrupt);
+        assert_lanes_total(&device, &list, &path, &pristine);
+    }
+}
+
 #[test]
 fn every_single_byte_flip_of_a_dictionary_snapshot_is_survived() {
     let test = catalog::mats_plus();

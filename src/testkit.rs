@@ -206,6 +206,86 @@ pub fn assert_pipeline_equivalent(
     }
 }
 
+/// Asserts a **full-space Monte-Carlo campaign is verdict-identical to
+/// exhaustive enumeration** under `policy`: a campaign whose draw budget
+/// covers the whole `(target, placement, background)` space degenerates to
+/// sampling without replacement in lane order, so
+///
+/// * it must report exactly as many detected lanes as enumeration covers,
+/// * the set of escaping targets must match the exhaustive escape list, and
+/// * the **first** traced escape of each target must equal the exhaustive
+///   report's escape for that target (same placement, same background) —
+///   the strongest obtainable statement, since enumeration records only the
+///   first failing lane per target.
+///
+/// Every probe test of the differential harness is swept, so complete and
+/// incomplete (escape-carrying) verdicts are both exercised.
+///
+/// # Panics
+///
+/// Panics on the first divergence, or if `cells` cannot host the list's
+/// placements.
+pub fn assert_campaign_matches_exhaustive(
+    policy: ExecPolicy,
+    fault_list: &FaultList,
+    cells: usize,
+) {
+    use sram_sim::{CampaignConfig, Escape, MAX_CAMPAIGN_DRAWS};
+    use std::collections::BTreeMap;
+
+    // The campaign always samples the exhaustive space; give the session the
+    // matching strategy so `try_coverage` enumerates the identical lanes.
+    let session = session(policy, cells, PlacementStrategy::Exhaustive);
+    let config = CampaignConfig::default()
+        .with_draws(MAX_CAMPAIGN_DRAWS)
+        .with_max_escapes(usize::MAX);
+    for test in probe_tests() {
+        let exhaustive = session
+            .try_coverage(&test, fault_list)
+            .expect("harness scope hosts the fault-list placements");
+        let campaign = session
+            .try_campaign(&test, fault_list, &config)
+            .expect("harness scope hosts the fault-list placements");
+        let label = |what: &str| {
+            format!(
+                "{what} diverged: campaign vs exhaustive ({policy:?}, {cells} cells, {}, {})",
+                fault_list.name(),
+                test.name()
+            )
+        };
+        assert!(
+            campaign.without_replacement(),
+            "{}",
+            label("a full-space budget must sample without replacement")
+        );
+        assert_eq!(
+            campaign.draws(),
+            campaign.space(),
+            "{}",
+            label("draw count")
+        );
+        // Per-target first escapes, in draw order (= lane order here).
+        let mut first_escapes: BTreeMap<String, &Escape> = BTreeMap::new();
+        for traced in campaign.trace() {
+            first_escapes
+                .entry(traced.escape.target.to_string())
+                .or_insert(&traced.escape);
+        }
+        assert_eq!(
+            first_escapes.len(),
+            exhaustive.total() - exhaustive.covered(),
+            "{}",
+            label("escaping-target count")
+        );
+        for escape in exhaustive.escapes() {
+            let traced = first_escapes
+                .get(&escape.target.to_string())
+                .unwrap_or_else(|| panic!("{} [{}]", label("missing escape"), escape.target));
+            assert_eq!(*traced, escape, "{}", label("first escape per target"));
+        }
+    }
+}
+
 /// The serial scalar reference policy every equivalence sweep anchors to: the
 /// original dual-memory engine, one lane and one thread at a time.
 #[must_use]

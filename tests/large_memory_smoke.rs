@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use march_test::catalog;
 use sram_fault_model::{DecoderFault, FaultList};
 use sram_sim::{
-    DecoderFaultInstance, ExecPolicy, FaultSimulator, InitialState, InstanceCells, LaneWidth,
-    PlacementStrategy, Session, Syndrome, TargetKind,
+    CampaignConfig, DecoderFaultInstance, ExecPolicy, FaultSimulator, InitialState, InstanceCells,
+    LaneWidth, PlacementStrategy, Session, Syndrome, TargetKind,
 };
 
 /// Per-test wall-clock budget. Generous (the measured release times are well
@@ -73,6 +73,39 @@ fn af_coverage_at_1024_cells_is_lane_width_invariant() {
     assert!(
         start.elapsed() < BUDGET,
         "1024-cell width-invariance smoke blew the budget: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "release-grade 1M-cell workload; run with --ignored"]
+fn af_campaign_at_a_million_cells_stays_in_budget() {
+    // The Session-API twin of
+    // `coverage --faults af --cells 1048576 --sample 100000 --seed 7`: the
+    // exhaustive decoder space at 2^20 cells is far beyond enumeration in a
+    // CI leg, but a seeded 100k-draw campaign must finish inside the budget
+    // and report a Wilson interval around its estimate.
+    let start = Instant::now();
+    let session = Session::new(ExecPolicy::fast())
+        .with_memory_cells(1 << 20)
+        .with_strategy(PlacementStrategy::Exhaustive)
+        .with_backgrounds(vec![InitialState::AllZero, InitialState::AllOne]);
+    let config = CampaignConfig::default().with_draws(100_000).with_seed(7);
+    let report = session
+        .try_campaign(&catalog::march_ss(), &FaultList::address_decoder(), &config)
+        .expect("the 2^20-cell decoder space hosts the campaign");
+    assert_eq!(report.draws(), 100_000);
+    assert!(!report.without_replacement(), "the space dwarfs the sample");
+    let (low, high) = report.interval();
+    assert!(
+        (0.0..=report.estimate()).contains(&low) && (report.estimate()..=1.0).contains(&high),
+        "the Wilson interval must bracket the estimate: [{low}, {high}]"
+    );
+    // March SS covers the whole decoder space, so the draws all detect.
+    assert_eq!(report.detected(), report.draws());
+    assert!(
+        start.elapsed() < BUDGET,
+        "2^20-cell AF campaign blew the budget: {:?}",
         start.elapsed()
     );
 }
